@@ -1,0 +1,35 @@
+# Convenience targets for the APGAS reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at laptop scale.
+experiments:
+	$(GO) run ./cmd/apgas-bench -exp all -scale small
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/uts
+	$(GO) run ./examples/kmeans
+	$(GO) run ./examples/ra
+	$(GO) run ./examples/finishpatterns
+	$(GO) run ./examples/tcpcluster
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,150 @@
+// Command apgas-bench regenerates the experiments of "X10 and APGAS at
+// Petascale" (PPoPP 2014) on the in-process APGAS runtime: the eight
+// weak-scaling panels of Figure 1, Tables 1 and 2, the Power 775
+// interconnect model predictions, and the ablation studies for the finish
+// patterns, the scalable broadcast, the collectives modes, and the UTS
+// load balancer.
+//
+// Usage:
+//
+//	apgas-bench -exp all -scale small
+//	apgas-bench -exp uts-ablation
+//	apgas-bench -exp table2 -scale tiny
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apgas/internal/collectives"
+	"apgas/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: all, hpl, fft, ra, stream, uts, kmeans, sw, bc, "+
+			"table1, table2, netsim, finish, broadcast, uts-ablation, teams, seqref")
+	scaleFlag := flag.String("scale", "tiny", "tiny, small, or medium")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = harness.Tiny
+	case "small":
+		scale = harness.Small
+	case "medium":
+		scale = harness.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	if err := run(*exp, scale); err != nil {
+		fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale harness.Scale) error {
+	series := func(fn func(harness.Scale) (harness.Series, error)) error {
+		s, err := fn(scale)
+		if err != nil {
+			return err
+		}
+		s.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	table := func(t harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+
+	panels := map[string]func(harness.Scale) (harness.Series, error){
+		"hpl":    harness.Fig1HPL,
+		"fft":    harness.Fig1FFT,
+		"ra":     harness.Fig1RandomAccess,
+		"stream": harness.Fig1Stream,
+		"uts":    harness.Fig1UTS,
+		"kmeans": harness.Fig1KMeans,
+		"sw":     harness.Fig1SW,
+		"bc":     harness.Fig1BC,
+	}
+
+	switch exp {
+	case "all":
+		for _, name := range []string{"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc"} {
+			if err := series(panels[name]); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		if err := table(harness.Table1(scale)); err != nil {
+			return err
+		}
+		if err := table(harness.Table2(scale)); err != nil {
+			return err
+		}
+		if err := table(harness.ModelTable(), nil); err != nil {
+			return err
+		}
+		places := scale.PlaceSweep()[len(scale.PlaceSweep())-1]
+		if err := table(harness.FinishAblationTable(places, 10)); err != nil {
+			return err
+		}
+		if err := table(harness.BroadcastAblation(places, 10)); err != nil {
+			return err
+		}
+		if err := table(harness.UTSAblation(places, 12)); err != nil {
+			return err
+		}
+		for _, mode := range []collectives.Mode{collectives.ModeNative, collectives.ModeEmulated} {
+			s, err := harness.TeamModeSeries(scale, mode)
+			if err != nil {
+				return err
+			}
+			s.Print(os.Stdout)
+			fmt.Println()
+		}
+		return table(harness.SequentialReference(), nil)
+	case "table1":
+		return table(harness.Table1(scale))
+	case "table2":
+		return table(harness.Table2(scale))
+	case "netsim":
+		return table(harness.ModelTable(), nil)
+	case "finish":
+		places := scale.PlaceSweep()[len(scale.PlaceSweep())-1]
+		return table(harness.FinishAblationTable(places, 20))
+	case "broadcast":
+		places := scale.PlaceSweep()[len(scale.PlaceSweep())-1]
+		return table(harness.BroadcastAblation(places, 20))
+	case "uts-ablation":
+		places := scale.PlaceSweep()[len(scale.PlaceSweep())-1]
+		depth := map[harness.Scale]int{harness.Tiny: 11, harness.Small: 13, harness.Medium: 14}[scale]
+		return table(harness.UTSAblation(places, depth))
+	case "teams":
+		for _, mode := range []collectives.Mode{collectives.ModeNative, collectives.ModeEmulated} {
+			s, err := harness.TeamModeSeries(scale, mode)
+			if err != nil {
+				return err
+			}
+			s.Print(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	case "seqref":
+		return table(harness.SequentialReference(), nil)
+	default:
+		fn, ok := panels[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		return series(fn)
+	}
+}

@@ -1,0 +1,121 @@
+// Command hpcc runs the four HPC Challenge Class 2 kernels of §5 of
+// "X10 and APGAS at Petascale" — Global HPL, Global FFT, Global
+// RandomAccess, and EP Stream (Triad) — on the in-process APGAS runtime.
+//
+// Usage:
+//
+//	hpcc -kernel hpl -places 4 -n 512 -nb 32
+//	hpcc -kernel fft -places 4 -log2n 16
+//	hpcc -kernel ra -places 4 -log2table 14
+//	hpcc -kernel stream -places 8 -words 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apgas/internal/apps/fftbench"
+	"apgas/internal/apps/hpl"
+	"apgas/internal/apps/randomaccess"
+	"apgas/internal/apps/stream"
+	"apgas/internal/collectives"
+	"apgas/internal/core"
+)
+
+func main() {
+	kernel := flag.String("kernel", "hpl", "hpl, fft, ra, stream, or all")
+	places := flag.Int("places", 4, "number of places")
+	n := flag.Int("n", 512, "HPL matrix order")
+	nb := flag.Int("nb", 32, "HPL block size")
+	gridP := flag.Int("p", 0, "HPL grid rows (0 = auto)")
+	gridQ := flag.Int("q", 0, "HPL grid cols (0 = auto)")
+	log2n := flag.Int("log2n", 16, "FFT size exponent")
+	log2table := flag.Int("log2table", 14, "RandomAccess per-place table exponent")
+	words := flag.Int("words", 1<<20, "Stream per-place vector length")
+	iters := flag.Int("iters", 10, "Stream iterations")
+	emulated := flag.Bool("emulated", false, "use emulated (point-to-point) collectives")
+	flag.Parse()
+
+	mode := collectives.ModeNative
+	if *emulated {
+		mode = collectives.ModeEmulated
+	}
+	rt, err := core.NewRuntime(core.Config{Places: *places})
+	if err != nil {
+		fail(err)
+	}
+	defer rt.Close()
+
+	kernels := []string{*kernel}
+	if *kernel == "all" {
+		kernels = []string{"hpl", "fft", "ra", "stream"}
+	}
+	for _, k := range kernels {
+		runKernel(rt, k, *places, *n, *nb, *gridP, *gridQ, *log2n, *log2table, *words, *iters, mode)
+	}
+}
+
+func runKernel(rt *core.Runtime, kernel string, places, n, nb, gridP, gridQ,
+	log2n, log2table, words, iters int, mode collectives.Mode) {
+	switch kernel {
+	case "hpl":
+		res, err := hpl.Run(rt, hpl.Config{N: n, NB: nb, P: gridP, Q: gridQ, Seed: 7, Mode: mode})
+		if err != nil {
+			fail(err)
+		}
+		status := "PASSED"
+		if res.Residual > 16 {
+			status = "FAILED"
+		}
+		fmt.Printf("Global HPL: N=%d NB=%d grid=%dx%d\n", res.N, res.NB, res.P, res.Q)
+		fmt.Printf("time: %.3fs  %.3f Gflop/s (%.3f Gflop/s/core)\n",
+			res.Seconds, res.Gflops, res.Gflops/float64(places))
+		fmt.Printf("residual: %.3g (%s)\n", res.Residual, status)
+		if res.Residual > 16 {
+			os.Exit(1)
+		}
+	case "fft":
+		res, err := fftbench.Run(rt, fftbench.Config{Log2N: log2n, Seed: 5, Mode: mode})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Global FFT: N=2^%d\n", log2n)
+		fmt.Printf("time: %.3fs  %.3f Gflop/s (%.3f Gflop/s/core)\n",
+			res.Seconds, res.Gflops, res.Gflops/float64(places))
+		fmt.Printf("max error vs sequential: %.3g\n", res.MaxErr)
+	case "ra":
+		res, err := randomaccess.Run(rt, randomaccess.Config{
+			Log2TablePerPlace: log2table, Verify: true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Global RandomAccess: table=%d words, %d updates\n", res.TableWords, res.Updates)
+		fmt.Printf("time: %.3fs  %.6f GUP/s (%.6f GUP/s/place)\n",
+			res.Seconds, res.GUPs, res.GUPs/float64(places))
+		fmt.Printf("verification errors: %d\n", res.Errors)
+		if res.Errors != 0 {
+			os.Exit(1)
+		}
+	case "stream":
+		res, err := stream.Run(rt, stream.Config{WordsPerPlace: words, Iterations: iters})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("EP Stream (Triad): %d words/place, %d iterations\n", words, iters)
+		fmt.Printf("time: %.3fs  %.2f GB/s (%.2f GB/s/place)\n",
+			res.Seconds, res.GBs, res.GBsPerPlace)
+		fmt.Printf("verification errors: %d\n", res.VerifyErrors)
+		if res.VerifyErrors != 0 {
+			os.Exit(1)
+		}
+	default:
+		fail(fmt.Errorf("unknown kernel %q", kernel))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hpcc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command uts runs the Unbalanced Tree Search benchmark standalone: a
+// geometric tree (b0, seed, depth) traversed by the lifeline-based global
+// load balancer across the requested number of places, with the
+// refinements of §6 of "X10 and APGAS at Petascale" selectable for
+// comparison against the original PPoPP'11 configuration.
+//
+// Usage:
+//
+//	uts -places 8 -depth 14
+//	uts -places 8 -depth 14 -legacy        # original [35] configuration
+//	uts -places 8 -depth 14 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apgas/internal/apps/uts"
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+)
+
+func main() {
+	places := flag.Int("places", 4, "number of places")
+	depth := flag.Int("depth", 13, "tree depth cut-off d (geometric family)")
+	b0 := flag.Float64("b0", 4, "geometric branching parameter")
+	seed := flag.Uint("seed", 19, "root seed r")
+	binomial := flag.Bool("binomial", false, "use the binomial (deep-narrow) tree family")
+	binB0 := flag.Int("bin-b0", 2000, "binomial: root branching factor")
+	binM := flag.Int("bin-m", 2, "binomial: non-root branching factor")
+	binQ := flag.Float64("bin-q", 0.49, "binomial: branching probability (m*q < 1)")
+	legacy := flag.Bool("legacy", false, "use the PPoPP'11 configuration: "+
+		"expanded node lists, unbounded victim sets, default finish")
+	verify := flag.Bool("verify", false, "check the count against a sequential traversal")
+	quantum := flag.Int("quantum", 0, "work units per scheduling quantum (0 = default)")
+	flag.Parse()
+
+	var tree sha1rng.Tree = sha1rng.Geometric{B0: *b0, Depth: *depth, Seed: uint32(*seed)}
+	if *binomial {
+		tree = sha1rng.Binomial{B0: *binB0, M: *binM, Q: *binQ, Seed: uint32(*seed)}
+	}
+	cfg := uts.Config{Tree: tree, GLB: glb.Config{Quantum: *quantum, DenseFinish: true}}
+	if *legacy {
+		cfg.UseListBag = true
+		cfg.GLB.DenseFinish = false
+		cfg.GLB.MaxVictims = -1
+	}
+
+	rt, err := core.NewRuntime(core.Config{Places: *places})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uts: %v\n", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	res, err := uts.Run(rt, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uts: %v\n", err)
+		os.Exit(1)
+	}
+	if *binomial {
+		fmt.Printf("tree: binomial b0=%d m=%d q=%g seed=%d\n", *binB0, *binM, *binQ, *seed)
+	} else {
+		fmt.Printf("tree: geometric b0=%g seed=%d depth=%d\n", *b0, *seed, *depth)
+	}
+	fmt.Printf("nodes: %d (%.0f SHA1 hashes)\n", res.Nodes, float64(res.Hashes))
+	fmt.Printf("time: %.3fs  rate: %.3f Mnodes/s (%.3f Mnodes/s/place)\n",
+		res.Seconds, res.NodesPerSecond()/1e6, res.NodesPerSecond()/1e6/float64(*places))
+	fmt.Printf("balancer: %d/%d random steals, %d lifeline sends, %d deliveries, %d resuscitations\n",
+		res.Stats.StealSuccesses, res.Stats.StealAttempts,
+		res.Stats.LifelineRequests, res.Stats.LifelineDeliveries, res.Stats.Resuscitations)
+
+	if *verify {
+		want, _ := sha1rng.CountSequential(tree)
+		if res.Nodes != want {
+			fmt.Fprintf(os.Stderr, "VERIFY FAILED: counted %d, sequential %d\n", res.Nodes, want)
+			os.Exit(1)
+		}
+		fmt.Printf("verify: OK (sequential count matches)\n")
+	}
+}

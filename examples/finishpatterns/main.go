@@ -1,0 +1,128 @@
+// Finish-patterns example: the specialized termination-detection
+// implementations of §3.1 of "X10 and APGAS at Petascale", their pragma
+// selection, the control-traffic cost of each, and the profile-guided
+// advisor that recommends a pragma from an observed run (the paper's
+// prototype compiler analysis, realized dynamically).
+//
+//	go run ./examples/finishpatterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apgas/internal/core"
+	"apgas/internal/x10rt"
+)
+
+func main() {
+	const places = 8
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctl := func() uint64 {
+		return rt.Transport().Stats().Messages[x10rt.ControlClass]
+	}
+
+	err = rt.Run(func(ctx *core.Ctx) {
+		// FINISH_SPMD: flat fan-out, n completion messages.
+		before := ctl()
+		if err := ctx.FinishPragma(core.PatternSPMD, func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(*core.Ctx) {})
+			}
+		}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("FINISH_SPMD   fan-out to %d places: %2d control messages\n",
+			places, ctl()-before)
+
+		// FINISH_HERE: a request/response round trip, zero control
+		// messages — the termination token rides the data.
+		before = ctl()
+		home := ctx.Place()
+		if err := ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
+			c.AtAsync(5, func(cc *core.Ctx) {
+				cc.AtAsync(home, func(*core.Ctx) {})
+			})
+		}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("FINISH_HERE   round trip:              %2d control messages\n",
+			ctl()-before)
+
+		// FINISH_ASYNC: one remote activity, one completion message.
+		before = ctl()
+		if err := ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+			c.AtAsync(3, func(*core.Ctx) {})
+		}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("FINISH_ASYNC  single put:              %2d control messages\n",
+			ctl()-before)
+
+		// The general algorithm on the same fan-out, for contrast.
+		before = ctl()
+		if err := ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(*core.Ctx) {})
+			}
+		}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("FINISH_DEFAULT same fan-out:           %2d control messages\n",
+			ctl()-before)
+
+		// Profile-guided selection: run once under the instrumented
+		// default algorithm, get the recommended pragma.
+		fmt.Println()
+		shapes := []struct {
+			name string
+			body func(*core.Ctx)
+		}{
+			{"local asyncs", func(c *core.Ctx) {
+				for i := 0; i < 4; i++ {
+					c.Async(func(*core.Ctx) {})
+				}
+			}},
+			{"single put", func(c *core.Ctx) {
+				c.AtAsync(2, func(*core.Ctx) {})
+			}},
+			{"get (round trip)", func(c *core.Ctx) {
+				h := c.Place()
+				c.AtAsync(6, func(cc *core.Ctx) {
+					cc.AtAsync(h, func(*core.Ctx) {})
+				})
+			}},
+			{"spmd fan-out", func(c *core.Ctx) {
+				for _, p := range c.Places() {
+					c.AtAsync(p, func(*core.Ctx) {})
+				}
+			}},
+			{"all-to-all storm", func(c *core.Ctx) {
+				for _, p := range c.Places() {
+					c.AtAsync(p, func(cc *core.Ctx) {
+						for _, q := range cc.Places() {
+							if q != cc.Place() {
+								cc.AtAsync(q, func(*core.Ctx) {})
+							}
+						}
+					})
+				}
+			}},
+		}
+		for _, sh := range shapes {
+			profile, err := ctx.FinishProfiled(sh.body)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("advisor: %-18s -> %v\n", sh.name, profile.Recommend())
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+// K-Means example: Lloyd's algorithm over points partitioned across
+// places, with the two-AllReduce iteration structure of §7 of "X10 and
+// APGAS at Petascale".
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apgas/internal/apps/kmeans"
+	"apgas/internal/core"
+)
+
+func main() {
+	const places = 4
+	rt, err := core.NewRuntime(core.Config{Places: places})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	cfg := kmeans.Config{
+		PointsPerPlace: 10000,
+		Clusters:       64,
+		Dim:            12, // the paper's dimensionality
+		Iterations:     5,  // the paper timed 5 iterations
+		Seed:           42,
+	}
+	res, err := kmeans.Run(rt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustered %d points into %d clusters (%d dims) in %.3fs\n",
+		cfg.PointsPerPlace*places, cfg.Clusters, cfg.Dim, res.Seconds)
+	fmt.Printf("final distortion: %.6f\n", res.Distortion)
+
+	// Cross-check the distributed result against a sequential run.
+	_, wantDist := kmeans.Sequential(cfg, places)
+	fmt.Printf("sequential distortion: %.6f (match: %v)\n",
+		wantDist, approxEqual(res.Distortion, wantDist))
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}

@@ -1,0 +1,88 @@
+// Quickstart: the core APGAS constructs of "X10 and APGAS at Petascale"
+// §2 on the Go runtime — places, async, at, finish, global references, and
+// a tree broadcast over a place group.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"apgas/internal/core"
+)
+
+func main() {
+	rt, err := core.NewRuntime(core.Config{Places: 8, CheckPatterns: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	err = rt.Run(func(ctx *core.Ctx) {
+		// --- Hello from every place, launched with the scalable
+		// PlaceGroup broadcast of §3.2 (spawning trees + FINISH_SPMD).
+		var mu sync.Mutex
+		visited := []core.Place{}
+		group := core.WorldGroup(rt)
+		if err := group.Broadcast(ctx, func(c *core.Ctx) {
+			mu.Lock()
+			visited = append(visited, c.Place())
+			mu.Unlock()
+		}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("broadcast reached %d places\n", len(visited))
+
+		// --- The fib example of §2.2: finish/async recursive
+		// parallel decomposition.
+		fmt.Printf("fib(20) = %d\n", fib(ctx, 20))
+
+		// --- Remote evaluation: `val v = at (p) e`.
+		v := core.AtEval(ctx, 3, func(c *core.Ctx) string {
+			return fmt.Sprintf("hello from place %d", c.Place())
+		})
+		fmt.Println(v)
+
+		// --- The average-load idiom of §2.2: a cell at home updated
+		// from every place through its GlobalRef with atomic sections.
+		type cell struct{ sum float64 }
+		acc := &cell{}
+		ref := core.NewGlobalRef(ctx, acc)
+		home := ctx.Place()
+		if err := ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *core.Ctx) {
+					load := float64(cc.Place()) // stand-in for systemLoad()
+					cc.AtAsync(home, func(ch *core.Ctx) {
+						a := ref.Get(ch)
+						ch.Atomic(func() { a.sum += load })
+					})
+				})
+			}
+		}); err != nil {
+			panic(err)
+		}
+		fmt.Printf("average load = %.2f\n", acc.sum/float64(rt.NumPlaces()))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// fib computes Fibonacci numbers with finish+async, exactly as in the
+// paper's §2.2 listing.
+func fib(c *core.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var f1, f2 int
+	if err := c.Finish(func(cc *core.Ctx) {
+		cc.Async(func(ca *core.Ctx) { f1 = fib(ca, n-1) })
+		f2 = fib(cc, n-2)
+	}); err != nil {
+		panic(err)
+	}
+	return f1 + f2
+}

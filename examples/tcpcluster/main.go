@@ -1,0 +1,102 @@
+// TCP cluster example: the active-message runtime (amrt) running over a
+// real loopback TCP mesh — the cross-address-space deployment path, where
+// tasks are registered handlers plus argument bytes instead of closures.
+// Each endpoint here lives in one process for convenience; the identical
+// code runs with one endpoint per OS process, which is how the paper's
+// places were deployed (one place per core, PAMI in between).
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"apgas/internal/amrt"
+	"apgas/internal/x10rt"
+)
+
+func main() {
+	const places = 4
+	mesh, err := x10rt.NewLocalTCPMesh(places)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range mesh {
+			tr.Close()
+		}
+	}()
+
+	rts := make([]*amrt.Runtime, places)
+	for i, tr := range mesh {
+		r, err := amrt.New(tr, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// SPMD registration: the same handlers at every place.
+		r.Register("pi-samples", piSamples)
+		rts[i] = r
+	}
+
+	// Monte-Carlo pi: place 0 farms sample batches out over TCP and
+	// gathers the hit counts with synchronous calls.
+	const perPlace = 2_000_000
+	var hits, total uint64
+	err = rts[0].Finish(func(spawn func(int, string, []byte)) {
+		for d := 0; d < places; d++ {
+			arg := make([]byte, 16)
+			binary.BigEndian.PutUint64(arg[:8], uint64(d)+1) // seed
+			binary.BigEndian.PutUint64(arg[8:], perPlace)
+			out, err := rts[0].Call(d, "pi-samples", arg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hits += binary.BigEndian.Uint64(out)
+			total += perPlace
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pi ≈ %.6f from %d samples over a %d-endpoint TCP mesh\n",
+		4*float64(hits)/float64(total), total, places)
+
+	// A barrier round for good measure.
+	done := make(chan error, places)
+	for _, r := range rts {
+		go func(r *amrt.Runtime) { done <- r.Barrier() }(r)
+	}
+	for i := 0; i < places; i++ {
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("dissemination barrier over TCP: OK")
+}
+
+// piSamples is the registered worker: count random points inside the unit
+// quarter circle.
+func piSamples(src int, arg []byte) []byte {
+	seed := binary.BigEndian.Uint64(arg[:8])
+	n := binary.BigEndian.Uint64(arg[8:])
+	s := seed*0x9e3779b97f4a7c15 + 1
+	var hits uint64
+	for i := uint64(0); i < n; i++ {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		x := float64(s>>11) / float64(1<<53)
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		y := float64(s>>11) / float64(1<<53)
+		if x*x+y*y < 1 {
+			hits++
+		}
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, hits)
+	return out
+}

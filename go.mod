@@ -1,0 +1,3 @@
+module apgas
+
+go 1.22

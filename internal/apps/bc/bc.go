@@ -1,0 +1,319 @@
+// Package bc implements the Betweenness Centrality benchmark of §7:
+// Brandes' algorithm over an undirected R-MAT graph. As in the paper, "the
+// graph is replicated in every place" (even a small graph incurs heavy
+// computation) and "the vertices are randomly partitioned across places;
+// each place computes the centrality measure for all its vertices" — the
+// static scheme whose growing imbalance motivated the later GLB-based
+// variant, which this package also provides (RunGLB).
+package bc
+
+import (
+	"fmt"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/rmat"
+)
+
+// Config describes one BC run.
+type Config struct {
+	// Graph are the R-MAT generator parameters.
+	Graph rmat.Params
+	// Sources bounds the number of source vertices processed (0 = all
+	// vertices, the full Brandes computation; the benchmark typically
+	// samples). Sources are the first vertices of the random permutation.
+	Sources int
+	// PermSeed drives the random vertex partition.
+	PermSeed uint64
+	// GLB tunes the balancer for RunGLB.
+	GLB glb.Config
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Vertices, Edges int
+	Sources         int
+	Seconds         float64
+	// EdgesPerSecond is the benchmark metric: edge traversals per second
+	// (sources x edges x 2 / time, both BFS directions counted once).
+	EdgesPerSecond float64
+	// Centrality holds the accumulated betweenness scores.
+	Centrality []float64
+}
+
+// Run executes the static-partition variant.
+func Run(rt *core.Runtime, cfg Config) (Result, error) {
+	g := rmat.Generate(cfg.Graph)
+	perm := permutation(g.N, cfg.PermSeed)
+	sources := cfg.Sources
+	if sources <= 0 || sources > g.N {
+		sources = g.N
+	}
+	places := rt.NumPlaces()
+
+	// Replicate per-place accumulation buffers; the graph itself is a
+	// shared read-only structure (replication is free in-process).
+	partials := make([][]float64, places)
+	var seconds float64
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		start := time.Now()
+		err := ctx.FinishPragma(core.PatternSPMD, func(cs *core.Ctx) {
+			for _, p := range cs.Places() {
+				p := p
+				cs.AtAsync(p, func(cc *core.Ctx) {
+					// This place's sources: a strided share of the random
+					// permutation prefix.
+					bcLocal := make([]float64, g.N)
+					ws := newWorkspace(g.N)
+					for s := int(p); s < sources; s += places {
+						brandesSource(g, perm[s], bcLocal, ws)
+					}
+					partials[p] = bcLocal
+				})
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		seconds = time.Since(start).Seconds()
+	})
+	if rerr != nil {
+		return Result{}, fmt.Errorf("bc: %w", rerr)
+	}
+	centrality := make([]float64, g.N)
+	for _, part := range partials {
+		for v, x := range part {
+			centrality[v] += x
+		}
+	}
+	return Result{
+		Vertices: g.N, Edges: g.NumEdges(), Sources: sources,
+		Seconds:        seconds,
+		EdgesPerSecond: float64(sources) * float64(len(g.Adj)) / seconds,
+		Centrality:     centrality,
+	}, nil
+}
+
+// sourceBag is the GLB task bag for the dynamic variant: an interval of
+// source indices into the permutation, plus this place's partial
+// centrality accumulator.
+type sourceBag struct {
+	g       *rmat.Graph
+	perm    []int32
+	lo, hi  int
+	extra   [][2]int // merged loot intervals
+	bc      []float64
+	ws      *workspace
+	Sources int64 // processed source count
+}
+
+func (b *sourceBag) Process(quantum int) int {
+	done := 0
+	for done < quantum {
+		s, ok := b.pop()
+		if !ok {
+			break
+		}
+		brandesSource(b.g, b.perm[s], b.bc, b.ws)
+		b.Sources++
+		done++
+	}
+	return done
+}
+
+func (b *sourceBag) pop() (int, bool) {
+	if b.lo < b.hi {
+		s := b.lo
+		b.lo++
+		return s, true
+	}
+	for len(b.extra) > 0 {
+		iv := &b.extra[len(b.extra)-1]
+		if iv[0] < iv[1] {
+			s := iv[0]
+			iv[0]++
+			return s, true
+		}
+		b.extra = b.extra[:len(b.extra)-1]
+	}
+	return 0, false
+}
+
+func (b *sourceBag) Size() int64 {
+	n := int64(b.hi - b.lo)
+	for _, iv := range b.extra {
+		n += int64(iv[1] - iv[0])
+	}
+	return n
+}
+
+func (b *sourceBag) Split() glb.TaskBag {
+	if b.Size() < 2 {
+		return nil
+	}
+	loot := &sourceBag{g: b.g, perm: b.perm}
+	if half := (b.hi - b.lo) / 2; half > 0 {
+		loot.lo, loot.hi = b.hi-half, b.hi
+		b.hi -= half
+		return loot
+	}
+	// Main interval exhausted: hand over half of the last extra.
+	iv := &b.extra[len(b.extra)-1]
+	half := (iv[1] - iv[0]) / 2
+	loot.lo, loot.hi = iv[1]-half, iv[1]
+	iv[1] -= half
+	return loot
+}
+
+func (b *sourceBag) Merge(loot glb.TaskBag) {
+	lb := loot.(*sourceBag)
+	if lb.lo < lb.hi {
+		b.extra = append(b.extra, [2]int{lb.lo, lb.hi})
+	}
+	b.extra = append(b.extra, lb.extra...)
+	b.Sources += lb.Sources
+}
+
+// RunGLB executes the dynamically balanced variant: the source vertices
+// form a GLB task bag, so places that drew expensive sources shed work to
+// idle ones — the refinement the paper reports as "the resulting code has
+// better efficiency".
+func RunGLB(rt *core.Runtime, cfg Config) (Result, error) {
+	g := rmat.Generate(cfg.Graph)
+	perm := permutation(g.N, cfg.PermSeed)
+	sources := cfg.Sources
+	if sources <= 0 || sources > g.N {
+		sources = g.N
+	}
+	places := rt.NumPlaces()
+
+	bags := make([]*sourceBag, places)
+	bal := glb.New(rt, cfg.GLB, func(p core.Place) glb.TaskBag {
+		// Initial static split of the source range; GLB rebalances.
+		lo := int(p) * sources / places
+		hi := (int(p) + 1) * sources / places
+		b := &sourceBag{g: g, perm: perm, lo: lo, hi: hi,
+			bc: make([]float64, g.N), ws: newWorkspace(g.N)}
+		bags[p] = b
+		return b
+	})
+	var seconds float64
+	start := time.Now()
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		if err := bal.Run(ctx); err != nil {
+			panic(err)
+		}
+	})
+	seconds = time.Since(start).Seconds()
+	if rerr != nil {
+		return Result{}, fmt.Errorf("bc: %w", rerr)
+	}
+	centrality := make([]float64, g.N)
+	for _, b := range bags {
+		for v, x := range b.bc {
+			centrality[v] += x
+		}
+	}
+	return Result{
+		Vertices: g.N, Edges: g.NumEdges(), Sources: sources,
+		Seconds:        seconds,
+		EdgesPerSecond: float64(sources) * float64(len(g.Adj)) / seconds,
+		Centrality:     centrality,
+	}, nil
+}
+
+// workspace holds Brandes per-source scratch, reused across sources.
+type workspace struct {
+	sigma []float64
+	dist  []int32
+	delta []float64
+	queue []int32
+	stack []int32
+}
+
+func newWorkspace(n int) *workspace {
+	return &workspace{
+		sigma: make([]float64, n),
+		dist:  make([]int32, n),
+		delta: make([]float64, n),
+		queue: make([]int32, 0, n),
+		stack: make([]int32, 0, n),
+	}
+}
+
+// brandesSource accumulates source s's contribution to bc (Brandes 2001,
+// unweighted): BFS computing shortest-path counts, then dependency
+// accumulation in reverse BFS order.
+func brandesSource(g *rmat.Graph, s int32, bc []float64, ws *workspace) {
+	for i := range ws.dist {
+		ws.dist[i] = -1
+		ws.sigma[i] = 0
+		ws.delta[i] = 0
+	}
+	ws.queue = ws.queue[:0]
+	ws.stack = ws.stack[:0]
+
+	ws.dist[s] = 0
+	ws.sigma[s] = 1
+	ws.queue = append(ws.queue, s)
+	for qi := 0; qi < len(ws.queue); qi++ {
+		v := ws.queue[qi]
+		ws.stack = append(ws.stack, v)
+		for _, w := range g.Neighbors(v) {
+			if ws.dist[w] < 0 {
+				ws.dist[w] = ws.dist[v] + 1
+				ws.queue = append(ws.queue, w)
+			}
+			if ws.dist[w] == ws.dist[v]+1 {
+				ws.sigma[w] += ws.sigma[v]
+			}
+		}
+	}
+	for i := len(ws.stack) - 1; i >= 0; i-- {
+		w := ws.stack[i]
+		for _, v := range g.Neighbors(w) {
+			if ws.dist[v] == ws.dist[w]-1 {
+				ws.delta[v] += ws.sigma[v] / ws.sigma[w] * (1 + ws.delta[w])
+			}
+		}
+		if w != s {
+			bc[w] += ws.delta[w]
+		}
+	}
+}
+
+// Sequential computes the exact centrality on one goroutine (the test
+// oracle).
+func Sequential(cfg Config) []float64 {
+	g := rmat.Generate(cfg.Graph)
+	perm := permutation(g.N, cfg.PermSeed)
+	sources := cfg.Sources
+	if sources <= 0 || sources > g.N {
+		sources = g.N
+	}
+	bc := make([]float64, g.N)
+	ws := newWorkspace(g.N)
+	for s := 0; s < sources; s++ {
+		brandesSource(g, perm[s], bc, ws)
+	}
+	return bc
+}
+
+// permutation returns a seeded random permutation of [0, n) — the random
+// vertex partition that "mitigates the imbalance, but only to a degree".
+func permutation(n int, seed uint64) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	s := seed ^ 0x2545f4914f6cdd1d
+	for i := n - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,164 @@
+package bc
+
+import (
+	"math"
+	"testing"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/rmat"
+)
+
+func cfgSmall() Config {
+	return Config{
+		Graph:    rmat.Params{Scale: 7, EdgeFactor: 6, Seed: 11},
+		PermSeed: 5,
+	}
+}
+
+func maxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestStaticMatchesSequential(t *testing.T) {
+	cfg := cfgSmall()
+	want := Sequential(cfg)
+	for _, places := range []int{1, 2, 4} {
+		rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(rt, cfg)
+		rt.Close()
+		if err != nil {
+			t.Fatalf("places=%d: %v", places, err)
+		}
+		if d := maxDiff(res.Centrality, want); d > 1e-6 {
+			t.Errorf("places=%d: centrality differs by %g", places, d)
+		}
+		if res.EdgesPerSecond <= 0 {
+			t.Errorf("places=%d: rate %v", places, res.EdgesPerSecond)
+		}
+	}
+}
+
+func TestGLBMatchesSequential(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.GLB = glb.Config{Quantum: 4}
+	want := Sequential(cfg)
+	for _, places := range []int{1, 4} {
+		rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunGLB(rt, cfg)
+		rt.Close()
+		if err != nil {
+			t.Fatalf("places=%d: %v", places, err)
+		}
+		if d := maxDiff(res.Centrality, want); d > 1e-6 {
+			t.Errorf("places=%d: GLB centrality differs by %g", places, d)
+		}
+	}
+}
+
+func TestSourceSampling(t *testing.T) {
+	cfg := cfgSmall()
+	cfg.Sources = 10
+	rt, err := core.NewRuntime(core.Config{Places: 2, CheckPatterns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sources != 10 {
+		t.Errorf("Sources = %d", res.Sources)
+	}
+	want := Sequential(cfg)
+	if d := maxDiff(res.Centrality, want); d > 1e-6 {
+		t.Errorf("sampled centrality differs by %g", d)
+	}
+}
+
+// TestBrandesStarGraph checks centrality on a graph with a known answer
+// built by driving the generator aside: verify via Sequential on a tiny
+// R-MAT and cross-check basic properties instead (center of mass).
+func TestCentralityProperties(t *testing.T) {
+	cfg := cfgSmall()
+	cent := Sequential(cfg)
+	g := rmat.Generate(cfg.Graph)
+	for v, x := range cent {
+		if x < 0 {
+			t.Fatalf("negative centrality at %d: %v", v, x)
+		}
+		if g.Degree(v) == 0 && x != 0 {
+			t.Fatalf("isolated vertex %d has centrality %v", v, x)
+		}
+	}
+	// Undirected Brandes without normalization counts each pair twice;
+	// total centrality equals sum over pairs of (path-interior vertices),
+	// which must be positive for a connected-enough graph.
+	total := 0.0
+	for _, x := range cent {
+		total += x
+	}
+	if total <= 0 {
+		t.Error("zero total centrality")
+	}
+}
+
+func TestPermutationIsPermutation(t *testing.T) {
+	p := permutation(100, 7)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	q := permutation(100, 8)
+	same := true
+	for i := range p {
+		if p[i] != q[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical permutations")
+	}
+}
+
+// TestSourceBagSplitConservation: bag splitting preserves the source set.
+func TestSourceBagSplitConservation(t *testing.T) {
+	g := rmat.Generate(rmat.Params{Scale: 5, Seed: 1})
+	perm := permutation(g.N, 2)
+	b := &sourceBag{g: g, perm: perm, lo: 0, hi: 20,
+		bc: make([]float64, g.N), ws: newWorkspace(g.N)}
+	b.Process(3)
+	loot := b.Split().(*sourceBag)
+	loot.bc = make([]float64, g.N)
+	loot.ws = newWorkspace(g.N)
+	total := b.Size() + loot.Size()
+	if total != 17 {
+		t.Fatalf("sources after split = %d, want 17", total)
+	}
+	for b.Process(100) > 0 {
+	}
+	for loot.Process(100) > 0 {
+	}
+	// All 20 sources processed exactly once: 3 before the split plus the
+	// 17 split across the two bags.
+	if b.Sources+loot.Sources != 20 {
+		t.Fatalf("processed %d, want 20", b.Sources+loot.Sources)
+	}
+}

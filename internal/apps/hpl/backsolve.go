@@ -1,0 +1,93 @@
+package hpl
+
+import (
+	"apgas/internal/collectives"
+	"apgas/internal/core"
+)
+
+// This file implements the distributed back substitution: after the
+// factorization, [A|b] holds U in its upper triangle and the transformed
+// right-hand side in column N; U x = y is solved bottom-up by block rows.
+// For block k (owned by process row prK, with its diagonal block at
+// process column pcK):
+//
+//  1. every place in row prK reduces its local partial sum
+//     sum_{j > k-block} U_kj * x_j (the b-column owner folds in -b_k)
+//     to the pcK member with a row-team reduce;
+//  2. the (prK, pcK) place solves the local nbk x nbk triangular system;
+//  3. x_k travels to the whole grid with a row-team broadcast along prK
+//     followed by column-team broadcasts.
+//
+// Every place ends with the full solution vector, so verification needs no
+// gather. The paper's own solve phase is the same reduce/solve/broadcast
+// pipeline over its teams.
+
+// solveDistributed runs at every place inside the SPMD region and returns
+// the full solution vector.
+func solveDistributed(ctx *core.Ctx, d Dist, me *local,
+	rowTeams, colTeams []*collectives.Team) []float64 {
+
+	rowTeam := rowTeams[me.pr]
+	colTeam := colTeams[me.pc]
+	nBlocks := (d.N + d.NB - 1) / d.NB
+	x := make([]float64, d.N)
+
+	for k := nBlocks - 1; k >= 0; k-- {
+		gk := k * d.NB
+		nbk := d.NB
+		if gk+nbk > d.N {
+			nbk = d.N - gk
+		}
+		prK := k % d.P
+		pcK := k % d.Q
+
+		var xk []float64
+		if me.pr == prK {
+			// Partial sums over this place's columns beyond block k.
+			partial := make([]float64, nbk)
+			lrK := d.LocalRow(gk)
+			for lc := d.FirstLocalColAtOrAfter(me.pc, gk+nbk); lc < me.lcols; lc++ {
+				gj := d.GlobalCol(me.pc, lc)
+				if gj >= d.N {
+					// The b column: fold in -b_k.
+					for r := 0; r < nbk; r++ {
+						partial[r] -= me.row(lrK + r)[lc]
+					}
+					continue
+				}
+				xj := x[gj]
+				if xj == 0 {
+					continue
+				}
+				for r := 0; r < nbk; r++ {
+					partial[r] += me.row(lrK + r)[lc] * xj
+				}
+			}
+			total := collectives.Reduce(rowTeam, ctx, pcK, partial,
+				func(a, b float64) float64 { return a + b })
+			if me.pc == pcK {
+				// total[r] = sum_j U_kj x_j - b_k; solve
+				// U_kk x_k = -(total) in place.
+				xk = make([]float64, nbk)
+				ljK := d.LocalCol(gk)
+				for r := nbk - 1; r >= 0; r-- {
+					s := -total[r]
+					row := me.row(lrK + r)
+					for c := r + 1; c < nbk; c++ {
+						s -= row[ljK+c] * xk[c]
+					}
+					diag := row[ljK+r]
+					if diag != 0 {
+						xk[r] = s / diag
+					}
+				}
+			}
+			// Row broadcast so every process column of row prK has x_k.
+			xk = collectives.Broadcast(rowTeam, ctx, pcK, xk)
+		}
+		// Column broadcast down from the prK member to the whole grid.
+		xk = collectives.Broadcast(colTeam, ctx, prK, xk)
+		copy(x[gk:gk+nbk], xk)
+	}
+	return x
+}

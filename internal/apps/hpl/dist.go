@@ -1,0 +1,126 @@
+// Package hpl implements the Global HPL benchmark of §5.1: a distributed
+// right-looking LU factorization with row-partial pivoting, a
+// two-dimensional block-cyclic data distribution, and a recursive panel
+// factorization, solving the dense linear system [A|b] and measuring
+// Gflop/s. The communication idioms follow the paper's X10 code:
+// asynchronous array copies (wrapped in FINISH_ASYNC / FINISH_HERE-shaped
+// round trips) for row fetches and swaps, and teams for barriers, row and
+// column broadcasts, and the pivot search.
+package hpl
+
+import "fmt"
+
+// Dist describes a two-dimensional block-cyclic distribution of an
+// N x Ncols matrix over a P x Q process grid with block size NB. Global
+// block (I, J) lives at grid position (I mod P, J mod Q); the place of
+// grid position (pr, pc) is pr*Q + pc.
+type Dist struct {
+	N     int // global rows
+	Ncols int // global columns (N+1 with the appended b column)
+	NB    int
+	P, Q  int
+}
+
+// RowOwner returns the process row owning global row gi.
+func (d Dist) RowOwner(gi int) int { return (gi / d.NB) % d.P }
+
+// ColOwner returns the process column owning global column gj.
+func (d Dist) ColOwner(gj int) int { return (gj / d.NB) % d.Q }
+
+// LocalRow maps a global row to its local index at its owner.
+func (d Dist) LocalRow(gi int) int { return (gi/d.NB/d.P)*d.NB + gi%d.NB }
+
+// LocalCol maps a global column to its local index at its owner.
+func (d Dist) LocalCol(gj int) int { return (gj/d.NB/d.Q)*d.NB + gj%d.NB }
+
+// GlobalRow maps a local row index at process row pr back to the global
+// row.
+func (d Dist) GlobalRow(pr, lr int) int {
+	return (lr/d.NB*d.P+pr)*d.NB + lr%d.NB
+}
+
+// GlobalCol maps a local column index at process column pc back to the
+// global column.
+func (d Dist) GlobalCol(pc, lc int) int {
+	return (lc/d.NB*d.Q+pc)*d.NB + lc%d.NB
+}
+
+// LocalRows returns the number of global rows owned by process row pr.
+func (d Dist) LocalRows(pr int) int { return localCount(d.N, d.NB, d.P, pr) }
+
+// LocalCols returns the number of global columns owned by process
+// column pc.
+func (d Dist) LocalCols(pc int) int { return localCount(d.Ncols, d.NB, d.Q, pc) }
+
+// localCount counts indices in [0, n) whose block (index/nb) mod p == r.
+func localCount(n, nb, p, r int) int {
+	cnt := 0
+	for b := r; b*nb < n; b += p {
+		size := nb
+		if b*nb+size > n {
+			size = n - b*nb
+		}
+		cnt += size
+	}
+	return cnt
+}
+
+// FirstLocalRowAtOrAfter returns the smallest local row index at process
+// row pr whose global row is >= g, or LocalRows(pr) if none.
+func (d Dist) FirstLocalRowAtOrAfter(pr, g int) int {
+	lrows := d.LocalRows(pr)
+	lo, hi := 0, lrows
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.GlobalRow(pr, mid) >= g {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// FirstLocalColAtOrAfter is the column analogue.
+func (d Dist) FirstLocalColAtOrAfter(pc, g int) int {
+	lcols := d.LocalCols(pc)
+	lo, hi := 0, lcols
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.GlobalCol(pc, mid) >= g {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Validate checks the distribution parameters.
+func (d Dist) Validate() error {
+	switch {
+	case d.N <= 0 || d.Ncols <= 0:
+		return fmt.Errorf("hpl: bad dims %dx%d", d.N, d.Ncols)
+	case d.NB <= 0:
+		return fmt.Errorf("hpl: bad block size %d", d.NB)
+	case d.P <= 0 || d.Q <= 0:
+		return fmt.Errorf("hpl: bad grid %dx%d", d.P, d.Q)
+	}
+	return nil
+}
+
+// ChooseGrid picks the process grid for a place count the way the paper's
+// runs did: as close to square as possible, with Q = P for even powers of
+// two and Q = 2P for odd powers — the origin of the seesaw in the HPL
+// efficiency curve ("an artifact of the switch from an n*n to a 2n*n
+// block cyclic distribution for even and odd powers of two").
+func ChooseGrid(places int) (p, q int) {
+	p = 1
+	for (p+1)*(p+1) <= places {
+		p++
+	}
+	for places%p != 0 {
+		p--
+	}
+	return p, places / p
+}

@@ -1,0 +1,297 @@
+package hpl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apgas/internal/collectives"
+	"apgas/internal/core"
+)
+
+func TestDistMappingRoundTrip(t *testing.T) {
+	f := func(nRaw, nbRaw, pRaw, qRaw uint8) bool {
+		d := Dist{
+			N:  int(nRaw)%200 + 1,
+			NB: int(nbRaw)%16 + 1,
+			P:  int(pRaw)%4 + 1,
+			Q:  int(qRaw)%4 + 1,
+		}
+		d.Ncols = d.N + 1
+		total := 0
+		for pr := 0; pr < d.P; pr++ {
+			total += d.LocalRows(pr)
+		}
+		if total != d.N {
+			return false
+		}
+		total = 0
+		for pc := 0; pc < d.Q; pc++ {
+			total += d.LocalCols(pc)
+		}
+		if total != d.Ncols {
+			return false
+		}
+		for gi := 0; gi < d.N; gi++ {
+			pr := d.RowOwner(gi)
+			if d.GlobalRow(pr, d.LocalRow(gi)) != gi {
+				return false
+			}
+		}
+		for gj := 0; gj < d.Ncols; gj++ {
+			pc := d.ColOwner(gj)
+			if d.GlobalCol(pc, d.LocalCol(gj)) != gj {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstLocalRowAtOrAfter(t *testing.T) {
+	d := Dist{N: 100, Ncols: 101, NB: 8, P: 3, Q: 2}
+	for pr := 0; pr < d.P; pr++ {
+		for g := 0; g <= d.N; g++ {
+			got := d.FirstLocalRowAtOrAfter(pr, g)
+			// Brute force.
+			want := d.LocalRows(pr)
+			for lr := 0; lr < d.LocalRows(pr); lr++ {
+				if d.GlobalRow(pr, lr) >= g {
+					want = lr
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("pr=%d g=%d: got %d want %d", pr, g, got, want)
+			}
+		}
+	}
+}
+
+func TestChooseGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		2:  {1, 2},
+		4:  {2, 2},
+		8:  {2, 4},
+		16: {4, 4},
+		32: {4, 8},
+		64: {8, 8},
+		6:  {2, 3},
+	}
+	for places, want := range cases {
+		p, q := ChooseGrid(places)
+		if p != want[0] || q != want[1] {
+			t.Errorf("ChooseGrid(%d) = %dx%d, want %dx%d", places, p, q, want[0], want[1])
+		}
+		if p*q != places {
+			t.Errorf("ChooseGrid(%d) = %dx%d does not cover", places, p, q)
+		}
+	}
+}
+
+func TestElementReproducibleAndBounded(t *testing.T) {
+	f := func(seed uint64, i, j uint16) bool {
+		v := element(seed, int(i), int(j))
+		return v == element(seed, int(i), int(j)) && v >= -0.5 && v < 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if element(1, 2, 3) == element(1, 3, 2) {
+		t.Error("element not index-sensitive")
+	}
+}
+
+func runHPL(t *testing.T, places int, cfg Config) Result {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatalf("hpl.Run: %v", err)
+	}
+	return res
+}
+
+func TestSolveSinglePlace(t *testing.T) {
+	res := runHPL(t, 1, Config{N: 64, NB: 8, Seed: 42})
+	if res.Residual > 16 {
+		t.Errorf("residual = %g, want < 16", res.Residual)
+	}
+	if res.Gflops <= 0 || res.Seconds <= 0 {
+		t.Errorf("bad perf numbers: %+v", res)
+	}
+}
+
+func TestSolveGrids(t *testing.T) {
+	cases := []struct {
+		places, p, q, n, nb int
+	}{
+		{2, 1, 2, 48, 8},
+		{2, 2, 1, 48, 8},
+		{4, 2, 2, 64, 8},
+		{4, 4, 1, 64, 16},
+		{6, 2, 3, 60, 8},
+		{8, 2, 4, 96, 16},
+	}
+	for _, c := range cases {
+		res := runHPL(t, c.places, Config{N: c.n, NB: c.nb, P: c.p, Q: c.q, Seed: 7})
+		if res.Residual > 16 {
+			t.Errorf("grid %dx%d N=%d: residual = %g, want < 16", c.p, c.q, c.n, res.Residual)
+		}
+	}
+}
+
+func TestSolveRaggedBlocks(t *testing.T) {
+	// N not divisible by NB: exercises partial trailing blocks.
+	res := runHPL(t, 4, Config{N: 53, NB: 8, P: 2, Q: 2, Seed: 3})
+	if res.Residual > 16 {
+		t.Errorf("ragged: residual = %g", res.Residual)
+	}
+}
+
+func TestSolveEmulatedCollectives(t *testing.T) {
+	res := runHPL(t, 4, Config{N: 48, NB: 8, P: 2, Q: 2, Seed: 5, Mode: collectives.ModeEmulated})
+	if res.Residual > 16 {
+		t.Errorf("emulated: residual = %g", res.Residual)
+	}
+}
+
+func TestSolveBigBlocks(t *testing.T) {
+	// NB > N/grid: some places own nothing in some phases.
+	res := runHPL(t, 4, Config{N: 32, NB: 16, P: 2, Q: 2, Seed: 11})
+	if res.Residual > 16 {
+		t.Errorf("big blocks: residual = %g", res.Residual)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := Run(rt, Config{N: 32, NB: 8, P: 3, Q: 3}); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+	if _, err := Run(rt, Config{N: 0, NB: 8}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Run(rt, Config{N: 32, NB: 0}); err == nil {
+		t.Error("NB=0 accepted")
+	}
+}
+
+// TestSolveMatchesDenseLU cross-checks the distributed solve against a
+// plain dense LU on the same generated matrix via the residual (the
+// residual uses only the regenerated A and the distributed x, so a small
+// value certifies agreement).
+func TestSolveManySeedsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rt, err := core.NewRuntime(core.Config{Places: 4, CheckPatterns: true})
+		if err != nil {
+			return false
+		}
+		defer rt.Close()
+		res, err := Run(rt, Config{N: 40, NB: 8, P: 2, Q: 2, Seed: seed})
+		return err == nil && res.Residual < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedSolveMatchesGathered cross-checks the distributed back
+// substitution against the single-place gathered oracle.
+func TestDistributedSolveMatchesGathered(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 6, CheckPatterns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	cfg := Config{N: 60, NB: 8, P: 2, Q: 3, Seed: 9}
+	d := Dist{N: cfg.N, Ncols: cfg.N + 1, NB: cfg.NB, P: cfg.P, Q: cfg.Q}
+
+	rowTeams := make([]*collectives.Team, cfg.P)
+	for pr := 0; pr < cfg.P; pr++ {
+		members := make([]core.Place, cfg.Q)
+		for pc := 0; pc < cfg.Q; pc++ {
+			members[pc] = core.Place(pr*cfg.Q + pc)
+		}
+		g, _ := core.NewPlaceGroup(members)
+		rowTeams[pr] = collectives.New(rt, g, cfg.Mode)
+	}
+	colTeams := make([]*collectives.Team, cfg.Q)
+	for pc := 0; pc < cfg.Q; pc++ {
+		members := make([]core.Place, cfg.P)
+		for pr := 0; pr < cfg.P; pr++ {
+			members[pr] = core.Place(pr*cfg.Q + pc)
+		}
+		g, _ := core.NewPlaceGroup(members)
+		colTeams[pc] = collectives.New(rt, g, cfg.Mode)
+	}
+	locals := core.NewPlaceLocal(rt, func(p core.Place) *local {
+		pr, pc := int(p)/cfg.Q, int(p)%cfg.Q
+		l := &local{pr: pr, pc: pc, lrows: d.LocalRows(pr), lcols: d.LocalCols(pc)}
+		l.a = make([]float64, l.lrows*l.lcols)
+		for lr := 0; lr < l.lrows; lr++ {
+			gi := d.GlobalRow(pr, lr)
+			row := l.row(lr)
+			for lc := 0; lc < l.lcols; lc++ {
+				row[lc] = element(cfg.Seed, gi, d.GlobalCol(pc, lc))
+			}
+		}
+		return l
+	})
+
+	var distX []float64
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		if err := core.WorldGroup(rt).Broadcast(ctx, func(c *core.Ctx) { locals.Get(c) }); err != nil {
+			panic(err)
+		}
+		err := ctx.FinishPragma(core.PatternSPMD, func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *core.Ctx) {
+					me := locals.Get(cc)
+					factor(cc, d, cfg, me, locals, rowTeams, colTeams)
+					x := solveDistributed(cc, d, me, rowTeams, colTeams)
+					if cc.Place() == 0 {
+						distX = x
+					}
+				})
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	if rerr != nil {
+		t.Fatalf("Run: %v", rerr)
+	}
+	wantX := gatheredSolve(d, locals)
+	for i := range wantX {
+		diff := distX[i] - wantX[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9*(1+absf(wantX[i])) {
+			t.Fatalf("x[%d] = %v, gathered %v", i, distX[i], wantX[i])
+		}
+	}
+	if r := residual(cfg, distX); r > 16 {
+		t.Fatalf("distributed solve residual %g", r)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,27 @@
+package hpl
+
+import (
+	"fmt"
+	"testing"
+
+	"apgas/internal/core"
+)
+
+func TestProbePerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, c := range []struct{ places, n, nb int }{{1, 256, 32}, {4, 512, 32}, {8, 512, 32}} {
+		rt, err := core.NewRuntime(core.Config{Places: c.places})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(rt, Config{N: c.n, NB: c.nb, Seed: 1})
+		rt.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("places=%d grid=%dx%d N=%d: %.3fs %.2f Gflop/s resid=%.3g\n",
+			c.places, res.P, res.Q, c.n, res.Seconds, res.Gflops, res.Residual)
+	}
+}

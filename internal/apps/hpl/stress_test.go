@@ -1,0 +1,32 @@
+package hpl
+
+import (
+	"testing"
+
+	"apgas/internal/core"
+)
+
+// TestSolveRepeatedRaceRegression repeats the configuration that once
+// exposed a missing entry barrier in applyPivots (the pivot coordinator
+// read rows from column peers still running the previous iteration's
+// trailing update). Kept as a regression stressor.
+func TestSolveRepeatedRaceRegression(t *testing.T) {
+	reps := 10
+	if testing.Short() {
+		reps = 3
+	}
+	for i := 0; i < reps; i++ {
+		rt, err := core.NewRuntime(core.Config{Places: 8, CheckPatterns: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(rt, Config{N: 192, NB: 16, P: 2, Q: 4, Seed: 1})
+		rt.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Residual > 16 {
+			t.Fatalf("rep %d: residual %g", i, res.Residual)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"apgas/internal/collectives"
+	"apgas/internal/core"
+)
+
+func runKM(t *testing.T, places int, cfg Config) Result {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestMatchesSequential(t *testing.T) {
+	cfg := Config{PointsPerPlace: 500, Clusters: 16, Dim: 4, Iterations: 5, Seed: 9}
+	for _, places := range []int{1, 2, 4} {
+		res := runKM(t, places, cfg)
+		wantCent, wantDist := Sequential(cfg, places)
+		if math.Abs(res.Distortion-wantDist) > 1e-9*(1+wantDist) {
+			t.Errorf("places=%d: distortion %v, sequential %v", places, res.Distortion, wantDist)
+		}
+		for i := range wantCent {
+			if math.Abs(res.Centroids[i]-wantCent[i]) > 1e-9 {
+				t.Errorf("places=%d: centroid[%d] = %v, want %v",
+					places, i, res.Centroids[i], wantCent[i])
+				break
+			}
+		}
+	}
+}
+
+func TestEmulatedCollectives(t *testing.T) {
+	cfg := Config{PointsPerPlace: 300, Clusters: 8, Dim: 3, Iterations: 3, Seed: 4,
+		Mode: collectives.ModeEmulated}
+	res := runKM(t, 4, cfg)
+	_, wantDist := Sequential(cfg, 4)
+	if math.Abs(res.Distortion-wantDist) > 1e-9*(1+wantDist) {
+		t.Errorf("distortion %v, want %v", res.Distortion, wantDist)
+	}
+}
+
+func TestDistortionDecreases(t *testing.T) {
+	// Lloyd's algorithm: more iterations cannot increase distortion.
+	base := Config{PointsPerPlace: 400, Clusters: 10, Dim: 5, Seed: 21}
+	var prev float64 = math.Inf(1)
+	for _, iters := range []int{1, 3, 6} {
+		cfg := base
+		cfg.Iterations = iters
+		_, dist := Sequential(cfg, 2)
+		if dist > prev+1e-12 {
+			t.Errorf("distortion increased: %v -> %v at %d iters", prev, dist, iters)
+		}
+		prev = dist
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for _, cfg := range []Config{
+		{Clusters: 4, Dim: 2, Iterations: 1},
+		{PointsPerPlace: 10, Dim: 2, Iterations: 1},
+		{PointsPerPlace: 10, Clusters: 4, Iterations: 1},
+		{PointsPerPlace: 10, Clusters: 4, Dim: 2},
+	} {
+		if _, err := Run(rt, cfg); err == nil {
+			t.Errorf("bad config accepted: %+v", cfg)
+		}
+	}
+}
+
+func TestPointCoordStable(t *testing.T) {
+	if pointCoord(1, 2, 3) != pointCoord(1, 2, 3) {
+		t.Error("pointCoord not deterministic")
+	}
+	if v := pointCoord(1, 2, 3); v < 0 || v >= 1 {
+		t.Errorf("pointCoord out of range: %v", v)
+	}
+}

@@ -1,0 +1,222 @@
+// Package randomaccess implements Global RandomAccess (GUPS) from §5.1:
+// XOR updates to random locations of a table distributed across all
+// places. The implementation follows the paper's: the table lives in a
+// congruent (symmetric) array — the same handle addresses every place's
+// fragment, as congruent allocation guarantees on the Power 775 — and the
+// updates use the Torrent-style "GUPS" remote atomic XOR, batched with the
+// 1,024-update look-ahead the HPCC rules permit. Termination of all
+// in-flight updates is detected by a single enclosing finish.
+package randomaccess
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"apgas/internal/congruent"
+	"apgas/internal/core"
+)
+
+// poly is the HPCC RandomAccess LFSR polynomial; period is its cycle
+// length. The update stream is x_{i+1} = (x_i << 1) ^ (x_i high-bit ? poly
+// : 0), split across places with the Starts jump-ahead.
+const (
+	poly   = uint64(0x0000000000000007)
+	period = int64(1317624576693539401)
+)
+
+// next advances the LFSR by one step.
+func next(x uint64) uint64 {
+	v := x << 1
+	if int64(x) < 0 {
+		v ^= poly
+	}
+	return v
+}
+
+// Starts returns the n-th value of the HPCC RandomAccess pseudo-random
+// stream (jump-ahead by GF(2) matrix exponentiation), so each place can
+// generate its slice of the global update sequence independently.
+func Starts(n int64) uint64 {
+	for n < 0 {
+		n += period
+	}
+	for n > period {
+		n -= period
+	}
+	if n == 0 {
+		return 0x1
+	}
+	var m2 [64]uint64
+	temp := uint64(0x1)
+	for i := 0; i < 64; i++ {
+		m2[i] = temp
+		temp = next(next(temp))
+	}
+	i := 62
+	for ; i >= 0; i-- {
+		if (n>>uint(i))&1 == 1 {
+			break
+		}
+	}
+	ran := uint64(0x2)
+	for i > 0 {
+		temp = 0
+		for j := 0; j < 64; j++ {
+			if (ran>>uint(j))&1 == 1 {
+				temp ^= m2[j]
+			}
+		}
+		ran = temp
+		i--
+		if (n>>uint(i))&1 == 1 {
+			ran = next(ran)
+		}
+	}
+	return ran
+}
+
+// Config describes one RandomAccess run.
+type Config struct {
+	// Log2TablePerPlace sets each place's fragment to 1<<Log2TablePerPlace
+	// words (the paper used 2 GB per place; scale down for simulation).
+	Log2TablePerPlace int
+	// UpdatesPerWord is the update-to-table-size ratio (HPCC uses 4).
+	UpdatesPerWord int
+	// Batch is the look-ahead batch size (HPCC permits up to 1024).
+	Batch int
+	// Verify re-runs the update sequence and checks the table returns to
+	// its initial contents (the XOR involution check of the HPCC rules).
+	Verify bool
+}
+
+// Result is one run's outcome.
+type Result struct {
+	TableWords int64
+	Updates    int64
+	Seconds    float64
+	GUPs       float64 // giga-updates per second
+	Verified   bool
+	Errors     int64 // mismatched words after verification
+}
+
+// Run executes the benchmark on the runtime.
+func Run(rt *core.Runtime, cfg Config) (Result, error) {
+	places := rt.NumPlaces()
+	if places&(places-1) != 0 {
+		return Result{}, fmt.Errorf("randomaccess: places=%d must be a power of two", places)
+	}
+	if cfg.Log2TablePerPlace <= 0 {
+		return Result{}, fmt.Errorf("randomaccess: bad table size exponent %d", cfg.Log2TablePerPlace)
+	}
+	if cfg.UpdatesPerWord <= 0 {
+		cfg.UpdatesPerWord = 4
+	}
+	if cfg.Batch <= 0 || cfg.Batch > 1024 {
+		cfg.Batch = 1024
+	}
+	perPlace := 1 << cfg.Log2TablePerPlace
+	tableWords := int64(perPlace) * int64(places)
+	logTable := cfg.Log2TablePerPlace + bits.TrailingZeros(uint(places))
+	updates := tableWords * int64(cfg.UpdatesPerWord)
+
+	alloc := congruent.NewAllocator(rt)
+	table, err := congruent.NewArray[uint64](alloc, perPlace)
+	if err != nil {
+		return Result{}, err
+	}
+	// T[i] = i globally.
+	for p := 0; p < places; p++ {
+		frag := table.Fragment(core.Place(p))
+		base := uint64(p * perPlace)
+		for i := range frag {
+			frag[i] = base + uint64(i)
+		}
+	}
+
+	pass := func(ctx *core.Ctx) error {
+		return ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				p := p
+				c.AtAsync(p, func(cc *core.Ctx) {
+					updatePass(cc, table, int64(p), int64(places), updates, logTable,
+						cfg.Log2TablePerPlace, cfg.Batch)
+				})
+			}
+		})
+	}
+
+	var seconds float64
+	var errors int64
+	verified := false
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		start := time.Now()
+		if err := pass(ctx); err != nil {
+			panic(err)
+		}
+		seconds = time.Since(start).Seconds()
+		if cfg.Verify {
+			if err := pass(ctx); err != nil {
+				panic(err)
+			}
+			verified = true
+		}
+	})
+	if rerr != nil {
+		return Result{}, fmt.Errorf("randomaccess: %w", rerr)
+	}
+	if verified {
+		for p := 0; p < places; p++ {
+			frag := table.Fragment(core.Place(p))
+			base := uint64(p * perPlace)
+			for i := range frag {
+				if frag[i] != base+uint64(i) {
+					errors++
+				}
+			}
+		}
+	}
+	return Result{
+		TableWords: tableWords,
+		Updates:    updates,
+		Seconds:    seconds,
+		GUPs:       float64(updates) / seconds / 1e9,
+		Verified:   verified,
+		Errors:     errors,
+	}, nil
+}
+
+// updatePass runs one place's slice of the global update stream, batching
+// remote XORs per destination place.
+func updatePass(ctx *core.Ctx, table *congruent.Array[uint64], me, places, updates int64,
+	logTable, logPerPlace, batch int) {
+
+	myUpdates := updates / places
+	ran := Starts(me * myUpdates)
+	mask := (uint64(1) << uint(logTable)) - 1
+	idxMask := (uint64(1) << uint(logPerPlace)) - 1
+
+	pending := make([][]congruent.XorUpdate, places)
+	flush := func(dst int64) {
+		if len(pending[dst]) == 0 {
+			return
+		}
+		congruent.RemoteXorBatch(ctx, table, core.Place(dst), pending[dst])
+		pending[dst] = pending[dst][:0]
+	}
+	for i := int64(0); i < myUpdates; i++ {
+		ran = next(ran)
+		g := ran & mask
+		dst := int64(g >> uint(logPerPlace))
+		pending[dst] = append(pending[dst], congruent.XorUpdate{
+			Idx: int(g & idxMask),
+			Val: ran,
+		})
+		if len(pending[dst]) >= batch {
+			flush(dst)
+		}
+	}
+	for d := int64(0); d < places; d++ {
+		flush(d)
+	}
+}

@@ -1,0 +1,107 @@
+package randomaccess
+
+import (
+	"testing"
+
+	"apgas/internal/core"
+)
+
+func TestStartsMatchesSequentialStream(t *testing.T) {
+	// Starts(n) must equal n applications of next() to Starts(0).
+	x := Starts(0)
+	for n := int64(1); n <= 200; n++ {
+		x = next(x)
+		if got := Starts(n); got != x {
+			t.Fatalf("Starts(%d) = %#x, want %#x", n, got, x)
+		}
+	}
+}
+
+func TestStartsKnownValues(t *testing.T) {
+	if Starts(0) != 1 {
+		t.Errorf("Starts(0) = %#x, want 1", Starts(0))
+	}
+	// Negative arguments wrap around the period.
+	if Starts(-1) != Starts(period-1) {
+		t.Error("negative wrap broken")
+	}
+}
+
+func TestNextLFSR(t *testing.T) {
+	// The LFSR never gets stuck at zero when seeded with 1 and visits
+	// distinct values over a short horizon.
+	x := uint64(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		x = next(x)
+		if x == 0 {
+			t.Fatal("LFSR hit zero")
+		}
+		if seen[x] {
+			t.Fatalf("cycle after %d steps", i)
+		}
+		seen[x] = true
+	}
+}
+
+func runRA(t *testing.T, places int, cfg Config) Result {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestVerifiedUpdatesSinglePlace(t *testing.T) {
+	res := runRA(t, 1, Config{Log2TablePerPlace: 10, Verify: true})
+	if !res.Verified || res.Errors != 0 {
+		t.Fatalf("verification failed: %+v", res)
+	}
+	if res.Updates != 4*res.TableWords {
+		t.Errorf("updates = %d, want %d", res.Updates, 4*res.TableWords)
+	}
+	if res.GUPs <= 0 {
+		t.Errorf("GUPs = %v", res.GUPs)
+	}
+}
+
+func TestVerifiedUpdatesMultiPlace(t *testing.T) {
+	for _, places := range []int{2, 4, 8} {
+		res := runRA(t, places, Config{Log2TablePerPlace: 9, Verify: true})
+		if res.Errors != 0 {
+			t.Errorf("places=%d: %d verification errors", places, res.Errors)
+		}
+		if res.TableWords != int64(places)<<9 {
+			t.Errorf("places=%d: table %d words", places, res.TableWords)
+		}
+	}
+}
+
+func TestSmallBatches(t *testing.T) {
+	res := runRA(t, 4, Config{Log2TablePerPlace: 8, Batch: 7, Verify: true})
+	if res.Errors != 0 {
+		t.Fatalf("batch=7: %d errors", res.Errors)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := Run(rt, Config{Log2TablePerPlace: 8}); err == nil {
+		t.Error("non-power-of-two places accepted")
+	}
+	rt2, _ := core.NewRuntime(core.Config{Places: 2})
+	defer rt2.Close()
+	if _, err := Run(rt2, Config{Log2TablePerPlace: 0}); err == nil {
+		t.Error("zero table accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Package stream implements EP Stream (Triad) from §5.1: a scaled vector
+// sum a = b + alpha*c over per-place arrays, measuring sustainable local
+// memory bandwidth. As in the paper, "the main activity launches an
+// activity at every place using a PlaceGroup broadcast; these activities
+// then allocate and initialize the local arrays, perform the computation,
+// and verify the results" — with the backing storage drawn from the
+// congruent allocator's (modeled) large pages.
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"apgas/internal/congruent"
+	"apgas/internal/core"
+)
+
+// Config describes one Stream run.
+type Config struct {
+	// WordsPerPlace is each place's vector length (three vectors of this
+	// length are allocated; the paper used 1.5 GB per place).
+	WordsPerPlace int
+	// Iterations repeats the triad (timing uses the best... here: total).
+	Iterations int
+	// Alpha is the triad scalar (HPCC uses 3.0).
+	Alpha float64
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Places        int
+	Seconds       float64
+	GBs           float64 // aggregate bandwidth, GB/s
+	GBsPerPlace   float64
+	VerifyErrors  int64
+	BytesPerTriad int64
+}
+
+// Run executes the benchmark.
+func Run(rt *core.Runtime, cfg Config) (Result, error) {
+	if cfg.WordsPerPlace <= 0 {
+		return Result{}, fmt.Errorf("stream: bad WordsPerPlace %d", cfg.WordsPerPlace)
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 10
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 3.0
+	}
+	places := rt.NumPlaces()
+	alloc := congruent.NewAllocator(rt)
+	a, err := congruent.NewArray[float64](alloc, cfg.WordsPerPlace)
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := congruent.NewArray[float64](alloc, cfg.WordsPerPlace)
+	if err != nil {
+		return Result{}, err
+	}
+	cArr, err := congruent.NewArray[float64](alloc, cfg.WordsPerPlace)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var seconds float64
+	var verifyErrors atomic.Int64
+	group := core.WorldGroup(rt)
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		// Initialization pass (untimed).
+		if err := group.Broadcast(ctx, func(cc *core.Ctx) {
+			bl, cl := b.Local(cc), cArr.Local(cc)
+			for i := range bl {
+				bl[i] = 2.0
+				cl[i] = 0.5
+			}
+		}); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if err := group.Broadcast(ctx, func(cc *core.Ctx) {
+			al, bl, cl := a.Local(cc), b.Local(cc), cArr.Local(cc)
+			for it := 0; it < cfg.Iterations; it++ {
+				triad(al, bl, cl, cfg.Alpha)
+			}
+		}); err != nil {
+			panic(err)
+		}
+		seconds = time.Since(start).Seconds()
+		// Verification pass (untimed).
+		want := 2.0 + cfg.Alpha*0.5
+		if err := group.Broadcast(ctx, func(cc *core.Ctx) {
+			for _, v := range a.Local(cc) {
+				if v != want {
+					verifyErrors.Add(1)
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+	})
+	if rerr != nil {
+		return Result{}, fmt.Errorf("stream: %w", rerr)
+	}
+	bytesPerTriad := int64(3 * 8 * cfg.WordsPerPlace)
+	total := float64(bytesPerTriad) * float64(cfg.Iterations) * float64(places)
+	return Result{
+		Places:        places,
+		Seconds:       seconds,
+		GBs:           total / seconds / 1e9,
+		GBsPerPlace:   total / seconds / 1e9 / float64(places),
+		VerifyErrors:  verifyErrors.Load(),
+		BytesPerTriad: bytesPerTriad,
+	}, nil
+}
+
+// triad is the kernel: a = b + alpha*c.
+func triad(a, b, c []float64, alpha float64) {
+	for i := range a {
+		a[i] = b[i] + alpha*c[i]
+	}
+}

@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"testing"
+
+	"apgas/internal/core"
+)
+
+func runStream(t *testing.T, places int, cfg Config) Result {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestTriadVerifies(t *testing.T) {
+	for _, places := range []int{1, 2, 7} {
+		res := runStream(t, places, Config{WordsPerPlace: 1 << 12, Iterations: 3})
+		if res.VerifyErrors != 0 {
+			t.Errorf("places=%d: %d verify errors", places, res.VerifyErrors)
+		}
+		if res.GBs <= 0 || res.GBsPerPlace <= 0 {
+			t.Errorf("places=%d: bandwidth %v/%v", places, res.GBs, res.GBsPerPlace)
+		}
+		if res.Places != places {
+			t.Errorf("Places = %d", res.Places)
+		}
+		if res.BytesPerTriad != 3*8*(1<<12) {
+			t.Errorf("BytesPerTriad = %d", res.BytesPerTriad)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res := runStream(t, 1, Config{WordsPerPlace: 1024})
+	if res.VerifyErrors != 0 {
+		t.Fatalf("defaults: %d verify errors", res.VerifyErrors)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := Run(rt, Config{WordsPerPlace: 0}); err == nil {
+		t.Error("zero-length vectors accepted")
+	}
+}
+
+func TestTriadKernel(t *testing.T) {
+	a := make([]float64, 4)
+	b := []float64{1, 2, 3, 4}
+	c := []float64{10, 20, 30, 40}
+	triad(a, b, c, 0.5)
+	for i := range a {
+		if want := b[i] + 0.5*c[i]; a[i] != want {
+			t.Errorf("a[%d] = %v, want %v", i, a[i], want)
+		}
+	}
+}

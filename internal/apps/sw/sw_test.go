@@ -1,0 +1,115 @@
+package sw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apgas/internal/core"
+)
+
+func TestScoreKnownAlignments(t *testing.T) {
+	s := DefaultScoring()
+	cases := []struct {
+		q, tgt string
+		want   int32
+	}{
+		{"ACGT", "ACGT", 8},  // perfect match: 4 x 2
+		{"ACGT", "TTTT", 2},  // single T matches
+		{"AAAA", "CCCC", 0},  // nothing aligns
+		{"ACGT", "ACCGT", 7}, // one gap: 8 - 1... best local
+		{"GGG", "AGGGA", 6},  // interior match
+		{"A", "A", 2},
+		{"", "ACGT", 0},
+	}
+	for _, c := range cases {
+		if got := Score([]byte(c.q), []byte(c.tgt), s); got != c.want {
+			t.Errorf("Score(%q, %q) = %d, want %d", c.q, c.tgt, got, c.want)
+		}
+	}
+}
+
+func TestScoreSymmetryOfLocality(t *testing.T) {
+	// A local alignment score never decreases when the target is
+	// extended on either side.
+	s := DefaultScoring()
+	q := []byte("ACGTAC")
+	tgt := []byte("GGACGTACGG")
+	inner := Score(q, tgt[2:8], s)
+	outer := Score(q, tgt, s)
+	if outer < inner {
+		t.Errorf("extension reduced score: %d < %d", outer, inner)
+	}
+}
+
+func TestMaxAlignmentSpan(t *testing.T) {
+	if got := maxAlignmentSpan(100, DefaultScoring()); got != 300 {
+		t.Errorf("span = %d, want 300", got)
+	}
+	if got := maxAlignmentSpan(10, Scoring{Match: 1, Mismatch: -1, Gap: -2}); got != 10 {
+		t.Errorf("span = %d, want 10", got)
+	}
+}
+
+func runSW(t *testing.T, places int, cfg Config) Result {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	res, err := Run(rt, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	cfg := Config{QueryLen: 40, TargetPerPlace: 600, Seed: 13}
+	for _, places := range []int{1, 2, 4, 5} {
+		res := runSW(t, places, cfg)
+		want := SequentialBest(cfg, places)
+		if res.BestScore != want {
+			t.Errorf("places=%d: best %d, sequential %d", places, res.BestScore, want)
+		}
+		if res.Cells <= 0 || res.Seconds <= 0 {
+			t.Errorf("places=%d: bad accounting %+v", places, res)
+		}
+	}
+}
+
+// TestOverlapCatchesBoundaryAlignments: for random seeds the distributed
+// maximum equals the sequential one — in particular when the best
+// alignment straddles a fragment boundary.
+func TestOverlapCatchesBoundaryAlignments(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := Config{QueryLen: 24, TargetPerPlace: 200, Seed: seed}
+		rt, err := core.NewRuntime(core.Config{Places: 4, CheckPatterns: true})
+		if err != nil {
+			return false
+		}
+		defer rt.Close()
+		res, err := Run(rt, cfg)
+		if err != nil {
+			return false
+		}
+		return res.BestScore == SequentialBest(cfg, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := Run(rt, Config{TargetPerPlace: 10}); err == nil {
+		t.Error("zero query accepted")
+	}
+	if _, err := Run(rt, Config{QueryLen: 10}); err == nil {
+		t.Error("zero target accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package uts
+
+import (
+	"math"
+	"testing"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+)
+
+// binomialTree picks a subcritical configuration whose realized size is
+// deterministic per seed.
+func binomialTree(seed uint32) sha1rng.Binomial {
+	return sha1rng.Binomial{B0: 500, M: 2, Q: 0.48, Seed: seed}
+}
+
+func TestBinomialExpectedSize(t *testing.T) {
+	b := sha1rng.Binomial{B0: 100, M: 2, Q: 0.4}
+	if got := b.ExpectedSize(); math.Abs(got-(1+100/0.2)) > 1e-9 {
+		t.Errorf("ExpectedSize = %v, want 501", got)
+	}
+	crit := sha1rng.Binomial{B0: 1, M: 2, Q: 0.5}
+	if !math.IsInf(crit.ExpectedSize(), 1) {
+		t.Error("critical tree should have infinite expectation")
+	}
+}
+
+func TestBinomialTreeIsDeepAndNarrow(t *testing.T) {
+	// Walk the tree tracking depth: binomial trees have long thin chains,
+	// unlike the shallow geometric family.
+	tree := binomialTree(19)
+	type frame struct {
+		d     sha1rng.Descriptor
+		depth int
+	}
+	maxDepth := 0
+	nodes := 0
+	stack := []frame{{sha1rng.Root(tree.Seed), 0}}
+	for len(stack) > 0 && nodes < 2_000_000 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if f.depth > maxDepth {
+			maxDepth = f.depth
+		}
+		m := tree.NumChildren(f.d, f.depth)
+		for i := 0; i < m; i++ {
+			stack = append(stack, frame{sha1rng.Child(f.d, uint32(i)), f.depth + 1})
+		}
+	}
+	geo := sha1rng.Geometric{B0: 4, Depth: 12, Seed: 19}
+	geoNodes, _ := geo.CountSequential()
+	// The binomial tree must be much deeper relative to its size.
+	if maxDepth < 30 {
+		t.Errorf("binomial max depth = %d, expected a deep tree", maxDepth)
+	}
+	t.Logf("binomial: %d nodes depth %d; geometric: %d nodes depth 12", nodes, maxDepth, geoNodes)
+}
+
+func TestBinomialDistributedMatchesSequential(t *testing.T) {
+	tree := binomialTree(19)
+	want, _ := sha1rng.CountSequential(tree)
+	if want < 100 {
+		t.Fatalf("degenerate tree: %d nodes", want)
+	}
+	for _, listBag := range []bool{false, true} {
+		rt, err := core.NewRuntime(core.Config{Places: 4, CheckPatterns: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(rt, Config{
+			Tree:       tree,
+			UseListBag: listBag,
+			GLB:        glb.Config{Quantum: 64, DenseFinish: true},
+		})
+		rt.Close()
+		if err != nil {
+			t.Fatalf("listBag=%v: %v", listBag, err)
+		}
+		if res.Nodes != want {
+			t.Errorf("listBag=%v: counted %d, want %d", listBag, res.Nodes, want)
+		}
+	}
+}
+
+func TestBinomialDepthCap(t *testing.T) {
+	capped := sha1rng.Binomial{B0: 4, M: 3, Q: 0.9, Seed: 7, MaxDepth: 6}
+	n, _ := sha1rng.CountSequential(capped)
+	if n == 0 {
+		t.Fatal("empty tree")
+	}
+	// A supercritical law must still terminate under the cap, and the cap
+	// bounds the size by the full M-ary tree.
+	bound := uint64(0)
+	pow := uint64(4)
+	bound = 1
+	for d := 1; d < 6; d++ {
+		bound += pow
+		pow *= 3
+	}
+	if n > bound {
+		t.Errorf("n = %d exceeds depth-cap bound %d", n, bound)
+	}
+}

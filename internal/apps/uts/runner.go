@@ -1,0 +1,91 @@
+package uts
+
+import (
+	"fmt"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+)
+
+// Config describes one UTS run.
+type Config struct {
+	// Tree is the splittable random tree to traverse: the paper's
+	// geometric configuration is sha1rng.Geometric{B0: 4, Seed: 19,
+	// Depth: 14..22}; sha1rng.Binomial gives the deep-narrow family.
+	Tree sha1rng.Tree
+	// GLB tunes the balancer; the zero value selects the paper's
+	// configuration except DenseFinish, which callers set explicitly.
+	GLB glb.Config
+	// UseListBag selects the legacy expanded-node representation instead
+	// of intervals (for the §6.2 ablation against [35]).
+	UseListBag bool
+}
+
+// Result is the outcome of a distributed traversal.
+type Result struct {
+	// Nodes is the total number of tree nodes counted.
+	Nodes uint64
+	// Hashes is the total number of SHA1 evaluations.
+	Hashes uint64
+	// Seconds is the traversal wall time.
+	Seconds float64
+	// Stats carries the balancer counters.
+	Stats glb.Stats
+}
+
+// NodesPerSecond returns the headline UTS metric.
+func (r Result) NodesPerSecond() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.Nodes) / r.Seconds
+}
+
+// Run performs the distributed traversal on rt and verifies nothing; use
+// sha1rng.Geometric.CountSequential for ground truth in tests.
+func Run(rt *core.Runtime, cfg Config) (Result, error) {
+	var bags []glb.TaskBag
+	makeBag := func(p core.Place) glb.TaskBag {
+		var b glb.TaskBag
+		if cfg.UseListBag {
+			lb := NewListBag(cfg.Tree)
+			if p == 0 {
+				lb.Seed()
+			}
+			b = lb
+		} else {
+			ib := NewIntervalBag(cfg.Tree)
+			if p == 0 {
+				ib.Seed()
+			}
+			b = ib
+		}
+		bags = append(bags, b)
+		return b
+	}
+	bal := glb.New(rt, cfg.GLB, makeBag)
+	start := time.Now()
+	err := rt.Run(func(ctx *core.Ctx) {
+		if e := bal.Run(ctx); e != nil {
+			panic(e)
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return Result{}, fmt.Errorf("uts: %w", err)
+	}
+	res := Result{Seconds: elapsed, Stats: bal.Stats()}
+	for _, b := range bags {
+		switch bag := b.(type) {
+		case *IntervalBag:
+			res.Nodes += bag.Nodes
+			res.Hashes += bag.Hashes
+		case *ListBag:
+			res.Nodes += bag.Nodes
+			res.Hashes += bag.Hashes
+		}
+	}
+	return res, nil
+}

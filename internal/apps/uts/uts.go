@@ -1,0 +1,193 @@
+// Package uts implements the Unbalanced Tree Search benchmark of §6 of
+// "X10 and APGAS at Petascale": counting the nodes of a geometric random
+// tree generated on the fly, the canonical irregular workload that no
+// static partitioning can balance.
+//
+// Two TaskBag implementations are provided for the glb balancer:
+//
+//   - IntervalBag is the paper's refined representation: pending work is a
+//     list of intervals of siblings (parent descriptor, child range)
+//     rather than expanded node lists, and a thief steals a fragment of
+//     every interval in the list — the two changes §6.1 credits with "a
+//     tremendous difference" for shallow trees.
+//   - ListBag is the pre-refinement representation from the PPoPP'11
+//     lifeline paper: an expanded list of nodes split in half on steals.
+//     It exists for the ablation benchmarks.
+package uts
+
+import (
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+)
+
+// interval is a run of unexplored siblings: children [Lo, Hi) of Parent,
+// living at depth Depth (the children's depth).
+type interval struct {
+	Parent sha1rng.Descriptor
+	Lo, Hi uint32
+	Depth  int
+}
+
+// IntervalBag is the compact work representation with per-interval
+// fragment stealing.
+type IntervalBag struct {
+	tree   sha1rng.Tree
+	work   []interval
+	size   int64 // total pending nodes = sum of interval widths
+	Nodes  uint64
+	Hashes uint64
+}
+
+// NewIntervalBag creates a bag; at the root place seed it with Seed().
+func NewIntervalBag(tree sha1rng.Tree) *IntervalBag {
+	return &IntervalBag{tree: tree}
+}
+
+// Seed loads the root node into the bag (call at exactly one place).
+// The root is represented as a pseudo-interval below a synthetic parent:
+// we simply count it and push its children directly.
+func (b *IntervalBag) Seed() {
+	root := sha1rng.Root(b.tree.RootSeed())
+	b.Hashes++
+	b.Nodes++
+	m := b.tree.NumChildren(root, 0)
+	if m > 0 {
+		b.push(interval{Parent: root, Lo: 0, Hi: uint32(m), Depth: 1})
+	}
+}
+
+func (b *IntervalBag) push(iv interval) {
+	b.work = append(b.work, iv)
+	b.size += int64(iv.Hi - iv.Lo)
+}
+
+// Process expands up to quantum nodes depth-first.
+func (b *IntervalBag) Process(quantum int) int {
+	done := 0
+	for done < quantum && len(b.work) > 0 {
+		top := &b.work[len(b.work)-1]
+		child := sha1rng.Child(top.Parent, top.Lo)
+		b.Hashes++
+		depth := top.Depth
+		top.Lo++
+		b.size--
+		if top.Lo == top.Hi {
+			b.work = b.work[:len(b.work)-1]
+		}
+		b.Nodes++
+		done++
+		if m := b.tree.NumChildren(child, depth); m > 0 {
+			b.push(interval{Parent: child, Lo: 0, Hi: uint32(m), Depth: depth + 1})
+		}
+	}
+	return done
+}
+
+// Size returns the pending node count.
+func (b *IntervalBag) Size() int64 { return b.size }
+
+// Split steals a fragment of every interval in the work list — the
+// refinement that counteracts the bias the depth cut-off introduces for
+// shallow trees: loot drawn only from the deepest intervals would be
+// mostly about-to-be-cut-off nodes.
+func (b *IntervalBag) Split() glb.TaskBag {
+	if b.size < 2 {
+		return nil
+	}
+	loot := &IntervalBag{tree: b.tree}
+	for i := range b.work {
+		iv := &b.work[i]
+		width := iv.Hi - iv.Lo
+		if width < 2 {
+			continue
+		}
+		take := width / 2
+		mid := iv.Hi - take
+		loot.push(interval{Parent: iv.Parent, Lo: mid, Hi: iv.Hi, Depth: iv.Depth})
+		iv.Hi = mid
+		b.size -= int64(take)
+	}
+	if loot.size == 0 {
+		return nil
+	}
+	// Compact: drop emptied intervals (width can never hit zero above,
+	// but keep the invariant check cheap and explicit).
+	return loot
+}
+
+// Merge adds stolen intervals and accumulates the loot's counters (loot
+// bags arrive with zero counts; merged result bags fold in after a run).
+func (b *IntervalBag) Merge(loot glb.TaskBag) {
+	lb := loot.(*IntervalBag)
+	for _, iv := range lb.work {
+		b.push(iv)
+	}
+	b.Nodes += lb.Nodes
+	b.Hashes += lb.Hashes
+}
+
+// node is an expanded tree node for the legacy representation.
+type node struct {
+	D     sha1rng.Descriptor
+	Depth int
+}
+
+// ListBag is the legacy expanded-node-list representation ([35]): each
+// pending node is materialized individually and steals take half the list.
+type ListBag struct {
+	tree   sha1rng.Tree
+	work   []node
+	Nodes  uint64
+	Hashes uint64
+}
+
+// NewListBag creates a legacy bag.
+func NewListBag(tree sha1rng.Tree) *ListBag {
+	return &ListBag{tree: tree}
+}
+
+// Seed loads the root node (call at exactly one place).
+func (b *ListBag) Seed() {
+	b.work = append(b.work, node{D: sha1rng.Root(b.tree.RootSeed()), Depth: 0})
+	b.Hashes++
+}
+
+// Process expands up to quantum nodes depth-first.
+func (b *ListBag) Process(quantum int) int {
+	done := 0
+	for done < quantum && len(b.work) > 0 {
+		n := b.work[len(b.work)-1]
+		b.work = b.work[:len(b.work)-1]
+		b.Nodes++
+		done++
+		m := b.tree.NumChildren(n.D, n.Depth)
+		for i := 0; i < m; i++ {
+			b.work = append(b.work, node{D: sha1rng.Child(n.D, uint32(i)), Depth: n.Depth + 1})
+			b.Hashes++
+		}
+	}
+	return done
+}
+
+// Size returns the pending node count.
+func (b *ListBag) Size() int64 { return int64(len(b.work)) }
+
+// Split takes the bottom half of the list (the shallowest, oldest nodes).
+func (b *ListBag) Split() glb.TaskBag {
+	if len(b.work) < 2 {
+		return nil
+	}
+	half := len(b.work) / 2
+	loot := &ListBag{tree: b.tree, work: make([]node, half)}
+	copy(loot.work, b.work[:half])
+	b.work = append(b.work[:0], b.work[half:]...)
+	return loot
+}
+
+// Merge adds stolen nodes and folds counters.
+func (b *ListBag) Merge(loot glb.TaskBag) {
+	lb := loot.(*ListBag)
+	b.work = append(b.work, lb.work...)
+	b.Nodes += lb.Nodes
+	b.Hashes += lb.Hashes
+}

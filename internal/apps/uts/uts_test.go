@@ -1,0 +1,190 @@
+package uts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+)
+
+func tree(depth int) sha1rng.Geometric {
+	return sha1rng.Geometric{B0: 4, Depth: depth, Seed: 19}
+}
+
+func newRT(t *testing.T, places int) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true, PlacesPerHost: 4})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// drain processes a bag to exhaustion locally and returns the node count.
+func drain(b glb.TaskBag) uint64 {
+	for b.Process(1024) > 0 {
+	}
+	switch bag := b.(type) {
+	case *IntervalBag:
+		return bag.Nodes
+	case *ListBag:
+		return bag.Nodes
+	}
+	return 0
+}
+
+func TestIntervalBagMatchesSequential(t *testing.T) {
+	for _, depth := range []int{2, 4, 8, 11} {
+		g := tree(depth)
+		want, _ := g.CountSequential()
+		b := NewIntervalBag(g)
+		b.Seed()
+		if got := drain(b); got != want {
+			t.Errorf("depth %d: interval bag counted %d, sequential %d", depth, got, want)
+		}
+	}
+}
+
+func TestListBagMatchesSequential(t *testing.T) {
+	for _, depth := range []int{2, 4, 8, 11} {
+		g := tree(depth)
+		want, _ := g.CountSequential()
+		b := NewListBag(g)
+		b.Seed()
+		if got := drain(b); got != want {
+			t.Errorf("depth %d: list bag counted %d, sequential %d", depth, got, want)
+		}
+	}
+}
+
+// TestSplitPreservesWork: splitting mid-traversal and draining both halves
+// yields the same count as never splitting — the conservation invariant
+// stealing relies on.
+func TestSplitPreservesWork(t *testing.T) {
+	f := func(depthRaw, stepsRaw uint8) bool {
+		depth := int(depthRaw)%7 + 3 // 3..9
+		steps := int(stepsRaw)%200 + 1
+		g := tree(depth)
+		want, _ := g.CountSequential()
+
+		b := NewIntervalBag(g)
+		b.Seed()
+		b.Process(steps)
+		loot := b.Split()
+		total := drain(b)
+		if loot != nil {
+			total += drain(loot)
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitFragmentsEveryInterval(t *testing.T) {
+	g := tree(10)
+	b := NewIntervalBag(g)
+	b.Seed()
+	b.Process(500) // build up a multi-interval work list
+	widths := 0
+	for _, iv := range b.work {
+		if iv.Hi-iv.Lo >= 2 {
+			widths++
+		}
+	}
+	if widths < 2 {
+		t.Skip("work list too shallow to observe multi-interval splitting")
+	}
+	before := len(b.work)
+	loot := b.Split().(*IntervalBag)
+	// The thief must hold a fragment from every splittable interval.
+	if len(loot.work) != widths {
+		t.Errorf("loot has %d intervals, want %d (one per splittable interval)",
+			len(loot.work), widths)
+	}
+	if len(b.work) != before {
+		t.Errorf("victim interval count changed: %d -> %d", before, len(b.work))
+	}
+}
+
+func TestSplitReturnsNilWhenTiny(t *testing.T) {
+	g := tree(3)
+	b := NewIntervalBag(g)
+	if b.Split() != nil {
+		t.Error("empty interval bag split non-nil")
+	}
+	lb := NewListBag(g)
+	if lb.Split() != nil {
+		t.Error("empty list bag split non-nil")
+	}
+	lb.Seed()
+	if lb.Split() != nil {
+		t.Error("single-node list bag split non-nil")
+	}
+}
+
+func TestListBagSplitConservation(t *testing.T) {
+	f := func(stepsRaw uint8) bool {
+		g := tree(8)
+		want, _ := g.CountSequential()
+		b := NewListBag(g)
+		b.Seed()
+		b.Process(int(stepsRaw)%100 + 1)
+		loot := b.Split()
+		total := drain(b)
+		if loot != nil {
+			total += drain(loot)
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	g := tree(12)
+	want, wantHashes := g.CountSequential()
+	for _, places := range []int{1, 2, 4, 8} {
+		rt := newRT(t, places)
+		res, err := Run(rt, Config{Tree: g, GLB: glb.Config{Quantum: 256, DenseFinish: true}})
+		if err != nil {
+			t.Fatalf("places=%d: %v", places, err)
+		}
+		if res.Nodes != want {
+			t.Errorf("places=%d: counted %d nodes, want %d", places, res.Nodes, want)
+		}
+		if res.Hashes != wantHashes {
+			t.Errorf("places=%d: %d hashes, want %d", places, res.Hashes, wantHashes)
+		}
+		if res.Seconds <= 0 || res.NodesPerSecond() <= 0 {
+			t.Errorf("places=%d: bad timing %v", places, res.Seconds)
+		}
+	}
+}
+
+func TestDistributedListBagMatchesSequential(t *testing.T) {
+	g := tree(11)
+	want, _ := g.CountSequential()
+	rt := newRT(t, 4)
+	res, err := Run(rt, Config{Tree: g, UseListBag: true, GLB: glb.Config{Quantum: 256}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Nodes != want {
+		t.Errorf("legacy bag counted %d, want %d", res.Nodes, want)
+	}
+}
+
+func TestWeakScalingTreeGrowth(t *testing.T) {
+	// Deeper trees must be (much) bigger: the weak-scaling knob works.
+	n1, _ := tree(10).CountSequential()
+	n2, _ := tree(12).CountSequential()
+	if n2 < 4*n1 {
+		t.Errorf("depth 10 -> 12 grew only %d -> %d", n1, n2)
+	}
+}

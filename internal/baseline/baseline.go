@@ -1,0 +1,192 @@
+// Package baseline provides the "HPC Class 1" analogues for Table 1 of
+// "X10 and APGAS at Petascale": direct implementations of the benchmark
+// kernels that bypass the APGAS runtime entirely — no places, no finish,
+// no transport; just goroutines and shared memory. On the paper's machine
+// the Class 1 codes were hand-tuned C/assembly that "interface directly
+// with the hardware device drivers bypassing the entire network stack";
+// on this substrate, bypassing the runtime plays the same role: they
+// bound what the X10-style implementations can hope to reach, so the
+// X10/Class-1 performance ratios of Table 1 have a meaningful analogue.
+package baseline
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"apgas/internal/kernels/fft"
+	"apgas/internal/kernels/linalg"
+	"apgas/internal/kernels/sha1rng"
+)
+
+// StreamTriad measures raw triad bandwidth with `workers` goroutines over
+// disjoint vectors (workers <= 0 selects GOMAXPROCS). It returns aggregate
+// GB/s.
+func StreamTriad(wordsPerWorker, iterations, workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type vecs struct{ a, b, c []float64 }
+	vs := make([]vecs, workers)
+	for w := range vs {
+		vs[w] = vecs{
+			a: make([]float64, wordsPerWorker),
+			b: make([]float64, wordsPerWorker),
+			c: make([]float64, wordsPerWorker),
+		}
+		for i := 0; i < wordsPerWorker; i++ {
+			vs[w].a[i] = 0 // pre-touch so page faults stay out of the timing
+			vs[w].b[i] = 2
+			vs[w].c[i] = 0.5
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(v vecs) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				for i := range v.a {
+					v.a[i] = v.b[i] + 3.0*v.c[i]
+				}
+			}
+		}(vs[w])
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	bytes := float64(3*8*wordsPerWorker) * float64(iterations) * float64(workers)
+	return bytes / sec / 1e9
+}
+
+// GUPS measures raw random-update throughput (giga-updates/s) on a shared
+// table of 1<<logTable words. Like the HPCC Class 1 codes, concurrent
+// updates are applied without synchronization — the benchmark rules allow
+// up to 1% erroneous updates, which is exactly the liberty the optimized
+// implementations exploit.
+func GUPS(logTable, updatesPerWord, workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := 1 << logTable
+	table := make([]uint64, size)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	updates := int64(size) * int64(updatesPerWord)
+	per := updates / int64(workers)
+	mask := uint64(size - 1)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed | 1
+			for i := int64(0); i < per; i++ {
+				x = x<<1 ^ (uint64(int64(x)>>63) & 7)
+				table[x&mask] ^= x
+			}
+		}(uint64(w)*0x9e3779b97f4a7c15 + 1)
+	}
+	wg.Wait()
+	sec := time.Since(start).Seconds()
+	return float64(per) * float64(workers) / sec / 1e9
+}
+
+// FFT measures a single-goroutine transform of 1<<log2n points and returns
+// Gflop/s (the Class 1 comparison in the paper is per-core).
+func FFT(log2n int, seed uint64) float64 {
+	n := 1 << log2n
+	a := make([]complex128, n)
+	z := seed
+	for i := range a {
+		z = z*6364136223846793005 + 1442695040888963407
+		a[i] = complex(float64(z>>11)/float64(1<<53), 0.25)
+	}
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return 0
+	}
+	start := time.Now()
+	plan.Forward(a)
+	sec := time.Since(start).Seconds()
+	return fft.Flops(n) / sec / 1e9
+}
+
+// LU measures a single-goroutine blocked right-looking LU with partial
+// pivoting of an n x n matrix and returns Gflop/s.
+func LU(n, nb int, seed uint64) float64 {
+	a := make([]float64, n*n)
+	z := seed
+	for i := range a {
+		z = z*6364136223846793005 + 1442695040888963407
+		a[i] = float64(z>>11)/float64(1<<53) - 0.5
+	}
+	piv := make([]int, n)
+	start := time.Now()
+	linalg.Getrf(n, nb, a, n, piv)
+	sec := time.Since(start).Seconds()
+	fn := float64(n)
+	return (2.0 / 3.0 * fn * fn * fn) / sec / 1e9
+}
+
+// UTS measures the sequential traversal rate (million nodes per second)
+// of the given geometric tree — "the performance of the sequential
+// implementation (no parallelism, distribution, or load balancing)".
+func UTS(tree sha1rng.Geometric) (mnodesPerSec float64, nodes uint64) {
+	start := time.Now()
+	n, _ := tree.CountSequential()
+	sec := time.Since(start).Seconds()
+	return float64(n) / sec / 1e6, n
+}
+
+// KMeansIterationsPerSec measures sequential Lloyd iterations over n
+// points (k clusters, dim dimensions), returning iterations per second —
+// a building block for per-core comparisons.
+func KMeansIterationsPerSec(n, k, dim, iters int, seed uint64) float64 {
+	points := make([]float64, n*dim)
+	z := seed
+	rnd := func() float64 {
+		z = z*6364136223846793005 + 1442695040888963407
+		return float64(z>>11) / float64(1<<53)
+	}
+	for i := range points {
+		points[i] = rnd()
+	}
+	cent := make([]float64, k*dim)
+	copy(cent, points[:k*dim])
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		sums := make([]float64, k*dim)
+		counts := make([]int64, k)
+		for i := 0; i < n; i++ {
+			pt := points[i*dim : (i+1)*dim]
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				cd := cent[c*dim : (c+1)*dim]
+				d := 0.0
+				for t := 0; t < dim; t++ {
+					diff := pt[t] - cd[t]
+					d += diff * diff
+				}
+				if d < bestD {
+					bestD, best = d, c
+				}
+			}
+			counts[best]++
+			for t := 0; t < dim; t++ {
+				sums[best*dim+t] += pt[t]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				for t := 0; t < dim; t++ {
+					cent[c*dim+t] = sums[c*dim+t] / float64(counts[c])
+				}
+			}
+		}
+	}
+	return float64(iters) / time.Since(start).Seconds()
+}

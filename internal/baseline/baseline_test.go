@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"testing"
+
+	"apgas/internal/kernels/sha1rng"
+)
+
+func TestStreamTriadPositive(t *testing.T) {
+	if gbs := StreamTriad(1<<12, 3, 2); gbs <= 0 {
+		t.Fatalf("GB/s = %v", gbs)
+	}
+	if gbs := StreamTriad(1<<10, 1, 0); gbs <= 0 { // default workers
+		t.Fatalf("GB/s = %v", gbs)
+	}
+}
+
+func TestGUPSPositive(t *testing.T) {
+	workers := 2
+	if raceEnabled {
+		// The multi-worker GUPS is unsynchronized on purpose (HPCC
+		// Class 1 semantics); run single-worker under the detector.
+		workers = 1
+	}
+	if gups := GUPS(12, 2, workers); gups <= 0 {
+		t.Fatalf("GUPs = %v", gups)
+	}
+}
+
+func TestFFTPositive(t *testing.T) {
+	if g := FFT(10, 1); g <= 0 {
+		t.Fatalf("Gflop/s = %v", g)
+	}
+	if g := FFT(0, 1); g < 0 {
+		t.Fatalf("n=1: %v", g)
+	}
+}
+
+func TestLUPositive(t *testing.T) {
+	if g := LU(96, 16, 3); g <= 0 {
+		t.Fatalf("Gflop/s = %v", g)
+	}
+	if g := LU(50, 16, 3); g <= 0 { // ragged blocks
+		t.Fatalf("ragged Gflop/s = %v", g)
+	}
+}
+
+func TestUTSMatchesKernel(t *testing.T) {
+	tree := sha1rng.Geometric{B0: 4, Depth: 8, Seed: 19}
+	rate, nodes := UTS(tree)
+	want, _ := tree.CountSequential()
+	if nodes != want {
+		t.Fatalf("nodes = %d, want %d", nodes, want)
+	}
+	if rate <= 0 {
+		t.Fatalf("rate = %v", rate)
+	}
+}
+
+func TestKMeansPositive(t *testing.T) {
+	if r := KMeansIterationsPerSec(500, 8, 4, 3, 7); r <= 0 {
+		t.Fatalf("iters/s = %v", r)
+	}
+}

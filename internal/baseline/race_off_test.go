@@ -1,0 +1,5 @@
+//go:build !race
+
+package baseline
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package baseline
+
+// raceEnabled reports whether the race detector is active; the GUPS
+// baseline is deliberately unsynchronized (the liberty HPCC Class 1 codes
+// take), so its multi-worker test would trip the detector by design.
+const raceEnabled = true

@@ -1,0 +1,106 @@
+package collectives
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"apgas/internal/core"
+)
+
+// TestTwoTeamsInterleaved drives two overlapping teams from the same SPMD
+// activities, checking sequence isolation between teams.
+func TestTwoTeamsInterleaved(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 6
+		rt := newRT(t, n)
+		world := New(rt, core.WorldGroup(rt), mode)
+		evens, err := core.NewPlaceGroup([]core.Place{0, 2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evenTeam := New(rt, evens, mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			for round := 1; round <= 10; round++ {
+				sum := AllReduce(world, c, []int{round}, func(a, b int) int { return a + b })
+				if sum[0] != round*n {
+					t.Errorf("world round %d: %d", round, sum[0])
+					return
+				}
+				if int(c.Place())%2 == 0 {
+					es := AllReduce(evenTeam, c, []int{round}, func(a, b int) int { return a + b })
+					if es[0] != round*3 {
+						t.Errorf("even round %d: %d", round, es[0])
+						return
+					}
+				}
+			}
+		})
+	})
+}
+
+// TestLargePayloadAllToAll pushes sizable chunks through the exchange.
+func TestLargePayloadAllToAll(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n, chunk = 4, 4096
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			me := int(c.Place())
+			send := make([][]float64, n)
+			for j := 0; j < n; j++ {
+				send[j] = make([]float64, chunk)
+				for i := range send[j] {
+					send[j][i] = float64(me*1000 + j)
+				}
+			}
+			got := AllToAll(team, c, send)
+			for i := 0; i < n; i++ {
+				if len(got[i]) != chunk {
+					t.Errorf("chunk %d has %d elems", i, len(got[i]))
+					return
+				}
+				if got[i][0] != float64(i*1000+me) || got[i][chunk-1] != float64(i*1000+me) {
+					t.Errorf("chunk %d content wrong: %v", i, got[i][0])
+					return
+				}
+			}
+		})
+	})
+}
+
+// TestCollectivesUnderMultipleWorkers: WorkersPerPlace > 1 must not break
+// the one-activity-per-member contract as long as only one activity per
+// place participates.
+func TestCollectivesUnderMultipleWorkers(t *testing.T) {
+	const n = 4
+	rt, err := core.NewRuntime(core.Config{Places: n, WorkersPerPlace: 3, CheckPatterns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	team := New(rt, core.WorldGroup(rt), ModeNative)
+	var busy atomic.Int64
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		err := ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *core.Ctx) {
+					// Extra local activities keep the other workers busy.
+					cc.Async(func(*core.Ctx) { busy.Add(1) })
+					got := AllReduce(team, cc, []int{1}, func(a, b int) int { return a + b })
+					if got[0] != n {
+						t.Errorf("place %d: got %d", cc.Place(), got[0])
+					}
+				})
+			}
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+	})
+	if rerr != nil {
+		t.Fatalf("Run: %v", rerr)
+	}
+	if busy.Load() != n {
+		t.Errorf("busy = %d", busy.Load())
+	}
+}

@@ -1,0 +1,158 @@
+package collectives
+
+import (
+	"fmt"
+	"sync"
+
+	"apgas/internal/core"
+	"apgas/internal/x10rt"
+)
+
+// This file is the point-to-point emulation layer: the implementation a
+// Team falls back to when the "hardware" (shared-memory) path is disabled.
+// Reduce and broadcast use binomial trees over member ranks; the exchange
+// collectives send chunks directly. All traffic flows through the core
+// runtime's active messages, so it is visible to transport statistics and
+// subject to injected latency — which is what the Team ablation benchmarks
+// measure.
+
+// tag discriminates message roles within one collective sequence number.
+type tag uint8
+
+const (
+	tagReduce tag = iota
+	tagBcast
+	tagExchange
+	tagMove
+)
+
+// key identifies one expected message within a team.
+type key struct {
+	Seq uint64
+	Tag tag
+	Src int
+}
+
+// teamLocal is each member place's mailbox for emulated collectives.
+type teamLocal struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	seq  uint64
+	box  map[key]any
+}
+
+func newTeamLocal() *teamLocal {
+	tl := &teamLocal{box: make(map[key]any)}
+	tl.cond = sync.NewCond(&tl.mu)
+	return tl
+}
+
+func (tl *teamLocal) put(k key, v any) {
+	tl.mu.Lock()
+	tl.box[k] = v
+	tl.cond.Broadcast()
+	tl.mu.Unlock()
+}
+
+func (tl *teamLocal) take(k key) any {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for {
+		if v, ok := tl.box[k]; ok {
+			delete(tl.box, k)
+			return v
+		}
+		tl.cond.Wait()
+	}
+}
+
+// sendChunk ships vals to the teamLocal mailbox at dst under k.
+func sendChunk[V any](t *Team, c *core.Ctx, dst core.Place, k key, vals []V) {
+	t.send(c, dst, k, vals, elemBytes[V](len(vals)))
+}
+
+// recvAs blocks until the message under k arrives at the caller's place.
+func recvAs[V any](t *Team, c *core.Ctx, k key) V {
+	var out V
+	tl := t.locals[c.Place()]
+	c.Blocking(func() { out = tl.take(k).(V) })
+	return out
+}
+
+// envelope is the wire format of emulated collective traffic.
+type envelope struct {
+	Team    uint64
+	K       key
+	Payload any
+}
+
+// send ships a payload to the teamLocal mailbox at dst under k, directly
+// over the transport. Like the PAMI collectives the paper's teams map to,
+// this traffic lives below finish: no termination-detection events are
+// generated, so team operations are usable inside any finish pattern
+// (including FINISH_SPMD bodies).
+func (t *Team) send(c *core.Ctx, dst core.Place, k key, payload any, bytes int) {
+	err := t.rt.Transport().Send(int(c.Place()), int(dst), x10rt.HandlerTeamCtl,
+		envelope{Team: t.id, K: k, Payload: payload}, bytes, x10rt.CollectiveClass)
+	if err != nil {
+		panic(fmt.Sprintf("collectives: send: %v", err))
+	}
+}
+
+// emulatedReduceToZero runs a binomial-tree reduction toward rank 0 and
+// returns the full result at rank 0 (nil elsewhere).
+func emulatedReduceToZero[V any](t *Team, c *core.Ctx, me int, seq uint64, acc []V, op func(V, V) V) []V {
+	n := t.Size()
+	for offset := 1; offset < n; offset *= 2 {
+		if me%(2*offset) == 0 {
+			src := me + offset
+			if src < n {
+				part := recvAs[[]V](t, c, key{Seq: seq, Tag: tagReduce, Src: src})
+				if acc == nil {
+					acc = part
+				} else {
+					for i := range acc {
+						acc[i] = op(acc[i], part[i])
+					}
+				}
+			}
+		} else {
+			dst := me - offset
+			t.send(c, t.members[dst], key{Seq: seq, Tag: tagReduce, Src: me}, acc,
+				elemBytes[V](len(acc)))
+			return nil
+		}
+	}
+	if me == 0 {
+		return acc
+	}
+	return nil
+}
+
+// emulatedBroadcastFromZero distributes rank 0's vals down a binomial tree;
+// every member returns the vector.
+func emulatedBroadcastFromZero[V any](t *Team, c *core.Ctx, me int, seq uint64, vals []V) []V {
+	n := t.Size()
+	// Highest power of two covering n.
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	if me != 0 {
+		vals = recvAs[[]V](t, c, key{Seq: seq, Tag: tagBcast, Src: -1})
+	}
+	// Forward to children: me + offset for offsets below my "join" bit.
+	start := top
+	if me != 0 {
+		// me joined at its lowest set bit; it forwards smaller offsets.
+		start = me & (-me) // lowest set bit
+	}
+	for offset := start / 2; offset >= 1; offset /= 2 {
+		dst := me + offset
+		if dst < n {
+			t.send(c, t.members[dst], key{Seq: seq, Tag: tagBcast, Src: -1}, vals,
+				elemBytes[V](len(vals)))
+		}
+	}
+	return vals
+}

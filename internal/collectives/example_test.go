@@ -1,0 +1,60 @@
+package collectives_test
+
+import (
+	"fmt"
+
+	"apgas/internal/collectives"
+	"apgas/internal/core"
+)
+
+// The K-Means communication pattern of §7: every place contributes local
+// sums, and two all-reduces produce the global averages everywhere.
+func ExampleAllReduce() {
+	rt, err := core.NewRuntime(core.Config{Places: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	team := collectives.New(rt, core.WorldGroup(rt), collectives.ModeNative)
+
+	_ = rt.Run(func(ctx *core.Ctx) {
+		_ = ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *core.Ctx) {
+					localSum := []float64{float64(cc.Place() + 1)} // 1+2+3+4
+					global := collectives.AllReduce(team, cc, localSum,
+						func(a, b float64) float64 { return a + b })
+					if cc.Place() == 0 {
+						fmt.Println("global sum:", global[0])
+					}
+				})
+			}
+		})
+	})
+	// Output: global sum: 10
+}
+
+// The pivot search of the paper's HPL: a max-location reduction over a
+// process column.
+func ExampleAllReduceMaxLoc() {
+	rt, err := core.NewRuntime(core.Config{Places: 3})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	team := collectives.New(rt, core.WorldGroup(rt), collectives.ModeNative)
+	_ = rt.Run(func(ctx *core.Ctx) {
+		_ = ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *core.Ctx) {
+					candidate := float64(cc.Place()) // place 2 wins
+					win := collectives.AllReduceMaxLoc(team, cc, candidate, int(cc.Place())*10)
+					if cc.Place() == 0 {
+						fmt.Printf("pivot at rank %d (index %d)\n", win.Rank, win.Index)
+					}
+				})
+			}
+		})
+	})
+	// Output: pivot at rank 2 (index 20)
+}

@@ -1,0 +1,78 @@
+package collectives
+
+import (
+	"fmt"
+
+	"apgas/internal/core"
+)
+
+// Scatter distributes the root member's chunks: member i receives
+// send[i]. send is ignored at non-root members and must have exactly
+// Size() chunks at the root.
+func Scatter[T any](t *Team, c *core.Ctx, rootRank int, send [][]T) []T {
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	n := t.Size()
+	if me == rootRank && len(send) != n {
+		panic(fmt.Sprintf("collectives: Scatter needs %d chunks, got %d", n, len(send)))
+	}
+	if t.mode == ModeNative {
+		var contrib any
+		if me == rootRank {
+			chunks := make([]any, n)
+			for i := range send {
+				chunks[i] = clone(send[i])
+			}
+			contrib = chunks
+		}
+		res := t.shared.rendezvous(c, me, seq, contrib, func(slots []any) any {
+			return slots[rootRank]
+		})
+		return clone(res.([]any)[me].([]T))
+	}
+	if me == rootRank {
+		for r := 0; r < n; r++ {
+			if r == me {
+				continue
+			}
+			sendChunk(t, c, t.members[r], key{Seq: seq, Tag: tagMove, Src: me}, clone(send[r]))
+		}
+		return clone(send[me])
+	}
+	return recvAs[[]T](t, c, key{Seq: seq, Tag: tagMove, Src: rootRank})
+}
+
+// Gather collects every member's vals at the root member, in rank order;
+// non-root members receive nil.
+func Gather[T any](t *Team, c *core.Ctx, rootRank int, vals []T) [][]T {
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	n := t.Size()
+	if t.mode == ModeNative {
+		res := t.shared.rendezvous(c, me, seq, clone(vals), func(slots []any) any {
+			return slots
+		})
+		if me != rootRank {
+			return nil
+		}
+		slots := res.([]any)
+		out := make([][]T, n)
+		for i := range slots {
+			out[i] = clone(slots[i].([]T))
+		}
+		return out
+	}
+	if me != rootRank {
+		sendChunk(t, c, t.members[rootRank], key{Seq: seq, Tag: tagMove, Src: me}, clone(vals))
+		return nil
+	}
+	out := make([][]T, n)
+	out[me] = clone(vals)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		out[r] = recvAs[[]T](t, c, key{Seq: seq, Tag: tagMove, Src: r})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package collectives
+
+import (
+	"testing"
+
+	"apgas/internal/core"
+)
+
+func TestScatter(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n, root = 5, 2
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			var send [][]int
+			if int(c.Place()) == root {
+				send = make([][]int, n)
+				for i := range send {
+					send[i] = []int{i * 11, i*11 + 1}
+				}
+			}
+			got := Scatter(team, c, root, send)
+			me := int(c.Place())
+			if len(got) != 2 || got[0] != me*11 || got[1] != me*11+1 {
+				t.Errorf("place %d got %v", me, got)
+			}
+		})
+	})
+}
+
+func TestGather(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n, root = 4, 1
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			me := int(c.Place())
+			got := Gather(team, c, root, []int{me, me * me})
+			if me != root {
+				if got != nil {
+					t.Errorf("non-root place %d got %v", me, got)
+				}
+				return
+			}
+			if len(got) != n {
+				t.Fatalf("root got %d chunks", len(got))
+			}
+			for r := 0; r < n; r++ {
+				if got[r][0] != r || got[r][1] != r*r {
+					t.Errorf("chunk %d = %v", r, got[r])
+				}
+			}
+		})
+	})
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 4
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			var send [][]float64
+			if c.Place() == 0 {
+				send = make([][]float64, n)
+				for i := range send {
+					send[i] = []float64{float64(i), float64(i) / 2}
+				}
+			}
+			mine := Scatter(team, c, 0, send)
+			back := Gather(team, c, 0, mine)
+			if c.Place() == 0 {
+				for i := range back {
+					if back[i][0] != float64(i) || back[i][1] != float64(i)/2 {
+						t.Errorf("round trip chunk %d = %v", i, back[i])
+					}
+				}
+			}
+		})
+	})
+}

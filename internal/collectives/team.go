@@ -1,0 +1,418 @@
+// Package collectives provides X10-style teams (x10.util.Team, §3.3 of
+// "X10 and APGAS at Petascale"): collective operations — barrier,
+// broadcast, reduce, all-reduce, all-to-all, all-gather — over a group of
+// places.
+//
+// Like the paper's runtime, a team has two implementations:
+//
+//   - ModeNative maps operations onto the "hardware" fast path. On this
+//     substrate the hardware is the shared memory of the hosting process,
+//     so native collectives combine contributions through a shared
+//     rendezvous structure, the analogue of the Torrent's hardware
+//     collective acceleration.
+//   - ModeEmulated is the portable emulation layer built exclusively on
+//     point-to-point active messages (binomial trees for reduce and
+//     broadcast, direct exchange for all-to-all). It is what X10RT falls
+//     back to on networks without collective hardware.
+//
+// All members must call each collective in the same order with compatible
+// arguments (the standard SPMD contract); one activity per member place
+// participates.
+package collectives
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"apgas/internal/core"
+	"apgas/internal/x10rt"
+)
+
+// Mode selects the collective implementation.
+type Mode int
+
+const (
+	// ModeNative uses the shared-memory fast path.
+	ModeNative Mode = iota
+	// ModeEmulated uses point-to-point active messages only.
+	ModeEmulated
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeNative {
+		return "native"
+	}
+	return "emulated"
+}
+
+// Team is a group of places participating in collective operations.
+type Team struct {
+	rt      *core.Runtime
+	id      uint64
+	group   core.PlaceGroup
+	mode    Mode
+	shared  *sharedState
+	locals  []*teamLocal // indexed by place
+	members []core.Place
+}
+
+// manager routes emulated collective traffic for one runtime; the first
+// team created on a runtime registers the transport handler.
+type manager struct {
+	mu    sync.Mutex
+	next  uint64
+	teams map[uint64]*Team
+}
+
+var managers sync.Map // *core.Runtime -> *manager
+
+func managerFor(rt *core.Runtime) *manager {
+	if m, ok := managers.Load(rt); ok {
+		return m.(*manager)
+	}
+	m := &manager{teams: make(map[uint64]*Team)}
+	actual, loaded := managers.LoadOrStore(rt, m)
+	mgr := actual.(*manager)
+	if !loaded {
+		if err := rt.Transport().Register(x10rt.HandlerTeamCtl, mgr.dispatch); err != nil {
+			panic(fmt.Sprintf("collectives: register handler: %v", err))
+		}
+	}
+	return mgr
+}
+
+func (m *manager) dispatch(src, dst int, payload any) {
+	env := payload.(envelope)
+	m.mu.Lock()
+	t := m.teams[env.Team]
+	m.mu.Unlock()
+	if t == nil {
+		panic(fmt.Sprintf("collectives: message for unknown team %d", env.Team))
+	}
+	t.locals[dst].put(env.K, env.Payload)
+}
+
+// New creates a team over the given group. World teams are the common
+// case: New(rt, core.WorldGroup(rt), mode).
+func New(rt *core.Runtime, group core.PlaceGroup, mode Mode) *Team {
+	mgr := managerFor(rt)
+	t := &Team{
+		rt:      rt,
+		group:   group,
+		mode:    mode,
+		members: group.Places(),
+	}
+	t.shared = newSharedState(group.Size())
+	t.locals = make([]*teamLocal, rt.NumPlaces())
+	for i := range t.locals {
+		t.locals[i] = newTeamLocal()
+	}
+	mgr.mu.Lock()
+	mgr.next++
+	t.id = mgr.next
+	mgr.teams[t.id] = t
+	mgr.mu.Unlock()
+	return t
+}
+
+// Size returns the number of members.
+func (t *Team) Size() int { return t.group.Size() }
+
+// Mode returns the implementation mode.
+func (t *Team) Mode() Mode { return t.mode }
+
+// rank returns the caller's member index, panicking for non-members (the
+// analogue of calling a Team operation from a place outside the team).
+func (t *Team) rank(c *core.Ctx) int {
+	r := t.group.IndexOf(c.Place())
+	if r < 0 {
+		panic(fmt.Sprintf("collectives: place %d is not a member of the team", c.Place()))
+	}
+	return r
+}
+
+// nextSeq returns this member's next collective sequence number. Matching
+// sequence numbers across members identify one collective instance.
+func (t *Team) nextSeq(c *core.Ctx) uint64 {
+	tl := t.locals[c.Place()]
+	tl.mu.Lock()
+	tl.seq++
+	s := tl.seq
+	tl.mu.Unlock()
+	return s
+}
+
+// Barrier blocks until every member has entered it.
+func (t *Team) Barrier(c *core.Ctx) {
+	AllReduce(t, c, []struct{}{}, func(a, b struct{}) struct{} { return a })
+}
+
+// Reduce combines the members' vals element-wise with op and returns the
+// result at the root member (the member with rank rootRank); other members
+// receive nil. vals must have equal length at every member.
+func Reduce[T any](t *Team, c *core.Ctx, rootRank int, vals []T, op func(T, T) T) []T {
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	if t.mode == ModeNative {
+		res := t.shared.rendezvous(c, me, seq, clone(vals), func(slots []any) any {
+			return combineSlots(slots, op)
+		})
+		if me == rootRank {
+			return res.([]T)
+		}
+		return nil
+	}
+	part := emulatedReduceToZero(t, c, me, seq, clone(vals), op)
+	// Rank 0 holds the result; relocate to rootRank if different.
+	if rootRank == 0 {
+		return part
+	}
+	if me == 0 {
+		sendChunk(t, c, t.members[rootRank], key{Seq: seq, Tag: tagMove, Src: 0}, part)
+		return nil
+	}
+	if me == rootRank {
+		return recvAs[[]T](t, c, key{Seq: seq, Tag: tagMove, Src: 0})
+	}
+	return nil
+}
+
+// AllReduce combines the members' vals element-wise with op; every member
+// receives the combined vector.
+func AllReduce[T any](t *Team, c *core.Ctx, vals []T, op func(T, T) T) []T {
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	if t.mode == ModeNative {
+		res := t.shared.rendezvous(c, me, seq, clone(vals), func(slots []any) any {
+			return combineSlots(slots, op)
+		})
+		return clone(res.([]T))
+	}
+	part := emulatedReduceToZero(t, c, me, seq, clone(vals), op)
+	return emulatedBroadcastFromZero(t, c, me, seq, part)
+}
+
+// Broadcast distributes the root member's vals to every member; the
+// argument is ignored at non-root members.
+func Broadcast[T any](t *Team, c *core.Ctx, rootRank int, vals []T) []T {
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	if t.mode == ModeNative {
+		var contrib any
+		if me == rootRank {
+			contrib = clone(vals)
+		}
+		res := t.shared.rendezvous(c, me, seq, contrib, func(slots []any) any {
+			return slots[rootRank]
+		})
+		return clone(res.([]T))
+	}
+	// Move root's data to rank 0, then binomial broadcast.
+	var at0 []T
+	switch {
+	case rootRank == 0:
+		if me == 0 {
+			at0 = clone(vals)
+		}
+	case me == rootRank:
+		sendChunk(t, c, t.members[0], key{Seq: seq, Tag: tagMove, Src: me}, clone(vals))
+	case me == 0:
+		at0 = recvAs[[]T](t, c, key{Seq: seq, Tag: tagMove, Src: rootRank})
+	}
+	return emulatedBroadcastFromZero(t, c, me, seq, at0)
+}
+
+// AllGather concatenates every member's vals in rank order; every member
+// receives the full slice of slices.
+func AllGather[T any](t *Team, c *core.Ctx, vals []T) [][]T {
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	n := t.Size()
+	if t.mode == ModeNative {
+		res := t.shared.rendezvous(c, me, seq, clone(vals), func(slots []any) any {
+			out := make([][]T, len(slots))
+			for i, s := range slots {
+				out[i] = s.([]T)
+			}
+			return out
+		})
+		parts := res.([][]T)
+		out := make([][]T, n)
+		for i := range parts {
+			out[i] = clone(parts[i])
+		}
+		return out
+	}
+	// Emulated: direct exchange (each member sends to all, receives all).
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		sendChunk(t, c, t.members[r], key{Seq: seq, Tag: tagExchange, Src: me}, clone(vals))
+	}
+	out := make([][]T, n)
+	out[me] = clone(vals)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		out[r] = recvAs[[]T](t, c, key{Seq: seq, Tag: tagExchange, Src: r})
+	}
+	return out
+}
+
+// AllToAll performs the personalized exchange at the heart of the global
+// FFT transpose: member i's send[j] becomes member j's result[i]. send
+// must have exactly Size() chunks.
+func AllToAll[T any](t *Team, c *core.Ctx, send [][]T) [][]T {
+	n := t.Size()
+	if len(send) != n {
+		panic(fmt.Sprintf("collectives: AllToAll needs %d chunks, got %d", n, len(send)))
+	}
+	seq := t.nextSeq(c)
+	me := t.rank(c)
+	if t.mode == ModeNative {
+		contrib := make([]any, n)
+		for j := range send {
+			contrib[j] = clone(send[j])
+		}
+		res := t.shared.rendezvous(c, me, seq, contrib, func(slots []any) any {
+			return slots // transpose happens on read-out
+		})
+		slots := res.([]any)
+		out := make([][]T, n)
+		for i := 0; i < n; i++ {
+			out[i] = clone(slots[i].([]any)[me].([]T))
+		}
+		return out
+	}
+	out := make([][]T, n)
+	out[me] = clone(send[me])
+	for j := 0; j < n; j++ {
+		if j == me {
+			continue
+		}
+		sendChunk(t, c, t.members[j], key{Seq: seq, Tag: tagExchange, Src: me}, clone(send[j]))
+	}
+	for i := 0; i < n; i++ {
+		if i == me {
+			continue
+		}
+		out[i] = recvAs[[]T](t, c, key{Seq: seq, Tag: tagExchange, Src: i})
+	}
+	return out
+}
+
+// IndexedValue pairs a value with the rank that contributed it, for
+// min/max-location reductions (HPL's pivot search).
+type IndexedValue struct {
+	Value float64
+	Rank  int
+	Index int
+}
+
+// AllReduceMaxLoc returns, at every member, the maximum contributed value
+// together with its contributor rank and caller-supplied index.
+func AllReduceMaxLoc(t *Team, c *core.Ctx, value float64, index int) IndexedValue {
+	me := t.rank(c)
+	in := []IndexedValue{{Value: value, Rank: me, Index: index}}
+	out := AllReduce(t, c, in, func(a, b IndexedValue) IndexedValue {
+		if b.Value > a.Value || (b.Value == a.Value && b.Rank < a.Rank) {
+			return b
+		}
+		return a
+	})
+	return out[0]
+}
+
+// --- helpers ---
+
+func clone[T any](v []T) []T {
+	out := make([]T, len(v))
+	copy(out, v)
+	return out
+}
+
+// combineSlots element-wise reduces the non-nil member contributions.
+func combineSlots[T any](slots []any, op func(T, T) T) []T {
+	var acc []T
+	for _, s := range slots {
+		if s == nil {
+			continue
+		}
+		v := s.([]T)
+		if acc == nil {
+			acc = clone(v)
+			continue
+		}
+		if len(v) != len(acc) {
+			panic(fmt.Sprintf("collectives: mismatched reduce lengths %d vs %d", len(v), len(acc)))
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], v[i])
+		}
+	}
+	return acc
+}
+
+// elemBytes models the wire size of a slice of T.
+func elemBytes[T any](n int) int {
+	return int(reflect.TypeFor[T]().Size()) * n
+}
+
+// sharedState is the native-mode rendezvous: per-sequence slots where
+// members deposit contributions; the last arriver combines them.
+type sharedState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	ops  map[uint64]*opInstance
+}
+
+type opInstance struct {
+	arrived int
+	read    int
+	slots   []any
+	done    bool
+	result  any
+}
+
+func newSharedState(n int) *sharedState {
+	s := &sharedState{n: n, ops: make(map[uint64]*opInstance)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// rendezvous deposits contrib for (member me, collective seq), has the last
+// arriver compute combine(slots), and returns the result to every member.
+func (s *sharedState) rendezvous(c *core.Ctx, me int, seq uint64, contrib any,
+	combine func([]any) any) any {
+	var result any
+	c.Blocking(func() {
+		s.mu.Lock()
+		op, ok := s.ops[seq]
+		if !ok {
+			op = &opInstance{slots: make([]any, s.n)}
+			s.ops[seq] = op
+		}
+		op.slots[me] = contrib
+		op.arrived++
+		if op.arrived == s.n {
+			op.result = combine(op.slots)
+			op.done = true
+			s.cond.Broadcast()
+		}
+		for !op.done {
+			s.cond.Wait()
+		}
+		result = op.result
+		op.read++
+		if op.read == s.n {
+			delete(s.ops, seq)
+		}
+		s.mu.Unlock()
+	})
+	return result
+}

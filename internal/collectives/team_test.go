@@ -1,0 +1,314 @@
+package collectives
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+)
+
+func newRT(t *testing.T, places int) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// runSPMD launches body at every place under a finish and fails the test on
+// error — the harness every collective test uses.
+func runSPMD(t *testing.T, rt *core.Runtime, body func(*core.Ctx)) {
+	t.Helper()
+	err := rt.Run(func(ctx *core.Ctx) {
+		if err := ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, body)
+			}
+		}); err != nil {
+			t.Errorf("spmd finish: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func bothModes(t *testing.T, f func(t *testing.T, mode Mode)) {
+	for _, m := range []Mode{ModeNative, ModeEmulated} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) { f(t, m) })
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 7
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		var entered atomic.Int64
+		runSPMD(t, rt, func(c *core.Ctx) {
+			for round := 0; round < 3; round++ {
+				entered.Add(1)
+				team.Barrier(c)
+				// After the barrier, everyone from this round has entered.
+				if got := entered.Load(); got < int64((round+1)*n) {
+					t.Errorf("round %d: entered=%d, want >= %d", round, got, (round+1)*n)
+				}
+			}
+		})
+	})
+}
+
+func TestAllReduceSum(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 6
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			me := float64(c.Place())
+			got := AllReduce(team, c, []float64{me, 2 * me, 1}, func(a, b float64) float64 { return a + b })
+			want := []float64{15, 30, 6} // sum 0..5, sum 2*(0..5), n
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("place %d: got[%d]=%v want %v", c.Place(), i, got[i], want[i])
+				}
+			}
+		})
+	})
+}
+
+func TestAllReduceMin(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 5)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			v := int64(10 - c.Place())
+			got := AllReduce(team, c, []int64{v}, func(a, b int64) int64 {
+				if a < b {
+					return a
+				}
+				return b
+			})
+			if got[0] != 6 {
+				t.Errorf("place %d: min=%d, want 6", c.Place(), got[0])
+			}
+		})
+	})
+}
+
+func TestReduceToRoot(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 6)
+		team := New(rt, core.WorldGroup(rt), mode)
+		const root = 3
+		runSPMD(t, rt, func(c *core.Ctx) {
+			got := Reduce(team, c, root, []int{1}, func(a, b int) int { return a + b })
+			if int(c.Place()) == root {
+				if len(got) != 1 || got[0] != 6 {
+					t.Errorf("root got %v, want [6]", got)
+				}
+			} else if got != nil {
+				t.Errorf("non-root place %d got %v, want nil", c.Place(), got)
+			}
+		})
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 9)
+		team := New(rt, core.WorldGroup(rt), mode)
+		const root = 2
+		runSPMD(t, rt, func(c *core.Ctx) {
+			var in []string
+			if int(c.Place()) == root {
+				in = []string{"hello", "world"}
+			}
+			got := Broadcast(team, c, root, in)
+			if len(got) != 2 || got[0] != "hello" || got[1] != "world" {
+				t.Errorf("place %d got %v", c.Place(), got)
+			}
+		})
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 5
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			got := AllGather(team, c, []int{int(c.Place()) * 2})
+			if len(got) != n {
+				t.Fatalf("got %d parts", len(got))
+			}
+			for r := 0; r < n; r++ {
+				if len(got[r]) != 1 || got[r][0] != r*2 {
+					t.Errorf("place %d: part[%d]=%v", c.Place(), r, got[r])
+				}
+			}
+		})
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 4
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			me := int(c.Place())
+			send := make([][]int, n)
+			for j := 0; j < n; j++ {
+				send[j] = []int{me*100 + j}
+			}
+			got := AllToAll(team, c, send)
+			// got[i] must be what member i sent to me: i*100 + me.
+			for i := 0; i < n; i++ {
+				if len(got[i]) != 1 || got[i][0] != i*100+me {
+					t.Errorf("place %d: got[%d]=%v, want [%d]", me, i, got[i], i*100+me)
+				}
+			}
+		})
+	})
+}
+
+func TestAllReduceMaxLoc(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 6)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			// Place 4 holds the maximum.
+			v := float64(c.Place())
+			if c.Place() == 4 {
+				v = 100
+			}
+			got := AllReduceMaxLoc(team, c, v, int(c.Place())*7)
+			if got.Value != 100 || got.Rank != 4 || got.Index != 28 {
+				t.Errorf("place %d: maxloc = %+v", c.Place(), got)
+			}
+		})
+	})
+}
+
+func TestSubTeam(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 8)
+		g, err := core.NewPlaceGroup([]core.Place{1, 3, 5, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		team := New(rt, g, mode)
+		if team.Size() != 4 {
+			t.Fatalf("Size = %d", team.Size())
+		}
+		rerr := rt.Run(func(ctx *core.Ctx) {
+			if err := ctx.Finish(func(c *core.Ctx) {
+				for _, p := range g.Places() {
+					c.AtAsync(p, func(cc *core.Ctx) {
+						got := AllReduce(team, cc, []int{1}, func(a, b int) int { return a + b })
+						if got[0] != 4 {
+							t.Errorf("place %d: got %d, want 4", cc.Place(), got[0])
+						}
+					})
+				}
+			}); err != nil {
+				t.Errorf("finish: %v", err)
+			}
+		})
+		if rerr != nil {
+			t.Fatalf("Run: %v", rerr)
+		}
+	})
+}
+
+func TestNonMemberPanics(t *testing.T) {
+	rt := newRT(t, 4)
+	g, _ := core.NewPlaceGroup([]core.Place{1, 2})
+	team := New(rt, g, ModeNative)
+	err := rt.Run(func(ctx *core.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-member Barrier did not panic")
+			}
+		}()
+		team.Barrier(ctx) // place 0 is not a member
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// Back-to-back collectives must not cross-contaminate sequences.
+	bothModes(t, func(t *testing.T, mode Mode) {
+		const n = 4
+		rt := newRT(t, n)
+		team := New(rt, core.WorldGroup(rt), mode)
+		runSPMD(t, rt, func(c *core.Ctx) {
+			for round := 1; round <= 20; round++ {
+				got := AllReduce(team, c, []int{round}, func(a, b int) int { return a + b })
+				if got[0] != round*n {
+					t.Errorf("round %d: got %d, want %d", round, got[0], round*n)
+					return
+				}
+			}
+		})
+	})
+}
+
+func TestSingleMemberTeam(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 1)
+		team := New(rt, core.WorldGroup(rt), mode)
+		err := rt.Run(func(ctx *core.Ctx) {
+			team.Barrier(ctx)
+			got := AllReduce(team, ctx, []int{9}, func(a, b int) int { return a + b })
+			if got[0] != 9 {
+				t.Errorf("got %v", got)
+			}
+			g2 := Broadcast(team, ctx, 0, []int{3})
+			if g2[0] != 3 {
+				t.Errorf("bcast got %v", g2)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+}
+
+// TestBarrierActuallyBlocks verifies a straggler holds everyone.
+func TestBarrierActuallyBlocks(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode Mode) {
+		rt := newRT(t, 3)
+		team := New(rt, core.WorldGroup(rt), mode)
+		var after atomic.Int64
+		runSPMD(t, rt, func(c *core.Ctx) {
+			if c.Place() == 2 {
+				time.Sleep(50 * time.Millisecond)
+				if n := after.Load(); n != 0 {
+					t.Errorf("%d members passed the barrier before the straggler entered", n)
+				}
+			}
+			team.Barrier(c)
+			after.Add(1)
+		})
+		if after.Load() != 3 {
+			t.Errorf("after = %d", after.Load())
+		}
+	})
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNative.String() != "native" || ModeEmulated.String() != "emulated" {
+		t.Error("mode names wrong")
+	}
+	if fmt.Sprint(ModeNative) != "native" {
+		t.Error("Stringer not wired")
+	}
+}

@@ -1,0 +1,320 @@
+package congruent
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apgas/internal/core"
+)
+
+func newRT(t *testing.T, places int) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestSymmetricAllocation(t *testing.T) {
+	rt := newRT(t, 4)
+	a := NewAllocator(rt)
+	arr1, err := NewArray[float64](a, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr2, err := NewArray[uint64](a, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric handles: same handle names the fragment at every place.
+	if arr1.Handle() == arr2.Handle() {
+		t.Error("handles collide")
+	}
+	if arr1.PerPlaceLen() != 100 || arr1.GlobalLen() != 400 {
+		t.Errorf("lengths: per=%d global=%d", arr1.PerPlaceLen(), arr1.GlobalLen())
+	}
+	for p := 0; p < 4; p++ {
+		if len(arr1.Fragment(core.Place(p))) != 100 {
+			t.Errorf("fragment %d has length %d", p, len(arr1.Fragment(core.Place(p))))
+		}
+	}
+	reg, pages, allocs := a.Stats()
+	wantBytes := uint64(100*8*4 + 50*8*4)
+	if reg != wantBytes {
+		t.Errorf("registeredBytes = %d, want %d", reg, wantBytes)
+	}
+	if pages != 2 { // both allocations round up to one 16MB page each
+		t.Errorf("largePages = %d, want 2", pages)
+	}
+	if allocs != 2 {
+		t.Errorf("allocations = %d, want 2", allocs)
+	}
+	if _, err := NewArray[int](a, 0); err == nil {
+		t.Error("zero-length allocation accepted")
+	}
+}
+
+func TestAsyncCopyPut(t *testing.T) {
+	rt := newRT(t, 3)
+	a := NewAllocator(rt)
+	arr, err := NewArray[float64](a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		src := []float64{1, 2, 3}
+		computed := false
+		err := ctx.Finish(func(c *core.Ctx) {
+			AsyncCopyPut(c, src, arr, 2, 4)
+			computed = true // overlap communication with computation
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		if !computed {
+			t.Error("local work did not overlap")
+		}
+		got := arr.Fragment(2)[4:7]
+		if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+			t.Errorf("fragment = %v", got)
+		}
+	})
+	if rerr != nil {
+		t.Fatalf("Run: %v", rerr)
+	}
+}
+
+func TestAsyncCopyPutDetachesBuffer(t *testing.T) {
+	rt := newRT(t, 2)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[int](a, 4)
+	err := rt.Run(func(ctx *core.Ctx) {
+		src := []int{7, 7, 7, 7}
+		err := ctx.Finish(func(c *core.Ctx) {
+			AsyncCopyPut(c, src, arr, 1, 0)
+			// Reusing the buffer immediately must be safe.
+			for i := range src {
+				src[i] = -1
+			}
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		for i, v := range arr.Fragment(1) {
+			if v != 7 {
+				t.Errorf("fragment[%d] = %d, want 7", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCopyGet(t *testing.T) {
+	rt := newRT(t, 3)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[float64](a, 8)
+	for i := range arr.Fragment(1) {
+		arr.Fragment(1)[i] = float64(i) * 1.5
+	}
+	err := rt.Run(func(ctx *core.Ctx) {
+		buf := make([]float64, 4)
+		if err := CopyGet(ctx, arr, 1, 2, buf); err != nil {
+			t.Errorf("CopyGet: %v", err)
+		}
+		for i, v := range buf {
+			if want := float64(i+2) * 1.5; v != want {
+				t.Errorf("buf[%d] = %v, want %v", i, v, want)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPutBoundsPanics(t *testing.T) {
+	rt := newRT(t, 2)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[int](a, 4)
+	err := rt.Run(func(ctx *core.Ctx) {
+		ferr := ctx.Finish(func(c *core.Ctx) {
+			AsyncCopyPut(c, []int{1, 2, 3}, arr, 1, 2) // 2+3 > 4
+		})
+		if ferr == nil {
+			t.Error("out-of-bounds put did not error")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRemoteXor(t *testing.T) {
+	rt := newRT(t, 4)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[uint64](a, 16)
+	err := rt.Run(func(ctx *core.Ctx) {
+		err := ctx.Finish(func(c *core.Ctx) {
+			// XOR the same value twice plus one marker: net result marker.
+			RemoteXor(c, arr, 3, 5, 0xff)
+			RemoteXor(c, arr, 3, 5, 0xff)
+			RemoteXor(c, arr, 3, 5, 0xabc)
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		if got := arr.Fragment(3)[5]; got != 0xabc {
+			t.Errorf("fragment[5] = %#x, want 0xabc", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRemoteXorBatch(t *testing.T) {
+	rt := newRT(t, 2)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[uint64](a, 8)
+	err := rt.Run(func(ctx *core.Ctx) {
+		err := ctx.Finish(func(c *core.Ctx) {
+			RemoteXorBatch(c, arr, 1, []XorUpdate{
+				{Idx: 0, Val: 1}, {Idx: 1, Val: 2}, {Idx: 0, Val: 4},
+			})
+			RemoteXorBatch(c, arr, 1, nil) // no-op
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		if arr.Fragment(1)[0] != 5 || arr.Fragment(1)[1] != 2 {
+			t.Errorf("fragment = %v", arr.Fragment(1)[:2])
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestXorIsInvolution is a property test: applying any batch of updates
+// twice restores the array — the invariant HPCC RandomAccess verification
+// relies on.
+func TestXorIsInvolution(t *testing.T) {
+	rt := newRT(t, 4)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[uint64](a, 32)
+	f := func(updates []struct {
+		P   uint8
+		Idx uint8
+		Val uint64
+	}) bool {
+		ok := true
+		err := rt.Run(func(ctx *core.Ctx) {
+			apply := func(c *core.Ctx) {
+				for _, u := range updates {
+					RemoteXor(c, arr, core.Place(int(u.P)%4), int(u.Idx)%32, u.Val)
+				}
+			}
+			_ = ctx.Finish(apply)
+			_ = ctx.Finish(apply)
+			for p := 0; p < 4; p++ {
+				for _, v := range arr.Fragment(core.Place(p)) {
+					if v != 0 {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalFragment(t *testing.T) {
+	rt := newRT(t, 3)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[int](a, 5)
+	err := rt.Run(func(ctx *core.Ctx) {
+		err := ctx.Finish(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *core.Ctx) {
+					loc := arr.Local(cc)
+					for i := range loc {
+						loc[i] = int(cc.Place())
+					}
+				})
+			}
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for p := 0; p < 3; p++ {
+		for i, v := range arr.Fragment(core.Place(p)) {
+			if v != p {
+				t.Errorf("place %d fragment[%d] = %d", p, i, v)
+			}
+		}
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	cases := map[any]uintptr{
+		int8(0): 1, uint16(0): 2, float32(0): 4, float64(0): 8,
+		complex128(0): 16, uint64(0): 8, false: 1, "": 8,
+	}
+	for v, want := range cases {
+		if got := sizeOf(v); got != want {
+			t.Errorf("sizeOf(%T) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestGetBoundsPanics(t *testing.T) {
+	rt := newRT(t, 2)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[float64](a, 4)
+	err := rt.Run(func(ctx *core.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-bounds get did not panic")
+			}
+		}()
+		buf := make([]float64, 3)
+		AsyncCopyGet(ctx, arr, 1, 2, buf) // 2+3 > 4: panics at the caller
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCopyGetSelfPlace(t *testing.T) {
+	rt := newRT(t, 2)
+	a := NewAllocator(rt)
+	arr, _ := NewArray[int](a, 4)
+	for i := range arr.Fragment(0) {
+		arr.Fragment(0)[i] = i * 3
+	}
+	err := rt.Run(func(ctx *core.Ctx) {
+		buf := make([]int, 4)
+		if err := CopyGet(ctx, arr, 0, 0, buf); err != nil {
+			t.Errorf("self get: %v", err)
+		}
+		for i, v := range buf {
+			if v != i*3 {
+				t.Errorf("buf[%d] = %d", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

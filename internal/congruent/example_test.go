@@ -1,0 +1,54 @@
+package congruent_test
+
+import (
+	"fmt"
+
+	"apgas/internal/congruent"
+	"apgas/internal/core"
+)
+
+// The §3.3 overlap idiom: an asynchronous copy tracked by the enclosing
+// finish while the sender keeps computing.
+func ExampleAsyncCopyPut() {
+	rt, err := core.NewRuntime(core.Config{Places: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	alloc := congruent.NewAllocator(rt)
+	dst, err := congruent.NewArray[float64](alloc, 8)
+	if err != nil {
+		panic(err)
+	}
+	_ = rt.Run(func(ctx *core.Ctx) {
+		src := []float64{1, 2, 3}
+		_ = ctx.Finish(func(c *core.Ctx) {
+			// srcArray is local, dstArray is remote:
+			congruent.AsyncCopyPut(c, src, dst, 1, 0)
+			// ... computeLocally() while sending the data ...
+		})
+		fmt.Println("remote fragment:", dst.Fragment(1)[:3])
+	})
+	// Output: remote fragment: [1 2 3]
+}
+
+// The GUPS remote atomic XOR of Global RandomAccess.
+func ExampleRemoteXor() {
+	rt, err := core.NewRuntime(core.Config{Places: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	alloc := congruent.NewAllocator(rt)
+	table, err := congruent.NewArray[uint64](alloc, 4)
+	if err != nil {
+		panic(err)
+	}
+	_ = rt.Run(func(ctx *core.Ctx) {
+		_ = ctx.Finish(func(c *core.Ctx) {
+			congruent.RemoteXor(c, table, 1, 2, 0xff)
+		})
+		fmt.Printf("%#x\n", table.Fragment(1)[2])
+	})
+	// Output: 0xff
+}

@@ -1,0 +1,104 @@
+package congruent
+
+import (
+	"fmt"
+
+	"apgas/internal/core"
+)
+
+// This file surfaces the RDMA operations: asynchronous array copies
+// (X10's Array.asyncCopy, rewired in the paper to use the Torrent's RDMA
+// engine) and the "GUPS" remote atomic update feature used by Global
+// RandomAccess. All of them are governed by the caller's enclosing finish
+// and execute at the destination without consuming a worker slot.
+
+// AsyncCopyPut copies src (local data at the calling place) into the
+// fragment of dst at place p, starting at dstOff. Termination is tracked
+// by the enclosing finish; the call returns immediately.
+func AsyncCopyPut[T any](c *core.Ctx, src []T, dst *Array[T], p core.Place, dstOff int) {
+	if dstOff < 0 || dstOff+len(src) > dst.perLen {
+		panic(fmt.Sprintf("congruent: put [%d,%d) outside fragment of length %d",
+			dstOff, dstOff+len(src), dst.perLen))
+	}
+	var z T
+	bytes := int(sizeOf(z)) * len(src)
+	// Copy-out at the source side models the absence of local staging
+	// copies poorly only in one direction: the in-process substrate must
+	// detach from the caller's buffer because the caller may reuse it
+	// immediately, exactly like handing the buffer to the NIC.
+	buf := make([]T, len(src))
+	copy(buf, src)
+	frag := dst.frags // captured; the direct body runs at p
+	c.AtDirect(p, bytes, func(cc *core.Ctx) {
+		copy(frag[p][dstOff:], buf)
+	})
+}
+
+// AsyncCopyGet copies [srcOff, srcOff+len(dstBuf)) of src's fragment at
+// place p into dstBuf at the calling place. Termination is tracked by the
+// enclosing finish. The round trip uses the FINISH_HERE-shaped
+// request/response pair internally.
+func AsyncCopyGet[T any](c *core.Ctx, src *Array[T], p core.Place, srcOff int, dstBuf []T) {
+	if srcOff < 0 || srcOff+len(dstBuf) > src.perLen {
+		panic(fmt.Sprintf("congruent: get [%d,%d) outside fragment of length %d",
+			srcOff, srcOff+len(dstBuf), src.perLen))
+	}
+	var z T
+	bytes := int(sizeOf(z)) * len(dstBuf)
+	home := c.Place()
+	n := len(dstBuf)
+	frag := src.frags
+	c.AtDirect(p, 16, func(cc *core.Ctx) {
+		// At the data's home: stage and ship back.
+		buf := make([]T, n)
+		copy(buf, frag[p][srcOff:srcOff+n])
+		cc.AtDirect(home, bytes, func(*core.Ctx) {
+			copy(dstBuf, buf)
+		})
+	})
+}
+
+// CopyGet is a blocking get: it performs AsyncCopyGet under an internal
+// FINISH_HERE, returning when the data has arrived.
+func CopyGet[T any](c *core.Ctx, src *Array[T], p core.Place, srcOff int, dstBuf []T) error {
+	return c.FinishPragma(core.PatternHere, func(cc *core.Ctx) {
+		AsyncCopyGet(cc, src, p, srcOff, dstBuf)
+	})
+}
+
+// RemoteXor applies an atomic XOR of val to element idx of arr's fragment
+// at place p — the Torrent "GUPS" RDMA feature that Global RandomAccess
+// relies on. The update executes on the destination dispatcher; because
+// each fragment element is only mutated through that place's dispatcher,
+// updates are atomic per place. Termination is tracked by the enclosing
+// finish.
+func RemoteXor(c *core.Ctx, arr *Array[uint64], p core.Place, idx int, val uint64) {
+	frag := arr.frags
+	c.AtDirect(p, 16, func(*core.Ctx) {
+		frag[p][idx] ^= val
+	})
+}
+
+// XorUpdate is one element of a GUPS batch.
+type XorUpdate struct {
+	Idx int
+	Val uint64
+}
+
+// RemoteXorBatch applies a batch of XOR updates at place p with a single
+// message — the look-ahead batching HPCC RandomAccess permits (up to 1024
+// outstanding updates). Termination is tracked by the enclosing finish.
+func RemoteXorBatch(c *core.Ctx, arr *Array[uint64], p core.Place, updates []XorUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	batch := make([]XorUpdate, len(updates))
+	copy(batch, updates)
+	frag := arr.frags
+	c.AtDirect(p, 16*len(batch), func(*core.Ctx) {
+		f := frag[p]
+		for _, u := range batch {
+			f[u.Idx] ^= u.Val
+		}
+	})
+}

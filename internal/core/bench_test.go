@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Microbenchmarks of the runtime primitives — the performance model of
+// "what's going on under the hood" (Grove et al., X10'11, cited by the
+// paper): spawn rate, place-shift latency, and per-pattern finish
+// overhead, the quantities application kernels compose from.
+
+func benchRuntime(b *testing.B, places int) *Runtime {
+	b.Helper()
+	rt, err := NewRuntime(Config{Places: places})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	return rt
+}
+
+func BenchmarkAsyncSpawn(b *testing.B) {
+	rt := benchRuntime(b, 1)
+	err := rt.Run(func(ctx *Ctx) {
+		var sink atomic.Int64
+		b.ResetTimer()
+		ferr := ctx.Finish(func(c *Ctx) {
+			for i := 0; i < b.N; i++ {
+				c.Async(func(*Ctx) { sink.Add(1) })
+			}
+		})
+		if ferr != nil {
+			b.Error(ferr)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAtRoundTripLatency(b *testing.B) {
+	rt := benchRuntime(b, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.At(1, func(*Ctx) {})
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAtDirectThroughput(b *testing.B) {
+	rt := benchRuntime(b, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		var sink atomic.Int64
+		b.ResetTimer()
+		ferr := ctx.Finish(func(c *Ctx) {
+			for i := 0; i < b.N; i++ {
+				c.AtDirect(1, 16, func(*Ctx) { sink.Add(1) })
+			}
+		})
+		if ferr != nil {
+			b.Error(ferr)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchFinishPattern measures the fixed cost of one finish of the given
+// pattern governing a single remote activity (or local, for LOCAL).
+func benchFinishPattern(b *testing.B, pat Pattern) {
+	rt := benchRuntime(b, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var ferr error
+			if pat == PatternLocal {
+				ferr = ctx.FinishPragma(pat, func(c *Ctx) {
+					c.Async(func(*Ctx) {})
+				})
+			} else {
+				ferr = ctx.FinishPragma(pat, func(c *Ctx) {
+					c.AtAsync(1, func(*Ctx) {})
+				})
+			}
+			if ferr != nil {
+				b.Error(ferr)
+				return
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFinishDefault(b *testing.B) { benchFinishPattern(b, PatternDefault) }
+func BenchmarkFinishAsync(b *testing.B)   { benchFinishPattern(b, PatternAsync) }
+func BenchmarkFinishLocal(b *testing.B)   { benchFinishPattern(b, PatternLocal) }
+func BenchmarkFinishSPMDOne(b *testing.B) { benchFinishPattern(b, PatternSPMD) }
+
+func BenchmarkFinishHereRoundTrip(b *testing.B) {
+	rt := benchRuntime(b, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		home := ctx.Place()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ferr := ctx.FinishPragma(PatternHere, func(c *Ctx) {
+				c.AtAsync(1, func(cc *Ctx) {
+					cc.AtAsync(home, func(*Ctx) {})
+				})
+			})
+			if ferr != nil {
+				b.Error(ferr)
+				return
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFanOutSPMD16(b *testing.B) {
+	rt := benchRuntime(b, 16)
+	err := rt.Run(func(ctx *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ferr := ctx.FinishPragma(PatternSPMD, func(c *Ctx) {
+				for _, p := range c.Places() {
+					c.AtAsync(p, func(*Ctx) {})
+				}
+			})
+			if ferr != nil {
+				b.Error(ferr)
+				return
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTreeBroadcast16(b *testing.B) {
+	rt := benchRuntime(b, 16)
+	g := WorldGroup(rt)
+	err := rt.Run(func(ctx *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ferr := g.Broadcast(ctx, func(*Ctx) {}); ferr != nil {
+				b.Error(ferr)
+				return
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAtomicSection(b *testing.B) {
+	rt := benchRuntime(b, 1)
+	err := rt.Run(func(ctx *Ctx) {
+		n := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Atomic(func() { n++ })
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"apgas/internal/x10rt"
+)
+
+// Clock is X10's dynamic barrier: a set of registered activities advance
+// in phases, and Advance blocks each of them until every registered
+// activity has reached the same phase. Unlike static barriers, activities
+// can register with and resign from a live clock, and registered
+// activities may live at any place.
+//
+// The clock's coordination state lives at its home place (where NewClock
+// ran); registration, resignation, and phase arrival are control messages
+// to the home. Phase releases are delivered through in-process latches —
+// the runtime requires a shared-address-space transport, see package core.
+type Clock struct {
+	home Place
+	id   uint64
+}
+
+// clockState is the home-place state of one clock.
+type clockState struct {
+	registered int
+	arrived    int
+	phase      uint64
+	waiters    []chan uint64
+	dropped    bool // true once registered hits 0; further ops panic
+}
+
+// clock control messages.
+type clockMsg struct {
+	ID    uint64
+	Op    clockOp
+	Reply chan uint64 // phase acknowledgment / release latch
+}
+
+type clockOp uint8
+
+const (
+	clockRegister clockOp = iota
+	clockDrop
+	clockAdvance
+)
+
+// NewClock creates a clock homed at the current place with the current
+// activity registered on it. The activity should eventually Drop the clock
+// (X10 deregisters automatically at activity termination; this runtime
+// makes it explicit).
+func NewClock(c *Ctx) *Clock {
+	pl := c.pl
+	pl.clockMu.Lock()
+	pl.clockSeq++
+	id := pl.clockSeq
+	pl.clocks[id] = &clockState{registered: 1}
+	pl.clockMu.Unlock()
+	return &Clock{home: pl.id, id: id}
+}
+
+// Home returns the clock's home place.
+func (ck *Clock) Home() Place { return ck.home }
+
+// Register adds the current activity to the clock. It blocks until the
+// home place acknowledges, so a subsequent Advance by any party cannot
+// miss the registration. Spawning a clocked child is therefore:
+// register first (in the parent), then spawn.
+func (ck *Clock) Register(c *Ctx) {
+	ck.roundTrip(c, clockRegister)
+}
+
+// Drop resigns the current activity from the clock. Any activities blocked
+// in Advance are released if the resignation completes the phase.
+func (ck *Clock) Drop(c *Ctx) {
+	ck.roundTrip(c, clockDrop)
+}
+
+// Advance signals that the current activity has reached the end of the
+// phase and blocks until all registered activities have too — X10's
+// Clock.advanceAll(). It returns the new phase number.
+func (ck *Clock) Advance(c *Ctx) uint64 {
+	return ck.roundTrip(c, clockAdvance)
+}
+
+func (ck *Clock) roundTrip(c *Ctx, op clockOp) uint64 {
+	reply := make(chan uint64, 1)
+	c.rt.send(c.pl.id, ck.home, x10rt.HandlerClockCtl,
+		clockMsg{ID: ck.id, Op: op, Reply: reply}, 24, x10rt.ControlClass)
+	var phase uint64
+	c.pl.sched.Blocking(func() { phase = <-reply })
+	return phase
+}
+
+// onClockCtl processes clock control traffic at the clock's home place.
+func (rt *Runtime) onClockCtl(src, dst int, payload any) {
+	m := payload.(clockMsg)
+	pl := rt.places[dst]
+	pl.clockMu.Lock()
+	defer pl.clockMu.Unlock()
+	st, ok := pl.clocks[m.ID]
+	if !ok || st.dropped {
+		panic(fmt.Sprintf("core: operation on dead clock %d at place %d", m.ID, dst))
+	}
+	switch m.Op {
+	case clockRegister:
+		st.registered++
+		m.Reply <- st.phase
+	case clockDrop:
+		st.registered--
+		m.Reply <- st.phase
+		st.maybeRelease(pl, m.ID)
+	case clockAdvance:
+		st.arrived++
+		st.waiters = append(st.waiters, m.Reply)
+		st.maybeRelease(pl, m.ID)
+	}
+}
+
+// maybeRelease completes the phase when every registered activity has
+// arrived; caller holds clockMu.
+func (st *clockState) maybeRelease(pl *place, id uint64) {
+	if st.registered < 0 {
+		panic(fmt.Sprintf("core: clock %d over-dropped", id))
+	}
+	if st.registered == 0 && st.arrived == 0 {
+		// Everyone resigned: retire the clock.
+		st.dropped = true
+		delete(pl.clocks, id)
+		return
+	}
+	if st.arrived < st.registered || st.arrived == 0 {
+		return
+	}
+	st.phase++
+	for _, w := range st.waiters {
+		w <- st.phase
+	}
+	st.waiters = st.waiters[:0]
+	st.arrived = 0
+}
+
+// ClockedAsync spawns f as a new activity registered on the given clock,
+// mirroring X10's `clocked async`. The registration is acknowledged before
+// the spawn, so the new activity is visible to every Advance that follows.
+// The child is automatically dropped from the clock when it terminates.
+func (c *Ctx) ClockedAsync(ck *Clock, f func(*Ctx)) {
+	ck.Register(c)
+	c.Async(func(ctx *Ctx) {
+		defer ck.Drop(ctx)
+		f(ctx)
+	})
+}
+
+// ClockedAtAsync is ClockedAsync at a remote place.
+func (c *Ctx) ClockedAtAsync(ck *Clock, p Place, f func(*Ctx)) {
+	ck.Register(c)
+	c.AtAsync(p, func(ctx *Ctx) {
+		defer ck.Drop(ctx)
+		f(ctx)
+	})
+}
+
+// ClockedFinish is the paper's §2.2 `clocked finish` idiom: it creates a
+// clock registered to the current activity, runs body under a finish with
+// the clock available for ClockedAsync/ClockedAtAsync children, resigns the
+// creator's registration when body returns (so children can advance
+// freely), and waits for all children.
+func (c *Ctx) ClockedFinish(body func(*Ctx, *Clock)) error {
+	ck := NewClock(c)
+	return c.Finish(func(cc *Ctx) {
+		defer ck.Drop(cc)
+		body(cc, ck)
+	})
+}

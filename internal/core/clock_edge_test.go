@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestClockedAsyncLocal(t *testing.T) {
+	rt := newTestRuntime(t, 1, func(c *Config) { c.WorkersPerPlace = 4 })
+	err := rt.Run(func(ctx *Ctx) {
+		ck := NewClock(ctx)
+		var phase1 atomic.Int64
+		err := ctx.Finish(func(c *Ctx) {
+			for i := 0; i < 3; i++ {
+				c.ClockedAsync(ck, func(cc *Ctx) {
+					phase1.Add(1)
+					ck.Advance(cc)
+					// After the barrier, all three increments are visible.
+					if got := phase1.Load(); got != 3 {
+						t.Errorf("after advance: %d", got)
+					}
+				})
+			}
+			ck.Drop(c)
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestClockHome(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	err := rt.Run(func(ctx *Ctx) {
+		ck := NewClock(ctx)
+		if ck.Home() != 0 {
+			t.Errorf("Home = %d", ck.Home())
+		}
+		ck.Drop(ctx)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestClockRegisterThenAdvance(t *testing.T) {
+	// Registration is synchronous: a child registered before spawn is
+	// always counted by the parent's next Advance.
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		ck := NewClock(ctx)
+		order := make(chan string, 4)
+		err := ctx.Finish(func(c *Ctx) {
+			c.ClockedAtAsync(ck, 1, func(cc *Ctx) {
+				order <- "child-before"
+				ck.Advance(cc)
+				order <- "child-after"
+			})
+			order <- "parent-before"
+			ck.Advance(c)
+			order <- "parent-after"
+			ck.Drop(c)
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		// Both "before" entries must precede both "after" entries: no
+		// activity passes the barrier before both have arrived.
+		seen := map[string]int{}
+		for i := 0; i < 4; i++ {
+			var s string
+			ctx.Blocking(func() { s = <-order })
+			seen[s] = i
+		}
+		if seen["parent-after"] < seen["child-before"] {
+			t.Errorf("parent passed barrier before child arrived: %v", seen)
+		}
+		if seen["child-after"] < seen["parent-before"] {
+			t.Errorf("child passed barrier before parent arrived: %v", seen)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestClockedFinishIdiom runs the paper's §2.2 listing: one clocked
+// activity per place, loop iterations synchronized by a global barrier.
+func TestClockedFinishIdiom(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	const iters = 4
+	err := rt.Run(func(ctx *Ctx) {
+		var phase [4]atomic.Int64
+		err := ctx.ClockedFinish(func(c *Ctx, ck *Clock) {
+			for _, p := range c.Places() {
+				p := p
+				c.ClockedAtAsync(ck, p, func(cc *Ctx) {
+					for i := 0; i < iters; i++ {
+						phase[p].Store(int64(i))
+						ck.Advance(cc) // global barrier, as in the listing
+						for q := 0; q < 4; q++ {
+							if d := int64(i) - phase[q].Load(); d > 0 {
+								t.Errorf("iter %d: place %d lags at %d", i, q, phase[q].Load())
+							}
+						}
+					}
+				})
+			}
+		})
+		if err != nil {
+			t.Errorf("clocked finish: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

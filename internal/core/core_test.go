@@ -1,0 +1,632 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"apgas/internal/x10rt"
+)
+
+// newTestRuntime builds a runtime with sane test defaults.
+func newTestRuntime(t *testing.T, places int, mut ...func(*Config)) *Runtime {
+	t.Helper()
+	cfg := Config{Places: places, CheckPatterns: true, PlacesPerHost: 4}
+	for _, f := range mut {
+		f(&cfg)
+	}
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestRunExecutesAtPlaceZero(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	var at Place = -1
+	if err := rt.Run(func(ctx *Ctx) { at = ctx.Place() }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 0 {
+		t.Fatalf("main ran at place %d, want 0", at)
+	}
+}
+
+func TestAsyncFinishLocal(t *testing.T) {
+	rt := newTestRuntime(t, 1)
+	var count atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		err := ctx.Finish(func(c *Ctx) {
+			for i := 0; i < 100; i++ {
+				c.Async(func(*Ctx) { count.Add(1) })
+			}
+		})
+		if err != nil {
+			t.Errorf("inner finish: %v", err)
+		}
+		if got := count.Load(); got != 100 {
+			t.Errorf("after finish: count=%d, want 100", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFib(t *testing.T) {
+	// The paper's §2.2 fib example: finish+async recursive decomposition.
+	rt := newTestRuntime(t, 1)
+	var fib func(c *Ctx, n int) int
+	fib = func(c *Ctx, n int) int {
+		if n < 2 {
+			return n
+		}
+		var f1, f2 int
+		if err := c.Finish(func(cc *Ctx) {
+			cc.Async(func(ca *Ctx) { f1 = fib(ca, n-1) })
+			f2 = fib(cc, n-2)
+		}); err != nil {
+			t.Errorf("fib finish: %v", err)
+		}
+		return f1 + f2
+	}
+	err := rt.Run(func(ctx *Ctx) {
+		if got := fib(ctx, 15); got != 610 {
+			t.Errorf("fib(15) = %d, want 610", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAtSynchronous(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	err := rt.Run(func(ctx *Ctx) {
+		for p := 1; p < 4; p++ {
+			var ranAt Place = -1
+			ctx.At(Place(p), func(c *Ctx) { ranAt = c.Place() })
+			if ranAt != Place(p) {
+				t.Errorf("At(%d) ran at %d", p, ranAt)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAtEval(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	err := rt.Run(func(ctx *Ctx) {
+		got := AtEval(ctx, 2, func(c *Ctx) int { return int(c.Place()) * 7 })
+		if got != 14 {
+			t.Errorf("AtEval = %d, want 14", got)
+		}
+		s := AtEval(ctx, 1, func(c *Ctx) string { return fmt.Sprintf("place-%d", c.Place()) })
+		if s != "place-1" {
+			t.Errorf("AtEval string = %q", s)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestAtPanicPropagates(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	sentinel := errors.New("remote boom")
+	err := rt.Run(func(ctx *Ctx) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("At did not re-panic at origin")
+				return
+			}
+			if !errors.Is(r.(error), sentinel) {
+				t.Errorf("recovered %v, want %v", r, sentinel)
+			}
+		}()
+		ctx.At(1, func(*Ctx) { panic(sentinel) })
+	})
+	if err != nil {
+		t.Fatalf("Run should succeed (panic recovered in main): %v", err)
+	}
+}
+
+func TestFinishAcrossPlaces(t *testing.T) {
+	rt := newTestRuntime(t, 8)
+	var count atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		err := ctx.Finish(func(c *Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *Ctx) {
+					count.Add(1)
+					// Nested remote spawn: stress arbitrary nesting.
+					cc.AtAsync((cc.Place()+1)%Place(cc.NumPlaces()), func(*Ctx) {
+						count.Add(1)
+					})
+				})
+			}
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		if got := count.Load(); got != 16 {
+			t.Errorf("count = %d, want 16", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFinishDeepChain exercises a long chain of dependent remote spawns —
+// the pattern that defeats naive termination detection under reordering.
+func TestFinishDeepChain(t *testing.T) {
+	rt := newTestRuntime(t, 4, func(c *Config) {
+		c.Transport = mustChan(t, 4, 777) // adversarial control reordering
+	})
+	var hops atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		err := ctx.Finish(func(c *Ctx) {
+			var hop func(cc *Ctx, n int)
+			hop = func(cc *Ctx, n int) {
+				hops.Add(1)
+				if n == 0 {
+					return
+				}
+				cc.AtAsync((cc.Place()+1)%4, func(c3 *Ctx) { hop(c3, n-1) })
+			}
+			c.Async(func(cc *Ctx) { hop(cc, 200) })
+		})
+		if err != nil {
+			t.Errorf("finish: %v", err)
+		}
+		if got := hops.Load(); got != 201 {
+			t.Errorf("hops = %d, want 201", got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func mustChan(t *testing.T, places int, seed int64) x10rt.Transport {
+	t.Helper()
+	tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places, ReorderSeed: seed})
+	if err != nil {
+		t.Fatalf("chan transport: %v", err)
+	}
+	return tr
+}
+
+// TestFinishRandomWaves drives the default finish with random waves of
+// remote activity under control-message reordering, checking the count is
+// exact when the finish returns — the safety property of §3.1.
+func TestFinishRandomWaves(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rt := newTestRuntime(t, 6, func(c *Config) {
+				c.Transport = mustChan(t, 6, seed)
+			})
+			var count atomic.Int64
+			var want int64
+			// A deterministic pseudo-random spawn tree.
+			var spawn func(c *Ctx, depth, fan int)
+			spawn = func(c *Ctx, depth, fan int) {
+				count.Add(1)
+				if depth == 0 {
+					return
+				}
+				for i := 0; i < fan; i++ {
+					dst := Place((int(c.Place()) + i*depth + 1) % 6)
+					c.AtAsync(dst, func(cc *Ctx) { spawn(cc, depth-1, fan) })
+				}
+			}
+			// want = sum over tree: nodes of a complete fan-ary tree.
+			depth, fan := 4, 3
+			nodes := int64(0)
+			pow := int64(1)
+			for d := 0; d <= depth; d++ {
+				nodes += pow
+				pow *= int64(fan)
+			}
+			want = nodes
+			err := rt.Run(func(ctx *Ctx) {
+				if err := ctx.Finish(func(c *Ctx) { spawn(c, depth, fan) }); err != nil {
+					t.Errorf("finish: %v", err)
+				}
+				if got := count.Load(); got != want {
+					t.Errorf("count = %d, want %d", got, want)
+				}
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+func TestNestedFinishIsolation(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	err := rt.Run(func(ctx *Ctx) {
+		var order []string
+		var mu sync.Mutex
+		log := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+		err := ctx.Finish(func(c *Ctx) {
+			c.AtAsync(1, func(cc *Ctx) {
+				if err := cc.Finish(func(c3 *Ctx) {
+					c3.AtAsync(2, func(*Ctx) { log("inner") })
+				}); err != nil {
+					t.Errorf("inner finish: %v", err)
+				}
+				log("after-inner") // must come after "inner"
+			})
+		})
+		if err != nil {
+			t.Errorf("outer finish: %v", err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != 2 || order[0] != "inner" || order[1] != "after-inner" {
+			t.Errorf("order = %v", order)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishCollectsErrors(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	err := rt.Run(func(ctx *Ctx) {
+		err := ctx.Finish(func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { panic("boom-1") })
+			c.AtAsync(2, func(*Ctx) { panic("boom-2") })
+			c.Async(func(*Ctx) {}) // a clean one
+		})
+		if err == nil {
+			t.Error("finish returned nil, want combined error")
+			return
+		}
+		var m *MultiError
+		if errors.As(err, &m) {
+			if len(m.Errs) != 2 {
+				t.Errorf("got %d errors, want 2: %v", len(m.Errs), err)
+			}
+		} else {
+			t.Errorf("want MultiError, got %T: %v", err, err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishBodyPanicStillDrains(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var done atomic.Bool
+	err := rt.Run(func(ctx *Ctx) {
+		err := ctx.Finish(func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { done.Store(true) })
+			panic("body dies")
+		})
+		if err == nil {
+			t.Error("finish swallowed body panic")
+		}
+		if !done.Load() {
+			t.Error("finish returned before spawned activity completed")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRunReturnsMainError(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) { panic("main dead") })
+	if err == nil || err.Error() != "activity panic: main dead" {
+		t.Fatalf("Run error = %v", err)
+	}
+	// The runtime survives a failed Run.
+	if err := rt.Run(func(*Ctx) {}); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+}
+
+// --- specialized pattern tests ---
+
+func TestFinishAsyncPattern(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var ran atomic.Bool
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternAsync, func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { ran.Store(true) })
+		}); err != nil {
+			t.Errorf("FINISH_ASYNC: %v", err)
+		}
+		if !ran.Load() {
+			t.Error("FINISH_ASYNC returned before activity completed")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishAsyncContractViolation(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		ferr := ctx.FinishPragma(PatternAsync, func(c *Ctx) {
+			c.Async(func(*Ctx) {})
+			c.Async(func(*Ctx) {}) // second governed activity: violation
+		})
+		if ferr == nil || !strings.Contains(ferr.Error(), "contract violation") {
+			t.Errorf("expected contract violation error, got %v", ferr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishAsyncErrorPropagates(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		err := ctx.FinishPragma(PatternAsync, func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { panic("async boom") })
+		})
+		if err == nil {
+			t.Error("FINISH_ASYNC lost the remote error")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishLocalPattern(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternLocal, func(c *Ctx) {
+			for i := 0; i < 50; i++ {
+				c.Async(func(*Ctx) { n.Add(1) })
+			}
+		}); err != nil {
+			t.Errorf("FINISH_LOCAL: %v", err)
+		}
+		if n.Load() != 50 {
+			t.Errorf("n = %d, want 50", n.Load())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// No control messages may have been sent.
+	if msgs := rt.Transport().Stats().Messages[x10rt.ControlClass]; msgs != 0 {
+		t.Errorf("FINISH_LOCAL sent %d control messages, want 0", msgs)
+	}
+}
+
+func TestFinishLocalRejectsRemote(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		ferr := ctx.FinishPragma(PatternLocal, func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) {})
+		})
+		if ferr == nil || !strings.Contains(ferr.Error(), "contract violation") {
+			t.Errorf("expected contract violation error, got %v", ferr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishSPMDPattern(t *testing.T) {
+	rt := newTestRuntime(t, 8)
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternSPMD, func(c *Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *Ctx) {
+					// Nested finish makes inner spawns legal under SPMD.
+					if err := cc.Finish(func(c3 *Ctx) {
+						c3.Async(func(*Ctx) { n.Add(1) })
+						c3.Async(func(*Ctx) { n.Add(1) })
+					}); err != nil {
+						t.Errorf("nested: %v", err)
+					}
+				})
+			}
+		}); err != nil {
+			t.Errorf("FINISH_SPMD: %v", err)
+		}
+		if n.Load() != 16 {
+			t.Errorf("n = %d, want 16", n.Load())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishSPMDViolation(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	errCh := make(chan error, 1)
+	err := rt.Run(func(ctx *Ctx) {
+		errCh <- ctx.FinishPragma(PatternSPMD, func(c *Ctx) {
+			c.AtAsync(1, func(cc *Ctx) {
+				defer func() { recover() }() // swallow so the test can assert on the finish error
+				cc.Async(func(*Ctx) {})      // naked spawn at remote place: violation
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The violating activity panicked; the panic is reported as its error.
+	if ferr := <-errCh; ferr != nil {
+		t.Logf("finish error (expected): %v", ferr)
+	}
+}
+
+func TestFinishHerePattern(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	err := rt.Run(func(ctx *Ctx) {
+		home := ctx.Place()
+		var got atomic.Int64
+		before := rt.Transport().Stats()
+		if err := ctx.FinishPragma(PatternHere, func(c *Ctx) {
+			c.AtAsync(2, func(cc *Ctx) {
+				v := int64(cc.Place()) * 100
+				cc.AtAsync(home, func(*Ctx) { got.Store(v) }) // the response
+			})
+		}); err != nil {
+			t.Errorf("FINISH_HERE: %v", err)
+		}
+		if got.Load() != 200 {
+			t.Errorf("got = %d, want 200", got.Load())
+		}
+		// The round trip itself must require no control messages.
+		if d := rt.Transport().Stats().Sub(before); d.Messages[x10rt.ControlClass] != 0 {
+			t.Errorf("FINISH_HERE used %d control messages, want 0", d.Messages[x10rt.ControlClass])
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishHereOneWayRelease(t *testing.T) {
+	// A FINISH_HERE whose remote activity never responds must still
+	// terminate (explicit token release).
+	rt := newTestRuntime(t, 2)
+	var ran atomic.Bool
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternHere, func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { ran.Store(true) })
+		}); err != nil {
+			t.Errorf("FINISH_HERE: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran.Load() {
+		t.Error("remote activity did not run")
+	}
+}
+
+func TestFinishHereManyRoundTrips(t *testing.T) {
+	rt := newTestRuntime(t, 8)
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		home := ctx.Place()
+		if err := ctx.FinishPragma(PatternHere, func(c *Ctx) {
+			for p := 1; p < 8; p++ {
+				c.AtAsync(Place(p), func(cc *Ctx) {
+					cc.AtAsync(home, func(*Ctx) { n.Add(1) })
+				})
+			}
+		}); err != nil {
+			t.Errorf("FINISH_HERE: %v", err)
+		}
+		if n.Load() != 7 {
+			t.Errorf("n = %d, want 7", n.Load())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishDensePattern(t *testing.T) {
+	// Dense all-to-all spawning under FINISH_DENSE with routing through
+	// per-host masters (PlacesPerHost=4 in the test config).
+	rt := newTestRuntime(t, 8)
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternDense, func(c *Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *Ctx) {
+					for _, q := range cc.Places() {
+						cc.AtAsync(q, func(*Ctx) { n.Add(1) })
+					}
+				})
+			}
+		}); err != nil {
+			t.Errorf("FINISH_DENSE: %v", err)
+		}
+		if n.Load() != 64 {
+			t.Errorf("n = %d, want 64", n.Load())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFinishDenseUnderReordering(t *testing.T) {
+	rt := newTestRuntime(t, 8, func(c *Config) {
+		c.Transport = mustChan(t, 8, 31337)
+	})
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternDense, func(c *Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *Ctx) {
+					for q := 0; q < 8; q++ {
+						cc.AtAsync(Place(q), func(*Ctx) { n.Add(1) })
+					}
+				})
+			}
+		}); err != nil {
+			t.Errorf("FINISH_DENSE: %v", err)
+		}
+		if n.Load() != 64 {
+			t.Errorf("n = %d, want 64", n.Load())
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDenseRoute(t *testing.T) {
+	rt := newTestRuntime(t, 16, func(c *Config) { c.PlacesPerHost = 4 })
+	cases := []struct {
+		from, home Place
+		want       []Place
+	}{
+		{5, 0, []Place{4, 0}},     // master(5)=4, master(0)=0=home
+		{5, 1, []Place{4, 0, 1}},  // full three-hop route
+		{4, 1, []Place{0, 1}},     // from is its own master
+		{6, 4, []Place{4}},        // master(6)=4=home, collapse
+		{1, 2, []Place{0, 2}},     // same host: via shared master
+		{13, 14, []Place{12, 14}}, // same host, non-master
+	}
+	for _, c := range cases {
+		got := rt.denseRoute(c.from, c.home)
+		if len(got) != len(c.want) {
+			t.Errorf("denseRoute(%d,%d) = %v, want %v", c.from, c.home, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("denseRoute(%d,%d) = %v, want %v", c.from, c.home, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"apgas/internal/x10rt"
+)
+
+// Ctx is the execution context of one activity: which place it runs at and
+// which finish governs the activities it spawns. A Ctx is only valid on the
+// activity it was handed to; never share it across goroutines (spawn
+// activities instead).
+type Ctx struct {
+	rt  *Runtime
+	pl  *place
+	fin finRef // governing finish for spawns; zero (valid) only inside Run bootstrap
+
+	// hereHomebound marks, for activities governed by a FINISH_HERE,
+	// whether this activity has already passed its termination token
+	// home (see finish_patterns.go).
+	hereHomebound bool
+}
+
+// Place returns the place this activity is executing at.
+func (c *Ctx) Place() Place { return c.pl.id }
+
+// Runtime returns the hosting runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// NumPlaces returns the number of places, a convenience mirror of
+// Runtime().NumPlaces().
+func (c *Ctx) NumPlaces() int { return c.rt.NumPlaces() }
+
+// Places returns all places of the computation in order, for
+// `for _, p := range ctx.Places()` iteration mirroring X10's
+// Place.places().
+func (c *Ctx) Places() []Place {
+	ps := make([]Place, c.rt.NumPlaces())
+	for i := range ps {
+		ps[i] = Place(i)
+	}
+	return ps
+}
+
+// spawnMsg asks the destination place to run Body as a new activity
+// governed by Fin. Bytes models the serialized size of the captured state.
+type spawnMsg struct {
+	Fin   finRef
+	Body  func(*Ctx)
+	Bytes int
+	// Direct runs Body inline on the destination dispatcher instead of
+	// scheduling an activity (RDMA emulation; see Ctx.AtDirect).
+	Direct bool
+	// Raw skips the finish begin/terminate bookkeeping in the handler:
+	// the body carries its own accounting (self-directed AtDirect).
+	Raw bool
+	// Uncounted runs Body as an activity governed by no finish at all
+	// (X10's @Uncounted async).
+	Uncounted bool
+}
+
+// defaultSpawnBytes is the modeled wire size of an async closure with no
+// declared payload: a task header plus a small captured environment.
+const defaultSpawnBytes = 64
+
+// Async spawns f as a new activity at the current place, governed by the
+// current finish. It returns immediately.
+func (c *Ctx) Async(f func(*Ctx)) {
+	fin := c.fin
+	c.rt.finEvent(fin, c.pl, evLocalSpawn, c.pl.id, nil, c)
+	c.rt.spawnLocal(c.pl, fin, f)
+}
+
+// spawnLocal schedules an activity at pl. The governing finish has already
+// counted it.
+func (rt *Runtime) spawnLocal(pl *place, fin finRef, f func(*Ctx)) {
+	pl.sched.Spawn(func() {
+		rt.runActivity(pl, fin, f, nil)
+	})
+}
+
+// runActivity executes one activity body with panic capture. If reply is
+// non-nil the panic value is forwarded there (for synchronous At) and the
+// finish sees a clean termination; otherwise the recovered error is
+// reported to the governing finish.
+func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error) {
+	ctx := &Ctx{rt: rt, pl: pl, fin: fin}
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = toError(r)
+			}
+		}()
+		f(ctx)
+	}()
+	if reply != nil {
+		rt.finEvent(fin, pl, evTerminate, pl.id, nil, ctx)
+		reply <- err
+		return
+	}
+	rt.finEvent(fin, pl, evTerminate, pl.id, err, ctx)
+}
+
+// AtAsync spawns f as a new activity at place p, governed by the current
+// finish — X10's `at (p) async S` active-message idiom. It returns
+// immediately, without waiting for delivery or completion.
+func (c *Ctx) AtAsync(p Place, f func(*Ctx)) {
+	c.atAsyncSized(p, defaultSpawnBytes, f, nil)
+}
+
+// AtAsyncSized is AtAsync with an explicit modeled payload size in bytes,
+// used by applications to account for the data captured by the task.
+func (c *Ctx) AtAsyncSized(p Place, bytes int, f func(*Ctx)) {
+	c.atAsyncSized(p, bytes, f, nil)
+}
+
+func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error) {
+	if p == c.pl.id {
+		// Local fast path: same counting as Async.
+		c.rt.finEvent(c.fin, c.pl, evLocalSpawn, p, nil, c)
+		c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply) })
+		return
+	}
+	fin := c.fin
+	// Count the remote spawn before the message leaves: the finish
+	// protocols rely on sends being visible in the sender's state no
+	// later than its next quiescence report.
+	c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c)
+	body := f
+	if reply != nil {
+		r := reply
+		orig := f
+		body = func(ctx *Ctx) { c.rt.runReplied(ctx, orig, r) }
+		// Mark so the arrival path knows termination is clean even if
+		// the body panics (the panic travels back on the reply channel).
+	}
+	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn, spawnMsg{Fin: fin, Body: body, Bytes: bytes},
+		bytes, x10rt.DataClass)
+}
+
+// runReplied runs the body of a synchronous At at the remote place,
+// forwarding any panic to the in-process reply channel so it re-surfaces
+// at the origin instead of being double-reported to the finish.
+func (rt *Runtime) runReplied(ctx *Ctx, f func(*Ctx), reply chan<- error) {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = toError(r)
+			}
+		}()
+		f(ctx)
+	}()
+	reply <- err
+}
+
+// onSpawn is the transport handler for remote activity spawns. It counts
+// the arrival with the governing finish and schedules the activity.
+func (rt *Runtime) onSpawn(src, dst int, payload any) {
+	m := payload.(spawnMsg)
+	pl := rt.places[dst]
+	if m.Uncounted {
+		pl.sched.Spawn(func() { runUncounted(rt, pl, m.Body) })
+		return
+	}
+	if m.Raw {
+		// Self-directed RDMA: the body carries its own bookkeeping.
+		m.Body(&Ctx{rt: rt, pl: pl, fin: m.Fin})
+		return
+	}
+	rt.finEvent(m.Fin, pl, evRemoteBegin, Place(src), nil, nil)
+	if m.Direct {
+		// RDMA path: run inline on the dispatcher, no scheduler slot.
+		rt.runActivity(pl, m.Fin, m.Body, nil)
+		return
+	}
+	pl.sched.Spawn(func() {
+		rt.runActivity(pl, m.Fin, m.Body, nil)
+	})
+}
+
+// At runs f at place p synchronously — X10's `at (p) S` place shift. The
+// calling activity blocks (releasing its execution slot) until f completes
+// at p. A panic inside f propagates back to the caller.
+//
+// Internally each At is governed by its own FINISH_ASYNC, the way the
+// paper's SPMD codes wrap their puts and gets (§3.1): the operation is
+// therefore legal inside any enclosing finish pattern, including
+// FINISH_SPMD bodies, without violating the pattern's contract.
+func (c *Ctx) At(p Place, f func(*Ctx)) {
+	if p == c.pl.id {
+		f(c)
+		return
+	}
+	reply := make(chan error, 1)
+	ferr := c.FinishPragma(PatternAsync, func(cc *Ctx) {
+		cc.atAsyncSized(p, defaultSpawnBytes, f, reply)
+	})
+	if ferr != nil {
+		panic(ferr)
+	}
+	// The finish has completed, so the reply is already buffered.
+	if err := <-reply; err != nil {
+		panic(err)
+	}
+}
+
+// AtEval evaluates f at place p and returns its result — X10's
+// `val v = at (p) e`. The calling activity blocks until the value is
+// available.
+func AtEval[T any](c *Ctx, p Place, f func(*Ctx) T) T {
+	var out T
+	c.At(p, func(ctx *Ctx) { out = f(ctx) })
+	return out
+}
+
+// Blocking runs wait with the calling activity's execution slot released,
+// so that other activities of this place can run while this one is
+// suspended. Runtime extensions (collectives, RDMA emulation) use it to
+// integrate their blocking operations with the cooperative scheduler.
+func (c *Ctx) Blocking(wait func()) { c.pl.sched.Blocking(wait) }
+
+// AtDirect runs f at place p directly on the destination's message
+// dispatcher, bypassing the activity scheduler — the runtime's model of an
+// RDMA or hardware-offloaded operation that completes "without the
+// involvement of the CPU" (§3.3): no execution slot at the destination is
+// consumed. f must be short and non-blocking. Like Array.asyncCopy in X10,
+// the operation is treated exactly as if it were an async: its termination
+// is tracked by the enclosing finish. bytes models the wire size.
+//
+// Self-directed operations also travel through the transport, mirroring
+// the paper's configuration ("we always rely on PAMI to communicate among
+// places even if they belong to the same octant"); this keeps the
+// destination dispatcher the only mutator of dispatcher-owned state.
+func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
+	fin := c.fin
+	if p == c.pl.id {
+		c.rt.finEvent(fin, c.pl, evLocalSpawn, p, nil, c)
+		wrapped := func(ctx *Ctx) {
+			var err error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						err = toError(r)
+					}
+				}()
+				f(ctx)
+			}()
+			c.rt.finEvent(fin, c.pl, evTerminate, p, err, ctx)
+		}
+		c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
+			spawnMsg{Fin: fin, Body: wrapped, Bytes: bytes, Direct: true, Raw: true},
+			bytes, x10rt.DataClass)
+		return
+	}
+	c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c)
+	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
+		spawnMsg{Fin: fin, Body: f, Bytes: bytes, Direct: true}, bytes, x10rt.DataClass)
+}
+
+// Atomic executes f as an uninterrupted step with respect to all other
+// Atomic/When sections at this place — X10's `atomic S`.
+func (c *Ctx) Atomic(f func()) {
+	pl := c.pl
+	pl.monMu.Lock()
+	f()
+	pl.monCond.Broadcast()
+	pl.monMu.Unlock()
+}
+
+// When blocks until cond holds, then executes f in the same uninterrupted
+// step — X10's `when (c) S`. cond is re-evaluated after every Atomic/When
+// section at this place; it must be side-effect free.
+func (c *Ctx) When(cond func() bool, f func()) {
+	pl := c.pl
+	pl.sched.Block() // release the execution slot for the wait
+	pl.monMu.Lock()
+	for !cond() {
+		pl.monCond.Wait()
+	}
+	f()
+	pl.monCond.Broadcast()
+	pl.monMu.Unlock()
+	pl.sched.Unblock()
+}
+
+// toError normalizes a recovered panic value.
+func toError(r any) error {
+	switch e := r.(type) {
+	case error:
+		return e
+	default:
+		return fmt.Errorf("activity panic: %v", r)
+	}
+}
+
+// UncountedAsync spawns f at place p outside any finish — X10's @Uncounted
+// async, the escape hatch runtime-level protocols use for messages whose
+// life cycle a higher-level mechanism already tracks (the lifeline
+// balancer's steal traffic is the paper's example). No finish waits for f:
+// the caller is responsible for knowing when the work is done, and a panic
+// in f is silently discarded after recovery. Inside f, open a Finish
+// before spawning further governed work.
+func (c *Ctx) UncountedAsync(p Place, f func(*Ctx)) {
+	if p == c.pl.id {
+		c.pl.sched.Spawn(func() { runUncounted(c.rt, c.pl, f) })
+		return
+	}
+	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
+		spawnMsg{Body: f, Bytes: defaultSpawnBytes, Uncounted: true},
+		defaultSpawnBytes, x10rt.DataClass)
+}
+
+// runUncounted executes an uncounted activity: no finish events, panics
+// contained.
+func runUncounted(rt *Runtime, pl *place, f func(*Ctx)) {
+	defer func() { _ = recover() }()
+	f(&Ctx{rt: rt, pl: pl})
+}

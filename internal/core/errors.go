@@ -1,0 +1,47 @@
+package core
+
+import "strings"
+
+// MultiError aggregates the errors of several failed activities governed by
+// one finish, mirroring X10's MultipleExceptions.
+type MultiError struct {
+	Errs []error
+}
+
+// Error implements error.
+func (m *MultiError) Error() string {
+	var b strings.Builder
+	b.WriteString("multiple activity errors:")
+	for _, e := range m.Errs {
+		b.WriteString("\n\t")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the aggregated errors to errors.Is/As.
+func (m *MultiError) Unwrap() []error { return m.Errs }
+
+// combineErrors flattens a list of possibly nil errors into nil, the single
+// error, or a MultiError.
+func combineErrors(errs ...error) error {
+	var flat []error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if m, ok := e.(*MultiError); ok {
+			flat = append(flat, m.Errs...)
+			continue
+		}
+		flat = append(flat, e)
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return &MultiError{Errs: flat}
+	}
+}

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"apgas/internal/core"
+)
+
+// The fib example of the paper's §2.2: recursive parallel decomposition
+// with finish and async.
+func ExampleCtx_Finish() {
+	rt, err := core.NewRuntime(core.Config{Places: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	var fib func(c *core.Ctx, n int) int
+	fib = func(c *core.Ctx, n int) int {
+		if n < 2 {
+			return n
+		}
+		var f1, f2 int
+		_ = c.Finish(func(cc *core.Ctx) {
+			cc.Async(func(ca *core.Ctx) { f1 = fib(ca, n-1) })
+			f2 = fib(cc, n-2)
+		})
+		return f1 + f2
+	}
+	_ = rt.Run(func(ctx *core.Ctx) {
+		fmt.Println(fib(ctx, 10))
+	})
+	// Output: 55
+}
+
+// Remote evaluation: X10's `val v = at (p) e`.
+func ExampleAtEval() {
+	rt, err := core.NewRuntime(core.Config{Places: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	_ = rt.Run(func(ctx *core.Ctx) {
+		v := core.AtEval(ctx, 3, func(c *core.Ctx) string {
+			return fmt.Sprintf("computed at place %d", c.Place())
+		})
+		fmt.Println(v)
+	})
+	// Output: computed at place 3
+}
+
+// A startup broadcast over every place with completion detection, the §2.2
+// idiom realized with the §3.2 spawning tree.
+func ExamplePlaceGroup_Broadcast() {
+	rt, err := core.NewRuntime(core.Config{Places: 8})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	var visited atomic.Int64
+	_ = rt.Run(func(ctx *core.Ctx) {
+		g := core.WorldGroup(rt)
+		_ = g.Broadcast(ctx, func(c *core.Ctx) { visited.Add(1) })
+		fmt.Println("initialized places:", visited.Load())
+	})
+	// Output: initialized places: 8
+}
+
+// Profile-guided finish implementation selection (§3.1): observe a run,
+// get the pragma.
+func ExampleCtx_FinishProfiled() {
+	rt, err := core.NewRuntime(core.Config{Places: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+	_ = rt.Run(func(ctx *core.Ctx) {
+		profile, _ := ctx.FinishProfiled(func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(*core.Ctx) {})
+			}
+		})
+		fmt.Println("recommended:", profile.Recommend())
+	})
+	// Output: recommended: FINISH_SPMD
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pattern selects a finish implementation. The X10 runtime of the paper
+// picks these through programmer-supplied pragmas (a prototype compiler
+// analysis could infer them); here the pattern is an explicit argument to
+// FinishPragma. PatternDefault is the fully general algorithm, with the
+// dynamic local->distributed promotion described in §3.1.
+type Pattern uint8
+
+const (
+	// PatternDefault is the general algorithm: it optimistically assumes
+	// the finish is local (a plain counter) and switches to the
+	// distributed cumulative-vector protocol the first time a governed
+	// activity executes an at. It handles arbitrary nesting of async and
+	// at. Space at the root is O(n^2) in the number of places involved.
+	PatternDefault Pattern = iota
+
+	// PatternAsync (FINISH_ASYNC) governs a single activity, possibly
+	// remote: `finish at (p) async S`. Termination needs at most one
+	// control message.
+	PatternAsync
+
+	// PatternHere (FINISH_HERE) governs a round trip: an activity is sent
+	// to a remote place and sends exactly one activity back home. The
+	// termination token travels with the messages; the remote side sends
+	// no control traffic at all. This is the "puts a request, awaits the
+	// response" shape used for steal attempts in UTS.
+	PatternHere
+
+	// PatternLocal (FINISH_LOCAL) governs activities that never leave the
+	// place: a plain atomic counter with no control messages.
+	PatternLocal
+
+	// PatternSPMD (FINISH_SPMD) governs remote activities that do not
+	// spawn subactivities outside of a nested finish:
+	// `finish for (p in places) at (p) async finish S`. The root waits
+	// for exactly n completion messages; their order, source and content
+	// are irrelevant.
+	PatternSPMD
+
+	// PatternDense (FINISH_DENSE) is the general cumulative-vector
+	// protocol with software routing: control messages from place p are
+	// routed through the master places p-p%b and root-root%b (b = places
+	// per host), shaping the irregular control traffic into a low
+	// out-degree pattern the interconnect handles well. Use it for
+	// finishes governing dense or irregular communication graphs, such
+	// as the root finish of distributed work stealing.
+	PatternDense
+
+	numPatterns
+)
+
+// String names the pattern as in the paper.
+func (p Pattern) String() string {
+	switch p {
+	case PatternDefault:
+		return "FINISH_DEFAULT"
+	case PatternAsync:
+		return "FINISH_ASYNC"
+	case PatternHere:
+		return "FINISH_HERE"
+	case PatternLocal:
+		return "FINISH_LOCAL"
+	case PatternSPMD:
+		return "FINISH_SPMD"
+	case PatternDense:
+		return "FINISH_DENSE"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// finishID names a finish instance globally: the place its root activity
+// runs at plus a home-local sequence number.
+type finishID struct {
+	Home Place
+	Seq  uint64
+}
+
+// finRef is the handle activities carry to their governing finish.
+type finRef struct {
+	ID      finishID
+	Pattern Pattern
+}
+
+func (r finRef) valid() bool { return r.Pattern < numPatterns && r.ID.Seq != 0 }
+
+// finEvent kinds. Events are raised by the activity machinery (ctx.go) and
+// dispatched either to the root finish object (at the home place) or to the
+// per-place proxy of the distributed protocols.
+type finEventKind uint8
+
+const (
+	// evLocalSpawn: an activity was spawned at this place (other unused).
+	evLocalSpawn finEventKind = iota
+	// evRemoteSpawn: a spawn message is about to leave for place other.
+	evRemoteSpawn
+	// evRemoteBegin: a spawn message from place other arrived here.
+	evRemoteBegin
+	// evTerminate: an activity finished here (err may be non-nil).
+	evTerminate
+)
+
+// rootFinish is a finish root: the state at the home place that the
+// root activity blocks on.
+type rootFinish interface {
+	// event processes a local event at the home place.
+	event(kind finEventKind, other Place, err error)
+	// ctl processes a control message from a remote place.
+	ctl(src Place, payload any)
+	// wait blocks (cooperatively) until quiescence and returns the
+	// combined error of governed activities.
+	wait(pl *place) error
+}
+
+// Finish runs body in the current activity and then blocks until every
+// activity transitively spawned by body — at any place — has terminated
+// (X10's finish S). It uses the general PatternDefault algorithm and
+// returns the combined error of any governed activities (and of body
+// itself) that panicked.
+func (c *Ctx) Finish(body func(*Ctx)) error {
+	return c.FinishPragma(PatternDefault, body)
+}
+
+// FinishPragma is Finish with an explicit implementation-selection pragma,
+// mirroring X10's @Pragma(Pragma.FINISH_*) annotations (§3.1). The chosen
+// pattern must match how body actually spawns; with Config.CheckPatterns
+// enabled, contract violations panic.
+func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
+	pl := c.pl
+	id := finishID{Home: pl.id, Seq: pl.finSeq.Add(1)}
+	ref := finRef{ID: id, Pattern: p}
+
+	var root rootFinish
+	switch p {
+	case PatternDefault:
+		root = newDefaultRoot(c.rt, ref, false)
+	case PatternDense:
+		root = newDefaultRoot(c.rt, ref, true)
+	case PatternAsync:
+		root = newCounterRoot(c.rt, ref, counterAsync)
+	case PatternHere:
+		root = newCounterRoot(c.rt, ref, counterHere)
+	case PatternLocal:
+		root = newCounterRoot(c.rt, ref, counterLocal)
+	case PatternSPMD:
+		root = newCounterRoot(c.rt, ref, counterSPMD)
+	default:
+		panic(fmt.Sprintf("core: unknown finish pattern %v", p))
+	}
+
+	pl.finMu.Lock()
+	pl.roots[id] = root
+	pl.finMu.Unlock()
+
+	// The body runs in the current activity with the new finish
+	// installed as governing scope for its spawns.
+	inner := &Ctx{rt: c.rt, pl: pl, fin: ref}
+	var bodyErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				bodyErr = toError(r)
+			}
+		}()
+		body(inner)
+	}()
+
+	err := root.wait(pl)
+
+	pl.finMu.Lock()
+	delete(pl.roots, id)
+	pl.finMu.Unlock()
+
+	return combineErrors(bodyErr, err)
+}
+
+// finEvent dispatches an activity life-cycle event to the governing finish
+// machinery: directly to the root when raised at the home place, otherwise
+// to the per-place proxy of the distributed protocol. ctx is the activity
+// raising the event; it is nil for evRemoteBegin (the activity does not
+// exist yet at arrival time).
+func (rt *Runtime) finEvent(fin finRef, pl *place, kind finEventKind, other Place, err error, ctx *Ctx) {
+	if !fin.valid() {
+		panic("core: activity has no governing finish")
+	}
+	if fin.ID.Home == pl.id {
+		pl.finMu.Lock()
+		root, ok := pl.roots[fin.ID]
+		pl.finMu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("core: %v event for unknown finish %+v at home", kind, fin))
+		}
+		root.event(kind, other, err)
+		return
+	}
+	switch fin.Pattern {
+	case PatternDefault, PatternDense:
+		rt.proxyEvent(fin, pl, kind, other, err)
+	case PatternAsync, PatternSPMD:
+		rt.counterRemoteEvent(fin, pl, kind, other, err)
+	case PatternHere:
+		rt.hereRemoteEvent(fin, pl, kind, other, err, ctx)
+	case PatternLocal:
+		panic(fmt.Sprintf("core: FINISH_LOCAL governed activity reached place %d (home %d)",
+			pl.id, fin.ID.Home))
+	default:
+		panic(fmt.Sprintf("core: bad pattern %v", fin.Pattern))
+	}
+}
+
+// onFinishCtl is the transport handler for finish-protocol control traffic.
+func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
+	pl := rt.places[dst]
+	switch m := payload.(type) {
+	case ctlRouted:
+		rt.routeDense(pl, m)
+	case ctlCleanup:
+		pl.finMu.Lock()
+		delete(pl.proxies, m.ID)
+		pl.finMu.Unlock()
+	default:
+		id := ctlFinishID(payload)
+		pl.finMu.Lock()
+		root, ok := pl.roots[id]
+		pl.finMu.Unlock()
+		if !ok {
+			// A token-neutral error report (FINISH_HERE, N == 0) may race
+			// with root completion when an activity panics after passing
+			// its token home; the finish has already succeeded, so the
+			// straggler is dropped. Anything else is a protocol bug.
+			if d, isDone := payload.(ctlDone); isDone && d.N == 0 {
+				return
+			}
+			panic(fmt.Sprintf("core: control message %T for unknown finish %+v at place %d",
+				payload, id, dst))
+		}
+		root.ctl(Place(src), payload)
+	}
+}
+
+// control message payloads ---------------------------------------------
+
+// ctlSnapshot is the cumulative quiescence report of the vector protocol
+// (PatternDefault after promotion, PatternDense): sent by a place when its
+// last live governed activity terminates.
+type ctlSnapshot struct {
+	ID    finishID
+	From  Place
+	Epoch uint64
+	// Recv is the cumulative count of remote activities begun at From.
+	Recv uint64
+	// Local is the cumulative count of local spawns performed at From
+	// under this finish. It plays no role in termination detection; the
+	// finish-shape profiler (FinishProfiled) consumes it.
+	Local uint64
+	// Sent maps destination place to the cumulative count of remote
+	// spawns From has performed under this finish.
+	Sent map[Place]uint64
+	// Errs is the cumulative list of activity errors collected at From.
+	Errs []error
+}
+
+// ctlRouted wraps snapshots for FINISH_DENSE software routing. Stage 0
+// messages travel place->master(src); stage 1 master(src)->master(home);
+// stage 2 master(home)->home, where they are applied.
+type ctlRouted struct {
+	ID    finishID
+	Snaps []ctlSnapshot
+	// Hops is the remaining route; Hops[0] is the place currently
+	// processing the message.
+	Hops []Place
+	// Flush marks a master's self-addressed coalescing marker: forward
+	// everything buffered for (ID, Hops[1:]) now.
+	Flush bool
+}
+
+// ctlDone reports remote activity completions for the counter-based
+// patterns (FINISH_ASYNC, FINISH_SPMD, and FINISH_HERE token releases).
+type ctlDone struct {
+	ID  finishID
+	N   int
+	Err error
+}
+
+// ctlCleanup tells a place to drop its proxy state for a finished finish.
+type ctlCleanup struct {
+	ID finishID
+}
+
+func ctlFinishID(payload any) finishID {
+	switch m := payload.(type) {
+	case ctlSnapshot:
+		return m.ID
+	case ctlDone:
+		return m.ID
+	case ctlRouted:
+		return m.ID
+	case ctlCleanup:
+		return m.ID
+	default:
+		panic(fmt.Sprintf("core: unknown control payload %T", payload))
+	}
+}
+
+// waiter is a one-shot completion latch shared by the root implementations.
+type waiter struct {
+	mu      sync.Mutex
+	done    bool
+	ch      chan struct{}
+	errs    []error
+	waiting bool
+}
+
+func newWaiter() *waiter { return &waiter{ch: make(chan struct{})} }
+
+// fire marks completion; idempotent.
+func (w *waiter) fire() {
+	if !w.done {
+		w.done = true
+		close(w.ch)
+	}
+}
+
+// block waits cooperatively (releasing the place's scheduler slot).
+func (w *waiter) block(pl *place) error {
+	w.mu.Lock()
+	w.waiting = true
+	done := w.done
+	w.mu.Unlock()
+	if !done {
+		pl.sched.Blocking(func() { <-w.ch })
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return combineErrors(w.errs...)
+}
+
+// estimated wire sizes for control messages (for bandwidth accounting).
+func snapshotBytes(s ctlSnapshot) int {
+	return 32 + 16*len(s.Sent) + 16*len(s.Errs)
+}
+
+const ctlDoneBytes = 24

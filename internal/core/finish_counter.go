@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"apgas/internal/x10rt"
+)
+
+// This file implements the specialized finish patterns of §3.1 that reduce
+// termination detection to token counting: FINISH_ASYNC, FINISH_HERE,
+// FINISH_LOCAL, and FINISH_SPMD. They are "actual specializations of the
+// default algorithm": the root keeps a single outstanding-token counter,
+// and the protocol prescribes exactly which events move tokens and which
+// (if any) control messages are required.
+//
+//	FINISH_LOCAL  no control messages; a plain counter.
+//	FINISH_ASYNC  one completion message for the single governed
+//	              (possibly remote) activity.
+//	FINISH_SPMD   exactly one completion message per remote activity
+//	              spawned by the root; order, source, content irrelevant.
+//	FINISH_HERE   zero control messages on the round-trip fast path: the
+//	              termination token travels outbound with the request and
+//	              returns home with the response, and only the response's
+//	              local completion releases it.
+//
+// Each pattern's usage contract is enforced when Config.CheckPatterns is
+// set; otherwise violations degrade to best-effort counting.
+
+type counterMode uint8
+
+const (
+	counterAsync counterMode = iota
+	counterHere
+	counterLocal
+	counterSPMD
+)
+
+func (m counterMode) String() string {
+	return [...]string{"FINISH_ASYNC", "FINISH_HERE", "FINISH_LOCAL", "FINISH_SPMD"}[m]
+}
+
+// counterRoot is the home-place state of the counter-based patterns.
+type counterRoot struct {
+	rt   *Runtime
+	ref  finRef
+	mode counterMode
+	w    *waiter
+
+	// Guarded by w.mu.
+	count   int // outstanding termination tokens
+	spawned int // total governed spawns, for contract checks
+}
+
+func newCounterRoot(rt *Runtime, ref finRef, mode counterMode) *counterRoot {
+	return &counterRoot{rt: rt, ref: ref, mode: mode, w: newWaiter()}
+}
+
+func (r *counterRoot) violate(format string, args ...any) {
+	if r.rt.cfg.CheckPatterns {
+		panic(fmt.Sprintf("core: %v contract violation: %s", r.mode, fmt.Sprintf(format, args...)))
+	}
+}
+
+func (r *counterRoot) event(kind finEventKind, other Place, err error) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	switch kind {
+	case evLocalSpawn:
+		r.spawned++
+		if r.mode == counterAsync && r.spawned > 1 {
+			r.violate("governs %d activities, at most 1 allowed", r.spawned)
+		}
+		r.count++
+	case evRemoteSpawn:
+		r.spawned++
+		switch r.mode {
+		case counterLocal:
+			r.violate("remote spawn to place %d", other)
+		case counterAsync:
+			if r.spawned > 1 {
+				r.violate("governs %d activities, at most 1 allowed", r.spawned)
+			}
+		}
+		r.count++
+	case evRemoteBegin:
+		// An activity arriving back at home. For FINISH_HERE this is the
+		// response carrying the token (already counted); for the other
+		// patterns it is a contract anomaly that we absorb by counting.
+		if r.mode != counterHere {
+			r.violate("remote activity from place %d arrived at home", other)
+			r.count++
+		}
+	case evTerminate:
+		if err != nil {
+			r.w.errs = append(r.w.errs, err)
+		}
+		r.count--
+		r.checkLocked()
+	}
+}
+
+func (r *counterRoot) ctl(src Place, payload any) {
+	m, ok := payload.(ctlDone)
+	if !ok {
+		panic(fmt.Sprintf("core: %v root got %T", r.mode, payload))
+	}
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	if m.Err != nil {
+		r.w.errs = append(r.w.errs, m.Err)
+	}
+	r.count -= m.N
+	r.checkLocked()
+}
+
+func (r *counterRoot) checkLocked() {
+	if r.w.waiting && !r.w.done && r.count == 0 {
+		r.w.fire()
+	}
+}
+
+func (r *counterRoot) wait(pl *place) error {
+	r.w.mu.Lock()
+	r.w.waiting = true
+	r.checkLocked()
+	r.w.mu.Unlock()
+	return r.w.block(pl)
+}
+
+// counterRemoteEvent handles FINISH_ASYNC and FINISH_SPMD events at
+// non-home places: remote activities simply report their completion.
+func (rt *Runtime) counterRemoteEvent(fin finRef, pl *place, kind finEventKind, other Place, err error) {
+	switch kind {
+	case evRemoteBegin:
+		// Already counted at home when the spawn left.
+	case evTerminate:
+		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
+			ctlDone{ID: fin.ID, N: 1, Err: err}, ctlDoneBytes, x10rt.ControlClass)
+	case evLocalSpawn, evRemoteSpawn:
+		// Remote activities under these patterns must wrap nested work in
+		// their own finish ("finish S" inside the SPMD body).
+		if rt.cfg.CheckPatterns {
+			panic(fmt.Sprintf("core: %v contract violation: activity at place %d spawned "+
+				"outside a nested finish", fin.Pattern, pl.id))
+		}
+		// Best effort: add a token for the extra activity. Note that
+		// with adversarial control reordering this fallback can misorder
+		// the +1/-1 pair — which is precisely why the contract exists.
+		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
+			ctlDone{ID: fin.ID, N: -1}, ctlDoneBytes, x10rt.ControlClass)
+	}
+}
+
+// hereRemoteEvent handles FINISH_HERE events at non-home places. The
+// per-activity hereHomebound flag records whether this activity has passed
+// its token home; ctx is nil only for evRemoteBegin (no activity yet).
+func (rt *Runtime) hereRemoteEvent(fin finRef, pl *place, kind finEventKind, other Place, err error, ctx *Ctx) {
+	switch kind {
+	case evRemoteBegin:
+		// Token travels with the message; nothing to do.
+	case evRemoteSpawn:
+		if other == fin.ID.Home && !ctx.hereHomebound {
+			// The response: the activity's token rides home with it.
+			ctx.hereHomebound = true
+			return
+		}
+		if rt.cfg.CheckPatterns {
+			panic(fmt.Sprintf("core: FINISH_HERE contract violation: activity at place %d "+
+				"spawned toward place %d (home %d, homebound=%v)",
+				pl.id, other, fin.ID.Home, ctx.hereHomebound))
+		}
+		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
+			ctlDone{ID: fin.ID, N: -1}, ctlDoneBytes, x10rt.ControlClass)
+	case evLocalSpawn:
+		if rt.cfg.CheckPatterns {
+			panic(fmt.Sprintf("core: FINISH_HERE contract violation: local async at place %d", pl.id))
+		}
+		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
+			ctlDone{ID: fin.ID, N: -1}, ctlDoneBytes, x10rt.ControlClass)
+	case evTerminate:
+		if ctx != nil && ctx.hereHomebound && err == nil {
+			// Token passed home with the response; no control message —
+			// this is the whole point of FINISH_HERE.
+			return
+		}
+		if ctx != nil && ctx.hereHomebound {
+			// Token already traveled, but the error still must reach the
+			// root: report it without releasing a token.
+			rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
+				ctlDone{ID: fin.ID, N: 0, Err: err}, ctlDoneBytes, x10rt.ControlClass)
+			return
+		}
+		// No response was sent (e.g. a one-way request): release the
+		// token explicitly.
+		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
+			ctlDone{ID: fin.ID, N: 1, Err: err}, ctlDoneBytes, x10rt.ControlClass)
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+
+	"apgas/internal/x10rt"
+)
+
+// This file implements the general distributed termination detection
+// algorithm behind PatternDefault and PatternDense — the "default finish"
+// of §3.1, including its two key scalability refinements:
+//
+//   - dynamic optimization: the root optimistically assumes the finish is
+//     local (a plain counter) and promotes to the distributed protocol the
+//     first time a governed activity executes an at;
+//   - control-message coalescing: a place reports to the root only when it
+//     becomes locally quiescent, and then sends one cumulative snapshot
+//     covering everything it has done under the finish, rather than one
+//     message per activity.
+//
+// The protocol is a cumulative-vector scheme in the style of Mattern's
+// vector counting method. Each place p maintains, per finish:
+//
+//	recv    — cumulative count of remote activities begun at p
+//	sent[q] — cumulative count of remote spawns p performed toward q
+//	live    — currently live governed activities at p
+//
+// When live drops to zero, p sends an epoch-stamped snapshot (recv, sent)
+// to the root. The root keeps the latest snapshot per place (epochs make
+// this robust to control-message reordering) and its own place's counters
+// directly. Termination holds when the home place is quiescent and, for
+// every place q, the sum of sent[q] over all snapshots equals q's recv.
+//
+// Safety: a snapshot is taken at a local quiescent point, so if it covers
+// an activity's begin it also covers that activity's completion and hence
+// every spawn the activity performed. Any live or in-flight activity
+// therefore shows up as sent > recv for some place, and the root cannot
+// declare termination early. Liveness: after true termination every
+// involved place sends a final snapshot and the sums reconcile.
+//
+// The root's state is O(involved places^2) in the worst case (a sent
+// vector per place), which is exactly the cost the paper attributes to the
+// default finish and the reason the specialized patterns exist.
+
+// defaultRoot is the home-place state of the vector protocol.
+type defaultRoot struct {
+	rt    *Runtime
+	ref   finRef
+	dense bool
+
+	w *waiter
+
+	// All fields below are guarded by w.mu.
+	promoted  bool
+	live      int
+	recvHome  uint64
+	localHome uint64
+	sentHome  map[Place]uint64
+	snaps     map[Place]ctlSnapshot
+
+	// profile, when non-nil, is filled with the finish's communication
+	// shape at termination (see FinishProfiled).
+	profile *FinishProfile
+}
+
+func newDefaultRoot(rt *Runtime, ref finRef, dense bool) *defaultRoot {
+	return &defaultRoot{
+		rt:       rt,
+		ref:      ref,
+		dense:    dense || ref.Pattern == PatternDense,
+		w:        newWaiter(),
+		sentHome: make(map[Place]uint64),
+		snaps:    make(map[Place]ctlSnapshot),
+	}
+}
+
+func (r *defaultRoot) event(kind finEventKind, other Place, err error) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	switch kind {
+	case evLocalSpawn:
+		r.live++
+		r.localHome++
+	case evRemoteSpawn:
+		r.promoted = true
+		r.sentHome[other]++
+	case evRemoteBegin:
+		r.promoted = true
+		r.recvHome++
+		r.live++
+	case evTerminate:
+		r.live--
+		if err != nil {
+			r.w.errs = append(r.w.errs, err)
+		}
+		r.checkLocked()
+	}
+}
+
+func (r *defaultRoot) ctl(src Place, payload any) {
+	snap, ok := payload.(ctlSnapshot)
+	if !ok {
+		panic(fmt.Sprintf("core: %v root got %T", r.ref.Pattern, payload))
+	}
+	r.applySnapshot(snap)
+}
+
+func (r *defaultRoot) applySnapshot(snap ctlSnapshot) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.promoted = true
+	if old, ok := r.snaps[snap.From]; ok && old.Epoch >= snap.Epoch {
+		return // stale, reordered control message
+	}
+	r.snaps[snap.From] = snap
+	r.checkLocked()
+}
+
+// checkLocked tests the termination condition; caller holds w.mu.
+func (r *defaultRoot) checkLocked() {
+	if !r.w.waiting || r.w.done || r.live != 0 {
+		return
+	}
+	if !r.promoted {
+		if r.profile != nil {
+			r.fillProfileLocked()
+		}
+		r.w.fire()
+		return
+	}
+	// totSent[q] must equal recv[q] for every involved place q.
+	totSent := make(map[Place]uint64, len(r.snaps)+len(r.sentHome))
+	for q, n := range r.sentHome {
+		totSent[q] += n
+	}
+	for _, s := range r.snaps {
+		for q, n := range s.Sent {
+			totSent[q] += n
+		}
+	}
+	for q, sent := range totSent {
+		var recv uint64
+		if q == r.ref.ID.Home {
+			recv = r.recvHome
+		} else {
+			recv = r.snaps[q].Recv
+		}
+		if recv != sent {
+			return
+		}
+	}
+	// Also: every place that reported receives must be fully accounted
+	// (recv cannot exceed sent, but check symmetry for robustness).
+	for q, s := range r.snaps {
+		if s.Recv != totSent[q] {
+			return
+		}
+	}
+	if r.recvHome != totSent[r.ref.ID.Home] {
+		return
+	}
+	// Terminated: gather remote errors and release proxies.
+	if r.profile != nil {
+		r.fillProfileLocked()
+	}
+	for _, s := range r.snaps {
+		r.w.errs = append(r.w.errs, s.Errs...)
+	}
+	for q := range r.snaps {
+		r.rt.send(r.ref.ID.Home, q, x10rt.HandlerFinishCtl,
+			ctlCleanup{ID: r.ref.ID}, 16, x10rt.ControlClass)
+	}
+	r.w.fire()
+}
+
+func (r *defaultRoot) wait(pl *place) error {
+	r.w.mu.Lock()
+	r.w.waiting = true
+	r.checkLocked()
+	r.w.mu.Unlock()
+	return r.w.block(pl)
+}
+
+// vectorProxy is the per-place state of the vector protocol away from home.
+type vectorProxy struct {
+	rt  *Runtime
+	ref finRef
+	pl  *place
+
+	// Guarded by the owning place's finMu (coarse but simple: proxy
+	// events are cheap and per-place).
+	live  int
+	recv  uint64
+	local uint64
+	sent  map[Place]uint64
+	epoch uint64
+	errs  []error
+}
+
+// proxyEvent processes an activity event at a non-home place.
+func (rt *Runtime) proxyEvent(fin finRef, pl *place, kind finEventKind, other Place, err error) {
+	pl.finMu.Lock()
+	px, ok := pl.proxies[fin.ID]
+	if !ok {
+		px = &vectorProxy{rt: rt, ref: fin, pl: pl, sent: make(map[Place]uint64)}
+		pl.proxies[fin.ID] = px
+	}
+	var snap *ctlSnapshot
+	switch kind {
+	case evLocalSpawn:
+		px.live++
+		px.local++
+	case evRemoteSpawn:
+		px.sent[other]++
+	case evRemoteBegin:
+		px.recv++
+		px.live++
+	case evTerminate:
+		px.live--
+		if err != nil {
+			px.errs = append(px.errs, err)
+		}
+		if px.live == 0 {
+			s := px.snapshot()
+			snap = &s
+		}
+	}
+	pl.finMu.Unlock()
+	if snap != nil {
+		rt.sendSnapshot(pl.id, fin, *snap)
+	}
+}
+
+// snapshot builds the cumulative quiescence report; caller holds finMu.
+func (px *vectorProxy) snapshot() ctlSnapshot {
+	px.epoch++
+	sent := make(map[Place]uint64, len(px.sent))
+	for q, n := range px.sent {
+		sent[q] = n
+	}
+	errs := make([]error, len(px.errs))
+	copy(errs, px.errs)
+	return ctlSnapshot{
+		ID:    px.ref.ID,
+		From:  px.pl.id,
+		Epoch: px.epoch,
+		Recv:  px.recv,
+		Local: px.local,
+		Sent:  sent,
+		Errs:  errs,
+	}
+}
+
+// sendSnapshot delivers a snapshot to the root: directly for the default
+// pattern, via the software route for FINISH_DENSE.
+func (rt *Runtime) sendSnapshot(from Place, fin finRef, snap ctlSnapshot) {
+	home := fin.ID.Home
+	if fin.Pattern != PatternDense {
+		rt.send(from, home, x10rt.HandlerFinishCtl, snap, snapshotBytes(snap), x10rt.ControlClass)
+		return
+	}
+	hops := rt.denseRoute(from, home)
+	rt.send(from, hops[0], x10rt.HandlerFinishCtl,
+		ctlRouted{ID: fin.ID, Snaps: []ctlSnapshot{snap}, Hops: hops},
+		snapshotBytes(snap)+8, x10rt.ControlClass)
+}
+
+// denseRoute computes the software route from place p to the finish home:
+// p -> master(p) -> master(home) -> home, with degenerate hops elided.
+// Masters are the first place of each host (p - p%b, b places per host),
+// so irregular control traffic is funneled through one place per host —
+// the traffic-shaping trick of §3.1 that makes FINISH_DENSE viable on
+// interconnects that favor low out-degree communication graphs.
+func (rt *Runtime) denseRoute(p, home Place) []Place {
+	route := make([]Place, 0, 3)
+	for _, hop := range []Place{rt.master(p), rt.master(home), home} {
+		if hop == p {
+			continue
+		}
+		if len(route) > 0 && route[len(route)-1] == hop {
+			continue
+		}
+		route = append(route, hop)
+	}
+	if len(route) == 0 {
+		route = append(route, home)
+	}
+	return route
+}
+
+// routeDense forwards or applies a routed control message at place pl.
+//
+// Masters coalesce: instead of forwarding each snapshot immediately, a
+// master buffers it and enqueues a flush marker to itself. Every snapshot
+// already sitting in the master's mailbox is processed before the marker
+// comes back around, so bursts of control traffic collapse into one
+// forwarded message per burst — the runtime "automatically coalesces ...
+// the control messages used by the termination detection algorithm"
+// (§3.1) at the cost of one extra local dispatch of latency, which is the
+// trade the paper advocates (termination traffic cares about the last
+// message, not each message's latency).
+func (rt *Runtime) routeDense(pl *place, m ctlRouted) {
+	if pl.id == m.ID.Home {
+		pl.finMu.Lock()
+		root, ok := pl.roots[m.ID]
+		pl.finMu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("core: routed snapshot for unknown finish %+v", m.ID))
+		}
+		dr, ok := root.(*defaultRoot)
+		if !ok {
+			panic(fmt.Sprintf("core: routed snapshot for non-dense finish %+v", m.ID))
+		}
+		for _, s := range m.Snaps {
+			dr.applySnapshot(s)
+		}
+		return
+	}
+	if len(m.Hops) == 0 || m.Hops[0] != pl.id {
+		panic(fmt.Sprintf("core: dense route desync at place %d: %+v", pl.id, m.Hops))
+	}
+	rest := m.Hops[1:]
+	if m.Flush {
+		rt.flushDense(pl, m.ID, rest)
+		return
+	}
+	// Buffer the snapshots; arm a flush marker if the buffer was idle.
+	key := denseBufKey{id: m.ID, next: hopsKey(rest)}
+	pl.denseMu.Lock()
+	if pl.denseBuf == nil {
+		pl.denseBuf = make(map[denseBufKey][]ctlSnapshot)
+	}
+	buf, armed := pl.denseBuf[key]
+	pl.denseBuf[key] = append(buf, m.Snaps...)
+	pl.denseMu.Unlock()
+	if !armed {
+		rt.send(pl.id, pl.id, x10rt.HandlerFinishCtl,
+			ctlRouted{ID: m.ID, Hops: m.Hops, Flush: true}, 8, x10rt.ControlClass)
+	}
+}
+
+// flushDense forwards everything buffered for (finish, remaining route).
+func (rt *Runtime) flushDense(pl *place, id finishID, rest []Place) {
+	key := denseBufKey{id: id, next: hopsKey(rest)}
+	pl.denseMu.Lock()
+	snaps := pl.denseBuf[key]
+	delete(pl.denseBuf, key)
+	pl.denseMu.Unlock()
+	if len(snaps) == 0 {
+		return
+	}
+	dst := id.Home
+	if len(rest) > 0 {
+		dst = rest[0]
+	}
+	bytes := 8
+	for _, s := range snaps {
+		bytes += snapshotBytes(s)
+	}
+	rt.send(pl.id, dst, x10rt.HandlerFinishCtl,
+		ctlRouted{ID: id, Snaps: snaps, Hops: rest}, bytes, x10rt.ControlClass)
+}
+
+// denseBufKey identifies one coalescing buffer: a finish plus the route
+// remainder its snapshots share.
+type denseBufKey struct {
+	id   finishID
+	next string
+}
+
+func hopsKey(hops []Place) string {
+	b := make([]byte, 0, len(hops)*3)
+	for _, h := range hops {
+		b = append(b, byte(h), byte(h>>8), ',')
+	}
+	return string(b)
+}

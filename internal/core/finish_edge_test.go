@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyFinishesTerminate(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	err := rt.Run(func(ctx *Ctx) {
+		for _, pat := range []Pattern{
+			PatternDefault, PatternAsync, PatternHere,
+			PatternLocal, PatternSPMD, PatternDense,
+		} {
+			if err := ctx.FinishPragma(pat, func(*Ctx) {}); err != nil {
+				t.Errorf("%v: empty finish errored: %v", pat, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDeeplyNestedFinishes(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		var nest func(c *Ctx, depth int)
+		nest = func(c *Ctx, depth int) {
+			if depth == 0 {
+				n.Add(1)
+				return
+			}
+			if err := c.Finish(func(cc *Ctx) {
+				cc.AtAsync(Place(depth%3), func(c3 *Ctx) { nest(c3, depth-1) })
+			}); err != nil {
+				t.Errorf("depth %d: %v", depth, err)
+			}
+		}
+		nest(ctx, 30)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n.Load() != 1 {
+		t.Errorf("leaf ran %d times", n.Load())
+	}
+}
+
+func TestHereErrorBeforeResponse(t *testing.T) {
+	// The remote activity dies before sending the response: the token is
+	// released explicitly with the error attached.
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		ferr := ctx.FinishPragma(PatternHere, func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { panic("pre-response crash") })
+		})
+		if ferr == nil || !strings.Contains(ferr.Error(), "pre-response crash") {
+			t.Errorf("error = %v", ferr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestHereErrorAfterResponse(t *testing.T) {
+	// The remote activity panics after passing its token home: the finish
+	// must still terminate (and may or may not catch the late error).
+	rt := newTestRuntime(t, 2)
+	err := rt.Run(func(ctx *Ctx) {
+		home := ctx.Place()
+		var responded atomic.Bool
+		_ = ctx.FinishPragma(PatternHere, func(c *Ctx) {
+			c.AtAsync(1, func(cc *Ctx) {
+				cc.AtAsync(home, func(*Ctx) { responded.Store(true) })
+				panic("post-response crash")
+			})
+		})
+		if !responded.Load() {
+			t.Error("response did not run")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestDenseWithFewPlacesPerHost(t *testing.T) {
+	// PlacesPerHost larger than the place count degenerates the routing
+	// to direct delivery; the protocol must still work.
+	rt := newTestRuntime(t, 3, func(c *Config) { c.PlacesPerHost = 32 })
+	var n atomic.Int64
+	err := rt.Run(func(ctx *Ctx) {
+		if err := ctx.FinishPragma(PatternDense, func(c *Ctx) {
+			for _, p := range c.Places() {
+				c.AtAsync(p, func(cc *Ctx) {
+					cc.AtAsync((cc.Place()+1)%3, func(*Ctx) { n.Add(1) })
+				})
+			}
+		}); err != nil {
+			t.Errorf("dense: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n.Load() != 3 {
+		t.Errorf("n = %d", n.Load())
+	}
+}
+
+func TestSequentialFinishesReuseRuntime(t *testing.T) {
+	rt := newTestRuntime(t, 4)
+	for round := 0; round < 5; round++ {
+		var n atomic.Int64
+		err := rt.Run(func(ctx *Ctx) {
+			_ = ctx.Finish(func(c *Ctx) {
+				for _, p := range c.Places() {
+					c.AtAsync(p, func(*Ctx) { n.Add(1) })
+				}
+			})
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if n.Load() != 4 {
+			t.Fatalf("round %d: n=%d", round, n.Load())
+		}
+	}
+}
+
+func TestErrorsAreErrorsIs(t *testing.T) {
+	rt := newTestRuntime(t, 2)
+	sentinel := errors.New("sentinel")
+	err := rt.Run(func(ctx *Ctx) {
+		ferr := ctx.Finish(func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { panic(sentinel) })
+			c.AtAsync(1, func(*Ctx) { panic(sentinel) })
+		})
+		if !errors.Is(ferr, sentinel) {
+			t.Errorf("errors.Is failed on %v", ferr)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestFinishCountExactProperty: for random fan-out shapes under the
+// default algorithm, the activity count observed after the finish is
+// exactly the number spawned — a quick-checked safety property.
+func TestFinishCountExactProperty(t *testing.T) {
+	rt := newTestRuntime(t, 5)
+	f := func(shape []uint8) bool {
+		if len(shape) > 40 {
+			shape = shape[:40]
+		}
+		var n atomic.Int64
+		err := rt.Run(func(ctx *Ctx) {
+			ferr := ctx.Finish(func(c *Ctx) {
+				for _, b := range shape {
+					dst := Place(int(b) % 5)
+					hops := int(b) % 3
+					c.AtAsync(dst, func(cc *Ctx) {
+						n.Add(1)
+						for h := 0; h < hops; h++ {
+							cc.AtAsync((cc.Place()+1)%5, func(*Ctx) { n.Add(1) })
+						}
+					})
+				}
+			})
+			if ferr != nil {
+				t.Errorf("finish: %v", ferr)
+			}
+		})
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		for _, b := range shape {
+			want += 1 + int64(int(b)%3)
+		}
+		return n.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfiledFinishWithErrors(t *testing.T) {
+	rt := newTestRuntime(t, 3)
+	err := rt.Run(func(ctx *Ctx) {
+		profile, ferr := ctx.FinishProfiled(func(c *Ctx) {
+			c.AtAsync(1, func(*Ctx) { panic("boom") })
+			c.AtAsync(2, func(*Ctx) {})
+		})
+		if ferr == nil {
+			t.Error("error lost by profiled finish")
+		}
+		if profile.Governed != 2 {
+			t.Errorf("Governed = %d, want 2", profile.Governed)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPatternStringNames(t *testing.T) {
+	want := map[Pattern]string{
+		PatternDefault: "FINISH_DEFAULT",
+		PatternAsync:   "FINISH_ASYNC",
+		PatternHere:    "FINISH_HERE",
+		PatternLocal:   "FINISH_LOCAL",
+		PatternSPMD:    "FINISH_SPMD",
+		PatternDense:   "FINISH_DENSE",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if !strings.Contains(Pattern(99).String(), "99") {
+		t.Error("unknown pattern string")
+	}
+}

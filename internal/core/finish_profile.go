@@ -1,0 +1,145 @@
+package core
+
+// This file implements the finish-shape profiler behind FinishProfiled:
+// the runtime realization of the paper's prototype "fully automatic
+// compiler analysis ... capable of detecting many of the situations where
+// these [specialized finish] patterns are applicable" (§3.1). X10's
+// analysis was static; here the same classification runs on the dynamic
+// communication shape recorded by one profiled execution, and its output
+// is the pragma to pass to FinishPragma on subsequent runs — profile-
+// guided implementation selection.
+
+// FinishProfile summarizes the dynamic communication shape of one finish.
+type FinishProfile struct {
+	// Governed is the total number of activities the finish governed.
+	Governed uint64
+	// HomeRemoteSpawns counts remote spawns performed at the home place.
+	HomeRemoteSpawns uint64
+	// HomeLocalSpawns counts local spawns at the home place.
+	HomeLocalSpawns uint64
+	// ArrivalsAtHome counts remote activities that began at home.
+	ArrivalsAtHome uint64
+	// RemotePlaces is the number of non-home places that ran activities.
+	RemotePlaces int
+	// RemoteSpawnsToHome counts remote places' spawns targeting home.
+	RemoteSpawnsToHome uint64
+	// RemoteSpawnsElsewhere counts remote places' spawns to non-home
+	// places.
+	RemoteSpawnsElsewhere uint64
+	// RemoteLocalSpawns counts local spawns at remote places.
+	RemoteLocalSpawns uint64
+	// SpawnerPlaces is the number of places (including home) that
+	// performed at least one remote spawn.
+	SpawnerPlaces int
+}
+
+// fillProfileLocked derives the profile from the root's final state;
+// caller holds w.mu and the finish has terminated.
+func (r *defaultRoot) fillProfileLocked() {
+	p := r.profile
+	p.HomeLocalSpawns = r.localHome
+	p.ArrivalsAtHome = r.recvHome
+	for _, n := range r.sentHome {
+		p.HomeRemoteSpawns += n
+	}
+	p.RemotePlaces = len(r.snaps)
+	if len(r.sentHome) > 0 {
+		p.SpawnerPlaces = 1
+	}
+	home := r.ref.ID.Home
+	for _, s := range r.snaps {
+		p.RemoteLocalSpawns += s.Local
+		if len(s.Sent) > 0 {
+			p.SpawnerPlaces++
+		}
+		for q, n := range s.Sent {
+			if q == home {
+				p.RemoteSpawnsToHome += n
+			} else {
+				p.RemoteSpawnsElsewhere += n
+			}
+		}
+		p.Governed += s.Recv + s.Local
+	}
+	p.Governed += r.localHome + r.recvHome
+}
+
+// Recommend returns the specialized finish pattern this shape admits, or
+// PatternDefault when no specialization applies. The rules mirror the
+// §3.1 catalogue:
+//
+//	no remote activity           -> FINISH_LOCAL
+//	exactly one governed activity -> FINISH_ASYNC
+//	pure round trips (every remote spawn returns home, nothing else)
+//	                             -> FINISH_HERE
+//	home-only fan-out, remote activities spawn nothing
+//	                             -> FINISH_SPMD
+//	many spawner places          -> FINISH_DENSE
+func (p FinishProfile) Recommend() Pattern {
+	remoteWork := p.HomeRemoteSpawns + p.RemoteSpawnsToHome + p.RemoteSpawnsElsewhere
+	switch {
+	case remoteWork == 0 && p.RemotePlaces == 0:
+		if p.Governed == 1 {
+			return PatternAsync
+		}
+		return PatternLocal
+	case p.Governed == 1:
+		return PatternAsync
+	case p.RemoteSpawnsElsewhere == 0 && p.RemoteLocalSpawns == 0 &&
+		p.RemoteSpawnsToHome > 0 && p.RemoteSpawnsToHome == p.HomeRemoteSpawns:
+		// Every outbound request produced exactly one response home and
+		// remote places did nothing else: the FINISH_HERE round trip.
+		return PatternHere
+	case p.RemoteSpawnsToHome == 0 && p.RemoteSpawnsElsewhere == 0 &&
+		p.RemoteLocalSpawns == 0 && p.HomeRemoteSpawns > 0:
+		// Flat fan-out from home; remote activities spawned nothing
+		// under this finish (nested finishes are invisible here, as the
+		// SPMD contract requires).
+		return PatternSPMD
+	case p.SpawnerPlaces >= 3:
+		// Spawns originate from many places: an irregular or dense
+		// communication graph — route the control traffic.
+		return PatternDense
+	default:
+		return PatternDefault
+	}
+}
+
+// FinishProfiled runs body under the general finish algorithm while
+// recording its communication shape, returning the profile alongside the
+// finish error. Use the profile's Recommend to select the pragma for
+// subsequent executions of the same finish:
+//
+//	profile, err := ctx.FinishProfiled(body)
+//	...
+//	err = ctx.FinishPragma(profile.Recommend(), body) // later runs
+func (c *Ctx) FinishProfiled(body func(*Ctx)) (FinishProfile, error) {
+	pl := c.pl
+	id := finishID{Home: pl.id, Seq: pl.finSeq.Add(1)}
+	ref := finRef{ID: id, Pattern: PatternDefault}
+	root := newDefaultRoot(c.rt, ref, false)
+	var profile FinishProfile
+	root.profile = &profile
+
+	pl.finMu.Lock()
+	pl.roots[id] = root
+	pl.finMu.Unlock()
+
+	inner := &Ctx{rt: c.rt, pl: pl, fin: ref}
+	var bodyErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				bodyErr = toError(r)
+			}
+		}()
+		body(inner)
+	}()
+	err := root.wait(pl)
+
+	pl.finMu.Lock()
+	delete(pl.roots, id)
+	pl.finMu.Unlock()
+
+	return profile, combineErrors(bodyErr, err)
+}

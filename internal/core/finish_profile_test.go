@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// These tests check that the finish-shape profiler classifies the §3.1
+// example shapes into the patterns the paper assigns them — the dynamic
+// analogue of "it correctly classifies the various occurrences of finish
+// in our HPL code into instances of FINISH_SPMD, FINISH_ASYNC, and
+// FINISH_HERE".
+
+func profiled(t *testing.T, places int, body func(*Ctx)) FinishProfile {
+	t.Helper()
+	rt := newTestRuntime(t, places)
+	var profile FinishProfile
+	err := rt.Run(func(ctx *Ctx) {
+		p, err := ctx.FinishProfiled(body)
+		if err != nil {
+			t.Errorf("profiled finish: %v", err)
+		}
+		profile = p
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return profile
+}
+
+func TestProfileRecommendsLocal(t *testing.T) {
+	// finish for (i in 1..n) async S — FINISH_LOCAL.
+	p := profiled(t, 4, func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			c.Async(func(*Ctx) {})
+		}
+	})
+	if got := p.Recommend(); got != PatternLocal {
+		t.Errorf("Recommend = %v, want FINISH_LOCAL (profile %+v)", got, p)
+	}
+	if p.Governed != 10 || p.HomeLocalSpawns != 10 {
+		t.Errorf("profile counts wrong: %+v", p)
+	}
+}
+
+func TestProfileRecommendsAsync(t *testing.T) {
+	// finish at (p) async S — FINISH_ASYNC.
+	p := profiled(t, 4, func(c *Ctx) {
+		c.AtAsync(2, func(*Ctx) {})
+	})
+	if got := p.Recommend(); got != PatternAsync {
+		t.Errorf("Recommend = %v, want FINISH_ASYNC (profile %+v)", got, p)
+	}
+	// A single local async is also FINISH_ASYNC.
+	p2 := profiled(t, 4, func(c *Ctx) {
+		c.Async(func(*Ctx) {})
+	})
+	if got := p2.Recommend(); got != PatternAsync {
+		t.Errorf("local single: Recommend = %v, want FINISH_ASYNC", got)
+	}
+}
+
+func TestProfileRecommendsHere(t *testing.T) {
+	// h = here; finish at (p) async { S1; at (h) async S2 } — FINISH_HERE.
+	p := profiled(t, 4, func(c *Ctx) {
+		home := c.Place()
+		for q := 1; q < 4; q++ {
+			c.AtAsync(Place(q), func(cc *Ctx) {
+				cc.AtAsync(home, func(*Ctx) {})
+			})
+		}
+	})
+	if got := p.Recommend(); got != PatternHere {
+		t.Errorf("Recommend = %v, want FINISH_HERE (profile %+v)", got, p)
+	}
+}
+
+func TestProfileRecommendsSPMD(t *testing.T) {
+	// finish for (p in places) at (p) async finish S — FINISH_SPMD. The
+	// nested finish hides the inner spawns from the outer profile.
+	var n atomic.Int64
+	p := profiled(t, 6, func(c *Ctx) {
+		for _, q := range c.Places() {
+			c.AtAsync(q, func(cc *Ctx) {
+				if err := cc.Finish(func(c3 *Ctx) {
+					c3.Async(func(*Ctx) { n.Add(1) })
+				}); err != nil {
+					t.Errorf("nested: %v", err)
+				}
+			})
+		}
+	})
+	if got := p.Recommend(); got != PatternSPMD {
+		t.Errorf("Recommend = %v, want FINISH_SPMD (profile %+v)", got, p)
+	}
+	if n.Load() != 6 {
+		t.Errorf("nested work ran %d times", n.Load())
+	}
+}
+
+func TestProfileRecommendsDense(t *testing.T) {
+	// Direct communication between any two places — FINISH_DENSE.
+	p := profiled(t, 6, func(c *Ctx) {
+		for _, q := range c.Places() {
+			c.AtAsync(q, func(cc *Ctx) {
+				for _, r := range cc.Places() {
+					if r != cc.Place() {
+						cc.AtAsync(r, func(*Ctx) {})
+					}
+				}
+			})
+		}
+	})
+	if got := p.Recommend(); got != PatternDense {
+		t.Errorf("Recommend = %v, want FINISH_DENSE (profile %+v)", got, p)
+	}
+}
+
+func TestProfileRecommendsDefaultForMixedShapes(t *testing.T) {
+	// A shape no specialization covers: remote activities spawn locally
+	// under the same finish (so not SPMD) from only one remote place (so
+	// not dense).
+	p := profiled(t, 4, func(c *Ctx) {
+		c.AtAsync(1, func(cc *Ctx) {
+			cc.Async(func(*Ctx) {})
+			cc.Async(func(*Ctx) {})
+		})
+	})
+	if got := p.Recommend(); got != PatternDefault {
+		t.Errorf("Recommend = %v, want FINISH_DEFAULT (profile %+v)", got, p)
+	}
+}
+
+// TestProfiledRecommendationIsExecutable: the recommended pragma must run
+// the same body correctly — the profile-guided selection loop end to end.
+func TestProfiledRecommendationIsExecutable(t *testing.T) {
+	rt := newTestRuntime(t, 6)
+	var count atomic.Int64
+	body := func(c *Ctx) {
+		for _, q := range c.Places() {
+			c.AtAsync(q, func(*Ctx) { count.Add(1) })
+		}
+	}
+	err := rt.Run(func(ctx *Ctx) {
+		profile, err := ctx.FinishProfiled(body)
+		if err != nil {
+			t.Errorf("profiled: %v", err)
+		}
+		rec := profile.Recommend()
+		if rec != PatternSPMD {
+			t.Errorf("recommendation = %v, want FINISH_SPMD", rec)
+		}
+		if err := ctx.FinishPragma(rec, body); err != nil {
+			t.Errorf("recommended pragma run: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count.Load() != 12 {
+		t.Errorf("count = %d, want 12", count.Load())
+	}
+}
+
+// TestHPLShapesClassification replays the communication shapes the paper
+// says its analysis found in HPL: row swaps (a put + the implicit panel
+// exchange) classify as FINISH_ASYNC, row fetches as FINISH_HERE, and the
+// SPMD driver as FINISH_SPMD.
+func TestHPLShapesClassification(t *testing.T) {
+	// "Put": one asynchronous copy to a remote place.
+	put := profiled(t, 4, func(c *Ctx) {
+		c.AtDirect(2, 1024, func(*Ctx) {})
+	})
+	if got := put.Recommend(); got != PatternAsync {
+		t.Errorf("put shape: %v, want FINISH_ASYNC", got)
+	}
+	// "Get": request goes out, data comes back.
+	get := profiled(t, 4, func(c *Ctx) {
+		home := c.Place()
+		c.AtDirect(3, 16, func(cc *Ctx) {
+			cc.AtDirect(home, 1024, func(*Ctx) {})
+		})
+	})
+	if got := get.Recommend(); got != PatternHere {
+		t.Errorf("get shape: %v, want FINISH_HERE", got)
+	}
+	// The driver: one activity per place, inner work in nested finishes.
+	driver := profiled(t, 4, func(c *Ctx) {
+		for _, q := range c.Places() {
+			c.AtAsync(q, func(cc *Ctx) {
+				_ = cc.Finish(func(c3 *Ctx) { c3.Async(func(*Ctx) {}) })
+			})
+		}
+	})
+	if got := driver.Recommend(); got != PatternSPMD {
+		t.Errorf("driver shape: %v, want FINISH_SPMD", got)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import "fmt"
+
+// PlaceGroup is an ordered set of places, as provided by the X10
+// PlaceGroup library of §3.2. Its Broadcast distributes an activity to
+// every member using a spawning tree, parallelizing task-creation overhead
+// and detecting completion with nested FINISH_SPMD blocks — the paper's
+// scalable replacement for iterating sequentially over places.
+type PlaceGroup struct {
+	places []Place
+}
+
+// NewPlaceGroup builds a group from an explicit place list. The list must
+// be non-empty and free of duplicates.
+func NewPlaceGroup(places []Place) (PlaceGroup, error) {
+	if len(places) == 0 {
+		return PlaceGroup{}, fmt.Errorf("core: empty place group")
+	}
+	seen := make(map[Place]bool, len(places))
+	for _, p := range places {
+		if seen[p] {
+			return PlaceGroup{}, fmt.Errorf("core: duplicate place %d in group", p)
+		}
+		seen[p] = true
+	}
+	ps := make([]Place, len(places))
+	copy(ps, places)
+	return PlaceGroup{places: ps}, nil
+}
+
+// WorldGroup returns the group of all places of the runtime.
+func WorldGroup(rt *Runtime) PlaceGroup {
+	ps := make([]Place, rt.NumPlaces())
+	for i := range ps {
+		ps[i] = Place(i)
+	}
+	return PlaceGroup{places: ps}
+}
+
+// Size returns the number of places in the group.
+func (g PlaceGroup) Size() int { return len(g.places) }
+
+// Places returns the group members in order.
+func (g PlaceGroup) Places() []Place {
+	out := make([]Place, len(g.places))
+	copy(out, g.places)
+	return out
+}
+
+// Contains reports membership.
+func (g PlaceGroup) Contains(p Place) bool {
+	for _, q := range g.places {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of p in the group, or -1.
+func (g PlaceGroup) IndexOf(p Place) int {
+	for i, q := range g.places {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Broadcast runs body once at every place of the group and returns when
+// all of them have completed. Tasks fan out along a tree of arity
+// Config.BroadcastArity rooted at the calling place (if it is a member;
+// otherwise at the first member), and each internal tree node detects the
+// completion of its subtree with a nested FINISH_SPMD — so completion
+// control messages follow the tree edges instead of all converging on the
+// root.
+func (g PlaceGroup) Broadcast(c *Ctx, body func(*Ctx)) error {
+	if len(g.places) == 0 {
+		return fmt.Errorf("core: broadcast on empty group")
+	}
+	arity := c.rt.cfg.BroadcastArity
+	// Rotate the group so the tree root is the calling place when it is
+	// a member; otherwise the first member hosts the root node.
+	order := g.places
+	i := g.IndexOf(c.pl.id)
+	if i > 0 {
+		order = make([]Place, len(g.places))
+		for j := range g.places {
+			order[j] = g.places[(i+j)%len(g.places)]
+		}
+	}
+	if i >= 0 {
+		return c.FinishPragma(PatternSPMD, func(ctx *Ctx) {
+			broadcastSubtree(ctx, order, 0, len(order), arity, body)
+		})
+	}
+	// Caller is outside the group: ship the tree root to the first member.
+	return c.FinishPragma(PatternSPMD, func(ctx *Ctx) {
+		ctx.AtAsync(order[0], func(child *Ctx) {
+			if len(order) == 1 {
+				body(child)
+				return
+			}
+			if err := child.FinishPragma(PatternSPMD, func(cc *Ctx) {
+				broadcastSubtree(cc, order, 0, len(order), arity, body)
+			}); err != nil {
+				panic(err)
+			}
+		})
+	})
+}
+
+// SequentialBroadcast runs body at every place one after another from the
+// calling activity — the naive idiom of §2.2 that Broadcast replaces. It
+// exists for the scalable-broadcast ablation benchmark.
+func (g PlaceGroup) SequentialBroadcast(c *Ctx, body func(*Ctx)) error {
+	return c.Finish(func(ctx *Ctx) {
+		for _, p := range g.places {
+			ctx.AtAsync(p, body)
+		}
+	})
+}
+
+// broadcastSubtree runs body at order[lo] (the caller is already executing
+// there or has spawned to there) and fans the remainder of the slice out to
+// up to arity children, each of which handles its own contiguous subrange
+// under a nested FINISH_SPMD.
+func broadcastSubtree(ctx *Ctx, order []Place, lo, hi, arity int, body func(*Ctx)) {
+	// Spawn children before doing local work so the tree expands in
+	// parallel with body execution.
+	n := hi - lo - 1 // places left after this node
+	if n > 0 {
+		chunk := (n + arity - 1) / arity
+		for start := lo + 1; start < hi; start += chunk {
+			end := start + chunk
+			if end > hi {
+				end = hi
+			}
+			s, e := start, end
+			ctx.AtAsync(order[s], func(child *Ctx) {
+				if e-s > 1 {
+					// Internal node: its own SPMD finish governs the
+					// subtree, so only one completion message travels
+					// up this tree edge.
+					err := child.FinishPragma(PatternSPMD, func(cc *Ctx) {
+						broadcastSubtree(cc, order, s, e, arity, body)
+					})
+					if err != nil {
+						panic(err)
+					}
+					return
+				}
+				body(child)
+			})
+		}
+	}
+	body(ctx)
+}

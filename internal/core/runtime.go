@@ -1,0 +1,231 @@
+// Package core implements the APGAS (Asynchronous Partitioned Global
+// Address Space) runtime described in "X10 and APGAS at Petascale"
+// (PPoPP 2014): places, asynchronous activities (async/at), distributed
+// termination detection (finish, §3.1), scalable broadcast over place
+// groups (§3.2), global references, place-local storage, clocks, and
+// atomic sections.
+//
+// A Runtime hosts a fixed set of places. Like X10 on the Power 775, each
+// place runs its activities on a bounded set of workers (one by default,
+// matching the paper's X10_NTHREADS=1 configuration) and communicates with
+// other places exclusively through the x10rt transport, so that control
+// traffic is observable, countable, and subject to the same reordering
+// hazards the paper's finish algorithms are designed to survive.
+//
+// Execution starts with a main activity at place 0; all other places are
+// initially idle, exactly as in X10.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"apgas/internal/sched"
+	"apgas/internal/x10rt"
+)
+
+// Place identifies one place of the computation, 0 through Places-1.
+type Place int
+
+// Config configures a Runtime. The zero value of optional fields selects
+// the documented defaults.
+type Config struct {
+	// Places is the number of places; must be >= 1.
+	Places int
+
+	// WorkersPerPlace bounds the number of simultaneously executing
+	// activities per place (default 1, the paper's configuration).
+	WorkersPerPlace int
+
+	// PlacesPerHost is the number of places sharing a host, used by the
+	// FINISH_DENSE software router (default 32, as on the Power 775 where
+	// each 32-core octant ran 32 places).
+	PlacesPerHost int
+
+	// BroadcastArity is the fan-out of PlaceGroup spawning trees
+	// (default 8).
+	BroadcastArity int
+
+	// Transport overrides the transport. It must be an in-process
+	// transport (places share one address space); by default a
+	// ChanTransport is created. Supplying a transport with injected
+	// latency or control-message reordering exercises the runtime under
+	// adverse network conditions.
+	Transport x10rt.Transport
+
+	// CheckPatterns enables verification of the usage contracts of the
+	// specialized finish patterns (FINISH_ASYNC, FINISH_HERE,
+	// FINISH_LOCAL, FINISH_SPMD); violations panic with a diagnostic.
+	// The general patterns (FINISH_DEFAULT, FINISH_DENSE) accept any
+	// program. Default on; disable only in benchmarks.
+	CheckPatterns bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Places < 1 {
+		return fmt.Errorf("core: Config.Places=%d, need >= 1", c.Places)
+	}
+	if c.WorkersPerPlace <= 0 {
+		c.WorkersPerPlace = 1
+	}
+	if c.PlacesPerHost <= 0 {
+		c.PlacesPerHost = 32
+	}
+	if c.BroadcastArity <= 0 {
+		c.BroadcastArity = 8
+	}
+	return nil
+}
+
+// Runtime hosts a set of places and the machinery connecting them.
+type Runtime struct {
+	cfg       Config
+	tr        x10rt.Transport
+	ownsTr    bool
+	places    []*place
+	locals    *localRegistry
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// place is the per-place state: scheduler, finish bookkeeping, object
+// tables, and the local monitor for atomic sections.
+type place struct {
+	id    Place
+	rt    *Runtime
+	sched *sched.Scheduler
+
+	// finish bookkeeping
+	finSeq  atomic.Uint64
+	finMu   sync.Mutex
+	roots   map[finishID]rootFinish
+	proxies map[finishID]*vectorProxy
+
+	// global reference table
+	refMu  sync.Mutex
+	refSeq uint64
+	refs   map[uint64]any
+
+	// place monitor backing Atomic/When
+	monMu   sync.Mutex
+	monCond *sync.Cond
+
+	// clock table (for clocks homed at this place)
+	clockMu  sync.Mutex
+	clockSeq uint64
+	clocks   map[uint64]*clockState
+
+	// dense-routing coalescing buffers (see routeDense)
+	denseMu  sync.Mutex
+	denseBuf map[denseBufKey][]ctlSnapshot
+}
+
+// NewRuntime creates a runtime with cfg.Places places and registers the
+// runtime's active-message handlers on the transport.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{cfg: cfg, locals: newLocalRegistry(cfg.Places)}
+	if cfg.Transport != nil {
+		if cfg.Transport.NumPlaces() != cfg.Places {
+			return nil, fmt.Errorf("core: transport has %d places, config wants %d",
+				cfg.Transport.NumPlaces(), cfg.Places)
+		}
+		rt.tr = cfg.Transport
+	} else {
+		tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: cfg.Places})
+		if err != nil {
+			return nil, err
+		}
+		rt.tr = tr
+		rt.ownsTr = true
+	}
+	rt.places = make([]*place, cfg.Places)
+	for i := range rt.places {
+		pl := &place{
+			id:      Place(i),
+			rt:      rt,
+			sched:   sched.New(cfg.WorkersPerPlace),
+			roots:   make(map[finishID]rootFinish),
+			proxies: make(map[finishID]*vectorProxy),
+			refs:    make(map[uint64]any),
+			clocks:  make(map[uint64]*clockState),
+		}
+		pl.monCond = sync.NewCond(&pl.monMu)
+		rt.places[i] = pl
+	}
+	if err := rt.tr.Register(x10rt.HandlerSpawn, rt.onSpawn); err != nil {
+		return nil, err
+	}
+	if err := rt.tr.Register(x10rt.HandlerFinishCtl, rt.onFinishCtl); err != nil {
+		return nil, err
+	}
+	if err := rt.tr.Register(x10rt.HandlerClockCtl, rt.onClockCtl); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// NumPlaces returns the number of places.
+func (rt *Runtime) NumPlaces() int { return rt.cfg.Places }
+
+// Transport exposes the underlying transport, mainly for reading traffic
+// statistics in experiments.
+func (rt *Runtime) Transport() x10rt.Transport { return rt.tr }
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Close shuts the runtime down. Outstanding activities are abandoned; call
+// Close only after Run has returned.
+func (rt *Runtime) Close() {
+	rt.closeOnce.Do(func() {
+		rt.closed.Store(true)
+		if rt.ownsTr {
+			rt.tr.Close()
+		}
+	})
+}
+
+// Run executes main as the program's root activity at place 0 under an
+// implicit root finish, blocking until every transitively spawned activity
+// on every place has terminated. It returns the combined error of any
+// activities that panicked. Run may be called several times sequentially;
+// concurrent Runs on one Runtime are not supported.
+func (rt *Runtime) Run(main func(*Ctx)) error {
+	if rt.closed.Load() {
+		return fmt.Errorf("core: runtime is closed")
+	}
+	pl := rt.places[0]
+	var err error
+	pl.sched.Run(func() {
+		ctx := &Ctx{rt: rt, pl: pl}
+		err = ctx.Finish(main)
+	})
+	return err
+}
+
+// place lookup helper; panics on out-of-range place (programming error).
+func (rt *Runtime) place(p Place) *place {
+	if int(p) < 0 || int(p) >= len(rt.places) {
+		panic(fmt.Sprintf("core: place %d out of range [0,%d)", p, len(rt.places)))
+	}
+	return rt.places[p]
+}
+
+// master returns the master place of p's host, used by the FINISH_DENSE
+// software router: control messages from place p are routed via
+// p - p%b where b is the number of places per host.
+func (rt *Runtime) master(p Place) Place {
+	b := Place(rt.cfg.PlacesPerHost)
+	return p - p%b
+}
+
+// send is the single funnel for runtime messages.
+func (rt *Runtime) send(src, dst Place, id x10rt.HandlerID, payload any, bytes int, class x10rt.Class) {
+	if err := rt.tr.Send(int(src), int(dst), id, payload, bytes, class); err != nil {
+		panic(fmt.Sprintf("core: transport send %d->%d: %v", src, dst, err))
+	}
+}

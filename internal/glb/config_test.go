@@ -1,0 +1,115 @@
+package glb
+
+import (
+	"testing"
+
+	"apgas/internal/core"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.applyDefaults(2048)
+	if c.Quantum != 512 || c.RandomAttempts != 2 || c.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if c.MaxVictims != 1024 {
+		t.Errorf("MaxVictims = %d, want 1024 (the paper's bound)", c.MaxVictims)
+	}
+	if c.Lifelines != 11 { // ceil(log2 2048)
+		t.Errorf("Lifelines = %d, want 11", c.Lifelines)
+	}
+	// Negative MaxVictims removes the bound.
+	c2 := Config{MaxVictims: -1}
+	c2.applyDefaults(100)
+	if c2.MaxVictims != 100 {
+		t.Errorf("unbounded MaxVictims = %d, want 100", c2.MaxVictims)
+	}
+}
+
+func TestLifelinesOverride(t *testing.T) {
+	rt := newRT(t, 8)
+	b := New(rt, Config{Lifelines: 1, Quantum: 32}, func(p core.Place) TaskBag {
+		if p == 0 {
+			return &counterBag{pending: 5000, work: 20}
+		}
+		return &counterBag{work: 20}
+	})
+	for p := 0; p < 8; p++ {
+		if got := len(b.states[p].lifelines); got != 1 {
+			t.Errorf("place %d has %d lifelines, want 1", p, got)
+		}
+	}
+	err := rt.Run(func(ctx *core.Ctx) {
+		if e := b.Run(ctx); e != nil {
+			t.Errorf("run: %v", e)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalDone(b, 8); got != 5000 {
+		t.Fatalf("done = %d", got)
+	}
+}
+
+func TestSeedChangesVictimSequences(t *testing.T) {
+	rt := newRT(t, 8)
+	mk := func(seed int64) *Balancer {
+		return New(rt, Config{Seed: seed}, func(core.Place) TaskBag {
+			return &counterBag{}
+		})
+	}
+	a, b := mk(1), mk(2)
+	same := true
+	for p := 0; p < 8 && same; p++ {
+		va, vb := a.states[p].victims, b.states[p].victims
+		for i := range va {
+			if va[i] != vb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical victim sequences")
+	}
+	// Same seed: deterministic.
+	c := mk(1)
+	for p := 0; p < 8; p++ {
+		va, vc := a.states[p].victims, c.states[p].victims
+		for i := range va {
+			if va[i] != vc[i] {
+				t.Fatalf("same seed differs at place %d", p)
+			}
+		}
+	}
+}
+
+// TestMultipleWorkersPerPlace: the balancer's invariants hold when places
+// have spare execution slots (steal handlers run on dispatchers either way,
+// but resuscitated workers can overlap other activities).
+func TestMultipleWorkersPerPlace(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 4, WorkersPerPlace: 2, CheckPatterns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	const total = 40_000
+	b := New(rt, Config{Quantum: 64}, func(p core.Place) TaskBag {
+		if p == 0 {
+			return &counterBag{pending: total, work: 30}
+		}
+		return &counterBag{work: 30}
+	})
+	rerr := rt.Run(func(ctx *core.Ctx) {
+		if e := b.Run(ctx); e != nil {
+			t.Errorf("run: %v", e)
+		}
+	})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got := totalDone(b, 4); got != total {
+		t.Fatalf("done = %d, want %d", got, total)
+	}
+}

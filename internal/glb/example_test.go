@@ -1,0 +1,43 @@
+package glb_test
+
+import (
+	"fmt"
+
+	"apgas/internal/apps/uts"
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+)
+
+// Traversing an unbalanced tree with the lifeline balancer: the §6
+// configuration with a FINISH_DENSE root finish.
+func ExampleBalancer() {
+	rt, err := core.NewRuntime(core.Config{Places: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	tree := sha1rng.Geometric{B0: 4, Depth: 10, Seed: 19}
+	bags := make([]*uts.IntervalBag, 4)
+	bal := glb.New(rt, glb.Config{DenseFinish: true}, func(p core.Place) glb.TaskBag {
+		b := uts.NewIntervalBag(tree)
+		if p == 0 {
+			b.Seed() // all work starts at place 0; stealing spreads it
+		}
+		bags[p] = b
+		return b
+	})
+	_ = rt.Run(func(ctx *core.Ctx) {
+		if err := bal.Run(ctx); err != nil {
+			panic(err)
+		}
+	})
+	var nodes uint64
+	for _, b := range bags {
+		nodes += b.Nodes
+	}
+	want, _ := tree.CountSequential()
+	fmt.Println("counted:", nodes, "verified:", nodes == want)
+	// Output: counted: 11674 verified: true
+}

@@ -1,0 +1,367 @@
+// Package glb implements lifeline-based global load balancing — the GLB
+// library of §3.4 and §6 of "X10 and APGAS at Petascale", derived from
+// Saraswat et al., "Lifeline-based global load balancing" (PPoPP 2011),
+// with the refinements that made it scale to the full Power 775:
+//
+//   - the root finish governing the traversal uses FINISH_DENSE, so its
+//     control traffic is shaped through per-host master places;
+//   - steal attempts are round trips accounted with FINISH_HERE-style
+//     token passing (outgoing request followed by incoming response), so
+//     the root finish is oblivious to rebalancing from successful random
+//     steals;
+//   - each place draws random victims from a precomputed bounded set (at
+//     most 1,024 entries) to bound the out-degree of the communication
+//     graph — without the bound the paper observed severe network
+//     degradation at scale;
+//   - lifelines are the edges of a hypercube over places: low diameter to
+//     propagate work quickly, low degree to bound requests in flight.
+//
+// The protocol: every place runs one worker processing its own task bag.
+// An idle worker first makes a bounded number of synchronous random steal
+// attempts; if all fail it sends asynchronous requests to its lifelines
+// and dies. Lifelines have memory: when a loaded place notices recorded
+// lifeline requests it splits its bag and ships loot, resuscitating dead
+// workers. Because workers die when unsuccessful, overall termination is
+// exactly the termination of the root finish — one finish construct
+// detects the end of the whole irregular computation.
+package glb
+
+import (
+	"fmt"
+	"sync"
+
+	"apgas/internal/core"
+)
+
+// TaskBag is the work container a Balancer operates on (GLB's TaskQueue).
+// Implementations own both the pending work and any accumulated results.
+// All methods are called with the owning place's lock held; they must not
+// block or call back into the balancer.
+type TaskBag interface {
+	// Process executes up to quantum units of work, returning the number
+	// actually executed (0 when the bag is empty).
+	Process(quantum int) int
+	// Size returns the (approximate) number of pending work units.
+	Size() int64
+	// Split extracts a portion of the pending work for a thief, or nil
+	// when the bag has too little to share.
+	Split() TaskBag
+	// Merge adds stolen work to the bag.
+	Merge(loot TaskBag)
+}
+
+// Config tunes the balancer. Zero values select the defaults; the ablation
+// benchmarks override individual knobs.
+type Config struct {
+	// Quantum is the number of work units processed between scheduler
+	// interactions (default 512).
+	Quantum int
+	// RandomAttempts is the number of synchronous random steal attempts
+	// before falling back to lifelines (w in the PPoPP'11 paper;
+	// default 2).
+	RandomAttempts int
+	// MaxVictims bounds each place's precomputed random victim set, the
+	// paper's anti-degradation refinement (default 1024; places with
+	// fewer peers use all of them). Zero keeps the default; a negative
+	// value removes the bound (the legacy behaviour, for ablations).
+	MaxVictims int
+	// Lifelines is the number of outgoing lifeline edges per place.
+	// Zero selects the hypercube dimension ceil(log2 places).
+	Lifelines int
+	// DenseFinish selects FINISH_DENSE for the root finish (the paper's
+	// configuration). When false the default finish algorithm is used —
+	// the ablation showing why FINISH_DENSE matters.
+	DenseFinish bool
+	// Seed drives victim-sequence randomness (default 1).
+	Seed int64
+}
+
+func (c *Config) applyDefaults(places int) {
+	if c.Quantum <= 0 {
+		c.Quantum = 512
+	}
+	if c.RandomAttempts <= 0 {
+		c.RandomAttempts = 2
+	}
+	switch {
+	case c.MaxVictims == 0:
+		c.MaxVictims = 1024
+	case c.MaxVictims < 0:
+		c.MaxVictims = places // unbounded: everyone is a candidate victim
+	}
+	if c.Lifelines <= 0 {
+		c.Lifelines = hypercubeDims(places)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Stats aggregates per-place balancer counters after a run.
+type Stats struct {
+	Processed          int64 // total work units executed
+	StealAttempts      int64 // synchronous random steal attempts
+	StealSuccesses     int64
+	LifelineRequests   int64 // lifeline request messages sent
+	LifelineDeliveries int64 // loot shipments along lifelines
+	Resuscitations     int64 // workers revived by lifeline loot
+}
+
+// Balancer coordinates one load-balanced computation over a runtime.
+type Balancer struct {
+	rt     *core.Runtime
+	cfg    Config
+	states []*placeState
+}
+
+// placeState is the per-place side of the protocol.
+type placeState struct {
+	mu           sync.Mutex
+	bag          TaskBag
+	active       bool
+	victims      []core.Place // bounded precomputed victim set
+	victimCursor int
+	lifelines    []core.Place        // outgoing lifeline edges
+	lifelineReqs map[core.Place]bool // recorded incoming lifeline requests
+	asked        map[core.Place]bool // lifelines this place has asked and not yet been served by
+
+	stats Stats
+}
+
+// New creates a balancer and builds the per-place bags with makeBag (run
+// once per place; typically the root place's bag holds the initial work
+// and all others start empty).
+func New(rt *core.Runtime, cfg Config, makeBag func(core.Place) TaskBag) *Balancer {
+	n := rt.NumPlaces()
+	cfg.applyDefaults(n)
+	b := &Balancer{rt: rt, cfg: cfg, states: make([]*placeState, n)}
+	rng := newSplitMix(uint64(cfg.Seed))
+	for p := 0; p < n; p++ {
+		b.states[p] = &placeState{
+			bag:          makeBag(core.Place(p)),
+			victims:      victimSet(core.Place(p), n, cfg.MaxVictims, rng.next()),
+			lifelines:    lifelineEdges(core.Place(p), n, cfg.Lifelines),
+			lifelineReqs: make(map[core.Place]bool),
+			asked:        make(map[core.Place]bool),
+		}
+	}
+	return b
+}
+
+// BagAt returns place p's bag, for result collection after Run completes.
+func (b *Balancer) BagAt(p core.Place) TaskBag { return b.states[p].bag }
+
+// Stats sums the per-place counters. Call after Run.
+func (b *Balancer) Stats() Stats {
+	var s Stats
+	for _, st := range b.states {
+		s.Processed += st.stats.Processed
+		s.StealAttempts += st.stats.StealAttempts
+		s.StealSuccesses += st.stats.StealSuccesses
+		s.LifelineRequests += st.stats.LifelineRequests
+		s.LifelineDeliveries += st.stats.LifelineDeliveries
+		s.Resuscitations += st.stats.Resuscitations
+	}
+	return s
+}
+
+// Run executes the computation: workers start at every place under a
+// single root finish, and Run returns when the whole distributed traversal
+// has quiesced. It must be called from within rt.Run.
+func (b *Balancer) Run(ctx *core.Ctx) error {
+	pattern := core.PatternDefault
+	if b.cfg.DenseFinish {
+		pattern = core.PatternDense
+	}
+	return ctx.FinishPragma(pattern, func(c *core.Ctx) {
+		for _, p := range c.Places() {
+			p := p
+			c.AtAsync(p, func(cc *core.Ctx) {
+				st := b.states[p]
+				st.mu.Lock()
+				st.active = true
+				st.mu.Unlock()
+				b.worker(cc, st)
+			})
+		}
+	})
+}
+
+// worker is the main loop of one place: process, distribute along
+// lifelines, steal randomly, and finally ask lifelines and die.
+func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
+	for {
+		// Process until the bag drains, serving recorded lifeline
+		// requests between quanta.
+		for {
+			st.mu.Lock()
+			n := st.bag.Process(b.cfg.Quantum)
+			st.stats.Processed += int64(n)
+			if n > 0 {
+				b.serveLifelinesLocked(ctx, st)
+			}
+			empty := st.bag.Size() == 0
+			st.mu.Unlock()
+			if empty {
+				break
+			}
+		}
+
+		// Random steal attempts against the bounded victim set.
+		stolen := false
+		for i := 0; i < b.cfg.RandomAttempts && !stolen; i++ {
+			victim := st.nextVictim()
+			if victim < 0 {
+				break
+			}
+			stolen = b.randomSteal(ctx, st, victim)
+		}
+		if stolen {
+			continue
+		}
+
+		// Establish lifelines and die. Loot arriving later resuscitates
+		// the worker with a fresh activity.
+		st.mu.Lock()
+		if st.bag.Size() > 0 {
+			// Loot landed while we were out stealing; keep working so
+			// no merged work is ever abandoned by a dying worker.
+			st.mu.Unlock()
+			continue
+		}
+		st.active = false
+		requests := make([]core.Place, 0, len(st.lifelines))
+		for _, l := range st.lifelines {
+			if !st.asked[l] {
+				st.asked[l] = true
+				requests = append(requests, l)
+			}
+		}
+		st.stats.LifelineRequests += int64(len(requests))
+		st.mu.Unlock()
+		me := ctx.Place()
+		for _, l := range requests {
+			b.sendLifelineRequest(ctx, me, l)
+		}
+		return
+	}
+}
+
+// randomSteal performs one synchronous steal attempt: a round trip to the
+// victim under a FINISH_HERE, merging any loot into st's bag. It reports
+// whether work was obtained.
+func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place) bool {
+	st.mu.Lock()
+	st.stats.StealAttempts++
+	st.mu.Unlock()
+
+	home := ctx.Place()
+	var loot TaskBag
+	vs := b.states[victim]
+	err := ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
+		c.AtDirect(victim, 16, func(cv *core.Ctx) {
+			vs.mu.Lock()
+			var l TaskBag
+			if vs.active {
+				l = vs.bag.Split()
+			}
+			vs.mu.Unlock()
+			cv.AtDirect(home, lootBytes(l), func(*core.Ctx) {
+				loot = l
+			})
+		})
+	})
+	if err != nil {
+		panic(fmt.Sprintf("glb: steal attempt failed: %v", err))
+	}
+	if loot == nil {
+		return false
+	}
+	st.mu.Lock()
+	st.bag.Merge(loot)
+	st.stats.StealSuccesses++
+	st.mu.Unlock()
+	return true
+}
+
+// sendLifelineRequest records this place at lifeline l; if l currently has
+// surplus it answers immediately.
+func (b *Balancer) sendLifelineRequest(ctx *core.Ctx, thief, l core.Place) {
+	ls := b.states[l]
+	ctx.AtDirect(l, 16, func(cl *core.Ctx) {
+		ls.mu.Lock()
+		var loot TaskBag
+		if ls.active {
+			loot = ls.bag.Split()
+		}
+		if loot == nil {
+			// Lifelines have memory: remember the thief for later.
+			ls.lifelineReqs[thief] = true
+			ls.mu.Unlock()
+			return
+		}
+		ls.stats.LifelineDeliveries++
+		ls.mu.Unlock()
+		b.deliver(cl, thief, loot)
+	})
+}
+
+// serveLifelinesLocked ships loot to recorded lifeline requesters while the
+// bag has work to spare; the caller holds st.mu.
+func (b *Balancer) serveLifelinesLocked(ctx *core.Ctx, st *placeState) {
+	for thief := range st.lifelineReqs {
+		loot := st.bag.Split()
+		if loot == nil {
+			return
+		}
+		delete(st.lifelineReqs, thief)
+		st.stats.LifelineDeliveries++
+		b.deliver(ctx, thief, loot)
+	}
+}
+
+// deliver ships loot to a thief under the root finish and resuscitates its
+// worker if it has died — "resuscitation is also one async task".
+func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
+	ts := b.states[thief]
+	ctx.AtDirect(thief, lootBytes(loot), func(ct *core.Ctx) {
+		ts.mu.Lock()
+		ts.bag.Merge(loot)
+		revive := !ts.active
+		if revive {
+			ts.active = true
+			ts.stats.Resuscitations++
+			// The lifeline that just fed us may be asked again later.
+			for l := range ts.asked {
+				delete(ts.asked, l)
+			}
+		}
+		ts.mu.Unlock()
+		if revive {
+			ct.Async(func(cw *core.Ctx) { b.worker(cw, ts) })
+		}
+	})
+}
+
+// nextVictim returns the next victim from the precomputed set, or -1 when
+// the place has no peers.
+func (st *placeState) nextVictim() core.Place {
+	if len(st.victims) == 0 {
+		return -1
+	}
+	v := st.victims[st.victimCursor]
+	st.victimCursor = (st.victimCursor + 1) % len(st.victims)
+	return v
+}
+
+// lootBytes models the wire size of a loot shipment.
+func lootBytes(l TaskBag) int {
+	if l == nil {
+		return 16
+	}
+	n := l.Size()
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return 32 + int(n)*16
+}

@@ -1,0 +1,393 @@
+package glb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apgas/internal/core"
+)
+
+// counterBag is a synthetic TaskBag: a pile of identical work units that
+// can be split in half. Each processed unit may also "expand" into extra
+// units, modeling irregular growth.
+type counterBag struct {
+	pending int64
+	done    int64
+	// work is a spin count per unit, making units cost real time so
+	// stealing can overlap processing (0 = free units).
+	work int
+	// expandEvery creates one extra unit per N processed (0 = none),
+	// bounded by budget so tests terminate.
+	expandEvery int
+	expandLeft  int64
+	expandAcc   int
+	sink        uint64
+}
+
+func (b *counterBag) Process(q int) int {
+	n := int64(q)
+	if n > b.pending {
+		n = b.pending
+	}
+	b.pending -= n
+	b.done += n
+	for i := int64(0); i < n*int64(b.work); i++ {
+		b.sink = b.sink*6364136223846793005 + 1442695040888963407
+	}
+	if b.expandEvery > 0 {
+		b.expandAcc += int(n)
+		for b.expandAcc >= b.expandEvery && b.expandLeft > 0 {
+			b.expandAcc -= b.expandEvery
+			b.pending++
+			b.expandLeft--
+		}
+	}
+	return int(n)
+}
+
+func (b *counterBag) Size() int64 { return b.pending }
+
+func (b *counterBag) Split() TaskBag {
+	if b.pending < 2 {
+		return nil
+	}
+	half := b.pending / 2
+	b.pending -= half
+	return &counterBag{pending: half, work: b.work, expandEvery: b.expandEvery}
+}
+
+func (b *counterBag) Merge(loot TaskBag) {
+	lb := loot.(*counterBag)
+	b.pending += lb.pending
+	b.done += lb.done
+	// Expansion budget stays with the home bag; loot carries none.
+}
+
+func newRT(t *testing.T, places int) *core.Runtime {
+	t.Helper()
+	rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true, PlacesPerHost: 4})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// runBalancer executes a balanced computation with `total` initial units at
+// place 0 and returns the balancer for inspection.
+func runBalancer(t *testing.T, places int, total int64, cfg Config, expandEvery int, expandBudget int64) *Balancer {
+	t.Helper()
+	rt := newRT(t, places)
+	const unitWork = 40 // spin per unit so stealing overlaps processing
+	b := New(rt, cfg, func(p core.Place) TaskBag {
+		if p == 0 {
+			return &counterBag{pending: total, work: unitWork, expandEvery: expandEvery, expandLeft: expandBudget}
+		}
+		return &counterBag{work: unitWork, expandEvery: expandEvery}
+	})
+	err := rt.Run(func(ctx *core.Ctx) {
+		if err := b.Run(ctx); err != nil {
+			t.Errorf("balancer run: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return b
+}
+
+// totalDone sums completed units over all places.
+func totalDone(b *Balancer, places int) int64 {
+	var sum int64
+	for p := 0; p < places; p++ {
+		sum += b.BagAt(core.Place(p)).(*counterBag).done
+	}
+	return sum
+}
+
+func TestAllWorkProcessedSinglePlace(t *testing.T) {
+	b := runBalancer(t, 1, 10_000, Config{Quantum: 64}, 0, 0)
+	if got := totalDone(b, 1); got != 10_000 {
+		t.Fatalf("done = %d, want 10000", got)
+	}
+}
+
+func TestAllWorkProcessedManyPlaces(t *testing.T) {
+	const places, total = 8, 100_000
+	b := runBalancer(t, places, total, Config{Quantum: 128}, 0, 0)
+	if got := totalDone(b, places); got != total {
+		t.Fatalf("done = %d, want %d", got, total)
+	}
+	s := b.Stats()
+	if s.Processed != total {
+		t.Fatalf("Stats.Processed = %d, want %d", s.Processed, total)
+	}
+	if s.LifelineRequests == 0 {
+		t.Error("no lifeline requests despite idle places")
+	}
+}
+
+func TestWorkActuallySpreads(t *testing.T) {
+	// Expensive units so the run outlasts worker startup and the steal
+	// wave: spreading must then occur.
+	const places, total = 8, 20_000
+	rt := newRT(t, places)
+	b := New(rt, Config{Quantum: 16, RandomAttempts: 8}, func(p core.Place) TaskBag {
+		if p == 0 {
+			return &counterBag{pending: total, work: 3000}
+		}
+		return &counterBag{work: 3000}
+	})
+	err := rt.Run(func(ctx *core.Ctx) {
+		if err := b.Run(ctx); err != nil {
+			t.Errorf("balancer run: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := totalDone(b, places); got != total {
+		t.Fatalf("done = %d, want %d", got, total)
+	}
+	busy := 0
+	for p := 0; p < places; p++ {
+		if b.BagAt(core.Place(p)).(*counterBag).done > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d/%d places did any work", busy, places)
+	}
+	s := b.Stats()
+	if s.StealSuccesses == 0 && s.LifelineDeliveries == 0 {
+		t.Error("work spread without any steal or lifeline delivery recorded")
+	}
+}
+
+// TestLifelineDeliveryDeterministic pre-records a lifeline request from
+// place 1 at place 0, so place 0's first processing quantum must ship loot
+// and resuscitate place 1 — exercising the lifeline path without timing
+// dependence.
+func TestLifelineDeliveryDeterministic(t *testing.T) {
+	const total = 50_000
+	rt := newRT(t, 2)
+	b := New(rt, Config{Quantum: 16, RandomAttempts: 1}, func(p core.Place) TaskBag {
+		if p == 0 {
+			return &counterBag{pending: total, work: 50}
+		}
+		return &counterBag{work: 50}
+	})
+	// Pre-record the request and mark place 1 as having asked, as if its
+	// worker had already died.
+	b.states[0].lifelineReqs[1] = true
+	err := rt.Run(func(ctx *core.Ctx) {
+		if err := b.Run(ctx); err != nil {
+			t.Errorf("balancer run: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := totalDone(b, 2); got != total {
+		t.Fatalf("done = %d, want %d", got, total)
+	}
+	if b.states[0].stats.LifelineDeliveries == 0 {
+		t.Error("pre-recorded lifeline request was never served")
+	}
+	if done1 := b.BagAt(1).(*counterBag).done; done1 == 0 {
+		t.Error("place 1 never processed its delivered loot")
+	}
+}
+
+func TestDenseFinishVariant(t *testing.T) {
+	const places, total = 8, 50_000
+	b := runBalancer(t, places, total, Config{Quantum: 64, DenseFinish: true}, 0, 0)
+	if got := totalDone(b, places); got != total {
+		t.Fatalf("done = %d, want %d", got, total)
+	}
+}
+
+func TestExpandingWorkload(t *testing.T) {
+	// Work that grows while being processed: the UTS shape.
+	const places, total, budget = 6, 10_000, 25_000
+	b := runBalancer(t, places, total, Config{Quantum: 32}, 2, budget)
+	// Conservation: done = initial units + expansions actually created.
+	var remaining int64
+	for p := 0; p < places; p++ {
+		remaining += b.BagAt(core.Place(p)).(*counterBag).expandLeft
+	}
+	want := total + (budget - remaining)
+	got := totalDone(b, places)
+	if got != want {
+		t.Fatalf("done = %d, want %d (remaining budget %d)", got, want, remaining)
+	}
+	if got <= total {
+		t.Fatalf("no expansion happened: done = %d", got)
+	}
+}
+
+func TestUnboundedVictimsVariant(t *testing.T) {
+	const places, total = 8, 30_000
+	b := runBalancer(t, places, total, Config{Quantum: 64, MaxVictims: -1}, 0, 0)
+	if got := totalDone(b, places); got != total {
+		t.Fatalf("done = %d, want %d", got, total)
+	}
+}
+
+func TestBoundedVictimSetSizes(t *testing.T) {
+	vs := victimSet(3, 100, 10, 42)
+	if len(vs) != 10 {
+		t.Fatalf("len = %d, want 10", len(vs))
+	}
+	seen := map[core.Place]bool{}
+	for _, v := range vs {
+		if v == 3 {
+			t.Error("self in victim set")
+		}
+		if seen[v] {
+			t.Errorf("duplicate victim %d", v)
+		}
+		seen[v] = true
+	}
+	if victimSet(0, 1, 10, 1) != nil {
+		t.Error("single place should have no victims")
+	}
+	if got := victimSet(0, 5, 100, 7); len(got) != 4 {
+		t.Errorf("small world: len = %d, want 4", len(got))
+	}
+}
+
+func TestVictimSetsDifferAcrossPlaces(t *testing.T) {
+	a := victimSet(0, 64, 16, 9)
+	b := victimSet(1, 64, 16, 9)
+	same := true
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("victim sequences identical across places")
+	}
+}
+
+func TestHypercubeDims(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1740: 11}
+	for n, want := range cases {
+		if got := hypercubeDims(n); got != want {
+			t.Errorf("hypercubeDims(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLifelineEdgesPowerOfTwo(t *testing.T) {
+	// In an 8-place hypercube, place 5 (101) links to 4 (100), 7 (111),
+	// 1 (001).
+	got := lifelineEdges(5, 8, 3)
+	want := map[core.Place]bool{4: true, 7: true, 1: true}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected lifeline %d", p)
+		}
+	}
+}
+
+// TestLifelineGraphConnected: from every place, following lifeline edges
+// reaches place 0 — required for the work wave to reach everybody.
+func TestLifelineGraphConnected(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%63 + 2 // 2..64 places
+		deg := hypercubeDims(n)
+		// Build reverse reachability from 0 over undirected edges (work
+		// can flow either way: requests one way, loot the other).
+		adj := make([][]core.Place, n)
+		for p := 0; p < n; p++ {
+			adj[p] = lifelineEdges(core.Place(p), n, deg)
+		}
+		visited := make([]bool, n)
+		queue := []int{0}
+		visited[0] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, int(nb))
+				}
+			}
+			// Also traverse reverse edges.
+			for p := 0; p < n; p++ {
+				if !visited[p] {
+					for _, nb := range adj[p] {
+						if int(nb) == cur {
+							visited[p] = true
+							queue = append(queue, p)
+							break
+						}
+					}
+				}
+			}
+		}
+		for _, v := range visited {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationProperty: for random configurations, no work is lost or
+// duplicated.
+func TestConservationProperty(t *testing.T) {
+	f := func(placesRaw, totalRaw uint8, quantumRaw uint8) bool {
+		places := int(placesRaw)%7 + 2     // 2..8
+		total := int64(totalRaw)*100 + 100 // 100..25600
+		quantum := int(quantumRaw)%100 + 1 // 1..100
+		rt, err := core.NewRuntime(core.Config{Places: places, CheckPatterns: true})
+		if err != nil {
+			return false
+		}
+		defer rt.Close()
+		b := New(rt, Config{Quantum: quantum}, func(p core.Place) TaskBag {
+			if p == 0 {
+				return &counterBag{pending: total}
+			}
+			return &counterBag{}
+		})
+		err = rt.Run(func(ctx *core.Ctx) {
+			if e := b.Run(ctx); e != nil {
+				err = e
+			}
+		})
+		if err != nil {
+			return false
+		}
+		return totalDone(b, places) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := runBalancer(t, 4, 50_000, Config{Quantum: 64}, 0, 0)
+	s := b.Stats()
+	if s.Processed != 50_000 {
+		t.Errorf("Processed = %d", s.Processed)
+	}
+	if s.StealAttempts < s.StealSuccesses {
+		t.Errorf("attempts %d < successes %d", s.StealAttempts, s.StealSuccesses)
+	}
+	if s.LifelineDeliveries < s.Resuscitations {
+		t.Errorf("deliveries %d < resuscitations %d", s.LifelineDeliveries, s.Resuscitations)
+	}
+}

@@ -1,0 +1,89 @@
+package glb
+
+import "apgas/internal/core"
+
+// This file builds the two place graphs the balancer walks: the bounded
+// random victim sets (§6.1: "no more than 1,024 elements to bound the
+// out-degree of the communication graph") and the lifeline graph, a
+// hypercube chosen to "co-minimize the distance between any two workers
+// and the number of lifeline requests in flight".
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) for reproducible
+// victim permutations without pulling in math/rand state per place.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// victimSet returns a random subset of the other places, at most maxV
+// long, as a shuffled cycle the worker walks round-robin.
+func victimSet(self core.Place, places, maxV int, seed uint64) []core.Place {
+	if places <= 1 {
+		return nil
+	}
+	others := make([]core.Place, 0, places-1)
+	for p := 0; p < places; p++ {
+		if core.Place(p) != self {
+			others = append(others, core.Place(p))
+		}
+	}
+	// Fisher-Yates with the per-place seed.
+	rng := newSplitMix(seed ^ uint64(self)*0x9e3779b97f4a7c15)
+	for i := len(others) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		others[i], others[j] = others[j], others[i]
+	}
+	if maxV > 0 && len(others) > maxV {
+		others = others[:maxV]
+	}
+	return others
+}
+
+// hypercubeDims returns ceil(log2 n), the lifeline degree of a hypercube
+// over n places.
+func hypercubeDims(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// lifelineEdges returns the outgoing lifelines of a place: its hypercube
+// neighbours self XOR 2^k that exist, padded (for non-power-of-two place
+// counts) with +2^k ring jumps so every place keeps close to `degree`
+// outgoing edges and the graph stays connected.
+func lifelineEdges(self core.Place, places, degree int) []core.Place {
+	if places <= 1 {
+		return nil
+	}
+	seen := map[core.Place]bool{self: true}
+	out := make([]core.Place, 0, degree)
+	add := func(p core.Place) {
+		if !seen[p] && len(out) < degree {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for k := 0; k < degree; k++ {
+		if n := int(self) ^ (1 << k); n < places {
+			add(core.Place(n))
+		}
+	}
+	// For non-power-of-two place counts some hypercube neighbours do not
+	// exist; keep the degree (and connectivity) up with ring jumps.
+	for k := 0; len(out) < degree && k < degree; k++ {
+		add(core.Place((int(self) + (1 << k)) % places))
+	}
+	return out
+}

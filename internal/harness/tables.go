@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"fmt"
+
+	"apgas/internal/baseline"
+	"apgas/internal/kernels/sha1rng"
+	"apgas/internal/netsim"
+)
+
+// Table1 regenerates the paper's Table 1: the APGAS implementations of the
+// four HPC Challenge benchmarks against the "Class 1" analogues — direct
+// implementations that bypass the runtime (package baseline). The paper
+// measured 85% (HPL), 81% (RandomAccess), 41% (FFT), and 87% (Stream); the
+// reproduced ratios reflect this substrate's runtime overheads instead of
+// the Torrent's, but answer the same question: how much of the bare-metal
+// rate does the productivity layer keep?
+func Table1(s Scale) (Table, error) {
+	t := Table{
+		Title:   "Table 1: APGAS implementation vs Class 1 analogue",
+		Columns: []string{"APGAS", "Class 1", "ratio"},
+	}
+	// The paper compares the per-core rate of each implementation with
+	// both running on the same hardware. The matched configuration here
+	// is the single-place APGAS run (one core, full runtime stack)
+	// against a sequential direct implementation of the *same problem
+	// size*: the ratio isolates the runtime's overhead tax.
+
+	// HPL.
+	hplSeries, err := Fig1HPL(s)
+	if err != nil {
+		return t, err
+	}
+	hplOne := hplSeries.Points[0]
+	baseN := map[Scale]int{Tiny: 128, Small: 192, Medium: 256}[s]
+	nb := map[Scale]int{Tiny: 16, Small: 32, Medium: 32}[s]
+	hplBase := baseline.LU(baseN, nb, 7)
+	t.Rows = append(t.Rows, ratioRow("Global HPL (Gflop/s/core)", hplOne.PerUnit, hplBase))
+
+	// RandomAccess.
+	raSeries, err := Fig1RandomAccess(s)
+	if err != nil {
+		return t, err
+	}
+	raOne := raSeries.Points[0]
+	logPer := map[Scale]int{Tiny: 12, Small: 14, Medium: 16}[s]
+	raBase := baseline.GUPS(logPer, 4, 1)
+	t.Rows = append(t.Rows, ratioRow("Global RandomAccess (GUP/s)", raOne.Aggregate, raBase))
+
+	// FFT.
+	fftSeries, err := Fig1FFT(s)
+	if err != nil {
+		return t, err
+	}
+	fftOne := fftSeries.Points[0]
+	baseLog := map[Scale]int{Tiny: 12, Small: 14, Medium: 16}[s]
+	fftBase := baseline.FFT(baseLog, 5)
+	t.Rows = append(t.Rows, ratioRow("Global FFT (Gflop/s/core)", fftOne.PerUnit, fftBase))
+
+	// Stream.
+	stSeries, err := Fig1Stream(s)
+	if err != nil {
+		return t, err
+	}
+	stOne := stSeries.Points[0]
+	words := map[Scale]int{Tiny: 1 << 16, Small: 1 << 19, Medium: 1 << 21}[s]
+	iters := map[Scale]int{Tiny: 4, Small: 8, Medium: 10}[s]
+	stBase := baseline.StreamTriad(words, iters, 1)
+	t.Rows = append(t.Rows, ratioRow("EP Stream (GB/s/place)", stOne.PerUnit, stBase))
+	return t, nil
+}
+
+func ratioRow(name string, apgas, base float64) Row {
+	ratio := 0.0
+	if base > 0 {
+		ratio = apgas / base
+	}
+	return Row{Name: name, Values: []string{fmtG(apgas), fmtG(base), fmtPct(ratio)}}
+}
+
+// Table2 regenerates the paper's Table 2: relative efficiency at scale —
+// the per-unit metric at the largest run divided by the single-place (or
+// reference) value, for the same implementation. The paper's values:
+// HPL 87%, RandomAccess 100%, FFT 100%, Stream 98%, UTS 98%, K-Means 98%,
+// Smith-Waterman 98%, BC 45% (77% corrected).
+func Table2(s Scale) (Table, error) {
+	t := Table{
+		Title:   "Table 2: relative efficiency at scale vs reference",
+		Columns: []string{"ref/unit", "at scale/unit", "eff vs 1", "eff vs host"},
+	}
+	add := func(name string, series Series, err error) error {
+		if err != nil {
+			return err
+		}
+		first := series.Points[0]
+		last := series.Points[len(series.Points)-1]
+		// The paper's Table 2 normalizes against one *host*, not one
+		// core, "as the memory bandwidth does not scale linearly due to
+		// bus contention" — the analogous reference here is the sweep
+		// midpoint, where the shared memory system is already saturated.
+		host := series.Points[len(series.Points)/2].Places
+		t.Rows = append(t.Rows, Row{
+			Name: name,
+			Values: []string{
+				fmtG(first.PerUnit), fmtG(last.PerUnit),
+				fmtPct(series.Efficiency(1)),
+				fmtPct(series.Efficiency(host)),
+			},
+		})
+		return nil
+	}
+	type gen func(Scale) (Series, error)
+	for _, g := range []struct {
+		name string
+		fn   gen
+	}{
+		{"Global HPL (Gflop/s/core)", Fig1HPL},
+		{"Global RandomAccess (GUP/s/place)", Fig1RandomAccess},
+		{"Global FFT (Gflop/s/core)", Fig1FFT},
+		{"EP Stream (GB/s/place)", Fig1Stream},
+		{"UTS (Mnodes/s/place)", Fig1UTS},
+		{"K-Means (efficiency)", Fig1KMeans},
+		{"Smith-Waterman (efficiency)", Fig1SW},
+		{"Betweenness Centrality (Medges/s/place)", Fig1BC},
+	} {
+		series, err := g.fn(s)
+		if aerr := add(g.name, series, err); aerr != nil {
+			return t, aerr
+		}
+	}
+	return t, nil
+}
+
+// ModelTable prints the netsim Power 775 predictions for the
+// interconnect-bound kernels at paper scale — the §4 bandwidth analysis
+// that explains the RandomAccess and FFT curve shapes (per-host dip
+// between one supernode and many).
+func ModelTable() Table {
+	m := netsim.Power775()
+	t := Table{
+		Title:   "Power 775 interconnect model (netsim): per-host rates vs hosts",
+		Columns: []string{"all-to-all GB/s/host", "RA GUP/s/host", "FFT Gflop/s/core"},
+	}
+	gp := netsim.DefaultGUPSParams()
+	fp := netsim.DefaultFFTParams()
+	for _, hosts := range []int{1, 8, 32, 64, 128, 256, 512, 1024, 1740} {
+		t.Rows = append(t.Rows, Row{
+			Name: fmt.Sprintf("%d hosts", hosts),
+			Values: []string{
+				fmtG(m.AllToAllPerOctant(hosts)),
+				fmtG(m.RandomAccessGupsPerHost(hosts, gp)),
+				fmtG(m.FFTGflopsPerCore(hosts, fp)),
+			},
+		})
+	}
+	return t
+}
+
+// SequentialReference reports single-core sanity rates used in
+// EXPERIMENTS.md (UTS nodes/s as the headline, matching the paper's
+// 10.9 Mnodes/s/core on Power7).
+func SequentialReference() Table {
+	t := Table{
+		Title:   "Sequential reference rates (this machine)",
+		Columns: []string{"value"},
+	}
+	rate, nodes := baseline.UTS(sha1rng.Geometric{B0: 4, Depth: 13, Seed: 19})
+	t.Rows = append(t.Rows, Row{
+		Name:   "UTS sequential (Mnodes/s)",
+		Values: []string{fmt.Sprintf("%.2f (%d nodes)", rate, nodes)},
+	})
+	t.Rows = append(t.Rows, Row{
+		Name:   "FFT sequential 2^16 (Gflop/s)",
+		Values: []string{fmtG(baseline.FFT(16, 5))},
+	})
+	t.Rows = append(t.Rows, Row{
+		Name:   "LU sequential 256 (Gflop/s)",
+		Values: []string{fmtG(baseline.LU(256, 32, 7))},
+	})
+	return t
+}

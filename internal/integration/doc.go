@@ -1,0 +1,5 @@
+// Package integration holds cross-package end-to-end tests: full benchmark
+// kernels executed on transports with injected Power 775 link latency and
+// adversarial control-message reordering, verifying that the runtime's
+// protocols stay correct when the network behaves like a network.
+package integration

@@ -1,0 +1,155 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"apgas/internal/apps/hpl"
+	"apgas/internal/apps/kmeans"
+	"apgas/internal/apps/randomaccess"
+	"apgas/internal/apps/uts"
+	"apgas/internal/collectives"
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/kernels/sha1rng"
+	"apgas/internal/netsim"
+	"apgas/internal/x10rt"
+)
+
+// adverseRuntime builds a runtime whose transport injects Power 775-shaped
+// per-hop latency (scaled down to keep tests fast) and reorders control
+// messages — the conditions §3.1's protocols are designed for.
+func adverseRuntime(t *testing.T, places int, seed int64) *core.Runtime {
+	t.Helper()
+	m := netsim.Power775()
+	m.CoresPerOctant = 2 // tiny "hosts" so even small place counts span hops
+	m.OctantsPerDrawer = 2
+	m.DrawersPerSupernode = 1
+	lat := m.LatencyFunc(netsim.LatencyParams{
+		Local:          200 * time.Nanosecond,
+		PerHop:         2 * time.Microsecond,
+		BytesPerSecond: 1e9,
+		Scale:          1,
+	})
+	tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{
+		Places:      places,
+		ReorderSeed: seed,
+		Latency: func(src, dst, bytes int, class x10rt.Class) time.Duration {
+			return lat(src, dst, bytes, uint8(class))
+		},
+	})
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Places:        places,
+		PlacesPerHost: 2,
+		Transport:     tr,
+		CheckPatterns: true,
+	})
+	if err != nil {
+		t.Fatalf("runtime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestUTSUnderAdverseNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tree := sha1rng.Geometric{B0: 4, Depth: 11, Seed: 19}
+	want, _ := tree.CountSequential()
+	rt := adverseRuntime(t, 8, 4242)
+	res, err := uts.Run(rt, uts.Config{
+		Tree: tree,
+		GLB:  glb.Config{Quantum: 128, DenseFinish: true},
+	})
+	if err != nil {
+		t.Fatalf("uts: %v", err)
+	}
+	if res.Nodes != want {
+		t.Fatalf("counted %d nodes, want %d", res.Nodes, want)
+	}
+}
+
+func TestHPLUnderAdverseNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rt := adverseRuntime(t, 4, 777)
+	res, err := hpl.Run(rt, hpl.Config{N: 64, NB: 8, P: 2, Q: 2, Seed: 3,
+		Mode: collectives.ModeEmulated})
+	if err != nil {
+		t.Fatalf("hpl: %v", err)
+	}
+	if res.Residual > 16 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+}
+
+func TestRandomAccessUnderAdverseNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rt := adverseRuntime(t, 4, 99)
+	res, err := randomaccess.Run(rt, randomaccess.Config{
+		Log2TablePerPlace: 8, Verify: true, Batch: 16,
+	})
+	if err != nil {
+		t.Fatalf("ra: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d verification errors", res.Errors)
+	}
+}
+
+func TestKMeansUnderAdverseNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rt := adverseRuntime(t, 4, 55)
+	cfg := kmeans.Config{
+		PointsPerPlace: 200, Clusters: 8, Dim: 3, Iterations: 3, Seed: 5,
+		Mode: collectives.ModeEmulated,
+	}
+	res, err := kmeans.Run(rt, cfg)
+	if err != nil {
+		t.Fatalf("kmeans: %v", err)
+	}
+	_, wantDist := kmeans.Sequential(cfg, 4)
+	diff := res.Distortion - wantDist
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-9*(1+wantDist) {
+		t.Fatalf("distortion %v, want %v", res.Distortion, wantDist)
+	}
+}
+
+// TestManyPlacesUnderReordering pushes the dense finish + GLB combination
+// through a larger place count with reordering only (no latency, for
+// speed).
+func TestManyPlacesUnderReordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: 32, ReorderSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(core.Config{Places: 32, PlacesPerHost: 8, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	tree := sha1rng.Geometric{B0: 4, Depth: 12, Seed: 19}
+	want, _ := tree.CountSequential()
+	res, err := uts.Run(rt, uts.Config{Tree: tree, GLB: glb.Config{DenseFinish: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != want {
+		t.Fatalf("counted %d, want %d", res.Nodes, want)
+	}
+}

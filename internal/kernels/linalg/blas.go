@@ -1,0 +1,188 @@
+// Package linalg provides the dense linear algebra kernels backing the
+// Global HPL benchmark of §5: a blocked DGEMM, triangular solves, rank-1
+// updates, and an LU panel factorization with partial pivoting. The
+// paper's X10 code called IBM ESSL for these; this package is the
+// from-scratch substitute, written for predictable performance rather
+// than peak Gflop/s (the experiments compare scaling shape, not absolute
+// rates).
+//
+// All matrices are dense row-major with an explicit leading dimension
+// (lda), so the routines work on sub-blocks of larger arrays.
+package linalg
+
+// GemmNN computes C = alpha*A*B + beta*C for row-major A (m x k), B
+// (k x n), C (m x n) with leading dimensions lda, ldb, ldc. It uses
+// cache-friendly blocking over k and j with an unrolled inner kernel.
+func GemmNN(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int,
+	beta float64, c []float64, ldc int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			ci := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				for j := range ci {
+					ci[j] = 0
+				}
+			} else {
+				for j := range ci {
+					ci[j] *= beta
+				}
+			}
+		}
+	}
+	if k == 0 || alpha == 0 {
+		return
+	}
+	const kc = 256 // k-blocking: keep a strip of B in cache
+	for kk := 0; kk < k; kk += kc {
+		kb := kc
+		if kk+kb > k {
+			kb = k - kk
+		}
+		for i := 0; i < m; i++ {
+			ai := a[i*lda+kk : i*lda+kk+kb]
+			ci := c[i*ldc : i*ldc+n]
+			for p := 0; p < kb; p++ {
+				aip := alpha * ai[p]
+				if aip == 0 {
+					continue
+				}
+				bp := b[(kk+p)*ldb : (kk+p)*ldb+n]
+				axpy(ci, bp, aip)
+			}
+		}
+	}
+}
+
+// axpy computes ci += s * bp with 4-way unrolling.
+func axpy(ci, bp []float64, s float64) {
+	n := len(ci)
+	if len(bp) < n {
+		n = len(bp)
+	}
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		ci[j] += s * bp[j]
+		ci[j+1] += s * bp[j+1]
+		ci[j+2] += s * bp[j+2]
+		ci[j+3] += s * bp[j+3]
+	}
+	for ; j < n; j++ {
+		ci[j] += s * bp[j]
+	}
+}
+
+// TrsmLLNU solves L*X = B in place for X, where L is m x m lower
+// triangular with implicit unit diagonal and B is m x n (row-major,
+// leading dimensions ldl and ldb). On return B holds X. This is the
+// DTRSM('L','L','N','U') HPL uses to form the U12 block row.
+func TrsmLLNU(m, n int, l []float64, ldl int, b []float64, ldb int) {
+	for i := 0; i < m; i++ {
+		bi := b[i*ldb : i*ldb+n]
+		for p := 0; p < i; p++ {
+			lip := l[i*ldl+p]
+			if lip == 0 {
+				continue
+			}
+			axpy(bi, b[p*ldb:p*ldb+n], -lip)
+		}
+	}
+}
+
+// Ger performs the rank-1 update A -= x * y^T on the m x n matrix A
+// (row-major, leading dimension lda), with x of length m and y of length
+// n — the inner step of unblocked LU.
+func Ger(m, n int, x []float64, y []float64, a []float64, lda int) {
+	for i := 0; i < m; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		axpy(a[i*lda:i*lda+n], y, -x[i])
+	}
+}
+
+// SwapRows exchanges rows i and j of the m x n matrix A (row-major).
+func SwapRows(n int, a []float64, lda, i, j int) {
+	if i == j {
+		return
+	}
+	ri := a[i*lda : i*lda+n]
+	rj := a[j*lda : j*lda+n]
+	for t := 0; t < n; t++ {
+		ri[t], rj[t] = rj[t], ri[t]
+	}
+}
+
+// GetrfPanel factors the m x n panel A (m >= n) in place with partial
+// pivoting using a recursive right-looking split — the "recursive panel
+// factorization" of the paper's HPL implementation. On return, A holds L
+// (unit lower, below the diagonal) and U (upper) of P*A = L*U restricted
+// to the panel, and piv[j] is the absolute panel row swapped into position
+// j at step j. Row swaps are applied across the full panel width n.
+func GetrfPanel(m, n int, a []float64, lda int, piv []int) {
+	if m < n {
+		panic("linalg: GetrfPanel requires m >= n")
+	}
+	panelRec(m, n, a, lda, piv, 0, n)
+}
+
+// panelRec factors columns [j0, j1) of the panel.
+func panelRec(m, nAll int, a []float64, lda int, piv []int, j0, j1 int) {
+	w := j1 - j0
+	if w <= 8 {
+		panelUnblocked(m, nAll, a, lda, piv, j0, j1)
+		return
+	}
+	mid := j0 + w/2
+	panelRec(m, nAll, a, lda, piv, j0, mid)
+	// U12 := L11^-1 * A12 over rows [j0, mid), columns [mid, j1).
+	TrsmLLNU(mid-j0, j1-mid, a[j0*lda+j0:], lda, a[j0*lda+mid:], lda)
+	// Trailing update of rows [mid, m), columns [mid, j1).
+	GemmNN(m-mid, j1-mid, mid-j0, -1,
+		a[mid*lda+j0:], lda, a[j0*lda+mid:], lda, 1, a[mid*lda+mid:], lda)
+	panelRec(m, nAll, a, lda, piv, mid, j1)
+}
+
+// panelUnblocked is classic right-looking unblocked LU on columns
+// [j0, j1), swapping full panel rows so earlier L columns stay consistent.
+func panelUnblocked(m, nAll int, a []float64, lda int, piv []int, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		// Pivot search in column j, rows [j, m).
+		p := j
+		best := abs(a[j*lda+j])
+		for i := j + 1; i < m; i++ {
+			if v := abs(a[i*lda+j]); v > best {
+				best = v
+				p = i
+			}
+		}
+		piv[j] = p
+		SwapRows(nAll, a, lda, j, p)
+		d := a[j*lda+j]
+		if d != 0 {
+			inv := 1 / d
+			for i := j + 1; i < m; i++ {
+				a[i*lda+j] *= inv
+			}
+		}
+		// Rank-1 update of the remaining columns of this leaf.
+		if j+1 < j1 {
+			for i := j + 1; i < m; i++ {
+				lij := a[i*lda+j]
+				if lij == 0 {
+					continue
+				}
+				axpy(a[i*lda+j+1:i*lda+j1], a[j*lda+j+1:j*lda+j1], -lij)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,241 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the reference for GemmNN.
+func naiveGemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int,
+	beta float64, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for p := 0; p < k; p++ {
+				sum += a[i*lda+p] * b[p*ldb+j]
+			}
+			c[i*ldc+j] = alpha*sum + beta*c[i*ldc+j]
+		}
+	}
+}
+
+func randMat(rng *rand.Rand, m, n int) []float64 {
+	a := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func maxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {16, 16, 16}, {33, 17, 29}, {64, 1, 300}, {7, 300, 4}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		c1 := randMat(rng, m, n)
+		c2 := append([]float64(nil), c1...)
+		GemmNN(m, n, k, 1.5, a, k, b, n, 0.5, c1, n)
+		naiveGemm(m, n, k, 1.5, a, k, b, n, 0.5, c2, n)
+		if d := maxDiff(c1, c2); d > 1e-9 {
+			t.Errorf("m=%d n=%d k=%d: maxdiff %g", m, n, k, d)
+		}
+	}
+}
+
+func TestGemmBetaZeroIgnoresNaNs(t *testing.T) {
+	// beta=0 must overwrite C even if it contains NaN (BLAS semantics).
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	c := []float64{math.NaN()}
+	GemmNN(1, 1, 2, 1, a, 2, b, 1, 0, c, 1)
+	if c[0] != 11 {
+		t.Errorf("c = %v, want 11", c[0])
+	}
+}
+
+func TestGemmEdgeCases(t *testing.T) {
+	c := []float64{5}
+	GemmNN(0, 0, 0, 1, nil, 1, nil, 1, 1, c, 1) // no-op
+	if c[0] != 5 {
+		t.Error("empty gemm touched C")
+	}
+	GemmNN(1, 1, 0, 1, nil, 1, nil, 1, 2, c, 1) // scale only
+	if c[0] != 10 {
+		t.Errorf("k=0 gemm: c=%v, want 10", c[0])
+	}
+}
+
+func TestGemmSubmatrices(t *testing.T) {
+	// Operate on an interior block of a larger array via lda.
+	rng := rand.New(rand.NewSource(9))
+	const big, m, n, k = 10, 4, 3, 5
+	a := randMat(rng, big, big)
+	b := randMat(rng, big, big)
+	c1 := randMat(rng, big, big)
+	c2 := append([]float64(nil), c1...)
+	GemmNN(m, n, k, 2, a[big+2:], big, b[2*big+1:], big, 1, c1[3*big+4:], big)
+	naiveGemm(m, n, k, 2, a[big+2:], big, b[2*big+1:], big, 1, c2[3*big+4:], big)
+	if d := maxDiff(c1, c2); d > 1e-9 {
+		t.Errorf("submatrix gemm differs by %g", d)
+	}
+}
+
+func TestTrsmLLNU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const m, n = 9, 6
+	l := randMat(rng, m, m)
+	for i := 0; i < m; i++ {
+		l[i*m+i] = 1
+		for j := i + 1; j < m; j++ {
+			l[i*m+j] = 0
+		}
+	}
+	x := randMat(rng, m, n)
+	b := make([]float64, m*n)
+	naiveGemm(m, n, m, 1, l, m, x, n, 0, b, n)
+	TrsmLLNU(m, n, l, m, b, n)
+	if d := maxDiff(b, x); d > 1e-9 {
+		t.Errorf("Trsm residual %g", d)
+	}
+}
+
+func TestGer(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const m, n = 7, 5
+	a1 := randMat(rng, m, n)
+	a2 := append([]float64(nil), a1...)
+	x := randMat(rng, m, 1)
+	y := randMat(rng, 1, n)
+	Ger(m, n, x, y, a1, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a2[i*n+j] -= x[i] * y[j]
+		}
+	}
+	if d := maxDiff(a1, a2); d > 1e-12 {
+		t.Errorf("Ger differs by %g", d)
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6}
+	SwapRows(3, a, 3, 0, 1)
+	want := []float64{4, 5, 6, 1, 2, 3}
+	if maxDiff(a, want) != 0 {
+		t.Errorf("a = %v", a)
+	}
+	SwapRows(3, a, 3, 1, 1) // self-swap: no-op
+	if maxDiff(a, want) != 0 {
+		t.Errorf("self swap changed a = %v", a)
+	}
+}
+
+// applyPiv replays the pivot sequence on a fresh matrix.
+func applyPiv(n int, a []float64, lda int, piv []int) {
+	for j, p := range piv {
+		SwapRows(n, a, lda, j, p)
+	}
+}
+
+// TestGetrfPanelReconstruction: P*A = L*U for random panels.
+func TestGetrfPanelReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, dims := range [][2]int{{4, 4}, {16, 8}, {40, 40}, {100, 24}, {65, 33}, {9, 1}} {
+		m, n := dims[0], dims[1]
+		orig := randMat(rng, m, n)
+		a := append([]float64(nil), orig...)
+		piv := make([]int, n)
+		GetrfPanel(m, n, a, n, piv)
+
+		// Rebuild P*orig and L*U.
+		pa := append([]float64(nil), orig...)
+		applyPiv(n, pa, n, piv)
+		lu := make([]float64, m*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				kmax := i
+				if j < kmax {
+					kmax = j
+				}
+				for k := 0; k <= kmax; k++ {
+					var lik float64
+					switch {
+					case k == i:
+						lik = 1
+					case k < i:
+						lik = a[i*n+k]
+					}
+					if k <= j {
+						sum += lik * a[k*n+j]
+					}
+				}
+				lu[i*n+j] = sum
+			}
+		}
+		if d := maxDiff(pa, lu); d > 1e-9 {
+			t.Errorf("m=%d n=%d: |PA - LU| = %g", m, n, d)
+		}
+	}
+}
+
+// TestGetrfPanelPivotsAreMaximal: after factorization every multiplier is
+// at most 1 in magnitude — the partial pivoting guarantee.
+func TestGetrfPanelPivotsAreMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const m, n = 30, 12
+		a := randMat(rng, m, n)
+		piv := make([]int, n)
+		GetrfPanel(m, n, a, n, piv)
+		for j := 0; j < n; j++ {
+			if piv[j] < j || piv[j] >= m {
+				return false
+			}
+			for i := j + 1; i < m; i++ {
+				if math.Abs(a[i*n+j]) > 1+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetrfPanelRejectsWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wide panel accepted")
+		}
+	}()
+	GetrfPanel(2, 3, make([]float64, 6), 3, make([]int, 3))
+}
+
+func BenchmarkGemm256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	a := randMat(rng, n, n)
+	bb := randMat(rng, n, n)
+	c := make([]float64, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmNN(n, n, n, 1, a, n, bb, n, 0, c, n)
+	}
+	b.SetBytes(int64(8 * n * n))
+}

@@ -1,0 +1,100 @@
+package linalg
+
+// This file provides the full blocked LU driver and solver on top of the
+// panel factorization — the sequential composition the distributed HPL
+// mirrors, packaged as library routines (LAPACK's DGETRF/DGETRS shape)
+// so the Class 1 baseline and any downstream user share one implementation.
+
+// Getrf factors the n x n matrix A in place with partial pivoting using
+// blocked right-looking LU: A holds L (unit lower) and U (upper) of
+// P*A = L*U on return, and piv records the row interchanges (piv[j] is the
+// row swapped into position j at step j). nb is the block size.
+func Getrf(n, nb int, a []float64, lda int, piv []int) {
+	if nb <= 0 {
+		nb = 32
+	}
+	for k := 0; k < n; k += nb {
+		w := nb
+		if k+w > n {
+			w = n - k
+		}
+		// Panel factorization over rows [k, n), columns [k, k+w).
+		panelPiv := make([]int, w)
+		GetrfPanel(n-k, w, a[k*lda+k:], lda, panelPiv)
+		// Record absolute pivots and apply the swaps to the columns left
+		// and right of the panel.
+		for j := 0; j < w; j++ {
+			p := panelPiv[j]
+			piv[k+j] = k + p
+			if p != j {
+				SwapRows(k, a, lda, k+j, k+p)
+				if k+w < n {
+					SwapRows(n-k-w, a[k*lda+k+w:], lda, j, p)
+				}
+			}
+		}
+		if k+w < n {
+			// U12 := L11^-1 A12; trailing update A22 -= L21 U12.
+			TrsmLLNU(w, n-k-w, a[k*lda+k:], lda, a[k*lda+k+w:], lda)
+			GemmNN(n-k-w, n-k-w, w, -1,
+				a[(k+w)*lda+k:], lda, a[k*lda+k+w:], lda, 1, a[(k+w)*lda+k+w:], lda)
+		}
+	}
+}
+
+// Getrs solves A x = b using the factors and pivots produced by Getrf,
+// overwriting b with x.
+func Getrs(n int, a []float64, lda int, piv []int, b []float64) {
+	// Apply the row interchanges to b.
+	for j := 0; j < n; j++ {
+		if p := piv[j]; p != j {
+			b[j], b[p] = b[p], b[j]
+		}
+	}
+	// Forward substitution with unit lower L.
+	for i := 1; i < n; i++ {
+		s := b[i]
+		row := a[i*lda : i*lda+i]
+		for j, lij := range row {
+			s -= lij * b[j]
+		}
+		b[i] = s
+	}
+	// Back substitution with upper U.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*lda+j] * b[j]
+		}
+		if d := a[i*lda+i]; d != 0 {
+			b[i] = s / d
+		}
+	}
+}
+
+// NormInf returns the infinity norm (max absolute row sum) of the m x n
+// matrix A.
+func NormInf(m, n int, a []float64, lda int) float64 {
+	worst := 0.0
+	for i := 0; i < m; i++ {
+		s := 0.0
+		for _, v := range a[i*lda : i*lda+n] {
+			s += abs(v)
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// VecNormInf returns the infinity norm of a vector.
+func VecNormInf(x []float64) float64 {
+	worst := 0.0
+	for _, v := range x {
+		if a := abs(v); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}

@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetrfGetrsSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct{ n, nb int }{{1, 4}, {5, 2}, {32, 8}, {50, 16}, {64, 0}, {97, 32}} {
+		n := tc.n
+		a := randMat(rng, n, n)
+		orig := append([]float64(nil), a...)
+		xTrue := randMat(rng, n, 1)
+		b := make([]float64, n)
+		naiveGemm(n, 1, n, 1, orig, n, xTrue, 1, 0, b, 1)
+
+		piv := make([]int, n)
+		Getrf(n, tc.nb, a, n, piv)
+		Getrs(n, a, n, piv, b)
+
+		// Relative error in the recovered solution.
+		maxRel := 0.0
+		for i := range b {
+			rel := math.Abs(b[i]-xTrue[i]) / (1 + math.Abs(xTrue[i]))
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		if maxRel > 1e-8*float64(n) {
+			t.Errorf("n=%d nb=%d: solution error %g", n, tc.nb, maxRel)
+		}
+	}
+}
+
+// TestGetrfResidualProperty: the scaled residual of random systems stays
+// small, the same acceptance criterion HPL uses.
+func TestGetrfResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n, nb = 40, 8
+		orig := randMat(rng, n, n)
+		a := append([]float64(nil), orig...)
+		b := randMat(rng, n, 1)
+		rhs := append([]float64(nil), b...)
+
+		piv := make([]int, n)
+		Getrf(n, nb, a, n, piv)
+		Getrs(n, a, n, piv, rhs) // rhs now holds x
+
+		// r = b - A x
+		r := append([]float64(nil), b...)
+		naiveGemm(n, 1, n, -1, orig, n, rhs, 1, 1, r, 1)
+		eps := math.Nextafter(1, 2) - 1
+		denom := eps * (NormInf(n, n, orig, n)*VecNormInf(rhs) + VecNormInf(b)) * float64(n)
+		return VecNormInf(r)/denom < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := []float64{1, -2, 3, -4} // rows: |1|+|2|=3, |3|+|4|=7
+	if got := NormInf(2, 2, a, 2); got != 7 {
+		t.Errorf("NormInf = %v", got)
+	}
+	if got := VecNormInf([]float64{-5, 2, 4.5}); got != 5 {
+		t.Errorf("VecNormInf = %v", got)
+	}
+	if VecNormInf(nil) != 0 {
+		t.Error("empty vector norm")
+	}
+}
+
+func TestGemmNNParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dims := range [][3]int{{8, 8, 8}, {100, 40, 60}, {257, 31, 65}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		c1 := randMat(rng, m, n)
+		c2 := append([]float64(nil), c1...)
+		GemmNNParallel(m, n, k, 1.25, a, k, b, n, 0.5, c1, n, 3)
+		GemmNN(m, n, k, 1.25, a, k, b, n, 0.5, c2, n)
+		for i := range c1 {
+			if math.Abs(c1[i]-c2[i]) > 1e-9 {
+				t.Fatalf("dims %v: mismatch at %d", dims, i)
+			}
+		}
+	}
+	// workers<=1 path.
+	a := randMat(rng, 4, 4)
+	c := make([]float64, 16)
+	GemmNNParallel(4, 4, 4, 1, a, 4, a, 4, 0, c, 4, 1)
+}

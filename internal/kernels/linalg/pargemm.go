@@ -1,0 +1,29 @@
+package linalg
+
+import "apgas/internal/wsched"
+
+// GemmNNParallel computes C = alpha*A*B + beta*C like GemmNN, splitting the
+// row range over an intra-place work-stealing pool — the integration of the
+// [40]-style scheduler with a compute kernel that the paper left as future
+// work. workers <= 1 falls back to the sequential kernel.
+func GemmNNParallel(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int,
+	beta float64, c []float64, ldc int, workers int) {
+	const rowBlock = 32
+	if workers <= 1 || m <= rowBlock {
+		GemmNN(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	pool := wsched.NewPool(workers)
+	pool.Run(func(t *wsched.Task) {
+		for i0 := 0; i0 < m; i0 += rowBlock {
+			lo := i0
+			hi := i0 + rowBlock
+			if hi > m {
+				hi = m
+			}
+			t.Fork(func(*wsched.Task) {
+				GemmNN(hi-lo, n, k, alpha, a[lo*lda:], lda, b, ldb, beta, c[lo*ldc:], ldc)
+			})
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package rmat generates R-MAT graphs (Chakrabarti, Zhan, Faloutsos, SDM
+// 2004), the input family of the Betweenness Centrality benchmark in §7 of
+// "X10 and APGAS at Petascale": recursive quadrant subdivision with
+// probabilities (a, b, c, d) produces the skewed degree distributions of
+// real networks. Graphs are returned in CSR form, undirected, with
+// self-loops and duplicate edges removed.
+package rmat
+
+import "sort"
+
+// Params configure the generator.
+type Params struct {
+	// Scale gives 2^Scale vertices.
+	Scale int
+	// EdgeFactor requests EdgeFactor * 2^Scale generated edge samples
+	// (the paper's instances: 2^18 vertices / 2^21 edges = factor 8).
+	EdgeFactor int
+	// A, B, C are the quadrant probabilities (D = 1-A-B-C). The zero
+	// value selects the Graph500-style (0.57, 0.19, 0.19).
+	A, B, C float64
+	// Seed drives the deterministic sampler.
+	Seed uint64
+}
+
+func (p *Params) applyDefaults() {
+	if p.EdgeFactor <= 0 {
+		p.EdgeFactor = 8
+	}
+	if p.A == 0 && p.B == 0 && p.C == 0 {
+		p.A, p.B, p.C = 0.57, 0.19, 0.19
+	}
+}
+
+// Graph is an undirected graph in CSR form.
+type Graph struct {
+	N    int     // vertices
+	Adj  []int32 // concatenated adjacency lists
+	Xadj []int32 // Xadj[v]..Xadj[v+1] index Adj for vertex v
+}
+
+// Degree returns vertex v's degree.
+func (g *Graph) Degree(v int) int { return int(g.Xadj[v+1] - g.Xadj[v]) }
+
+// Neighbors returns vertex v's adjacency slice (do not modify).
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.Adj[g.Xadj[v]:g.Xadj[v+1]]
+}
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// splitmix is the deterministic sampler state.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Generate builds the graph.
+func Generate(p Params) *Graph {
+	p.applyDefaults()
+	n := 1 << p.Scale
+	samples := p.EdgeFactor * n
+	rng := &splitmix{s: p.Seed ^ 0xdeadbeefcafef00d}
+
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, samples)
+	for e := 0; e < samples; e++ {
+		u, v := 0, 0
+		for bit := p.Scale - 1; bit >= 0; bit-- {
+			r := rng.float()
+			switch {
+			case r < p.A:
+				// top-left: nothing set
+			case r < p.A+p.B:
+				v |= 1 << bit
+			case r < p.A+p.B+p.C:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue // drop self loops
+		}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, edge{int32(u), int32(v)})
+	}
+	// Dedupe.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	edges = uniq
+
+	// CSR (both directions).
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e.u+1]++
+		deg[e.v+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	g := &Graph{N: n, Xadj: deg, Adj: make([]int32, deg[n])}
+	fill := make([]int32, n)
+	for _, e := range edges {
+		g.Adj[g.Xadj[e.u]+fill[e.u]] = e.v
+		fill[e.u]++
+		g.Adj[g.Xadj[e.v]+fill[e.v]] = e.u
+		fill[e.v]++
+	}
+	return g
+}

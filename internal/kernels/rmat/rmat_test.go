@@ -1,0 +1,109 @@
+package rmat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	g := Generate(Params{Scale: 8, EdgeFactor: 8, Seed: 42})
+	if g.N != 256 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// CSR consistency.
+	if int(g.Xadj[g.N]) != len(g.Adj) {
+		t.Fatalf("Xadj end %d != len(Adj) %d", g.Xadj[g.N], len(g.Adj))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Xadj[v] > g.Xadj[v+1] {
+			t.Fatalf("Xadj not monotone at %d", v)
+		}
+	}
+}
+
+// TestUndirectedSymmetry: u in Adj(v) iff v in Adj(u); no self loops; no
+// duplicates.
+func TestUndirectedSymmetry(t *testing.T) {
+	g := Generate(Params{Scale: 7, EdgeFactor: 6, Seed: 7})
+	seen := map[[2]int32]int{}
+	for v := int32(0); int(v) < g.N; v++ {
+		prev := int32(-1)
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				t.Fatalf("self loop at %d", v)
+			}
+			if w == prev {
+				t.Fatalf("duplicate edge %d-%d", v, w)
+			}
+			prev = w
+			seen[[2]int32{v, w}]++
+		}
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("edge %v appears %d times", k, n)
+		}
+		if seen[[2]int32{k[1], k[0]}] != 1 {
+			t.Fatalf("edge %v missing reverse", k)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Params{Scale: 6, Seed: 3})
+	b := Generate(Params{Scale: 6, Seed: 3})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+	c := Generate(Params{Scale: 6, Seed: 4})
+	if a.NumEdges() == c.NumEdges() {
+		// Different seeds could coincide, but Adj content should differ.
+		same := len(a.Adj) == len(c.Adj)
+		if same {
+			for i := range a.Adj {
+				if a.Adj[i] != c.Adj[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+// TestSkewedDegrees: R-MAT graphs are skewed — the maximum degree should
+// far exceed the average.
+func TestSkewedDegrees(t *testing.T) {
+	g := Generate(Params{Scale: 10, EdgeFactor: 8, Seed: 19})
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.N; v++ {
+		d := g.Degree(v)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sum) / float64(g.N)
+	if float64(maxDeg) < 4*avg {
+		t.Errorf("max degree %d not skewed vs average %.1f", maxDeg, avg)
+	}
+}
+
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		g := Generate(Params{Scale: 6, EdgeFactor: 4, Seed: uint64(seedRaw)})
+		sum := 0
+		for v := 0; v < g.N; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges() && sum == len(g.Adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package sha1rng implements the splittable SHA1-based random stream used
+// by the Unbalanced Tree Search benchmark (Olivier et al., LCPC'06), the
+// workload of §6 of "X10 and APGAS at Petascale". The paper's UTS code
+// "calls a native C routine to compute SHA1 hashes"; here the hashes come
+// from the standard library.
+//
+// Every tree node is identified by a 20-byte descriptor. The root's
+// descriptor is the SHA1 digest of the 4-byte big-endian seed; child i of
+// a node is the SHA1 digest of the parent's descriptor followed by i as a
+// 4-byte big-endian integer. A node's random value is its descriptor's
+// last four bytes masked to 31 bits, mapped to [0, 1). This construction
+// makes the tree a pure function of (seed, shape parameters): any
+// traversal order, any distribution of the work, even repeated partial
+// traversals, all see the same tree — the property that lets UTS verify a
+// count of trillions of nodes with a single number.
+package sha1rng
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"math"
+)
+
+// Descriptor is a node identity in the random tree.
+type Descriptor [sha1.Size]byte
+
+// Root returns the descriptor of the tree root for a seed.
+func Root(seed uint32) Descriptor {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], seed)
+	return sha1.Sum(buf[:])
+}
+
+// Child returns the descriptor of the i-th child of parent.
+func Child(parent Descriptor, i uint32) Descriptor {
+	var buf [sha1.Size + 4]byte
+	copy(buf[:], parent[:])
+	binary.BigEndian.PutUint32(buf[sha1.Size:], i)
+	return sha1.Sum(buf[:])
+}
+
+// Rand31 returns the node's 31-bit random value.
+func Rand31(d Descriptor) uint32 {
+	return binary.BigEndian.Uint32(d[sha1.Size-4:]) & 0x7fffffff
+}
+
+// Prob maps the node's random value to [0, 1).
+func Prob(d Descriptor) float64 {
+	return float64(Rand31(d)) / float64(1<<31)
+}
+
+// Tree is a splittable random tree: a branching law over SHA1 node
+// descriptors. Implementations are pure functions of their parameters, so
+// any traversal — sequential, distributed, repeated — sees the same tree.
+type Tree interface {
+	// RootSeed returns the seed whose Root descriptor starts the tree.
+	RootSeed() uint32
+	// NumChildren returns the branching factor of the node with
+	// descriptor d at the given depth.
+	NumChildren(d Descriptor, depth int) int
+}
+
+// Geometric describes a geometric-law UTS tree: the branching factor of
+// each node follows a geometric distribution parameterized by B0, cut off
+// below Depth. This matches the paper's configuration b0 = 4, r = 19,
+// d = 14..22 (weak scaling).
+type Geometric struct {
+	// B0 is the expected-branching parameter (> 1).
+	B0 float64
+	// Depth is the maximum tree depth; nodes at Depth-1 are leaves.
+	Depth int
+	// Seed is the root seed (r in the paper, 19).
+	Seed uint32
+}
+
+// RootSeed implements Tree.
+func (g Geometric) RootSeed() uint32 { return g.Seed }
+
+// NumChildren returns the branching factor of a node at the given depth:
+// the geometric law floor(log(1-u) / log(1-1/b0)) with the depth cut-off
+// applied. All nodes are treated identically regardless of depth (the
+// cut-off aside), exactly as the benchmark demands for load balancing.
+func (g Geometric) NumChildren(d Descriptor, depth int) int {
+	if depth+1 >= g.Depth {
+		return 0
+	}
+	u := Prob(d)
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	m := int(math.Floor(math.Log(1-u) / math.Log(1-1/g.B0)))
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// CountSequential traverses the whole tree depth-first on one goroutine
+// and returns the node count and the number of SHA1 hashes computed. It is
+// the single-place reference the distributed implementations are verified
+// against ("the single-place performance is identical to the performance
+// of the sequential implementation").
+func (g Geometric) CountSequential() (nodes, hashes uint64) {
+	return CountSequential(g)
+}
+
+// CountSequential traverses any splittable tree depth-first.
+func CountSequential(t Tree) (nodes, hashes uint64) {
+	type frame struct {
+		d     Descriptor
+		depth int
+	}
+	root := Root(t.RootSeed())
+	hashes++
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		m := t.NumChildren(f.d, f.depth)
+		for i := 0; i < m; i++ {
+			stack = append(stack, frame{Child(f.d, uint32(i)), f.depth + 1})
+			hashes++
+		}
+	}
+	return nodes, hashes
+}
+
+// Binomial describes a binomial-law UTS tree, the family the UTS authors
+// use for deep and narrow workloads: the root has B0 children; every other
+// node has M children with probability Q and none otherwise. For M*Q < 1
+// the tree is subcritical (finite with probability 1), with expected size
+// 1 + B0/(1 - M*Q); its depth distribution has a long, thin tail — the
+// shape for which the paper predicts its interval refinements "are not
+// likely to help as much".
+type Binomial struct {
+	// B0 is the root's branching factor.
+	B0 int
+	// M is the non-root branching factor.
+	M int
+	// Q is the branching probability (M*Q < 1 for finite trees).
+	Q float64
+	// Seed is the root seed.
+	Seed uint32
+	// MaxDepth optionally caps the depth (0 = unbounded; rely on
+	// subcriticality).
+	MaxDepth int
+}
+
+// RootSeed implements Tree.
+func (b Binomial) RootSeed() uint32 { return b.Seed }
+
+// NumChildren implements Tree.
+func (b Binomial) NumChildren(d Descriptor, depth int) int {
+	if b.MaxDepth > 0 && depth+1 >= b.MaxDepth {
+		return 0
+	}
+	if depth == 0 {
+		return b.B0
+	}
+	if Prob(d) < b.Q {
+		return b.M
+	}
+	return 0
+}
+
+// ExpectedSize returns the analytic expected node count of a subcritical
+// binomial tree (ignoring any depth cap).
+func (b Binomial) ExpectedSize() float64 {
+	mq := float64(b.M) * b.Q
+	if mq >= 1 {
+		return math.Inf(1)
+	}
+	return 1 + float64(b.B0)/(1-mq)
+}

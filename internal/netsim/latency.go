@@ -1,0 +1,51 @@
+package netsim
+
+import "time"
+
+// LatencyParams configure a per-message latency model suitable for
+// injection into an x10rt transport. The constants are nominal Power
+// 775-class figures scaled down so tests and experiments run quickly; what
+// matters for the reproduced shapes is their relative order (local < LL <
+// LR < D), not their absolute magnitude.
+type LatencyParams struct {
+	// Local is the software overhead of an intra-octant (shared-memory)
+	// message.
+	Local time.Duration
+	// PerHop is the added latency per interconnect link crossed.
+	PerHop time.Duration
+	// BytesPerSecond converts message size into serialization delay.
+	// Zero disables the size-dependent term.
+	BytesPerSecond float64
+	// Scale multiplies the final delay (use <1 to speed tests up, 0 for
+	// the default of 1).
+	Scale float64
+}
+
+// DefaultLatencyParams returns a fast-running default model.
+func DefaultLatencyParams() LatencyParams {
+	return LatencyParams{
+		Local:          500 * time.Nanosecond,
+		PerHop:         2 * time.Microsecond,
+		BytesPerSecond: 10e9,
+		Scale:          1,
+	}
+}
+
+// LatencyFunc returns a function with the signature expected by
+// x10rt.ChanOptions.Latency: it maps (src, dst, bytes) to a delivery delay
+// according to the machine topology. The class argument is accepted for
+// interface compatibility but unused: the Torrent does not privilege
+// control traffic, which is exactly the problem FINISH_DENSE works around.
+func (m Machine) LatencyFunc(p LatencyParams) func(src, dst, bytes int, class uint8) time.Duration {
+	scale := p.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	return func(src, dst, bytes int, _ uint8) time.Duration {
+		d := p.Local + time.Duration(m.Hops(src, dst))*p.PerHop
+		if p.BytesPerSecond > 0 && bytes > 0 {
+			d += time.Duration(float64(bytes) / p.BytesPerSecond * float64(time.Second))
+		}
+		return time.Duration(float64(d) * scale)
+	}
+}

@@ -1,0 +1,179 @@
+// Package netsim models the IBM Power 775 system evaluated in "X10 and
+// APGAS at Petascale" (PPoPP 2014), §4: its two-level direct-connect
+// interconnect topology, link inventory, and the resulting bandwidth
+// characteristics that shape the RandomAccess and FFT results.
+//
+// The paper's Hurcules machine is unavailable, so this package is the
+// substitution substrate: an analytic model parameterized by the published
+// hardware constants. The model reproduces the three performance modes the
+// paper describes when scaling an all-to-all workload:
+//
+//  1. with one supernode or less, cross-section bandwidth is limited by
+//     each octant's interconnect interface;
+//  2. with a few supernodes, it is limited by aggregated D-link bandwidth
+//     (a sharp per-octant drop going from one supernode to two);
+//  3. with many supernodes, it is again limited per octant (slow recovery
+//     followed by a plateau).
+package netsim
+
+import "fmt"
+
+// Machine describes a Power 775-class system. The zero value is not useful;
+// use Power775 or construct one explicitly.
+type Machine struct {
+	// CoresPerOctant is the number of cores (= places, in the paper's
+	// configuration) per octant/host. 32 on the Power 775.
+	CoresPerOctant int
+	// OctantsPerDrawer is the number of octants in a physical drawer (8).
+	OctantsPerDrawer int
+	// DrawersPerSupernode is the number of drawers per supernode (4).
+	DrawersPerSupernode int
+	// Supernodes is the number of supernodes in the system (56).
+	Supernodes int
+
+	// LLBandwidth is the per-direction bandwidth of an "L" Local link
+	// connecting two octants in the same drawer, in GB/s (24).
+	LLBandwidth float64
+	// LRBandwidth is the per-direction bandwidth of an "L" Remote link
+	// connecting octants in different drawers of a supernode, in GB/s (5).
+	LRBandwidth float64
+	// DBandwidth is the combined per-direction bandwidth of the D links
+	// connecting a pair of supernodes, in GB/s (8 links x 10 = 80).
+	DBandwidth float64
+	// OctantInjection is the peak per-direction interconnect bandwidth of
+	// one octant in GB/s (192 GB/s bidirectional => 96 per direction).
+	OctantInjection float64
+
+	// PeakGflopsPerOctant is the octant's peak compute rate (982).
+	PeakGflopsPerOctant float64
+	// MemoryBandwidth is the octant's peak memory bandwidth in GB/s (512).
+	MemoryBandwidth float64
+}
+
+// Power775 returns the machine used in the paper: 56 supernodes, 1,792
+// octant slots with 1,740 available for computation, 55,680 cores,
+// 1.7 Pflop/s theoretical peak.
+func Power775() Machine {
+	return Machine{
+		CoresPerOctant:      32,
+		OctantsPerDrawer:    8,
+		DrawersPerSupernode: 4,
+		Supernodes:          56,
+		LLBandwidth:         24,
+		LRBandwidth:         5,
+		DBandwidth:          80,
+		OctantInjection:     96,
+		PeakGflopsPerOctant: 982,
+		MemoryBandwidth:     512,
+	}
+}
+
+// OctantsPerSupernode returns the octant count of one supernode (32).
+func (m Machine) OctantsPerSupernode() int {
+	return m.OctantsPerDrawer * m.DrawersPerSupernode
+}
+
+// TotalOctants returns the machine's octant slot count.
+func (m Machine) TotalOctants() int {
+	return m.OctantsPerSupernode() * m.Supernodes
+}
+
+// TotalCores returns the machine's core count.
+func (m Machine) TotalCores() int {
+	return m.TotalOctants() * m.CoresPerOctant
+}
+
+// PeakPflops returns the theoretical peak of the whole machine in Pflop/s.
+func (m Machine) PeakPflops() float64 {
+	return m.PeakGflopsPerOctant * float64(m.TotalOctants()) / 1e6
+}
+
+// Validate reports whether the machine description is self-consistent.
+func (m Machine) Validate() error {
+	switch {
+	case m.CoresPerOctant <= 0:
+		return fmt.Errorf("netsim: CoresPerOctant=%d", m.CoresPerOctant)
+	case m.OctantsPerDrawer <= 0:
+		return fmt.Errorf("netsim: OctantsPerDrawer=%d", m.OctantsPerDrawer)
+	case m.DrawersPerSupernode <= 0:
+		return fmt.Errorf("netsim: DrawersPerSupernode=%d", m.DrawersPerSupernode)
+	case m.Supernodes <= 0:
+		return fmt.Errorf("netsim: Supernodes=%d", m.Supernodes)
+	case m.LLBandwidth <= 0 || m.LRBandwidth <= 0 || m.DBandwidth <= 0 || m.OctantInjection <= 0:
+		return fmt.Errorf("netsim: non-positive link bandwidth")
+	}
+	return nil
+}
+
+// HopKind classifies the route between two places under the paper's
+// "direct striped" routing (MP_RDMA_ROUTE_MODE=hw_direct_striped):
+// intra-supernode messages use a single L link; inter-supernode messages
+// use the direct D links between the two supernodes.
+type HopKind int
+
+const (
+	// HopLocal means the two places share an octant (shared memory; PAMI
+	// still mediates but no interconnect link is crossed).
+	HopLocal HopKind = iota
+	// HopLL means different octants in the same drawer (one L Local link).
+	HopLL
+	// HopLR means same supernode, different drawers (one L Remote link).
+	HopLR
+	// HopD means different supernodes (L-D-L, at most three hops).
+	HopD
+)
+
+// String names the hop kind.
+func (h HopKind) String() string {
+	switch h {
+	case HopLocal:
+		return "local"
+	case HopLL:
+		return "LL"
+	case HopLR:
+		return "LR"
+	case HopD:
+		return "D"
+	default:
+		return fmt.Sprintf("hop(%d)", int(h))
+	}
+}
+
+// Octant returns the octant (host) index of a place, with places assigned
+// to hosts in groups of CoresPerOctant as in the paper's runs.
+func (m Machine) Octant(place int) int { return place / m.CoresPerOctant }
+
+// Drawer returns the drawer index of a place.
+func (m Machine) Drawer(place int) int { return m.Octant(place) / m.OctantsPerDrawer }
+
+// Supernode returns the supernode index of a place.
+func (m Machine) Supernode(place int) int {
+	return m.Octant(place) / m.OctantsPerSupernode()
+}
+
+// Classify returns the route class between two places.
+func (m Machine) Classify(src, dst int) HopKind {
+	switch {
+	case m.Octant(src) == m.Octant(dst):
+		return HopLocal
+	case m.Drawer(src) == m.Drawer(dst):
+		return HopLL
+	case m.Supernode(src) == m.Supernode(dst):
+		return HopLR
+	default:
+		return HopD
+	}
+}
+
+// Hops returns the number of interconnect links crossed between two places
+// (0 for intra-octant, 1 for intra-supernode, at most 3 for L-D-L routes).
+func (m Machine) Hops(src, dst int) int {
+	switch m.Classify(src, dst) {
+	case HopLocal:
+		return 0
+	case HopLL, HopLR:
+		return 1
+	default:
+		return 3
+	}
+}

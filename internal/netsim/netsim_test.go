@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPower775Constants(t *testing.T) {
+	m := Power775()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := m.OctantsPerSupernode(); got != 32 {
+		t.Errorf("OctantsPerSupernode = %d, want 32", got)
+	}
+	if got := m.TotalOctants(); got != 1792 {
+		t.Errorf("TotalOctants = %d, want 1792", got)
+	}
+	if got := m.TotalCores(); got != 57344 {
+		t.Errorf("TotalCores = %d, want 57344", got)
+	}
+	// 1,792 slots x 982 Gflop/s = 1.76 Pflop/s; the paper's 1.7 Pflop/s
+	// figure counts the 1,740 available octants.
+	if got := m.PeakGflopsPerOctant * 1740 / 1e6; math.Abs(got-1.708) > 0.01 {
+		t.Errorf("available peak = %.3f Pflop/s, want ~1.71", got)
+	}
+}
+
+func TestValidateCatchesBadMachines(t *testing.T) {
+	cases := []func(*Machine){
+		func(m *Machine) { m.CoresPerOctant = 0 },
+		func(m *Machine) { m.OctantsPerDrawer = -1 },
+		func(m *Machine) { m.DrawersPerSupernode = 0 },
+		func(m *Machine) { m.Supernodes = 0 },
+		func(m *Machine) { m.LLBandwidth = 0 },
+		func(m *Machine) { m.OctantInjection = -5 },
+	}
+	for i, mutate := range cases {
+		m := Power775()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a broken machine", i)
+		}
+	}
+}
+
+func TestPlaceMapping(t *testing.T) {
+	m := Power775()
+	// Place 0 and place 31 share octant 0; place 32 is octant 1.
+	if m.Octant(0) != 0 || m.Octant(31) != 0 || m.Octant(32) != 1 {
+		t.Error("octant mapping wrong for first places")
+	}
+	// Octants 0..7 are drawer 0; octant 8 is drawer 1.
+	if m.Drawer(7*32) != 0 || m.Drawer(8*32) != 1 {
+		t.Error("drawer mapping wrong")
+	}
+	// Octants 0..31 are supernode 0; octant 32 is supernode 1.
+	if m.Supernode(31*32) != 0 || m.Supernode(32*32) != 1 {
+		t.Error("supernode mapping wrong")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	m := Power775()
+	cases := []struct {
+		src, dst int
+		want     HopKind
+		hops     int
+	}{
+		{0, 5, HopLocal, 0},   // same octant
+		{0, 33, HopLL, 1},     // octant 0 -> 1, same drawer
+		{0, 8 * 32, HopLR, 1}, // drawer 0 -> 1, same supernode
+		{0, 32 * 32, HopD, 3}, // supernode 0 -> 1
+		{40*32 + 3, 40*32 + 9, HopLocal, 0},
+	}
+	for _, c := range cases {
+		if got := m.Classify(c.src, c.dst); got != c.want {
+			t.Errorf("Classify(%d,%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+		if got := m.Hops(c.src, c.dst); got != c.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.hops)
+		}
+	}
+}
+
+func TestHopKindString(t *testing.T) {
+	for h, want := range map[HopKind]string{HopLocal: "local", HopLL: "LL", HopLR: "LR", HopD: "D"} {
+		if h.String() != want {
+			t.Errorf("HopKind(%d).String() = %q, want %q", h, h.String(), want)
+		}
+	}
+}
+
+// TestAllToAllThreeModes checks the shape the paper describes in §4: a
+// sharp drop in per-octant all-to-all bandwidth going from one supernode to
+// two, a slow recovery with more supernodes, then a plateau.
+func TestAllToAllThreeModes(t *testing.T) {
+	m := Power775()
+	oneSN := m.AllToAllPerOctant(32)
+	twoSN := m.AllToAllPerOctant(64)
+	eightSN := m.AllToAllPerOctant(8 * 32)
+	full := m.AllToAllPerOctant(56 * 32)
+
+	if twoSN >= oneSN/2 {
+		t.Errorf("expected sharp drop at 2 supernodes: 1SN=%.2f 2SN=%.2f", oneSN, twoSN)
+	}
+	if !(eightSN > twoSN) {
+		t.Errorf("expected recovery: 2SN=%.2f 8SN=%.2f", twoSN, eightSN)
+	}
+	if !(full >= eightSN) {
+		t.Errorf("expected plateau/continued recovery: 8SN=%.2f full=%.2f", eightSN, full)
+	}
+	// Monotone non-increasing within a supernode is not required, but the
+	// model must never exceed the injection limit.
+	for _, oct := range []int{1, 2, 4, 8, 16, 32, 64, 128, 512, 1792} {
+		if bw := m.AllToAllPerOctant(oct); bw > m.OctantInjection+1e-9 {
+			t.Errorf("AllToAllPerOctant(%d) = %.2f exceeds injection limit", oct, bw)
+		}
+	}
+}
+
+// TestRandomAccessShape checks the RA model against the paper's measured
+// endpoints: 0.82 Gup/s/host at 8 hosts and at 1,024 hosts, with a
+// significantly lower rate in between (cross-section bound).
+func TestRandomAccessShape(t *testing.T) {
+	m := Power775()
+	p := DefaultGUPSParams()
+	at8 := m.RandomAccessGupsPerHost(8, p)
+	at64 := m.RandomAccessGupsPerHost(64, p)
+	at1024 := m.RandomAccessGupsPerHost(1024, p)
+
+	if math.Abs(at8-0.82) > 1e-9 {
+		t.Errorf("Gup/s/host at 8 hosts = %.3f, want 0.82", at8)
+	}
+	if math.Abs(at1024-0.82) > 1e-9 {
+		t.Errorf("Gup/s/host at 1024 hosts = %.3f, want 0.82", at1024)
+	}
+	if at64 >= 0.5*at8 {
+		t.Errorf("expected mid-scale dip: at64=%.3f vs at8=%.3f", at64, at8)
+	}
+	if small := m.RandomAccessGupsPerHost(4, p); small >= at8 {
+		t.Errorf("sub-drawer runs should be derated: at4=%.3f", small)
+	}
+	if m.RandomAccessGupsPerHost(0, p) != 0 {
+		t.Error("0 hosts should give 0")
+	}
+}
+
+// TestFFTShape checks the FFT model: near-compute-bound at both ends of the
+// scale (0.99 -> ~0.88 Gflop/s/core in the paper) with a dip in between.
+func TestFFTShape(t *testing.T) {
+	m := Power775()
+	p := DefaultFFTParams()
+	one := m.FFTGflopsPerCore(1, p)
+	mid := m.FFTGflopsPerCore(64, p) // 2 supernodes: worst cross-section
+	big := m.FFTGflopsPerCore(1024, p)
+
+	if one < 0.9*p.CoreGflops {
+		t.Errorf("single-host rate %.3f too far below compute rate %.3f", one, p.CoreGflops)
+	}
+	if !(mid < big && mid < one) {
+		t.Errorf("expected mid-scale dip: one=%.3f mid=%.3f big=%.3f", one, mid, big)
+	}
+	if ratio := big / one; ratio < 0.7 || ratio > 1.0 {
+		t.Errorf("at-scale/one-host ratio = %.2f, want in [0.7, 1.0] (paper: 0.89)", ratio)
+	}
+}
+
+// TestStreamShape checks the memory-bus contention model: 12.6 GB/s alone,
+// 7.23 GB/s/place with 32 places, ~2% loss at full scale.
+func TestStreamShape(t *testing.T) {
+	m := Power775()
+	p := DefaultStreamParams()
+	if got := m.StreamGBsPerPlace(1, p); math.Abs(got-12.6) > 1e-9 {
+		t.Errorf("1 place = %.2f GB/s, want 12.6", got)
+	}
+	if got := m.StreamGBsPerPlace(32, p); math.Abs(got-7.23) > 1e-9 {
+		t.Errorf("32 places = %.2f GB/s, want 7.23", got)
+	}
+	atScale := m.StreamGBsPerPlace(55680, p)
+	if want := 7.23 * 0.98; math.Abs(atScale-want) > 0.01 {
+		t.Errorf("at scale = %.3f GB/s, want ~%.3f", atScale, want)
+	}
+	// Monotone non-increasing in places-per-host region.
+	prev := math.Inf(1)
+	for n := 1; n <= 32; n++ {
+		cur := m.StreamGBsPerPlace(n, p)
+		if cur > prev+1e-9 {
+			t.Errorf("per-place bandwidth increased at %d places", n)
+		}
+		prev = cur
+	}
+}
+
+// TestAllToAllMatchesBruteForce cross-checks the closed-form D-link bound
+// against a brute-force accounting of the traffic matrix.
+func TestAllToAllMatchesBruteForce(t *testing.T) {
+	m := Power775()
+	f := func(snCount uint8) bool {
+		s := int(snCount)%8 + 2 // 2..9 supernodes
+		octants := s * m.OctantsPerSupernode()
+		got := m.AllToAllPerOctant(octants)
+		// Brute force: unit injection per octant, find max scale factor
+		// such that every D pair fits.
+		n := float64(octants)
+		perSN := float64(m.OctantsPerSupernode())
+		pair := perSN * perSN / (n - 1) // traffic per D pair per unit rate
+		want := math.Min(m.OctantInjection, m.DBandwidth/pair)
+		want = math.Min(want, m.LRBandwidth*(n-1))
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyFunc(t *testing.T) {
+	m := Power775()
+	lp := DefaultLatencyParams()
+	f := m.LatencyFunc(lp)
+	local := f(0, 1, 0, 0)
+	ll := f(0, 33, 0, 0)
+	d := f(0, 32*32, 0, 0)
+	if !(local < ll && ll < d) {
+		t.Errorf("latency ordering violated: local=%v LL=%v D=%v", local, ll, d)
+	}
+	withBytes := f(0, 1, 1<<20, 0)
+	if withBytes <= local {
+		t.Errorf("size-dependent term missing: %v <= %v", withBytes, local)
+	}
+	// Scale=0 behaves as 1.
+	lp2 := lp
+	lp2.Scale = 0
+	if got := m.LatencyFunc(lp2)(0, 33, 0, 0); got != ll {
+		t.Errorf("Scale=0 should default to 1: got %v want %v", got, ll)
+	}
+	lp3 := lp
+	lp3.Scale = 0.5
+	if got := m.LatencyFunc(lp3)(0, 33, 0, 0); got >= ll {
+		t.Errorf("Scale=0.5 should halve latency: got %v, base %v", got, ll)
+	}
+}

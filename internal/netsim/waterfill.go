@@ -1,0 +1,183 @@
+package netsim
+
+// This file cross-validates the closed-form bandwidth model with an
+// explicit flow-level simulation: every (src, dst) octant pair of an
+// all-to-all is a flow, every flow claims capacity on the links of its
+// hw_direct_striped route (source injection, destination ejection, and
+// either the L link of its supernode or the D-link bundle of its
+// supernode pair), and rates are assigned max-min fairly by progressive
+// water-filling. For the symmetric all-to-all the fair allocation matches
+// the closed form; the simulation exists so the analytic model is checked
+// against first principles rather than against itself, and so asymmetric
+// traffic matrices can be explored.
+
+// linkRef identifies a capacity-constrained resource. All links are
+// directional — the paper quotes LL/LR/D capacities "in each direction" —
+// so (a, b) is an ordered pair.
+type linkRef struct {
+	kind linkKind
+	a, b int // ordered endpoints (octants or supernodes, by kind)
+}
+
+type linkKind uint8
+
+const (
+	linkInject linkKind = iota // octant a's injection interface
+	linkEject                  // octant a's ejection interface
+	linkL                      // L link from octant a to octant b
+	linkD                      // D bundle from supernode a to supernode b
+)
+
+// Flow is one traffic demand between two octants.
+type Flow struct {
+	Src, Dst int
+	// Bytes is the flow's volume (used by SimulateCompletion).
+	Bytes float64
+	rate  float64
+	fixed bool
+	links []linkRef
+}
+
+// capacityOf returns a link's capacity in GB/s.
+func (m Machine) capacityOf(l linkRef) float64 {
+	switch l.kind {
+	case linkInject, linkEject:
+		return m.OctantInjection
+	case linkL:
+		// Same drawer: LL; same supernode, different drawer: LR.
+		if l.a/m.OctantsPerDrawer == l.b/m.OctantsPerDrawer {
+			return m.LLBandwidth
+		}
+		return m.LRBandwidth
+	case linkD:
+		return m.DBandwidth
+	default:
+		return 0
+	}
+}
+
+// routeOf lists the links flow (src, dst) occupies under direct striped
+// routing. Octant indices, not places.
+func (m Machine) routeOf(src, dst int) []linkRef {
+	links := []linkRef{
+		{kind: linkInject, a: src},
+		{kind: linkEject, a: dst},
+	}
+	perSN := m.OctantsPerSupernode()
+	sSrc, sDst := src/perSN, dst/perSN
+	if sSrc == sDst {
+		links = append(links, linkRef{kind: linkL, a: src, b: dst})
+	} else {
+		links = append(links, linkRef{kind: linkD, a: sSrc, b: sDst})
+	}
+	return links
+}
+
+// MaxMinRates assigns max-min fair rates (GB/s) to the flows in place:
+// repeatedly find the most contended link, fix its flows at the fair
+// share, remove the capacity, and continue until all flows are fixed.
+func (m Machine) MaxMinRates(flows []*Flow) {
+	remCap := make(map[linkRef]float64)
+	active := make(map[linkRef]int)
+	for _, f := range flows {
+		f.links = m.routeOf(f.Src, f.Dst)
+		f.fixed = false
+		f.rate = 0
+		for _, l := range f.links {
+			if _, ok := remCap[l]; !ok {
+				remCap[l] = m.capacityOf(l)
+			}
+			active[l]++
+		}
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		// Bottleneck link: smallest fair share among links with active
+		// flows.
+		var bottleneck linkRef
+		best := -1.0
+		for l, n := range active {
+			if n == 0 {
+				continue
+			}
+			share := remCap[l] / float64(n)
+			if best < 0 || share < best {
+				best = share
+				bottleneck = l
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Fix every unfixed flow crossing the bottleneck.
+		for _, f := range flows {
+			if f.fixed {
+				continue
+			}
+			crosses := false
+			for _, l := range f.links {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.fixed = true
+			f.rate = best
+			remaining--
+			for _, l := range f.links {
+				remCap[l] -= best
+				active[l]--
+			}
+		}
+	}
+}
+
+// SimulatedAllToAllPerOctant runs the flow simulation for a balanced
+// all-to-all over `octants` octants — equal volume between every ordered
+// pair — and returns the effective per-octant injection bandwidth: the
+// volume each octant must deliver divided by the makespan. This is the
+// quantity AllToAllPerOctant computes in closed form: a balanced exchange
+// is only as fast as its slowest flow class, even though max-min fairness
+// lets the unconstrained classes run faster in the meantime.
+func (m Machine) SimulatedAllToAllPerOctant(octants int) float64 {
+	if octants <= 1 {
+		return m.OctantInjection
+	}
+	const volume = 1e9 // bytes per pair; cancels out
+	flows := make([]*Flow, 0, octants*(octants-1))
+	for s := 0; s < octants; s++ {
+		for d := 0; d < octants; d++ {
+			if s != d {
+				flows = append(flows, &Flow{Src: s, Dst: d, Bytes: volume})
+			}
+		}
+	}
+	makespan := m.SimulateCompletion(flows)
+	if makespan <= 0 {
+		return 0
+	}
+	perOctantBytes := volume * float64(octants-1)
+	return perOctantBytes / makespan / 1e9
+}
+
+// SimulateCompletion returns the makespan (seconds) of transferring every
+// flow's Bytes at the max-min rates, assuming rates hold for the duration
+// (a single water-filling epoch — adequate for symmetric patterns where
+// all flows finish together).
+func (m Machine) SimulateCompletion(flows []*Flow) float64 {
+	m.MaxMinRates(flows)
+	worst := 0.0
+	for _, f := range flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.Bytes / (f.rate * 1e9)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSimulationMatchesClosedForm: the water-filling simulation and the
+// analytic AllToAllPerOctant must agree (the analytic model's derivation
+// is exactly the symmetric max-min fixed point).
+func TestSimulationMatchesClosedForm(t *testing.T) {
+	m := Power775()
+	for _, octants := range []int{2, 4, 8, 16, 32, 64, 96, 128} {
+		analytic := m.AllToAllPerOctant(octants)
+		simulated := m.SimulatedAllToAllPerOctant(octants)
+		if rel := math.Abs(analytic-simulated) / analytic; rel > 0.02 {
+			t.Errorf("octants=%d: analytic %.3f vs simulated %.3f (rel %.3f)",
+				octants, analytic, simulated, rel)
+		}
+	}
+}
+
+func TestRouteOf(t *testing.T) {
+	m := Power775()
+	// Same drawer: injection + ejection + LL.
+	r := m.routeOf(0, 1)
+	if len(r) != 3 || r[2].kind != linkL {
+		t.Fatalf("intra-drawer route = %+v", r)
+	}
+	if m.capacityOf(r[2]) != m.LLBandwidth {
+		t.Errorf("intra-drawer link capacity = %v", m.capacityOf(r[2]))
+	}
+	// Same supernode, different drawer: LR capacity.
+	r = m.routeOf(0, 8)
+	if m.capacityOf(r[2]) != m.LRBandwidth {
+		t.Errorf("LR capacity = %v", m.capacityOf(r[2]))
+	}
+	// Different supernodes: D bundle.
+	r = m.routeOf(0, 32)
+	if r[2].kind != linkD || m.capacityOf(r[2]) != m.DBandwidth {
+		t.Errorf("D route = %+v cap %v", r[2], m.capacityOf(r[2]))
+	}
+	// Links are directional: the reverse flow uses a different D link.
+	r2 := m.routeOf(32, 0)
+	if r[2] == r2[2] {
+		t.Errorf("D links should be directional: %+v vs %+v", r[2], r2[2])
+	}
+}
+
+func TestMaxMinRespectsCapacities(t *testing.T) {
+	m := Power775()
+	flows := make([]*Flow, 0, 64*63)
+	for s := 0; s < 64; s++ {
+		for d := 0; d < 64; d++ {
+			if s != d {
+				flows = append(flows, &Flow{Src: s, Dst: d})
+			}
+		}
+	}
+	m.MaxMinRates(flows)
+	// Sum rates per link and compare against capacity.
+	usage := map[linkRef]float64{}
+	for _, f := range flows {
+		for _, l := range m.routeOf(f.Src, f.Dst) {
+			usage[l] += f.rate
+		}
+	}
+	for l, u := range usage {
+		if cap := m.capacityOf(l); u > cap*(1+1e-9) {
+			t.Fatalf("link %+v oversubscribed: %.3f > %.3f", l, u, cap)
+		}
+	}
+	// Every flow got a positive rate.
+	for _, f := range flows {
+		if f.rate <= 0 {
+			t.Fatalf("flow %d->%d has rate %v", f.Src, f.Dst, f.rate)
+		}
+	}
+}
+
+func TestSimulateCompletion(t *testing.T) {
+	m := Power775()
+	// One intra-drawer flow: limited by the LL link (24 GB/s).
+	flows := []*Flow{{Src: 0, Dst: 1, Bytes: 24e9}}
+	sec := m.SimulateCompletion(flows)
+	if math.Abs(sec-1.0) > 1e-9 {
+		t.Errorf("single flow completion = %v s, want 1.0", sec)
+	}
+	// Asymmetric pattern: a hot receiver. 40 senders into one octant
+	// share its ejection interface (96 GB/s).
+	flows = flows[:0]
+	for s := 1; s <= 40; s++ {
+		flows = append(flows, &Flow{Src: s, Dst: 0, Bytes: 1e9})
+	}
+	sec = m.SimulateCompletion(flows)
+	want := 40.0 * 1e9 / (m.OctantInjection * 1e9)
+	if math.Abs(sec-want)/want > 0.05 {
+		t.Errorf("incast completion = %v s, want ~%v", sec, want)
+	}
+}

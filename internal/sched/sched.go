@@ -1,0 +1,104 @@
+// Package sched provides the per-place activity scheduler of the APGAS
+// runtime.
+//
+// In the paper's configuration each X10 place ran a single worker thread
+// (X10_NTHREADS=1) on which the runtime scheduler dispatched that place's
+// activities. This package reproduces that execution model with
+// goroutines: every activity is a goroutine, but at most Workers of them
+// per place hold an execution slot at any moment. Runtime operations that
+// block an activity (finish wait, at, when, clock advance, collectives)
+// release the slot for the duration of the wait, exactly as X10's
+// cooperative scheduler keeps its worker threads busy while activities are
+// suspended. This bounds CPU parallelism per place without ever
+// deadlocking on blocked activities.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Scheduler throttles the activities of one place.
+type Scheduler struct {
+	slots   chan struct{}
+	workers int
+
+	spawned   atomic.Uint64
+	completed atomic.Uint64
+
+	quiet sync.WaitGroup // tracks in-flight activities for draining
+}
+
+// New creates a scheduler with the given number of execution slots
+// (workers). workers < 1 is treated as 1.
+func New(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scheduler{
+		slots:   make(chan struct{}, workers),
+		workers: workers,
+	}
+}
+
+// Workers returns the number of execution slots.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Spawn runs f as a new activity: a goroutine that first acquires an
+// execution slot, runs f, and releases the slot. Spawn itself never blocks.
+func (s *Scheduler) Spawn(f func()) {
+	s.spawned.Add(1)
+	s.quiet.Add(1)
+	go func() {
+		defer s.quiet.Done()
+		defer s.completed.Add(1)
+		s.slots <- struct{}{}
+		defer func() { <-s.slots }()
+		f()
+	}()
+}
+
+// Run executes f on the calling goroutine as an activity, acquiring and
+// releasing an execution slot around it. It is used for the main activity
+// and for synchronous place shifts.
+func (s *Scheduler) Run(f func()) {
+	s.spawned.Add(1)
+	s.quiet.Add(1)
+	defer s.quiet.Done()
+	defer s.completed.Add(1)
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	f()
+}
+
+// Block releases the calling activity's execution slot so another activity
+// can run while this one waits. It must be paired with Unblock, and must
+// only be called from inside an activity started by Spawn or Run.
+func (s *Scheduler) Block() { <-s.slots }
+
+// Unblock re-acquires an execution slot after Block.
+func (s *Scheduler) Unblock() { s.slots <- struct{}{} }
+
+// Blocking runs wait() with the activity's slot released: the canonical
+// wrapper for runtime operations that suspend an activity.
+func (s *Scheduler) Blocking(wait func()) {
+	s.Block()
+	defer s.Unblock()
+	wait()
+}
+
+// Stats reports the cumulative number of activities spawned and completed.
+func (s *Scheduler) Stats() (spawned, completed uint64) {
+	return s.spawned.Load(), s.completed.Load()
+}
+
+// Drain waits until every activity spawned so far has completed. It is a
+// shutdown/testing aid; the finish protocols do not use it.
+func (s *Scheduler) Drain() { s.quiet.Wait() }
+
+// String describes the scheduler state.
+func (s *Scheduler) String() string {
+	sp, co := s.Stats()
+	return fmt.Sprintf("sched{workers=%d spawned=%d completed=%d}", s.workers, sp, co)
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpawnRunsAll(t *testing.T) {
+	s := New(2)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		s.Spawn(func() { defer wg.Done(); n.Add(1) })
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d, want 100", n.Load())
+	}
+	sp, co := s.Stats()
+	if sp != 100 || co != 100 {
+		t.Fatalf("stats = %d/%d", sp, co)
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	s := New(workers)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		s.Spawn(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestBlockingReleasesSlot(t *testing.T) {
+	// One worker: a blocked activity must let another run.
+	s := New(1)
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	s.Spawn(func() {
+		s.Blocking(func() { <-gate }) // releases the only slot
+		close(done)
+	})
+	s.Spawn(func() { close(gate) }) // needs the slot to run
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: Blocking did not release the worker slot")
+	}
+}
+
+func TestRunExecutesInline(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Run(func() { ran = true })
+	if !ran {
+		t.Fatal("Run did not execute")
+	}
+}
+
+func TestDefaultsToOneWorker(t *testing.T) {
+	if s := New(0); s.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", s.Workers())
+	}
+	if s := New(-3); s.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", s.Workers())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := New(4)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		s.Spawn(func() {
+			time.Sleep(time.Millisecond)
+			n.Add(1)
+		})
+	}
+	s.Drain()
+	if n.Load() != 20 {
+		t.Fatalf("Drain returned early: %d/20", n.Load())
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(2)
+	if got := s.String(); !strings.Contains(got, "workers=2") {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,198 @@
+// Package wsched is an intra-place work-stealing scheduler — the paper's
+// declared future work ("we have separately done work on schedulers for
+// intra-place concurrency [13, 40], but the results reported here do not
+// reflect the integration of these schedulers with the scale-out stack").
+// The benchmark kernels run with minimal intra-place concurrency
+// (X10_NTHREADS=1), exactly as in the paper; this package provides the
+// missing piece as a standalone pool in the style of the X10 work-stealing
+// runtime: per-worker deques, LIFO pops for locality, FIFO steals for
+// load, and help-first joins (a worker waiting on a join executes other
+// tasks instead of blocking).
+package wsched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is the execution context handed to every task body; fork from it to
+// stay on the pool.
+type Task struct {
+	pool   *Pool
+	worker int
+}
+
+// Pool is a fixed set of workers with work-stealing deques.
+type Pool struct {
+	workers     []*workerState
+	outstanding atomic.Int64
+	quiesce     chan struct{}
+	quiesceOnce sync.Once
+	closed      atomic.Bool
+}
+
+type workerState struct {
+	mu    sync.Mutex
+	deque []*taskItem
+	rng   *rand.Rand
+}
+
+type taskItem struct {
+	f    func(*Task)
+	join *Join
+}
+
+// Join tracks the completion of a group of forked tasks.
+type Join struct {
+	remaining atomic.Int64
+}
+
+// NewPool creates a pool with the given worker count (<=0 selects
+// GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: make([]*workerState, workers),
+		quiesce: make(chan struct{}),
+	}
+	for i := range p.workers {
+		p.workers[i] = &workerState{rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1))}
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes root on worker 0 and blocks until the pool is quiescent:
+// root and every task transitively forked from it have completed. Run may
+// be called once per pool.
+func (p *Pool) Run(root func(*Task)) {
+	if p.closed.Swap(true) {
+		panic("wsched: Run called twice on one pool")
+	}
+	p.outstanding.Store(1)
+	var wg sync.WaitGroup
+	for w := 1; w < len(p.workers); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.workerLoop(w)
+		}(w)
+	}
+	t := &Task{pool: p, worker: 0}
+	root(t)
+	p.taskDone(nil)
+	// The caller becomes worker 0 and helps drain until quiescence —
+	// essential for single-worker pools, which have no other workers.
+	p.workerLoop(0)
+	wg.Wait()
+}
+
+// Fork schedules f as a new task on the current worker's deque. If j is
+// non-nil, j is credited when f completes.
+func (t *Task) Fork(f func(*Task)) { t.fork(f, nil) }
+
+func (t *Task) fork(f func(*Task), j *Join) {
+	p := t.pool
+	p.outstanding.Add(1)
+	if j != nil {
+		j.remaining.Add(1)
+	}
+	ws := p.workers[t.worker]
+	ws.mu.Lock()
+	ws.deque = append(ws.deque, &taskItem{f: f, join: j})
+	ws.mu.Unlock()
+}
+
+// ForkJoin runs the given bodies as parallel tasks and returns when all of
+// them have completed. The last body runs inline (work-first); while the
+// others are outstanding the worker helps by executing available tasks
+// rather than blocking.
+func (t *Task) ForkJoin(bodies ...func(*Task)) {
+	if len(bodies) == 0 {
+		return
+	}
+	var j Join
+	for _, f := range bodies[:len(bodies)-1] {
+		t.fork(f, &j)
+	}
+	bodies[len(bodies)-1](t)
+	// Help until the forked siblings are done.
+	for j.remaining.Load() > 0 {
+		if !t.pool.runOne(t.worker) {
+			runtime.Gosched()
+		}
+	}
+}
+
+// workerLoop drains tasks until global quiescence.
+func (p *Pool) workerLoop(w int) {
+	for {
+		if p.runOne(w) {
+			continue
+		}
+		select {
+		case <-p.quiesce:
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// runOne executes one task: LIFO from the worker's own deque, else a FIFO
+// steal from a random victim. It reports whether anything ran.
+func (p *Pool) runOne(w int) bool {
+	ws := p.workers[w]
+	// Own deque, newest first (locality).
+	ws.mu.Lock()
+	var item *taskItem
+	if n := len(ws.deque); n > 0 {
+		item = ws.deque[n-1]
+		ws.deque = ws.deque[:n-1]
+	}
+	ws.mu.Unlock()
+	if item == nil && len(p.workers) > 1 {
+		// Steal oldest-first from a random victim.
+		start := ws.rng.Intn(len(p.workers))
+		for i := 0; i < len(p.workers) && item == nil; i++ {
+			v := (start + i) % len(p.workers)
+			if v == w {
+				continue
+			}
+			vs := p.workers[v]
+			vs.mu.Lock()
+			if len(vs.deque) > 0 {
+				item = vs.deque[0]
+				vs.deque = vs.deque[1:]
+			}
+			vs.mu.Unlock()
+		}
+	}
+	if item == nil {
+		return false
+	}
+	item.f(&Task{pool: p, worker: w})
+	p.taskDone(item.join)
+	return true
+}
+
+func (p *Pool) taskDone(j *Join) {
+	if j != nil {
+		j.remaining.Add(-1)
+	}
+	if p.outstanding.Add(-1) == 0 {
+		p.quiesceOnce.Do(func() { close(p.quiesce) })
+	}
+}
+
+// String describes the pool.
+func (p *Pool) String() string {
+	return fmt.Sprintf("wsched.Pool{workers=%d outstanding=%d}", len(p.workers), p.outstanding.Load())
+}

@@ -1,0 +1,213 @@
+package wsched
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunExecutesRoot(t *testing.T) {
+	p := NewPool(2)
+	ran := false
+	p.Run(func(*Task) { ran = true })
+	if !ran {
+		t.Fatal("root did not run")
+	}
+}
+
+func TestForkAllTasksRun(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	p.Run(func(t0 *Task) {
+		for i := 0; i < 1000; i++ {
+			t0.Fork(func(*Task) { n.Add(1) })
+		}
+	})
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", n.Load())
+	}
+}
+
+func TestNestedForks(t *testing.T) {
+	p := NewPool(3)
+	var n atomic.Int64
+	p.Run(func(t0 *Task) {
+		var spawn func(tt *Task, depth int)
+		spawn = func(tt *Task, depth int) {
+			n.Add(1)
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				d := depth - 1
+				tt.Fork(func(t2 *Task) { spawn(t2, d) })
+			}
+		}
+		spawn(t0, 5)
+	})
+	want := int64(0)
+	pow := int64(1)
+	for d := 0; d <= 5; d++ {
+		want += pow
+		pow *= 3
+	}
+	if n.Load() != want {
+		t.Fatalf("n = %d, want %d", n.Load(), want)
+	}
+}
+
+func fibWS(t *Task, n int) int {
+	if n < 13 {
+		return fibSeq(n)
+	}
+	var a, b int
+	t.ForkJoin(
+		func(tt *Task) { a = fibWS(tt, n-1) },
+		func(tt *Task) { b = fibWS(tt, n-2) },
+	)
+	return a + b
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func TestForkJoinFib(t *testing.T) {
+	p := NewPool(4)
+	var got int
+	p.Run(func(t0 *Task) { got = fibWS(t0, 24) })
+	if want := fibSeq(24); got != want {
+		t.Fatalf("fib = %d, want %d", got, want)
+	}
+}
+
+func TestForkJoinEmptyAndSingle(t *testing.T) {
+	p := NewPool(2)
+	p.Run(func(t0 *Task) {
+		t0.ForkJoin() // no-op
+		ran := false
+		t0.ForkJoin(func(*Task) { ran = true })
+		if !ran {
+			t.Error("single-body ForkJoin did not run inline")
+		}
+	})
+}
+
+func TestJoinOrdering(t *testing.T) {
+	// After ForkJoin returns, all side effects of the bodies must be
+	// visible.
+	p := NewPool(4)
+	p.Run(func(t0 *Task) {
+		for rep := 0; rep < 50; rep++ {
+			results := make([]int, 8)
+			bodies := make([]func(*Task), 8)
+			for i := range bodies {
+				i := i
+				bodies[i] = func(*Task) { results[i] = i + 1 }
+			}
+			t0.ForkJoin(bodies...)
+			for i, v := range results {
+				if v != i+1 {
+					t.Fatalf("rep %d: results[%d] = %d", rep, i, v)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("no workers")
+	}
+	if NewPool(7).Workers() != 7 {
+		t.Fatal("worker count not honored")
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Run(func(*Task) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	p.Run(func(*Task) {})
+}
+
+func TestString(t *testing.T) {
+	if !strings.Contains(NewPool(3).String(), "workers=3") {
+		t.Error("String missing worker count")
+	}
+}
+
+// TestTaskCountProperty: random fork trees execute every task exactly once.
+func TestTaskCountProperty(t *testing.T) {
+	f := func(widths []uint8) bool {
+		if len(widths) > 12 {
+			widths = widths[:12]
+		}
+		p := NewPool(3)
+		var n atomic.Int64
+		want := int64(1)
+		p.Run(func(t0 *Task) {
+			n.Add(1)
+			for _, w := range widths {
+				k := int(w)%5 + 1
+				for i := 0; i < k; i++ {
+					t0.Fork(func(*Task) { n.Add(1) })
+				}
+			}
+		})
+		for _, w := range widths {
+			want += int64(int(w)%5 + 1)
+		}
+		return n.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkForkJoinFib20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := NewPool(2)
+		var got int
+		p.Run(func(t0 *Task) { got = fibWS(t0, 20) })
+		if got != 6765 {
+			b.Fatal("wrong fib")
+		}
+	}
+}
+
+func BenchmarkForkOverhead(b *testing.B) {
+	p := NewPool(1)
+	var n atomic.Int64
+	b.ResetTimer()
+	p.Run(func(t0 *Task) {
+		for i := 0; i < b.N; i++ {
+			t0.Fork(func(*Task) { n.Add(1) })
+		}
+	})
+}
+
+// TestSingleWorkerPoolDrains is the regression test for a deadlock found
+// by BenchmarkForkOverhead: with one worker, the Run caller itself must
+// drain the deque after the root returns.
+func TestSingleWorkerPoolDrains(t *testing.T) {
+	p := NewPool(1)
+	var n atomic.Int64
+	p.Run(func(t0 *Task) {
+		for i := 0; i < 100; i++ {
+			t0.Fork(func(*Task) { n.Add(1) })
+		}
+	})
+	if n.Load() != 100 {
+		t.Fatalf("ran %d, want 100", n.Load())
+	}
+}

@@ -1,0 +1,233 @@
+package x10rt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChanOptions configures an in-process ChanTransport.
+type ChanOptions struct {
+	// Places is the number of endpoints; must be >= 1.
+	Places int
+
+	// ReorderSeed, when non-zero, enables adversarial reordering of
+	// control-class messages: each control message is delayed by a
+	// pseudo-random number of delivery slots drawn from a generator
+	// seeded with this value. Data-class messages stay FIFO per link.
+	// This models the paper's observation that "networks can reorder
+	// control messages", the hazard the finish protocols must survive.
+	ReorderSeed int64
+
+	// ReorderWindow bounds the reordering delay in messages (default 8).
+	ReorderWindow int
+
+	// Latency, when non-nil, is invoked for every message and returns an
+	// artificial delivery delay. It can model per-hop interconnect cost
+	// (see netsim). A nil Latency delivers immediately.
+	Latency func(src, dst, bytes int, class Class) time.Duration
+
+	// MailboxHint pre-sizes per-place mailboxes (default 64).
+	MailboxHint int
+}
+
+// ChanTransport is an in-process Transport: all places live inside one OS
+// process and exchange active messages through per-place unbounded
+// mailboxes. Each place has a dispatcher goroutine that runs handlers in
+// arrival order. The mailbox is unbounded so that handlers may send
+// messages without risking transport deadlock (the X10RT contract).
+type ChanTransport struct {
+	opts     ChanOptions
+	handlers *handlerTable
+	places   []*chanEndpoint
+	ctrs     counters
+	closed   sync.Once
+	done     chan struct{}
+}
+
+type chanMsg struct {
+	src     int
+	id      HandlerID
+	payload any
+	bytes   int
+	class   Class
+	due     time.Time // zero when no injected latency
+	slot    uint64    // reorder slot; delivery sorted by (slot)
+}
+
+// chanEndpoint is one place's receive side: an unbounded FIFO mailbox
+// drained by a dedicated dispatcher goroutine.
+type chanEndpoint struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []chanMsg
+	closed  bool
+	seq     uint64 // next delivery slot
+	reorder *rand.Rand
+	window  int
+	idleMu  sync.Mutex
+	idle    *sync.Cond
+	pending int // messages enqueued but not yet fully handled
+}
+
+// NewChanTransport creates an in-process transport with opts.Places places.
+func NewChanTransport(opts ChanOptions) (*ChanTransport, error) {
+	if opts.Places < 1 {
+		return nil, fmt.Errorf("x10rt: need at least one place, got %d", opts.Places)
+	}
+	if opts.ReorderWindow <= 0 {
+		opts.ReorderWindow = 8
+	}
+	if opts.MailboxHint <= 0 {
+		opts.MailboxHint = 64
+	}
+	t := &ChanTransport{
+		opts:     opts,
+		handlers: newHandlerTable(),
+		places:   make([]*chanEndpoint, opts.Places),
+		done:     make(chan struct{}),
+	}
+	for i := range t.places {
+		ep := &chanEndpoint{
+			queue:  make([]chanMsg, 0, opts.MailboxHint),
+			window: opts.ReorderWindow,
+		}
+		ep.cond = sync.NewCond(&ep.mu)
+		ep.idle = sync.NewCond(&ep.idleMu)
+		if opts.ReorderSeed != 0 {
+			ep.reorder = rand.New(rand.NewSource(opts.ReorderSeed + int64(i)*7919))
+		}
+		t.places[i] = ep
+		go t.dispatch(i, ep)
+	}
+	return t, nil
+}
+
+// NumPlaces implements Transport.
+func (t *ChanTransport) NumPlaces() int { return t.opts.Places }
+
+// Register implements Transport.
+func (t *ChanTransport) Register(id HandlerID, h Handler) error {
+	return t.handlers.register(id, h)
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int, class Class) error {
+	if src < 0 || src >= t.opts.Places || dst < 0 || dst >= t.opts.Places {
+		return fmt.Errorf("%w: src=%d dst=%d n=%d", ErrBadPlace, src, dst, t.opts.Places)
+	}
+	if _, ok := t.handlers.lookup(id); !ok {
+		return fmt.Errorf("%w: id=%d", ErrNoHandler, id)
+	}
+	m := chanMsg{src: src, id: id, payload: payload, bytes: bytes, class: class}
+	if t.opts.Latency != nil {
+		if d := t.opts.Latency(src, dst, bytes, class); d > 0 {
+			m.due = time.Now().Add(d)
+		}
+	}
+	ep := t.places[dst]
+	// Count the message as pending before it becomes visible to the
+	// dispatcher so Quiesce never observes a handled-but-uncounted message.
+	ep.idleMu.Lock()
+	ep.pending++
+	ep.idleMu.Unlock()
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		ep.idleMu.Lock()
+		ep.pending--
+		if ep.pending == 0 {
+			ep.idle.Broadcast()
+		}
+		ep.idleMu.Unlock()
+		return ErrClosed
+	}
+	m.slot = ep.seq
+	ep.seq++
+	// Inject reordering for control traffic by pushing the message a
+	// random number of slots into the future; data stays FIFO.
+	if ep.reorder != nil && class == ControlClass {
+		m.slot += uint64(ep.reorder.Intn(ep.window))
+	}
+	ep.enqueueLocked(m)
+	ep.mu.Unlock()
+	t.ctrs.add(class, bytes)
+	return nil
+}
+
+// enqueueLocked inserts m keeping the queue sorted by slot (stable FIFO when
+// no reordering is injected, since slots are then strictly increasing).
+func (ep *chanEndpoint) enqueueLocked(m chanMsg) {
+	q := ep.queue
+	i := len(q)
+	for i > 0 && q[i-1].slot > m.slot {
+		i--
+	}
+	q = append(q, chanMsg{})
+	copy(q[i+1:], q[i:])
+	q[i] = m
+	ep.queue = q
+	ep.cond.Signal()
+}
+
+func (t *ChanTransport) dispatch(place int, ep *chanEndpoint) {
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed && len(ep.queue) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		m := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		ep.mu.Unlock()
+
+		if !m.due.IsZero() {
+			if d := time.Until(m.due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if h, ok := t.handlers.lookup(m.id); ok {
+			h(m.src, place, m.payload)
+		}
+		ep.idleMu.Lock()
+		ep.pending--
+		if ep.pending == 0 {
+			ep.idle.Broadcast()
+		}
+		ep.idleMu.Unlock()
+	}
+}
+
+// Quiesce blocks until every message enqueued so far at every place has been
+// handled. It is a testing aid, not part of the Transport interface; the
+// runtime's finish protocols never rely on it.
+func (t *ChanTransport) Quiesce() {
+	for _, ep := range t.places {
+		ep.idleMu.Lock()
+		for ep.pending > 0 {
+			ep.idle.Wait()
+		}
+		ep.idleMu.Unlock()
+	}
+}
+
+// Stats implements Transport.
+func (t *ChanTransport) Stats() Stats { return t.ctrs.snapshot() }
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.closed.Do(func() {
+		close(t.done)
+		for _, ep := range t.places {
+			ep.mu.Lock()
+			ep.closed = true
+			ep.cond.Broadcast()
+			ep.mu.Unlock()
+		}
+	})
+	return nil
+}

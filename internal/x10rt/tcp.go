@@ -1,0 +1,238 @@
+package x10rt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPOptions configures one endpoint of a TCPTransport mesh.
+type TCPOptions struct {
+	// Place is this endpoint's place index.
+	Place int
+	// Addrs lists the listen address of every place, indexed by place.
+	// Addrs[Place] is the address this endpoint listens on.
+	Addrs []string
+}
+
+// TCPTransport is a socket-based Transport standing in for X10RT's
+// PAMI/sockets backends. Each place runs one endpoint; endpoints connect
+// lazily on first send. Payloads are gob-encoded, so applications must
+// register concrete payload types with RegisterWireType before sending.
+//
+// Unlike ChanTransport, a TCPTransport value represents a single place; a
+// full mesh consists of one TCPTransport per place (usually one per
+// process). Delivery is FIFO per (src, dst) link, as TCP guarantees.
+type TCPTransport struct {
+	opts     TCPOptions
+	handlers *handlerTable
+	listener net.Listener
+	ctrs     counters
+
+	mu     sync.Mutex
+	conns  map[int]*tcpConn // outbound, keyed by dst
+	closed bool
+
+	loop     chan wireMsg // self-sends, kept FIFO
+	wg       sync.WaitGroup
+	loopOnce sync.Once
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// wireMsg is the on-the-wire message format.
+type wireMsg struct {
+	Src     int
+	ID      HandlerID
+	Class   Class
+	Bytes   int
+	Payload any
+}
+
+// RegisterWireType registers a concrete payload type for gob encoding.
+// It must be called (with identical types) in every process of the mesh
+// before any Send carrying that type.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// NewTCPTransport creates a TCP endpoint and starts its listener and
+// dispatcher. The other endpoints need not be up yet; connections are
+// established lazily when sending.
+func NewTCPTransport(opts TCPOptions) (*TCPTransport, error) {
+	if opts.Place < 0 || opts.Place >= len(opts.Addrs) {
+		return nil, fmt.Errorf("%w: place=%d addrs=%d", ErrBadPlace, opts.Place, len(opts.Addrs))
+	}
+	ln, err := net.Listen("tcp", opts.Addrs[opts.Place])
+	if err != nil {
+		return nil, fmt.Errorf("x10rt: listen %s: %w", opts.Addrs[opts.Place], err)
+	}
+	return newTCPWithListener(opts, ln), nil
+}
+
+// NewLocalTCPMesh creates a fully wired n-place mesh on loopback with
+// system-assigned ports. It is intended for tests and single-machine
+// multi-endpoint experiments.
+func NewLocalTCPMesh(n int) ([]*TCPTransport, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				listeners[j].Close()
+			}
+			return nil, fmt.Errorf("x10rt: mesh listen: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	mesh := make([]*TCPTransport, n)
+	for i := 0; i < n; i++ {
+		mesh[i] = newTCPWithListener(TCPOptions{Place: i, Addrs: addrs}, listeners[i])
+	}
+	return mesh, nil
+}
+
+func newTCPWithListener(opts TCPOptions, ln net.Listener) *TCPTransport {
+	t := &TCPTransport{
+		opts:     opts,
+		handlers: newHandlerTable(),
+		listener: ln,
+		conns:    make(map[int]*tcpConn),
+		loop:     make(chan wireMsg, 256),
+	}
+	t.wg.Add(2)
+	go t.accept()
+	go t.selfDispatch()
+	return t
+}
+
+// Addr returns the address this endpoint is actually listening on (useful
+// when the configured address had port 0).
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// NumPlaces implements Transport.
+func (t *TCPTransport) NumPlaces() int { return len(t.opts.Addrs) }
+
+// Register implements Transport.
+func (t *TCPTransport) Register(id HandlerID, h Handler) error {
+	return t.handlers.register(id, h)
+}
+
+// Send implements Transport. src must equal the endpoint's own place.
+func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, class Class) error {
+	if src != t.opts.Place {
+		return fmt.Errorf("%w: send from %d on endpoint %d", ErrBadPlace, src, t.opts.Place)
+	}
+	if dst < 0 || dst >= len(t.opts.Addrs) {
+		return fmt.Errorf("%w: dst=%d", ErrBadPlace, dst)
+	}
+	m := wireMsg{Src: src, ID: id, Class: class, Bytes: bytes, Payload: payload}
+	if dst == t.opts.Place {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		t.loop <- m
+		t.ctrs.add(class, bytes)
+		return nil
+	}
+	conn, err := t.connTo(dst)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	err = conn.enc.Encode(&m)
+	conn.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("x10rt: send to %d: %w", dst, err)
+	}
+	t.ctrs.add(class, bytes)
+	return nil
+}
+
+func (t *TCPTransport) connTo(dst int) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[dst]; ok {
+		return c, nil
+	}
+	nc, err := net.Dial("tcp", t.opts.Addrs[dst])
+	if err != nil {
+		return nil, fmt.Errorf("x10rt: dial place %d (%s): %w", dst, t.opts.Addrs[dst], err)
+	}
+	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc)}
+	t.conns[dst] = c
+	return c, nil
+}
+
+func (t *TCPTransport) accept() {
+	defer t.wg.Done()
+	for {
+		nc, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.read(nc)
+	}
+}
+
+// read decodes and dispatches messages from one inbound connection.
+// Running handlers on the reader goroutine preserves per-link FIFO order.
+func (t *TCPTransport) read(nc net.Conn) {
+	defer t.wg.Done()
+	defer nc.Close()
+	dec := gob.NewDecoder(nc)
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		t.ctrs.add(m.Class, m.Bytes)
+		if h, ok := t.handlers.lookup(m.ID); ok {
+			h(m.Src, t.opts.Place, m.Payload)
+		}
+	}
+}
+
+func (t *TCPTransport) selfDispatch() {
+	defer t.wg.Done()
+	for m := range t.loop {
+		if h, ok := t.handlers.lookup(m.ID); ok {
+			h(m.Src, t.opts.Place, m.Payload)
+		}
+	}
+}
+
+// Stats implements Transport. Counters cover messages sent from and
+// received at this endpoint (self-sends are counted once).
+func (t *TCPTransport) Stats() Stats { return t.ctrs.snapshot() }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[int]*tcpConn)
+	t.mu.Unlock()
+	t.listener.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	t.loopOnce.Do(func() { close(t.loop) })
+	return nil
+}

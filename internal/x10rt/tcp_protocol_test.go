@@ -1,0 +1,111 @@
+package x10rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// This file exercises the TCP transport under protocol-shaped load: a
+// miniature SPMD-style termination protocol implemented purely with
+// registered active messages and gob payloads — the way a cross-process
+// deployment of the runtime would talk, where closures cannot travel.
+
+type workMsg struct {
+	Hops int
+	Ring int
+}
+
+type doneMsg struct {
+	Count int
+}
+
+func init() {
+	RegisterWireType(workMsg{})
+	RegisterWireType(doneMsg{})
+}
+
+// TestTCPTerminationProtocol runs R rings of hop-limited token forwarding
+// across a 4-endpoint mesh; endpoint 0 plays the finish root, counting one
+// completion message per ring — the FINISH_SPMD shape over real sockets.
+func TestTCPTerminationProtocol(t *testing.T) {
+	const places, rings, hops = 4, 8, 12
+	mesh := newTestMesh(t, places)
+
+	var done atomic.Int64
+	finished := make(chan struct{})
+	var once sync.Once
+
+	for i, tr := range mesh {
+		i, tr := i, tr
+		// Work handler: forward the token or report completion.
+		if err := tr.Register(UserHandlerBase, func(src, dst int, payload any) {
+			m := payload.(workMsg)
+			if m.Hops == 0 {
+				if err := tr.Send(i, 0, UserHandlerBase+1, doneMsg{Count: 1}, 8, ControlClass); err != nil {
+					t.Errorf("done send: %v", err)
+				}
+				return
+			}
+			next := (i + 1 + m.Ring) % places
+			if err := tr.Send(i, next, UserHandlerBase,
+				workMsg{Hops: m.Hops - 1, Ring: m.Ring}, 16, DataClass); err != nil {
+				t.Errorf("forward: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Completion handler (only used at endpoint 0).
+		if err := tr.Register(UserHandlerBase+1, func(src, dst int, payload any) {
+			m := payload.(doneMsg)
+			if done.Add(int64(m.Count)) == rings {
+				once.Do(func() { close(finished) })
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for r := 0; r < rings; r++ {
+		start := (r + 1) % places
+		if err := mesh[0].Send(0, start, UserHandlerBase,
+			workMsg{Hops: hops, Ring: r}, 16, DataClass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-finished:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("termination protocol stalled: %d/%d rings done", done.Load(), rings)
+	}
+	if done.Load() != rings {
+		t.Fatalf("done = %d, want %d", done.Load(), rings)
+	}
+}
+
+// TestTCPHighVolume pushes enough messages through one link to cross
+// buffer boundaries.
+func TestTCPHighVolume(t *testing.T) {
+	mesh := newTestMesh(t, 2)
+	const n = 5000
+	var got atomic.Int64
+	doneCh := make(chan struct{})
+	if err := mesh[1].Register(UserHandlerBase, func(src, dst int, payload any) {
+		if got.Add(1) == n {
+			close(doneCh)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := mesh[0].Send(0, 1, UserHandlerBase, wirePayload{Value: i}, 64, DataClass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("received %d/%d", got.Load(), n)
+	}
+}

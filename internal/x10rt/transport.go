@@ -1,0 +1,212 @@
+// Package x10rt is the runtime transport layer of the APGAS runtime,
+// modeled after the X10 Runtime Transport (X10RT) API described in
+// "X10 and APGAS at Petascale" (PPoPP 2014), §3.3.
+//
+// The X10 runtime has a layered structure: the upper layers (finish
+// protocols, collectives, RDMA emulation) are written against the small
+// transport interface defined here, and concrete transports adapt it to a
+// particular interconnect. This package provides two transports:
+//
+//   - ChanTransport: an in-process transport in which every place is a
+//     logical endpoint inside one operating-system process. It supports
+//     fault and disorder injection (per-message delay, reordering) so the
+//     termination-detection protocols can be exercised under the network
+//     reordering hazards that motivated their design.
+//   - TCPTransport: a socket transport with gob-serialized active
+//     messages, standing in for the PAMI/sockets backends of X10RT.
+//
+// An implementation is only required to provide basic point-to-point
+// active-message primitives; everything else (collectives, RDMA) is
+// emulated above this interface, exactly as the paper describes.
+package x10rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler is an active-message handler. It runs on the destination place's
+// dispatcher and receives the source place, the destination place (the
+// place the handler is logically executing at), and the message payload.
+//
+// Handlers must not block indefinitely: they should either complete quickly
+// or hand the payload off to a scheduler. They may call Send.
+type Handler func(src, dst int, payload any)
+
+// Class labels a message for accounting. The paper's scalability story is
+// largely about keeping ControlClass traffic (finish bookkeeping) from
+// overwhelming the interconnect, so the transports count classes separately.
+type Class uint8
+
+const (
+	// DataClass marks application payload messages (asyncs, copies).
+	DataClass Class = iota
+	// ControlClass marks runtime bookkeeping (finish protocol, clocks).
+	ControlClass
+	// CollectiveClass marks team/collective traffic.
+	CollectiveClass
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case DataClass:
+		return "data"
+	case ControlClass:
+		return "control"
+	case CollectiveClass:
+		return "collective"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Transport is the point-to-point active message layer connecting places.
+//
+// All methods are safe for concurrent use. Message delivery between a fixed
+// (src, dst) pair is FIFO unless the transport was configured to inject
+// reordering; messages from different sources are unordered relative to one
+// another, as on a real interconnect.
+type Transport interface {
+	// NumPlaces reports the number of places connected by this transport.
+	NumPlaces() int
+
+	// Register installs a handler under an identifier. Registration must
+	// happen before any Send that names the handler, and identifiers must
+	// be registered identically at every place (SPMD-style registration,
+	// as required by X10RT).
+	Register(id HandlerID, h Handler) error
+
+	// Send delivers an active message: handler id runs at dst with the
+	// given payload. bytes is the modeled wire size of the message used
+	// for bandwidth accounting (in-process transports do not serialize).
+	// Send never blocks on the destination's progress.
+	Send(src, dst int, id HandlerID, payload any, bytes int, class Class) error
+
+	// Stats returns a snapshot of traffic counters.
+	Stats() Stats
+
+	// Close shuts down dispatchers and releases resources. After Close,
+	// Send returns ErrClosed.
+	Close() error
+}
+
+// HandlerID identifies a registered active-message handler.
+type HandlerID uint32
+
+// Reserved handler identifiers used by the runtime layers above. User
+// applications should register identifiers at UserHandlerBase and above.
+const (
+	// HandlerSpawn runs a remote activity (core runtime).
+	HandlerSpawn HandlerID = iota
+	// HandlerFinishCtl carries finish-protocol control traffic.
+	HandlerFinishCtl
+	// HandlerClockCtl carries clock (dynamic barrier) control traffic.
+	HandlerClockCtl
+	// HandlerTeamCtl carries emulated collective traffic.
+	HandlerTeamCtl
+	// HandlerCopy carries RDMA put/get emulation traffic.
+	HandlerCopy
+	// HandlerGUPS carries remote-atomic-update (GUPS) traffic.
+	HandlerGUPS
+	// UserHandlerBase is the first identifier available to applications.
+	UserHandlerBase HandlerID = 64
+)
+
+// ErrClosed is returned by Send after the transport has been closed.
+var ErrClosed = errors.New("x10rt: transport closed")
+
+// ErrBadPlace is returned when a place index is out of range.
+var ErrBadPlace = errors.New("x10rt: place out of range")
+
+// ErrNoHandler is returned when a message names an unregistered handler.
+var ErrNoHandler = errors.New("x10rt: no such handler")
+
+// Stats is a snapshot of transport traffic counters.
+type Stats struct {
+	// Messages counts delivered messages by class.
+	Messages [3]uint64
+	// Bytes counts modeled wire bytes by class.
+	Bytes [3]uint64
+}
+
+// TotalMessages returns the message count summed over classes.
+func (s Stats) TotalMessages() uint64 {
+	return s.Messages[0] + s.Messages[1] + s.Messages[2]
+}
+
+// TotalBytes returns the byte count summed over classes.
+func (s Stats) TotalBytes() uint64 {
+	return s.Bytes[0] + s.Bytes[1] + s.Bytes[2]
+}
+
+// Sub returns s - t counter-wise; useful for interval measurements.
+func (s Stats) Sub(t Stats) Stats {
+	var r Stats
+	for i := range s.Messages {
+		r.Messages[i] = s.Messages[i] - t.Messages[i]
+		r.Bytes[i] = s.Bytes[i] - t.Bytes[i]
+	}
+	return r
+}
+
+// String formats the counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("data=%d/%dB control=%d/%dB collective=%d/%dB",
+		s.Messages[DataClass], s.Bytes[DataClass],
+		s.Messages[ControlClass], s.Bytes[ControlClass],
+		s.Messages[CollectiveClass], s.Bytes[CollectiveClass])
+}
+
+// counters accumulates traffic statistics with atomic updates.
+type counters struct {
+	msgs  [numClasses]atomic.Uint64
+	bytes [numClasses]atomic.Uint64
+}
+
+func (c *counters) add(class Class, bytes int) {
+	c.msgs[class].Add(1)
+	c.bytes[class].Add(uint64(bytes))
+}
+
+func (c *counters) snapshot() Stats {
+	var s Stats
+	for i := 0; i < int(numClasses); i++ {
+		s.Messages[i] = c.msgs[i].Load()
+		s.Bytes[i] = c.bytes[i].Load()
+	}
+	return s
+}
+
+// handlerTable is a registration table shared by transport implementations.
+type handlerTable struct {
+	mu sync.RWMutex
+	m  map[HandlerID]Handler
+}
+
+func newHandlerTable() *handlerTable {
+	return &handlerTable{m: make(map[HandlerID]Handler)}
+}
+
+func (t *handlerTable) register(id HandlerID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("x10rt: nil handler for id %d", id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.m[id]; dup {
+		return fmt.Errorf("x10rt: handler %d already registered", id)
+	}
+	t.m[id] = h
+	return nil
+}
+
+func (t *handlerTable) lookup(id HandlerID) (Handler, bool) {
+	t.mu.RLock()
+	h, ok := t.m[id]
+	t.mu.RUnlock()
+	return h, ok
+}
