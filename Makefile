@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples clean
+.PHONY: all build test race bench trace experiments examples clean
 
-all: build test
+all: build test race
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record a Chrome trace of a small UTS run and sanity-check the JSON.
+trace:
+	$(GO) run ./cmd/uts -places 4 -depth 8 -trace /tmp/apgas-uts-trace.json
+	$(GO) run ./cmd/tracecheck /tmp/apgas-uts-trace.json
 
 # Regenerate every table and figure at laptop scale.
 experiments:

@@ -10,22 +10,36 @@
 //	apgas-bench -exp all -scale small
 //	apgas-bench -exp uts-ablation
 //	apgas-bench -exp table2 -scale tiny
+//	apgas-bench -exp list                        # enumerate experiments
+//	apgas-bench -exp uts -metrics                # metrics snapshot on stderr
+//	apgas-bench -exp uts -trace /tmp/uts.json    # Chrome trace_event JSON
+//	apgas-bench -exp all -debug-addr :6060       # pprof + expvar while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
+	"strings"
 
 	"apgas/internal/collectives"
 	"apgas/internal/harness"
+	"apgas/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all",
-		"experiment: all, hpl, fft, ra, stream, uts, kmeans, sw, bc, "+
-			"table1, table2, netsim, finish, broadcast, uts-ablation, teams, seqref")
+	exp := flag.String("exp", "all", "experiment to run; -exp list enumerates them")
 	scaleFlag := flag.String("scale", "tiny", "tiny, small, or medium")
+	traceFile := flag.String("trace", "",
+		"write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	metrics := flag.Bool("metrics", false,
+		"attach metric deltas to experiment tables and print a snapshot to stderr at exit")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof and expvar (incl. the metrics registry) on this address, e.g. localhost:6060")
 	flag.Parse()
 
 	var scale harness.Scale
@@ -41,10 +55,59 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability: the harness builds runtimes internally, so the obs
+	// layer is installed process-wide rather than plumbed through.
+	var o *obs.Obs
+	switch {
+	case *traceFile != "":
+		o = obs.NewTracing()
+	case *metrics || *debugAddr != "":
+		o = obs.New()
+	}
+	if o != nil {
+		obs.SetGlobal(o)
+	}
+	if *debugAddr != "" {
+		expvar.Publish("apgas", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "apgas-bench: debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", *debugAddr)
+	}
+
 	if err := run(*exp, scale); err != nil {
 		fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		o.Metrics.Snapshot().WriteText(os.Stderr)
+	}
+	if *traceFile != "" {
+		if err := o.Trace.WriteChromeFile(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "--- trace summary (full trace: %s) ---\n", *traceFile)
+		o.Trace.WriteSummary(os.Stderr)
+	}
+}
+
+// experiments maps every -exp name that is not a Figure 1 panel to a
+// one-line description, for -exp list.
+var experiments = map[string]string{
+	"all":          "every panel, table, and ablation below",
+	"table1":       "Table 1: finish-pattern message counts",
+	"table2":       "Table 2: finish-pattern latencies",
+	"netsim":       "Power 775 interconnect model predictions",
+	"finish":       "finish-pattern ablation",
+	"broadcast":    "scalable vs sequential broadcast ablation",
+	"uts-ablation": "UTS load-balancer ablation",
+	"teams":        "native vs emulated collectives",
+	"seqref":       "sequential reference kernels",
 }
 
 func run(exp string, scale harness.Scale) error {
@@ -78,6 +141,23 @@ func run(exp string, scale harness.Scale) error {
 	}
 
 	switch exp {
+	case "list":
+		names := make([]string, 0, len(panels)+len(experiments))
+		for name := range panels {
+			names = append(names, name)
+		}
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			desc, ok := experiments[name]
+			if !ok {
+				desc = "Figure 1 panel"
+			}
+			fmt.Printf("%-14s %s\n", name, desc)
+		}
+		return nil
 	case "all":
 		for _, name := range []string{"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc"} {
 			if err := series(panels[name]); err != nil {
@@ -143,7 +223,13 @@ func run(exp string, scale harness.Scale) error {
 	default:
 		fn, ok := panels[exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q", exp)
+			names := make([]string, 0, len(panels))
+			for name := range panels {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("unknown experiment %q; panels are %s (try -exp list)",
+				exp, strings.Join(names, ", "))
 		}
 		return series(fn)
 	}

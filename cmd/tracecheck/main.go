@@ -1,0 +1,50 @@
+// Command tracecheck validates a Chrome trace_event JSON file as emitted
+// by the -trace flag of apgas-bench and uts: the file must parse and must
+// contain at least one event with the mandatory fields. It backs the
+// `make trace` sanity target.
+//
+// Usage:
+//
+//	tracecheck /tmp/apgas-uts-trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: invalid JSON: %v\n", path, err)
+		os.Exit(1)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: no trace events\n", path)
+		os.Exit(1)
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: event %d lacks name/ph\n", path, i)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("tracecheck: %s: %d events OK\n", path, len(doc.TraceEvents))
+}

@@ -20,6 +20,7 @@ import (
 	"apgas/internal/core"
 	"apgas/internal/glb"
 	"apgas/internal/kernels/sha1rng"
+	"apgas/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,9 @@ func main() {
 		"expanded node lists, unbounded victim sets, default finish")
 	verify := flag.Bool("verify", false, "check the count against a sequential traversal")
 	quantum := flag.Int("quantum", 0, "work units per scheduling quantum (0 = default)")
+	traceFile := flag.String("trace", "",
+		"write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot to stderr after the run")
 	flag.Parse()
 
 	var tree sha1rng.Tree = sha1rng.Geometric{B0: *b0, Depth: *depth, Seed: uint32(*seed)}
@@ -48,7 +52,15 @@ func main() {
 		cfg.GLB.MaxVictims = -1
 	}
 
-	rt, err := core.NewRuntime(core.Config{Places: *places})
+	var o *obs.Obs
+	switch {
+	case *traceFile != "":
+		o = obs.NewTracing()
+	case *metrics:
+		o = obs.New()
+	}
+
+	rt, err := core.NewRuntime(core.Config{Places: *places, Obs: o})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uts: %v\n", err)
 		os.Exit(1)
@@ -59,6 +71,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uts: %v\n", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "--- metrics ---")
+		o.Metrics.Snapshot().WriteText(os.Stderr)
+	}
+	if *traceFile != "" {
+		if err := o.Trace.WriteChromeFile(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "uts: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "--- trace summary (full trace: %s) ---\n", *traceFile)
+		o.Trace.WriteSummary(os.Stderr)
 	}
 	if *binomial {
 		fmt.Printf("tree: binomial b0=%d m=%d q=%g seed=%d\n", *binB0, *binM, *binQ, *seed)

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"apgas/internal/core"
+	"apgas/internal/obs"
 	"apgas/internal/x10rt"
 )
 
@@ -56,6 +57,38 @@ type Team struct {
 	shared  *sharedState
 	locals  []*teamLocal // indexed by place
 	members []core.Place
+	m       teamMetrics
+}
+
+// teamMetrics caches the runtime's observability handles so each
+// collective costs one counter increment (and, when tracing, one span)
+// per participating member. All handles are nil-safe no-ops when the
+// runtime has no observability attached.
+type teamMetrics struct {
+	tr  *obs.Tracer
+	ops map[string]*obs.Counter // team.<op> -> per-member call count
+}
+
+func newTeamMetrics(rt *core.Runtime) teamMetrics {
+	tm := teamMetrics{tr: rt.Tracer(), ops: make(map[string]*obs.Counter)}
+	reg := rt.Obs().Registry()
+	for _, op := range []string{"barrier", "reduce", "allreduce", "broadcast", "allgather", "alltoall"} {
+		tm.ops[op] = reg.Counter("team." + op)
+	}
+	return tm
+}
+
+// opDone records one collective call by the calling member: bump the
+// team.<op> counter and, when tracing, emit a span from t0 (obtained via
+// t.m.tr.Now() at operation entry) to now covering this member's
+// participation, including the rendezvous wait.
+func (t *Team) opDone(c *core.Ctx, op string, t0 int64) {
+	t.m.ops[op].Inc()
+	if tr := t.m.tr; tr != nil {
+		tr.Complete("team."+op, "team", int(c.Place()), tr.NextID(), t0,
+			obs.Arg{Key: "members", Val: int64(t.Size())},
+			obs.Arg{Key: "mode", Val: int64(t.mode)})
+	}
 }
 
 // manager routes emulated collective traffic for one runtime; the first
@@ -104,6 +137,7 @@ func New(rt *core.Runtime, group core.PlaceGroup, mode Mode) *Team {
 		mode:    mode,
 		members: group.Places(),
 	}
+	t.m = newTeamMetrics(rt)
 	t.shared = newSharedState(group.Size())
 	t.locals = make([]*teamLocal, rt.NumPlaces())
 	for i := range t.locals {
@@ -146,6 +180,7 @@ func (t *Team) nextSeq(c *core.Ctx) uint64 {
 
 // Barrier blocks until every member has entered it.
 func (t *Team) Barrier(c *core.Ctx) {
+	defer t.opDone(c, "barrier", t.m.tr.Now())
 	AllReduce(t, c, []struct{}{}, func(a, b struct{}) struct{} { return a })
 }
 
@@ -153,6 +188,7 @@ func (t *Team) Barrier(c *core.Ctx) {
 // result at the root member (the member with rank rootRank); other members
 // receive nil. vals must have equal length at every member.
 func Reduce[T any](t *Team, c *core.Ctx, rootRank int, vals []T, op func(T, T) T) []T {
+	defer t.opDone(c, "reduce", t.m.tr.Now())
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {
@@ -182,6 +218,7 @@ func Reduce[T any](t *Team, c *core.Ctx, rootRank int, vals []T, op func(T, T) T
 // AllReduce combines the members' vals element-wise with op; every member
 // receives the combined vector.
 func AllReduce[T any](t *Team, c *core.Ctx, vals []T, op func(T, T) T) []T {
+	defer t.opDone(c, "allreduce", t.m.tr.Now())
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {
@@ -197,6 +234,7 @@ func AllReduce[T any](t *Team, c *core.Ctx, vals []T, op func(T, T) T) []T {
 // Broadcast distributes the root member's vals to every member; the
 // argument is ignored at non-root members.
 func Broadcast[T any](t *Team, c *core.Ctx, rootRank int, vals []T) []T {
+	defer t.opDone(c, "broadcast", t.m.tr.Now())
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {
@@ -227,6 +265,7 @@ func Broadcast[T any](t *Team, c *core.Ctx, rootRank int, vals []T) []T {
 // AllGather concatenates every member's vals in rank order; every member
 // receives the full slice of slices.
 func AllGather[T any](t *Team, c *core.Ctx, vals []T) [][]T {
+	defer t.opDone(c, "allgather", t.m.tr.Now())
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	n := t.Size()
@@ -271,6 +310,7 @@ func AllToAll[T any](t *Team, c *core.Ctx, send [][]T) [][]T {
 	if len(send) != n {
 		panic(fmt.Sprintf("collectives: AllToAll needs %d chunks, got %d", n, len(send)))
 	}
+	defer t.opDone(c, "alltoall", t.m.tr.Now())
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"apgas/internal/obs"
 	"apgas/internal/x10rt"
 )
 
@@ -67,6 +68,9 @@ const defaultSpawnBytes = 64
 // current finish. It returns immediately.
 func (c *Ctx) Async(f func(*Ctx)) {
 	fin := c.fin
+	if m := c.rt.m; m != nil {
+		m.asyncLocal.Inc()
+	}
 	c.rt.finEvent(fin, c.pl, evLocalSpawn, c.pl.id, nil, c)
 	c.rt.spawnLocal(c.pl, fin, f)
 }
@@ -85,6 +89,15 @@ func (rt *Runtime) spawnLocal(pl *place, fin finRef, f func(*Ctx)) {
 // reported to the governing finish.
 func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error) {
 	ctx := &Ctx{rt: rt, pl: pl, fin: fin}
+	// Tracing: each activity body is one span in its own lane (tid), so
+	// concurrent activities of a place render side by side.
+	tr := rt.tracer
+	var t0 int64
+	var tid uint64
+	if tr != nil {
+		t0 = tr.Now()
+		tid = tr.NextID()
+	}
 	var err error
 	func() {
 		defer func() {
@@ -94,6 +107,9 @@ func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<-
 		}()
 		f(ctx)
 	}()
+	if tr != nil {
+		tr.Complete("async", "activity", int(pl.id), tid, t0)
+	}
 	if reply != nil {
 		rt.finEvent(fin, pl, evTerminate, pl.id, nil, ctx)
 		reply <- err
@@ -118,9 +134,19 @@ func (c *Ctx) AtAsyncSized(p Place, bytes int, f func(*Ctx)) {
 func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error) {
 	if p == c.pl.id {
 		// Local fast path: same counting as Async.
+		if m := c.rt.m; m != nil {
+			m.asyncLocal.Inc()
+		}
 		c.rt.finEvent(c.fin, c.pl, evLocalSpawn, p, nil, c)
 		c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply) })
 		return
+	}
+	if m := c.rt.m; m != nil {
+		m.asyncRemote.Inc()
+	}
+	if tr := c.rt.tracer; tr != nil {
+		tr.Instant("at.async", "core", int(c.pl.id),
+			obs.Arg{Key: "dst", Val: int64(p)}, obs.Arg{Key: "bytes", Val: int64(bytes)})
 	}
 	fin := c.fin
 	// Count the remote spawn before the message leaves: the finish
@@ -235,6 +261,13 @@ func (c *Ctx) Blocking(wait func()) { c.pl.sched.Blocking(wait) }
 // destination dispatcher the only mutator of dispatcher-owned state.
 func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
 	fin := c.fin
+	if m := c.rt.m; m != nil {
+		m.atDirect.Inc()
+	}
+	if tr := c.rt.tracer; tr != nil {
+		tr.Instant("at.direct", "core", int(c.pl.id),
+			obs.Arg{Key: "dst", Val: int64(p)}, obs.Arg{Key: "bytes", Val: int64(bytes)})
+	}
 	if p == c.pl.id {
 		c.rt.finEvent(fin, c.pl, evLocalSpawn, p, nil, c)
 		wrapped := func(ctx *Ctx) {
@@ -303,6 +336,9 @@ func toError(r any) error {
 // in f is silently discarded after recovery. Inside f, open a Finish
 // before spawning further governed work.
 func (c *Ctx) UncountedAsync(p Place, f func(*Ctx)) {
+	if m := c.rt.m; m != nil {
+		m.uncounted.Inc()
+	}
 	if p == c.pl.id {
 		c.pl.sched.Spawn(func() { runUncounted(c.rt, c.pl, f) })
 		return

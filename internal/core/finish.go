@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"apgas/internal/obs"
 )
 
 // Pattern selects a finish implementation. The X10 runtime of the paper
@@ -136,6 +139,18 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	id := finishID{Home: pl.id, Seq: pl.finSeq.Add(1)}
 	ref := finRef{ID: id, Pattern: p}
 
+	// Observability: one span per finish (begin at entry, end at
+	// quiescence) plus per-pattern count and latency metrics.
+	tr := c.rt.tracer
+	m := c.rt.m
+	var t0 int64
+	var wall time.Time
+	if tr != nil {
+		t0 = tr.Now()
+	} else if m != nil {
+		wall = time.Now()
+	}
+
 	var root rootFinish
 	switch p {
 	case PatternDefault:
@@ -177,6 +192,18 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	delete(pl.roots, id)
 	pl.finMu.Unlock()
 
+	if tr != nil {
+		tr.Complete("finish."+p.metricKey(), "finish", int(pl.id), tr.NextID(), t0)
+	}
+	if m != nil {
+		m.finishCount[p].Inc()
+		if tr != nil {
+			m.finishUs[p].Observe(uint64((tr.Now() - t0) / 1e3))
+		} else {
+			m.finishUs[p].Observe(uint64(time.Since(wall).Microseconds()))
+		}
+	}
+
 	return combineErrors(bodyErr, err)
 }
 
@@ -217,6 +244,12 @@ func (rt *Runtime) finEvent(fin finRef, pl *place, kind finEventKind, other Plac
 // onFinishCtl is the transport handler for finish-protocol control traffic.
 func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
 	pl := rt.places[dst]
+	if m := rt.m; m != nil {
+		m.ctlRecv.Inc()
+	}
+	if tr := rt.tracer; tr != nil {
+		tr.Instant("finish.ctl", "finish", dst, obs.Arg{Key: "src", Val: int64(src)})
+	}
 	switch m := payload.(type) {
 	case ctlRouted:
 		rt.routeDense(pl, m)

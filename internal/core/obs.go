@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"apgas/internal/obs"
+)
+
+// This file wires the runtime into the unified observability layer
+// (internal/obs). Instrumentation discipline: the runtime holds a nil
+// *runtimeMetrics and nil *obs.Tracer when observability is disabled, so
+// every instrumented hot path pays exactly one pointer load and branch.
+
+// metricKey returns the lowercase registry segment for a pattern
+// ("spmd" for FINISH_SPMD, and so on).
+func (p Pattern) metricKey() string {
+	switch p {
+	case PatternDefault:
+		return "default"
+	case PatternAsync:
+		return "async"
+	case PatternHere:
+		return "here"
+	case PatternLocal:
+		return "local"
+	case PatternSPMD:
+		return "spmd"
+	case PatternDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("pattern%d", uint8(p))
+	}
+}
+
+// runtimeMetrics are the core runtime's registry handles: per-pattern
+// finish counts and latency histograms, activity spawn kinds, and
+// finish-protocol control traffic observed at receiving places.
+type runtimeMetrics struct {
+	finishCount [numPatterns]*obs.Counter   // finish.<pattern>.count
+	finishUs    [numPatterns]*obs.Histogram // finish.<pattern>.us
+	asyncLocal  *obs.Counter                // core.async.local
+	asyncRemote *obs.Counter                // core.async.remote
+	atDirect    *obs.Counter                // core.at.direct
+	uncounted   *obs.Counter                // core.async.uncounted
+	ctlRecv     *obs.Counter                // finish.ctl.recv
+}
+
+func newRuntimeMetrics(r *obs.Registry) *runtimeMetrics {
+	m := &runtimeMetrics{
+		asyncLocal:  r.Counter("core.async.local"),
+		asyncRemote: r.Counter("core.async.remote"),
+		atDirect:    r.Counter("core.at.direct"),
+		uncounted:   r.Counter("core.async.uncounted"),
+		ctlRecv:     r.Counter("finish.ctl.recv"),
+	}
+	for p := Pattern(0); p < numPatterns; p++ {
+		key := p.metricKey()
+		m.finishCount[p] = r.Counter("finish." + key + ".count")
+		m.finishUs[p] = r.Histogram("finish." + key + ".us")
+	}
+	return m
+}
+
+// Obs returns the observability layer this runtime reports into, or nil
+// when observability is disabled.
+func (rt *Runtime) Obs() *obs.Obs { return rt.obs }
+
+// Tracer returns the event tracer, or nil when tracing is disabled.
+// Extension layers (glb, collectives) use it to record their spans next
+// to the runtime's.
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }

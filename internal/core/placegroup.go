@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"apgas/internal/obs"
+)
 
 // PlaceGroup is an ordered set of places, as provided by the X10
 // PlaceGroup library of §3.2. Its Broadcast distributes an activity to
@@ -78,6 +82,10 @@ func (g PlaceGroup) IndexOf(p Place) int {
 func (g PlaceGroup) Broadcast(c *Ctx, body func(*Ctx)) error {
 	if len(g.places) == 0 {
 		return fmt.Errorf("core: broadcast on empty group")
+	}
+	if tr := c.rt.tracer; tr != nil {
+		defer tr.Complete("broadcast", "core", int(c.pl.id), tr.NextID(), tr.Now(),
+			obs.Arg{Key: "places", Val: int64(len(g.places))})
 	}
 	arity := c.rt.cfg.BroadcastArity
 	// Rotate the group so the tree root is the calling place when it is

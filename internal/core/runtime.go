@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"apgas/internal/obs"
 	"apgas/internal/sched"
 	"apgas/internal/x10rt"
 )
@@ -60,6 +61,12 @@ type Config struct {
 	// The general patterns (FINISH_DEFAULT, FINISH_DENSE) accept any
 	// program. Default on; disable only in benchmarks.
 	CheckPatterns bool
+
+	// Obs attaches an observability layer (metrics registry and optional
+	// tracer) to the runtime. When nil, the process-wide obs.Global() is
+	// used; when that too is nil, observability is disabled and the
+	// instrumented paths cost a single nil check each.
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults() error {
@@ -87,6 +94,11 @@ type Runtime struct {
 	locals    *localRegistry
 	closeOnce sync.Once
 	closed    atomic.Bool
+
+	// observability (all nil when disabled; see obs.go)
+	obs    *obs.Obs
+	tracer *obs.Tracer
+	m      *runtimeMetrics
 }
 
 // place is the per-place state: scheduler, finish bookkeeping, object
@@ -128,6 +140,15 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg, locals: newLocalRegistry(cfg.Places)}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.Global()
+	}
+	if o != nil {
+		rt.obs = o
+		rt.tracer = o.Trace
+		rt.m = newRuntimeMetrics(o.Metrics)
+	}
 	if cfg.Transport != nil {
 		if cfg.Transport.NumPlaces() != cfg.Places {
 			return nil, fmt.Errorf("core: transport has %d places, config wants %d",
@@ -142,6 +163,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.tr = tr
 		rt.ownsTr = true
 	}
+	if rt.obs != nil {
+		if ms, ok := rt.tr.(x10rt.MetricSource); ok {
+			ms.AttachMetrics(rt.obs.Metrics)
+		}
+	}
 	rt.places = make([]*place, cfg.Places)
 	for i := range rt.places {
 		pl := &place{
@@ -154,6 +180,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			clocks:  make(map[uint64]*clockState),
 		}
 		pl.monCond = sync.NewCond(&pl.monMu)
+		if rt.obs != nil {
+			pl.sched.AttachMetrics(rt.obs.Metrics, fmt.Sprintf("sched.p%d", i))
+		}
 		rt.places[i] = pl
 	}
 	if err := rt.tr.Register(x10rt.HandlerSpawn, rt.onSpawn); err != nil {

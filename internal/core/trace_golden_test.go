@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"apgas/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestFinishSPMDTraceGolden runs a small FINISH_SPMD program under the
+// tracer and checks the recorded events against a golden file. Timing
+// fields (ts, dur, tid) are nondeterministic and therefore normalized
+// away; what the golden file pins down is the event population — which
+// spans and instants the runtime emits, at which places, with which
+// arguments.
+func TestFinishSPMDTraceGolden(t *testing.T) {
+	const places = 4
+	o := obs.NewTracing()
+	rt, err := NewRuntime(Config{Places: places, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	err = rt.Run(func(c *Ctx) {
+		err := c.FinishPragma(PatternSPMD, func(ctx *Ctx) {
+			for p := 1; p < places; p++ {
+				ctx.AtAsync(Place(p), func(*Ctx) {})
+			}
+			ctx.Async(func(*Ctx) {})
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exported JSON must be a valid Chrome trace_event document.
+	var buf bytes.Buffer
+	o.Trace.WriteChrome(&buf)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteChrome produced invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("WriteChrome produced no events")
+	}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %v lacks dur", ev["name"])
+			}
+		case "i":
+			if ev["s"] != "p" {
+				t.Errorf("instant event %v has scope %v, want p", ev["name"], ev["s"])
+			}
+		default:
+			t.Errorf("unexpected phase %v on %v", ev["ph"], ev["name"])
+		}
+	}
+
+	got := normalizeEvents(o.Trace.Events())
+	goldenPath := filepath.Join("testdata", "finish_spmd_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace events diverge from golden (run with -update to regenerate)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// normalizeEvents renders events one per line with timing stripped,
+// sorted, so the comparison is insensitive to scheduling order.
+func normalizeEvents(events []obs.Event) string {
+	lines := make([]string, 0, len(events))
+	for _, e := range events {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%c %s cat=%s pid=%d", e.Ph, e.Name, e.Cat, e.Pid)
+		for _, a := range e.Args {
+			fmt.Fprintf(&sb, " %s=%d", a.Key, a.Val)
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

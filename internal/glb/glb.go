@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"apgas/internal/core"
+	"apgas/internal/obs"
 )
 
 // TaskBag is the work container a Balancer operates on (GLB's TaskQueue).
@@ -112,6 +113,21 @@ type Balancer struct {
 	rt     *core.Runtime
 	cfg    Config
 	states []*placeState
+
+	// observability (nil handles when the runtime has no obs layer)
+	tr *obs.Tracer
+	m  balancerMetrics
+}
+
+// balancerMetrics mirrors the per-place Stats counters into the metrics
+// registry live, under glb.*. Handles are nil (no-op) when disabled.
+type balancerMetrics struct {
+	processed          *obs.Counter // glb.processed
+	stealAttempts      *obs.Counter // glb.steal.attempts
+	stealSuccesses     *obs.Counter // glb.steal.successes
+	lifelineRequests   *obs.Counter // glb.lifeline.requests
+	lifelineDeliveries *obs.Counter // glb.lifeline.deliveries
+	resuscitations     *obs.Counter // glb.resuscitations
 }
 
 // placeState is the per-place side of the protocol.
@@ -135,6 +151,18 @@ func New(rt *core.Runtime, cfg Config, makeBag func(core.Place) TaskBag) *Balanc
 	n := rt.NumPlaces()
 	cfg.applyDefaults(n)
 	b := &Balancer{rt: rt, cfg: cfg, states: make([]*placeState, n)}
+	b.tr = rt.Tracer()
+	// Registry handles are nil-safe no-ops when the runtime carries no
+	// observability layer (obs.Registry's methods accept a nil receiver).
+	reg := rt.Obs().Registry()
+	b.m = balancerMetrics{
+		processed:          reg.Counter("glb.processed"),
+		stealAttempts:      reg.Counter("glb.steal.attempts"),
+		stealSuccesses:     reg.Counter("glb.steal.successes"),
+		lifelineRequests:   reg.Counter("glb.lifeline.requests"),
+		lifelineDeliveries: reg.Counter("glb.lifeline.deliveries"),
+		resuscitations:     reg.Counter("glb.resuscitations"),
+	}
 	rng := newSplitMix(uint64(cfg.Seed))
 	for p := 0; p < n; p++ {
 		b.states[p] = &placeState{
@@ -197,6 +225,7 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 			st.mu.Lock()
 			n := st.bag.Process(b.cfg.Quantum)
 			st.stats.Processed += int64(n)
+			b.m.processed.Add(uint64(n))
 			if n > 0 {
 				b.serveLifelinesLocked(ctx, st)
 			}
@@ -238,9 +267,14 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 			}
 		}
 		st.stats.LifelineRequests += int64(len(requests))
+		b.m.lifelineRequests.Add(uint64(len(requests)))
 		st.mu.Unlock()
 		me := ctx.Place()
 		for _, l := range requests {
+			if b.tr != nil {
+				b.tr.Instant("glb.lifeline.request", "glb", int(me),
+					obs.Arg{Key: "lifeline", Val: int64(l)})
+			}
 			b.sendLifelineRequest(ctx, me, l)
 		}
 		return
@@ -254,8 +288,15 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 	st.mu.Lock()
 	st.stats.StealAttempts++
 	st.mu.Unlock()
+	b.m.stealAttempts.Inc()
 
 	home := ctx.Place()
+	// The steal round-trip is one span at the thief: FINISH_HERE request
+	// out, response (loot or refusal) back.
+	var t0 int64
+	if b.tr != nil {
+		t0 = b.tr.Now()
+	}
 	var loot TaskBag
 	vs := b.states[victim]
 	err := ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
@@ -274,6 +315,14 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 	if err != nil {
 		panic(fmt.Sprintf("glb: steal attempt failed: %v", err))
 	}
+	if b.tr != nil {
+		ok := int64(0)
+		if loot != nil {
+			ok = 1
+		}
+		b.tr.Complete("glb.steal", "glb", int(home), b.tr.NextID(), t0,
+			obs.Arg{Key: "victim", Val: int64(victim)}, obs.Arg{Key: "ok", Val: ok})
+	}
 	if loot == nil {
 		return false
 	}
@@ -281,6 +330,7 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 	st.bag.Merge(loot)
 	st.stats.StealSuccesses++
 	st.mu.Unlock()
+	b.m.stealSuccesses.Inc()
 	return true
 }
 
@@ -302,6 +352,7 @@ func (b *Balancer) sendLifelineRequest(ctx *core.Ctx, thief, l core.Place) {
 		}
 		ls.stats.LifelineDeliveries++
 		ls.mu.Unlock()
+		b.m.lifelineDeliveries.Inc()
 		b.deliver(cl, thief, loot)
 	})
 }
@@ -316,6 +367,7 @@ func (b *Balancer) serveLifelinesLocked(ctx *core.Ctx, st *placeState) {
 		}
 		delete(st.lifelineReqs, thief)
 		st.stats.LifelineDeliveries++
+		b.m.lifelineDeliveries.Inc()
 		b.deliver(ctx, thief, loot)
 	}
 }
@@ -338,6 +390,8 @@ func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
 		}
 		ts.mu.Unlock()
 		if revive {
+			b.m.resuscitations.Inc()
+			b.tr.Instant("glb.resuscitate", "glb", int(thief))
 			ct.Async(func(cw *core.Ctx) { b.worker(cw, ts) })
 		}
 	})

@@ -39,6 +39,7 @@ func Fig1HPL(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := hpl.Run(rt, hpl.Config{N: n, NB: nb, Seed: 7})
 		rt.Close()
 		if err != nil {
@@ -51,7 +52,7 @@ func Fig1HPL(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: res.Gflops,
 			PerUnit:   res.Gflops / float64(places),
-			Note:      fmt.Sprintf("N=%d grid=%dx%d resid=%.2g", n, res.P, res.Q, res.Residual),
+			Note:      fmt.Sprintf("N=%d grid=%dx%d resid=%.2g", n, res.P, res.Q, res.Residual) + obsNote(),
 		})
 	}
 	return out, nil
@@ -71,6 +72,7 @@ func Fig1FFT(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := fftbench.Run(rt, fftbench.Config{Log2N: log2n, Seed: 5})
 		rt.Close()
 		if err != nil {
@@ -83,7 +85,7 @@ func Fig1FFT(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: res.Gflops,
 			PerUnit:   res.Gflops / float64(places),
-			Note:      fmt.Sprintf("N=2^%d err=%.2g", log2n, res.MaxErr),
+			Note:      fmt.Sprintf("N=2^%d err=%.2g", log2n, res.MaxErr) + obsNote(),
 		})
 	}
 	return out, nil
@@ -102,6 +104,7 @@ func Fig1RandomAccess(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := randomaccess.Run(rt, randomaccess.Config{Log2TablePerPlace: logPer})
 		rt.Close()
 		if err != nil {
@@ -111,7 +114,7 @@ func Fig1RandomAccess(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: res.GUPs,
 			PerUnit:   res.GUPs / float64(places),
-			Note:      fmt.Sprintf("table=%d words", res.TableWords),
+			Note:      fmt.Sprintf("table=%d words", res.TableWords) + obsNote(),
 		})
 	}
 	return out, nil
@@ -128,6 +131,7 @@ func Fig1Stream(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := stream.Run(rt, stream.Config{WordsPerPlace: words, Iterations: iters})
 		rt.Close()
 		if err != nil {
@@ -140,7 +144,7 @@ func Fig1Stream(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: res.GBs,
 			PerUnit:   res.GBsPerPlace,
-			Note:      fmt.Sprintf("%d words/place", words),
+			Note:      fmt.Sprintf("%d words/place", words) + obsNote(),
 		})
 	}
 	return out, nil
@@ -159,6 +163,7 @@ func Fig1UTS(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := uts.Run(rt, uts.Config{
 			Tree: tree,
 			GLB:  glb.Config{DenseFinish: true},
@@ -176,7 +181,7 @@ func Fig1UTS(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: rate,
 			PerUnit:   rate / float64(places),
-			Note:      fmt.Sprintf("depth=%d nodes=%d steals=%d", depth, res.Nodes, res.Stats.StealSuccesses),
+			Note:      fmt.Sprintf("depth=%d nodes=%d steals=%d", depth, res.Nodes, res.Stats.StealSuccesses) + obsNote(),
 		})
 	}
 	return out, nil
@@ -193,6 +198,7 @@ func Fig1KMeans(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := kmeans.Run(rt, kmeans.Config{
 			PointsPerPlace: pts, Clusters: k, Dim: 12, Iterations: 5, Seed: 3,
 		})
@@ -204,7 +210,7 @@ func Fig1KMeans(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: res.Seconds,
 			PerUnit:   float64(places) / res.Seconds,
-			Note:      fmt.Sprintf("distortion=%.4f", res.Distortion),
+			Note:      fmt.Sprintf("distortion=%.4f", res.Distortion) + obsNote(),
 		})
 	}
 	return out, nil
@@ -221,6 +227,7 @@ func Fig1SW(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := sw.Run(rt, sw.Config{
 			QueryLen: qlen, TargetPerPlace: target, Iterations: 2, Seed: 13,
 		})
@@ -232,7 +239,7 @@ func Fig1SW(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: res.Seconds,
 			PerUnit:   float64(places) / res.Seconds,
-			Note:      fmt.Sprintf("best=%d", res.BestScore),
+			Note:      fmt.Sprintf("best=%d", res.BestScore) + obsNote(),
 		})
 	}
 	return out, nil
@@ -256,6 +263,7 @@ func Fig1BC(s Scale) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := bc.Run(rt, bc.Config{
 			Graph:    rmat.Params{Scale: scale, EdgeFactor: 8, Seed: 17},
 			Sources:  sources,
@@ -270,7 +278,7 @@ func Fig1BC(s Scale) (Series, error) {
 			Places:    places,
 			Aggregate: rate,
 			PerUnit:   rate / float64(places),
-			Note:      fmt.Sprintf("2^%d vertices, %d edges", scale, res.Edges),
+			Note:      fmt.Sprintf("2^%d vertices, %d edges", scale, res.Edges) + obsNote(),
 		})
 	}
 	return out, nil
@@ -290,6 +298,7 @@ func TeamModeSeries(s Scale, mode collectives.Mode) (Series, error) {
 		if err != nil {
 			return out, err
 		}
+		obsNote := metricsNote(rt)
 		res, err := kmeansLikeAllReduce(rt, mode, words, reps)
 		rt.Close()
 		if err != nil {
@@ -299,7 +308,7 @@ func TeamModeSeries(s Scale, mode collectives.Mode) (Series, error) {
 			Places:    places,
 			Aggregate: res.opsPerSec,
 			PerUnit:   res.mbPerSecPerPlace,
-			Note:      fmt.Sprintf("%d f64/op", words),
+			Note:      fmt.Sprintf("%d f64/op", words) + obsNote(),
 		})
 	}
 	return out, nil

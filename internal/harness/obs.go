@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"apgas/internal/core"
+)
+
+// metricsNote snapshots the runtime's metrics registry and returns a
+// function rendering the deltas accumulated since as a Note suffix for a
+// table Point. With observability disabled (no registry attached to the
+// runtime) both the snapshot and the rendered suffix are empty, so
+// experiment tables look exactly as before.
+//
+// Call it right after building the runtime — the runtime's constructor is
+// what (re-)registers the transport and scheduler counters, so a snapshot
+// taken earlier would not cover them.
+func metricsNote(rt *core.Runtime) func() string {
+	reg := rt.Obs().Registry()
+	if reg == nil {
+		return func() string { return "" }
+	}
+	before := reg.Snapshot()
+	return func() string {
+		delta := reg.Snapshot().Sub(before)
+		var msgs, bytes, spawned uint64
+		for name, v := range delta {
+			switch {
+			case strings.HasPrefix(name, "x10rt.msgs."):
+				msgs += v.Count
+			case strings.HasPrefix(name, "x10rt.bytes."):
+				bytes += v.Count
+			case strings.HasPrefix(name, "sched.") && strings.HasSuffix(name, ".spawned"):
+				spawned += v.Count
+			}
+		}
+		return fmt.Sprintf(" | msgs=%d bytes=%d acts=%d", msgs, bytes, spawned)
+	}
+}

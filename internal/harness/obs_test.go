@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"apgas/internal/core"
+	"apgas/internal/obs"
+	"apgas/internal/x10rt"
+)
+
+// TestMetricsNoteMatchesTransportStats checks that the obs registry's
+// x10rt.* deltas agree exactly with the transport's own Stats counters —
+// the registry adopts the transport's live counters rather than keeping a
+// second set, so any divergence means double counting.
+func TestMetricsNoteMatchesTransportStats(t *testing.T) {
+	o := obs.New()
+	rt, err := core.NewRuntime(core.Config{Places: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	before := o.Metrics.Snapshot()
+	statsBefore := rt.Transport().Stats()
+	note := metricsNote(rt)
+
+	err = rt.Run(func(c *core.Ctx) {
+		g := core.WorldGroup(rt)
+		if err := g.Broadcast(c, func(*core.Ctx) {}); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := o.Metrics.Snapshot().Sub(before)
+	statsDelta := rt.Transport().Stats().Sub(statsBefore)
+
+	var msgs, bytes uint64
+	for i := 0; i < 3; i++ {
+		cls := x10rt.Class(i).String()
+		if got, want := delta.Counter("x10rt.msgs."+cls), statsDelta.Messages[i]; got != want {
+			t.Errorf("x10rt.msgs.%s: registry delta %d, transport stats %d", cls, got, want)
+		}
+		if got, want := delta.Counter("x10rt.bytes."+cls), statsDelta.Bytes[i]; got != want {
+			t.Errorf("x10rt.bytes.%s: registry delta %d, transport stats %d", cls, got, want)
+		}
+		msgs += statsDelta.Messages[i]
+		bytes += statsDelta.Bytes[i]
+	}
+	if msgs == 0 {
+		t.Fatal("broadcast over 4 places moved no messages; test is vacuous")
+	}
+
+	suffix := note()
+	want := fmt.Sprintf("msgs=%d bytes=%d", msgs, bytes)
+	if !strings.Contains(suffix, want) {
+		t.Errorf("metricsNote suffix %q does not contain %q", suffix, want)
+	}
+}
+
+// TestMetricsNoteDisabled checks the suffix is empty without observability.
+func TestMetricsNoteDisabled(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got := metricsNote(rt)(); got != "" {
+		t.Errorf("metricsNote on an unobserved runtime = %q, want empty", got)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one trace record: a complete span (Ph 'X', with duration) or
+// an instant (Ph 'i'). Pid is the place the event happened at; Tid
+// separates concurrent spans of one place (each activity gets its own
+// lane) so Chrome's renderer never has to nest overlapping spans.
+type Event struct {
+	Name string
+	Cat  string
+	Ph   byte
+	TS   int64 // nanoseconds since tracer start
+	Dur  int64 // nanoseconds; spans only
+	Pid  int
+	Tid  uint64
+	Args []Arg
+}
+
+// Arg is one key/value annotation on an event (src/dst places, byte
+// counts, success flags as 0/1).
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// traceShards bounds lock contention: events append into the shard of
+// their place modulo this count.
+const traceShards = 16
+
+type traceShard struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Tracer records runtime lifecycle events. All methods are safe for
+// concurrent use and nil-receiver safe: a nil *Tracer is the disabled
+// tracer, and every method on it is a cheap no-op, so instrumentation
+// sites need only guard the work of *gathering* arguments.
+type Tracer struct {
+	start  time.Time
+	shards [traceShards]traceShard
+	ids    atomic.Uint64
+}
+
+// NewTracer creates a tracer; its clock starts now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// Now returns the tracer-relative timestamp in nanoseconds (0 on nil).
+// Capture it at the start of an operation and pass it to Complete.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.start))
+}
+
+// NextID allocates a lane id for a span (0 on nil).
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ids.Add(1)
+}
+
+// Complete records a span that began at start (a value from Now) and
+// ends now.
+func (t *Tracer) Complete(name, cat string, pid int, tid uint64, start int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	now := int64(time.Since(t.start))
+	t.add(Event{Name: name, Cat: cat, Ph: 'X', TS: start, Dur: now - start,
+		Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant records a zero-duration event happening now.
+func (t *Tracer) Instant(name, cat string, pid int, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Cat: cat, Ph: 'i', TS: int64(time.Since(t.start)),
+		Pid: pid, Args: args})
+}
+
+func (t *Tracer) add(e Event) {
+	s := &t.shards[e.Pid%traceShards]
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events sorted by timestamp.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// chromeEvent is the Chrome trace_event JSON shape (catapult
+// trace-event format). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  *float64         `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  uint64           `json:"tid"`
+	S    string           `json:"s,omitempty"` // instant scope
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Places map to processes
+// (pid), activity lanes to threads (tid).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   string(e.Ph),
+			TS:   float64(e.TS) / 1e3,
+			Pid:  e.Pid,
+			Tid:  e.Tid,
+		}
+		if e.Ph == 'X' {
+			dur := float64(e.Dur) / 1e3
+			ce.Dur = &dur
+		}
+		if e.Ph == 'i' {
+			ce.S = "p" // process-scoped instant
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]int64, len(e.Args))
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeFile writes the Chrome trace_event JSON to path.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteSummary renders a plain-text per-event-name summary: occurrence
+// counts and, for spans, total and mean duration.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	type agg struct {
+		count int
+		dur   time.Duration
+		spans int
+	}
+	byName := make(map[string]*agg)
+	for _, e := range t.Events() {
+		a, ok := byName[e.Name]
+		if !ok {
+			a = &agg{}
+			byName[e.Name] = a
+		}
+		a.count++
+		if e.Ph == 'X' {
+			a.spans++
+			a.dur += time.Duration(e.Dur)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-28s %8s %14s %14s\n", "event", "count", "total", "mean")
+	for _, name := range names {
+		a := byName[name]
+		if a.spans == 0 {
+			fmt.Fprintf(w, "%-28s %8d %14s %14s\n", name, a.count, "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %8d %14s %14s\n", name, a.count,
+			a.dur.Round(time.Microsecond), (a.dur / time.Duration(a.spans)).Round(time.Nanosecond))
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpansAndChromeExport(t *testing.T) {
+	tr := NewTracer()
+	t0 := tr.Now()
+	tr.Complete("finish.spmd", "finish", 0, tr.NextID(), t0, Arg{"places", 4})
+	tr.Instant("at.async", "core", 1, Arg{"dst", 2}, Arg{"bytes", 64})
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	raw := sb.String()
+	if !json.Valid([]byte(raw)) {
+		t.Fatalf("exported trace is not valid JSON:\n%s", raw)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TS   float64          `json:"ts"`
+			Dur  *float64         `json:"dur"`
+			Pid  int              `json:"pid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(raw), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("chrome events = %d, want 2", len(parsed.TraceEvents))
+	}
+	span := parsed.TraceEvents[0]
+	if span.Name != "finish.spmd" || span.Ph != "X" || span.Dur == nil || *span.Dur < 0 {
+		t.Fatalf("bad span event: %+v", span)
+	}
+	if span.Args["places"] != 4 {
+		t.Fatalf("span args = %v", span.Args)
+	}
+	inst := parsed.TraceEvents[1]
+	if inst.Name != "at.async" || inst.Ph != "i" || inst.Pid != 1 || inst.Args["dst"] != 2 {
+		t.Fatalf("bad instant event: %+v", inst)
+	}
+}
+
+func TestTracerConcurrentAndSummary(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for pid := 0; pid < 32; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				t0 := tr.Now()
+				tr.Complete("async", "activity", pid, tr.NextID(), t0)
+				tr.Instant("hop", "core", pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	events := tr.Events()
+	if len(events) != 32*50*2 {
+		t.Fatalf("got %d events, want %d", len(events), 32*50*2)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i-1].TS > events[i].TS {
+			t.Fatal("events not sorted by timestamp")
+		}
+	}
+	var sb strings.Builder
+	tr.WriteSummary(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "async") || !strings.Contains(out, "1600") {
+		t.Fatalf("summary missing aggregates:\n%s", out)
+	}
+}
+
+func TestGlobalObs(t *testing.T) {
+	if Global() != nil {
+		t.Fatal("global obs should start nil")
+	}
+	o := NewTracing()
+	SetGlobal(o)
+	defer SetGlobal(nil)
+	if Global() != o {
+		t.Fatal("SetGlobal/Global mismatch")
+	}
+	if o.Tracer() == nil || o.Registry() == nil {
+		t.Fatal("tracing obs must expose tracer and registry")
+	}
+	var nilObs *Obs
+	if nilObs.Tracer() != nil || nilObs.Registry() != nil {
+		t.Fatal("nil obs accessors must return nil")
+	}
+}

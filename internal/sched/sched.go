@@ -16,7 +16,8 @@ package sched
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"apgas/internal/obs"
 )
 
 // Scheduler throttles the activities of one place.
@@ -24,8 +25,13 @@ type Scheduler struct {
 	slots   chan struct{}
 	workers int
 
-	spawned   atomic.Uint64
-	completed atomic.Uint64
+	// spawned/completed are always-on obs counters; Stats is a thin view
+	// over them, and AttachMetrics surfaces them in a registry by name.
+	spawned   obs.Counter
+	completed obs.Counter
+	// blocked tracks activities currently parked in Block/Blocking. It is
+	// nil until AttachMetrics, so the disabled path costs one nil check.
+	blocked *obs.Gauge
 
 	quiet sync.WaitGroup // tracks in-flight activities for draining
 }
@@ -44,6 +50,19 @@ func New(workers int) *Scheduler {
 
 // Workers returns the number of execution slots.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// AttachMetrics registers this scheduler's counters in r under
+// prefix.spawned, prefix.completed, and prefix.slots.blocked (e.g.
+// "sched.p3.slots.blocked" for place 3). Call before the scheduler runs
+// activities; attaching is not synchronized with the hot paths.
+func (s *Scheduler) AttachMetrics(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.RegisterCounter(prefix+".spawned", &s.spawned)
+	r.RegisterCounter(prefix+".completed", &s.completed)
+	s.blocked = r.Gauge(prefix + ".slots.blocked")
+}
 
 // Spawn runs f as a new activity: a goroutine that first acquires an
 // execution slot, runs f, and releases the slot. Spawn itself never blocks.
@@ -75,10 +94,16 @@ func (s *Scheduler) Run(f func()) {
 // Block releases the calling activity's execution slot so another activity
 // can run while this one waits. It must be paired with Unblock, and must
 // only be called from inside an activity started by Spawn or Run.
-func (s *Scheduler) Block() { <-s.slots }
+func (s *Scheduler) Block() {
+	<-s.slots
+	s.blocked.Add(1)
+}
 
 // Unblock re-acquires an execution slot after Block.
-func (s *Scheduler) Unblock() { s.slots <- struct{}{} }
+func (s *Scheduler) Unblock() {
+	s.blocked.Add(-1)
+	s.slots <- struct{}{}
+}
 
 // Blocking runs wait() with the activity's slot released: the canonical
 // wrapper for runtime operations that suspend an activity.
@@ -89,8 +114,9 @@ func (s *Scheduler) Blocking(wait func()) {
 }
 
 // Stats reports the cumulative number of activities spawned and completed.
+// It is a compatibility view over the obs counters AttachMetrics exposes.
 func (s *Scheduler) Stats() (spawned, completed uint64) {
-	return s.spawned.Load(), s.completed.Load()
+	return s.spawned.Value(), s.completed.Value()
 }
 
 // Drain waits until every activity spawned so far has completed. It is a

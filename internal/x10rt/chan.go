@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"apgas/internal/obs"
 )
 
 // ChanOptions configures an in-process ChanTransport.
@@ -217,6 +219,10 @@ func (t *ChanTransport) Quiesce() {
 
 // Stats implements Transport.
 func (t *ChanTransport) Stats() Stats { return t.ctrs.snapshot() }
+
+// AttachMetrics implements MetricSource: the traffic counters become
+// visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>.
+func (t *ChanTransport) AttachMetrics(r *obs.Registry) { t.ctrs.attach(r) }
 
 // Close implements Transport.
 func (t *ChanTransport) Close() error {

@@ -1,6 +1,10 @@
 package x10rt
 
-import "sync"
+import (
+	"sync"
+
+	"apgas/internal/obs"
+)
 
 // CountingTransport decorates a Transport with per-link accounting:
 // message counts per (src, dst, class) link. The finish ablation studies
@@ -33,6 +37,15 @@ func (t *CountingTransport) Send(src, dst int, id HandlerID, payload any, bytes 
 	t.links[linkKey{src, dst, class}]++
 	t.mu.Unlock()
 	return nil
+}
+
+// AttachMetrics forwards to the wrapped transport when it is a
+// MetricSource, so decorating with CountingTransport does not hide the
+// inner transport's registry integration.
+func (t *CountingTransport) AttachMetrics(r *obs.Registry) {
+	if ms, ok := t.Transport.(MetricSource); ok {
+		ms.AttachMetrics(r)
+	}
 }
 
 // Reset clears the per-link counters.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"apgas/internal/obs"
 )
 
 // TCPOptions configures one endpoint of a TCPTransport mesh.
@@ -217,6 +219,10 @@ func (t *TCPTransport) selfDispatch() {
 // Stats implements Transport. Counters cover messages sent from and
 // received at this endpoint (self-sends are counted once).
 func (t *TCPTransport) Stats() Stats { return t.ctrs.snapshot() }
+
+// AttachMetrics implements MetricSource: the traffic counters become
+// visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>.
+func (t *TCPTransport) AttachMetrics(r *obs.Registry) { t.ctrs.attach(r) }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {

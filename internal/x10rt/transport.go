@@ -24,7 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"apgas/internal/obs"
 )
 
 // Handler is an active-message handler. It runs on the destination place's
@@ -161,24 +162,45 @@ func (s Stats) String() string {
 		s.Messages[CollectiveClass], s.Bytes[CollectiveClass])
 }
 
-// counters accumulates traffic statistics with atomic updates.
+// MetricSource is implemented by transports whose traffic counters can
+// be surfaced in an obs.Registry. The runtime attaches the registry of
+// its observability layer at construction time; the counters themselves
+// are always on, so Stats remains a plain view over the same atomics —
+// attaching adds names, not cost.
+type MetricSource interface {
+	AttachMetrics(r *obs.Registry)
+}
+
+// counters accumulates traffic statistics with atomic updates. The cells
+// are obs.Counters so a registry can adopt them by name; x10rt.Stats is
+// then a compatibility view over the same registered metrics.
 type counters struct {
-	msgs  [numClasses]atomic.Uint64
-	bytes [numClasses]atomic.Uint64
+	msgs  [numClasses]obs.Counter
+	bytes [numClasses]obs.Counter
 }
 
 func (c *counters) add(class Class, bytes int) {
-	c.msgs[class].Add(1)
+	c.msgs[class].Inc()
 	c.bytes[class].Add(uint64(bytes))
 }
 
 func (c *counters) snapshot() Stats {
 	var s Stats
 	for i := 0; i < int(numClasses); i++ {
-		s.Messages[i] = c.msgs[i].Load()
-		s.Bytes[i] = c.bytes[i].Load()
+		s.Messages[i] = c.msgs[i].Value()
+		s.Bytes[i] = c.bytes[i].Value()
 	}
 	return s
+}
+
+// attach registers the class counters under the canonical names
+// x10rt.msgs.<class> and x10rt.bytes.<class>.
+func (c *counters) attach(r *obs.Registry) {
+	for i := 0; i < int(numClasses); i++ {
+		cls := Class(i).String()
+		r.RegisterCounter("x10rt.msgs."+cls, &c.msgs[i])
+		r.RegisterCounter("x10rt.bytes."+cls, &c.bytes[i])
+	}
 }
 
 // handlerTable is a registration table shared by transport implementations.
