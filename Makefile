@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench trace experiments examples clean
+.PHONY: all build test race bench trace telemetry experiments examples clean
 
-all: build test race
+all: build test race telemetry
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ bench:
 trace:
 	$(GO) run ./cmd/uts -places 4 -depth 8 -trace /tmp/apgas-uts-trace.json
 	$(GO) run ./cmd/tracecheck /tmp/apgas-uts-trace.json
+
+# Cross-place telemetry smoke: a 4-place run under the Power 775 latency
+# model whose aggregated message counts must equal the sum of the four
+# per-place transport stats (the binary exits nonzero on mismatch), plus
+# a flight-recorder dump validated by tracecheck.
+telemetry:
+	$(GO) run ./cmd/apgas-bench -exp telemetry -places 4 -netsim -metrics-all \
+		-flight-dump /tmp/apgas-flight.jsonl
+	$(GO) run ./cmd/tracecheck /tmp/apgas-flight.jsonl
 
 # Regenerate every table and figure at laptop scale.
 experiments:

@@ -13,7 +13,9 @@
 //	apgas-bench -exp list                        # enumerate experiments
 //	apgas-bench -exp uts -metrics                # metrics snapshot on stderr
 //	apgas-bench -exp uts -trace /tmp/uts.json    # Chrome trace_event JSON
-//	apgas-bench -exp all -debug-addr :6060       # pprof + expvar while running
+//	apgas-bench -exp all -debug-addr :6060       # pprof + expvar + /telemetry while running
+//	apgas-bench -places 4 -metrics-all           # cross-place merged metrics table
+//	apgas-bench -exp telemetry -netsim           # telemetry smoke under the 775 model
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"apgas/internal/collectives"
 	"apgas/internal/harness"
 	"apgas/internal/obs"
+	"apgas/internal/telemetry"
 )
 
 func main() {
@@ -39,8 +42,24 @@ func main() {
 	metrics := flag.Bool("metrics", false,
 		"attach metric deltas to experiment tables and print a snapshot to stderr at exit")
 	debugAddr := flag.String("debug-addr", "",
-		"serve net/http/pprof and expvar (incl. the metrics registry) on this address, e.g. localhost:6060")
+		"serve net/http/pprof, expvar, and /telemetry on this address, e.g. localhost:6060")
+	places := flag.Int("places", 4, "places for the telemetry run (-exp telemetry)")
+	metricsAll := flag.Bool("metrics-all", false,
+		"run the telemetry workload and print the merged cross-place metrics table "+
+			"(sum, min@place, max@place, per-place)")
+	useNetsim := flag.Bool("netsim", false,
+		"telemetry run: inject Power 775-model latency into the transport")
+	watchdog := flag.Duration("watchdog", 0,
+		"telemetry run: enable the finish stall watchdog with this window (0 = off)")
+	flightDump := flag.String("flight-dump", "",
+		"telemetry run: write the flight recorder (JSON Lines) to this file at exit")
 	flag.Parse()
+
+	// -metrics-all is a request for the cross-place telemetry view, so it
+	// selects the telemetry workload regardless of -exp.
+	if *metricsAll && *exp == "all" {
+		*exp = "telemetry"
+	}
 
 	var scale harness.Scale
 	switch *scaleFlag {
@@ -68,13 +87,30 @@ func main() {
 		obs.SetGlobal(o)
 	}
 	if *debugAddr != "" {
-		expvar.Publish("apgas", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+		if o != nil {
+			expvar.Publish("apgas", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+		}
+		http.Handle("/telemetry", telemetry.Handler())
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "apgas-bench: debug server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ and /debug/vars\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, and /telemetry\n", *debugAddr)
+	}
+
+	if *exp == "telemetry" {
+		if err := runTelemetry(telemetryOptions{
+			places:     *places,
+			useNetsim:  *useNetsim,
+			metricsAll: *metricsAll,
+			watchdog:   *watchdog,
+			flightDump: *flightDump,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := run(*exp, scale); err != nil {
@@ -103,6 +139,7 @@ var experiments = map[string]string{
 	"table1":       "Table 1: finish-pattern message counts",
 	"table2":       "Table 2: finish-pattern latencies",
 	"netsim":       "Power 775 interconnect model predictions",
+	"telemetry":    "cross-place telemetry smoke: merged metrics vs per-place transport stats",
 	"finish":       "finish-pattern ablation",
 	"broadcast":    "scalable vs sequential broadcast ablation",
 	"uts-ablation": "UTS load-balancer ablation",

@@ -21,6 +21,8 @@ import (
 	"apgas/internal/apps/stream"
 	"apgas/internal/collectives"
 	"apgas/internal/core"
+	"apgas/internal/obs"
+	"apgas/internal/telemetry"
 )
 
 func main() {
@@ -35,17 +37,36 @@ func main() {
 	words := flag.Int("words", 1<<20, "Stream per-place vector length")
 	iters := flag.Int("iters", 10, "Stream iterations")
 	emulated := flag.Bool("emulated", false, "use emulated (point-to-point) collectives")
+	flightDump := flag.String("flight-dump", "",
+		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
 	flag.Parse()
 
 	mode := collectives.ModeNative
 	if *emulated {
 		mode = collectives.ModeEmulated
 	}
-	rt, err := core.NewRuntime(core.Config{Places: *places})
+	// Always-on black box: the flight recorder records regardless, SIGQUIT
+	// prints the finish/flight diagnostic, and a failed run dumps the ring
+	// to stderr (or the -flight-dump file).
+	o := obs.New()
+	var flightFile *os.File
+	flightOut := os.Stderr
+	if *flightDump != "" {
+		var err error
+		flightFile, err = os.Create(*flightDump)
+		if err != nil {
+			fail(err)
+		}
+		defer flightFile.Close()
+		flightOut = flightFile
+	}
+	rt, err := core.NewRuntime(core.Config{Places: *places, Obs: o, FlightDump: flightOut})
 	if err != nil {
 		fail(err)
 	}
 	defer rt.Close()
+	stopSig := telemetry.DumpOnSignal(rt, os.Stderr)
+	defer stopSig()
 
 	kernels := []string{*kernel}
 	if *kernel == "all" {
@@ -53,6 +74,11 @@ func main() {
 	}
 	for _, k := range kernels {
 		runKernel(rt, k, *places, *n, *nb, *gridP, *gridQ, *log2n, *log2table, *words, *iters, mode)
+	}
+	if flightFile != nil {
+		if err := o.FlightRecorder().WriteDump(flightFile); err != nil {
+			fail(err)
+		}
 	}
 }
 

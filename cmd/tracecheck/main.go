@@ -1,30 +1,157 @@
-// Command tracecheck validates a Chrome trace_event JSON file as emitted
-// by the -trace flag of apgas-bench and uts: the file must parse and must
-// contain at least one event with the mandatory fields. It backs the
-// `make trace` sanity target.
+// Command tracecheck validates the two diagnostic file formats the
+// runtime emits:
+//
+//   - Chrome trace_event JSON, written by the -trace flag of apgas-bench
+//     and uts (loadable in chrome://tracing or Perfetto);
+//   - flight recorder dumps (JSON Lines headed by
+//     {"type":"apgas-flight",...}), written by -flight-dump, the stall
+//     watchdog, and failed runs.
+//
+// The format is auto-detected. For flight dumps it checks the structural
+// invariants the recorder guarantees — the header's event count matches
+// the body, "seq" strictly increases (ring order), "ts" never decreases —
+// and exits nonzero naming the offending line and reason. It backs the
+// `make trace` and `make telemetry` sanity targets.
 //
 // Usage:
 //
 //	tracecheck /tmp/apgas-uts-trace.json
+//	tracecheck /tmp/apgas-flight.jsonl
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json | flight.jsonl>")
 		os.Exit(2)
 	}
-	path := os.Args[1]
-	data, err := os.ReadFile(path)
+	summary, err := checkFile(os.Args[1])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Println(summary)
+}
+
+// checkFile validates path as whichever diagnostic format it holds and
+// returns a one-line summary.
+func checkFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	if isFlightDump(data) {
+		n, err := checkFlightDump(data)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", path, err)
+		}
+		return fmt.Sprintf("tracecheck: %s: flight dump, %d events OK", path, n), nil
+	}
+	n, err := checkChromeTrace(data)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return fmt.Sprintf("tracecheck: %s: %d events OK", path, n), nil
+}
+
+// isFlightDump sniffs the first line for the flight dump header.
+func isFlightDump(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	var head struct {
+		Type string `json:"type"`
+	}
+	return json.Unmarshal(line, &head) == nil && head.Type == "apgas-flight"
+}
+
+// checkFlightDump validates a flight recorder JSON Lines dump and returns
+// the number of events. Errors name the 1-based line and the reason.
+func checkFlightDump(data []byte) (int, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return 0, fmt.Errorf("line 1: empty flight dump")
+	}
+	var head struct {
+		Type     string `json:"type"`
+		Version  int    `json:"version"`
+		Events   int    `json:"events"`
+		Recorded uint64 `json:"recorded"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
+		return 0, fmt.Errorf("line 1: bad header: %v", err)
+	}
+	if head.Version != 1 {
+		return 0, fmt.Errorf("line 1: unsupported flight dump version %d", head.Version)
+	}
+	if head.Recorded < uint64(head.Events) || head.Dropped != head.Recorded-uint64(head.Events) {
+		return 0, fmt.Errorf("line 1: inconsistent header: events=%d recorded=%d dropped=%d",
+			head.Events, head.Recorded, head.Dropped)
+	}
+	var (
+		n      int
+		lastSq uint64
+		lastTS int64
+	)
+	for line := 2; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev struct {
+			Seq  uint64           `json:"seq"`
+			TS   int64            `json:"ts"`
+			Dur  int64            `json:"dur"`
+			Ph   string           `json:"ph"`
+			Name string           `json:"name"`
+			Args map[string]int64 `json:"args"`
+		}
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return 0, fmt.Errorf("line %d: bad event JSON: %v", line, err)
+		}
+		if ev.Seq == 0 {
+			return 0, fmt.Errorf("line %d: event seq 0 (unwritten slot leaked into dump)", line)
+		}
+		if n > 0 && ev.Seq <= lastSq {
+			return 0, fmt.Errorf("line %d: seq %d not above previous %d (ring order violated)",
+				line, ev.Seq, lastSq)
+		}
+		if ev.TS < 0 {
+			return 0, fmt.Errorf("line %d: negative timestamp %d", line, ev.TS)
+		}
+		if n > 0 && ev.TS < lastTS {
+			return 0, fmt.Errorf("line %d: timestamp %d before previous %d (not monotonic)",
+				line, ev.TS, lastTS)
+		}
+		if ev.Ph == "" || ev.Name == "" {
+			return 0, fmt.Errorf("line %d: event lacks ph/name", line)
+		}
+		lastSq, lastTS = ev.Seq, ev.TS
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if n != head.Events {
+		return 0, fmt.Errorf("header says %d events, body has %d", head.Events, n)
+	}
+	return n, nil
+}
+
+// checkChromeTrace validates a Chrome trace_event JSON document and
+// returns the number of events.
+func checkChromeTrace(data []byte) (int, error) {
 	var doc struct {
 		TraceEvents []struct {
 			Name string  `json:"name"`
@@ -33,18 +160,15 @@ func main() {
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: invalid JSON: %v\n", path, err)
-		os.Exit(1)
+		return 0, fmt.Errorf("invalid JSON: %v", err)
 	}
 	if len(doc.TraceEvents) == 0 {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: no trace events\n", path)
-		os.Exit(1)
+		return 0, fmt.Errorf("no trace events")
 	}
 	for i, ev := range doc.TraceEvents {
 		if ev.Name == "" || ev.Ph == "" {
-			fmt.Fprintf(os.Stderr, "tracecheck: %s: event %d lacks name/ph\n", path, i)
-			os.Exit(1)
+			return 0, fmt.Errorf("event %d lacks name/ph", i)
 		}
 	}
-	fmt.Printf("tracecheck: %s: %d events OK\n", path, len(doc.TraceEvents))
+	return len(doc.TraceEvents), nil
 }

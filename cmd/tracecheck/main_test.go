@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"apgas/internal/obs"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestChromeTraceOK(t *testing.T) {
+	path := writeTemp(t, "trace.json",
+		`{"traceEvents":[{"name":"a","ph":"X","ts":1},{"name":"b","ph":"i","ts":2}]}`)
+	summary, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "2 events OK") {
+		t.Errorf("summary = %q", summary)
+	}
+}
+
+func TestChromeTraceBad(t *testing.T) {
+	for name, content := range map[string]string{
+		"empty.json":   `{"traceEvents":[]}`,
+		"noname.json":  `{"traceEvents":[{"ph":"X","ts":1}]}`,
+		"invalid.json": `{`,
+	} {
+		if _, err := checkFile(writeTemp(t, name, content)); err == nil {
+			t.Errorf("%s: accepted invalid trace", name)
+		}
+	}
+}
+
+// TestFlightDumpRoundTrip checks a real recorder dump validates clean,
+// including after the ring has wrapped.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	f := obs.NewFlightRecorder(64)
+	name := f.NameID("ev")
+	cat := f.NameID("test")
+	for i := 0; i < 200; i++ {
+		f.Record(name, cat, 'i', i%4, 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, "flight.jsonl", buf.String())
+	summary, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "flight dump") || !strings.Contains(summary, "64 events OK") {
+		t.Errorf("summary = %q", summary)
+	}
+}
+
+func TestFlightDumpViolations(t *testing.T) {
+	head := `{"type":"apgas-flight","version":1,"events":2,"recorded":2,"dropped":0}`
+	ev := func(seq, ts int) string {
+		return `{"seq":` + strconv.Itoa(seq) + `,"ts":` + strconv.Itoa(ts) +
+			`,"dur":0,"ph":"i","pid":0,"tid":0,"name":"e","cat":"c"}`
+	}
+	cases := map[string]struct {
+		content string
+		reason  string
+	}{
+		"seq-order": {
+			content: head + "\n" + ev(5, 10) + "\n" + ev(4, 20) + "\n",
+			reason:  "ring order",
+		},
+		"ts-backwards": {
+			content: head + "\n" + ev(1, 20) + "\n" + ev(2, 10) + "\n",
+			reason:  "not monotonic",
+		},
+		"count-mismatch": {
+			content: head + "\n" + ev(1, 10) + "\n",
+			reason:  "header says 2 events, body has 1",
+		},
+		"bad-header": {
+			content: `{"type":"apgas-flight","version":1,"events":1,"recorded":0,"dropped":0}` + "\n" + ev(1, 10) + "\n",
+			reason:  "inconsistent header",
+		},
+		"zero-seq": {
+			content: head + "\n" + ev(0, 10) + "\n" + ev(1, 20) + "\n",
+			reason:  "seq 0",
+		},
+	}
+	for name, c := range cases {
+		_, err := checkFile(writeTemp(t, name+".jsonl", c.content))
+		if err == nil {
+			t.Errorf("%s: accepted invalid dump", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.reason) {
+			t.Errorf("%s: error %q does not name reason %q", name, err, c.reason)
+		}
+		if !strings.Contains(err.Error(), "line") && name != "count-mismatch" {
+			t.Errorf("%s: error %q does not name the line", name, err)
+		}
+	}
+}

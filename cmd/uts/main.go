@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"apgas/internal/apps/uts"
 	"apgas/internal/core"
 	"apgas/internal/glb"
 	"apgas/internal/kernels/sha1rng"
 	"apgas/internal/obs"
+	"apgas/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,12 @@ func main() {
 	traceFile := flag.String("trace", "",
 		"write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot to stderr after the run")
+	metricsAll := flag.Bool("metrics-all", false,
+		"print the merged cross-place metrics table (sum, min@place, max@place, per-place) after the run")
+	watchdog := flag.Duration("watchdog", 0,
+		"enable the finish stall watchdog with this window, e.g. -watchdog 10s (0 = off)")
+	flightDump := flag.String("flight-dump", "",
+		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
 	flag.Parse()
 
 	var tree sha1rng.Tree = sha1rng.Geometric{B0: *b0, Depth: *depth, Seed: uint32(*seed)}
@@ -56,21 +64,65 @@ func main() {
 	switch {
 	case *traceFile != "":
 		o = obs.NewTracing()
-	case *metrics:
+	case *metrics || *metricsAll || *watchdog > 0 || *flightDump != "":
 		o = obs.New()
 	}
 
-	rt, err := core.NewRuntime(core.Config{Places: *places, Obs: o})
+	var flightFile *os.File
+	if *flightDump != "" {
+		var err error
+		flightFile, err = os.Create(*flightDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uts: %v\n", err)
+			os.Exit(1)
+		}
+		defer flightFile.Close()
+	}
+	rtCfg := core.Config{Places: *places, Obs: o}
+	if flightFile != nil {
+		rtCfg.FlightDump = flightFile
+	}
+	rt, err := core.NewRuntime(rtCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uts: %v\n", err)
 		os.Exit(1)
 	}
 	defer rt.Close()
 
+	// SIGQUIT prints the finish/flight diagnostic without killing the run.
+	var plane *telemetry.Plane
+	if o != nil {
+		stopSig := telemetry.DumpOnSignal(rt, os.Stderr)
+		defer stopSig()
+		if plane, err = telemetry.Attach(rt); err != nil {
+			fmt.Fprintf(os.Stderr, "uts: %v\n", err)
+			os.Exit(1)
+		}
+		if *watchdog > 0 {
+			w := telemetry.StartWatchdog(rt, telemetry.WatchdogOptions{Window: *watchdog})
+			defer w.Stop()
+		}
+	}
+
 	res, err := uts.Run(rt, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "uts: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsAll {
+		rep, err := plane.Report(10 * time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "--- cross-place metrics ---")
+		rep.WriteTable(os.Stderr)
+	}
+	if flightFile != nil {
+		if err := o.FlightRecorder().WriteDump(flightFile); err != nil {
+			fmt.Fprintf(os.Stderr, "uts: write flight dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *metrics {
 		fmt.Fprintln(os.Stderr, "--- metrics ---")

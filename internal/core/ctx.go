@@ -71,6 +71,9 @@ func (c *Ctx) Async(f func(*Ctx)) {
 	if m := c.rt.m; m != nil {
 		m.asyncLocal.Inc()
 	}
+	if pm := c.pl.pm; pm != nil {
+		pm.asyncLocal.Inc()
+	}
 	c.rt.finEvent(fin, c.pl, evLocalSpawn, c.pl.id, nil, c)
 	c.rt.spawnLocal(c.pl, fin, f)
 }
@@ -137,12 +140,22 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 		if m := c.rt.m; m != nil {
 			m.asyncLocal.Inc()
 		}
+		if pm := c.pl.pm; pm != nil {
+			pm.asyncLocal.Inc()
+		}
 		c.rt.finEvent(c.fin, c.pl, evLocalSpawn, p, nil, c)
 		c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply) })
 		return
 	}
 	if m := c.rt.m; m != nil {
 		m.asyncRemote.Inc()
+	}
+	if pm := c.pl.pm; pm != nil {
+		pm.asyncRemote.Inc()
+	}
+	if fi := c.rt.fids; fi != nil {
+		c.rt.flight.Record2(fi.atAsync, fi.catCore, 'i', int(c.pl.id), 0, 0,
+			fi.kDst, int64(p), fi.kBytes, int64(bytes))
 	}
 	if tr := c.rt.tracer; tr != nil {
 		tr.Instant("at.async", "core", int(c.pl.id),
@@ -186,6 +199,10 @@ func (rt *Runtime) runReplied(ctx *Ctx, f func(*Ctx), reply chan<- error) {
 func (rt *Runtime) onSpawn(src, dst int, payload any) {
 	m := payload.(spawnMsg)
 	pl := rt.places[dst]
+	if f := rt.fids; f != nil {
+		rt.flight.Record2(f.spawnRecv, f.catCore, 'i', dst, 0, 0,
+			f.kSrc, int64(src), f.kBytes, int64(m.Bytes))
+	}
 	if m.Uncounted {
 		pl.sched.Spawn(func() { runUncounted(rt, pl, m.Body) })
 		return
@@ -264,6 +281,13 @@ func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
 	if m := c.rt.m; m != nil {
 		m.atDirect.Inc()
 	}
+	if pm := c.pl.pm; pm != nil {
+		pm.atDirect.Inc()
+	}
+	if fi := c.rt.fids; fi != nil {
+		c.rt.flight.Record2(fi.atDirect, fi.catCore, 'i', int(c.pl.id), 0, 0,
+			fi.kDst, int64(p), fi.kBytes, int64(bytes))
+	}
 	if tr := c.rt.tracer; tr != nil {
 		tr.Instant("at.direct", "core", int(c.pl.id),
 			obs.Arg{Key: "dst", Val: int64(p)}, obs.Arg{Key: "bytes", Val: int64(bytes)})
@@ -338,6 +362,9 @@ func toError(r any) error {
 func (c *Ctx) UncountedAsync(p Place, f func(*Ctx)) {
 	if m := c.rt.m; m != nil {
 		m.uncounted.Inc()
+	}
+	if pm := c.pl.pm; pm != nil {
+		pm.uncounted.Inc()
 	}
 	if p == c.pl.id {
 		c.pl.sched.Spawn(func() { runUncounted(c.rt, c.pl, f) })

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the finish introspection API: a read-only window into the
+// live termination-detection state that the telemetry plane's stall
+// watchdog walks to explain a hang. The protocol structures themselves
+// (finish.go, finish_default.go, finish_counter.go) stay private; what is
+// exported here are point-in-time copies safe to hold, print, and ship.
+
+// FinishState is a point-in-time view of one finish root.
+type FinishState struct {
+	// Home and Seq identify the finish (its root activity's place plus a
+	// home-local sequence number).
+	Home Place
+	Seq  uint64
+	// Pattern is the selected implementation (FINISH_DEFAULT, ...).
+	Pattern Pattern
+	// Waiting reports whether the root activity has reached wait();
+	// Done whether quiescence has been declared.
+	Waiting bool
+	Done    bool
+	// Live is the protocol's local liveness figure: live governed
+	// activities at the home place for the vector patterns, outstanding
+	// termination tokens for the counter patterns.
+	Live int
+	// Promoted reports whether a vector-pattern finish has switched from
+	// the optimistic local counter to the distributed protocol.
+	Promoted bool
+	// Events counts every event and control message the root has
+	// processed. It is monotone, so an unchanged Events across a watch
+	// window means the root made no progress at all — the stall
+	// watchdog's trigger.
+	Events uint64
+	// Errs is the number of activity errors collected so far.
+	Errs int
+	// Deficits lists, for vector-pattern roots, every place whose
+	// cumulative spawn/begin accounting has not reconciled — the
+	// who-owes-whom view. Empty when the finish is balanced (or counter
+	// based).
+	Deficits []PlaceDeficit
+}
+
+// PlaceDeficit says place Place has had Sent activities spawned toward it
+// (cumulative, as visible at the root) but has only reported Recv begins:
+// Sent - Recv activities are live at, or in flight toward, that place.
+type PlaceDeficit struct {
+	Place Place
+	Sent  uint64
+	Recv  uint64
+}
+
+// Pending returns the number of unaccounted activities at this place.
+func (d PlaceDeficit) Pending() uint64 {
+	if d.Sent < d.Recv {
+		return 0
+	}
+	return d.Sent - d.Recv
+}
+
+// ProxyState is a point-in-time view of one place's proxy state for a
+// distributed finish homed elsewhere.
+type ProxyState struct {
+	Home    Place
+	Seq     uint64
+	Pattern Pattern
+	// Place is the place holding this proxy.
+	Place Place
+	// Live is the count of governed activities currently live here; a
+	// proxy only reports home when Live drops to zero, so a stuck
+	// activity shows up as Live > 0 with no outbound snapshot.
+	Live int
+	// Epoch is the number of snapshots this proxy has sent home.
+	Epoch uint64
+	// Recv/Sent are the proxy's cumulative counters (see ctlSnapshot).
+	Recv uint64
+	Sent map[Place]uint64
+}
+
+// DenseBufferState reports snapshots sitting in a master place's
+// FINISH_DENSE coalescing buffer, waiting for the self-addressed flush
+// marker to come around.
+type DenseBufferState struct {
+	// Place is the master buffering the snapshots.
+	Place Place
+	// Home and Seq identify the finish the snapshots belong to.
+	Home Place
+	Seq  uint64
+	// Buffered is the number of snapshots awaiting the flush.
+	Buffered int
+}
+
+// state() implementations -----------------------------------------------
+
+func (r *defaultRoot) state() FinishState {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	s := FinishState{
+		Home:     r.ref.ID.Home,
+		Seq:      r.ref.ID.Seq,
+		Pattern:  r.ref.Pattern,
+		Waiting:  r.w.waiting,
+		Done:     r.w.done,
+		Live:     r.live,
+		Promoted: r.promoted,
+		Events:   r.events,
+		Errs:     len(r.w.errs),
+	}
+	if !r.promoted {
+		return s
+	}
+	// Reconstruct the reconciliation the termination check performs and
+	// keep every place that does not balance.
+	totSent := make(map[Place]uint64, len(r.snaps)+len(r.sentHome))
+	for q, n := range r.sentHome {
+		totSent[q] += n
+	}
+	for _, snap := range r.snaps {
+		for q, n := range snap.Sent {
+			totSent[q] += n
+		}
+	}
+	places := make(map[Place]struct{}, len(totSent)+len(r.snaps))
+	for q := range totSent {
+		places[q] = struct{}{}
+	}
+	for q := range r.snaps {
+		places[q] = struct{}{}
+	}
+	for q := range places {
+		var recv uint64
+		if q == r.ref.ID.Home {
+			recv = r.recvHome
+		} else {
+			recv = r.snaps[q].Recv
+		}
+		if sent := totSent[q]; sent != recv {
+			s.Deficits = append(s.Deficits, PlaceDeficit{Place: q, Sent: sent, Recv: recv})
+		}
+	}
+	sort.Slice(s.Deficits, func(i, j int) bool { return s.Deficits[i].Place < s.Deficits[j].Place })
+	return s
+}
+
+func (r *counterRoot) state() FinishState {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	return FinishState{
+		Home:    r.ref.ID.Home,
+		Seq:     r.ref.ID.Seq,
+		Pattern: r.ref.Pattern,
+		Waiting: r.w.waiting,
+		Done:    r.w.done,
+		Live:    r.count,
+		Events:  r.events,
+		Errs:    len(r.w.errs),
+	}
+}
+
+// Runtime accessors ------------------------------------------------------
+
+// FinishStates returns a view of every live finish root on every place,
+// sorted by (Home, Seq). Roots are created at FinishPragma entry and
+// removed once their wait returns, so a state with Waiting set and an
+// Events counter frozen across observations is a stalled finish.
+func (rt *Runtime) FinishStates() []FinishState {
+	var out []FinishState
+	for _, pl := range rt.places {
+		pl.finMu.Lock()
+		roots := make([]rootFinish, 0, len(pl.roots))
+		for _, root := range pl.roots {
+			roots = append(roots, root)
+		}
+		pl.finMu.Unlock()
+		// state() takes the root's own lock; call outside finMu.
+		for _, root := range roots {
+			out = append(out, root.state())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Home != out[j].Home {
+			return out[i].Home < out[j].Home
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// ProxyStates returns a view of every live vector-protocol proxy on every
+// place, sorted by (Home, Seq, Place).
+func (rt *Runtime) ProxyStates() []ProxyState {
+	var out []ProxyState
+	for _, pl := range rt.places {
+		pl.finMu.Lock()
+		for _, px := range pl.proxies {
+			sent := make(map[Place]uint64, len(px.sent))
+			for q, n := range px.sent {
+				sent[q] = n
+			}
+			out = append(out, ProxyState{
+				Home:    px.ref.ID.Home,
+				Seq:     px.ref.ID.Seq,
+				Pattern: px.ref.Pattern,
+				Place:   pl.id,
+				Live:    px.live,
+				Epoch:   px.epoch,
+				Recv:    px.recv,
+				Sent:    sent,
+			})
+		}
+		pl.finMu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Home != b.Home {
+			return a.Home < b.Home
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Place < b.Place
+	})
+	return out
+}
+
+// DenseBufferStates returns the FINISH_DENSE snapshots currently parked
+// in master-place coalescing buffers, sorted by (Place, Home, Seq). A
+// nonempty buffer that never drains means a lost flush marker.
+func (rt *Runtime) DenseBufferStates() []DenseBufferState {
+	var out []DenseBufferState
+	for _, pl := range rt.places {
+		pl.denseMu.Lock()
+		for key, snaps := range pl.denseBuf {
+			if len(snaps) == 0 {
+				continue
+			}
+			out = append(out, DenseBufferState{
+				Place:    pl.id,
+				Home:     key.id.Home,
+				Seq:      key.id.Seq,
+				Buffered: len(snaps),
+			})
+		}
+		pl.denseMu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Place != b.Place {
+			return a.Place < b.Place
+		}
+		if a.Home != b.Home {
+			return a.Home < b.Home
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// WriteFinishDump renders the full finish diagnostic — roots with their
+// who-owes-whom deficits, proxies, and dense buffers — in the form the
+// stall watchdog emits.
+func (rt *Runtime) WriteFinishDump(w io.Writer) {
+	roots := rt.FinishStates()
+	fmt.Fprintf(w, "finish roots: %d\n", len(roots))
+	for _, s := range roots {
+		fmt.Fprintf(w, "  %s home=p%d seq=%d waiting=%v done=%v live=%d events=%d errs=%d\n",
+			s.Pattern, s.Home, s.Seq, s.Waiting, s.Done, s.Live, s.Events, s.Errs)
+		for _, d := range s.Deficits {
+			fmt.Fprintf(w, "    owes: place p%d pending=%d (sent=%d recv=%d)\n",
+				d.Place, d.Pending(), d.Sent, d.Recv)
+		}
+	}
+	if proxies := rt.ProxyStates(); len(proxies) > 0 {
+		fmt.Fprintf(w, "finish proxies: %d\n", len(proxies))
+		for _, p := range proxies {
+			fmt.Fprintf(w, "  %s home=p%d seq=%d at=p%d live=%d epoch=%d recv=%d sent=%d\n",
+				p.Pattern, p.Home, p.Seq, p.Place, p.Live, p.Epoch, p.Recv, len(p.Sent))
+		}
+	}
+	if bufs := rt.DenseBufferStates(); len(bufs) > 0 {
+		fmt.Fprintf(w, "dense buffers: %d\n", len(bufs))
+		for _, b := range bufs {
+			fmt.Fprintf(w, "  master=p%d finish home=p%d seq=%d buffered=%d\n",
+				b.Place, b.Home, b.Seq, b.Buffered)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"apgas/internal/obs"
+)
+
+// TestFinishStatesDeficit drives a distributed finish into a known
+// intermediate state — one remote activity parked at place 1 — and checks
+// the introspection API reports it as a who-owes-whom deficit naming the
+// delinquent place.
+func TestFinishStatesDeficit(t *testing.T) {
+	rt, err := NewRuntime(Config{Places: 4, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Run(func(c *Ctx) {
+			c.AtAsync(1, func(cc *Ctx) {
+				close(arrived)
+				cc.Blocking(func() { <-release })
+			})
+		})
+	}()
+	<-arrived
+
+	// The root finish (the implicit Run finish) must reach Waiting with a
+	// deficit at place 1; poll briefly since Run's wait races with us.
+	deadline := time.Now().Add(5 * time.Second)
+	var found *FinishState
+	for time.Now().Before(deadline) {
+		states := rt.FinishStates()
+		for i, s := range states {
+			if s.Home == 0 && s.Waiting && !s.Done && len(s.Deficits) > 0 {
+				found = &states[i]
+			}
+		}
+		if found != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if found == nil {
+		close(release)
+		t.Fatalf("no waiting finish with deficits; states=%+v", rt.FinishStates())
+	}
+	if found.Pattern != PatternDefault {
+		t.Errorf("root pattern = %v, want FINISH_DEFAULT", found.Pattern)
+	}
+	if len(found.Deficits) != 1 || found.Deficits[0].Place != 1 {
+		t.Errorf("deficits = %+v, want exactly place 1", found.Deficits)
+	}
+	if d := found.Deficits[0]; d.Pending() != 1 || d.Sent != 1 || d.Recv != 0 {
+		t.Errorf("deficit = %+v, want pending=1 sent=1 recv=0", d)
+	}
+	if found.Events == 0 {
+		t.Error("root Events counter never moved")
+	}
+
+	// The parked activity is also visible as a live proxy at place 1.
+	proxies := rt.ProxyStates()
+	var px *ProxyState
+	for i := range proxies {
+		if proxies[i].Place == 1 {
+			px = &proxies[i]
+		}
+	}
+	if px == nil || px.Live != 1 {
+		t.Errorf("proxy at place 1 = %+v, want live=1", px)
+	}
+
+	// The dump names the pattern, the place, and the pending count.
+	var buf bytes.Buffer
+	rt.WriteFinishDump(&buf)
+	dump := buf.String()
+	for _, want := range []string{"FINISH_DEFAULT", "place p1", "pending=1"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// After termination the root is deregistered.
+	if states := rt.FinishStates(); len(states) != 0 {
+		t.Errorf("states after Run = %+v, want none", states)
+	}
+}
+
+// TestPlaceMetricsPopulated checks each place's registry carries its own
+// transport egress, scheduler, and core counters under unqualified names.
+func TestPlaceMetricsPopulated(t *testing.T) {
+	o := obs.New()
+	rt, err := NewRuntime(Config{Places: 3, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	err = rt.Run(func(c *Ctx) {
+		for p := 1; p < c.NumPlaces(); p++ {
+			c.At(Place(p), func(cc *Ctx) {
+				cc.Async(func(*Ctx) {})
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		s := o.Place(p).Snapshot()
+		if s.Counter("sched.spawned") == 0 {
+			t.Errorf("place %d: sched.spawned = 0", p)
+		}
+	}
+	// The remote places ran one local async each under their own name.
+	for p := 1; p < 3; p++ {
+		if got := o.Place(p).Snapshot().Counter("core.async.local"); got != 1 {
+			t.Errorf("place %d core.async.local = %d, want 1", p, got)
+		}
+	}
+	// Place 0 sent the two At spawns: remote asyncs attributed to it.
+	if got := o.Place(0).Snapshot().Counter("core.async.remote"); got != 2 {
+		t.Errorf("place 0 core.async.remote = %d, want 2", got)
+	}
+	// Per-place transport egress must be present and nonzero at place 0.
+	if got := o.Place(0).Snapshot().Counter("x10rt.msgs.data"); got == 0 {
+		t.Error("place 0 x10rt.msgs.data = 0; per-place egress not attached")
+	}
+}
+
+// TestFlightDumpOnRunError checks the black box is read out when Run
+// fails.
+func TestFlightDumpOnRunError(t *testing.T) {
+	var dump bytes.Buffer
+	o := obs.New()
+	rt, err := NewRuntime(Config{Places: 2, Obs: o, FlightDump: &dump})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	boom := errors.New("boom")
+	if err := rt.Run(func(c *Ctx) { panic(boom) }); err == nil {
+		t.Fatal("Run did not fail")
+	}
+	out := dump.String()
+	if !strings.Contains(out, obs.FlightDumpMagic) {
+		t.Fatalf("dump missing flight header:\n%.400s", out)
+	}
+	if !strings.Contains(out, "finish.default") {
+		t.Errorf("dump missing the root finish event:\n%.400s", out)
+	}
+	// A clean run must not dump.
+	dump.Reset()
+	if err := rt.Run(func(c *Ctx) {}); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Len() != 0 {
+		t.Errorf("clean run wrote a dump: %.200s", dump.String())
+	}
+}

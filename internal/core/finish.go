@@ -119,6 +119,8 @@ type rootFinish interface {
 	// wait blocks (cooperatively) until quiescence and returns the
 	// combined error of governed activities.
 	wait(pl *place) error
+	// state returns a point-in-time diagnostic view (see debug.go).
+	state() FinishState
 }
 
 // Finish runs body in the current activity and then blocks until every
@@ -173,6 +175,11 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	pl.roots[id] = root
 	pl.finMu.Unlock()
 
+	if f := c.rt.fids; f != nil {
+		c.rt.flight.Record1(f.finishName[p], f.catFinish, 'B', int(pl.id), 0, 0,
+			f.kSeq, int64(id.Seq))
+	}
+
 	// The body runs in the current activity with the new finish
 	// installed as governing scope for its spawns.
 	inner := &Ctx{rt: c.rt, pl: pl, fin: ref}
@@ -192,15 +199,25 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	delete(pl.roots, id)
 	pl.finMu.Unlock()
 
+	if f := c.rt.fids; f != nil {
+		c.rt.flight.Record1(f.finishName[p], f.catFinish, 'E', int(pl.id), 0, 0,
+			f.kSeq, int64(id.Seq))
+	}
 	if tr != nil {
 		tr.Complete("finish."+p.metricKey(), "finish", int(pl.id), tr.NextID(), t0)
 	}
 	if m != nil {
-		m.finishCount[p].Inc()
+		var us uint64
 		if tr != nil {
-			m.finishUs[p].Observe(uint64((tr.Now() - t0) / 1e3))
+			us = uint64((tr.Now() - t0) / 1e3)
 		} else {
-			m.finishUs[p].Observe(uint64(time.Since(wall).Microseconds()))
+			us = uint64(time.Since(wall).Microseconds())
+		}
+		m.finishCount[p].Inc()
+		m.finishUs[p].Observe(us)
+		if pm := pl.pm; pm != nil {
+			pm.finishCount[p].Inc()
+			pm.finishUs[p].Observe(us)
 		}
 	}
 
@@ -246,6 +263,14 @@ func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
 	pl := rt.places[dst]
 	if m := rt.m; m != nil {
 		m.ctlRecv.Inc()
+	}
+	if pm := pl.pm; pm != nil {
+		pm.ctlRecv.Inc()
+	}
+	if f := rt.fids; f != nil {
+		if name := f.ctlFlightName(payload); name != 0 {
+			rt.flight.Record1(name, f.catFinish, 'i', dst, 0, 0, f.kSrc, int64(src))
+		}
 	}
 	if tr := rt.tracer; tr != nil {
 		tr.Instant("finish.ctl", "finish", dst, obs.Arg{Key: "src", Val: int64(src)})

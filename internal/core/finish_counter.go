@@ -49,6 +49,9 @@ type counterRoot struct {
 	// Guarded by w.mu.
 	count   int // outstanding termination tokens
 	spawned int // total governed spawns, for contract checks
+	// events counts every event and control message processed, a
+	// monotone progress signal for the stall watchdog (see debug.go).
+	events uint64
 }
 
 func newCounterRoot(rt *Runtime, ref finRef, mode counterMode) *counterRoot {
@@ -64,6 +67,7 @@ func (r *counterRoot) violate(format string, args ...any) {
 func (r *counterRoot) event(kind finEventKind, other Place, err error) {
 	r.w.mu.Lock()
 	defer r.w.mu.Unlock()
+	r.events++
 	switch kind {
 	case evLocalSpawn:
 		r.spawned++
@@ -106,6 +110,7 @@ func (r *counterRoot) ctl(src Place, payload any) {
 	}
 	r.w.mu.Lock()
 	defer r.w.mu.Unlock()
+	r.events++
 	if m.Err != nil {
 		r.w.errs = append(r.w.errs, m.Err)
 	}

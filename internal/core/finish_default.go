@@ -57,6 +57,9 @@ type defaultRoot struct {
 	localHome uint64
 	sentHome  map[Place]uint64
 	snaps     map[Place]ctlSnapshot
+	// events counts every event and control message processed, a
+	// monotone progress signal for the stall watchdog (see debug.go).
+	events uint64
 
 	// profile, when non-nil, is filled with the finish's communication
 	// shape at termination (see FinishProfiled).
@@ -77,6 +80,7 @@ func newDefaultRoot(rt *Runtime, ref finRef, dense bool) *defaultRoot {
 func (r *defaultRoot) event(kind finEventKind, other Place, err error) {
 	r.w.mu.Lock()
 	defer r.w.mu.Unlock()
+	r.events++
 	switch kind {
 	case evLocalSpawn:
 		r.live++
@@ -108,6 +112,7 @@ func (r *defaultRoot) ctl(src Place, payload any) {
 func (r *defaultRoot) applySnapshot(snap ctlSnapshot) {
 	r.w.mu.Lock()
 	defer r.w.mu.Unlock()
+	r.events++
 	r.promoted = true
 	if old, ok := r.snaps[snap.From]; ok && old.Epoch >= snap.Epoch {
 		return // stale, reordered control message

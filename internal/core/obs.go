@@ -61,9 +61,82 @@ func newRuntimeMetrics(r *obs.Registry) *runtimeMetrics {
 	return m
 }
 
+// flightIDs caches the interned flight-recorder name ids the runtime's
+// hot paths record with; interning happens once at construction so the
+// record path stays allocation free.
+type flightIDs struct {
+	catFinish uint32
+	catCore   uint32
+
+	finishName  [numPatterns]uint32 // "finish.<pattern>"
+	ctlSnapshot uint32
+	ctlRouted   uint32
+	ctlDone     uint32
+	ctlCleanup  uint32
+	atAsync     uint32
+	atDirect    uint32
+	spawnRecv   uint32
+	runError    uint32
+
+	kSrc   uint32
+	kDst   uint32
+	kBytes uint32
+	kSeq   uint32
+}
+
+func newFlightIDs(f *obs.FlightRecorder) *flightIDs {
+	ids := &flightIDs{
+		catFinish:   f.NameID("finish"),
+		catCore:     f.NameID("core"),
+		ctlSnapshot: f.NameID("ctl.snapshot"),
+		ctlRouted:   f.NameID("ctl.routed"),
+		ctlDone:     f.NameID("ctl.done"),
+		ctlCleanup:  f.NameID("ctl.cleanup"),
+		atAsync:     f.NameID("at.async"),
+		atDirect:    f.NameID("at.direct"),
+		spawnRecv:   f.NameID("spawn.recv"),
+		runError:    f.NameID("run.error"),
+		kSrc:        f.NameID("src"),
+		kDst:        f.NameID("dst"),
+		kBytes:      f.NameID("bytes"),
+		kSeq:        f.NameID("seq"),
+	}
+	for p := Pattern(0); p < numPatterns; p++ {
+		ids.finishName[p] = f.NameID("finish." + p.metricKey())
+	}
+	return ids
+}
+
+// ctlFlightName maps a finish control payload to its flight-recorder
+// event name.
+func (ids *flightIDs) ctlFlightName(payload any) uint32 {
+	switch payload.(type) {
+	case ctlSnapshot:
+		return ids.ctlSnapshot
+	case ctlRouted:
+		return ids.ctlRouted
+	case ctlDone:
+		return ids.ctlDone
+	case ctlCleanup:
+		return ids.ctlCleanup
+	default:
+		return 0
+	}
+}
+
 // Obs returns the observability layer this runtime reports into, or nil
 // when observability is disabled.
 func (rt *Runtime) Obs() *obs.Obs { return rt.obs }
+
+// PlaceRegistry returns place p's own metrics registry (unqualified
+// metric names, mergeable across places), or nil when observability is
+// disabled.
+func (rt *Runtime) PlaceRegistry(p Place) *obs.Registry {
+	if rt.obs == nil {
+		return nil
+	}
+	return rt.obs.Place(int(p))
+}
 
 // Tracer returns the event tracer, or nil when tracing is disabled.
 // Extension layers (glb, collectives) use it to record their spans next

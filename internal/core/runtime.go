@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,11 @@ type Config struct {
 	// used; when that too is nil, observability is disabled and the
 	// instrumented paths cost a single nil check each.
 	Obs *obs.Obs
+
+	// FlightDump, when non-nil, receives a flight-recorder dump (JSON
+	// Lines, see obs.FlightRecorder.WriteDump) whenever Run returns a
+	// non-nil error — the black box is read out at the crash site.
+	FlightDump io.Writer
 }
 
 func (c *Config) applyDefaults() error {
@@ -99,6 +105,8 @@ type Runtime struct {
 	obs    *obs.Obs
 	tracer *obs.Tracer
 	m      *runtimeMetrics
+	flight *obs.FlightRecorder
+	fids   *flightIDs
 }
 
 // place is the per-place state: scheduler, finish bookkeeping, object
@@ -131,6 +139,11 @@ type place struct {
 	// dense-routing coalescing buffers (see routeDense)
 	denseMu  sync.Mutex
 	denseBuf map[denseBufKey][]ctlSnapshot
+
+	// pm are this place's own metric handles, reporting into the place
+	// registry (obs.Obs.Place) under unqualified names so snapshots from
+	// different places merge by name; nil when observability is off.
+	pm *runtimeMetrics
 }
 
 // NewRuntime creates a runtime with cfg.Places places and registers the
@@ -148,6 +161,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.obs = o
 		rt.tracer = o.Trace
 		rt.m = newRuntimeMetrics(o.Metrics)
+		if f := o.FlightRecorder(); f != nil {
+			rt.flight = f
+			rt.fids = newFlightIDs(f)
+		}
 	}
 	if cfg.Transport != nil {
 		if cfg.Transport.NumPlaces() != cfg.Places {
@@ -167,6 +184,13 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		if ms, ok := rt.tr.(x10rt.MetricSource); ok {
 			ms.AttachMetrics(rt.obs.Metrics)
 		}
+		// Per-place egress counters feed each place's own registry, the
+		// raw material of the cross-place telemetry aggregation.
+		if ps, ok := rt.tr.(x10rt.PlaceMetricSource); ok {
+			for i := 0; i < cfg.Places; i++ {
+				ps.AttachPlaceMetrics(i, rt.obs.Place(i))
+			}
+		}
 	}
 	rt.places = make([]*place, cfg.Places)
 	for i := range rt.places {
@@ -182,6 +206,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		pl.monCond = sync.NewCond(&pl.monMu)
 		if rt.obs != nil {
 			pl.sched.AttachMetrics(rt.obs.Metrics, fmt.Sprintf("sched.p%d", i))
+			// The same scheduler metrics also appear in the place's own
+			// registry under the unqualified prefix, plus the place's
+			// private copies of the core runtime counters.
+			preg := rt.obs.Place(i)
+			pl.sched.AttachMetrics(preg, "sched")
+			pl.pm = newRuntimeMetrics(preg)
 		}
 		rt.places[i] = pl
 	}
@@ -233,6 +263,15 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 		ctx := &Ctx{rt: rt, pl: pl}
 		err = ctx.Finish(main)
 	})
+	if err != nil {
+		if f := rt.fids; f != nil {
+			rt.flight.Record(f.runError, f.catCore, 'i', 0, 0, 0)
+		}
+		if rt.cfg.FlightDump != nil && rt.flight != nil {
+			fmt.Fprintf(rt.cfg.FlightDump, "# apgas: Run failed (%v); flight recorder follows\n", err)
+			_ = rt.flight.WriteDump(rt.cfg.FlightDump)
+		}
+	}
 	return err
 }
 

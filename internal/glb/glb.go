@@ -28,6 +28,7 @@ package glb
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"apgas/internal/core"
@@ -128,6 +129,35 @@ type balancerMetrics struct {
 	lifelineRequests   *obs.Counter // glb.lifeline.requests
 	lifelineDeliveries *obs.Counter // glb.lifeline.deliveries
 	resuscitations     *obs.Counter // glb.resuscitations
+	victims            *obs.Counter // glb.victims (size of the bounded victim set)
+}
+
+// placeMetrics is one place's live view of the same counters. Each
+// counter is registered twice: in the place's own registry under the
+// unqualified glb.* name (so the telemetry plane merges it across places
+// with min/max attribution), and in the global registry under the
+// place-indexed glb.p<i>.* name (so single-registry dumps still break
+// stealing behaviour down by place).
+type placeMetrics struct {
+	processed          obs.Counter
+	stealAttempts      obs.Counter
+	stealSuccesses     obs.Counter
+	lifelineRequests   obs.Counter
+	lifelineDeliveries obs.Counter
+	resuscitations     obs.Counter
+	victims            obs.Counter
+}
+
+// register installs the counters in r with the given name prefix
+// ("glb." or "glb.p<i>.").
+func (m *placeMetrics) register(r *obs.Registry, prefix string) {
+	r.RegisterCounter(prefix+"processed", &m.processed)
+	r.RegisterCounter(prefix+"steal.attempts", &m.stealAttempts)
+	r.RegisterCounter(prefix+"steal.successes", &m.stealSuccesses)
+	r.RegisterCounter(prefix+"lifeline.requests", &m.lifelineRequests)
+	r.RegisterCounter(prefix+"lifeline.deliveries", &m.lifelineDeliveries)
+	r.RegisterCounter(prefix+"resuscitations", &m.resuscitations)
+	r.RegisterCounter(prefix+"victims", &m.victims)
 }
 
 // placeState is the per-place side of the protocol.
@@ -142,6 +172,7 @@ type placeState struct {
 	asked        map[core.Place]bool // lifelines this place has asked and not yet been served by
 
 	stats Stats
+	pm    placeMetrics
 }
 
 // New creates a balancer and builds the per-place bags with makeBag (run
@@ -162,6 +193,7 @@ func New(rt *core.Runtime, cfg Config, makeBag func(core.Place) TaskBag) *Balanc
 		lifelineRequests:   reg.Counter("glb.lifeline.requests"),
 		lifelineDeliveries: reg.Counter("glb.lifeline.deliveries"),
 		resuscitations:     reg.Counter("glb.resuscitations"),
+		victims:            reg.Counter("glb.victims"),
 	}
 	rng := newSplitMix(uint64(cfg.Seed))
 	for p := 0; p < n; p++ {
@@ -172,6 +204,11 @@ func New(rt *core.Runtime, cfg Config, makeBag func(core.Place) TaskBag) *Balanc
 			lifelineReqs: make(map[core.Place]bool),
 			asked:        make(map[core.Place]bool),
 		}
+		st := b.states[p]
+		st.pm.register(rt.Obs().Place(p), "glb.")
+		st.pm.register(reg, "glb.p"+strconv.Itoa(p)+".")
+		st.pm.victims.Add(uint64(len(st.victims)))
+		b.m.victims.Add(uint64(len(st.victims)))
 	}
 	return b
 }
@@ -225,6 +262,7 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 			st.mu.Lock()
 			n := st.bag.Process(b.cfg.Quantum)
 			st.stats.Processed += int64(n)
+			st.pm.processed.Add(uint64(n))
 			b.m.processed.Add(uint64(n))
 			if n > 0 {
 				b.serveLifelinesLocked(ctx, st)
@@ -267,6 +305,7 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 			}
 		}
 		st.stats.LifelineRequests += int64(len(requests))
+		st.pm.lifelineRequests.Add(uint64(len(requests)))
 		b.m.lifelineRequests.Add(uint64(len(requests)))
 		st.mu.Unlock()
 		me := ctx.Place()
@@ -288,6 +327,7 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 	st.mu.Lock()
 	st.stats.StealAttempts++
 	st.mu.Unlock()
+	st.pm.stealAttempts.Inc()
 	b.m.stealAttempts.Inc()
 
 	home := ctx.Place()
@@ -330,6 +370,7 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 	st.bag.Merge(loot)
 	st.stats.StealSuccesses++
 	st.mu.Unlock()
+	st.pm.stealSuccesses.Inc()
 	b.m.stealSuccesses.Inc()
 	return true
 }
@@ -352,6 +393,7 @@ func (b *Balancer) sendLifelineRequest(ctx *core.Ctx, thief, l core.Place) {
 		}
 		ls.stats.LifelineDeliveries++
 		ls.mu.Unlock()
+		ls.pm.lifelineDeliveries.Inc()
 		b.m.lifelineDeliveries.Inc()
 		b.deliver(cl, thief, loot)
 	})
@@ -367,6 +409,7 @@ func (b *Balancer) serveLifelinesLocked(ctx *core.Ctx, st *placeState) {
 		}
 		delete(st.lifelineReqs, thief)
 		st.stats.LifelineDeliveries++
+		st.pm.lifelineDeliveries.Inc()
 		b.m.lifelineDeliveries.Inc()
 		b.deliver(ctx, thief, loot)
 	}
@@ -390,6 +433,7 @@ func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
 		}
 		ts.mu.Unlock()
 		if revive {
+			ts.pm.resuscitations.Inc()
 			b.m.resuscitations.Inc()
 			b.tr.Instant("glb.resuscitate", "glb", int(thief))
 			ct.Async(func(cw *core.Ctx) { b.worker(cw, ts) })

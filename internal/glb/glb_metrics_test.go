@@ -1,0 +1,94 @@
+package glb
+
+import (
+	"fmt"
+	"testing"
+
+	"apgas/internal/core"
+	"apgas/internal/obs"
+)
+
+// TestPerPlaceMetrics checks the balancer's counters are mirrored three
+// ways and agree: the aggregate glb.* names, the place-indexed
+// glb.p<i>.* names in the global registry, and the unqualified glb.*
+// names in each place's own registry (the telemetry plane's merge
+// input).
+func TestPerPlaceMetrics(t *testing.T) {
+	const places, total = 8, 20_000
+	o := obs.New()
+	rt, err := core.NewRuntime(core.Config{Places: places, PlacesPerHost: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	// Expensive units and a small quantum so the run outlasts the steal
+	// wave and work demonstrably spreads (as in TestWorkActuallySpreads).
+	b := New(rt, Config{Quantum: 16, RandomAttempts: 8}, func(p core.Place) TaskBag {
+		if p == 0 {
+			return &counterBag{pending: total, work: 3000}
+		}
+		return &counterBag{work: 3000}
+	})
+	if err := rt.Run(func(ctx *core.Ctx) {
+		if err := b.Run(ctx); err != nil {
+			t.Errorf("balancer run: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := b.Stats()
+	global := o.Registry().Snapshot()
+	checks := []struct {
+		suffix string
+		want   int64
+	}{
+		{"processed", s.Processed},
+		{"steal.attempts", s.StealAttempts},
+		{"steal.successes", s.StealSuccesses},
+		{"lifeline.requests", s.LifelineRequests},
+		{"lifeline.deliveries", s.LifelineDeliveries},
+		{"resuscitations", s.Resuscitations},
+	}
+	for _, c := range checks {
+		// Aggregate name agrees with Stats.
+		if got := global.Counter("glb." + c.suffix); int64(got) != c.want {
+			t.Errorf("global glb.%s = %d, want %d", c.suffix, got, c.want)
+		}
+		// Place-indexed names in the global registry sum to the same.
+		var idxSum, placeSum uint64
+		for p := 0; p < places; p++ {
+			idxSum += global.Counter(fmt.Sprintf("glb.p%d.%s", p, c.suffix))
+			placeSum += o.Place(p).Snapshot().Counter("glb." + c.suffix)
+		}
+		if int64(idxSum) != c.want {
+			t.Errorf("sum of glb.p<i>.%s = %d, want %d", c.suffix, idxSum, c.want)
+		}
+		// Per-place registries carry the identical counters under the
+		// unqualified name.
+		if placeSum != idxSum {
+			t.Errorf("per-place registries sum glb.%s = %d, want %d", c.suffix, placeSum, idxSum)
+		}
+	}
+	// Work happened at more than one place, so the per-place breakdown is
+	// not degenerate.
+	busy := 0
+	for p := 0; p < places; p++ {
+		if o.Place(p).Snapshot().Counter("glb.processed") > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("work processed at %d place(s); per-place counters degenerate", busy)
+	}
+	// The victim-set gauge-like counter reflects the bounded set sizes.
+	for p := 0; p < places; p++ {
+		want := uint64(len(b.states[p].victims))
+		if got := o.Place(p).Snapshot().Counter("glb.victims"); got != want {
+			t.Errorf("place %d glb.victims = %d, want %d", p, got, want)
+		}
+	}
+	if got, want := global.Counter("glb.victims"), uint64(places*(places-1)); got != want {
+		t.Errorf("global glb.victims = %d, want %d (8 places, all peers eligible)", got, want)
+	}
+}

@@ -19,9 +19,15 @@ import (
 	"apgas/internal/kernels/sha1rng"
 )
 
-// newRuntime builds a runtime for an experiment run.
+// newRuntime builds a runtime for an experiment run, with the telemetry
+// plane attached when observability is on.
 func newRuntime(places int) (*core.Runtime, error) {
-	return core.NewRuntime(core.Config{Places: places, PlacesPerHost: 8})
+	rt, err := core.NewRuntime(core.Config{Places: places, PlacesPerHost: 8})
+	if err != nil {
+		return nil, err
+	}
+	attachTelemetry(rt)
+	return rt, nil
 }
 
 // Fig1HPL regenerates the Global HPL panel: weak scaling with constant

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"apgas/internal/core"
+	"apgas/internal/obs"
+	"apgas/internal/telemetry"
 )
 
 // metricsNote snapshots the runtime's metrics registry and returns a
@@ -12,6 +14,11 @@ import (
 // table Point. With observability disabled (no registry attached to the
 // runtime) both the snapshot and the rendered suffix are empty, so
 // experiment tables look exactly as before.
+//
+// When the runtime carries per-place registries the suffix also reports
+// the activity imbalance across places — the min and max per-place
+// spawn deltas with the places holding them — the per-run view of what
+// the telemetry plane aggregates cluster-wide.
 //
 // Call it right after building the runtime — the runtime's constructor is
 // what (re-)registers the transport and scheduler counters, so a snapshot
@@ -22,6 +29,11 @@ func metricsNote(rt *core.Runtime) func() string {
 		return func() string { return "" }
 	}
 	before := reg.Snapshot()
+	places := rt.NumPlaces()
+	perBefore := make(map[int]obs.Snapshot, places)
+	for p := 0; p < places; p++ {
+		perBefore[p] = rt.Obs().Place(p).Snapshot()
+	}
 	return func() string {
 		delta := reg.Snapshot().Sub(before)
 		var msgs, bytes, spawned uint64
@@ -35,6 +47,30 @@ func metricsNote(rt *core.Runtime) func() string {
 				spawned += v.Count
 			}
 		}
-		return fmt.Sprintf(" | msgs=%d bytes=%d acts=%d", msgs, bytes, spawned)
+		note := fmt.Sprintf(" | msgs=%d bytes=%d acts=%d", msgs, bytes, spawned)
+		if places > 1 {
+			perDelta := make(map[int]obs.Snapshot, places)
+			for p := 0; p < places; p++ {
+				perDelta[p] = rt.Obs().Place(p).Snapshot().Sub(perBefore[p])
+			}
+			merged := obs.MergeSnapshots(perDelta)
+			if mv, ok := merged["sched.spawned"]; ok && len(mv.Places) == places {
+				note += fmt.Sprintf(" acts[min=%d@p%d max=%d@p%d]", mv.Min, mv.MinAt, mv.Max, mv.MaxAt)
+			}
+		}
+		return note
+	}
+}
+
+// attachTelemetry wires the telemetry plane to a freshly built runtime so
+// every harness run can be inspected cross-place (the /telemetry debug
+// endpoint and -metrics-all views use the same plane). It is best-effort:
+// a runtime without observability simply runs without a plane.
+func attachTelemetry(rt *core.Runtime) {
+	if rt.Obs() == nil {
+		return
+	}
+	if p, err := telemetry.Attach(rt); err == nil {
+		telemetry.SetCurrent(p)
 	}
 }

@@ -60,6 +60,10 @@ func TestMetricsNoteMatchesTransportStats(t *testing.T) {
 	if !strings.Contains(suffix, want) {
 		t.Errorf("metricsNote suffix %q does not contain %q", suffix, want)
 	}
+	// The per-place registries also yield the activity-imbalance suffix.
+	if !strings.Contains(suffix, "acts[min=") || !strings.Contains(suffix, "@p") {
+		t.Errorf("metricsNote suffix %q missing per-place acts[min/max] breakdown", suffix)
+	}
 }
 
 // TestMetricsNoteDisabled checks the suffix is empty without observability.

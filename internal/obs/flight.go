@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder is an always-on, fixed-size, lock-free ring of recent
+// trace events — the runtime's black box. Unlike the Tracer (opt-in,
+// unbounded, allocating), the flight recorder is meant to run on every
+// production process: recording is a handful of atomic stores into a
+// recycled slot, with no allocation and no locks on the record path, so
+// it stays enabled even when -trace is off. When something goes wrong —
+// a finish stall, a SIGQUIT, a Run that returns an error — the last
+// DefaultFlightSize control-plane events are still there to be dumped.
+//
+// Event names and argument keys are interned up front with NameID (a
+// mutex-protected cold path); the hot Record path carries only integer
+// ids, which is what makes it allocation-free and race-detector-clean:
+// every slot field is an atomic word.
+//
+// Consistency model: each slot is stamped with its global sequence number
+// before and after the field stores. A reader (Events, WriteDump) accepts
+// a slot only when both stamps agree, so records torn by a concurrent
+// writer lapping the ring are dropped rather than misreported. Under
+// pathological contention a lapped slot can still blend two events'
+// fields; the recorder is a best-effort diagnostic, not an audit log.
+//
+// All methods are nil-receiver safe; a nil *FlightRecorder records
+// nothing at the cost of one branch.
+type FlightRecorder struct {
+	start time.Time
+	mask  uint64
+	// cursor is the next global sequence number, starting at 1 so that a
+	// zero slot stamp always means "never written".
+	cursor atomic.Uint64
+	slots  []flightSlot
+
+	mu      sync.Mutex
+	names   []string
+	nameIdx map[string]uint32
+}
+
+// flightSlot holds one record as plain atomic words (see the consistency
+// model above). word packs name, cat, ph, and nargs.
+type flightSlot struct {
+	seqA atomic.Uint64 // stamped before the field stores
+	seqB atomic.Uint64 // stamped after the field stores
+	word atomic.Uint64 // name<<32 | cat<<16 | ph<<8 | nargs
+	ts   atomic.Int64
+	dur  atomic.Int64
+	pid  atomic.Int64
+	tid  atomic.Uint64
+	k1   atomic.Uint64
+	v1   atomic.Int64
+	k2   atomic.Uint64
+	v2   atomic.Int64
+}
+
+// DefaultFlightSize is the ring capacity used by Obs constructors.
+const DefaultFlightSize = 4096
+
+// NewFlightRecorder creates a recorder holding the most recent size
+// events (rounded up to a power of two, minimum 64).
+func NewFlightRecorder(size int) *FlightRecorder {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{
+		start:   time.Now(),
+		mask:    uint64(n - 1),
+		slots:   make([]flightSlot, n),
+		names:   []string{""}, // id 0 is the empty name
+		nameIdx: map[string]uint32{"": 0},
+	}
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// NameID interns a name (event name, category, or argument key) and
+// returns its id for use with Record. Call it at setup time, not on hot
+// paths. A nil recorder returns 0, which Record ignores harmlessly.
+func (f *FlightRecorder) NameID(name string) uint32 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id, ok := f.nameIdx[name]; ok {
+		return id
+	}
+	id := uint32(len(f.names))
+	if id > 0xffff {
+		// Name table full: fold into the empty name rather than grow
+		// unboundedly; 65k distinct event names means an interning bug.
+		return 0
+	}
+	f.names = append(f.names, name)
+	f.nameIdx[name] = id
+	return id
+}
+
+// name resolves an interned id (reader side).
+func (f *FlightRecorder) name(id uint32) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) < len(f.names) {
+		return f.names[id]
+	}
+	return ""
+}
+
+// Record stores one event with no arguments. name and cat are interned
+// ids from NameID; ph is the trace phase byte ('i' instant, 'X' span,
+// 'B'/'E' begin/end markers); dur is in nanoseconds (0 for instants).
+func (f *FlightRecorder) Record(name, cat uint32, ph byte, pid int, tid uint64, dur int64) {
+	f.record(name, cat, ph, pid, tid, dur, 0, 0, 0, 0, 0)
+}
+
+// Record1 stores one event with one integer argument.
+func (f *FlightRecorder) Record1(name, cat uint32, ph byte, pid int, tid uint64, dur int64,
+	k1 uint32, v1 int64) {
+	f.record(name, cat, ph, pid, tid, dur, 1, k1, v1, 0, 0)
+}
+
+// Record2 stores one event with two integer arguments.
+func (f *FlightRecorder) Record2(name, cat uint32, ph byte, pid int, tid uint64, dur int64,
+	k1 uint32, v1 int64, k2 uint32, v2 int64) {
+	f.record(name, cat, ph, pid, tid, dur, 2, k1, v1, k2, v2)
+}
+
+func (f *FlightRecorder) record(name, cat uint32, ph byte, pid int, tid uint64, dur int64,
+	nargs uint8, k1 uint32, v1 int64, k2 uint32, v2 int64) {
+	if f == nil {
+		return
+	}
+	ts := int64(time.Since(f.start))
+	seq := f.cursor.Add(1)
+	s := &f.slots[seq&f.mask]
+	s.seqA.Store(seq)
+	s.word.Store(uint64(name)<<32 | uint64(cat&0xffff)<<16 | uint64(ph)<<8 | uint64(nargs))
+	s.ts.Store(ts)
+	s.dur.Store(dur)
+	s.pid.Store(int64(pid))
+	s.tid.Store(tid)
+	s.k1.Store(uint64(k1))
+	s.v1.Store(v1)
+	s.k2.Store(uint64(k2))
+	s.v2.Store(v2)
+	s.seqB.Store(seq)
+}
+
+// Recorded returns the total number of events ever recorded (some may
+// have been overwritten by newer ones).
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.cursor.Load()
+}
+
+// FlightArg is one key/value annotation on a FlightEvent.
+type FlightArg struct {
+	Key string
+	Val int64
+}
+
+// FlightEvent is one decoded record from the ring.
+type FlightEvent struct {
+	Seq  uint64 // global sequence number, strictly increasing
+	TS   int64  // nanoseconds since recorder start, non-decreasing in Events order
+	Dur  int64  // nanoseconds (spans only)
+	Ph   byte
+	Pid  int
+	Tid  uint64
+	Name string
+	Cat  string
+	Args []FlightArg
+}
+
+// Events decodes the ring into ring order (oldest first). Timestamps are
+// monotonized: because concurrent recorders can obtain their sequence
+// number and read the clock in either order, a raw slot timestamp can
+// precede its predecessor's by nanoseconds; Events clamps each timestamp
+// to the running maximum so consumers can rely on non-decreasing time.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		seq := s.seqA.Load()
+		if seq == 0 {
+			continue // never written
+		}
+		word := s.word.Load()
+		e := FlightEvent{
+			Seq: seq,
+			TS:  s.ts.Load(),
+			Dur: s.dur.Load(),
+			Ph:  byte(word >> 8),
+			Pid: int(s.pid.Load()),
+			Tid: s.tid.Load(),
+		}
+		nargs := int(word & 0xff)
+		k1, v1 := uint32(s.k1.Load()), s.v1.Load()
+		k2, v2 := uint32(s.k2.Load()), s.v2.Load()
+		if s.seqB.Load() != seq || s.seqA.Load() != seq {
+			continue // torn by a concurrent writer lapping the ring
+		}
+		e.Name = f.name(uint32(word >> 32))
+		e.Cat = f.name(uint32(word>>16) & 0xffff)
+		if nargs >= 1 {
+			e.Args = append(e.Args, FlightArg{Key: f.name(k1), Val: v1})
+		}
+		if nargs >= 2 {
+			e.Args = append(e.Args, FlightArg{Key: f.name(k2), Val: v2})
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	var maxTS int64
+	for i := range out {
+		if out[i].TS < maxTS {
+			out[i].TS = maxTS
+		} else {
+			maxTS = out[i].TS
+		}
+	}
+	return out
+}
+
+// FlightDumpMagic is the value of the header field identifying a flight
+// recorder dump file (see WriteDump).
+const FlightDumpMagic = "apgas-flight"
+
+// WriteDump writes the ring as a JSON Lines dump: a header object
+// (`{"type":"apgas-flight","version":1,...}`) followed by one event
+// object per line, in ring order with strictly increasing "seq" and
+// non-decreasing "ts" (nanoseconds). cmd/tracecheck validates this
+// format.
+func (f *FlightRecorder) WriteDump(w io.Writer) error {
+	events := f.Events()
+	recorded := f.Recorded()
+	dropped := recorded - uint64(len(events))
+	if _, err := fmt.Fprintf(w, `{"type":%q,"version":1,"events":%d,"recorded":%d,"dropped":%d}`+"\n",
+		FlightDumpMagic, len(events), recorded, dropped); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, `{"seq":%d,"ts":%d,"dur":%d,"ph":%q,"pid":%d,"tid":%d,"name":%q,"cat":%q`,
+			e.Seq, e.TS, e.Dur, string(e.Ph), e.Pid, e.Tid, e.Name, e.Cat); err != nil {
+			return err
+		}
+		if len(e.Args) > 0 {
+			if _, err := io.WriteString(w, `,"args":{`); err != nil {
+				return err
+			}
+			for i, a := range e.Args {
+				sep := ""
+				if i > 0 {
+					sep = ","
+				}
+				if _, err := fmt.Fprintf(w, "%s%q:%d", sep, a.Key, a.Val); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "}"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders the most recent max events (all when max <= 0) as
+// human-readable lines, newest last — the form the stall watchdog and
+// error dumps embed in their reports.
+func (f *FlightRecorder) WriteText(w io.Writer, max int) {
+	events := f.Events()
+	if max > 0 && len(events) > max {
+		events = events[len(events)-max:]
+	}
+	for _, e := range events {
+		fmt.Fprintf(w, "%12.6fms p%-3d %c %-24s", float64(e.TS)/1e6, e.Pid, e.Ph, e.Name)
+		if e.Dur > 0 {
+			fmt.Fprintf(w, " dur=%.3fms", float64(e.Dur)/1e6)
+		}
+		for _, a := range e.Args {
+			fmt.Fprintf(w, " %s=%d", a.Key, a.Val)
+		}
+		fmt.Fprintln(w)
+	}
+}

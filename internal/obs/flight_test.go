@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderBasic(t *testing.T) {
+	f := NewFlightRecorder(64)
+	name := f.NameID("finish.begin")
+	cat := f.NameID("finish")
+	kp := f.NameID("pattern")
+	kn := f.NameID("n")
+	f.Record(name, cat, 'B', 3, 7, 0)
+	f.Record1(name, cat, 'i', 1, 0, 0, kp, 5)
+	f.Record2(name, cat, 'E', 2, 9, 1500, kp, 5, kn, 42)
+
+	ev := f.Events()
+	if len(ev) != 3 {
+		t.Fatalf("Events() = %d events, want 3", len(ev))
+	}
+	if ev[0].Name != "finish.begin" || ev[0].Cat != "finish" || ev[0].Ph != 'B' ||
+		ev[0].Pid != 3 || ev[0].Tid != 7 {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if len(ev[1].Args) != 1 || ev[1].Args[0] != (FlightArg{"pattern", 5}) {
+		t.Errorf("event 1 args = %+v", ev[1].Args)
+	}
+	if len(ev[2].Args) != 2 || ev[2].Args[1] != (FlightArg{"n", 42}) {
+		t.Errorf("event 2 args = %+v, want second arg n=42", ev[2].Args)
+	}
+	if ev[2].Dur != 1500 {
+		t.Errorf("event 2 dur = %d, want 1500", ev[2].Dur)
+	}
+}
+
+func TestFlightRecorderRingOrderAndWrap(t *testing.T) {
+	f := NewFlightRecorder(64) // rounds to 64
+	if f.Cap() != 64 {
+		t.Fatalf("Cap() = %d, want 64", f.Cap())
+	}
+	name := f.NameID("tick")
+	k := f.NameID("i")
+	const total = 200
+	for i := 0; i < total; i++ {
+		f.Record1(name, 0, 'i', 0, 0, 0, k, int64(i))
+	}
+	ev := f.Events()
+	if len(ev) != 64 {
+		t.Fatalf("after wrap Events() = %d, want 64", len(ev))
+	}
+	// The ring must hold the newest 64 events in order.
+	for i, e := range ev {
+		want := int64(total - 64 + i)
+		if e.Args[0].Val != want {
+			t.Fatalf("event %d has i=%d, want %d", i, e.Args[0].Val, want)
+		}
+		if i > 0 && e.Seq != ev[i-1].Seq+1 {
+			t.Fatalf("seq not contiguous at %d: %d after %d", i, e.Seq, ev[i-1].Seq)
+		}
+		if i > 0 && e.TS < ev[i-1].TS {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+	if got := f.Recorded(); got != total {
+		t.Errorf("Recorded() = %d, want %d", got, total)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	id := f.NameID("x")
+	f.Record(id, 0, 'i', 0, 0, 0) // must not panic
+	if f.Events() != nil || f.Recorded() != 0 || f.Cap() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(128)
+	name := f.NameID("hammer")
+	k := f.NameID("g")
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers while writers lap the ring many times over.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ev := f.Events()
+				for i := 1; i < len(ev); i++ {
+					if ev[i].Seq <= ev[i-1].Seq {
+						t.Error("non-increasing seq under concurrency")
+						return
+					}
+					if ev[i].TS < ev[i-1].TS {
+						t.Error("non-monotone ts under concurrency")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				f.Record1(name, 0, 'i', g, uint64(i), 0, k, int64(g))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := f.Recorded(); got != 8*5000 {
+		t.Errorf("Recorded() = %d, want %d", got, 8*5000)
+	}
+}
+
+func TestFlightRecorderDumpFormat(t *testing.T) {
+	f := NewFlightRecorder(64)
+	name := f.NameID("ctl.snapshot")
+	cat := f.NameID("finish")
+	k := f.NameID("dst")
+	for i := 0; i < 100; i++ { // force drops
+		f.Record1(name, cat, 'i', i%4, 0, 0, k, int64(i))
+	}
+	var buf bytes.Buffer
+	if err := f.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty dump")
+	}
+	var hdr struct {
+		Type     string `json:"type"`
+		Version  int    `json:"version"`
+		Events   int    `json:"events"`
+		Recorded uint64 `json:"recorded"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Type != FlightDumpMagic || hdr.Version != 1 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Events != 64 || hdr.Recorded != 100 || hdr.Dropped != 36 {
+		t.Errorf("header counts = %+v, want events=64 recorded=100 dropped=36", hdr)
+	}
+	var lastSeq uint64
+	var lastTS int64
+	n := 0
+	for sc.Scan() {
+		var e struct {
+			Seq  uint64 `json:"seq"`
+			TS   int64  `json:"ts"`
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("event line %d: %v", n, err)
+		}
+		if e.Seq <= lastSeq {
+			t.Fatalf("line %d: seq %d not increasing (prev %d)", n, e.Seq, lastSeq)
+		}
+		if e.TS < lastTS {
+			t.Fatalf("line %d: ts %d went backwards (prev %d)", n, e.TS, lastTS)
+		}
+		if e.Name != "ctl.snapshot" || e.Cat != "finish" {
+			t.Fatalf("line %d: name/cat = %q/%q", n, e.Name, e.Cat)
+		}
+		lastSeq, lastTS = e.Seq, e.TS
+		n++
+	}
+	if n != hdr.Events {
+		t.Errorf("dump has %d event lines, header says %d", n, hdr.Events)
+	}
+}
+
+func TestFlightRecorderWriteText(t *testing.T) {
+	f := NewFlightRecorder(64)
+	name := f.NameID("steal")
+	k := f.NameID("victim")
+	for i := 0; i < 10; i++ {
+		f.Record1(name, 0, 'i', 0, 0, 0, k, int64(i))
+	}
+	var buf bytes.Buffer
+	f.WriteText(&buf, 3)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("WriteText(max=3) = %d lines", len(lines))
+	}
+	if !strings.Contains(lines[2], "victim=9") {
+		t.Errorf("last line %q should show the newest event (victim=9)", lines[2])
+	}
+}
+
+// TestFlightRecordAllocs is the acceptance criterion: the record path
+// must not allocate (tracing disabled or not, the flight recorder is
+// always on).
+func TestFlightRecordAllocs(t *testing.T) {
+	f := NewFlightRecorder(256)
+	name := f.NameID("ev")
+	cat := f.NameID("cat")
+	k1 := f.NameID("a")
+	k2 := f.NameID("b")
+	if n := testing.AllocsPerRun(1000, func() {
+		f.Record(name, cat, 'i', 1, 2, 0)
+	}); n != 0 {
+		t.Errorf("Record allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		f.Record2(name, cat, 'X', 1, 2, 100, k1, 1, k2, 2)
+	}); n != 0 {
+		t.Errorf("Record2 allocates %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkFlightRecord backs the -benchmem acceptance criterion:
+//
+//	go test ./internal/obs -bench FlightRecord -benchmem
+//
+// must report 0 allocs/op.
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlightRecorder(4096)
+	name := f.NameID("ev")
+	cat := f.NameID("cat")
+	k := f.NameID("n")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			f.Record1(name, cat, 'i', 0, 0, 0, k, i)
+		}
+	})
+}

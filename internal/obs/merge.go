@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MergedValue is one metric aggregated across a set of place snapshots:
+// the element-wise sum plus the min/max across the places that report the
+// metric, and the raw per-place values for imbalance inspection. For
+// counters and histograms the Sum/Min/Max refer to Count (and histogram
+// buckets add element-wise into Sum.Buckets); for gauges they refer to
+// the level.
+type MergedValue struct {
+	Kind Kind
+	Sum  Value
+	// Min and Max are over reporting places only; Places lists which
+	// place reported which value, aligned with PerPlace.
+	Min, Max int64
+	MinAt    int
+	MaxAt    int
+	// Places and PerPlace record each reporting place and its scalar
+	// value (Count for counters/histograms, level for gauges), sorted by
+	// place id.
+	Places   []int
+	PerPlace []int64
+}
+
+// Merged is the cross-place aggregation of many per-place snapshots.
+type Merged map[string]MergedValue
+
+// MergeSnapshots folds per-place snapshots into sum/min/max/per-place
+// views. byPlace maps place id → that place's snapshot (nil snapshots are
+// skipped). Metrics are matched by name, which is why per-place
+// registries use unqualified names (see Obs.Place).
+func MergeSnapshots(byPlace map[int]Snapshot) Merged {
+	places := make([]int, 0, len(byPlace))
+	for p, s := range byPlace {
+		if s != nil {
+			places = append(places, p)
+		}
+	}
+	sort.Ints(places)
+	out := make(Merged)
+	for _, p := range places {
+		for name, v := range byPlace[p] {
+			m, seen := out[name]
+			scalar := int64(v.Count)
+			if v.Kind == KindGauge {
+				scalar = v.Gauge
+			}
+			if !seen {
+				m = MergedValue{Kind: v.Kind, Min: scalar, Max: scalar, MinAt: p, MaxAt: p}
+			}
+			m.Sum.Kind = v.Kind
+			m.Sum.Count += v.Count
+			m.Sum.Gauge += v.Gauge
+			m.Sum.Sum += v.Sum
+			if len(v.Buckets) > 0 {
+				if len(m.Sum.Buckets) < len(v.Buckets) {
+					b := make([]uint64, len(v.Buckets))
+					copy(b, m.Sum.Buckets)
+					m.Sum.Buckets = b
+				}
+				for i, bv := range v.Buckets {
+					m.Sum.Buckets[i] += bv
+				}
+			}
+			if seen && scalar < m.Min {
+				m.Min, m.MinAt = scalar, p
+			}
+			if seen && scalar > m.Max {
+				m.Max, m.MaxAt = scalar, p
+			}
+			m.Places = append(m.Places, p)
+			m.PerPlace = append(m.PerPlace, scalar)
+			out[name] = m
+		}
+	}
+	return out
+}
+
+// Counter returns the summed count of a counter/histogram metric (0 when
+// absent).
+func (m Merged) Counter(name string) uint64 { return m[name].Sum.Count }
+
+// WriteTable renders the merged view sorted by name: one row per metric
+// with sum, min (and the place holding it), max (and its place), and the
+// per-place values.
+func (m Merged) WriteTable(w io.Writer) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-36s %12s %12s %12s  %s\n", "metric", "sum", "min", "max", "per-place")
+	for _, name := range names {
+		v := m[name]
+		sum := int64(v.Sum.Count)
+		if v.Kind == KindGauge {
+			sum = v.Sum.Gauge
+		}
+		fmt.Fprintf(w, "%-36s %12d %9d@p%-2d %9d@p%-2d  [", name, sum, v.Min, v.MinAt, v.Max, v.MaxAt)
+		for i, pv := range v.PerPlace {
+			if i > 0 {
+				io.WriteString(w, " ")
+			}
+			fmt.Fprintf(w, "%d", pv)
+		}
+		io.WriteString(w, "]\n")
+	}
+}

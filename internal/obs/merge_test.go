@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotSubHistogramBuckets is the regression test for histogram
+// interval deltas: Sub must subtract per-bucket, not just count/sum, or
+// aggregated latency histograms across places are not mergeable.
+func TestSnapshotSubHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0)    // bucket 0
+	h.Observe(1)    // bucket 1
+	h.Observe(1000) // bucket 10
+	before := r.Snapshot()
+	h.Observe(1) // bucket 1 again
+	h.Observe(5000)
+	h.Observe(5000) // bucket 13 twice
+	delta := r.Snapshot().Sub(before)
+
+	v := delta["lat"]
+	if v.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", v.Count)
+	}
+	if v.Sum != 10001 {
+		t.Fatalf("delta sum = %d, want 10001", v.Sum)
+	}
+	want := map[int]uint64{1: 1, 13: 2}
+	for i, b := range v.Buckets {
+		if b != want[i] {
+			t.Errorf("delta bucket %d = %d, want %d", i, b, want[i])
+		}
+	}
+	var total uint64
+	for _, b := range v.Buckets {
+		total += b
+	}
+	if total != v.Count {
+		t.Errorf("delta buckets total %d != delta count %d", total, v.Count)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	byPlace := make(map[int]Snapshot)
+	for p := 0; p < 4; p++ {
+		r := NewRegistry()
+		r.Counter("sched.spawned").Add(uint64(10 * (p + 1))) // 10,20,30,40
+		r.Gauge("sched.blocked").Set(int64(p))               // 0..3
+		h := r.Histogram("lat")
+		h.Observe(uint64(1 << p)) // buckets 1..4
+		byPlace[p] = r.Snapshot()
+	}
+	byPlace[7] = nil // skipped
+
+	m := MergeSnapshots(byPlace)
+	c := m["sched.spawned"]
+	if c.Sum.Count != 100 {
+		t.Errorf("spawned sum = %d, want 100", c.Sum.Count)
+	}
+	if c.Min != 10 || c.MinAt != 0 || c.Max != 40 || c.MaxAt != 3 {
+		t.Errorf("spawned min/max = %d@p%d / %d@p%d, want 10@p0 / 40@p3",
+			c.Min, c.MinAt, c.Max, c.MaxAt)
+	}
+	if len(c.Places) != 4 || c.Places[2] != 2 || c.PerPlace[2] != 30 {
+		t.Errorf("spawned per-place = %v / %v", c.Places, c.PerPlace)
+	}
+
+	g := m["sched.blocked"]
+	if g.Kind != KindGauge || g.Sum.Gauge != 6 || g.Min != 0 || g.Max != 3 {
+		t.Errorf("blocked merged = %+v", g)
+	}
+
+	h := m["lat"]
+	if h.Sum.Count != 4 {
+		t.Errorf("lat merged count = %d, want 4", h.Sum.Count)
+	}
+	// One observation per bucket 1..4 (values 1,2,4,8).
+	for i := 1; i <= 4; i++ {
+		if h.Sum.Buckets[i] != 1 {
+			t.Errorf("lat merged bucket %d = %d, want 1", i, h.Sum.Buckets[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	m.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "sched.spawned") || !strings.Contains(out, "100") {
+		t.Errorf("WriteTable missing sum row:\n%s", out)
+	}
+	if !strings.Contains(out, "10@p0") || !strings.Contains(out, "40@p3") {
+		t.Errorf("WriteTable missing min/max place columns:\n%s", out)
+	}
+}
+
+func TestObsPlaceRegistries(t *testing.T) {
+	o := New()
+	if o.Flight == nil {
+		t.Fatal("New() must create a flight recorder")
+	}
+	r0 := o.Place(0)
+	r0b := o.Place(0)
+	if r0 != r0b {
+		t.Error("Place(0) not stable")
+	}
+	if o.Place(1) == r0 {
+		t.Error("places share a registry")
+	}
+	var nilObs *Obs
+	if nilObs.Place(0) != nil || nilObs.FlightRecorder() != nil {
+		t.Error("nil Obs must return nil handles")
+	}
+}

@@ -17,7 +17,10 @@
 // single pointer load and branch per instrumentation site.
 package obs
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Obs bundles the metrics registry and the (optional) event tracer that
 // a runtime instance reports into.
@@ -26,13 +29,25 @@ type Obs struct {
 	Metrics *Registry
 	// Trace is the event tracer, nil unless tracing was requested.
 	Trace *Tracer
+	// Flight is the always-on flight recorder; always non-nil in a
+	// constructed Obs (it records regardless of whether Trace is set).
+	Flight *FlightRecorder
+
+	placeMu sync.Mutex
+	places  map[int]*Registry
 }
 
 // New returns an Obs with a fresh metrics registry and no tracer.
-func New() *Obs { return &Obs{Metrics: NewRegistry()} }
+func New() *Obs {
+	return &Obs{Metrics: NewRegistry(), Flight: NewFlightRecorder(DefaultFlightSize)}
+}
 
 // NewTracing returns an Obs with both a metrics registry and a tracer.
-func NewTracing() *Obs { return &Obs{Metrics: NewRegistry(), Trace: NewTracer()} }
+func NewTracing() *Obs {
+	o := New()
+	o.Trace = NewTracer()
+	return o
+}
 
 // Tracer returns the tracer, nil when o is nil or tracing is disabled.
 func (o *Obs) Tracer() *Tracer {
@@ -48,6 +63,38 @@ func (o *Obs) Registry() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// FlightRecorder returns the flight recorder, nil when o is nil (or o
+// predates flight recording).
+func (o *Obs) FlightRecorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
+// Place returns the registry scoped to one place, creating it on first
+// use. Where Metrics holds process-wide totals (with place-qualified
+// names like "sched.p3.spawned"), per-place registries hold each place's
+// own view under *unqualified* names ("sched.spawned"), which is what
+// makes snapshots from different places mergeable by the telemetry
+// plane: the same logical metric has the same name everywhere.
+func (o *Obs) Place(p int) *Registry {
+	if o == nil {
+		return nil
+	}
+	o.placeMu.Lock()
+	defer o.placeMu.Unlock()
+	if o.places == nil {
+		o.places = make(map[int]*Registry)
+	}
+	r, ok := o.places[p]
+	if !ok {
+		r = NewRegistry()
+		o.places[p] = r
+	}
+	return r
 }
 
 // global is the process-wide default Obs, installed by CLIs so that

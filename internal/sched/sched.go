@@ -25,13 +25,15 @@ type Scheduler struct {
 	slots   chan struct{}
 	workers int
 
-	// spawned/completed are always-on obs counters; Stats is a thin view
-	// over them, and AttachMetrics surfaces them in a registry by name.
+	// spawned/completed/blocked are always-on obs metrics; Stats is a
+	// thin view over them, and AttachMetrics surfaces them in a registry
+	// by name. They are values (not registry-created handles) so the same
+	// scheduler can be attached to several registries — the process-wide
+	// one under a place-qualified prefix and the place's own registry
+	// under an unqualified prefix — without splitting the counts.
 	spawned   obs.Counter
 	completed obs.Counter
-	// blocked tracks activities currently parked in Block/Blocking. It is
-	// nil until AttachMetrics, so the disabled path costs one nil check.
-	blocked *obs.Gauge
+	blocked   obs.Gauge
 
 	quiet sync.WaitGroup // tracks in-flight activities for draining
 }
@@ -53,15 +55,16 @@ func (s *Scheduler) Workers() int { return s.workers }
 
 // AttachMetrics registers this scheduler's counters in r under
 // prefix.spawned, prefix.completed, and prefix.slots.blocked (e.g.
-// "sched.p3.slots.blocked" for place 3). Call before the scheduler runs
-// activities; attaching is not synchronized with the hot paths.
+// "sched.p3.slots.blocked" for place 3). It may be called once per
+// registry; the underlying metrics are shared, so every attached
+// registry sees the same live values.
 func (s *Scheduler) AttachMetrics(r *obs.Registry, prefix string) {
 	if r == nil {
 		return
 	}
 	r.RegisterCounter(prefix+".spawned", &s.spawned)
 	r.RegisterCounter(prefix+".completed", &s.completed)
-	s.blocked = r.Gauge(prefix + ".slots.blocked")
+	r.RegisterGauge(prefix+".slots.blocked", &s.blocked)
 }
 
 // Spawn runs f as a new activity: a goroutine that first acquires an

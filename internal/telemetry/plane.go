@@ -1,0 +1,321 @@
+// Package telemetry is the distributed telemetry plane of the APGAS
+// runtime: it turns the per-place metric registries of internal/obs into
+// one cluster-wide view. Place 0 pulls every place's snapshot through a
+// gather tree with the same shape as PlaceGroup.Broadcast's spawning tree
+// (contiguous ranges split into BroadcastArity chunks), merges them into
+// sum/min/max/per-place aggregates, and exposes the result as a text
+// table or JSON. A finish stall watchdog (watchdog.go) and signal-driven
+// flight-recorder dumps (signal.go) ride on the same introspection
+// surfaces, so the package is both the benchmarking plane (what did all
+// places do?) and the liveness plane (why is this finish not
+// terminating?) of the runtime.
+//
+// The collection protocol deliberately runs directly on the x10rt
+// transport — not on finish/async machinery — so it keeps working while a
+// finish is wedged, which is exactly when it is needed most. Its traffic
+// travels under x10rt.HandlerTelemetry, which the transports exclude from
+// traffic accounting: observing the system does not perturb the numbers
+// being observed, and aggregated message totals remain exactly the sum of
+// the per-place transport stats.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/obs"
+	"apgas/internal/x10rt"
+)
+
+// Plane is the cross-place aggregation service of one runtime. Attach it
+// once per runtime; Collect may then be called repeatedly (including
+// concurrently) from any goroutine.
+type Plane struct {
+	rt     *core.Runtime
+	tr     x10rt.Transport
+	o      *obs.Obs
+	places int
+	arity  int
+
+	mu      sync.Mutex
+	reqSeq  uint64
+	nodes   map[nodeKey]*gatherNode
+	pending map[uint64]chan map[int]obs.Snapshot
+}
+
+// telemetryReq asks the subtree [Lo, Hi) — rooted at place Lo, where the
+// request is delivered — to report its snapshots to Parent.
+type telemetryReq struct {
+	ID     uint64
+	Lo, Hi int
+	// Parent is the place the subtree report goes back to; -1 marks the
+	// collector's root request (the report completes the Collect call).
+	Parent int
+}
+
+// telemetryRep carries a completed subtree's snapshots up one tree edge.
+type telemetryRep struct {
+	ID    uint64
+	From  int
+	Snaps map[int]obs.Snapshot
+}
+
+// nodeKey identifies one in-progress gather node: a collection round plus
+// the place acting as subtree root.
+type nodeKey struct {
+	id    uint64
+	place int
+}
+
+// gatherNode is the per-subtree-root state of one collection round.
+type gatherNode struct {
+	parent int
+	expect int
+	snaps  map[int]obs.Snapshot
+}
+
+// Attach registers the telemetry plane on rt's transport and returns it.
+// It fails if the runtime has no observability layer or if a plane is
+// already attached to the transport.
+func Attach(rt *core.Runtime) (*Plane, error) {
+	o := rt.Obs()
+	if o == nil {
+		return nil, fmt.Errorf("telemetry: runtime has no observability layer")
+	}
+	p := &Plane{
+		rt:      rt,
+		tr:      rt.Transport(),
+		o:       o,
+		places:  rt.NumPlaces(),
+		arity:   rt.Config().BroadcastArity,
+		nodes:   make(map[nodeKey]*gatherNode),
+		pending: make(map[uint64]chan map[int]obs.Snapshot),
+	}
+	if err := p.tr.Register(x10rt.HandlerTelemetry, p.onTelemetry); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return p, nil
+}
+
+// Runtime returns the runtime this plane is attached to.
+func (p *Plane) Runtime() *core.Runtime { return p.rt }
+
+// Collect pulls every place's snapshot through the gather tree and
+// returns them keyed by place. It fails if the round does not complete
+// within timeout (a place's dispatcher is wedged — itself a diagnostic).
+func (p *Plane) Collect(timeout time.Duration) (map[int]obs.Snapshot, error) {
+	ch := make(chan map[int]obs.Snapshot, 1)
+	p.mu.Lock()
+	p.reqSeq++
+	id := p.reqSeq
+	p.pending[id] = ch
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+	}()
+	// The root request is a self-send at place 0, so even the collector's
+	// own snapshot travels the same handler path as everyone else's.
+	err := p.tr.Send(0, 0, x10rt.HandlerTelemetry,
+		telemetryReq{ID: id, Lo: 0, Hi: p.places, Parent: -1}, 0, x10rt.ControlClass)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: collect send: %w", err)
+	}
+	select {
+	case snaps := <-ch:
+		return snaps, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("telemetry: collection %d timed out after %v", id, timeout)
+	}
+}
+
+// onTelemetry is the transport handler for both message kinds. It never
+// blocks: a request snapshots the local place, fans out child requests,
+// and parks node state; replies fold into that state and propagate up
+// when the last child reports.
+func (p *Plane) onTelemetry(src, dst int, payload any) {
+	switch m := payload.(type) {
+	case telemetryReq:
+		node := &gatherNode{
+			parent: m.Parent,
+			snaps:  map[int]obs.Snapshot{dst: p.o.Place(dst).Snapshot()},
+		}
+		// Fan [Lo+1, Hi) out into up to arity contiguous chunks — the
+		// same tree shape PlaceGroup.Broadcast uses (broadcastSubtree).
+		n := m.Hi - m.Lo - 1
+		var children []telemetryReq
+		if n > 0 {
+			chunk := (n + p.arity - 1) / p.arity
+			for start := m.Lo + 1; start < m.Hi; start += chunk {
+				end := start + chunk
+				if end > m.Hi {
+					end = m.Hi
+				}
+				children = append(children, telemetryReq{ID: m.ID, Lo: start, Hi: end, Parent: dst})
+			}
+		}
+		if len(children) == 0 {
+			p.report(m.ID, dst, m.Parent, node.snaps)
+			return
+		}
+		node.expect = len(children)
+		p.mu.Lock()
+		p.nodes[nodeKey{m.ID, dst}] = node
+		p.mu.Unlock()
+		for _, c := range children {
+			if err := p.tr.Send(dst, c.Lo, x10rt.HandlerTelemetry, c, 0, x10rt.ControlClass); err != nil {
+				// Transport shut down mid-round; the Collect times out.
+				return
+			}
+		}
+	case telemetryRep:
+		key := nodeKey{m.ID, dst}
+		p.mu.Lock()
+		node, ok := p.nodes[key]
+		if !ok {
+			p.mu.Unlock()
+			return // round abandoned (collector timed out and moved on)
+		}
+		for q, s := range m.Snaps {
+			node.snaps[q] = s
+		}
+		node.expect--
+		if node.expect > 0 {
+			p.mu.Unlock()
+			return
+		}
+		delete(p.nodes, key)
+		p.mu.Unlock()
+		p.report(m.ID, dst, node.parent, node.snaps)
+	}
+}
+
+// report sends a completed subtree's snapshots to the parent, or hands
+// them to the waiting collector when this was the root node.
+func (p *Plane) report(id uint64, from, parent int, snaps map[int]obs.Snapshot) {
+	if parent < 0 {
+		p.mu.Lock()
+		ch := p.pending[id]
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- snaps
+		}
+		return
+	}
+	_ = p.tr.Send(from, parent, x10rt.HandlerTelemetry,
+		telemetryRep{ID: id, From: from, Snaps: snaps}, 0, x10rt.ControlClass)
+}
+
+// Report is one completed collection round: the raw per-place snapshots
+// plus their merged sum/min/max view.
+type Report struct {
+	Places  int
+	ByPlace map[int]obs.Snapshot
+	Merged  obs.Merged
+}
+
+// Report collects and merges in one step.
+func (p *Plane) Report(timeout time.Duration) (*Report, error) {
+	snaps, err := p.Collect(timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Places: p.places, ByPlace: snaps, Merged: obs.MergeSnapshots(snaps)}, nil
+}
+
+// WriteTable renders the merged cross-place table (sum, min@place,
+// max@place, per-place values) preceded by a one-line header.
+func (r *Report) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "telemetry: %d places, %d metrics\n", r.Places, len(r.Merged))
+	r.Merged.WriteTable(w)
+}
+
+// jsonMetric is the JSON shape of one merged metric.
+type jsonMetric struct {
+	Kind     string           `json:"kind"`
+	Sum      int64            `json:"sum"`
+	Min      int64            `json:"min"`
+	MinPlace int              `json:"minPlace"`
+	Max      int64            `json:"max"`
+	MaxPlace int              `json:"maxPlace"`
+	PerPlace map[string]int64 `json:"perPlace"`
+}
+
+// MarshalJSON renders the report as {"places": N, "metrics": {...}}.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	metrics := make(map[string]jsonMetric, len(r.Merged))
+	for name, v := range r.Merged {
+		sum := int64(v.Sum.Count)
+		kind := "counter"
+		switch v.Kind {
+		case obs.KindGauge:
+			sum = v.Sum.Gauge
+			kind = "gauge"
+		case obs.KindHistogram:
+			kind = "histogram"
+		}
+		per := make(map[string]int64, len(v.Places))
+		for i, pl := range v.Places {
+			per[fmt.Sprintf("p%d", pl)] = v.PerPlace[i]
+		}
+		metrics[name] = jsonMetric{
+			Kind: kind, Sum: sum,
+			Min: v.Min, MinPlace: v.MinAt,
+			Max: v.Max, MaxPlace: v.MaxAt,
+			PerPlace: per,
+		}
+	}
+	return json.Marshal(struct {
+		Places  int                   `json:"places"`
+		Metrics map[string]jsonMetric `json:"metrics"`
+	}{Places: r.Places, Metrics: metrics})
+}
+
+// Names returns the merged metric names, sorted (a convenience for
+// deterministic rendering and tests).
+func (r *Report) Names() []string {
+	names := make([]string, 0, len(r.Merged))
+	for name := range r.Merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// current is the plane the process's debug HTTP endpoint serves, set by
+// the binary that owns the runtime.
+var current atomic.Pointer[Plane]
+
+// SetCurrent installs p as the plane behind Handler (nil to clear).
+func SetCurrent(p *Plane) { current.Store(p) }
+
+// Current returns the installed plane, or nil.
+func Current() *Plane { return current.Load() }
+
+// Handler serves the current plane's merged report as JSON — mount it at
+// /telemetry on the -debug-addr server. It answers 503 while no plane is
+// installed and 504 when collection times out.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		p := Current()
+		if p == nil {
+			http.Error(w, "no telemetry plane attached", http.StatusServiceUnavailable)
+			return
+		}
+		r, err := p.Report(5 * time.Second)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r)
+	})
+}

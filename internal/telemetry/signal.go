@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"apgas/internal/core"
+)
+
+// DumpOnSignal arranges for SIGQUIT (the classic "what is this process
+// doing?" signal) to write the runtime's finish diagnostic and the flight
+// recorder's recent events to w (os.Stderr when nil), without killing the
+// process. It returns a stop function that restores default signal
+// handling; call it before the runtime is closed.
+func DumpOnSignal(rt *core.Runtime, w io.Writer) (stop func()) {
+	if w == nil {
+		w = os.Stderr
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for sig := range ch {
+			fmt.Fprintf(w, "\napgas: %v received; runtime diagnostic follows\n", sig)
+			WriteDiagnostic(rt, w, 64)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(ch)
+			<-done
+		})
+	}
+}
+
+// WriteDiagnostic writes the full liveness picture of rt to w: every
+// registered finish root with its who-owes-whom deficits, proxy and dense
+// buffer state, and the newest flightTail flight-recorder events
+// (suppressed when negative).
+func WriteDiagnostic(rt *core.Runtime, w io.Writer, flightTail int) {
+	rt.WriteFinishDump(w)
+	if flightTail < 0 {
+		return
+	}
+	if f := rt.Obs().FlightRecorder(); f != nil {
+		fmt.Fprintf(w, "recent flight events (newest last):\n")
+		f.WriteText(w, flightTail)
+	}
+}

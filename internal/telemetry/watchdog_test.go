@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/obs"
+	"apgas/internal/x10rt"
+)
+
+// syncBuf is a bytes.Buffer safe for the watchdog goroutine to write
+// while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func (s *syncBuf) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Len()
+}
+
+// stallTransport wraps a transport and holds back finish control
+// messages originating at one place — a software model of the paper's
+// nightmare scenario, a compute node whose control traffic is stuck
+// behind the interconnect. heal releases the held messages in order.
+type stallTransport struct {
+	x10rt.Transport
+	victim int
+
+	mu     sync.Mutex
+	healed bool
+	held   []heldMsg
+}
+
+type heldMsg struct {
+	src, dst int
+	id       x10rt.HandlerID
+	payload  any
+	bytes    int
+	class    x10rt.Class
+}
+
+func (s *stallTransport) Send(src, dst int, id x10rt.HandlerID, payload any, bytes int, class x10rt.Class) error {
+	if id == x10rt.HandlerFinishCtl && src == s.victim {
+		s.mu.Lock()
+		if !s.healed {
+			s.held = append(s.held, heldMsg{src, dst, id, payload, bytes, class})
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+	}
+	return s.Transport.Send(src, dst, id, payload, bytes, class)
+}
+
+func (s *stallTransport) heal() error {
+	s.mu.Lock()
+	held := s.held
+	s.held = nil
+	s.healed = true
+	s.mu.Unlock()
+	for _, m := range held {
+		if err := s.Transport.Send(m.src, m.dst, m.id, m.payload, m.bytes, m.class); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestWatchdogStalledDense wedges a FINISH_DENSE by withholding one
+// place's finish control traffic and checks the watchdog names the
+// pattern, the delinquent place, and the pending count — then heals the
+// network and checks the finish completes normally.
+func TestWatchdogStalledDense(t *testing.T) {
+	const places, victim = 8, 5
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &stallTransport{Transport: inner, victim: victim}
+	rt, err := core.NewRuntime(core.Config{
+		Places:        places,
+		PlacesPerHost: 4, // dense routing through masters p0 and p4
+		Obs:           obs.New(),
+		Transport:     st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var dump syncBuf
+	w := StartWatchdog(rt, WatchdogOptions{
+		Window:     150 * time.Millisecond,
+		Poll:       20 * time.Millisecond,
+		Out:        &dump,
+		FlightTail: 16,
+	})
+	defer w.Stop()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Run(func(c *core.Ctx) {
+			if err := c.FinishPragma(core.PatternDense, func(cc *core.Ctx) {
+				for q := 1; q < places; q++ {
+					cc.AtAsync(core.Place(q), func(*core.Ctx) {})
+				}
+			}); err != nil {
+				panic(err)
+			}
+		})
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for w.Stalls() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if w.Stalls() == 0 {
+		t.Fatalf("watchdog never fired; dump so far:\n%s", dump.String())
+	}
+	out := dump.String()
+	for _, want := range []string{
+		"apgas stall watchdog",
+		"FINISH_DENSE",
+		fmt.Sprintf("place p%d", victim),
+		"pending=1",
+		"recent flight events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stall dump missing %q:\n%s", want, out)
+		}
+	}
+
+	// One dump per stall episode: a wedged finish must not spam.
+	before := w.Stalls()
+	time.Sleep(400 * time.Millisecond)
+	if after := w.Stalls(); after != before {
+		t.Errorf("watchdog re-fired on the same episode: %d -> %d", before, after)
+	}
+
+	if err := st.heal(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("finish did not complete after healing the network")
+	}
+}
+
+// TestWatchdogNoFalsePositive runs a slow-but-progressing finish — an
+// activity chain hopping between places with pauses shorter than the
+// window — and checks the watchdog stays silent.
+func TestWatchdogNoFalsePositive(t *testing.T) {
+	const places, hops = 4, 12
+	rt, err := core.NewRuntime(core.Config{Places: places, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var dump syncBuf
+	w := StartWatchdog(rt, WatchdogOptions{
+		Window: 250 * time.Millisecond,
+		Poll:   20 * time.Millisecond,
+		Out:    &dump,
+	})
+	defer w.Stop()
+
+	var hop func(c *core.Ctx, n int)
+	hop = func(c *core.Ctx, n int) {
+		if n == 0 {
+			return
+		}
+		next := core.Place((int(c.Place()) + 1) % places)
+		c.Blocking(func() { time.Sleep(60 * time.Millisecond) })
+		c.AtAsync(next, func(cc *core.Ctx) { hop(cc, n-1) })
+	}
+	// 12 hops x 60ms ≈ 720ms of a finish that is always waiting yet
+	// always progressing — far past the 250ms window.
+	if err := rt.Run(func(c *core.Ctx) { hop(c, hops) }); err != nil {
+		t.Fatal(err)
+	}
+	w.Stop()
+	if w.Stalls() != 0 || dump.Len() != 0 {
+		t.Fatalf("watchdog false positive (%d stalls):\n%s", w.Stalls(), dump.String())
+	}
+}
+
+// TestDumpOnSignalWiring checks the diagnostic writer used by the
+// SIGQUIT handler produces the finish and flight sections (sending a
+// real SIGQUIT would race with the test binary's own handler).
+func TestDumpOnSignalWiring(t *testing.T) {
+	rt, err := core.NewRuntime(core.Config{Places: 2, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Run(func(c *core.Ctx) {
+		c.AtAsync(1, func(*core.Ctx) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteDiagnostic(rt, &buf, 32)
+	out := buf.String()
+	if !strings.Contains(out, "finish") {
+		t.Errorf("diagnostic missing finish section:\n%s", out)
+	}
+	if !strings.Contains(out, "recent flight events") {
+		t.Errorf("diagnostic missing flight section:\n%s", out)
+	}
+	stop := DumpOnSignal(rt, &bytes.Buffer{})
+	stop()
+	stop() // idempotent
+}

@@ -44,6 +44,7 @@ type ChanTransport struct {
 	handlers *handlerTable
 	places   []*chanEndpoint
 	ctrs     counters
+	perPlace []counters // egress traffic by source place
 	closed   sync.Once
 	done     chan struct{}
 }
@@ -88,6 +89,7 @@ func NewChanTransport(opts ChanOptions) (*ChanTransport, error) {
 		opts:     opts,
 		handlers: newHandlerTable(),
 		places:   make([]*chanEndpoint, opts.Places),
+		perPlace: make([]counters, opts.Places),
 		done:     make(chan struct{}),
 	}
 	for i := range t.places {
@@ -154,7 +156,10 @@ func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int,
 	}
 	ep.enqueueLocked(m)
 	ep.mu.Unlock()
-	t.ctrs.add(class, bytes)
+	if countable(id) {
+		t.ctrs.add(class, bytes)
+		t.perPlace[src].add(class, bytes)
+	}
 	return nil
 }
 
@@ -223,6 +228,21 @@ func (t *ChanTransport) Stats() Stats { return t.ctrs.snapshot() }
 // AttachMetrics implements MetricSource: the traffic counters become
 // visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>.
 func (t *ChanTransport) AttachMetrics(r *obs.Registry) { t.ctrs.attach(r) }
+
+// PlaceStats implements PlaceMetricSource: traffic sent by place p.
+func (t *ChanTransport) PlaceStats(p int) Stats {
+	if p < 0 || p >= len(t.perPlace) {
+		return Stats{}
+	}
+	return t.perPlace[p].snapshot()
+}
+
+// AttachPlaceMetrics implements PlaceMetricSource.
+func (t *ChanTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
+	if p >= 0 && p < len(t.perPlace) {
+		t.perPlace[p].attach(r)
+	}
+}
 
 // Close implements Transport.
 func (t *ChanTransport) Close() error {

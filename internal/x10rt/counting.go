@@ -33,9 +33,11 @@ func (t *CountingTransport) Send(src, dst int, id HandlerID, payload any, bytes 
 	if err := t.Transport.Send(src, dst, id, payload, bytes, class); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	t.links[linkKey{src, dst, class}]++
-	t.mu.Unlock()
+	if countable(id) {
+		t.mu.Lock()
+		t.links[linkKey{src, dst, class}]++
+		t.mu.Unlock()
+	}
 	return nil
 }
 
@@ -45,6 +47,23 @@ func (t *CountingTransport) Send(src, dst int, id HandlerID, payload any, bytes 
 func (t *CountingTransport) AttachMetrics(r *obs.Registry) {
 	if ms, ok := t.Transport.(MetricSource); ok {
 		ms.AttachMetrics(r)
+	}
+}
+
+// PlaceStats forwards to the wrapped transport when it attributes
+// traffic per place (zero Stats otherwise).
+func (t *CountingTransport) PlaceStats(p int) Stats {
+	if ps, ok := t.Transport.(PlaceMetricSource); ok {
+		return ps.PlaceStats(p)
+	}
+	return Stats{}
+}
+
+// AttachPlaceMetrics forwards to the wrapped transport when it is a
+// PlaceMetricSource.
+func (t *CountingTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
+	if ps, ok := t.Transport.(PlaceMetricSource); ok {
+		ps.AttachPlaceMetrics(p, r)
 	}
 }
 

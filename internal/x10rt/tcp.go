@@ -31,6 +31,7 @@ type TCPTransport struct {
 	handlers *handlerTable
 	listener net.Listener
 	ctrs     counters
+	egress   counters // messages sent by this endpoint only
 
 	mu     sync.Mutex
 	conns  map[int]*tcpConn // outbound, keyed by dst
@@ -142,7 +143,10 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 			return ErrClosed
 		}
 		t.loop <- m
-		t.ctrs.add(class, bytes)
+		if countable(id) {
+			t.ctrs.add(class, bytes)
+			t.egress.add(class, bytes)
+		}
 		return nil
 	}
 	conn, err := t.connTo(dst)
@@ -155,7 +159,10 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 	if err != nil {
 		return fmt.Errorf("x10rt: send to %d: %w", dst, err)
 	}
-	t.ctrs.add(class, bytes)
+	if countable(id) {
+		t.ctrs.add(class, bytes)
+		t.egress.add(class, bytes)
+	}
 	return nil
 }
 
@@ -200,7 +207,9 @@ func (t *TCPTransport) read(nc net.Conn) {
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
-		t.ctrs.add(m.Class, m.Bytes)
+		if countable(m.ID) {
+			t.ctrs.add(m.Class, m.Bytes)
+		}
 		if h, ok := t.handlers.lookup(m.ID); ok {
 			h(m.Src, t.opts.Place, m.Payload)
 		}
@@ -223,6 +232,23 @@ func (t *TCPTransport) Stats() Stats { return t.ctrs.snapshot() }
 // AttachMetrics implements MetricSource: the traffic counters become
 // visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>.
 func (t *TCPTransport) AttachMetrics(r *obs.Registry) { t.ctrs.attach(r) }
+
+// PlaceStats implements PlaceMetricSource. A TCP endpoint only carries
+// its own place's egress; any other place reports zero here (its own
+// endpoint, in its own process, holds its counters).
+func (t *TCPTransport) PlaceStats(p int) Stats {
+	if p != t.opts.Place {
+		return Stats{}
+	}
+	return t.egress.snapshot()
+}
+
+// AttachPlaceMetrics implements PlaceMetricSource.
+func (t *TCPTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
+	if p == t.opts.Place {
+		t.egress.attach(r)
+	}
+}
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {

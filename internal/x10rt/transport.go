@@ -113,9 +113,20 @@ const (
 	HandlerCopy
 	// HandlerGUPS carries remote-atomic-update (GUPS) traffic.
 	HandlerGUPS
+	// HandlerTelemetry carries cross-place metric collection (the
+	// telemetry plane's tree gather). Telemetry messages are excluded
+	// from the transport's traffic counters so that *observing* the
+	// system does not perturb the numbers being observed — aggregated
+	// totals stay exactly equal to the sum of per-place application
+	// traffic.
+	HandlerTelemetry
 	// UserHandlerBase is the first identifier available to applications.
 	UserHandlerBase HandlerID = 64
 )
+
+// countable reports whether messages to id participate in traffic
+// accounting (everything except the telemetry plane's own traffic).
+func countable(id HandlerID) bool { return id != HandlerTelemetry }
 
 // ErrClosed is returned by Send after the transport has been closed.
 var ErrClosed = errors.New("x10rt: transport closed")
@@ -169,6 +180,23 @@ func (s Stats) String() string {
 // attaching adds names, not cost.
 type MetricSource interface {
 	AttachMetrics(r *obs.Registry)
+}
+
+// PlaceMetricSource is implemented by transports that additionally
+// attribute traffic to individual places (by source, i.e. egress
+// accounting), so the telemetry plane can aggregate per-place views.
+// The sum of PlaceStats over all places equals Stats: every message is
+// attributed to exactly one place, its sender.
+type PlaceMetricSource interface {
+	MetricSource
+	// PlaceStats returns the traffic sent by place p (zero Stats when
+	// the transport does not carry p's egress, e.g. a remote endpoint).
+	PlaceStats(p int) Stats
+	// AttachPlaceMetrics registers place p's traffic counters in r under
+	// the same canonical x10rt.* names used by AttachMetrics; per-place
+	// registries deliberately use unqualified names so snapshots from
+	// different places merge by name.
+	AttachPlaceMetrics(p int, r *obs.Registry)
 }
 
 // counters accumulates traffic statistics with atomic updates. The cells
