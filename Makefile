@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench trace telemetry experiments examples clean
+.PHONY: all build test race bench trace telemetry chaos fuzz-short experiments examples clean
 
-all: build test race telemetry
+all: build test race telemetry chaos fuzz-short
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,25 @@ telemetry:
 	$(GO) run ./cmd/apgas-bench -exp telemetry -places 4 -netsim -metrics-all \
 		-flight-dump /tmp/apgas-flight.jsonl
 	$(GO) run ./cmd/tracecheck /tmp/apgas-flight.jsonl
+
+# Deterministic chaos: a short race-enabled seed sweep of every finish
+# pattern (plus lifeline GLB) under fault injection, checking the finish
+# quiescence, activity conservation, and telemetry sum invariants after
+# every run, followed by the exhaustive SPMD credit-order permutations.
+# The full 64-seed acceptance sweep is `go test ./internal/chaos -run
+# Explore` (without -short); cmd/chaos adds replay of a failing seed.
+chaos:
+	$(GO) test -race -short -run 'TestExplore|TestReplay' ./internal/chaos
+	$(GO) run ./cmd/apgas-bench -exp chaos -chaos-seeds 4
+
+# 30 seconds of coverage-guided fuzzing per target: the x10rt TCP frame
+# codec and the tracecheck flight-dump validator. -fuzzminimizetime is
+# bounded because the default 60s-per-input minimization budget would
+# otherwise consume the entire run.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
+	$(GO) test -run '^$$' -fuzz FuzzCheckFlightDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 
 # Regenerate every table and figure at laptop scale.
 experiments:

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"apgas/internal/chaos"
+)
+
+// chaosOptions configures the -exp chaos smoke run.
+type chaosOptions struct {
+	places int
+	seeds  int
+}
+
+// runChaos is the bench-harness face of the chaos explorer: a short
+// deliverability-preserving fault sweep over every finish-pattern
+// workload plus GLB, followed by the exhaustive SPMD credit-order
+// permutations. It is a smoke test, not the acceptance sweep — the
+// full 64-seed run lives in `go test ./internal/chaos -run Explore`
+// and `make chaos`; the dedicated cmd/chaos CLI adds replay.
+func runChaos(o chaosOptions) error {
+	if o.seeds <= 0 {
+		o.seeds = 8
+	}
+	opts := chaos.SweepOptions{
+		Places:  o.places,
+		Seeds:   o.seeds,
+		Timeout: 30 * time.Second,
+	}
+	start := time.Now()
+	res := chaos.Sweep(opts)
+	fmt.Printf("chaos sweep: %d runs (%d seeds x %d workloads, %d places) in %v\n",
+		res.Runs, o.seeds, len(chaos.Workloads()), opts.Places,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  fault totals: %v\n", res.FaultTotals)
+
+	perm := chaos.ExplorePermutations(opts)
+	fmt.Printf("chaos permutations: %d SPMD credit orderings, %d violating\n",
+		perm.Runs, len(perm.Failures))
+
+	failures := append(res.Failures, perm.Failures...)
+	for _, rep := range failures {
+		fmt.Fprintf(os.Stderr, "FAIL workload=%s seed=%d faults=%v\n%s",
+			rep.Workload, rep.Seed, rep.Faults, chaos.FormatViolations(rep.Violations))
+		if rep.FinishDump != "" {
+			fmt.Fprint(os.Stderr, rep.FinishDump)
+		}
+		fmt.Fprintf(os.Stderr, "replay: go run ./cmd/chaos -chaos-replay %d -workload %s -places %d\n",
+			rep.Seed, rep.Workload, opts.Places)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("chaos: %d runs violated invariants", len(failures))
+	}
+	fmt.Println("  all invariants held: finish quiescence, activity conservation, stats sum-equality")
+	return nil
+}

@@ -43,12 +43,13 @@ func main() {
 		"attach metric deltas to experiment tables and print a snapshot to stderr at exit")
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof, expvar, and /telemetry on this address, e.g. localhost:6060")
-	places := flag.Int("places", 4, "places for the telemetry run (-exp telemetry)")
+	places := flag.Int("places", 4, "places for the telemetry and chaos runs (-exp telemetry, -exp chaos)")
 	metricsAll := flag.Bool("metrics-all", false,
 		"run the telemetry workload and print the merged cross-place metrics table "+
 			"(sum, min@place, max@place, per-place)")
 	useNetsim := flag.Bool("netsim", false,
 		"telemetry run: inject Power 775-model latency into the transport")
+	chaosSeeds := flag.Int("chaos-seeds", 8, "seeds for the chaos run (-exp chaos)")
 	watchdog := flag.Duration("watchdog", 0,
 		"telemetry run: enable the finish stall watchdog with this window (0 = off)")
 	flightDump := flag.String("flight-dump", "",
@@ -99,6 +100,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, and /telemetry\n", *debugAddr)
 	}
 
+	if *exp == "chaos" {
+		if err := runChaos(chaosOptions{places: *places, seeds: *chaosSeeds}); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *exp == "telemetry" {
 		if err := runTelemetry(telemetryOptions{
 			places:     *places,
@@ -140,6 +149,7 @@ var experiments = map[string]string{
 	"table2":       "Table 2: finish-pattern latencies",
 	"netsim":       "Power 775 interconnect model predictions",
 	"telemetry":    "cross-place telemetry smoke: merged metrics vs per-place transport stats",
+	"chaos":        "fault-injection sweep: finish invariants under seeded delay/reorder/partition chaos",
 	"finish":       "finish-pattern ablation",
 	"broadcast":    "scalable vs sequential broadcast ablation",
 	"uts-ablation": "UTS load-balancer ablation",

@@ -1,0 +1,149 @@
+// Command chaos drives the deterministic chaos harness from the shell:
+// seed sweeps over every finish-pattern workload (plus lifeline GLB)
+// under fault injection, bounded schedule-permutation exploration, and
+// minimizing replay of a single failing seed with full observability.
+//
+// Usage:
+//
+//	chaos                                  # 64-seed sweep, all workloads
+//	chaos -seeds 256 -places 8             # bigger sweep
+//	chaos -perm                            # exhaustive SPMD credit orderings
+//	chaos -chaos-replay 97 -workload dense # re-run one seed, dumps on
+//
+// A sweep that finds violations prints, per failure, the exact replay
+// command that reproduces it. Replay runs the seed twice with the
+// flight recorder attached and the virtual clock driving timestamps,
+// writes both fault dumps plus the flight dump next to -out, and
+// verifies the two fault dumps are byte-identical — the determinism
+// guarantee that makes a chaos failure debuggable at all. Dumps are in
+// the apgas-flight JSONL format; validate or inspect them with
+// cmd/tracecheck.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"apgas/internal/chaos"
+)
+
+func main() {
+	places := flag.Int("places", 4, "places per run")
+	seeds := flag.Int("seeds", 64, "number of consecutive seeds to sweep")
+	startSeed := flag.Int64("chaos-seed", 1, "first seed of the sweep (every fault decision derives from the seed)")
+	replay := flag.Int64("chaos-replay", 0, "re-run this single seed with flight recorder and dumps on (0 = off)")
+	workload := flag.String("workload", "all", "workload to run: all, async, here, local, spmd, default, dense, glb")
+	perm := flag.Bool("perm", false, "explore all delivery permutations of the FINISH_SPMD completion credits")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-run timeout before a run is declared hung")
+	out := flag.String("out", ".", "directory for replay dump files")
+	flag.Parse()
+
+	wls, err := selectWorkloads(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(2)
+	}
+	opts := chaos.SweepOptions{
+		Places:    *places,
+		Seeds:     *seeds,
+		StartSeed: *startSeed,
+		Workloads: wls,
+		Timeout:   *timeout,
+	}
+
+	switch {
+	case *replay != 0:
+		os.Exit(runReplay(*replay, opts, *out))
+	case *perm:
+		os.Exit(report(chaos.ExplorePermutations(opts), opts, "permutation exploration"))
+	default:
+		os.Exit(report(chaos.Sweep(opts), opts, "sweep"))
+	}
+}
+
+func selectWorkloads(name string) ([]chaos.Workload, error) {
+	all := chaos.Workloads()
+	if name == "all" {
+		return all, nil
+	}
+	for _, w := range all {
+		if w.Name == name {
+			return []chaos.Workload{w}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (try all, async, here, local, spmd, default, dense, glb)", name)
+}
+
+// report prints a sweep summary and the replay recipe for every
+// failure; exit status 1 when anything failed.
+func report(res chaos.SweepResult, opts chaos.SweepOptions, what string) int {
+	fmt.Printf("chaos %s: %d runs, %d violating\n", what, res.Runs, len(res.Failures))
+	fmt.Printf("fault totals: %v\n", res.FaultTotals)
+	for _, rep := range res.Failures {
+		fmt.Printf("\nFAIL workload=%s seed=%d faults=%v\n%s",
+			rep.Workload, rep.Seed, rep.Faults, chaos.FormatViolations(rep.Violations))
+		if rep.FinishDump != "" {
+			fmt.Print(rep.FinishDump)
+		}
+		fmt.Printf("replay: chaos -chaos-replay %d -workload %s -places %d\n",
+			rep.Seed, rep.Workload, opts.Places)
+	}
+	if len(res.Failures) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runReplay is the minimizing replay: one seed, one (or each selected)
+// workload, observability on, dumps written, determinism verified by
+// running the seed twice and comparing fault dumps byte for byte.
+func runReplay(seed int64, opts chaos.SweepOptions, outDir string) int {
+	opts.Obs = true
+	status := 0
+	for _, w := range opts.Workloads {
+		fo := chaos.FaultsFor(seed, opts.Places)
+		r1 := chaos.RunOne(w, seed, opts, fo)
+		r2 := chaos.RunOne(w, seed, opts, fo)
+
+		base := filepath.Join(outDir, fmt.Sprintf("chaos-%s-seed%d", w.Name, seed))
+		write := func(suffix string, data []byte) {
+			if len(data) == 0 {
+				return
+			}
+			path := base + suffix
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: write %s: %v\n", path, err)
+			} else {
+				fmt.Printf("  wrote %s\n", path)
+			}
+		}
+
+		fmt.Printf("replay workload=%s seed=%d faults=%v\n", w.Name, seed, r1.Faults)
+		write("-faults.jsonl", r1.FaultDump)
+		write("-faults-rerun.jsonl", r2.FaultDump)
+		write("-flight.jsonl", r1.FlightDump)
+		switch {
+		case !w.Deterministic:
+			fmt.Printf("  (workload is concurrency-shaped: fault dumps may differ between replays)\n")
+		case !bytes.Equal(r1.FaultDump, r2.FaultDump):
+			fmt.Printf("  DETERMINISM BROKEN: fault dumps differ between the two replays\n")
+			status = 1
+		default:
+			fmt.Printf("  fault dumps byte-identical across both replays\n")
+		}
+		if r1.Failed() {
+			fmt.Printf("  violations:\n%s", chaos.FormatViolations(r1.Violations))
+			if r1.FinishDump != "" {
+				fmt.Print(r1.FinishDump)
+			}
+			status = 1
+		} else {
+			fmt.Printf("  invariants clean\n")
+		}
+	}
+	return status
+}

@@ -92,6 +92,9 @@ func checkFlightDump(data []byte) (int, error) {
 	if err := json.Unmarshal(sc.Bytes(), &head); err != nil {
 		return 0, fmt.Errorf("line 1: bad header: %v", err)
 	}
+	if head.Type != "apgas-flight" {
+		return 0, fmt.Errorf("line 1: header type %q, want \"apgas-flight\"", head.Type)
+	}
 	if head.Version != 1 {
 		return 0, fmt.Errorf("line 1: unsupported flight dump version %d", head.Version)
 	}

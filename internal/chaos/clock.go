@@ -1,0 +1,30 @@
+package chaos
+
+import "sync/atomic"
+
+// VirtualClock is a logical clock for replayable runs. It advances by
+// one tick per chaos transport decision rather than with wall time, so
+// timestamps derived from it depend only on event counts, not on how
+// fast the machine happens to run. Plug it into core.Config.Now and
+// obs.FlightRecorder.SetNow during replay to get dumps whose times are
+// stable across machines and runs.
+//
+// Ticks are scaled to a nominal nanosecond unit (1 tick = 1µs) so that
+// downstream consumers that pretty-print durations produce sane output.
+type VirtualClock struct {
+	ticks atomic.Int64
+}
+
+// tickScale converts logical ticks to nominal nanoseconds.
+const tickScale = 1000
+
+// Tick advances the clock by one logical step and returns the new time.
+func (c *VirtualClock) Tick() int64 {
+	return c.ticks.Add(1) * tickScale
+}
+
+// Now returns the current logical time in nominal nanoseconds. Its
+// signature matches core.Config.Now and obs.FlightRecorder.SetNow.
+func (c *VirtualClock) Now() int64 {
+	return c.ticks.Load() * tickScale
+}

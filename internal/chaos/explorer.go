@@ -1,0 +1,301 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/obs"
+	"apgas/internal/x10rt"
+)
+
+// The explorer is the harness's outer loop: run every workload against
+// many seeds of deliverability-preserving faults, drain, check every
+// invariant, and report anything that survives. A second mode replaces
+// probabilistic faults with exhaustive permutation of a small held
+// message set — bounded schedule exploration for the counter-pattern
+// fast paths, whose correctness argument is exactly "any delivery
+// order of the completion credits works".
+
+// SweepOptions shapes an exploration.
+type SweepOptions struct {
+	// Places per run (default 4) and PlacesPerHost (default 2, so the
+	// FINISH_DENSE software routing actually routes through masters).
+	Places        int
+	PlacesPerHost int
+	// WorkersPerPlace for each runtime (default 2).
+	WorkersPerPlace int
+	// Seeds is how many consecutive seeds to sweep, starting at
+	// StartSeed (defaults 64 and 1).
+	Seeds     int
+	StartSeed int64
+	// Workloads defaults to the full suite (Workloads()).
+	Workloads []Workload
+	// Timeout aborts one run and reports it as hung (default 30s).
+	Timeout time.Duration
+	// Obs attaches an observability layer (metrics + flight recorder)
+	// to each run, with the chaos virtual clock driving flight
+	// timestamps. Sweeps leave it off; replays turn it on.
+	Obs bool
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.Places <= 0 {
+		o.Places = 4
+	}
+	if o.PlacesPerHost <= 0 {
+		o.PlacesPerHost = 2
+	}
+	if o.WorkersPerPlace <= 0 {
+		o.WorkersPerPlace = 2
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 64
+	}
+	if o.StartSeed == 0 {
+		o.StartSeed = 1
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = Workloads()
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// RunReport is the outcome of one (workload, seed) run.
+type RunReport struct {
+	Workload string
+	Seed     int64
+	// Violations collects broken invariants, oracle failures, and
+	// hangs; empty means the run passed.
+	Violations []Violation
+	// Faults counts injected fault decisions by kind.
+	Faults map[string]uint64
+	// Hung reports a run that exceeded the timeout even after healing.
+	Hung bool
+	// FinishDump holds the who-owes-whom finish diagnostic of a hung
+	// run.
+	FinishDump string
+	// FaultDump is the deterministic fault log in apgas-flight JSONL.
+	FaultDump []byte
+	// FlightDump is the runtime flight-recorder dump (only when
+	// SweepOptions.Obs was set).
+	FlightDump []byte
+}
+
+// Failed reports whether the run violated anything.
+func (r RunReport) Failed() bool { return len(r.Violations) > 0 }
+
+// SweepResult aggregates an exploration.
+type SweepResult struct {
+	Runs        int
+	Failures    []RunReport
+	FaultTotals map[string]uint64
+}
+
+// FaultsFor derives the standard deliverability-preserving fault menu
+// from a seed: always delay+reorder, every third seed a slow place,
+// every fourth a bounded partition. Drops and duplicates are excluded
+// by design — without a retry layer they make hangs expected rather
+// than diagnostic (see the package comment).
+func FaultsFor(seed int64, places int) Options {
+	s := newFaultStream(seed, places, 0, 0)
+	o := Options{
+		Seed:        seed,
+		DelayProb:   0.25,
+		ReorderProb: 0.15,
+		DelayWindow: 3,
+	}
+	if seed%3 == 0 {
+		o.SlowPlace = s.intn(places)
+		o.SlowLatency = 200 * time.Microsecond
+	}
+	if seed%4 == 0 {
+		o.Cut = []int{s.intn(places)}
+		o.PartitionMsgs = 6
+		o.HealAfter = 20 * time.Millisecond
+	}
+	return o
+}
+
+// RunOne executes one workload on a fresh runtime behind a chaos
+// transport configured by fo, then drains and checks every invariant.
+func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
+	o = o.withDefaults()
+	rep := RunReport{Workload: w.Name, Seed: seed}
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: o.Places})
+	if err != nil {
+		rep.Violations = append(rep.Violations, Violation{Kind: "setup", Detail: err.Error()})
+		return rep
+	}
+	ct := Wrap(inner, fo)
+	var ob *obs.Obs
+	if o.Obs {
+		ob = obs.New()
+		// Flight timestamps follow the virtual clock: logical event
+		// counts, not wall time, so replays of one seed line up.
+		ob.Flight.SetNow(ct.Clock().Now)
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Places:          o.Places,
+		WorkersPerPlace: o.WorkersPerPlace,
+		PlacesPerHost:   o.PlacesPerHost,
+		Transport:       ct,
+		CheckPatterns:   true,
+		Obs:             ob,
+		Now:             ct.Clock().Now,
+	})
+	if err != nil {
+		ct.Close()
+		rep.Violations = append(rep.Violations, Violation{Kind: "setup", Detail: err.Error()})
+		return rep
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("panic: %v", r)
+			}
+		}()
+		done <- w.Run(rt, seed)
+	}()
+	runErr, hung := error(nil), false
+	select {
+	case runErr = <-done:
+	case <-time.After(o.Timeout):
+		// Heal everything (flush holdbacks, deliver the morgue) and
+		// give the run one grace period to complete before declaring a
+		// hang: only a run that stays stuck with every message
+		// delivered is a protocol bug.
+		ct.Drain()
+		ct.ReleaseDropped()
+		select {
+		case runErr = <-done:
+		case <-time.After(o.Timeout / 4):
+			hung = true
+		}
+	}
+
+	if hung {
+		var fd bytes.Buffer
+		rt.WriteFinishDump(&fd)
+		rep.Hung = true
+		rep.FinishDump = fd.String()
+		rep.Violations = append(rep.Violations, Violation{
+			Kind:   "hang",
+			Detail: fmt.Sprintf("run exceeded %v after healing; finish dump attached", o.Timeout),
+		})
+	} else {
+		if runErr != nil {
+			rep.Violations = append(rep.Violations, Violation{Kind: "oracle", Detail: runErr.Error()})
+		}
+		ct.Drain()
+		rep.Violations = append(rep.Violations, CheckAll(rt, ct)...)
+	}
+
+	rep.Faults = ct.FaultCounts()
+	var dump bytes.Buffer
+	if err := ct.FaultLog().WriteDump(&dump); err == nil {
+		rep.FaultDump = dump.Bytes()
+	}
+	if ob != nil {
+		var fl bytes.Buffer
+		if err := ob.Flight.WriteDump(&fl); err == nil {
+			rep.FlightDump = fl.Bytes()
+		}
+	}
+	if !hung {
+		// A hung run still owns live activities; closing would race them.
+		rt.Close()
+		ct.Close()
+	}
+	return rep
+}
+
+// Sweep explores Seeds consecutive seeds across every workload with
+// the FaultsFor menu, aggregating failures and fault totals.
+func Sweep(o SweepOptions) SweepResult {
+	o = o.withDefaults()
+	res := SweepResult{FaultTotals: make(map[string]uint64)}
+	for i := 0; i < o.Seeds; i++ {
+		seed := o.StartSeed + int64(i)
+		for _, w := range o.Workloads {
+			rep := RunOne(w, seed, o, FaultsFor(seed, o.Places))
+			res.Runs++
+			for k, v := range rep.Faults {
+				res.FaultTotals[k] += v
+			}
+			if rep.Failed() {
+				res.Failures = append(res.Failures, rep)
+			}
+		}
+	}
+	return res
+}
+
+// permutations returns every ordering of [0, n), n <= 6.
+func permutations(n int) [][]int {
+	if n > 6 {
+		panic("chaos: permutation exploration bounded at 6 messages")
+	}
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), base...))
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ExplorePermutations exhaustively explores delivery orders of the
+// FINISH_SPMD completion credits: with P places the root waits for
+// P-1 ctlDone control messages, the harness holds all of them and
+// releases each permutation in its own run. The SPMD fast path claims
+// order-independence ("order, source, content irrelevant"); this
+// checks the claim exhaustively rather than hoping a random sweep
+// hits the bad order.
+func ExplorePermutations(o SweepOptions) SweepResult {
+	o = o.withDefaults()
+	if o.Places > 5 {
+		o.Places = 5 // keep (P-1)! runs bounded
+	}
+	spmd := Workload{Name: "spmd", Run: runSPMD}
+	res := SweepResult{FaultTotals: make(map[string]uint64)}
+	for _, perm := range permutations(o.Places - 1) {
+		fo := Options{
+			Seed: o.StartSeed,
+			Hold: &HoldPlan{
+				To:    0,
+				Class: x10rt.ControlClass,
+				N:     o.Places - 1,
+				Perm:  perm,
+			},
+		}
+		rep := RunOne(spmd, o.StartSeed, o, fo)
+		rep.Workload = fmt.Sprintf("spmd/perm%v", perm)
+		res.Runs++
+		for k, v := range rep.Faults {
+			res.FaultTotals[k] += v
+		}
+		if rep.Failed() {
+			res.Failures = append(res.Failures, rep)
+		}
+	}
+	return res
+}

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestExploreSweep is the harness's acceptance test: sweep every
+// workload — all five specialized finish patterns, the promoting
+// default pattern, and lifeline GLB — across many seeds of
+// deliverability-preserving faults, and require zero invariant
+// violations. The full 64-seed sweep runs by default (and under `make
+// chaos` with the race detector); -short trims the seed count to keep
+// tier-1 wall clock in budget.
+func TestExploreSweep(t *testing.T) {
+	o := SweepOptions{Seeds: 64, Timeout: 20 * time.Second}
+	if testing.Short() {
+		o.Seeds = 6
+	}
+	res := Sweep(o)
+	if want := o.Seeds * len(Workloads()); res.Runs != want {
+		t.Fatalf("sweep ran %d runs, want %d", res.Runs, want)
+	}
+	for _, rep := range res.Failures {
+		t.Errorf("workload %q seed %d (faults %v):\n%s%s",
+			rep.Workload, rep.Seed, rep.Faults,
+			FormatViolations(rep.Violations), rep.FinishDump)
+	}
+	// The sweep must actually have exercised the fault menu, or a pass
+	// is meaningless.
+	for _, k := range []FaultKind{FaultDelay, FaultReorder, FaultPartition, FaultSlow} {
+		if res.FaultTotals[k.String()] == 0 {
+			t.Errorf("sweep injected no %s faults: %v", k, res.FaultTotals)
+		}
+	}
+	t.Logf("sweep: %d runs clean, fault totals %v", res.Runs, res.FaultTotals)
+}
+
+// TestExplorePermutations exhaustively permutes the delivery order of
+// the FINISH_SPMD completion credits. Every ordering must terminate
+// cleanly — the counter fast path's core claim.
+func TestExplorePermutations(t *testing.T) {
+	o := SweepOptions{Places: 4, Timeout: 20 * time.Second}
+	res := ExplorePermutations(o)
+	if want := 6; res.Runs != want { // (4-1)! orderings
+		t.Fatalf("permutation mode ran %d runs, want %d", res.Runs, want)
+	}
+	for _, rep := range res.Failures {
+		t.Errorf("%s seed %d:\n%s%s", rep.Workload, rep.Seed,
+			FormatViolations(rep.Violations), rep.FinishDump)
+	}
+	if got := res.FaultTotals[FaultHold.String()]; got != 6*3 {
+		t.Errorf("held %d messages across permutations, want 18", got)
+	}
+}
+
+// TestReplayByteIdenticalEndToEnd runs the full runtime stack (SPMD
+// workload, whose per-link traffic is exactly one message per link and
+// therefore deterministic) twice under seeded delay+reorder faults and
+// requires byte-identical fault dumps — the end-to-end form of the
+// replay guarantee.
+func TestReplayByteIdenticalEndToEnd(t *testing.T) {
+	run := func() RunReport {
+		fo := Options{Seed: 99, DelayProb: 0.5, ReorderProb: 0.3, DelayWindow: 2}
+		rep := RunOne(Workload{Name: "spmd", Run: runSPMD}, 99, SweepOptions{}, fo)
+		if rep.Failed() {
+			t.Fatalf("seeded run failed:\n%s%s", FormatViolations(rep.Violations), rep.FinishDump)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if len(r1.Faults) == 0 {
+		t.Fatal("seed 99 injected no faults; the replay check is vacuous")
+	}
+	if !bytes.Equal(r1.FaultDump, r2.FaultDump) {
+		t.Fatalf("same-seed end-to-end dumps differ:\n--- run1 ---\n%s--- run2 ---\n%s",
+			r1.FaultDump, r2.FaultDump)
+	}
+}
+
+// TestRunOneWithObs exercises the replay configuration: observability
+// attached, flight recorder timestamped by the virtual clock.
+func TestRunOneWithObs(t *testing.T) {
+	rep := RunOne(Workload{Name: "default", Run: runDefaultTree}, 3,
+		SweepOptions{Obs: true}, FaultsFor(3, 4))
+	if rep.Failed() {
+		t.Fatalf("run failed:\n%s%s", FormatViolations(rep.Violations), rep.FinishDump)
+	}
+	if len(rep.FlightDump) == 0 {
+		t.Fatal("no flight dump captured despite Obs")
+	}
+	if !bytes.HasPrefix(rep.FlightDump, []byte(`{"type":"apgas-flight"`)) {
+		t.Fatalf("flight dump header malformed: %.80s", rep.FlightDump)
+	}
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The fault log records fault *decisions*, not deliveries. A decision
+// is made at send time under the link lock and is a pure function of
+// (seed, src, dst, link sequence number), so as long as per-link send
+// order is deterministic — which it is for structured workloads — the
+// set of records is identical across replays of the same seed. The
+// dump sorts records into the canonical (src, dst, linkSeq) order and
+// stamps synthetic, strictly increasing seq/ts values, making the
+// emitted bytes identical too, regardless of goroutine interleaving.
+//
+// The dump uses the apgas-flight JSONL format (see obs.FlightRecorder
+// and cmd/tracecheck) so the existing tooling validates chaos dumps
+// unmodified.
+
+// A FaultKind names one class of injected fault.
+type FaultKind uint8
+
+const (
+	FaultDelay FaultKind = iota
+	FaultReorder
+	FaultDup
+	FaultDrop
+	FaultPartition
+	FaultSlow
+	FaultHold
+	numFaultKinds
+)
+
+var faultNames = [numFaultKinds]string{
+	FaultDelay:     "chaos.delay",
+	FaultReorder:   "chaos.reorder",
+	FaultDup:       "chaos.dup",
+	FaultDrop:      "chaos.drop",
+	FaultPartition: "chaos.partition",
+	FaultSlow:      "chaos.slow",
+	FaultHold:      "chaos.hold",
+}
+
+// String returns the dump name of the fault kind.
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return fmt.Sprintf("chaos.fault%d", k)
+}
+
+// faultRecord is one fault decision on one message.
+type faultRecord struct {
+	src, dst int
+	linkSeq  uint64
+	kind     FaultKind
+	id       int   // handler ID the message carried
+	param    int64 // kind-specific: delay in messages, hold slot, ...
+}
+
+// maxLogRecords bounds log memory for pathological sweeps. Runs that
+// hit the cap report the overflow in the dump header's "dropped" field;
+// byte-identical replay is only promised for runs below the cap.
+const maxLogRecords = 1 << 20
+
+// Log accumulates fault decisions for one chaos transport.
+type Log struct {
+	mu      sync.Mutex
+	recs    []faultRecord
+	dropped uint64
+	counts  [numFaultKinds]uint64
+}
+
+func (l *Log) add(r faultRecord) {
+	l.mu.Lock()
+	l.counts[r.kind]++
+	if len(l.recs) < maxLogRecords {
+		l.recs = append(l.recs, r)
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+// Counts returns the number of decisions per fault kind, keyed by the
+// dump name (e.g. "chaos.drop").
+func (l *Log) Counts() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := make(map[string]uint64, numFaultKinds)
+	for k, n := range l.counts {
+		if n > 0 {
+			m[FaultKind(k).String()] = n
+		}
+	}
+	return m
+}
+
+// Len returns the number of recorded fault decisions.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// WriteDump writes the fault log as an apgas-flight JSONL document:
+// one header line, then one instant event per fault decision in
+// canonical (src, dst, linkSeq) order with synthetic seq/ts. The
+// output is byte-identical across replays whenever per-link send order
+// is (see the package comment).
+func (l *Log) WriteDump(w io.Writer) error {
+	l.mu.Lock()
+	recs := make([]faultRecord, len(l.recs))
+	copy(recs, l.recs)
+	dropped := l.dropped
+	l.mu.Unlock()
+
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		if a.linkSeq != b.linkSeq {
+			return a.linkSeq < b.linkSeq
+		}
+		return a.kind < b.kind
+	})
+	if _, err := fmt.Fprintf(w,
+		"{\"type\":\"apgas-flight\",\"version\":1,\"events\":%d,\"recorded\":%d,\"dropped\":%d}\n",
+		len(recs), len(recs), dropped); err != nil {
+		return err
+	}
+	for i, r := range recs {
+		// seq strictly increasing, ts non-decreasing: both derived from
+		// the canonical index so the bytes are replay-stable.
+		if _, err := fmt.Fprintf(w,
+			"{\"seq\":%d,\"ts\":%d,\"dur\":0,\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"name\":%q,\"cat\":\"chaos\",\"args\":{\"dst\":%d,\"id\":%d,\"param\":%d}}\n",
+			i+1, int64(i+1)*tickScale, r.src, r.linkSeq, r.kind.String(), r.dst, r.id, r.param); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package chaos
+
+// Deterministic fault derivation. Every fault decision is a pure
+// function of (seed, src, dst, link sequence number): no shared RNG
+// stream, no dependence on goroutine interleaving. Two runs that send
+// the same k-th message on the same link — whatever else is happening
+// concurrently — draw the same faults, which is what makes a chaos run
+// replayable from its seed alone.
+
+// splitmix64 is the SplitMix64 finalizer, a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// faultStream is a tiny deterministic stream of uniform draws for one
+// message, keyed by (seed, src, dst, k).
+type faultStream struct{ state uint64 }
+
+func newFaultStream(seed int64, src, dst int, k uint64) *faultStream {
+	z := splitmix64(uint64(seed))
+	z = splitmix64(z ^ uint64(src)*0x9e3779b97f4a7c15)
+	z = splitmix64(z ^ uint64(dst)*0xbf58476d1ce4e5b9)
+	z = splitmix64(z ^ k)
+	return &faultStream{state: z}
+}
+
+// next advances the stream.
+func (s *faultStream) next() uint64 {
+	s.state = splitmix64(s.state)
+	return s.state
+}
+
+// unit draws a uniform float64 in [0, 1).
+func (s *faultStream) unit() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// intn draws a uniform int in [0, n).
+func (s *faultStream) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/telemetry"
+	"apgas/internal/x10rt"
+)
+
+// These tests close the loop between fault injection and diagnosis:
+// when chaos drops a finish-protocol message, the telemetry stall
+// watchdog must fire and its who-owes-whom dump must name the place
+// whose snapshot went missing; and when chaos merely delays traffic
+// that keeps progressing, the watchdog must stay silent.
+
+// lockedBuf is an io.Writer safe for the watchdog goroutine.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *lockedBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *lockedBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWatchdogNamesDroppedPlace drops the first finish-control message
+// from place 2 to the root — the proxy's cumulative snapshot, the only
+// way the root learns the remote activity finished. The run stalls,
+// the watchdog fires, and its dump must blame place 2 and nobody else.
+// ReleaseDropped then heals the network and the run completes cleanly.
+func TestWatchdogNamesDroppedPlace(t *testing.T) {
+	const places = 4
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := Wrap(inner, Options{
+		Seed:     1,
+		DropProb: 1,
+		MaxDrops: 1,
+		Filter: func(src, dst int, id x10rt.HandlerID, class x10rt.Class) bool {
+			return src == 2 && dst == 0 && class == x10rt.ControlClass
+		},
+	})
+	rt, err := core.NewRuntime(core.Config{
+		Places: places, WorkersPerPlace: 2, Transport: ct, CheckPatterns: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { rt.Close(); ct.Close() }()
+
+	var out lockedBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Run(func(ctx *core.Ctx) {
+			// FINISH_DEFAULT, promoted by the remote spawn; place 2's
+			// completion snapshot is what chaos eats.
+			if err := ctx.Finish(func(c *core.Ctx) {
+				c.AtAsync(2, func(*core.Ctx) {})
+			}); err != nil {
+				panic(err)
+			}
+		})
+	}()
+
+	wd := telemetry.StartWatchdog(rt, telemetry.WatchdogOptions{
+		Window:     75 * time.Millisecond,
+		Poll:       15 * time.Millisecond,
+		Out:        &out,
+		FlightTail: -1,
+	})
+	defer wd.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for wd.Stalls() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if wd.Stalls() == 0 {
+		t.Fatal("watchdog never fired on a dropped finish snapshot")
+	}
+	dump := out.String()
+	if !strings.Contains(dump, "owes: place p2 pending=1") {
+		t.Fatalf("dump does not blame place 2:\n%s", dump)
+	}
+	for _, wrong := range []string{"owes: place p1 ", "owes: place p3 "} {
+		if strings.Contains(dump, wrong) {
+			t.Fatalf("dump blames an innocent place (%q):\n%s", wrong, dump)
+		}
+	}
+	if ct.DroppedCount() != 1 {
+		t.Fatalf("morgue holds %d messages, want exactly the snapshot", ct.DroppedCount())
+	}
+
+	// Heal: the snapshot arrives late, the finish completes, and the
+	// post-run state passes every invariant.
+	ct.ReleaseDropped()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run failed after healing: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run still hung after ReleaseDropped")
+	}
+	ct.Drain()
+	if vs := CheckAll(rt, ct); len(vs) > 0 {
+		t.Fatalf("invariants violated after healed run:\n%s", FormatViolations(vs))
+	}
+}
+
+// TestWatchdogSilentUnderDelays runs a computation that takes several
+// watchdog windows end to end but keeps making progress through heavy
+// chaos delays and a slow place. The watchdog must not fire: slow is
+// not stalled.
+func TestWatchdogSilentUnderDelays(t *testing.T) {
+	const places = 3
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := Wrap(inner, Options{
+		Seed:        7,
+		DelayProb:   0.4,
+		SlowPlace:   1,
+		SlowLatency: 15 * time.Millisecond,
+	})
+	rt, err := core.NewRuntime(core.Config{
+		Places: places, WorkersPerPlace: 2, Transport: ct, CheckPatterns: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { rt.Close(); ct.Close() }()
+
+	var out lockedBuf
+	wd := telemetry.StartWatchdog(rt, telemetry.WatchdogOptions{
+		Window:     250 * time.Millisecond,
+		Poll:       25 * time.Millisecond,
+		Out:        &out,
+		FlightTail: -1,
+	})
+	defer wd.Stop()
+
+	// One long-lived finish whose root keeps processing events: ~20
+	// sequential round trips through the slow place, each ticking the
+	// root's Events counter well inside the watchdog window while the
+	// whole run takes several windows.
+	err = rt.Run(func(ctx *core.Ctx) {
+		if err := ctx.Finish(func(c *core.Ctx) {
+			for i := 0; i < 20; i++ {
+				c.At(1, func(*core.Ctx) {})
+			}
+		}); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := wd.Stalls(); n != 0 {
+		t.Fatalf("watchdog fired %d times on a progressing run:\n%s", n, out.String())
+	}
+	ct.Drain()
+	if vs := CheckAll(rt, ct); len(vs) > 0 {
+		t.Fatalf("invariants violated:\n%s", FormatViolations(vs))
+	}
+}

@@ -1,0 +1,300 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+)
+
+// Workloads are the programs the explorer subjects to faults. Each one
+// exercises a specific finish pattern (or the GLB stack) and carries
+// its own completion oracle: the expected number of activity
+// executions is computed independently of the termination detector, so
+// a protocol that declares quiescence early or loses work is caught
+// even when the invariant checker's counters happen to balance.
+//
+// Every workload drives its own rt.Run because some (GLB) must attach
+// state to the runtime before it starts. Workload shapes are pure
+// functions of the seed, which keeps per-link send sequences
+// deterministic for the structured patterns — the property the
+// byte-identical replay guarantee rests on.
+
+// A Workload is one named chaos subject.
+type Workload struct {
+	Name string
+	// Deterministic marks workloads whose per-link send order cannot
+	// depend on goroutine scheduling (sequential structure, or at most
+	// one message per link). Only for these does the same seed
+	// guarantee byte-identical fault dumps; the concurrent tree and
+	// GLB workloads interleave message kinds per link differently from
+	// run to run, so their logs legitimately vary.
+	Deterministic bool
+	// Run executes the workload on a fresh runtime and returns an
+	// error when the completion oracle (or the run itself) fails.
+	Run func(rt *core.Runtime, seed int64) error
+}
+
+// Workloads returns the full suite: one workload per finish pattern
+// plus lifeline GLB.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "async", Deterministic: true, Run: runAsync},
+		{Name: "here", Deterministic: true, Run: runHere},
+		{Name: "local", Deterministic: true, Run: runLocal},
+		{Name: "spmd", Deterministic: true, Run: runSPMD},
+		{Name: "default", Run: runDefaultTree},
+		{Name: "dense", Run: runDenseTree},
+		{Name: "glb", Run: runGLB},
+	}
+}
+
+// oracle wraps the count-vs-expected comparison every workload ends on.
+func oracle(name string, got *atomic.Int64, want int64, runErr error) error {
+	if runErr != nil {
+		return fmt.Errorf("%s: run: %w", name, runErr)
+	}
+	if g := got.Load(); g != want {
+		return fmt.Errorf("%s: completed %d activities, oracle expects %d", name, g, want)
+	}
+	return nil
+}
+
+// runAsync: one FINISH_ASYNC per destination place, each governing
+// exactly the single remote activity its contract allows.
+func runAsync(rt *core.Runtime, seed int64) error {
+	var n atomic.Int64
+	err := rt.Run(func(ctx *core.Ctx) {
+		for _, p := range ctx.Places() {
+			p := p
+			if err := ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+				c.AtAsync(p, func(*core.Ctx) { n.Add(1) })
+			}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return oracle("async", &n, int64(rt.NumPlaces()), err)
+}
+
+// runHere: steal-shaped FINISH_HERE round trips — request out to every
+// other place, response straight home, token riding the messages.
+func runHere(rt *core.Runtime, seed int64) error {
+	var n atomic.Int64
+	err := rt.Run(func(ctx *core.Ctx) {
+		home := ctx.Place()
+		for _, p := range ctx.Places() {
+			if p == home {
+				continue
+			}
+			p := p
+			if err := ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
+				c.AtDirect(p, 16, func(cv *core.Ctx) {
+					cv.AtDirect(home, 16, func(*core.Ctx) { n.Add(1) })
+				})
+			}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return oracle("here", &n, int64(rt.NumPlaces()-1), err)
+}
+
+// runLocal: a FINISH_LOCAL tree of purely place-local asyncs, two
+// levels deep.
+func runLocal(rt *core.Runtime, seed int64) error {
+	const width, sub = 8, 3
+	var n atomic.Int64
+	err := rt.Run(func(ctx *core.Ctx) {
+		if err := ctx.FinishPragma(core.PatternLocal, func(c *core.Ctx) {
+			for i := 0; i < width; i++ {
+				c.Async(func(cc *core.Ctx) {
+					n.Add(1)
+					for j := 0; j < sub; j++ {
+						cc.Async(func(*core.Ctx) { n.Add(1) })
+					}
+				})
+			}
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return oracle("local", &n, int64(width*(1+sub)), err)
+}
+
+// runSPMD: one FINISH_SPMD spanning every remote place; each remote
+// activity wraps its inner asyncs in a nested finish, as the contract
+// requires.
+func runSPMD(rt *core.Runtime, seed int64) error {
+	const inner = 3
+	var n atomic.Int64
+	err := rt.Run(func(ctx *core.Ctx) {
+		home := ctx.Place()
+		if err := ctx.FinishPragma(core.PatternSPMD, func(c *core.Ctx) {
+			for _, p := range c.Places() {
+				if p == home {
+					continue
+				}
+				p := p
+				c.AtAsync(p, func(cc *core.Ctx) {
+					if err := cc.Finish(func(ic *core.Ctx) {
+						for j := 0; j < inner; j++ {
+							ic.Async(func(*core.Ctx) { n.Add(1) })
+						}
+					}); err != nil {
+						panic(err)
+					}
+					n.Add(1)
+				})
+			}
+		}); err != nil {
+			panic(err)
+		}
+	})
+	return oracle("spmd", &n, int64((rt.NumPlaces()-1)*(1+inner)), err)
+}
+
+// treeNode is one activity of a precomputed random async/at tree. The
+// tree is built before execution from the seed alone, so the expected
+// completion count is known exactly and the shape is replay-stable.
+type treeNode struct {
+	place    int
+	children []*treeNode
+}
+
+// buildTree generates a random activity tree rooted at place. Roughly
+// a third of the children hop to a random other place (at async),
+// the rest stay local (async). Returns the root and the node count.
+func buildTree(s *faultStream, place, places, depth int) (*treeNode, int64) {
+	n := &treeNode{place: place}
+	count := int64(1)
+	if depth == 0 {
+		return n, count
+	}
+	fan := 1 + s.intn(3)
+	for i := 0; i < fan; i++ {
+		childPlace := place
+		if s.intn(3) == 0 {
+			childPlace = s.intn(places)
+		}
+		child, c := buildTree(s, childPlace, places, depth-1)
+		n.children = append(n.children, child)
+		count += c
+	}
+	return n, count
+}
+
+// execTree runs the tree under the current finish, bumping count once
+// per node.
+func execTree(c *core.Ctx, node *treeNode, count *atomic.Int64) {
+	count.Add(1)
+	for _, ch := range node.children {
+		ch := ch
+		if ch.place == int(c.Place()) {
+			c.Async(func(cc *core.Ctx) { execTree(cc, ch, count) })
+		} else {
+			c.AtAsync(core.Place(ch.place), func(cc *core.Ctx) { execTree(cc, ch, count) })
+		}
+	}
+}
+
+// runTree executes a seed-derived random tree under one finish of the
+// given pattern. Trees regularly mix local-only prefixes with remote
+// hops, so FINISH_DEFAULT runs exercise the local→distributed
+// promotion path.
+func runTree(rt *core.Runtime, seed int64, name string, pattern core.Pattern) error {
+	s := newFaultStream(seed, 101, 0, 0) // distinct stream from fault decisions
+	root, want := buildTree(s, 0, rt.NumPlaces(), 4)
+	var n atomic.Int64
+	err := rt.Run(func(ctx *core.Ctx) {
+		if err := ctx.FinishPragma(pattern, func(c *core.Ctx) {
+			// The finish body is the root activity; its node is counted
+			// by execTree directly.
+			execTree(c, root, &n)
+		}); err != nil {
+			panic(err)
+		}
+	})
+	// The finish body itself is not a spawned activity, but execTree
+	// counts its node; want already includes it.
+	return oracle(name, &n, want, err)
+}
+
+func runDefaultTree(rt *core.Runtime, seed int64) error {
+	return runTree(rt, seed, "default", core.PatternDefault)
+}
+
+func runDenseTree(rt *core.Runtime, seed int64) error {
+	return runTree(rt, seed, "dense", core.PatternDense)
+}
+
+// chaosBag is a minimal GLB TaskBag: a splittable pile of identical
+// units (the glb package's test bag is unexported, hence this twin).
+type chaosBag struct {
+	pending int64
+	done    int64
+}
+
+func (b *chaosBag) Process(q int) int {
+	n := int64(q)
+	if n > b.pending {
+		n = b.pending
+	}
+	b.pending -= n
+	b.done += n
+	return int(n)
+}
+
+func (b *chaosBag) Size() int64 { return b.pending }
+
+func (b *chaosBag) Split() glb.TaskBag {
+	if b.pending < 2 {
+		return nil
+	}
+	half := b.pending / 2
+	b.pending -= half
+	return &chaosBag{pending: half}
+}
+
+func (b *chaosBag) Merge(loot glb.TaskBag) {
+	lb := loot.(*chaosBag)
+	b.pending += lb.pending
+	b.done += lb.done
+}
+
+// runGLB: a lifeline-GLB traversal with all work seeded at place 0, so
+// every other place must steal (random or lifeline) under chaos. The
+// oracle is exact work conservation: units processed across all bags
+// equals units seeded. Even seeds use the paper's FINISH_DENSE root,
+// odd seeds the default finish.
+func runGLB(rt *core.Runtime, seed int64) error {
+	const total = 1 << 11
+	b := glb.New(rt, glb.Config{
+		Quantum:     64,
+		Seed:        seed | 1,
+		DenseFinish: seed%2 == 0,
+	}, func(p core.Place) glb.TaskBag {
+		if p == 0 {
+			return &chaosBag{pending: total}
+		}
+		return &chaosBag{}
+	})
+	err := rt.Run(func(ctx *core.Ctx) {
+		if e := b.Run(ctx); e != nil {
+			panic(e)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("glb: run: %w", err)
+	}
+	var done int64
+	for p := 0; p < rt.NumPlaces(); p++ {
+		done += b.BagAt(core.Place(p)).(*chaosBag).done
+	}
+	if done != total || b.Stats().Processed != total {
+		return fmt.Errorf("glb: processed %d (stats %d), oracle expects %d",
+			done, b.Stats().Processed, total)
+	}
+	return nil
+}

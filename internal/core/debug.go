@@ -161,6 +161,36 @@ func (r *counterRoot) state() FinishState {
 	}
 }
 
+// ActivityCount is the cumulative spawned/completed pair of one finish
+// pattern, summed over every place and every finish instance that used
+// the pattern since the runtime was created.
+type ActivityCount struct {
+	Pattern   Pattern
+	Spawned   uint64
+	Completed uint64
+}
+
+// Balanced reports whether every spawned activity has completed.
+func (a ActivityCount) Balanced() bool { return a.Spawned == a.Completed }
+
+// ActivityCounts returns the per-pattern conservation counters, indexed
+// by Pattern. Whenever no governed activity is live — in particular
+// after Run returns — Spawned must equal Completed for every pattern;
+// an imbalance means an activity was lost (or double-counted) by the
+// termination-detection machinery, and is exactly what the chaos
+// harness's conservation invariant flags.
+func (rt *Runtime) ActivityCounts() []ActivityCount {
+	out := make([]ActivityCount, numPatterns)
+	for p := Pattern(0); p < numPatterns; p++ {
+		out[p] = ActivityCount{
+			Pattern:   p,
+			Spawned:   rt.acts[p].spawned.Load(),
+			Completed: rt.acts[p].completed.Load(),
+		}
+	}
+	return out
+}
+
 // Runtime accessors ------------------------------------------------------
 
 // FinishStates returns a view of every live finish root on every place,

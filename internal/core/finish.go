@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"apgas/internal/obs"
 )
@@ -146,11 +145,11 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	tr := c.rt.tracer
 	m := c.rt.m
 	var t0 int64
-	var wall time.Time
+	var wall int64
 	if tr != nil {
 		t0 = tr.Now()
 	} else if m != nil {
-		wall = time.Now()
+		wall = c.rt.now()
 	}
 
 	var root rootFinish
@@ -211,7 +210,7 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 		if tr != nil {
 			us = uint64((tr.Now() - t0) / 1e3)
 		} else {
-			us = uint64(time.Since(wall).Microseconds())
+			us = uint64((c.rt.now() - wall) / 1e3)
 		}
 		m.finishCount[p].Inc()
 		m.finishUs[p].Observe(us)
@@ -232,6 +231,16 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 func (rt *Runtime) finEvent(fin finRef, pl *place, kind finEventKind, other Place, err error, ctx *Ctx) {
 	if !fin.valid() {
 		panic("core: activity has no governing finish")
+	}
+	// Conservation accounting: every governed activity is counted exactly
+	// once as spawned (at its spawn site) and once as completed (at its
+	// termination site). evRemoteBegin is the same activity as the
+	// matching evRemoteSpawn and is deliberately not counted.
+	switch kind {
+	case evLocalSpawn, evRemoteSpawn:
+		rt.acts[fin.Pattern].spawned.Add(1)
+	case evTerminate:
+		rt.acts[fin.Pattern].completed.Add(1)
 	}
 	if fin.ID.Home == pl.id {
 		pl.finMu.Lock()
@@ -291,8 +300,17 @@ func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
 			// A token-neutral error report (FINISH_HERE, N == 0) may race
 			// with root completion when an activity panics after passing
 			// its token home; the finish has already succeeded, so the
-			// straggler is dropped. Anything else is a protocol bug.
+			// straggler is dropped. Likewise a cumulative snapshot: the
+			// vector protocol completes on reconciled totals, so a
+			// snapshot overtaken by a newer epoch (network reordering or
+			// chaos-injected delay) can trail in after the root is gone
+			// and is stale by construction. Anything else is a protocol
+			// bug: counter-pattern credits (ctlDone, N != 0) are never
+			// reissued, so losing their root means losing tokens.
 			if d, isDone := payload.(ctlDone); isDone && d.N == 0 {
+				return
+			}
+			if _, isSnap := payload.(ctlSnapshot); isSnap {
 				return
 			}
 			panic(fmt.Sprintf("core: control message %T for unknown finish %+v at place %d",

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// Property-based tests for the finish patterns, and in particular for
+// the FINISH_DEFAULT local→distributed promotion: random async/at
+// trees over 2–8 places are generated from a seed, executed, and their
+// completion counts compared against a counter oracle derived from the
+// generated structure alone — independent of the termination detector
+// under test. Each trial then checks that no finish roots, proxies, or
+// dense buffers leaked and that the per-pattern conservation counters
+// balance. Trees regularly mix a local-only prefix with remote hops,
+// so the default-pattern trials exercise both the unpromoted counter
+// fast path and the promotion into the distributed vector protocol.
+
+// propTrials scales the randomized trial count down under -short.
+func propTrials(full int) int {
+	if testing.Short() {
+		if full > 4 {
+			return 4
+		}
+		return full
+	}
+	return full
+}
+
+// propPlaces picks a place count in [2, 8].
+func propPlaces(rng *rand.Rand) int { return 2 + rng.Intn(7) }
+
+// propNode is one activity of a generated async/at tree.
+type propNode struct {
+	place    int
+	children []*propNode
+}
+
+// genTree generates a random activity tree rooted at place and returns
+// it with its node count — the completion oracle. With localOnly set
+// every node stays at the root's place; otherwise roughly a third of
+// the children hop to a uniformly random place.
+func genTree(rng *rand.Rand, place, places, depth int, localOnly bool) (*propNode, int64) {
+	n := &propNode{place: place}
+	total := int64(1)
+	if depth == 0 {
+		return n, total
+	}
+	fan := rng.Intn(4)
+	for i := 0; i < fan; i++ {
+		cp := place
+		if !localOnly && rng.Intn(3) == 0 {
+			cp = rng.Intn(places)
+		}
+		child, c := genTree(rng, cp, places, depth-1, localOnly)
+		n.children = append(n.children, child)
+		total += c
+	}
+	return n, total
+}
+
+// execPropTree runs the tree under the current finish, bumping count
+// once per node (including the root, which runs inline in the body).
+func execPropTree(c *Ctx, n *propNode, count *atomic.Int64) {
+	count.Add(1)
+	for _, ch := range n.children {
+		ch := ch
+		if ch.place == int(c.Place()) {
+			c.Async(func(cc *Ctx) { execPropTree(cc, ch, count) })
+		} else {
+			c.AtAsync(Place(ch.place), func(cc *Ctx) { execPropTree(cc, ch, count) })
+		}
+	}
+}
+
+// settleTransport drains in-flight post-Run control traffic (proxy
+// cleanups, late snapshots) so the leak checks below see a quiesced
+// runtime rather than a transient.
+func settleTransport(rt *Runtime) {
+	if q, ok := rt.Transport().(interface{ Quiesce() }); ok {
+		for i := 0; i < 3; i++ {
+			q.Quiesce()
+		}
+	}
+}
+
+// checkQuiesced asserts the post-run invariants every trial must end
+// on: no live finish state anywhere and balanced per-pattern
+// spawned/completed counters.
+func checkQuiesced(t *testing.T, rt *Runtime) {
+	t.Helper()
+	settleTransport(rt)
+	if fs := rt.FinishStates(); len(fs) != 0 {
+		t.Errorf("leaked %d finish roots: %+v", len(fs), fs)
+	}
+	if ps := rt.ProxyStates(); len(ps) != 0 {
+		t.Errorf("leaked %d finish proxies: %+v", len(ps), ps)
+	}
+	if bs := rt.DenseBufferStates(); len(bs) != 0 {
+		t.Errorf("leaked %d dense buffers: %+v", len(bs), bs)
+	}
+	for _, ac := range rt.ActivityCounts() {
+		if !ac.Balanced() {
+			t.Errorf("%v conservation violated: spawned=%d completed=%d",
+				ac.Pattern, ac.Spawned, ac.Completed)
+		}
+	}
+}
+
+// TestPropVectorTrees: random trees under the two vector patterns.
+// FINISH_DEFAULT trials that generate at least one remote hop cross the
+// local→distributed promotion; all-local trees must complete without
+// ever promoting.
+func TestPropVectorTrees(t *testing.T) {
+	for _, pattern := range []Pattern{PatternDefault, PatternDense} {
+		pattern := pattern
+		t.Run(pattern.String(), func(t *testing.T) {
+			for trial := 0; trial < propTrials(24); trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)*7919 + 13))
+				places := propPlaces(rng)
+				// Dense picks its masters by host, so keep hosts small
+				// enough that multi-host topologies actually occur.
+				rt := newTestRuntime(t, places, func(c *Config) { c.PlacesPerHost = 3 })
+				root, want := genTree(rng, 0, places, 3, rng.Intn(4) == 0)
+				var n atomic.Int64
+				err := rt.Run(func(ctx *Ctx) {
+					if e := ctx.FinishPragma(pattern, func(c *Ctx) {
+						execPropTree(c, root, &n)
+					}); e != nil {
+						t.Errorf("trial %d: finish: %v", trial, e)
+					}
+				})
+				if err != nil {
+					t.Fatalf("trial %d (places=%d): Run: %v", trial, places, err)
+				}
+				if got := n.Load(); got != want {
+					t.Errorf("trial %d (places=%d): completed %d activities, oracle expects %d",
+						trial, places, got, want)
+				}
+				checkQuiesced(t, rt)
+			}
+		})
+	}
+}
+
+// TestPropCounterPatterns: randomized pattern-conforming workloads for
+// the four counter specializations, each against its structural oracle.
+func TestPropCounterPatterns(t *testing.T) {
+	t.Run("FINISH_LOCAL", func(t *testing.T) {
+		for trial := 0; trial < propTrials(24); trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*104729 + 1))
+			places := propPlaces(rng)
+			rt := newTestRuntime(t, places)
+			root, want := genTree(rng, 0, places, 3, true)
+			var n atomic.Int64
+			err := rt.Run(func(ctx *Ctx) {
+				if e := ctx.FinishPragma(PatternLocal, func(c *Ctx) {
+					execPropTree(c, root, &n)
+				}); e != nil {
+					t.Errorf("trial %d: finish: %v", trial, e)
+				}
+			})
+			if err != nil {
+				t.Fatalf("trial %d: Run: %v", trial, err)
+			}
+			if got := n.Load(); got != want {
+				t.Errorf("trial %d: completed %d, oracle expects %d", trial, got, want)
+			}
+			checkQuiesced(t, rt)
+		}
+	})
+
+	t.Run("FINISH_ASYNC", func(t *testing.T) {
+		for trial := 0; trial < propTrials(24); trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*6151 + 2))
+			places := propPlaces(rng)
+			rt := newTestRuntime(t, places)
+			// The single governed activity is local every fourth trial,
+			// remote otherwise; nested work must ride its own finish.
+			local := rng.Intn(4) == 0
+			dest := Place(1 + rng.Intn(places-1))
+			inner := int64(rng.Intn(3))
+			want := 1 + inner
+			var n atomic.Int64
+			body := func(cc *Ctx) {
+				if inner > 0 {
+					if e := cc.Finish(func(ic *Ctx) {
+						for i := int64(0); i < inner; i++ {
+							ic.Async(func(*Ctx) { n.Add(1) })
+						}
+					}); e != nil {
+						t.Errorf("trial %d: nested finish: %v", trial, e)
+					}
+				}
+				n.Add(1)
+			}
+			err := rt.Run(func(ctx *Ctx) {
+				if e := ctx.FinishPragma(PatternAsync, func(c *Ctx) {
+					if local {
+						c.Async(body)
+					} else {
+						c.AtAsync(dest, body)
+					}
+				}); e != nil {
+					t.Errorf("trial %d: finish: %v", trial, e)
+				}
+			})
+			if err != nil {
+				t.Fatalf("trial %d: Run: %v", trial, err)
+			}
+			if got := n.Load(); got != want {
+				t.Errorf("trial %d: completed %d, oracle expects %d", trial, got, want)
+			}
+			checkQuiesced(t, rt)
+		}
+	})
+
+	t.Run("FINISH_HERE", func(t *testing.T) {
+		for trial := 0; trial < propTrials(24); trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*31337 + 3))
+			places := propPlaces(rng)
+			rt := newTestRuntime(t, places)
+			// A mix of round-trip requests (token rides the response
+			// home — zero control messages) and one-way requests (token
+			// released by an explicit completion message).
+			reqs := 1 + rng.Intn(4)
+			dests := make([]Place, reqs)
+			round := make([]bool, reqs)
+			var want int64
+			for i := range dests {
+				dests[i] = Place(1 + rng.Intn(places-1))
+				round[i] = rng.Intn(2) == 0
+				want++
+				if round[i] {
+					want++
+				}
+			}
+			var n atomic.Int64
+			err := rt.Run(func(ctx *Ctx) {
+				home := ctx.Place()
+				if e := ctx.FinishPragma(PatternHere, func(c *Ctx) {
+					for i := 0; i < reqs; i++ {
+						i := i
+						c.AtDirect(dests[i], 16, func(cv *Ctx) {
+							n.Add(1)
+							if round[i] {
+								cv.AtDirect(home, 16, func(*Ctx) { n.Add(1) })
+							}
+						})
+					}
+				}); e != nil {
+					t.Errorf("trial %d: finish: %v", trial, e)
+				}
+			})
+			if err != nil {
+				t.Fatalf("trial %d: Run: %v", trial, err)
+			}
+			if got := n.Load(); got != want {
+				t.Errorf("trial %d: completed %d, oracle expects %d", trial, got, want)
+			}
+			checkQuiesced(t, rt)
+		}
+	})
+
+	t.Run("FINISH_SPMD", func(t *testing.T) {
+		for trial := 0; trial < propTrials(24); trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*2654435761 + 4))
+			places := propPlaces(rng)
+			rt := newTestRuntime(t, places)
+			// A random nonempty subset of remote places, each running a
+			// nested-finish body, plus root-local asyncs riding the same
+			// counter.
+			var remotes []Place
+			for p := 1; p < places; p++ {
+				if rng.Intn(2) == 0 {
+					remotes = append(remotes, Place(p))
+				}
+			}
+			if len(remotes) == 0 {
+				remotes = append(remotes, Place(1+rng.Intn(places-1)))
+			}
+			inner := int64(rng.Intn(4))
+			locals := int64(rng.Intn(3))
+			want := int64(len(remotes))*(1+inner) + locals
+			var n atomic.Int64
+			err := rt.Run(func(ctx *Ctx) {
+				if e := ctx.FinishPragma(PatternSPMD, func(c *Ctx) {
+					for _, p := range remotes {
+						p := p
+						c.AtAsync(p, func(cc *Ctx) {
+							if inner > 0 {
+								if e := cc.Finish(func(ic *Ctx) {
+									for i := int64(0); i < inner; i++ {
+										ic.Async(func(*Ctx) { n.Add(1) })
+									}
+								}); e != nil {
+									t.Errorf("trial %d: nested finish: %v", trial, e)
+								}
+							}
+							n.Add(1)
+						})
+					}
+					for i := int64(0); i < locals; i++ {
+						c.Async(func(*Ctx) { n.Add(1) })
+					}
+				}); e != nil {
+					t.Errorf("trial %d: finish: %v", trial, e)
+				}
+			})
+			if err != nil {
+				t.Fatalf("trial %d: Run: %v", trial, err)
+			}
+			if got := n.Load(); got != want {
+				t.Errorf("trial %d: completed %d, oracle expects %d", trial, got, want)
+			}
+			checkQuiesced(t, rt)
+		}
+	})
+}
+
+// TestPropPromotionObservable pins the promotion transition itself: a
+// FINISH_DEFAULT stays on the local counter through arbitrarily many
+// local spawns and flips to the distributed protocol exactly when the
+// first remote spawn leaves — observable through FinishState.Promoted.
+func TestPropPromotionObservable(t *testing.T) {
+	for trial := 0; trial < propTrials(8); trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*193 + 7))
+		places := propPlaces(rng)
+		rt := newTestRuntime(t, places)
+		locals := 1 + rng.Intn(8)
+		dest := Place(1 + rng.Intn(places-1))
+
+		// ourRoot picks this test's finish out of the live set: the
+		// highest-Seq default-pattern root at home (rt.Run's implicit
+		// root was created first, so it has a lower Seq).
+		ourRoot := func() (FinishState, bool) {
+			var best FinishState
+			found := false
+			for _, s := range rt.FinishStates() {
+				if s.Home != 0 || s.Pattern != PatternDefault {
+					continue
+				}
+				if !found || s.Seq > best.Seq {
+					best, found = s, true
+				}
+			}
+			return best, found
+		}
+
+		var n atomic.Int64
+		err := rt.Run(func(ctx *Ctx) {
+			if e := ctx.Finish(func(c *Ctx) {
+				for i := 0; i < locals; i++ {
+					c.Async(func(*Ctx) { n.Add(1) })
+				}
+				if s, ok := ourRoot(); !ok {
+					t.Errorf("trial %d: finish root not visible during body", trial)
+				} else if s.Promoted {
+					t.Errorf("trial %d: promoted after %d local spawns, before any remote",
+						trial, locals)
+				}
+				// The first remote spawn under THIS finish is the promotion
+				// trigger. AtAsync counts the spawn at home before the
+				// message leaves, so the transition is visible by return.
+				// (At would not do: it rides its own FINISH_ASYNC precisely
+				// so that it never perturbs the enclosing pattern.)
+				c.AtAsync(dest, func(*Ctx) { n.Add(1) })
+				if s, ok := ourRoot(); !ok {
+					t.Errorf("trial %d: finish root vanished mid-body", trial)
+				} else if !s.Promoted {
+					t.Errorf("trial %d: not promoted after remote spawn to p%d", trial, dest)
+				}
+			}); e != nil {
+				t.Errorf("trial %d: finish: %v", trial, e)
+			}
+		})
+		if err != nil {
+			t.Fatalf("trial %d: Run: %v", trial, err)
+		}
+		if got := n.Load(); got != int64(locals+1) {
+			t.Errorf("trial %d: completed %d, want %d", trial, got, locals+1)
+		}
+		checkQuiesced(t, rt)
+	}
+}

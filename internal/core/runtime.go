@@ -21,6 +21,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"apgas/internal/obs"
 	"apgas/internal/sched"
@@ -73,6 +74,13 @@ type Config struct {
 	// Lines, see obs.FlightRecorder.WriteDump) whenever Run returns a
 	// non-nil error — the black box is read out at the crash site.
 	FlightDump io.Writer
+
+	// Now, when non-nil, replaces the wall clock for the runtime's
+	// latency measurements (finish duration metrics). The chaos harness
+	// installs a virtual clock here so that repeated replays of one seed
+	// produce stable timings in traces and dumps; production runtimes
+	// leave it nil and use real time.
+	Now func() int64
 }
 
 func (c *Config) applyDefaults() error {
@@ -107,6 +115,19 @@ type Runtime struct {
 	m      *runtimeMetrics
 	flight *obs.FlightRecorder
 	fids   *flightIDs
+
+	// acts tracks, per finish pattern, the cumulative number of governed
+	// activities spawned and completed anywhere in the computation. The
+	// two totals must agree whenever no governed activity is live — the
+	// conservation invariant the chaos harness checks after every run.
+	// Always on: two atomic adds per activity, independent of obs.
+	acts [numPatterns]activityCounter
+}
+
+// activityCounter is one pattern's spawned/completed pair.
+type activityCounter struct {
+	spawned   atomic.Uint64
+	completed atomic.Uint64
 }
 
 // place is the per-place state: scheduler, finish bookkeeping, object
@@ -289,6 +310,15 @@ func (rt *Runtime) place(p Place) *place {
 func (rt *Runtime) master(p Place) Place {
 	b := Place(rt.cfg.PlacesPerHost)
 	return p - p%b
+}
+
+// now returns the configured time source's reading in nanoseconds.
+// Durations are differences of now() values, so any monotone source works.
+func (rt *Runtime) now() int64 {
+	if rt.cfg.Now != nil {
+		return rt.cfg.Now()
+	}
+	return time.Now().UnixNano()
 }
 
 // send is the single funnel for runtime messages.

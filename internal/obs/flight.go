@@ -34,6 +34,12 @@ import (
 // nothing at the cost of one branch.
 type FlightRecorder struct {
 	start time.Time
+	// nowFn, when non-nil, replaces the wall clock for event timestamps
+	// (nanoseconds from an arbitrary epoch). The chaos harness installs a
+	// virtual clock here so replayed runs stamp events with reproducible
+	// logical times instead of wall time. Set it before recording starts;
+	// it is not synchronized against concurrent Record calls.
+	nowFn func() int64
 	mask  uint64
 	// cursor is the next global sequence number, starting at 1 so that a
 	// zero slot stamp always means "never written".
@@ -78,6 +84,16 @@ func NewFlightRecorder(size int) *FlightRecorder {
 		names:   []string{""}, // id 0 is the empty name
 		nameIdx: map[string]uint32{"": 0},
 	}
+}
+
+// SetNow installs now as the recorder's time source (nanoseconds from an
+// arbitrary epoch; must be non-decreasing). Pass nil to restore the wall
+// clock. Call before the recorder is shared with concurrent writers.
+func (f *FlightRecorder) SetNow(now func() int64) {
+	if f == nil {
+		return
+	}
+	f.nowFn = now
 }
 
 // Cap returns the ring capacity (0 on nil).
@@ -145,7 +161,12 @@ func (f *FlightRecorder) record(name, cat uint32, ph byte, pid int, tid uint64, 
 	if f == nil {
 		return
 	}
-	ts := int64(time.Since(f.start))
+	var ts int64
+	if f.nowFn != nil {
+		ts = f.nowFn()
+	} else {
+		ts = int64(time.Since(f.start))
+	}
 	seq := f.cursor.Add(1)
 	s := &f.slots[seq&f.mask]
 	s.seqA.Store(seq)

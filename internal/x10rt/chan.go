@@ -39,6 +39,18 @@ type ChanOptions struct {
 // mailboxes. Each place has a dispatcher goroutine that runs handlers in
 // arrival order. The mailbox is unbounded so that handlers may send
 // messages without risking transport deadlock (the X10RT contract).
+//
+// Reentrancy invariant: Send NEVER runs a handler on the calling
+// goroutine, not even for self-sends with no injected Latency — it only
+// enqueues, and the destination's dispatcher delivers later. This is a
+// correctness requirement, not an optimization. An "immediate delivery"
+// fast path (running the handler inline inside Send when Latency is nil)
+// would mean a handler that itself Sends could re-enter another handler
+// — or itself — on the same stack while holding handler-level locks
+// (finish roots, GLB place state), deadlocking or corrupting state; it
+// would also reorder a self-send ahead of messages already sitting in
+// the mailbox, violating per-link FIFO. TestHandlerSendInsideHandler
+// pins both properties.
 type ChanTransport struct {
 	opts     ChanOptions
 	handlers *handlerTable
@@ -116,7 +128,9 @@ func (t *ChanTransport) Register(id HandlerID, h Handler) error {
 	return t.handlers.register(id, h)
 }
 
-// Send implements Transport.
+// Send implements Transport. It enqueues and returns: the handler runs
+// later on dst's dispatcher goroutine, never on the caller (see the
+// reentrancy invariant on ChanTransport).
 func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int, class Class) error {
 	if src < 0 || src >= t.opts.Places || dst < 0 || dst >= t.opts.Places {
 		return fmt.Errorf("%w: src=%d dst=%d n=%d", ErrBadPlace, src, dst, t.opts.Places)

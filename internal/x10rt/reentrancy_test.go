@@ -1,0 +1,103 @@
+package x10rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// This file pins the ChanTransport reentrancy invariant (see the type
+// comment in chan.go): Send never delivers on the sender's goroutine,
+// even with nil Latency, so a handler that sends from inside a handler —
+// including to its own place — can never deadlock against a lock its
+// caller holds, and per-link FIFO is preserved.
+
+// TestSendNeverDeliversInline asserts that no handler runs synchronously
+// inside Send, with and without an injected Latency function.
+func TestSendNeverDeliversInline(t *testing.T) {
+	for _, withLatency := range []bool{false, true} {
+		opts := ChanOptions{Places: 2}
+		if withLatency {
+			opts.Latency = func(src, dst, bytes int, class Class) time.Duration { return 0 }
+		}
+		tr, err := NewChanTransport(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inSend atomic.Bool
+		var inlineDeliveries atomic.Int64
+		done := make(chan struct{}, 8)
+		if err := tr.Register(UserHandlerBase, func(src, dst int, payload any) {
+			if inSend.Load() {
+				inlineDeliveries.Add(1)
+			}
+			done <- struct{}{}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, dst := range []int{0, 1} { // self-send and cross-send
+			inSend.Store(true)
+			if err := tr.Send(0, dst, UserHandlerBase, nil, 8, DataClass); err != nil {
+				t.Fatal(err)
+			}
+			inSend.Store(false)
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("latency=%v dst=%d: message never delivered", withLatency, dst)
+			}
+		}
+		if n := inlineDeliveries.Load(); n != 0 {
+			t.Fatalf("latency=%v: %d handlers ran inline on the sender goroutine", withLatency, n)
+		}
+		tr.Close()
+	}
+}
+
+// TestHandlerSendInsideHandler is the deadlock regression: a handler that
+// holds a lock and sends to its own place (and onward around a ring) must
+// complete even though the next handler takes the same lock. If Send ever
+// delivered inline, the self-send would re-enter the locked section on
+// the same goroutine and deadlock.
+func TestHandlerSendInsideHandler(t *testing.T) {
+	const places, hops = 3, 200
+	tr, err := NewChanTransport(ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var mu sync.Mutex // the handler-level lock a reentrant delivery would deadlock on
+	var count atomic.Int64
+	finished := make(chan struct{})
+	if err := tr.Register(UserHandlerBase, func(src, dst int, payload any) {
+		remaining := payload.(int)
+		mu.Lock()
+		defer mu.Unlock()
+		if count.Add(1) == hops {
+			close(finished)
+			return
+		}
+		// Alternate between a self-send and a hop to the next place, all
+		// from inside the handler with mu held.
+		next := dst
+		if remaining%2 == 0 {
+			next = (dst + 1) % places
+		}
+		if err := tr.Send(dst, next, UserHandlerBase, remaining-1, 8, ControlClass); err != nil {
+			t.Errorf("send inside handler: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tr.Send(0, 0, UserHandlerBase, hops, 8, ControlClass); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("handler-in-handler chain deadlocked after %d/%d hops", count.Load(), hops)
+	}
+}

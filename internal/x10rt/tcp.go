@@ -1,6 +1,8 @@
 package x10rt
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -43,18 +45,43 @@ type TCPTransport struct {
 }
 
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	mu sync.Mutex
+	c  net.Conn
 }
 
-// wireMsg is the on-the-wire message format.
+// wireMsg is the on-the-wire message format. Each message travels as one
+// frame (see frame.go) whose payload is a self-contained gob encoding of
+// the wireMsg, so a receiver can validate and decode every message
+// independently — no shared decoder state to desynchronize.
 type wireMsg struct {
 	Src     int
 	ID      HandlerID
 	Class   Class
 	Bytes   int
 	Payload any
+}
+
+// encodeWireMsg renders m as one framed, self-contained gob message.
+func encodeWireMsg(m *wireMsg) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(m); err != nil {
+		return nil, err
+	}
+	return AppendFrame(nil, payload.Bytes())
+}
+
+// decodeWireMsg decodes one frame payload. Frame payloads can arrive from
+// another process (or a fuzzer), and gob's decoder reports some malformed
+// inputs by panicking; the recover converts any such panic into an error
+// so a corrupt peer can only cost its own connection.
+func decodeWireMsg(payload []byte) (m wireMsg, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("x10rt: wire decode panic: %v", r)
+		}
+	}()
+	err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&m)
+	return m, err
 }
 
 // RegisterWireType registers a concrete payload type for gob encoding.
@@ -149,12 +176,16 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 		}
 		return nil
 	}
+	frame, err := encodeWireMsg(&m)
+	if err != nil {
+		return fmt.Errorf("x10rt: encode for %d: %w", dst, err)
+	}
 	conn, err := t.connTo(dst)
 	if err != nil {
 		return err
 	}
 	conn.mu.Lock()
-	err = conn.enc.Encode(&m)
+	_, err = conn.c.Write(frame)
 	conn.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("x10rt: send to %d: %w", dst, err)
@@ -179,7 +210,7 @@ func (t *TCPTransport) connTo(dst int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("x10rt: dial place %d (%s): %w", dst, t.opts.Addrs[dst], err)
 	}
-	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc)}
+	c := &tcpConn{c: nc}
 	t.conns[dst] = c
 	return c, nil
 }
@@ -198,13 +229,19 @@ func (t *TCPTransport) accept() {
 
 // read decodes and dispatches messages from one inbound connection.
 // Running handlers on the reader goroutine preserves per-link FIFO order.
+// A frame that fails validation or decoding terminates the connection: a
+// desynchronized or hostile stream cannot poison later messages.
 func (t *TCPTransport) read(nc net.Conn) {
 	defer t.wg.Done()
 	defer nc.Close()
-	dec := gob.NewDecoder(nc)
+	br := bufio.NewReader(nc)
 	for {
-		var m wireMsg
-		if err := dec.Decode(&m); err != nil {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		m, err := decodeWireMsg(payload)
+		if err != nil {
 			return
 		}
 		if countable(m.ID) {
