@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench trace telemetry chaos fuzz-short experiments examples clean
+.PHONY: all build test race bench bench-smoke trace telemetry chaos fuzz-short experiments examples clean
 
-all: build test race telemetry chaos fuzz-short
+all: build test race telemetry chaos bench-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Performance observatory smoke: emit a tiny single-rep artifact (UTS
+# exercises the steal/lifeline critical-path buckets), validate it
+# against the BENCH schema, then self-compare — benchdiff must report
+# zero regressions by construction, so any failure is a pipeline bug.
+bench-smoke:
+	$(GO) run ./cmd/apgas-bench -exp uts -scale tiny -bench-json /tmp/apgas-bench-smoke.json -bench-reps 1
+	$(GO) run ./cmd/tracecheck -bench /tmp/apgas-bench-smoke.json
+	$(GO) run ./cmd/benchdiff /tmp/apgas-bench-smoke.json /tmp/apgas-bench-smoke.json
 
 # Record a Chrome trace of a small UTS run and sanity-check the JSON.
 trace:
@@ -44,13 +53,15 @@ chaos:
 	$(GO) run ./cmd/apgas-bench -exp chaos -chaos-seeds 4
 
 # 30 seconds of coverage-guided fuzzing per target: the x10rt TCP frame
-# codec and the tracecheck flight-dump validator. -fuzzminimizetime is
+# codec and the tracecheck flight-dump and bench-artifact validators.
+# -fuzzminimizetime is
 # bounded because the default 60s-per-input minimization budget would
 # otherwise consume the entire run.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
 	$(GO) test -run '^$$' -fuzz FuzzCheckFlightDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
+	$(GO) test -run '^$$' -fuzz FuzzCheckBench -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 
 # Regenerate every table and figure at laptop scale.
 experiments:

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"apgas/internal/harness"
+	"apgas/internal/perfobs"
+)
+
+// runBenchJSON collects the performance artifact for exp ("all" or a
+// single series name) at the given scale and writes it to path. With
+// echoMetrics each experiment's curated metric deltas go to stderr.
+func runBenchJSON(exp string, scale harness.Scale, path string, reps int, echoMetrics bool) error {
+	var runners []perfobs.Runner
+	switch {
+	case exp == "all":
+		for _, name := range panelOrder {
+			runners = append(runners, perfobs.Runner{Name: name, Run: panels[name]})
+		}
+	default:
+		fn, ok := panels[exp]
+		if !ok {
+			return fmt.Errorf("-bench-json needs a series experiment (%s or all), not %q",
+				strings.Join(panelOrder, ", "), exp)
+		}
+		runners = []perfobs.Runner{{Name: exp, Run: fn}}
+	}
+
+	art, err := perfobs.Collect(scale, reps, runners, os.Stderr)
+	if err != nil {
+		return err
+	}
+	// Self-check before writing: an artifact this process cannot validate
+	// would fail tracecheck -bench downstream anyway.
+	if issues := perfobs.Validate(art); len(issues) > 0 {
+		return fmt.Errorf("collected artifact failed validation: %v", issues[0])
+	}
+	if err := art.WriteFile(path); err != nil {
+		return err
+	}
+
+	for _, e := range art.Experiments {
+		fmt.Printf("== %s ==\n", e.Name)
+		if e.CriticalPath != nil {
+			e.CriticalPath.WriteText(os.Stdout)
+		} else {
+			fmt.Println("critical path: no finish root in trace")
+		}
+		if e.EfficiencyNote != "" {
+			fmt.Printf("efficiency: %s\n", e.EfficiencyNote)
+		} else {
+			fmt.Printf("efficiency: %.2f\n", e.Efficiency)
+		}
+		fmt.Println()
+		if echoMetrics {
+			fmt.Fprintf(os.Stderr, "--- %s metrics (best rep) ---\n", e.Name)
+			names := make([]string, 0, len(e.Metrics))
+			for name := range e.Metrics {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				m := e.Metrics[name]
+				switch m.Kind {
+				case "histogram":
+					fmt.Fprintf(os.Stderr, "%-40s count=%d sum=%d p50=%d p95=%d\n",
+						name, m.Count, m.Sum, m.P50, m.P95)
+				case "gauge":
+					fmt.Fprintf(os.Stderr, "%-40s %d (gauge)\n", name, m.Gauge)
+				default:
+					fmt.Fprintf(os.Stderr, "%-40s %d\n", name, m.Count)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "apgas-bench: wrote %s (%d experiments, scale %s, %d reps)\n",
+		path, len(art.Experiments), art.Scale, art.Reps)
+	return nil
+}

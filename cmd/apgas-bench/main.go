@@ -16,6 +16,16 @@
 //	apgas-bench -exp all -debug-addr :6060       # pprof + expvar + /telemetry while running
 //	apgas-bench -places 4 -metrics-all           # cross-place merged metrics table
 //	apgas-bench -exp telemetry -netsim           # telemetry smoke under the 775 model
+//	apgas-bench -exp all -scale tiny -bench-json BENCH_tiny.json   # performance artifact
+//	apgas-bench -exp uts -bench-json uts.json -bench-reps 5        # min-of-5 UTS artifact
+//
+// -bench-json emits the performance observatory's machine-readable
+// artifact (validated by tracecheck -bench, gated by benchdiff): each
+// experiment's best-of-reps series, curated metric deltas, and the
+// critical-path attribution of finish/steal/collective time. It
+// composes with -metrics (echoes each experiment's deltas to stderr)
+// but not with -trace, -netsim, or the telemetry/chaos workloads, which
+// manage their own observability.
 package main
 
 import (
@@ -54,12 +64,36 @@ func main() {
 		"telemetry run: enable the finish stall watchdog with this window (0 = off)")
 	flightDump := flag.String("flight-dump", "",
 		"telemetry run: write the flight recorder (JSON Lines) to this file at exit")
+	benchJSON := flag.String("bench-json", "",
+		"write the performance artifact (BENCH JSON) to this file: best-of-reps series, "+
+			"metric deltas, critical-path buckets; validate with tracecheck -bench, gate with benchdiff")
+	benchReps := flag.Int("bench-reps", 3, "repetitions per experiment for -bench-json (best kept)")
 	flag.Parse()
 
 	// -metrics-all is a request for the cross-place telemetry view, so it
 	// selects the telemetry workload regardless of -exp.
 	if *metricsAll && *exp == "all" {
 		*exp = "telemetry"
+	}
+
+	// -bench-json swaps the process-global observability per repetition,
+	// so it cannot coexist with modes that install or depend on their own.
+	if *benchJSON != "" {
+		reason := ""
+		switch {
+		case *traceFile != "":
+			reason = "-trace (the artifact collector installs a fresh tracer per repetition)"
+		case *useNetsim:
+			reason = "-netsim (artifacts fingerprint the real machine, not a modelled one)"
+		case *metricsAll:
+			reason = "-metrics-all (a telemetry-workload view)"
+		case *exp == "telemetry" || *exp == "chaos" || *exp == "list":
+			reason = fmt.Sprintf("-exp %s (not a measured series)", *exp)
+		}
+		if reason != "" {
+			fmt.Fprintf(os.Stderr, "apgas-bench: -bench-json cannot be combined with %s\n", reason)
+			os.Exit(2)
+		}
 	}
 
 	var scale harness.Scale
@@ -122,6 +156,14 @@ func main() {
 		return
 	}
 
+	if *benchJSON != "" {
+		if err := runBenchJSON(*exp, scale, *benchJSON, *benchReps, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(*exp, scale); err != nil {
 		fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
 		os.Exit(1)
@@ -155,6 +197,23 @@ var experiments = map[string]string{
 	"uts-ablation": "UTS load-balancer ablation",
 	"teams":        "native vs emulated collectives",
 	"seqref":       "sequential reference kernels",
+	"spmd-bcast":   "FINISH_SPMD spawning-tree broadcast sweep (pins the finish-control critical-path bucket)",
+}
+
+// panelOrder is the series execution order for -exp all and -bench-json.
+var panelOrder = []string{"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc", "spmd-bcast"}
+
+// panels maps -exp names to the harness series they regenerate.
+var panels = map[string]func(harness.Scale) (harness.Series, error){
+	"hpl":        harness.Fig1HPL,
+	"fft":        harness.Fig1FFT,
+	"ra":         harness.Fig1RandomAccess,
+	"stream":     harness.Fig1Stream,
+	"uts":        harness.Fig1UTS,
+	"kmeans":     harness.Fig1KMeans,
+	"sw":         harness.Fig1SW,
+	"bc":         harness.Fig1BC,
+	"spmd-bcast": harness.SPMDBroadcastSeries,
 }
 
 func run(exp string, scale harness.Scale) error {
@@ -176,25 +235,21 @@ func run(exp string, scale harness.Scale) error {
 		return nil
 	}
 
-	panels := map[string]func(harness.Scale) (harness.Series, error){
-		"hpl":    harness.Fig1HPL,
-		"fft":    harness.Fig1FFT,
-		"ra":     harness.Fig1RandomAccess,
-		"stream": harness.Fig1Stream,
-		"uts":    harness.Fig1UTS,
-		"kmeans": harness.Fig1KMeans,
-		"sw":     harness.Fig1SW,
-		"bc":     harness.Fig1BC,
-	}
-
 	switch exp {
 	case "list":
+		seen := make(map[string]bool, len(panels)+len(experiments))
 		names := make([]string, 0, len(panels)+len(experiments))
 		for name := range panels {
-			names = append(names, name)
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
 		}
 		for name := range experiments {
-			names = append(names, name)
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
 		}
 		sort.Strings(names)
 		for _, name := range names {
@@ -206,7 +261,7 @@ func run(exp string, scale harness.Scale) error {
 		}
 		return nil
 	case "all":
-		for _, name := range []string{"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc"} {
+		for _, name := range panelOrder {
 			if err := series(panels[name]); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

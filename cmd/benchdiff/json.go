@@ -1,0 +1,18 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"apgas/internal/perfobs"
+)
+
+// writeJSONReport persists the full report for machine consumption
+// (dashboards, CI annotations).
+func writeJSONReport(rep *perfobs.Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

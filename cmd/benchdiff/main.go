@@ -1,0 +1,88 @@
+// Command benchdiff is the statistical regression gate of the
+// performance observatory: it compares two apgas-bench artifacts
+// (BENCH_*.json, written by apgas-bench -bench-json) with noise-aware,
+// direction-aware tolerances and exits nonzero when the candidate
+// regressed the baseline.
+//
+// Direction awareness: for throughput series a drop beyond -rel-tol is
+// a regression; for time-based series a rise is; efficiency is gated on
+// an absolute point drop (-eff-tol). Changes beyond tolerance in the
+// favourable direction are reported as improvements and pass. Artifacts
+// record min-of-N repetitions, so the tolerances guard against residual
+// scheduling noise, not raw run-to-run variance.
+//
+// Usage:
+//
+//	benchdiff BENCH_old.json BENCH_new.json
+//	benchdiff -rel-tol 0.10 -eff-tol 0.05 old.json new.json
+//	benchdiff -json report.json -same-env old.json new.json
+//
+// Exit status: 0 when the gate passes (including reported
+// improvements), 1 on regression, 2 on usage or artifact errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"apgas/internal/perfobs"
+)
+
+func main() {
+	relTol := flag.Float64("rel-tol", 0.15,
+		"relative change in a point's aggregate beyond which the bad direction regresses")
+	effTol := flag.Float64("eff-tol", 0.10,
+		"absolute efficiency drop tolerated before regressing")
+	sameEnv := flag.Bool("same-env", false,
+		"fail (instead of warn) when the artifacts' environment fingerprints differ")
+	jsonOut := flag.String("json", "",
+		"also write the full report as JSON to this file")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	opt := perfobs.Options{RelTol: *relTol, EffTol: *effTol, RequireSameEnv: *sameEnv}
+	os.Exit(runDiff(flag.Arg(0), flag.Arg(1), opt, *jsonOut, os.Stdout, os.Stderr))
+}
+
+// runDiff loads, validates, and compares the two artifacts, writing the
+// markdown report to stdout (and JSON to jsonPath when set). It returns
+// the process exit code.
+func runDiff(oldPath, newPath string, opt perfobs.Options, jsonPath string, stdout, stderr io.Writer) int {
+	load := func(path string) (*perfobs.Artifact, bool) {
+		a, err := perfobs.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return nil, false
+		}
+		if issues := perfobs.Validate(a); len(issues) > 0 {
+			fmt.Fprintf(stderr, "benchdiff: %s: invalid artifact (run tracecheck -bench for details): %v\n",
+				path, issues[0])
+			return nil, false
+		}
+		return a, true
+	}
+	oldA, ok := load(oldPath)
+	if !ok {
+		return 2
+	}
+	newA, ok := load(newPath)
+	if !ok {
+		return 2
+	}
+	rep := perfobs.Compare(oldA, newA, opt)
+	rep.WriteMarkdown(stdout)
+	if jsonPath != "" {
+		if err := writeJSONReport(rep, jsonPath); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: write %s: %v\n", jsonPath, err)
+			return 2
+		}
+	}
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"apgas/internal/perfobs"
+)
+
+// TestSelfCompareExitsZero: an artifact against itself must pass the
+// gate with zero regressions — the bench-smoke CI invariant.
+func TestSelfCompareExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := runDiff("testdata/baseline.json", "testdata/baseline.json",
+		perfobs.DefaultOptions(), "", &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") || !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+}
+
+// TestDegradedFixtureExitsNonzero: the committed synthetically degraded
+// artifact (throughput down 40%, time up 58%, efficiency down 30
+// points) must fail the gate.
+func TestDegradedFixtureExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := runDiff("testdata/baseline.json", "testdata/degraded.json",
+		perfobs.DefaultOptions(), "", &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	md := out.String()
+	for _, want := range []string{"FAIL", "regression", "UTS", "K-Means"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestImprovedDirectionPasses: swapping the operands makes every change
+// favourable, which is reported but passes.
+func TestImprovedDirectionPasses(t *testing.T) {
+	var out, errOut strings.Builder
+	code := runDiff("testdata/degraded.json", "testdata/baseline.json",
+		perfobs.DefaultOptions(), "", &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (improvements pass); stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "improvement") {
+		t.Errorf("improvements not reported:\n%s", out.String())
+	}
+}
+
+func TestJSONReportWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errOut strings.Builder
+	code := runDiff("testdata/baseline.json", "testdata/degraded.json",
+		perfobs.DefaultOptions(), path, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep perfobs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions == 0 || len(rep.Findings) == 0 {
+		t.Fatalf("JSON report lost findings: %+v", rep)
+	}
+}
+
+func TestBadArtifactExitsTwo(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := runDiff(bad, "testdata/baseline.json",
+		perfobs.DefaultOptions(), "", &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := runDiff("testdata/baseline.json", filepath.Join(t.TempDir(), "missing.json"),
+		perfobs.DefaultOptions(), "", &out, &errOut); code != 2 {
+		t.Fatal("missing file did not exit 2")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"apgas/internal/perfobs"
+)
+
+// checkBenchFile validates path as a performance-observatory artifact
+// and returns a one-line summary.
+func checkBenchFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	exps, points, err := checkBench(data)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return fmt.Sprintf("tracecheck: %s: bench artifact, %d experiments, %d points OK",
+		path, exps, points), nil
+}
+
+// maxBenchIssues caps how many schema violations one error reports.
+const maxBenchIssues = 10
+
+// checkBench validates artifact bytes and returns the experiment and
+// point counts. The error lists every violation as "path: reason",
+// capped at maxBenchIssues.
+func checkBench(data []byte) (exps, points int, err error) {
+	a, err := perfobs.Parse(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	if issues := perfobs.Validate(a); len(issues) > 0 {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d schema violation(s):", len(issues))
+		for i, is := range issues {
+			if i == maxBenchIssues {
+				fmt.Fprintf(&sb, "\n  ... %d more", len(issues)-maxBenchIssues)
+				break
+			}
+			fmt.Fprintf(&sb, "\n  %s: %s", is.Path, is.Reason)
+		}
+		return 0, 0, fmt.Errorf("%s", sb.String())
+	}
+	for _, e := range a.Experiments {
+		points += len(e.Points)
+	}
+	return len(a.Experiments), points, nil
+}

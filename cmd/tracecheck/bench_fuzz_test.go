@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"apgas/internal/perfobs"
+)
+
+// validBenchJSON builds a well-formed artifact as bytes.
+func validBenchJSON(t testing.TB) []byte {
+	a := perfobs.NewArtifact("tiny", 2)
+	a.Experiments = []perfobs.Experiment{{
+		Name:          "UTS",
+		AggregateUnit: "Mnodes/s",
+		PerUnitUnit:   "Mnodes/s/place",
+		Points: []perfobs.Point{
+			{Places: 1, Aggregate: 10, PerUnit: 10},
+			{Places: 2, Aggregate: 18, PerUnit: 9},
+		},
+		Efficiency: 0.9,
+		CriticalPath: &perfobs.CritPathReport{
+			Root: "finish.dense", WallNs: 1000, Coverage: 1, Spans: 2,
+			Buckets: map[string]int64{"user-compute": 800, "finish-control": 200},
+		},
+	}}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckBenchValid(t *testing.T) {
+	exps, points, err := checkBench(validBenchJSON(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exps != 1 || points != 2 {
+		t.Fatalf("exps=%d points=%d, want 1/2", exps, points)
+	}
+}
+
+// TestCheckBenchNamesPathAndReason pins the error format: every
+// violation is reported as "path: reason".
+func TestCheckBenchNamesPathAndReason(t *testing.T) {
+	data := strings.Replace(string(validBenchJSON(t)),
+		`"places":2`, `"places":1`, 1) // duplicate place count
+	_, _, err := checkBench([]byte(data))
+	if err == nil {
+		t.Fatal("non-monotone places accepted")
+	}
+	if !strings.Contains(err.Error(), "experiments[0].points[1].places") ||
+		!strings.Contains(err.Error(), "strictly increasing") {
+		t.Fatalf("error lacks path+reason: %v", err)
+	}
+}
+
+func TestCheckBenchGarbage(t *testing.T) {
+	if _, _, err := checkBench([]byte("{torn")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// FuzzCheckBench drives the artifact validator with arbitrary bytes.
+// The validator gates CI comparisons (make bench-smoke), so it must
+// never panic on hostile or truncated artifacts — it either accepts a
+// schema-clean artifact or returns an error naming path and reason.
+//
+// Checked properties:
+//   - no panics (the fuzzer's implicit check);
+//   - determinism: same bytes, same verdict;
+//   - acceptance implies the bytes re-parse and re-validate clean.
+func FuzzCheckBench(f *testing.F) {
+	valid := validBenchJSON(f)
+	f.Add(valid)
+	// Violations the validator must reject, not choke on.
+	f.Add([]byte(strings.Replace(string(valid), `"apgas-bench"`, `"other"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"version":1`, `"version":99`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"places":2`, `"places":1`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"aggregate":18`, `"aggregate":-18`, 1)))
+	f.Add([]byte(`{"schema":"apgas-bench","version":1}`)) // no env, no experiments
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff{not json"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e1, p1, err1 := checkBench(data)
+		e2, p2, err2 := checkBench(data)
+		if e1 != e2 || p1 != p2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic verdict: (%d,%d,%v) vs (%d,%d,%v)", e1, p1, err1, e2, p2, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		// Accepted: must survive a parse/validate round trip.
+		a, err := perfobs.Parse(data)
+		if err != nil {
+			t.Fatalf("accepted bytes that do not re-parse: %v", err)
+		}
+		if issues := perfobs.Validate(a); len(issues) > 0 {
+			t.Fatalf("accepted artifact re-validates dirty: %v", issues)
+		}
+		if e1 != len(a.Experiments) {
+			t.Fatalf("experiment count %d, artifact has %d", e1, len(a.Experiments))
+		}
+	})
+}

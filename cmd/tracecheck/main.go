@@ -1,39 +1,57 @@
-// Command tracecheck validates the two diagnostic file formats the
-// runtime emits:
+// Command tracecheck validates the diagnostic file formats the runtime
+// emits:
 //
 //   - Chrome trace_event JSON, written by the -trace flag of apgas-bench
 //     and uts (loadable in chrome://tracing or Perfetto);
 //   - flight recorder dumps (JSON Lines headed by
 //     {"type":"apgas-flight",...}), written by -flight-dump, the stall
-//     watchdog, and failed runs.
+//     watchdog, and failed runs;
+//   - with -bench, performance-observatory artifacts (BENCH_*.json)
+//     written by apgas-bench -bench-json, checked against the schema:
+//     version, environment fingerprint, strictly increasing place
+//     counts, non-negative metrics, sane critical-path buckets.
 //
-// The format is auto-detected. For flight dumps it checks the structural
-// invariants the recorder guarantees — the header's event count matches
-// the body, "seq" strictly increases (ring order), "ts" never decreases —
-// and exits nonzero naming the offending line and reason. It backs the
-// `make trace` and `make telemetry` sanity targets.
+// Trace vs flight dump is auto-detected; bench artifacts are selected
+// explicitly with -bench. Errors name the offending location (line for
+// JSONL, JSON path for artifacts) and the reason; the exit code is
+// nonzero. It backs the `make trace`, `make telemetry`, and
+// `make bench-smoke` sanity targets.
 //
 // Usage:
 //
 //	tracecheck /tmp/apgas-uts-trace.json
 //	tracecheck /tmp/apgas-flight.jsonl
+//	tracecheck -bench BENCH_tiny.json
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json | flight.jsonl>")
+	benchMode := flag.Bool("bench", false,
+		"validate an apgas-bench performance artifact (BENCH_*.json) instead of a trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-bench] <trace.json | flight.jsonl | BENCH_*.json>")
 		os.Exit(2)
 	}
-	summary, err := checkFile(os.Args[1])
+	path := flag.Arg(0)
+	var (
+		summary string
+		err     error
+	)
+	if *benchMode {
+		summary, err = checkBenchFile(path)
+	} else {
+		summary, err = checkFile(path)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 		os.Exit(1)

@@ -85,7 +85,10 @@ func newTeamMetrics(rt *core.Runtime) teamMetrics {
 func (t *Team) opDone(c *core.Ctx, op string, t0 int64) {
 	t.m.ops[op].Inc()
 	if tr := t.m.tr; tr != nil {
-		tr.Complete("team."+op, "team", int(c.Place()), tr.NextID(), t0,
+		// The span hangs under the calling activity so collective fan-in
+		// time is attributable on the finish tree's critical path.
+		tr.CompleteEdge("team."+op, "team", int(c.Place()), tr.NextID(), t0,
+			c.TraceSpan(), obs.EdgeChild,
 			obs.Arg{Key: "members", Val: int64(t.Size())},
 			obs.Arg{Key: "mode", Val: int64(t.mode)})
 	}

@@ -16,11 +16,29 @@ type Ctx struct {
 	pl  *place
 	fin finRef // governing finish for spawns; zero (valid) only inside Run bootstrap
 
+	// span is the trace span id of the current scope — the activity's
+	// own span inside runActivity, or the enclosing finish span inside a
+	// FinishPragma body. 0 when tracing is off (or in the Run
+	// bootstrap). Nested finishes and extension spans (GLB steals,
+	// collectives) record it as their span parent.
+	span uint64
+
 	// hereHomebound marks, for activities governed by a FINISH_HERE,
 	// whether this activity has already passed its termination token
 	// home (see finish_patterns.go).
 	hereHomebound bool
 }
+
+// TraceSpan returns the trace span id of the current scope (0 when
+// tracing is disabled). Extension layers use it as the parent of spans
+// they record on this activity's behalf.
+func (c *Ctx) TraceSpan() uint64 { return c.span }
+
+// FinishTraceSpan returns the trace span id of the governing finish
+// (0 when tracing is disabled), the anchor for spans that outlive the
+// current activity but complete under the same finish — e.g. the GLB's
+// lifeline-wait spans.
+func (c *Ctx) FinishTraceSpan() uint64 { return c.fin.Span }
 
 // Place returns the place this activity is executing at.
 func (c *Ctx) Place() Place { return c.pl.id }
@@ -93,13 +111,16 @@ func (rt *Runtime) spawnLocal(pl *place, fin finRef, f func(*Ctx)) {
 func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error) {
 	ctx := &Ctx{rt: rt, pl: pl, fin: fin}
 	// Tracing: each activity body is one span in its own lane (tid), so
-	// concurrent activities of a place render side by side.
+	// concurrent activities of a place render side by side. The span
+	// hangs under the governing finish's span (a child edge), which is
+	// what lets the critical-path profiler rebuild the finish tree.
 	tr := rt.tracer
 	var t0 int64
 	var tid uint64
 	if tr != nil {
 		t0 = tr.Now()
 		tid = tr.NextID()
+		ctx.span = tid
 	}
 	var err error
 	func() {
@@ -111,7 +132,7 @@ func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<-
 		f(ctx)
 	}()
 	if tr != nil {
-		tr.Complete("async", "activity", int(pl.id), tid, t0)
+		tr.CompleteEdge("async", "activity", int(pl.id), tid, t0, fin.Span, obs.EdgeChild)
 	}
 	if reply != nil {
 		rt.finEvent(fin, pl, evTerminate, pl.id, nil, ctx)
@@ -208,8 +229,9 @@ func (rt *Runtime) onSpawn(src, dst int, payload any) {
 		return
 	}
 	if m.Raw {
-		// Self-directed RDMA: the body carries its own bookkeeping.
-		m.Body(&Ctx{rt: rt, pl: pl, fin: m.Fin})
+		// Self-directed RDMA: the body carries its own bookkeeping, and
+		// traces under the governing finish's span.
+		m.Body(&Ctx{rt: rt, pl: pl, fin: m.Fin, span: m.Fin.Span})
 		return
 	}
 	rt.finEvent(m.Fin, pl, evRemoteBegin, Place(src), nil, nil)

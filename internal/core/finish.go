@@ -88,6 +88,10 @@ type finishID struct {
 type finRef struct {
 	ID      finishID
 	Pattern Pattern
+	// Span is the trace span id (obs.Tracer lane) of the finish, 0 when
+	// tracing is off. Activities record it as their span parent so a
+	// post-run pass can rebuild the finish tree.
+	Span uint64
 }
 
 func (r finRef) valid() bool { return r.Pattern < numPatterns && r.ID.Seq != 0 }
@@ -141,13 +145,17 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	ref := finRef{ID: id, Pattern: p}
 
 	// Observability: one span per finish (begin at entry, end at
-	// quiescence) plus per-pattern count and latency metrics.
+	// quiescence) plus per-pattern count and latency metrics. The span id
+	// is allocated up front and travels inside finRef so every governed
+	// activity — local or remote — records this finish as its span
+	// parent, and the finish itself hangs under the enclosing scope.
 	tr := c.rt.tracer
 	m := c.rt.m
 	var t0 int64
 	var wall int64
 	if tr != nil {
 		t0 = tr.Now()
+		ref.Span = tr.NextID()
 	} else if m != nil {
 		wall = c.rt.now()
 	}
@@ -180,8 +188,10 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	}
 
 	// The body runs in the current activity with the new finish
-	// installed as governing scope for its spawns.
-	inner := &Ctx{rt: c.rt, pl: pl, fin: ref}
+	// installed as governing scope for its spawns. The finish span also
+	// becomes the body's tracing scope, so nested finishes and extension
+	// spans (GLB steals) opened by the body attach under it.
+	inner := &Ctx{rt: c.rt, pl: pl, fin: ref, span: ref.Span}
 	var bodyErr error
 	func() {
 		defer func() {
@@ -203,7 +213,8 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 			f.kSeq, int64(id.Seq))
 	}
 	if tr != nil {
-		tr.Complete("finish."+p.metricKey(), "finish", int(pl.id), tr.NextID(), t0)
+		tr.CompleteEdge("finish."+p.metricKey(), "finish", int(pl.id), ref.Span, t0,
+			c.span, obs.EdgeChild)
 	}
 	if m != nil {
 		var us uint64
@@ -282,7 +293,16 @@ func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
 		}
 	}
 	if tr := rt.tracer; tr != nil {
-		tr.Instant("finish.ctl", "finish", dst, obs.Arg{Key: "src", Val: int64(src)})
+		// Termination credits (counter-pattern ctlDone, cumulative
+		// snapshots) are the edges of the quiescence wait; routed and
+		// cleanup traffic is bookkeeping.
+		edge := obs.EdgeNone
+		switch payload.(type) {
+		case ctlDone, ctlSnapshot:
+			edge = obs.EdgeCredit
+		}
+		tr.InstantEdge("finish.ctl", "finish", dst, 0, edge,
+			obs.Arg{Key: "src", Val: int64(src)})
 	}
 	switch m := payload.(type) {
 	case ctlRouted:

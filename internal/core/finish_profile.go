@@ -125,7 +125,9 @@ func (c *Ctx) FinishProfiled(body func(*Ctx)) (FinishProfile, error) {
 	pl.roots[id] = root
 	pl.finMu.Unlock()
 
-	inner := &Ctx{rt: c.rt, pl: pl, fin: ref}
+	// Profiled finishes record no span of their own; nested spans keep
+	// attaching to the enclosing scope.
+	inner := &Ctx{rt: c.rt, pl: pl, fin: ref, span: c.span}
 	var bodyErr error
 	func() {
 		defer func() {

@@ -84,8 +84,8 @@ func (g PlaceGroup) Broadcast(c *Ctx, body func(*Ctx)) error {
 		return fmt.Errorf("core: broadcast on empty group")
 	}
 	if tr := c.rt.tracer; tr != nil {
-		defer tr.Complete("broadcast", "core", int(c.pl.id), tr.NextID(), tr.Now(),
-			obs.Arg{Key: "places", Val: int64(len(g.places))})
+		defer tr.CompleteEdge("broadcast", "core", int(c.pl.id), tr.NextID(), tr.Now(),
+			c.span, obs.EdgeChild, obs.Arg{Key: "places", Val: int64(len(g.places))})
 	}
 	arity := c.rt.cfg.BroadcastArity
 	// Rotate the group so the tree root is the calling place when it is

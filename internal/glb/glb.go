@@ -173,6 +173,12 @@ type placeState struct {
 
 	stats Stats
 	pm    placeMetrics
+
+	// diedAt is the tracer timestamp at which this place's worker died
+	// (asked its lifelines and returned); the resuscitation path closes
+	// a glb.lifeline.wait span from it. Only meaningful while !active
+	// and only when tracing is enabled.
+	diedAt int64
 }
 
 // New creates a balancer and builds the per-place bags with makeBag (run
@@ -297,6 +303,9 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 			continue
 		}
 		st.active = false
+		if b.tr != nil {
+			st.diedAt = b.tr.Now()
+		}
 		requests := make([]core.Place, 0, len(st.lifelines))
 		for _, l := range st.lifelines {
 			if !st.asked[l] {
@@ -360,7 +369,10 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 		if loot != nil {
 			ok = 1
 		}
-		b.tr.Complete("glb.steal", "glb", int(home), b.tr.NextID(), t0,
+		// A steal edge under the thief's worker activity: the critical-
+		// path profiler buckets this round trip as steal time.
+		b.tr.CompleteEdge("glb.steal", "glb", int(home), b.tr.NextID(), t0,
+			ctx.TraceSpan(), obs.EdgeSteal,
 			obs.Arg{Key: "victim", Val: int64(victim)}, obs.Arg{Key: "ok", Val: ok})
 	}
 	if loot == nil {
@@ -423,9 +435,11 @@ func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
 		ts.mu.Lock()
 		ts.bag.Merge(loot)
 		revive := !ts.active
+		var diedAt int64
 		if revive {
 			ts.active = true
 			ts.stats.Resuscitations++
+			diedAt = ts.diedAt
 			// The lifeline that just fed us may be asked again later.
 			for l := range ts.asked {
 				delete(ts.asked, l)
@@ -435,7 +449,14 @@ func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
 		if revive {
 			ts.pm.resuscitations.Inc()
 			b.m.resuscitations.Inc()
-			b.tr.Instant("glb.resuscitate", "glb", int(thief))
+			if b.tr != nil {
+				// The wait span covers worker death to resuscitation,
+				// anchored under the root finish so the critical-path
+				// profiler can bucket lifeline idle time.
+				b.tr.CompleteEdge("glb.lifeline.wait", "glb", int(thief),
+					b.tr.NextID(), diedAt, ct.FinishTraceSpan(), obs.EdgeLifeline)
+				b.tr.Instant("glb.resuscitate", "glb", int(thief))
+			}
 			ct.Async(func(cw *core.Ctx) { b.worker(cw, ts) })
 		}
 	})

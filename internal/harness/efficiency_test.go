@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestEfficiencyCheckedEmptySeries(t *testing.T) {
+	s := Series{Name: "empty"}
+	if _, err := s.EfficiencyChecked(1); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("err = %v, want empty-series error", err)
+	}
+	if got := s.Efficiency(1); got != 0 {
+		t.Fatalf("Efficiency = %v, want 0", got)
+	}
+}
+
+func TestEfficiencyCheckedSinglePoint(t *testing.T) {
+	s := Series{Name: "one", Points: []Point{{Places: 1, Aggregate: 10}}}
+	if _, err := s.EfficiencyChecked(1); err == nil || !strings.Contains(err.Error(), "single point") {
+		t.Fatalf("err = %v, want single-point error", err)
+	}
+	if got := s.Efficiency(1); got != 0 {
+		t.Fatalf("Efficiency = %v, want 0", got)
+	}
+}
+
+func TestEfficiencyCheckedZeroBaselineThroughput(t *testing.T) {
+	s := Series{Name: "zeroref", Points: []Point{
+		{Places: 1, Aggregate: 0},
+		{Places: 4, Aggregate: 30},
+	}}
+	if _, err := s.EfficiencyChecked(1); err == nil || !strings.Contains(err.Error(), "zero throughput") {
+		t.Fatalf("err = %v, want zero-throughput error", err)
+	}
+	if got := s.Efficiency(1); got != 0 {
+		t.Fatalf("Efficiency = %v, want 0", got)
+	}
+}
+
+func TestEfficiencyCheckedZeroTimeBased(t *testing.T) {
+	s := Series{Name: "zerotime", TimeBased: true, Points: []Point{
+		{Places: 1, Aggregate: 0},
+		{Places: 4, Aggregate: 2},
+	}}
+	if _, err := s.EfficiencyChecked(1); err == nil || !strings.Contains(err.Error(), "zero time") {
+		t.Fatalf("err = %v, want zero-time error", err)
+	}
+}
+
+func TestEfficiencyCheckedHappyPath(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 procs for a 2x ideal speedup")
+	}
+	s := Series{Name: "ok", Points: []Point{
+		{Places: 1, Aggregate: 10},
+		{Places: 2, Aggregate: 20},
+	}}
+	eff, err := s.EfficiencyChecked(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect scaling over a 2x sweep on a multi-core host: efficiency 1.
+	if eff < 0.99 || eff > 1.01 {
+		t.Fatalf("eff = %v, want ~1", eff)
+	}
+	if got := s.Efficiency(1); got != eff {
+		t.Fatalf("Efficiency %v != EfficiencyChecked %v", got, eff)
+	}
+}

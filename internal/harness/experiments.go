@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"apgas/internal/apps/bc"
 	"apgas/internal/apps/fftbench"
@@ -315,6 +316,45 @@ func TeamModeSeries(s Scale, mode collectives.Mode) (Series, error) {
 			Aggregate: res.opsPerSec,
 			PerUnit:   res.mbPerSecPerPlace,
 			Note:      fmt.Sprintf("%d f64/op", words) + obsNote(),
+		})
+	}
+	return out, nil
+}
+
+// SPMDBroadcastSeries sweeps the §3.2 spawning-tree broadcast (nested
+// FINISH_SPMD scopes, empty bodies) over the place sweep, timing a batch
+// of broadcasts per point. The workload is nearly pure finish control —
+// spawning-tree fan-out plus SPMD termination detection — which is what
+// the performance observatory's critical-path profiler uses to pin a
+// nonzero finish-control bucket.
+func SPMDBroadcastSeries(s Scale) (Series, error) {
+	reps := map[Scale]int{Tiny: 30, Small: 60, Medium: 100}[s]
+	out := Series{Name: "SPMD Broadcast", AggregateUnit: "bcast/s", PerUnitUnit: "us/bcast"}
+	for _, places := range s.PlaceSweep() {
+		rt, err := newRuntime(places)
+		if err != nil {
+			return out, err
+		}
+		obsNote := metricsNote(rt)
+		g := core.WorldGroup(rt)
+		start := time.Now()
+		err = rt.Run(func(ctx *core.Ctx) {
+			for rep := 0; rep < reps; rep++ {
+				if berr := g.Broadcast(ctx, func(*core.Ctx) {}); berr != nil {
+					panic(berr)
+				}
+			}
+		})
+		seconds := time.Since(start).Seconds()
+		rt.Close()
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, Point{
+			Places:    places,
+			Aggregate: float64(reps) / seconds,
+			PerUnit:   seconds / float64(reps) * 1e6,
+			Note:      fmt.Sprintf("%d reps", reps) + obsNote(),
 		})
 	}
 	return out, nil

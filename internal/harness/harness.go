@@ -53,8 +53,24 @@ type Series struct {
 // efficiency near 1 means the runtime added no overhead beyond the
 // hardware's limits as places grew.
 func (s Series) Efficiency(refPlaces int) float64 {
-	if len(s.Points) == 0 {
+	eff, err := s.EfficiencyChecked(refPlaces)
+	if err != nil {
 		return 0
+	}
+	return eff
+}
+
+// EfficiencyChecked is Efficiency with the degenerate cases made
+// explicit: an empty series, a single-point series (no scaling to
+// measure), and a zero-rate reference point (which would divide by
+// zero) each return a distinct error instead of a silent 0.
+func (s Series) EfficiencyChecked(refPlaces int) (float64, error) {
+	if len(s.Points) == 0 {
+		return 0, fmt.Errorf("harness: efficiency of empty series %q", s.Name)
+	}
+	if len(s.Points) == 1 {
+		return 0, fmt.Errorf("harness: series %q has a single point (places=%d); efficiency needs a sweep",
+			s.Name, s.Points[0].Places)
 	}
 	ref := s.Points[0]
 	for _, p := range s.Points {
@@ -64,22 +80,37 @@ func (s Series) Efficiency(refPlaces int) float64 {
 		}
 	}
 	last := s.Points[len(s.Points)-1]
-	rate := func(p Point) float64 {
+	if ref.Places == last.Places {
+		return 0, fmt.Errorf("harness: series %q reference and largest run are both places=%d",
+			s.Name, ref.Places)
+	}
+	rate := func(p Point) (float64, error) {
 		if s.TimeBased {
 			if p.Aggregate == 0 {
-				return 0
+				return 0, fmt.Errorf("harness: series %q has zero time at places=%d", s.Name, p.Places)
 			}
 			// Weak scaling: total work is proportional to places.
-			return float64(p.Places) / p.Aggregate
+			return float64(p.Places) / p.Aggregate, nil
 		}
-		return p.Aggregate
+		return p.Aggregate, nil
 	}
-	r0, r1 := rate(ref), rate(last)
+	r0, err := rate(ref)
+	if err != nil {
+		return 0, err
+	}
+	r1, err := rate(last)
+	if err != nil {
+		return 0, err
+	}
+	if r0 == 0 {
+		return 0, fmt.Errorf("harness: series %q has zero throughput at reference places=%d",
+			s.Name, ref.Places)
+	}
 	ideal := idealSpeedup(last.Places) / idealSpeedup(ref.Places)
-	if r0 == 0 || ideal == 0 {
-		return 0
+	if ideal == 0 {
+		return 0, fmt.Errorf("harness: series %q has zero ideal speedup", s.Name)
 	}
-	return (r1 / r0) / ideal
+	return (r1 / r0) / ideal, nil
 }
 
 // idealSpeedup is the best throughput multiple p places can achieve on

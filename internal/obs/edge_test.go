@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCompleteEdgeRecordsParentAndEdge(t *testing.T) {
+	tr := NewTracer()
+	root := tr.NextID()
+	tr.CompleteEdge("finish.spmd", "finish", 0, root, tr.Now(), 0, EdgeChild)
+	child := tr.NextID()
+	tr.CompleteEdge("async", "activity", 1, child, tr.Now(), root, EdgeChild,
+		Arg{Key: "bytes", Val: 64})
+	tr.InstantEdge("finish.ctl", "finish", 0, root, EdgeCredit, Arg{Key: "src", Val: 1})
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byName := make(map[string]Event)
+	for _, e := range events {
+		byName[e.Name] = e
+	}
+	if e := byName["async"]; e.Parent != root || e.Edge != EdgeChild {
+		t.Errorf("async parent=%d edge=%v, want parent=%d edge=child", e.Parent, e.Edge, root)
+	}
+	if e := byName["finish.ctl"]; e.Parent != root || e.Edge != EdgeCredit {
+		t.Errorf("ctl parent=%d edge=%v, want parent=%d edge=credit", e.Parent, e.Edge, root)
+	}
+
+	// The Chrome export surfaces edges as args so Perfetto shows them.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "async" {
+			found = true
+			if e.Args["parent"] != int64(root) || e.Args["edge"] != int64(EdgeChild) {
+				t.Errorf("chrome args = %v, want parent=%d edge=%d", e.Args, root, EdgeChild)
+			}
+		}
+	}
+	if !found {
+		t.Error("async event missing from Chrome export")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	for k, want := range map[EdgeKind]string{
+		EdgeNone: "none", EdgeChild: "child", EdgeSteal: "steal",
+		EdgeCredit: "credit", EdgeLifeline: "lifeline", EdgeKind(99): "none",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestSpanEdgeHammer races many goroutines over the edge-recording path
+// plus concurrent readers; run under -race this pins the new span-edge
+// API as data-race free. Nil tracers must stay no-ops.
+func TestSpanEdgeHammer(t *testing.T) {
+	tr := NewTracer()
+	var nilTr *Tracer
+	const goroutines = 64
+	const perG = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			parent := tr.NextID()
+			for i := 0; i < perG; i++ {
+				t0 := tr.Now()
+				id := tr.NextID()
+				tr.CompleteEdge("async", "activity", pid, id, t0, parent, EdgeChild)
+				tr.InstantEdge("finish.ctl", "finish", pid, parent, EdgeCredit)
+				nilTr.CompleteEdge("x", "y", pid, id, t0, parent, EdgeSteal)
+				nilTr.InstantEdge("x", "y", pid, parent, EdgeLifeline)
+				if i%10 == 0 {
+					_ = tr.Events()
+				}
+			}
+		}(g % 16)
+	}
+	wg.Wait()
+	events := tr.Events()
+	want := goroutines * perG * 2
+	if len(events) != want {
+		t.Fatalf("got %d events, want %d", len(events), want)
+	}
+}

@@ -106,6 +106,62 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum.Load()
 }
 
+// Quantile returns the lower bound of the bucket holding the q-quantile
+// (0 <= q <= 1) of the observed values: 0 for the zero bucket, 2^(i-1)
+// for bucket i. When every observation is an exact power of two the
+// readout is therefore exact. Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var buckets [HistBuckets]uint64
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return bucketQuantile(buckets[:], q)
+}
+
+// bucketQuantile is the shared quantile walk over power-of-two bucket
+// counts (see HistBuckets for the bucket layout).
+func bucketQuantile(buckets []uint64, q float64) uint64 {
+	var total uint64
+	for _, b := range buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation the quantile names
+	// (nearest-rank: ceil(q*N)).
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, b := range buckets {
+		cum += b
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return 1 << (i - 1)
+		}
+	}
+	return 1 << (len(buckets) - 2)
+}
+
 // Kind discriminates the metric types inside a Snapshot.
 type Kind uint8
 
@@ -136,6 +192,17 @@ type Snapshot map[string]Value
 
 // Counter returns the named counter's value (0 when absent).
 func (s Snapshot) Counter(name string) uint64 { return s[name].Count }
+
+// Quantile returns the power-of-two bucket lower bound of the
+// q-quantile of a histogram Value (0 for non-histograms or empty
+// histograms). It works on snapshot, Sub, and merged values alike,
+// since all carry the same bucket layout.
+func (v Value) Quantile(q float64) uint64 {
+	if len(v.Buckets) == 0 {
+		return 0
+	}
+	return bucketQuantile(v.Buckets, q)
+}
 
 // Gauge returns the named gauge's level (0 when absent).
 func (s Snapshot) Gauge(name string) int64 { return s[name].Gauge }

@@ -14,7 +14,10 @@ import (
 // Event is one trace record: a complete span (Ph 'X', with duration) or
 // an instant (Ph 'i'). Pid is the place the event happened at; Tid
 // separates concurrent spans of one place (each activity gets its own
-// lane) so Chrome's renderer never has to nest overlapping spans.
+// lane) so Chrome's renderer never has to nest overlapping spans. Tid
+// doubles as the span's identity: NextID hands out process-unique lane
+// ids, so Parent can name the enclosing span and a post-run pass can
+// rebuild the finish/activity tree (see internal/perfobs).
 type Event struct {
 	Name string
 	Cat  string
@@ -23,7 +26,54 @@ type Event struct {
 	Dur  int64 // nanoseconds; spans only
 	Pid  int
 	Tid  uint64
+	// Parent is the Tid of the span this event is causally nested under
+	// (0 = no recorded parent): activities point at their governing
+	// finish, nested finishes at their enclosing scope.
+	Parent uint64
+	// Edge classifies the dependency this event represents in the
+	// finish tree (EdgeChild for plain nesting; steal/credit/lifeline
+	// for the GLB and finish-protocol edges the critical-path profiler
+	// buckets separately).
+	Edge EdgeKind
 	Args []Arg
+}
+
+// EdgeKind classifies the causal edge an event contributes to the
+// finish/activity dependency graph.
+type EdgeKind uint8
+
+const (
+	// EdgeNone marks an event recorded without edge information (the
+	// pre-edge API, or sites with no enclosing span).
+	EdgeNone EdgeKind = iota
+	// EdgeChild is plain structural nesting: an activity under its
+	// governing finish, a nested finish under its enclosing scope.
+	EdgeChild
+	// EdgeSteal marks a GLB random-steal round trip hanging off the
+	// thief's worker activity.
+	EdgeSteal
+	// EdgeCredit marks finish-protocol control traffic carrying
+	// termination credits (ctlDone, cumulative snapshots) to a root.
+	EdgeCredit
+	// EdgeLifeline marks the span between a GLB worker's death and its
+	// resuscitation by lifeline loot.
+	EdgeLifeline
+)
+
+// String names the edge kind for exports and reports.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeChild:
+		return "child"
+	case EdgeSteal:
+		return "steal"
+	case EdgeCredit:
+		return "credit"
+	case EdgeLifeline:
+		return "lifeline"
+	default:
+		return "none"
+	}
 }
 
 // Arg is one key/value annotation on an event (src/dst places, byte
@@ -75,21 +125,37 @@ func (t *Tracer) NextID() uint64 {
 // Complete records a span that began at start (a value from Now) and
 // ends now.
 func (t *Tracer) Complete(name, cat string, pid int, tid uint64, start int64, args ...Arg) {
+	t.CompleteEdge(name, cat, pid, tid, start, 0, EdgeNone, args...)
+}
+
+// CompleteEdge is Complete with dependency-edge information: parent is
+// the Tid of the enclosing span (0 for roots), edge classifies the
+// dependency. The critical-path profiler consumes these to rebuild the
+// finish tree.
+func (t *Tracer) CompleteEdge(name, cat string, pid int, tid uint64, start int64,
+	parent uint64, edge EdgeKind, args ...Arg) {
 	if t == nil {
 		return
 	}
 	now := int64(time.Since(t.start))
 	t.add(Event{Name: name, Cat: cat, Ph: 'X', TS: start, Dur: now - start,
-		Pid: pid, Tid: tid, Args: args})
+		Pid: pid, Tid: tid, Parent: parent, Edge: edge, Args: args})
 }
 
 // Instant records a zero-duration event happening now.
 func (t *Tracer) Instant(name, cat string, pid int, args ...Arg) {
+	t.InstantEdge(name, cat, pid, 0, EdgeNone, args...)
+}
+
+// InstantEdge is Instant with dependency-edge information (see
+// CompleteEdge); credit-carrying finish control messages record
+// EdgeCredit instants.
+func (t *Tracer) InstantEdge(name, cat string, pid int, parent uint64, edge EdgeKind, args ...Arg) {
 	if t == nil {
 		return
 	}
 	t.add(Event{Name: name, Cat: cat, Ph: 'i', TS: int64(time.Since(t.start)),
-		Pid: pid, Args: args})
+		Pid: pid, Parent: parent, Edge: edge, Args: args})
 }
 
 func (t *Tracer) add(e Event) {
@@ -156,10 +222,16 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		if e.Ph == 'i' {
 			ce.S = "p" // process-scoped instant
 		}
-		if len(e.Args) > 0 {
-			ce.Args = make(map[string]int64, len(e.Args))
+		if len(e.Args) > 0 || e.Parent != 0 || e.Edge != EdgeNone {
+			ce.Args = make(map[string]int64, len(e.Args)+2)
 			for _, a := range e.Args {
 				ce.Args[a.Key] = a.Val
+			}
+			if e.Parent != 0 {
+				ce.Args["parent"] = int64(e.Parent)
+			}
+			if e.Edge != EdgeNone {
+				ce.Args["edge"] = int64(e.Edge)
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)

@@ -1,0 +1,288 @@
+// Package perfobs is the performance observatory: machine-readable
+// benchmark artifacts with environment fingerprints, a noise-aware
+// regression gate over pairs of artifacts, and a critical-path profiler
+// that attributes a run's wall time into runtime buckets (user compute,
+// finish control, steal round trips, lifeline waits, collective fan-in,
+// transport) — a software reproduction of the paper's Table 2 overhead
+// accounting.
+//
+// The artifact is the unit of exchange: `apgas-bench -bench-json` and
+// the `go test -bench` wrapper emit it, `tracecheck -bench` validates
+// it, `benchdiff` compares two of them, and the repo root accumulates
+// the committed BENCH_<scale>.json trajectory.
+package perfobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Schema is the artifact's schema identifier.
+const Schema = "apgas-bench"
+
+// Version is the current artifact schema version.
+const Version = 1
+
+// Artifact is one benchmark run's machine-readable record.
+type Artifact struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// CreatedUnix is the emission time (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// Scale names the harness scale the run used (tiny/small/medium) or
+	// the emitting tool ("go-test-bench").
+	Scale string `json:"scale"`
+	// Reps is the number of repetitions each experiment ran; points keep
+	// the best repetition (max throughput, min time), the standard
+	// min-of-N noise defence.
+	Reps int `json:"reps"`
+	Env  Env  `json:"env"`
+	// Experiments are the per-experiment series, in run order.
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Env is the environment fingerprint stamped into every artifact, so a
+// diff across machines or configurations is visibly apples-to-oranges.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the host CPU's model string (best effort; empty when
+	// undeterminable).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// GitSHA is the repository HEAD at emission (best effort).
+	GitSHA string `json:"git_sha,omitempty"`
+	// Hostname is the emitting host (best effort).
+	Hostname string `json:"hostname,omitempty"`
+}
+
+// Experiment is one experiment's series plus its attached observability:
+// metric deltas and the critical-path attribution of the largest run.
+type Experiment struct {
+	Name          string  `json:"name"`
+	AggregateUnit string  `json:"aggregate_unit"`
+	PerUnitUnit   string  `json:"per_unit_unit"`
+	TimeBased     bool    `json:"time_based,omitempty"`
+	Points        []Point `json:"points"`
+	// Efficiency is the series' relative efficiency vs the 1-place
+	// reference (harness.Series.Efficiency semantics); omitted (0) when
+	// the series is degenerate.
+	Efficiency float64 `json:"efficiency"`
+	// EfficiencyNote records why Efficiency is absent, when it is.
+	EfficiencyNote string `json:"efficiency_note,omitempty"`
+	// Metrics are curated obs registry deltas accumulated over the whole
+	// series (all points), keyed by metric name.
+	Metrics map[string]MetricSummary `json:"metrics,omitempty"`
+	// CriticalPath is the bucket attribution of the best repetition's
+	// longest root finish (normally the largest place-count run).
+	CriticalPath *CritPathReport `json:"critical_path,omitempty"`
+}
+
+// Point is one measurement of the experiment's place sweep.
+type Point struct {
+	Places    int     `json:"places"`
+	Aggregate float64 `json:"aggregate"`
+	PerUnit   float64 `json:"per_unit"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// MetricSummary is one metric's artifact form: counters keep their
+// count, gauges their level, histograms count/sum plus the power-of-two
+// bucket quantile readouts the attribution tables use.
+type MetricSummary struct {
+	Kind  string `json:"kind"` // "counter", "gauge", "histogram"
+	Count uint64 `json:"count,omitempty"`
+	Gauge int64  `json:"gauge,omitempty"`
+	Sum   uint64 `json:"sum,omitempty"`
+	P50   uint64 `json:"p50,omitempty"`
+	P95   uint64 `json:"p95,omitempty"`
+}
+
+// BuildEnv captures the current process environment fingerprint. The
+// git SHA, CPU model and hostname are best effort and may be empty.
+func BuildEnv() Env {
+	e := Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		e.Hostname = host
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		e.GitSHA = strings.TrimSpace(string(out))
+	}
+	return e
+}
+
+// cpuModel reads the CPU model string from /proc/cpuinfo (Linux); other
+// platforms report empty.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if i := strings.IndexByte(line, ':'); i >= 0 {
+				return strings.TrimSpace(line[i+1:])
+			}
+		}
+	}
+	return ""
+}
+
+// NewArtifact returns an artifact shell stamped with the current
+// environment and time.
+func NewArtifact(scale string, reps int) *Artifact {
+	return &Artifact{
+		Schema:      Schema,
+		Version:     Version,
+		CreatedUnix: time.Now().Unix(),
+		Scale:       scale,
+		Reps:        reps,
+		Env:         BuildEnv(),
+	}
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadFile parses an artifact file. It does not validate; call Validate
+// for the structural checks.
+func ReadFile(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes artifact JSON.
+func Parse(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("invalid artifact JSON: %v", err)
+	}
+	return &a, nil
+}
+
+// Issue is one validation finding: a JSON-path-like location plus the
+// reason, mirroring tracecheck's line+reason flight-dump errors.
+type Issue struct {
+	Path   string
+	Reason string
+}
+
+func (i Issue) Error() string { return i.Path + ": " + i.Reason }
+
+// Validate checks the structural invariants of an artifact: schema and
+// version, a present environment fingerprint, non-empty experiments
+// with strictly increasing place counts, non-negative metrics, and
+// critical-path reports whose buckets are sane. It returns every issue
+// found (nil on a valid artifact).
+func Validate(a *Artifact) []Issue {
+	var issues []Issue
+	add := func(path, reason string, args ...any) {
+		issues = append(issues, Issue{Path: path, Reason: fmt.Sprintf(reason, args...)})
+	}
+	if a == nil {
+		return []Issue{{Path: "$", Reason: "nil artifact"}}
+	}
+	if a.Schema != Schema {
+		add("schema", "got %q, want %q", a.Schema, Schema)
+	}
+	if a.Version != Version {
+		add("version", "unsupported version %d, want %d", a.Version, Version)
+	}
+	if a.Env.GoVersion == "" {
+		add("env.go_version", "missing")
+	}
+	if a.Env.GOMAXPROCS <= 0 {
+		add("env.gomaxprocs", "got %d, want > 0", a.Env.GOMAXPROCS)
+	}
+	if a.Env.NumCPU <= 0 {
+		add("env.num_cpu", "got %d, want > 0", a.Env.NumCPU)
+	}
+	if a.Reps < 1 {
+		add("reps", "got %d, want >= 1", a.Reps)
+	}
+	if len(a.Experiments) == 0 {
+		add("experiments", "empty")
+	}
+	seen := make(map[string]bool)
+	for i, e := range a.Experiments {
+		p := fmt.Sprintf("experiments[%d]", i)
+		if e.Name == "" {
+			add(p+".name", "empty")
+		} else if seen[e.Name] {
+			add(p+".name", "duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if len(e.Points) == 0 {
+			add(p+".points", "empty")
+		}
+		prev := 0
+		for j, pt := range e.Points {
+			pp := fmt.Sprintf("%s.points[%d]", p, j)
+			if pt.Places <= prev {
+				add(pp+".places", "got %d after %d, want strictly increasing", pt.Places, prev)
+			}
+			prev = pt.Places
+			if pt.Aggregate < 0 || isNaN(pt.Aggregate) {
+				add(pp+".aggregate", "got %v, want finite >= 0", pt.Aggregate)
+			}
+			if pt.PerUnit < 0 || isNaN(pt.PerUnit) {
+				add(pp+".per_unit", "got %v, want finite >= 0", pt.PerUnit)
+			}
+		}
+		if e.Efficiency < 0 || isNaN(e.Efficiency) {
+			add(p+".efficiency", "got %v, want finite >= 0", e.Efficiency)
+		}
+		if cp := e.CriticalPath; cp != nil {
+			cpPath := p + ".critical_path"
+			if cp.WallNs < 0 {
+				add(cpPath+".wall_ns", "negative wall time %d", cp.WallNs)
+			}
+			var sum int64
+			for name, ns := range cp.Buckets {
+				if ns < 0 {
+					add(fmt.Sprintf("%s.buckets[%s]", cpPath, name), "negative %d ns", ns)
+				}
+				sum += ns
+			}
+			if cp.WallNs > 0 && sum > cp.WallNs+cp.WallNs/100+1 {
+				add(cpPath+".buckets", "sum %d ns exceeds wall %d ns by more than 1%%", sum, cp.WallNs)
+			}
+			if cp.Coverage < 0 || cp.Coverage > 1.01 || isNaN(cp.Coverage) {
+				add(cpPath+".coverage", "got %v, want within [0, 1]", cp.Coverage)
+			}
+		}
+	}
+	return issues
+}
+
+func isNaN(f float64) bool { return f != f }

@@ -1,0 +1,150 @@
+package perfobs
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodArtifact builds a minimal artifact that must pass Validate.
+func goodArtifact() *Artifact {
+	a := NewArtifact("tiny", 2)
+	a.Experiments = []Experiment{{
+		Name:          "UTS",
+		AggregateUnit: "Mnodes/s",
+		PerUnitUnit:   "Mnodes/s/place",
+		Points: []Point{
+			{Places: 1, Aggregate: 10, PerUnit: 10},
+			{Places: 2, Aggregate: 18, PerUnit: 9},
+			{Places: 4, Aggregate: 30, PerUnit: 7.5},
+		},
+		Efficiency: 0.75,
+		CriticalPath: &CritPathReport{
+			Root:   "finish.dense",
+			WallNs: 1000,
+			Buckets: map[string]int64{
+				BucketUserCompute:   700,
+				BucketFinishControl: 200,
+				BucketSteal:         100,
+			},
+			Coverage: 1.0,
+			Spans:    3,
+		},
+	}}
+	return a
+}
+
+func TestValidateGoodArtifact(t *testing.T) {
+	if issues := Validate(goodArtifact()); len(issues) != 0 {
+		t.Fatalf("good artifact rejected: %v", issues)
+	}
+}
+
+func TestValidateCatchesIssues(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Artifact)
+		wantPath string
+	}{
+		{"wrong schema", func(a *Artifact) { a.Schema = "other" }, "schema"},
+		{"wrong version", func(a *Artifact) { a.Version = 99 }, "version"},
+		{"missing go version", func(a *Artifact) { a.Env.GoVersion = "" }, "env.go_version"},
+		{"bad gomaxprocs", func(a *Artifact) { a.Env.GOMAXPROCS = 0 }, "env.gomaxprocs"},
+		{"zero reps", func(a *Artifact) { a.Reps = 0 }, "reps"},
+		{"no experiments", func(a *Artifact) { a.Experiments = nil }, "experiments"},
+		{"empty name", func(a *Artifact) { a.Experiments[0].Name = "" }, "experiments[0].name"},
+		{"duplicate name", func(a *Artifact) {
+			a.Experiments = append(a.Experiments, a.Experiments[0])
+		}, "experiments[1].name"},
+		{"no points", func(a *Artifact) { a.Experiments[0].Points = nil }, "experiments[0].points"},
+		{"non-monotone places", func(a *Artifact) {
+			a.Experiments[0].Points[1].Places = 1
+		}, "experiments[0].points[1].places"},
+		{"negative aggregate", func(a *Artifact) {
+			a.Experiments[0].Points[0].Aggregate = -1
+		}, "experiments[0].points[0].aggregate"},
+		{"NaN per-unit", func(a *Artifact) {
+			a.Experiments[0].Points[0].PerUnit = math.NaN()
+		}, "experiments[0].points[0].per_unit"},
+		{"negative efficiency", func(a *Artifact) {
+			a.Experiments[0].Efficiency = -0.1
+		}, "experiments[0].efficiency"},
+		{"negative bucket", func(a *Artifact) {
+			a.Experiments[0].CriticalPath.Buckets[BucketSteal] = -5
+		}, "experiments[0].critical_path.buckets[steal]"},
+		{"buckets exceed wall", func(a *Artifact) {
+			a.Experiments[0].CriticalPath.Buckets[BucketSteal] = 10000
+		}, "experiments[0].critical_path.buckets"},
+		{"bad coverage", func(a *Artifact) {
+			a.Experiments[0].CriticalPath.Buckets[BucketSteal] = 100
+			a.Experiments[0].CriticalPath.Coverage = 2.5
+		}, "experiments[0].critical_path.coverage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := goodArtifact()
+			tc.mutate(a)
+			issues := Validate(a)
+			if len(issues) == 0 {
+				t.Fatalf("mutation not caught")
+			}
+			found := false
+			for _, is := range issues {
+				if strings.HasPrefix(is.Path, tc.wantPath) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no issue at %q; got %v", tc.wantPath, issues)
+			}
+		})
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	if issues := Validate(nil); len(issues) != 1 || issues[0].Path != "$" {
+		t.Fatalf("nil artifact: %v", issues)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	a := goodArtifact()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := Validate(got); len(issues) != 0 {
+		t.Fatalf("round-tripped artifact invalid: %v", issues)
+	}
+	if got.Experiments[0].Name != "UTS" || len(got.Experiments[0].Points) != 3 {
+		t.Fatalf("round trip lost data: %+v", got.Experiments[0])
+	}
+	cp := got.Experiments[0].CriticalPath
+	if cp == nil || cp.Buckets[BucketUserCompute] != 700 {
+		t.Fatalf("round trip lost critical path: %+v", cp)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestBuildEnvFingerprint(t *testing.T) {
+	e := BuildEnv()
+	if e.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if e.GOMAXPROCS <= 0 || e.NumCPU <= 0 {
+		t.Errorf("bad CPU counts: %+v", e)
+	}
+	if e.GOOS == "" || e.GOARCH == "" {
+		t.Errorf("missing platform: %+v", e)
+	}
+}

@@ -1,0 +1,196 @@
+package perfobs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"apgas/internal/harness"
+	"apgas/internal/obs"
+)
+
+// Runner names one experiment and how to run it at a scale.
+type Runner struct {
+	Name string
+	Run  func(harness.Scale) (harness.Series, error)
+}
+
+// scaleName maps the harness scale to its artifact label.
+func scaleName(s harness.Scale) string {
+	switch s {
+	case harness.Tiny:
+		return "tiny"
+	case harness.Small:
+		return "small"
+	default:
+		return "medium"
+	}
+}
+
+// Collect runs each experiment reps times under a fresh tracing
+// observability layer per repetition and assembles the benchmark
+// artifact: per experiment the best repetition's series (max
+// throughput, or min time for time-based series — the min-of-N noise
+// defence), the obs metric deltas of that repetition, and the
+// critical-path attribution of its trace. progress (may be nil)
+// receives one line per experiment.
+//
+// Collect swaps the process-global obs layer for the duration of the
+// run and restores the previous one before returning; it must not run
+// concurrently with other runtime construction.
+func Collect(scale harness.Scale, reps int, runners []Runner, progress io.Writer) (*Artifact, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if progress == nil {
+		progress = io.Discard
+	}
+	prev := obs.Global()
+	defer obs.SetGlobal(prev)
+
+	art := NewArtifact(scaleName(scale), reps)
+	for _, r := range runners {
+		exp, err := collectOne(r, scale, reps)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", r.Name, err)
+		}
+		art.Experiments = append(art.Experiments, exp)
+		fmt.Fprintf(progress, "bench-json: %s done (%d points, efficiency %.2f)\n",
+			r.Name, len(exp.Points), exp.Efficiency)
+	}
+	return art, nil
+}
+
+func collectOne(r Runner, scale harness.Scale, reps int) (Experiment, error) {
+	var best harness.Series
+	var bestMetrics obs.Snapshot
+	var bestEvents []obs.Event
+	haveBest := false
+	for rep := 0; rep < reps; rep++ {
+		o := obs.NewTracing()
+		obs.SetGlobal(o)
+		before := o.Metrics.Snapshot()
+		s, err := r.Run(scale)
+		if err != nil {
+			return Experiment{}, err
+		}
+		if len(s.Points) == 0 {
+			return Experiment{}, fmt.Errorf("no points")
+		}
+		if !haveBest || better(s, best) {
+			best = s
+			bestMetrics = o.Metrics.Snapshot().Sub(before)
+			bestEvents = o.Trace.Events()
+			haveBest = true
+		}
+	}
+	exp := Experiment{
+		Name:          best.Name,
+		AggregateUnit: best.AggregateUnit,
+		PerUnitUnit:   best.PerUnitUnit,
+		TimeBased:     best.TimeBased,
+		Metrics:       summarizeMetrics(bestMetrics),
+		CriticalPath:  CriticalPath(bestEvents),
+	}
+	for _, p := range best.Points {
+		exp.Points = append(exp.Points, Point{
+			Places: p.Places, Aggregate: p.Aggregate, PerUnit: p.PerUnit, Note: p.Note,
+		})
+	}
+	if eff, err := best.EfficiencyChecked(1); err != nil {
+		exp.EfficiencyNote = err.Error()
+	} else {
+		exp.Efficiency = eff
+	}
+	return exp, nil
+}
+
+// better reports whether candidate s beats the incumbent at the largest
+// common sweep point: higher throughput, or lower time for time-based
+// series.
+func better(s, incumbent harness.Series) bool {
+	a := s.Points[len(s.Points)-1].Aggregate
+	b := incumbent.Points[len(incumbent.Points)-1].Aggregate
+	if s.TimeBased {
+		return a < b
+	}
+	return a > b
+}
+
+// metricPrefixes selects which registry deltas travel in the artifact:
+// the runtime-internal signals the paper's engineering story is told
+// through, not per-place duplicates.
+var metricPrefixes = []string{
+	"x10rt.msgs.", "x10rt.bytes.", "finish.", "glb.", "team.", "core.", "sched.",
+}
+
+// summarizeMetrics converts a snapshot delta to artifact metric
+// summaries, keeping only curated runtime metrics and dropping
+// place-qualified duplicates ("sched.p3.spawned").
+func summarizeMetrics(s obs.Snapshot) map[string]MetricSummary {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(map[string]MetricSummary)
+	for name, v := range s {
+		if !keepMetric(name) {
+			continue
+		}
+		m := MetricSummary{}
+		switch v.Kind {
+		case obs.KindCounter:
+			if v.Count == 0 {
+				continue
+			}
+			m.Kind = "counter"
+			m.Count = v.Count
+		case obs.KindGauge:
+			m.Kind = "gauge"
+			m.Gauge = v.Gauge
+		case obs.KindHistogram:
+			if v.Count == 0 {
+				continue
+			}
+			m.Kind = "histogram"
+			m.Count = v.Count
+			m.Sum = v.Sum
+			m.P50 = v.Quantile(0.50)
+			m.P95 = v.Quantile(0.95)
+		}
+		out[name] = m
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func keepMetric(name string) bool {
+	matched := false
+	for _, p := range metricPrefixes {
+		if strings.HasPrefix(name, p) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false
+	}
+	// Drop place-qualified names: any dot-separated segment of the form
+	// p<digits> marks a per-place duplicate of an unqualified total.
+	for _, seg := range strings.Split(name, ".") {
+		if len(seg) >= 2 && seg[0] == 'p' && allDigits(seg[1:]) {
+			return false
+		}
+	}
+	return true
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}

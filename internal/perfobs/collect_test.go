@@ -1,0 +1,102 @@
+package perfobs
+
+import (
+	"strings"
+	"testing"
+
+	"apgas/internal/harness"
+	"apgas/internal/obs"
+)
+
+// TestCollectSPMDBroadcast runs the real SPMD broadcast sweep at tiny
+// scale under the collector and checks the acceptance properties: the
+// artifact validates, the critical path is rooted at the SPMD finish,
+// the finish-control bucket is nonzero, and coverage is near-complete.
+func TestCollectSPMDBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real runtimes")
+	}
+	art, err := Collect(harness.Tiny, 1, []Runner{
+		{Name: "spmd-broadcast", Run: harness.SPMDBroadcastSeries},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := Validate(art); len(issues) != 0 {
+		t.Fatalf("collected artifact invalid: %v", issues)
+	}
+	if obs.Global() != nil {
+		t.Error("Collect leaked the global obs layer")
+	}
+	exp := art.Experiments[0]
+	if len(exp.Points) != len(harness.Tiny.PlaceSweep()) {
+		t.Fatalf("points: %+v", exp.Points)
+	}
+	cp := exp.CriticalPath
+	if cp == nil {
+		t.Fatal("no critical path")
+	}
+	if !strings.HasPrefix(cp.Root, "finish.") {
+		t.Errorf("root %q, want a finish span", cp.Root)
+	}
+	if cp.Buckets[BucketFinishControl] <= 0 {
+		t.Errorf("finish-control bucket = %d, want > 0 (%v)", cp.Buckets[BucketFinishControl], cp.Buckets)
+	}
+	if cp.Coverage < 0.9 {
+		t.Errorf("coverage = %v, want >= 0.9", cp.Coverage)
+	}
+	if len(exp.Metrics) == 0 {
+		t.Error("no metric deltas attached")
+	}
+	for name := range exp.Metrics {
+		if strings.Contains(name, ".p0.") || strings.Contains(name, ".p1.") {
+			t.Errorf("place-qualified metric leaked: %s", name)
+		}
+	}
+}
+
+func TestSummarizeMetricsFilters(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x10rt.msgs.control").Add(5)
+	reg.Counter("sched.p3.spawned").Add(7) // place-qualified: dropped
+	reg.Counter("unrelated.metric").Add(9) // wrong prefix: dropped
+	reg.Counter("glb.steal.attempts")      // zero: dropped
+	h := reg.Histogram("finish.latency")
+	h.Observe(4)
+	h.Observe(16)
+
+	out := summarizeMetrics(reg.Snapshot())
+	if len(out) != 2 {
+		t.Fatalf("kept %d metrics: %v", len(out), out)
+	}
+	if out["x10rt.msgs.control"].Count != 5 || out["x10rt.msgs.control"].Kind != "counter" {
+		t.Errorf("counter: %+v", out["x10rt.msgs.control"])
+	}
+	hist := out["finish.latency"]
+	if hist.Kind != "histogram" || hist.Count != 2 || hist.Sum != 20 {
+		t.Errorf("histogram: %+v", hist)
+	}
+	if hist.P50 != 4 || hist.P95 != 16 {
+		t.Errorf("quantiles: p50=%d p95=%d, want 4/16", hist.P50, hist.P95)
+	}
+}
+
+func TestKeepMetric(t *testing.T) {
+	cases := map[string]bool{
+		"x10rt.msgs.control": true,
+		"x10rt.bytes.data":   true,
+		"finish.spmd.count":  true,
+		"glb.steal.attempts": true,
+		"team.allreduce":     true,
+		"sched.spawned":      true,
+		"sched.p3.spawned":   false,
+		"sched.p12.slots":    false,
+		"unrelated":          false,
+		"sched.phase":        true, // "phase" is not a place qualifier
+	}
+	for name, want := range cases {
+		if got := keepMetric(name); got != want {
+			t.Errorf("keepMetric(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

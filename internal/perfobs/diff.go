@@ -1,0 +1,250 @@
+package perfobs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Options tunes the regression gate's noise tolerances.
+type Options struct {
+	// RelTol is the relative change beyond which an aggregate metric
+	// counts as a regression (default 0.15: benchmarks on shared
+	// machines are noisy even with min-of-N points).
+	RelTol float64
+	// EffTol is the absolute efficiency drop tolerated (default 0.10).
+	EffTol float64
+	// RequireSameEnv fails the comparison when the two artifacts'
+	// fingerprints disagree on GOMAXPROCS/CPU/arch — numbers from
+	// different machines are not comparable.
+	RequireSameEnv bool
+}
+
+// DefaultOptions returns the gate's standard tolerances.
+func DefaultOptions() Options {
+	return Options{RelTol: 0.15, EffTol: 0.10}
+}
+
+// Verdict classifies one compared quantity.
+type Verdict string
+
+const (
+	// Regression: the change is in the bad direction beyond tolerance.
+	Regression Verdict = "regression"
+	// Improvement: beyond tolerance in the good direction. Reported,
+	// never failing.
+	Improvement Verdict = "improvement"
+	// Unchanged: within tolerance either way.
+	Unchanged Verdict = "unchanged"
+	// Incomparable: present in only one artifact, or the environments
+	// disagree.
+	Incomparable Verdict = "incomparable"
+)
+
+// Finding is one compared quantity: an experiment point's aggregate, an
+// experiment's efficiency, or an environment mismatch.
+type Finding struct {
+	Experiment string  `json:"experiment"`
+	Quantity   string  `json:"quantity"` // e.g. "aggregate@p4", "efficiency", "env"
+	Old        float64 `json:"old"`
+	New        float64 `json:"new"`
+	// Delta is the relative change (new-old)/old for rates, absolute for
+	// efficiency.
+	Delta   float64 `json:"delta"`
+	Verdict Verdict `json:"verdict"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Report is a full benchdiff run: every finding plus the verdict roll-up.
+type Report struct {
+	OldScale    string    `json:"old_scale"`
+	NewScale    string    `json:"new_scale"`
+	Options     Options   `json:"options"`
+	Findings    []Finding `json:"findings"`
+	Regressions int       `json:"regressions"`
+	// Improvements counts findings beyond tolerance in the good direction.
+	Improvements int `json:"improvements"`
+}
+
+// Failed reports whether the gate should exit nonzero.
+func (r *Report) Failed() bool { return r.Regressions > 0 }
+
+// Compare runs the direction-aware regression gate between an old
+// (baseline) and new (candidate) artifact. Direction awareness: for
+// time-based series a rise in aggregate is a regression; for throughput
+// series a drop is; efficiency is compared on an absolute tolerance and
+// only drops fail. Changes beyond tolerance in the favourable direction
+// are reported as improvements and never fail the gate.
+func Compare(oldA, newA *Artifact, opt Options) *Report {
+	if opt.RelTol <= 0 {
+		opt.RelTol = DefaultOptions().RelTol
+	}
+	if opt.EffTol <= 0 {
+		opt.EffTol = DefaultOptions().EffTol
+	}
+	rep := &Report{OldScale: oldA.Scale, NewScale: newA.Scale, Options: opt}
+	add := func(f Finding) {
+		rep.Findings = append(rep.Findings, f)
+		switch f.Verdict {
+		case Regression:
+			rep.Regressions++
+		case Improvement:
+			rep.Improvements++
+		}
+	}
+
+	if envDetail := envMismatch(oldA.Env, newA.Env); envDetail != "" {
+		v := Incomparable
+		if opt.RequireSameEnv {
+			v = Regression
+		}
+		add(Finding{Quantity: "env", Verdict: v, Detail: envDetail})
+	}
+
+	oldExps := make(map[string]Experiment, len(oldA.Experiments))
+	for _, e := range oldA.Experiments {
+		oldExps[e.Name] = e
+	}
+	seen := make(map[string]bool)
+	for _, ne := range newA.Experiments {
+		seen[ne.Name] = true
+		oe, ok := oldExps[ne.Name]
+		if !ok {
+			add(Finding{Experiment: ne.Name, Quantity: "series", Verdict: Incomparable,
+				Detail: "only in new artifact"})
+			continue
+		}
+		comparePoints(add, oe, ne, opt)
+		compareEfficiency(add, oe, ne, opt)
+	}
+	for _, oe := range oldA.Experiments {
+		if !seen[oe.Name] {
+			add(Finding{Experiment: oe.Name, Quantity: "series", Verdict: Regression,
+				Detail: "experiment disappeared from new artifact"})
+		}
+	}
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		return verdictRank(rep.Findings[i].Verdict) < verdictRank(rep.Findings[j].Verdict)
+	})
+	return rep
+}
+
+func verdictRank(v Verdict) int {
+	switch v {
+	case Regression:
+		return 0
+	case Improvement:
+		return 1
+	case Incomparable:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func envMismatch(a, b Env) string {
+	var diffs []string
+	if a.GOMAXPROCS != b.GOMAXPROCS {
+		diffs = append(diffs, fmt.Sprintf("GOMAXPROCS %d vs %d", a.GOMAXPROCS, b.GOMAXPROCS))
+	}
+	if a.GOARCH != b.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("GOARCH %s vs %s", a.GOARCH, b.GOARCH))
+	}
+	if a.CPUModel != b.CPUModel && a.CPUModel != "" && b.CPUModel != "" {
+		diffs = append(diffs, fmt.Sprintf("CPU %q vs %q", a.CPUModel, b.CPUModel))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	out := diffs[0]
+	for _, d := range diffs[1:] {
+		out += "; " + d
+	}
+	return out
+}
+
+func comparePoints(add func(Finding), oe, ne Experiment, opt Options) {
+	oldPts := make(map[int]Point, len(oe.Points))
+	for _, p := range oe.Points {
+		oldPts[p.Places] = p
+	}
+	for _, np := range ne.Points {
+		op, ok := oldPts[np.Places]
+		if !ok {
+			continue // new sweep point: nothing to gate against
+		}
+		q := fmt.Sprintf("aggregate@p%d", np.Places)
+		if op.Aggregate == 0 {
+			v := Unchanged
+			if np.Aggregate != 0 {
+				v = Incomparable
+			}
+			add(Finding{Experiment: ne.Name, Quantity: q, Old: op.Aggregate, New: np.Aggregate,
+				Verdict: v, Detail: "zero baseline"})
+			continue
+		}
+		rel := (np.Aggregate - op.Aggregate) / op.Aggregate
+		// For time-based series larger is worse; flip so positive delta
+		// always means "better".
+		good := rel
+		if ne.TimeBased || oe.TimeBased {
+			good = -rel
+		}
+		f := Finding{Experiment: ne.Name, Quantity: q, Old: op.Aggregate, New: np.Aggregate, Delta: rel}
+		switch {
+		case good < -opt.RelTol:
+			f.Verdict = Regression
+			f.Detail = fmt.Sprintf("%+.1f%% beyond %.0f%% tolerance", rel*100, opt.RelTol*100)
+		case good > opt.RelTol:
+			f.Verdict = Improvement
+			f.Detail = fmt.Sprintf("%+.1f%%", rel*100)
+		default:
+			f.Verdict = Unchanged
+		}
+		add(f)
+	}
+}
+
+func compareEfficiency(add func(Finding), oe, ne Experiment, opt Options) {
+	if oe.Efficiency == 0 && ne.Efficiency == 0 {
+		return
+	}
+	d := ne.Efficiency - oe.Efficiency
+	f := Finding{Experiment: ne.Name, Quantity: "efficiency",
+		Old: oe.Efficiency, New: ne.Efficiency, Delta: d}
+	switch {
+	case d < -opt.EffTol:
+		f.Verdict = Regression
+		f.Detail = fmt.Sprintf("efficiency dropped %.0f points beyond %.0f-point tolerance",
+			math.Abs(d)*100, opt.EffTol*100)
+	case d > opt.EffTol:
+		f.Verdict = Improvement
+	default:
+		f.Verdict = Unchanged
+	}
+	add(f)
+}
+
+// WriteMarkdown renders the report as a markdown summary table.
+func (r *Report) WriteMarkdown(w io.Writer) {
+	status := "PASS"
+	if r.Failed() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "# benchdiff: %s\n\n", status)
+	fmt.Fprintf(w, "%d regression(s), %d improvement(s), %d finding(s) total "+
+		"(tolerances: %.0f%% relative, %.0f-point efficiency).\n\n",
+		r.Regressions, r.Improvements, len(r.Findings),
+		r.Options.RelTol*100, r.Options.EffTol*100)
+	if len(r.Findings) == 0 {
+		fmt.Fprintln(w, "No comparable quantities.")
+		return
+	}
+	fmt.Fprintln(w, "| verdict | experiment | quantity | old | new | delta | detail |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|---|")
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "| %s | %s | %s | %.4g | %.4g | %+.1f%% | %s |\n",
+			f.Verdict, f.Experiment, f.Quantity, f.Old, f.New, f.Delta*100, f.Detail)
+	}
+}

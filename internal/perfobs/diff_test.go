@@ -1,0 +1,140 @@
+package perfobs
+
+import (
+	"strings"
+	"testing"
+)
+
+func baselineArtifact() *Artifact {
+	a := NewArtifact("tiny", 3)
+	a.Experiments = []Experiment{
+		{
+			Name: "UTS", AggregateUnit: "Mnodes/s",
+			Points: []Point{
+				{Places: 1, Aggregate: 10, PerUnit: 10},
+				{Places: 4, Aggregate: 30, PerUnit: 7.5},
+			},
+			Efficiency: 0.75,
+		},
+		{
+			Name: "K-Means", AggregateUnit: "seconds", TimeBased: true,
+			Points: []Point{
+				{Places: 1, Aggregate: 1.0, PerUnit: 1},
+				{Places: 4, Aggregate: 1.2, PerUnit: 3.3},
+			},
+			Efficiency: 0.8,
+		},
+	}
+	return a
+}
+
+func TestCompareSelfPasses(t *testing.T) {
+	a := baselineArtifact()
+	rep := Compare(a, a, DefaultOptions())
+	if rep.Failed() || rep.Regressions != 0 {
+		t.Fatalf("self-compare failed: %+v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Verdict != Unchanged {
+			t.Errorf("self-compare finding not unchanged: %+v", f)
+		}
+	}
+}
+
+// TestCompareDirectionAware: a throughput drop and a time rise both
+// regress; the same-magnitude changes in the favourable direction are
+// improvements and pass.
+func TestCompareDirectionAware(t *testing.T) {
+	old := baselineArtifact()
+
+	degraded := baselineArtifact()
+	degraded.Experiments[0].Points[1].Aggregate = 20  // throughput -33%
+	degraded.Experiments[1].Points[1].Aggregate = 1.8 // time +50%
+	degraded.Experiments[0].Efficiency = 0.5          // -25 points
+	rep := Compare(old, degraded, DefaultOptions())
+	if !rep.Failed() {
+		t.Fatal("degraded artifact passed the gate")
+	}
+	if rep.Regressions != 3 {
+		t.Errorf("regressions = %d, want 3: %+v", rep.Regressions, rep.Findings)
+	}
+
+	improved := baselineArtifact()
+	improved.Experiments[0].Points[1].Aggregate = 45  // throughput +50%
+	improved.Experiments[1].Points[1].Aggregate = 0.8 // time -33%
+	rep = Compare(old, improved, DefaultOptions())
+	if rep.Failed() {
+		t.Fatalf("improved artifact failed: %+v", rep.Findings)
+	}
+	if rep.Improvements != 2 {
+		t.Errorf("improvements = %d, want 2: %+v", rep.Improvements, rep.Findings)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	old := baselineArtifact()
+	wiggle := baselineArtifact()
+	wiggle.Experiments[0].Points[1].Aggregate = 28 // -6.7%, inside 15%
+	rep := Compare(old, wiggle, DefaultOptions())
+	if rep.Failed() {
+		t.Fatalf("noise failed the gate: %+v", rep.Findings)
+	}
+}
+
+func TestCompareMissingExperimentRegresses(t *testing.T) {
+	old := baselineArtifact()
+	shrunk := baselineArtifact()
+	shrunk.Experiments = shrunk.Experiments[:1]
+	rep := Compare(old, shrunk, DefaultOptions())
+	if !rep.Failed() {
+		t.Fatal("disappeared experiment passed")
+	}
+}
+
+func TestCompareEnvMismatch(t *testing.T) {
+	old := baselineArtifact()
+	moved := baselineArtifact()
+	moved.Env.GOMAXPROCS = old.Env.GOMAXPROCS + 8
+
+	rep := Compare(old, moved, DefaultOptions())
+	if rep.Failed() {
+		t.Fatalf("env mismatch should be incomparable by default: %+v", rep.Findings)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Quantity == "env" && f.Verdict == Incomparable {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no env finding: %+v", rep.Findings)
+	}
+
+	opt := DefaultOptions()
+	opt.RequireSameEnv = true
+	if rep := Compare(old, moved, opt); !rep.Failed() {
+		t.Fatal("RequireSameEnv did not fail on mismatch")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	old := baselineArtifact()
+	degraded := baselineArtifact()
+	degraded.Experiments[0].Points[1].Aggregate = 10
+	rep := Compare(old, degraded, DefaultOptions())
+
+	var sb strings.Builder
+	rep.WriteMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"FAIL", "regression", "UTS", "aggregate@p4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	Compare(old, old, DefaultOptions()).WriteMarkdown(&sb)
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Errorf("self-compare markdown not PASS:\n%s", sb.String())
+	}
+}
