@@ -23,10 +23,14 @@ bench:
 # exercises the steal/lifeline critical-path buckets), validate it
 # against the BENCH schema, then self-compare — benchdiff must report
 # zero regressions by construction, so any failure is a pipeline bug.
+# The transport gate then asserts the wire-path overhaul's acceptance
+# target: ≥3x msgs/s from batching on the small-control-frame
+# microbenchmark.
 bench-smoke:
 	$(GO) run ./cmd/apgas-bench -exp uts -scale tiny -bench-json /tmp/apgas-bench-smoke.json -bench-reps 1
 	$(GO) run ./cmd/tracecheck -bench /tmp/apgas-bench-smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/apgas-bench-smoke.json /tmp/apgas-bench-smoke.json
+	$(GO) test -run TestTransportBatchSpeedup -count=1 -v ./internal/harness
 
 # Record a Chrome trace of a small UTS run and sanity-check the JSON.
 trace:
@@ -36,11 +40,14 @@ trace:
 # Cross-place telemetry smoke: a 4-place run under the Power 775 latency
 # model whose aggregated message counts must equal the sum of the four
 # per-place transport stats (the binary exits nonzero on mismatch), plus
-# a flight-recorder dump validated by tracecheck.
+# a flight-recorder dump validated by tracecheck. The second run repeats
+# the check over the batching wire path with compression enabled: the
+# sum equality — wire bytes included — must survive coalescing.
 telemetry:
 	$(GO) run ./cmd/apgas-bench -exp telemetry -places 4 -netsim -metrics-all \
 		-flight-dump /tmp/apgas-flight.jsonl
 	$(GO) run ./cmd/tracecheck /tmp/apgas-flight.jsonl
+	$(GO) run ./cmd/apgas-bench -exp telemetry -places 4 -batch -compress-min 128
 
 # Deterministic chaos: a short race-enabled seed sweep of every finish
 # pattern (plus lifeline GLB) under fault injection, checking the finish
@@ -53,13 +60,15 @@ chaos:
 	$(GO) run ./cmd/apgas-bench -exp chaos -chaos-seeds 4
 
 # 30 seconds of coverage-guided fuzzing per target: the x10rt TCP frame
-# codec and the tracecheck flight-dump and bench-artifact validators.
-# -fuzzminimizetime is
+# and batch-frame codecs and the tracecheck flight-dump and
+# bench-artifact validators. -fuzzminimizetime is
 # bounded because the default 60s-per-input minimization budget would
 # otherwise consume the entire run.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
+	$(GO) test -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
+	$(GO) test -run '^$$' -fuzz FuzzBatchFrameRoundTrip -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
 	$(GO) test -run '^$$' -fuzz FuzzCheckFlightDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 	$(GO) test -run '^$$' -fuzz FuzzCheckBench -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 

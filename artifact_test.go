@@ -39,6 +39,9 @@ func writeBenchArtifact(path string) error {
 		{Name: "sw", Run: harness.Fig1SW},
 		{Name: "bc", Run: harness.Fig1BC},
 		{Name: "spmd-bcast", Run: harness.SPMDBroadcastSeries},
+		{Name: "transport", Run: harness.TransportSmallSeries},
+		{Name: "transport-batch", Run: harness.TransportSmallBatchSeries},
+		{Name: "transport-large", Run: harness.TransportLargeBatchSeries},
 	}, os.Stderr)
 	if err != nil {
 		return err

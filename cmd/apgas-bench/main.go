@@ -37,11 +37,13 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"apgas/internal/collectives"
 	"apgas/internal/harness"
 	"apgas/internal/obs"
 	"apgas/internal/telemetry"
+	"apgas/internal/x10rt"
 )
 
 func main() {
@@ -68,7 +70,29 @@ func main() {
 		"write the performance artifact (BENCH JSON) to this file: best-of-reps series, "+
 			"metric deltas, critical-path buckets; validate with tracecheck -bench, gate with benchdiff")
 	benchReps := flag.Int("bench-reps", 3, "repetitions per experiment for -bench-json (best kept)")
+	batch := flag.Bool("batch", false,
+		"run the experiment and telemetry runtimes over the batching wire path (per-link frame coalescing)")
+	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond,
+		"with -batch: bound on how long a queued frame may wait before its batch flushes")
+	compressMin := flag.Int("compress-min", 0,
+		"with -batch: compress batch payloads at least this many encoded bytes (0 = off)")
 	flag.Parse()
+
+	if *batch {
+		// Runtime-based experiments get their transport from this hook;
+		// the transport-* panels build their own meshes and take the
+		// batching decision from their own series definitions.
+		harness.TransportFactory = func(places int) (x10rt.Transport, error) {
+			inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+			if err != nil {
+				return nil, err
+			}
+			return x10rt.NewBatchingTransport(inner, x10rt.BatchOptions{
+				MaxDelay:    *batchDelay,
+				CompressMin: *compressMin,
+			}), nil
+		}
+	}
 
 	// -metrics-all is a request for the cross-place telemetry view, so it
 	// selects the telemetry workload regardless of -exp.
@@ -144,11 +168,14 @@ func main() {
 
 	if *exp == "telemetry" {
 		if err := runTelemetry(telemetryOptions{
-			places:     *places,
-			useNetsim:  *useNetsim,
-			metricsAll: *metricsAll,
-			watchdog:   *watchdog,
-			flightDump: *flightDump,
+			places:      *places,
+			useNetsim:   *useNetsim,
+			metricsAll:  *metricsAll,
+			watchdog:    *watchdog,
+			flightDump:  *flightDump,
+			batch:       *batch,
+			batchDelay:  *batchDelay,
+			compressMin: *compressMin,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
 			os.Exit(1)
@@ -198,22 +225,31 @@ var experiments = map[string]string{
 	"teams":        "native vs emulated collectives",
 	"seqref":       "sequential reference kernels",
 	"spmd-bcast":   "FINISH_SPMD spawning-tree broadcast sweep (pins the finish-control critical-path bucket)",
+	"transport":       "wire microbenchmark: small control frames over a local TCP mesh, unbatched",
+	"transport-batch": "wire microbenchmark: small control frames through per-link batching (≥3x gate)",
+	"transport-large": "wire microbenchmark: 1 MiB payloads through the batching path",
 }
 
 // panelOrder is the series execution order for -exp all and -bench-json.
-var panelOrder = []string{"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc", "spmd-bcast"}
+var panelOrder = []string{
+	"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc", "spmd-bcast",
+	"transport", "transport-batch", "transport-large",
+}
 
 // panels maps -exp names to the harness series they regenerate.
 var panels = map[string]func(harness.Scale) (harness.Series, error){
-	"hpl":        harness.Fig1HPL,
-	"fft":        harness.Fig1FFT,
-	"ra":         harness.Fig1RandomAccess,
-	"stream":     harness.Fig1Stream,
-	"uts":        harness.Fig1UTS,
-	"kmeans":     harness.Fig1KMeans,
-	"sw":         harness.Fig1SW,
-	"bc":         harness.Fig1BC,
-	"spmd-bcast": harness.SPMDBroadcastSeries,
+	"hpl":             harness.Fig1HPL,
+	"fft":             harness.Fig1FFT,
+	"ra":              harness.Fig1RandomAccess,
+	"stream":          harness.Fig1Stream,
+	"uts":             harness.Fig1UTS,
+	"kmeans":          harness.Fig1KMeans,
+	"sw":              harness.Fig1SW,
+	"bc":              harness.Fig1BC,
+	"spmd-bcast":      harness.SPMDBroadcastSeries,
+	"transport":       harness.TransportSmallSeries,
+	"transport-batch": harness.TransportSmallBatchSeries,
+	"transport-large": harness.TransportLargeBatchSeries,
 }
 
 func run(exp string, scale harness.Scale) error {

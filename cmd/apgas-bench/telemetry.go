@@ -15,11 +15,14 @@ import (
 
 // telemetryOptions configures the telemetry smoke run (-exp telemetry).
 type telemetryOptions struct {
-	places     int
-	useNetsim  bool          // route messages through the Power 775 latency model
-	metricsAll bool          // print the merged cross-place table
-	watchdog   time.Duration // stall watchdog window (0 = off)
-	flightDump string        // write the flight recorder here at exit ("" = off)
+	places      int
+	useNetsim   bool          // route messages through the Power 775 latency model
+	metricsAll  bool          // print the merged cross-place table
+	watchdog    time.Duration // stall watchdog window (0 = off)
+	flightDump  string        // write the flight recorder here at exit ("" = off)
+	batch       bool          // stack the batching wire path on the transport
+	batchDelay  time.Duration // with batch: flush-delay bound
+	compressMin int           // with batch: compression threshold (0 = off)
 }
 
 // runTelemetry drives a deliberately imbalanced multi-place workload,
@@ -48,9 +51,19 @@ func runTelemetry(opts telemetryOptions) error {
 			return lat(src, dst, bytes, uint8(class))
 		}
 	}
-	tr, err := x10rt.NewChanTransport(chanOpts)
+	inner, err := x10rt.NewChanTransport(chanOpts)
 	if err != nil {
 		return err
+	}
+	var tr x10rt.Transport = inner
+	if opts.batch {
+		// The sum-equality invariant must survive the batching layer:
+		// batching changes how messages travel, never how many are
+		// counted where.
+		tr = x10rt.NewBatchingTransport(inner, x10rt.BatchOptions{
+			MaxDelay:    opts.batchDelay,
+			CompressMin: opts.compressMin,
+		})
 	}
 
 	var flightOut io.Writer
@@ -66,6 +79,7 @@ func runTelemetry(opts telemetryOptions) error {
 		Places:        opts.places,
 		PlacesPerHost: 2,
 		Transport:     tr,
+		OwnTransport:  true,
 		Obs:           o,
 		FlightDump:    flightOut,
 	})
@@ -109,7 +123,9 @@ func runTelemetry(opts telemetryOptions) error {
 	if err != nil {
 		return err
 	}
-	tr.Quiesce() // drain trailing finish cleanup before comparing counters
+	// Drain trailing finish cleanup (and, with -batch, queued batches)
+	// before comparing counters.
+	tr.(interface{ Quiesce() }).Quiesce()
 
 	rep, err := plane.Report(10 * time.Second)
 	if err != nil {
@@ -119,15 +135,19 @@ func runTelemetry(opts telemetryOptions) error {
 		rep.WriteTable(os.Stdout)
 	}
 
-	// The invariant the whole plane rests on.
+	// The invariant the whole plane rests on. WireBytes rides along:
+	// the on-the-wire total (post-batch, post-compression) must also be
+	// exactly the sum of the per-place egress.
 	total := tr.Stats()
+	pms := tr.(x10rt.PlaceMetricSource)
 	var sum x10rt.Stats
 	for q := 0; q < places; q++ {
-		ps := tr.PlaceStats(q)
+		ps := pms.PlaceStats(q)
 		for i := range sum.Messages {
 			sum.Messages[i] += ps.Messages[i]
 			sum.Bytes[i] += ps.Bytes[i]
 		}
+		sum.WireBytes += ps.WireBytes
 	}
 	if sum != total {
 		return fmt.Errorf("telemetry: sum of per-place stats %v != transport stats %v", sum, total)
@@ -140,6 +160,9 @@ func runTelemetry(opts telemetryOptions) error {
 		if got, want := rep.Merged.Counter("x10rt.bytes."+cls), total.Bytes[i]; got != want {
 			return fmt.Errorf("telemetry: merged x10rt.bytes.%s = %d, transport %d", cls, got, want)
 		}
+	}
+	if got, want := rep.Merged.Counter("x10rt.bytes.wire"), total.WireBytes; got != want {
+		return fmt.Errorf("telemetry: merged x10rt.bytes.wire = %d, transport %d", got, want)
 	}
 	if total.TotalMessages() == 0 {
 		return fmt.Errorf("telemetry: workload moved no messages; smoke is vacuous")

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"apgas/internal/apps/fftbench"
 	"apgas/internal/apps/hpl"
@@ -23,6 +24,7 @@ import (
 	"apgas/internal/core"
 	"apgas/internal/obs"
 	"apgas/internal/telemetry"
+	"apgas/internal/x10rt"
 )
 
 func main() {
@@ -39,6 +41,12 @@ func main() {
 	emulated := flag.Bool("emulated", false, "use emulated (point-to-point) collectives")
 	flightDump := flag.String("flight-dump", "",
 		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
+	batch := flag.Bool("batch", false,
+		"run over the batching wire path: per-link coalescing of small frames")
+	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond,
+		"with -batch: bound on how long a queued frame may wait before its batch flushes")
+	compressMin := flag.Int("compress-min", 0,
+		"with -batch: compress batch payloads at least this many encoded bytes (0 = off)")
 	flag.Parse()
 
 	mode := collectives.ModeNative
@@ -60,7 +68,19 @@ func main() {
 		defer flightFile.Close()
 		flightOut = flightFile
 	}
-	rt, err := core.NewRuntime(core.Config{Places: *places, Obs: o, FlightDump: flightOut})
+	rtCfg := core.Config{Places: *places, Obs: o, FlightDump: flightOut}
+	if *batch {
+		inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: *places})
+		if err != nil {
+			fail(err)
+		}
+		rtCfg.Transport = x10rt.NewBatchingTransport(inner, x10rt.BatchOptions{
+			MaxDelay:    *batchDelay,
+			CompressMin: *compressMin,
+		})
+		rtCfg.OwnTransport = true
+	}
+	rt, err := core.NewRuntime(rtCfg)
 	if err != nil {
 		fail(err)
 	}

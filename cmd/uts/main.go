@@ -23,6 +23,7 @@ import (
 	"apgas/internal/kernels/sha1rng"
 	"apgas/internal/obs"
 	"apgas/internal/telemetry"
+	"apgas/internal/x10rt"
 )
 
 func main() {
@@ -47,6 +48,12 @@ func main() {
 		"enable the finish stall watchdog with this window, e.g. -watchdog 10s (0 = off)")
 	flightDump := flag.String("flight-dump", "",
 		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
+	batch := flag.Bool("batch", false,
+		"run over the batching wire path: per-link coalescing of the balancer's control frames")
+	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond,
+		"with -batch: bound on how long a queued frame may wait before its batch flushes")
+	compressMin := flag.Int("compress-min", 0,
+		"with -batch: compress batch payloads at least this many encoded bytes (0 = off)")
 	flag.Parse()
 
 	var tree sha1rng.Tree = sha1rng.Geometric{B0: *b0, Depth: *depth, Seed: uint32(*seed)}
@@ -79,6 +86,18 @@ func main() {
 		defer flightFile.Close()
 	}
 	rtCfg := core.Config{Places: *places, Obs: o}
+	if *batch {
+		inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: *places})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uts: %v\n", err)
+			os.Exit(1)
+		}
+		rtCfg.Transport = x10rt.NewBatchingTransport(inner, x10rt.BatchOptions{
+			MaxDelay:    *batchDelay,
+			CompressMin: *compressMin,
+		})
+		rtCfg.OwnTransport = true
+	}
 	if flightFile != nil {
 		rtCfg.FlightDump = flightFile
 	}

@@ -543,6 +543,18 @@ func (t *Transport) Drain() {
 // chaos-wrapped transport the same way.
 func (t *Transport) Quiesce() { t.Drain() }
 
+// Flush forwards to the inner transport when it buffers sends
+// (x10rt.Flusher), so the runtime's protocol flush points reach a
+// batching layer below the chaos wrapper. Chaos's own holdbacks are
+// deliberately NOT flushed here: a flush hint must not heal injected
+// faults.
+func (t *Transport) Flush(src int) error {
+	if f, ok := t.inner.(x10rt.Flusher); ok {
+		return f.Flush(src)
+	}
+	return nil
+}
+
 // Close implements x10rt.Transport: it stops the flusher and closes
 // the inner transport. Held and dropped messages are discarded.
 func (t *Transport) Close() error {

@@ -38,6 +38,13 @@ type SweepOptions struct {
 	// to each run, with the chaos virtual clock driving flight
 	// timestamps. Sweeps leave it off; replays turn it on.
 	Obs bool
+	// Batch stacks a BatchingTransport outermost (above the chaos
+	// wrapper), so every injected fault acts on traffic that already
+	// went through coalescing. The batcher's flush predicates read the
+	// chaos virtual clock, keeping runs replayable: batch boundaries are
+	// functions of simulated time and per-link send order, never of host
+	// scheduling.
+	Batch bool
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -132,6 +139,23 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 		return rep
 	}
 	ct := Wrap(inner, fo)
+	// The outermost transport: by default the chaos wrapper itself, or a
+	// batching layer above it when o.Batch — runtime sends then coalesce
+	// before the fault machinery sees them, the composition a production
+	// deployment would use. drain pushes queued batches through and then
+	// drains chaos holdbacks until quiescent.
+	tr, drain := x10rt.Transport(ct), ct.Drain
+	var bt *x10rt.BatchingTransport
+	if o.Batch {
+		bt = x10rt.NewBatchingTransport(ct, x10rt.BatchOptions{
+			Now: ct.Clock().Now,
+			// The virtual clock stops whenever the run blocks on a
+			// queued batch; without the stall escape the aged-flush
+			// predicate would freeze with it and the run would hang.
+			FlushOnStall: true,
+		})
+		tr, drain = bt, bt.Quiesce
+	}
 	var ob *obs.Obs
 	if o.Obs {
 		ob = obs.New()
@@ -143,13 +167,17 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 		Places:          o.Places,
 		WorkersPerPlace: o.WorkersPerPlace,
 		PlacesPerHost:   o.PlacesPerHost,
-		Transport:       ct,
+		Transport:       tr,
 		CheckPatterns:   true,
 		Obs:             ob,
 		Now:             ct.Clock().Now,
 	})
 	if err != nil {
-		ct.Close()
+		if bt != nil {
+			bt.Close()
+		} else {
+			ct.Close()
+		}
 		rep.Violations = append(rep.Violations, Violation{Kind: "setup", Detail: err.Error()})
 		return rep
 	}
@@ -167,11 +195,11 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 	select {
 	case runErr = <-done:
 	case <-time.After(o.Timeout):
-		// Heal everything (flush holdbacks, deliver the morgue) and
-		// give the run one grace period to complete before declaring a
-		// hang: only a run that stays stuck with every message
-		// delivered is a protocol bug.
-		ct.Drain()
+		// Heal everything (flush batches and holdbacks, deliver the
+		// morgue) and give the run one grace period to complete before
+		// declaring a hang: only a run that stays stuck with every
+		// message delivered is a protocol bug.
+		drain()
 		ct.ReleaseDropped()
 		select {
 		case runErr = <-done:
@@ -193,8 +221,8 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 		if runErr != nil {
 			rep.Violations = append(rep.Violations, Violation{Kind: "oracle", Detail: runErr.Error()})
 		}
-		ct.Drain()
-		rep.Violations = append(rep.Violations, CheckAll(rt, ct)...)
+		drain()
+		rep.Violations = append(rep.Violations, CheckAll(rt, tr)...)
 	}
 
 	rep.Faults = ct.FaultCounts()
@@ -211,7 +239,11 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 	if !hung {
 		// A hung run still owns live activities; closing would race them.
 		rt.Close()
-		ct.Close()
+		if bt != nil {
+			bt.Close() // closes ct too
+		} else {
+			ct.Close()
+		}
 	}
 	return rep
 }

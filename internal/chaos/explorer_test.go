@@ -37,6 +37,33 @@ func TestExploreSweep(t *testing.T) {
 	t.Logf("sweep: %d runs clean, fault totals %v", res.Runs, res.FaultTotals)
 }
 
+// TestExploreSweepBatched repeats the sweep with the batching transport
+// stacked above the chaos wrapper — the full production composition:
+// runtime sends coalesce into batches, and only then meet the fault
+// machinery. Every workload must stay violation-free, proving that
+// batching neither breaks the finish protocols under reordering and
+// partitions nor confuses the telemetry sum invariant (wire bytes
+// included, via CheckTransport).
+func TestExploreSweepBatched(t *testing.T) {
+	o := SweepOptions{Seeds: 16, Timeout: 20 * time.Second, Batch: true}
+	if testing.Short() {
+		o.Seeds = 4
+	}
+	res := Sweep(o)
+	if want := o.Seeds * len(Workloads()); res.Runs != want {
+		t.Fatalf("batched sweep ran %d runs, want %d", res.Runs, want)
+	}
+	for _, rep := range res.Failures {
+		t.Errorf("workload %q seed %d (faults %v):\n%s%s",
+			rep.Workload, rep.Seed, rep.Faults,
+			FormatViolations(rep.Violations), rep.FinishDump)
+	}
+	if res.FaultTotals[FaultDelay.String()] == 0 {
+		t.Errorf("batched sweep injected no delay faults: %v", res.FaultTotals)
+	}
+	t.Logf("batched sweep: %d runs clean, fault totals %v", res.Runs, res.FaultTotals)
+}
+
 // TestExplorePermutations exhaustively permutes the delivery order of
 // the FINISH_SPMD completion credits. Every ordering must terminate
 // cleanly — the counter fast path's core claim.
@@ -75,6 +102,32 @@ func TestReplayByteIdenticalEndToEnd(t *testing.T) {
 	}
 	if !bytes.Equal(r1.FaultDump, r2.FaultDump) {
 		t.Fatalf("same-seed end-to-end dumps differ:\n--- run1 ---\n%s--- run2 ---\n%s",
+			r1.FaultDump, r2.FaultDump)
+	}
+}
+
+// TestReplayByteIdenticalBatched is the replay guarantee with batching
+// enabled: the batcher's flush predicates read the chaos virtual clock,
+// so batch boundaries — and therefore the order messages hit the fault
+// machinery — are deterministic functions of simulated time and
+// per-link send order. Two same-seed runs must produce byte-identical
+// fault dumps, exactly as without batching.
+func TestReplayByteIdenticalBatched(t *testing.T) {
+	run := func() RunReport {
+		fo := Options{Seed: 99, DelayProb: 0.5, ReorderProb: 0.3, DelayWindow: 2}
+		rep := RunOne(Workload{Name: "spmd", Run: runSPMD}, 99,
+			SweepOptions{Batch: true}, fo)
+		if rep.Failed() {
+			t.Fatalf("seeded batched run failed:\n%s%s", FormatViolations(rep.Violations), rep.FinishDump)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if len(r1.Faults) == 0 {
+		t.Fatal("seed 99 injected no faults; the replay check is vacuous")
+	}
+	if !bytes.Equal(r1.FaultDump, r2.FaultDump) {
+		t.Fatalf("same-seed batched dumps differ:\n--- run1 ---\n%s--- run2 ---\n%s",
 			r1.FaultDump, r2.FaultDump)
 	}
 }

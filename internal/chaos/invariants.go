@@ -102,6 +102,7 @@ func CheckTransport(tr x10rt.Transport) []Violation {
 			sum.Messages[i] += s.Messages[i]
 			sum.Bytes[i] += s.Bytes[i]
 		}
+		sum.WireBytes += s.WireBytes
 	}
 	if total := tr.Stats(); total != sum {
 		return []Violation{{

@@ -175,6 +175,9 @@ func (r *defaultRoot) checkLocked() {
 		r.rt.send(r.ref.ID.Home, q, x10rt.HandlerFinishCtl,
 			ctlCleanup{ID: r.ref.ID}, 16, x10rt.ControlClass)
 	}
+	// The cleanup burst is the tail of the protocol: push it out rather
+	// than let the fan-out sit in per-link batch queues.
+	r.rt.flushTransport(r.ref.ID.Home)
 	r.w.fire()
 }
 
@@ -262,12 +265,16 @@ func (rt *Runtime) sendSnapshot(from Place, fin finRef, snap ctlSnapshot) {
 	home := fin.ID.Home
 	if fin.Pattern != PatternDense {
 		rt.send(from, home, x10rt.HandlerFinishCtl, snap, snapshotBytes(snap), x10rt.ControlClass)
+		// A snapshot is sent when a proxy goes quiescent; the root may be
+		// waiting on exactly this message, so it must not idle in a batch.
+		rt.flushTransport(from)
 		return
 	}
 	hops := rt.denseRoute(from, home)
 	rt.send(from, hops[0], x10rt.HandlerFinishCtl,
 		ctlRouted{ID: fin.ID, Snaps: []ctlSnapshot{snap}, Hops: hops},
 		snapshotBytes(snap)+8, x10rt.ControlClass)
+	rt.flushTransport(from)
 }
 
 // denseRoute computes the software route from place p to the finish home:
@@ -350,7 +357,16 @@ func (rt *Runtime) routeDense(pl *place, m ctlRouted) {
 	}
 }
 
-// flushDense forwards everything buffered for (finish, remaining route).
+// denseFlushChunk bounds the snapshots per forwarded ctlRouted so a
+// master that coalesced a very large burst hands the transport several
+// bounded pre-batched payloads rather than one unbounded frame. The
+// transport's own batcher can still pack the chunks into one wire write.
+const denseFlushChunk = 256
+
+// flushDense forwards everything buffered for (finish, remaining route)
+// as pre-batched routed payloads: the master's coalescing buffer, not
+// the transport, decides what travels together, and the per-chunk send
+// replaces what would otherwise be one message per buffered snapshot.
 func (rt *Runtime) flushDense(pl *place, id finishID, rest []Place) {
 	key := denseBufKey{id: id, next: hopsKey(rest)}
 	pl.denseMu.Lock()
@@ -364,12 +380,22 @@ func (rt *Runtime) flushDense(pl *place, id finishID, rest []Place) {
 	if len(rest) > 0 {
 		dst = rest[0]
 	}
-	bytes := 8
-	for _, s := range snaps {
-		bytes += snapshotBytes(s)
+	for len(snaps) > 0 {
+		chunk := snaps
+		if len(chunk) > denseFlushChunk {
+			chunk = chunk[:denseFlushChunk]
+		}
+		snaps = snaps[len(chunk):]
+		bytes := 8
+		for _, s := range chunk {
+			bytes += snapshotBytes(s)
+		}
+		rt.send(pl.id, dst, x10rt.HandlerFinishCtl,
+			ctlRouted{ID: id, Snaps: chunk, Hops: rest}, bytes, x10rt.ControlClass)
 	}
-	rt.send(pl.id, dst, x10rt.HandlerFinishCtl,
-		ctlRouted{ID: id, Snaps: snaps, Hops: rest}, bytes, x10rt.ControlClass)
+	// The forward ends a coalescing round; downstream hops (or the root)
+	// are waiting on it, so it leaves the place now.
+	rt.flushTransport(pl.id)
 }
 
 // denseBufKey identifies one coalescing buffer: a finish plus the route

@@ -57,6 +57,11 @@ type Config struct {
 	// adverse network conditions.
 	Transport x10rt.Transport
 
+	// OwnTransport transfers ownership of a supplied Transport to the
+	// runtime: Close closes it. Ignored when Transport is nil (a
+	// default-built transport is always owned).
+	OwnTransport bool
+
 	// CheckPatterns enables verification of the usage contracts of the
 	// specialized finish patterns (FINISH_ASYNC, FINISH_HERE,
 	// FINISH_LOCAL, FINISH_SPMD); violations panic with a diagnostic.
@@ -103,6 +108,7 @@ func (c *Config) applyDefaults() error {
 type Runtime struct {
 	cfg       Config
 	tr        x10rt.Transport
+	flusher   x10rt.Flusher // tr's flush hook, nil when tr does not batch
 	ownsTr    bool
 	places    []*place
 	locals    *localRegistry
@@ -193,6 +199,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				cfg.Transport.NumPlaces(), cfg.Places)
 		}
 		rt.tr = cfg.Transport
+		rt.ownsTr = cfg.OwnTransport
 	} else {
 		tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: cfg.Places})
 		if err != nil {
@@ -201,6 +208,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.tr = tr
 		rt.ownsTr = true
 	}
+	rt.flusher, _ = rt.tr.(x10rt.Flusher)
 	if rt.obs != nil {
 		if ms, ok := rt.tr.(x10rt.MetricSource); ok {
 			ms.AttachMetrics(rt.obs.Metrics)
@@ -325,5 +333,17 @@ func (rt *Runtime) now() int64 {
 func (rt *Runtime) send(src, dst Place, id x10rt.HandlerID, payload any, bytes int, class x10rt.Class) {
 	if err := rt.tr.Send(int(src), int(dst), id, payload, bytes, class); err != nil {
 		panic(fmt.Sprintf("core: transport send %d->%d: %v", src, dst, err))
+	}
+}
+
+// flushTransport pushes any batched frames queued at place p out to
+// the wire immediately. The finish protocols call it at their decisive
+// control points — a quiescence snapshot, a cleanup burst, a dense
+// forward — where the *last* message of a burst gates termination and
+// must not sit out a batching delay. A no-op on transports that do not
+// buffer.
+func (rt *Runtime) flushTransport(p Place) {
+	if rt.flusher != nil {
+		_ = rt.flusher.Flush(int(p))
 	}
 }

@@ -21,9 +21,19 @@ import (
 )
 
 // newRuntime builds a runtime for an experiment run, with the telemetry
-// plane attached when observability is on.
+// plane attached when observability is on and the transport swapped for
+// TransportFactory's (e.g. the batching wire path) when one is set.
 func newRuntime(places int) (*core.Runtime, error) {
-	rt, err := core.NewRuntime(core.Config{Places: places, PlacesPerHost: 8})
+	cfg := core.Config{Places: places, PlacesPerHost: 8}
+	if TransportFactory != nil {
+		tr, err := TransportFactory(places)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Transport = tr
+		cfg.OwnTransport = true
+	}
+	rt, err := core.NewRuntime(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -41,7 +41,10 @@ func metricsNote(rt *core.Runtime) func() string {
 			switch {
 			case strings.HasPrefix(name, "x10rt.msgs."):
 				msgs += v.Count
-			case strings.HasPrefix(name, "x10rt.bytes."):
+			case strings.HasPrefix(name, "x10rt.bytes.") && name != "x10rt.bytes.wire":
+				// Modeled payload bytes only: the wire counter measures
+				// the same traffic after batching/compression and would
+				// double-count it here.
 				bytes += v.Count
 			case strings.HasPrefix(name, "sched.") && strings.HasSuffix(name, ".spawned"):
 				spawned += v.Count

@@ -1,0 +1,67 @@
+package harness
+
+import "testing"
+
+// TestTransportBatchSpeedup is the wire-path overhaul's acceptance
+// gate, asserted by `make bench-smoke`: on the small-control-frame
+// microbenchmark over a real local TCP mesh, the batching transport
+// must deliver at least 3x the unbatched message rate. Measured
+// headroom is ~10x (shared-stream gob encoding amortizes type
+// descriptors; one write per batch), so 3x holds even on a loaded
+// machine; best-of-2 guards against scheduler noise.
+func TestTransportBatchSpeedup(t *testing.T) {
+	const places, perPlace = 2, 4000
+	best := func(batch bool) float64 {
+		rate := 0.0
+		for rep := 0; rep < 2; rep++ {
+			run, err := runSmallFrames(places, perPlace, batch, 0)
+			if err != nil {
+				t.Fatalf("batch=%v: %v", batch, err)
+			}
+			if r := float64(run.msgs) / run.seconds; r > rate {
+				rate = r
+			}
+		}
+		return rate
+	}
+	unbatched := best(false)
+	batched := best(true)
+	ratio := batched / unbatched
+	t.Logf("small frames: unbatched %.0f msg/s, batched %.0f msg/s (%.1fx)",
+		unbatched, batched, ratio)
+	if ratio < 3 {
+		t.Errorf("batching speedup %.2fx < 3x (unbatched %.0f msg/s, batched %.0f msg/s)",
+			ratio, unbatched, batched)
+	}
+}
+
+// TestTransportSeriesShapes smoke-runs each transport series at tiny
+// scale and checks the sweep shape: points from 2 places up, nonzero
+// rates, batches counted only on the batching series.
+func TestTransportSeriesShapes(t *testing.T) {
+	small, err := TransportSmallSeries(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := TransportSmallBatchSeries(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := TransportLargeBatchSeries(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Series{small, batched, large} {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s: no points", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.Places < 2 {
+				t.Errorf("%s: point at %d places; wire series start at 2", s.Name, p.Places)
+			}
+			if p.Aggregate <= 0 {
+				t.Errorf("%s places=%d: nonpositive rate %g", s.Name, p.Places, p.Aggregate)
+			}
+		}
+	}
+}

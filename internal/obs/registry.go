@@ -354,6 +354,17 @@ func (r *Registry) RegisterGauge(name string, g *Gauge) {
 	r.mu.Unlock()
 }
 
+// RegisterHistogram adopts an externally owned histogram under name,
+// with the same replacement semantics as RegisterCounter.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[name] = h
+	r.mu.Unlock()
+}
+
 // Snapshot copies every metric's current state.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {

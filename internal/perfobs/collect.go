@@ -121,7 +121,7 @@ func better(s, incumbent harness.Series) bool {
 // the runtime-internal signals the paper's engineering story is told
 // through, not per-place duplicates.
 var metricPrefixes = []string{
-	"x10rt.msgs.", "x10rt.bytes.", "finish.", "glb.", "team.", "core.", "sched.",
+	"x10rt.msgs.", "x10rt.bytes.", "x10rt.batch.", "finish.", "glb.", "team.", "core.", "sched.",
 }
 
 // summarizeMetrics converts a snapshot delta to artifact metric

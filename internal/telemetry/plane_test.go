@@ -75,6 +75,7 @@ func TestCollectSumEquality(t *testing.T) {
 			sum.Messages[i] += ps.Messages[i]
 			sum.Bytes[i] += ps.Bytes[i]
 		}
+		sum.WireBytes += ps.WireBytes
 	}
 	if sum != total {
 		t.Fatalf("sum of per-place stats %v != transport stats %v", sum, total)
@@ -89,6 +90,7 @@ func TestCollectSumEquality(t *testing.T) {
 		{"x10rt.msgs.control", total.Messages[x10rt.ControlClass]},
 		{"x10rt.bytes.data", total.Bytes[x10rt.DataClass]},
 		{"x10rt.bytes.control", total.Bytes[x10rt.ControlClass]},
+		{"x10rt.bytes.wire", total.WireBytes},
 	}
 	for _, c := range checks {
 		if got := rep.Merged.Counter(c.name); got != c.want {

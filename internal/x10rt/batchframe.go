@@ -1,0 +1,214 @@
+package x10rt
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the batch framing of the wire path: one frame carrying
+// many messages for the same (src, dst) link. Batch frames share the
+// outer header with single-message frames (frame.go) but use version 2
+// and an inner layout of their own:
+//
+//	+-------+-----------+----------------------+---------------------+
+//	| magic | version=2 | length (4 bytes, BE) | flags | body        |
+//	+-------+-----------+----------------------+---------------------+
+//
+//	body (flags&batchFlagCompressed == 0):
+//	    uvarint(count) | gob stream of count wireMsg values
+//	body (flags&batchFlagCompressed != 0):
+//	    uvarint(rawLen) | DEFLATE(uvarint(count) | gob stream)
+//
+// The messages of one batch share a single gob stream, so type
+// descriptors for the payload types are transmitted once per batch
+// instead of once per message — for small control frames that is most
+// of the encoding cost. rawLen is validated against MaxFrameSize before
+// the decompressed body is allocated, preserving the framing layer's
+// "corrupt header never costs memory" property. The codec is fuzzed
+// (FuzzDecodeBatch) with the corpus committed under testdata/fuzz.
+
+const (
+	// batchVersion marks a frame whose payload is a message batch.
+	batchVersion = 2
+	// batchFlagCompressed marks a DEFLATE-compressed batch body.
+	batchFlagCompressed = 0x01
+	// maxBatchCount bounds the declared message count of a batch before
+	// any decoding work is done. Batches are flushed well below this by
+	// the byte and frame limits; a larger count is corruption.
+	maxBatchCount = 1 << 20
+)
+
+// bufPool recycles scratch buffers across encodes and decodes so the
+// steady-state send path does not allocate per batch.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	// Oversized buffers (a 1 MiB payload passed through) are dropped
+	// rather than pinned in the pool forever.
+	if b.Cap() <= 1<<20 {
+		bufPool.Put(b)
+	}
+}
+
+// framePool recycles encoded-frame byte slices. It pools *[]byte (not
+// bytes.Buffer) because frames are built with append: the grown slice
+// is stored back, so steady-state encoding reuses one array per P.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) <= 1<<20 {
+		framePool.Put(b)
+	}
+}
+
+// flateWriterPool recycles DEFLATE compressors, whose construction cost
+// (window allocation) dwarfs small-batch compression itself.
+var flateWriterPool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
+// appendBatchFrame encodes msgs (sent by src) as one batch frame
+// appended to dst. Bodies at least compressMin bytes long are DEFLATE
+// compressed when that actually shrinks them (compressMin <= 0 never
+// compresses). The returned slice aliases dst's array when capacity
+// allows.
+func appendBatchFrame(dst []byte, src int, msgs []BatchMsg, compressMin int) ([]byte, error) {
+	body := getBuf()
+	defer putBuf(body)
+
+	var cnt [binary.MaxVarintLen64]byte
+	body.Write(cnt[:binary.PutUvarint(cnt[:], uint64(len(msgs)))])
+	enc := gob.NewEncoder(body)
+	for i := range msgs {
+		m := wireMsg{Src: src, ID: msgs[i].ID, Class: msgs[i].Class, Bytes: msgs[i].Bytes, Payload: msgs[i].Payload}
+		if err := enc.Encode(&m); err != nil {
+			return dst, fmt.Errorf("x10rt: batch encode: %w", err)
+		}
+	}
+
+	flags := byte(0)
+	payload := body.Bytes()
+	var comp *bytes.Buffer
+	if compressMin > 0 && body.Len() >= compressMin {
+		comp = getBuf()
+		defer putBuf(comp)
+		comp.Write(cnt[:binary.PutUvarint(cnt[:], uint64(body.Len()))])
+		fw := flateWriterPool.Get().(*flate.Writer)
+		fw.Reset(comp)
+		_, werr := fw.Write(body.Bytes())
+		cerr := fw.Close()
+		flateWriterPool.Put(fw)
+		if werr == nil && cerr == nil && comp.Len() < body.Len() {
+			flags |= batchFlagCompressed
+			payload = comp.Bytes()
+		}
+	}
+
+	if 1+len(payload) > MaxFrameSize {
+		return dst, fmt.Errorf("%w: batch payload %d exceeds max %d", ErrFrameCorrupt, 1+len(payload), MaxFrameSize)
+	}
+	dst = append(dst, frameMagic, batchVersion, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-4:], uint32(1+len(payload)))
+	dst = append(dst, flags)
+	return append(dst, payload...), nil
+}
+
+// decodeBatchPayload decodes the payload of a version-2 frame (flags
+// byte included) into its messages. Gob reports some malformed inputs
+// by panicking; the recover converts any such panic into an error so a
+// corrupt peer can only cost its own connection.
+func decodeBatchPayload(payload []byte) (msgs []wireMsg, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			msgs, err = nil, fmt.Errorf("x10rt: batch decode panic: %v", r)
+		}
+	}()
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: empty batch payload", ErrFrameCorrupt)
+	}
+	flags, body := payload[0], payload[1:]
+	if flags&^byte(batchFlagCompressed) != 0 {
+		return nil, fmt.Errorf("%w: unknown batch flags 0x%02x", ErrFrameCorrupt, flags)
+	}
+	if flags&batchFlagCompressed != 0 {
+		rawLen, n := binary.Uvarint(body)
+		if n <= 0 || rawLen == 0 || rawLen > MaxFrameSize {
+			return nil, fmt.Errorf("%w: bad compressed batch length", ErrFrameCorrupt)
+		}
+		fr := flate.NewReader(bytes.NewReader(body[n:]))
+		raw := make([]byte, 0, rawLen)
+		buf := bytes.NewBuffer(raw)
+		// +1 so an inflated stream longer than declared is detected
+		// rather than silently truncated.
+		if _, err := io.Copy(buf, io.LimitReader(fr, int64(rawLen)+1)); err != nil {
+			return nil, fmt.Errorf("%w: batch inflate: %v", ErrFrameCorrupt, err)
+		}
+		if uint64(buf.Len()) != rawLen {
+			return nil, fmt.Errorf("%w: batch inflated to %d, declared %d", ErrFrameCorrupt, buf.Len(), rawLen)
+		}
+		body = buf.Bytes()
+	}
+	count, n := binary.Uvarint(body)
+	if n <= 0 || count > maxBatchCount || count > uint64(len(body)) {
+		return nil, fmt.Errorf("%w: bad batch count", ErrFrameCorrupt)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("%w: zero-message batch", ErrFrameCorrupt)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(body[n:]))
+	msgs = make([]wireMsg, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("x10rt: batch message %d: %w", i, err)
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs, nil
+}
+
+// readVersionedFrame reads one frame of either version from r,
+// returning the version byte alongside the payload. It shares the
+// validation discipline of ReadFrame: the header is checked before any
+// payload allocation.
+func readVersionedFrame(r io.Reader) (version byte, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrFrameCorrupt, hdr[0])
+	}
+	if hdr[1] != frameVersion && hdr[1] != batchVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrFrameCorrupt, hdr[1])
+	}
+	n := binary.BigEndian.Uint32(hdr[2:6])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: length %d exceeds max %d", ErrFrameCorrupt, n, MaxFrameSize)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return hdr[1], payload, nil
+}

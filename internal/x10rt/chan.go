@@ -173,6 +173,10 @@ func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int,
 	if countable(id) {
 		t.ctrs.add(class, bytes)
 		t.perPlace[src].add(class, bytes)
+		// In-process transports do not serialize, so the modeled size
+		// is also the wire size (see Stats.WireBytes).
+		t.ctrs.addWire(bytes)
+		t.perPlace[src].addWire(bytes)
 	}
 	return nil
 }

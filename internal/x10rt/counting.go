@@ -67,6 +67,16 @@ func (t *CountingTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
 	}
 }
 
+// Flush forwards to the wrapped transport when it buffers sends, so
+// protocol flush points reach a BatchingTransport hiding below a
+// counting decorator.
+func (t *CountingTransport) Flush(src int) error {
+	if f, ok := t.Transport.(Flusher); ok {
+		return f.Flush(src)
+	}
+	return nil
+}
+
 // Reset clears the per-link counters.
 func (t *CountingTransport) Reset() {
 	t.mu.Lock()

@@ -62,6 +62,7 @@ func TestPlaceStatsSumToStats(t *testing.T) {
 			sum.Messages[i] += ps.Messages[i]
 			sum.Bytes[i] += ps.Bytes[i]
 		}
+		sum.WireBytes += ps.WireBytes
 	}
 	if global := tr.Stats(); sum != global {
 		t.Errorf("sum of PlaceStats %+v != Stats %+v", sum, global)

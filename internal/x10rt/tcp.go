@@ -70,6 +70,19 @@ func encodeWireMsg(m *wireMsg) ([]byte, error) {
 	return AppendFrame(nil, payload.Bytes())
 }
 
+// appendWireMsg is the pooled-buffer variant of encodeWireMsg used on
+// the send hot path: the gob payload is staged in a pooled scratch
+// buffer and framed directly into dst, so a steady-state send performs
+// no frame-sized allocations of its own.
+func appendWireMsg(dst []byte, m *wireMsg) ([]byte, error) {
+	payload := getBuf()
+	defer putBuf(payload)
+	if err := gob.NewEncoder(payload).Encode(m); err != nil {
+		return dst, err
+	}
+	return AppendFrame(dst, payload.Bytes())
+}
+
 // decodeWireMsg decodes one frame payload. Frame payloads can arrive from
 // another process (or a fuzzer), and gob's decoder reports some malformed
 // inputs by panicking; the recover converts any such panic into an error
@@ -173,10 +186,17 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 		if countable(id) {
 			t.ctrs.add(class, bytes)
 			t.egress.add(class, bytes)
+			// Loopback has no wire; the modeled size stands in so
+			// WireBytes remains a complete egress account.
+			t.ctrs.addWire(bytes)
+			t.egress.addWire(bytes)
 		}
 		return nil
 	}
-	frame, err := encodeWireMsg(&m)
+	fp := getFrameBuf()
+	defer putFrameBuf(fp)
+	frame, err := appendWireMsg((*fp)[:0], &m)
+	*fp = frame[:0]
 	if err != nil {
 		return fmt.Errorf("x10rt: encode for %d: %w", dst, err)
 	}
@@ -193,7 +213,63 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 	if countable(id) {
 		t.ctrs.add(class, bytes)
 		t.egress.add(class, bytes)
+		t.ctrs.addWire(len(frame))
+		t.egress.addWire(len(frame))
 	}
+	return nil
+}
+
+// SendBatch implements BatchSender: msgs travel as one version-2 batch
+// frame — a single gob stream, a single write syscall, and at most one
+// compression pass — instead of len(msgs) individual frames. Messages
+// are delivered at dst in slice order. Wire bytes are counted once for
+// the whole frame; the per-class counters still see every message.
+// Batches are assembled by the BatchingTransport, which never batches
+// telemetry traffic, so the frame as a whole is countable.
+func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	if src != t.opts.Place {
+		return fmt.Errorf("%w: send from %d on endpoint %d", ErrBadPlace, src, t.opts.Place)
+	}
+	if dst < 0 || dst >= len(t.opts.Addrs) {
+		return fmt.Errorf("%w: dst=%d", ErrBadPlace, dst)
+	}
+	if dst == t.opts.Place {
+		for i := range msgs {
+			m := &msgs[i]
+			if err := t.Send(src, dst, m.ID, m.Payload, m.Bytes, m.Class); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fp := getFrameBuf()
+	defer putFrameBuf(fp)
+	frame, err := appendBatchFrame((*fp)[:0], src, msgs, compressMin)
+	*fp = frame[:0]
+	if err != nil {
+		return fmt.Errorf("x10rt: batch encode for %d: %w", dst, err)
+	}
+	conn, err := t.connTo(dst)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	_, err = conn.c.Write(frame)
+	conn.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("x10rt: batch send to %d: %w", dst, err)
+	}
+	for i := range msgs {
+		if countable(msgs[i].ID) {
+			t.ctrs.add(msgs[i].Class, msgs[i].Bytes)
+			t.egress.add(msgs[i].Class, msgs[i].Bytes)
+		}
+	}
+	t.ctrs.addWire(len(frame))
+	t.egress.addWire(len(frame))
 	return nil
 }
 
@@ -228,28 +304,47 @@ func (t *TCPTransport) accept() {
 }
 
 // read decodes and dispatches messages from one inbound connection.
-// Running handlers on the reader goroutine preserves per-link FIFO order.
-// A frame that fails validation or decoding terminates the connection: a
-// desynchronized or hostile stream cannot poison later messages.
+// Running handlers on the reader goroutine preserves per-link FIFO order
+// — for batch frames, the messages of a batch dispatch in batch order
+// before the next frame is read. A frame that fails validation or
+// decoding terminates the connection: a desynchronized or hostile
+// stream cannot poison later messages.
 func (t *TCPTransport) read(nc net.Conn) {
 	defer t.wg.Done()
 	defer nc.Close()
 	br := bufio.NewReader(nc)
 	for {
-		payload, err := ReadFrame(br)
+		version, payload, err := readVersionedFrame(br)
 		if err != nil {
 			return
+		}
+		if version == batchVersion {
+			msgs, err := decodeBatchPayload(payload)
+			if err != nil {
+				return
+			}
+			for i := range msgs {
+				t.dispatch(&msgs[i])
+			}
+			continue
 		}
 		m, err := decodeWireMsg(payload)
 		if err != nil {
 			return
 		}
-		if countable(m.ID) {
-			t.ctrs.add(m.Class, m.Bytes)
-		}
-		if h, ok := t.handlers.lookup(m.ID); ok {
-			h(m.Src, t.opts.Place, m.Payload)
-		}
+		t.dispatch(&m)
+	}
+}
+
+// dispatch counts and runs one inbound message on the caller's
+// (reader) goroutine. Receivers do not touch the wire counter: wire
+// bytes are attributed to the sender, like all egress accounting.
+func (t *TCPTransport) dispatch(m *wireMsg) {
+	if countable(m.ID) {
+		t.ctrs.add(m.Class, m.Bytes)
+	}
+	if h, ok := t.handlers.lookup(m.ID); ok {
+		h(m.Src, t.opts.Place, m.Payload)
 	}
 }
 

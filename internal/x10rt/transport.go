@@ -143,6 +143,14 @@ type Stats struct {
 	Messages [3]uint64
 	// Bytes counts modeled wire bytes by class.
 	Bytes [3]uint64
+	// WireBytes counts bytes actually put on the wire, measured after
+	// batching and compression. Serializing transports (TCP) report
+	// encoded frame bytes here, so WireBytes / TotalBytes is the
+	// effective wire amplification (or, under compression and batching,
+	// reduction). In-process transports do not serialize and report the
+	// modeled byte count. Wire bytes are attributed to the sender only
+	// (egress accounting), like PlaceStats.
+	WireBytes uint64
 }
 
 // TotalMessages returns the message count summed over classes.
@@ -162,15 +170,17 @@ func (s Stats) Sub(t Stats) Stats {
 		r.Messages[i] = s.Messages[i] - t.Messages[i]
 		r.Bytes[i] = s.Bytes[i] - t.Bytes[i]
 	}
+	r.WireBytes = s.WireBytes - t.WireBytes
 	return r
 }
 
 // String formats the counters compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("data=%d/%dB control=%d/%dB collective=%d/%dB",
+	return fmt.Sprintf("data=%d/%dB control=%d/%dB collective=%d/%dB wire=%dB",
 		s.Messages[DataClass], s.Bytes[DataClass],
 		s.Messages[ControlClass], s.Bytes[ControlClass],
-		s.Messages[CollectiveClass], s.Bytes[CollectiveClass])
+		s.Messages[CollectiveClass], s.Bytes[CollectiveClass],
+		s.WireBytes)
 }
 
 // MetricSource is implemented by transports whose traffic counters can
@@ -199,17 +209,58 @@ type PlaceMetricSource interface {
 	AttachPlaceMetrics(p int, r *obs.Registry)
 }
 
+// BatchMsg is one message inside a pre-batched send. It carries
+// everything Send takes except the places, which are per-batch: a batch
+// travels one (src, dst) link, preserving per-link FIFO.
+type BatchMsg struct {
+	ID      HandlerID
+	Payload any
+	Bytes   int
+	Class   Class
+}
+
+// BatchSender is implemented by transports that can ship many messages
+// for the same (src, dst) link in a single wire operation. The
+// BatchingTransport wrapper probes for it: a transport that implements
+// SendBatch receives whole coalesced batches (one frame, one write, one
+// compression decision); any other transport receives the equivalent
+// sequence of Send calls. compressMin enables transparent compression
+// of batch payloads at least that large (<= 0 disables it). Messages
+// must be delivered in slice order.
+type BatchSender interface {
+	SendBatch(src, dst int, msgs []BatchMsg, compressMin int) error
+}
+
+// Flusher is implemented by transports that buffer sends (the
+// BatchingTransport). Flush pushes every message queued at source place
+// src out to the underlying transport immediately, overriding the flush
+// policy. The runtime calls it at protocol flush points — after a
+// finish quiescence snapshot, after a dense-router forward — where
+// latency, not bandwidth, is on the critical path. Wrappers that
+// decorate a Flusher (counting, chaos) forward Flush to it.
+type Flusher interface {
+	Flush(src int) error
+}
+
 // counters accumulates traffic statistics with atomic updates. The cells
 // are obs.Counters so a registry can adopt them by name; x10rt.Stats is
 // then a compatibility view over the same registered metrics.
 type counters struct {
 	msgs  [numClasses]obs.Counter
 	bytes [numClasses]obs.Counter
+	wire  obs.Counter // on-the-wire bytes (post-batch, post-compression)
 }
 
 func (c *counters) add(class Class, bytes int) {
 	c.msgs[class].Inc()
 	c.bytes[class].Add(uint64(bytes))
+}
+
+// addWire records n bytes actually written to the wire. It is kept
+// separate from add because a batched frame carries many messages but
+// hits the wire once, at the sender only.
+func (c *counters) addWire(n int) {
+	c.wire.Add(uint64(n))
 }
 
 func (c *counters) snapshot() Stats {
@@ -218,17 +269,20 @@ func (c *counters) snapshot() Stats {
 		s.Messages[i] = c.msgs[i].Value()
 		s.Bytes[i] = c.bytes[i].Value()
 	}
+	s.WireBytes = c.wire.Value()
 	return s
 }
 
 // attach registers the class counters under the canonical names
-// x10rt.msgs.<class> and x10rt.bytes.<class>.
+// x10rt.msgs.<class> and x10rt.bytes.<class>, plus the on-the-wire byte
+// counter under x10rt.bytes.wire.
 func (c *counters) attach(r *obs.Registry) {
 	for i := 0; i < int(numClasses); i++ {
 		cls := Class(i).String()
 		r.RegisterCounter("x10rt.msgs."+cls, &c.msgs[i])
 		r.RegisterCounter("x10rt.bytes."+cls, &c.bytes[i])
 	}
+	r.RegisterCounter("x10rt.bytes.wire", &c.wire)
 }
 
 // handlerTable is a registration table shared by transport implementations.

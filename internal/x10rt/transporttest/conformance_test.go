@@ -1,0 +1,150 @@
+package transporttest_test
+
+import (
+	"testing"
+	"time"
+
+	"apgas/internal/chaos"
+	"apgas/internal/x10rt"
+	"apgas/internal/x10rt/transporttest"
+)
+
+// singleObjectMesh adapts a transport whose one value serves every
+// place (chan and any decorator over it).
+func singleObjectMesh(places int, tr x10rt.Transport) *transporttest.Mesh {
+	return &transporttest.Mesh{
+		Places:   places,
+		Endpoint: func(p int) x10rt.Transport { return tr },
+		Register: tr.Register,
+		Close:    tr.Close,
+	}
+}
+
+func chanFactory(t *testing.T, places int) *transporttest.Mesh {
+	tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return singleObjectMesh(places, tr)
+}
+
+func tcpFactory(t *testing.T, places int) *transporttest.Mesh {
+	mesh, err := x10rt.NewLocalTCPMesh(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, tr := range mesh {
+			tr.Close()
+		}
+	})
+	return &transporttest.Mesh{
+		Places:   places,
+		Endpoint: func(p int) x10rt.Transport { return mesh[p] },
+		Register: func(id x10rt.HandlerID, h x10rt.Handler) error {
+			for _, tr := range mesh {
+				if err := tr.Register(id, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Close: func() error {
+			var first error
+			for _, tr := range mesh {
+				if err := tr.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+	}
+}
+
+func countingFactory(t *testing.T, places int) *transporttest.Mesh {
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := x10rt.NewCountingTransport(inner)
+	t.Cleanup(func() { tr.Close() })
+	return singleObjectMesh(places, tr)
+}
+
+func batchingFactory(t *testing.T, places int) *transporttest.Mesh {
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := x10rt.NewBatchingTransport(inner, x10rt.BatchOptions{
+		MaxDelay:  100 * time.Microsecond,
+		MaxFrames: 16,
+	})
+	t.Cleanup(func() { tr.Close() })
+	return singleObjectMesh(places, tr)
+}
+
+// batchingTCPFactory stacks the wrapper over a serializing transport,
+// exercising the SendBatch fast path under the same battery.
+func batchingTCPFactory(t *testing.T, places int) *transporttest.Mesh {
+	mesh, err := x10rt.NewLocalTCPMesh(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := make([]*x10rt.BatchingTransport, places)
+	for p, tr := range mesh {
+		wrapped[p] = x10rt.NewBatchingTransport(tr, x10rt.BatchOptions{
+			MaxDelay:  100 * time.Microsecond,
+			MaxFrames: 16,
+		})
+	}
+	t.Cleanup(func() {
+		for _, tr := range wrapped {
+			tr.Close()
+		}
+	})
+	return &transporttest.Mesh{
+		Places:   places,
+		Endpoint: func(p int) x10rt.Transport { return wrapped[p] },
+		Register: func(id x10rt.HandlerID, h x10rt.Handler) error {
+			for _, tr := range wrapped {
+				if err := tr.Register(id, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Close: func() error {
+			var first error
+			for _, tr := range wrapped {
+				if err := tr.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+	}
+}
+
+func chaosFactory(t *testing.T, places int) *transporttest.Mesh {
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero fault probabilities: the wrapper's plumbing (link walk,
+	// virtual clock, hold machinery) is in the path, the faults are
+	// not, so the base contract must hold exactly.
+	tr := chaos.Wrap(inner, chaos.Options{Seed: 1})
+	t.Cleanup(func() { tr.Close() })
+	return singleObjectMesh(places, tr)
+}
+
+func TestConformanceChan(t *testing.T)     { transporttest.TestTransport(t, chanFactory) }
+func TestConformanceTCP(t *testing.T)      { transporttest.TestTransport(t, tcpFactory) }
+func TestConformanceCounting(t *testing.T) { transporttest.TestTransport(t, countingFactory) }
+func TestConformanceBatching(t *testing.T) { transporttest.TestTransport(t, batchingFactory) }
+func TestConformanceBatchingTCP(t *testing.T) {
+	transporttest.TestTransport(t, batchingTCPFactory)
+}
+func TestConformanceChaos(t *testing.T) { transporttest.TestTransport(t, chaosFactory) }

@@ -1,0 +1,335 @@
+// Package transporttest is the cross-transport conformance suite of
+// the x10rt Transport contract. Every transport implementation — and
+// every decorator, since decorators must preserve the contract they
+// wrap — runs the same battery through TestTransport:
+//
+//   - per-link FIFO ordering,
+//   - concurrent multi-goroutine sends,
+//   - handler re-entrancy (handlers that Send),
+//   - payload-byte accounting against Stats/PlaceStats,
+//   - Close-while-sending semantics.
+//
+// The suite is transport-shape agnostic: an in-process transport is one
+// object serving every place, while a TCP mesh is one endpoint object
+// per place. The Mesh adapter normalizes both.
+package transporttest
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apgas/internal/x10rt"
+)
+
+// Payload is the message body the suite sends. It is registered as a
+// gob wire type so serializing transports can carry it.
+type Payload struct {
+	Seq int
+	Tag string
+}
+
+func init() { x10rt.RegisterWireType(Payload{}) }
+
+// Mesh presents one transport universe to the suite.
+type Mesh struct {
+	// Places is the number of places in the universe (>= 2 required).
+	Places int
+	// Endpoint returns the Transport that place p sends from. For
+	// single-object transports this is the same value for every p.
+	Endpoint func(p int) x10rt.Transport
+	// Register installs a handler at every place.
+	Register func(id x10rt.HandlerID, h x10rt.Handler) error
+	// Close tears the whole universe down. It must be idempotent at the
+	// Transport level (the suite closes endpoints again afterwards).
+	Close func() error
+}
+
+// Factory builds a fresh Mesh with the given number of places. The
+// factory owns cleanup registration (t.Cleanup) for anything Close
+// does not release.
+type Factory func(t *testing.T, places int) *Mesh
+
+// handlerID is where the suite registers its handlers, clear of the
+// runtime's reserved range.
+const handlerID = x10rt.UserHandlerBase + 100
+
+// await polls until pred returns true or the deadline passes.
+func await(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// flushAll pushes pending batches out on transports that buffer.
+func flushAll(m *Mesh) {
+	seen := map[x10rt.Transport]bool{}
+	for p := 0; p < m.Places; p++ {
+		ep := m.Endpoint(p)
+		if seen[ep] {
+			continue
+		}
+		seen[ep] = true
+		if f, ok := ep.(x10rt.Flusher); ok {
+			_ = f.Flush(-1)
+		}
+	}
+}
+
+// TestTransport runs the conformance battery against the factory.
+func TestTransport(t *testing.T, factory Factory) {
+	t.Run("PerLinkFIFO", func(t *testing.T) { testPerLinkFIFO(t, factory) })
+	t.Run("ConcurrentSends", func(t *testing.T) { testConcurrentSends(t, factory) })
+	t.Run("HandlerReentrancy", func(t *testing.T) { testHandlerReentrancy(t, factory) })
+	t.Run("ByteAccounting", func(t *testing.T) { testByteAccounting(t, factory) })
+	t.Run("CloseWhileSending", func(t *testing.T) { testCloseWhileSending(t, factory) })
+}
+
+// testPerLinkFIFO sends a numbered stream down every (src, dst) link
+// from a single goroutine per source and asserts arrival order per
+// link. Data-class messages are used: transports may only reorder
+// control traffic, and only when configured to.
+func testPerLinkFIFO(t *testing.T, factory Factory) {
+	const places, perLink = 3, 100
+	m := factory(t, places)
+	type linkKey struct{ src, dst int }
+	var mu sync.Mutex
+	next := map[linkKey]int{}
+	var got, want atomic.Int64
+	err := m.Register(handlerID, func(src, dst int, payload any) {
+		p := payload.(Payload)
+		k := linkKey{src, dst}
+		mu.Lock()
+		if p.Seq != next[k] {
+			t.Errorf("link %d->%d: got seq %d, want %d", src, dst, p.Seq, next[k])
+		}
+		next[k] = p.Seq + 1
+		mu.Unlock()
+		got.Add(1)
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	var wg sync.WaitGroup
+	for src := 0; src < places; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for seq := 0; seq < perLink; seq++ {
+				for dst := 0; dst < places; dst++ {
+					if err := m.Endpoint(src).Send(src, dst, handlerID, Payload{Seq: seq}, 16, x10rt.DataClass); err != nil {
+						t.Errorf("Send %d->%d: %v", src, dst, err)
+						return
+					}
+					want.Add(1)
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+	flushAll(m)
+	await(t, "all deliveries", func() bool { return got.Load() == want.Load() })
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// testConcurrentSends hammers every link from several goroutines per
+// source place and checks nothing is lost or duplicated.
+func testConcurrentSends(t *testing.T, factory Factory) {
+	const places, goroutines, perG = 3, 4, 50
+	m := factory(t, places)
+	var got atomic.Int64
+	if err := m.Register(handlerID, func(src, dst int, payload any) { got.Add(1) }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	var wg sync.WaitGroup
+	for src := 0; src < places; src++ {
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(src, g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					dst := (src + i + g) % places
+					if err := m.Endpoint(src).Send(src, dst, handlerID, Payload{Seq: i}, 8, x10rt.ControlClass); err != nil {
+						t.Errorf("Send: %v", err)
+						return
+					}
+				}
+			}(src, g)
+		}
+	}
+	wg.Wait()
+	flushAll(m)
+	total := int64(places * goroutines * perG)
+	await(t, "all deliveries", func() bool { return got.Load() >= total })
+	if n := got.Load(); n != total {
+		t.Errorf("delivered %d messages, want %d", n, total)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// testHandlerReentrancy bounces a message between two places from
+// inside handlers: each delivery decrements a hop count and sends the
+// payload onward. Handlers that Send must neither deadlock nor run on
+// the sender's stack in a way that breaks the transport.
+func testHandlerReentrancy(t *testing.T, factory Factory) {
+	const hops = 40
+	m := factory(t, 2)
+	done := make(chan struct{})
+	var once sync.Once
+	err := m.Register(handlerID, func(src, dst int, payload any) {
+		p := payload.(Payload)
+		if p.Seq == 0 {
+			once.Do(func() { close(done) })
+			return
+		}
+		if err := m.Endpoint(dst).Send(dst, src, handlerID, Payload{Seq: p.Seq - 1}, 8, x10rt.ControlClass); err != nil {
+			t.Errorf("re-entrant Send: %v", err)
+			once.Do(func() { close(done) })
+		}
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := m.Endpoint(0).Send(0, 1, handlerID, Payload{Seq: hops}, 8, x10rt.ControlClass); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// Re-entrant sends can land in a batching queue with nothing else
+	// arriving to push them out; keep nudging flushes while we wait.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case <-done:
+			if err := m.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			return
+		case <-time.After(time.Millisecond):
+			flushAll(m)
+			if time.Now().After(deadline) {
+				t.Fatal("ping-pong did not terminate")
+			}
+		}
+	}
+}
+
+// testByteAccounting checks the accounting contract: per-class message
+// and modeled-byte egress, summed over PlaceStats of every place's own
+// endpoint, equals exactly what was sent; wire bytes are counted
+// whenever traffic flowed; telemetry traffic stays invisible.
+func testByteAccounting(t *testing.T, factory Factory) {
+	const places = 3
+	m := factory(t, places)
+	var got atomic.Int64
+	if err := m.Register(handlerID, func(src, dst int, payload any) { got.Add(1) }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := m.Register(x10rt.HandlerTelemetry, func(src, dst int, payload any) { got.Add(1) }); err != nil {
+		t.Fatalf("Register telemetry: %v", err)
+	}
+	classes := []x10rt.Class{x10rt.DataClass, x10rt.ControlClass, x10rt.CollectiveClass}
+	var wantMsgs, wantBytes [3]uint64
+	var sent int64
+	for src := 0; src < places; src++ {
+		for dst := 0; dst < places; dst++ {
+			for ci, class := range classes {
+				n := 10 + 3*src + dst
+				if err := m.Endpoint(src).Send(src, dst, handlerID, Payload{Seq: n}, n, class); err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+				wantMsgs[ci]++
+				wantBytes[ci] += uint64(n)
+				sent++
+			}
+			// Telemetry must not perturb any counter.
+			if err := m.Endpoint(src).Send(src, dst, x10rt.HandlerTelemetry, Payload{}, 999, x10rt.ControlClass); err != nil {
+				t.Fatalf("Send telemetry: %v", err)
+			}
+			sent++
+		}
+	}
+	flushAll(m)
+	await(t, "all deliveries", func() bool { return got.Load() == sent })
+
+	var sum x10rt.Stats
+	for p := 0; p < places; p++ {
+		ps, ok := m.Endpoint(p).(x10rt.PlaceMetricSource)
+		if !ok {
+			t.Fatalf("endpoint %d is not a PlaceMetricSource", p)
+		}
+		s := ps.PlaceStats(p)
+		for i := range sum.Messages {
+			sum.Messages[i] += s.Messages[i]
+			sum.Bytes[i] += s.Bytes[i]
+		}
+		sum.WireBytes += s.WireBytes
+	}
+	for i := range classes {
+		if sum.Messages[i] != wantMsgs[i] {
+			t.Errorf("class %v: %d messages accounted, want %d", classes[i], sum.Messages[i], wantMsgs[i])
+		}
+		if sum.Bytes[i] != wantBytes[i] {
+			t.Errorf("class %v: %d bytes accounted, want %d", classes[i], sum.Bytes[i], wantBytes[i])
+		}
+	}
+	if sum.WireBytes == 0 {
+		t.Error("no wire bytes accounted for nonzero traffic")
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// testCloseWhileSending closes the universe while senders are mid
+// stream: in-flight Sends may succeed or fail but must not panic,
+// post-Close Sends must error, and Close must be idempotent.
+func testCloseWhileSending(t *testing.T, factory Factory) {
+	const places = 2
+	m := factory(t, places)
+	if err := m.Register(handlerID, func(src, dst int, payload any) {}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for src := 0; src < places; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Any error is fine once shutdown races in; panics are not.
+				_ = m.Endpoint(src).Send(src, (src+1)%places, handlerID, Payload{Seq: i}, 8, x10rt.DataClass)
+			}
+		}(src)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := m.Close(); err != nil && !errors.Is(err, x10rt.ErrClosed) {
+		// Transports may surface connection teardown errors here; they
+		// must still finish closing, which the post-conditions check.
+		t.Logf("Close during traffic: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	for p := 0; p < places; p++ {
+		if err := m.Endpoint(p).Send(p, (p+1)%places, handlerID, Payload{}, 8, x10rt.DataClass); err == nil {
+			t.Errorf("endpoint %d: Send after Close succeeded", p)
+		}
+		if err := m.Endpoint(p).Close(); err != nil {
+			t.Errorf("endpoint %d: repeated Close: %v", p, err)
+		}
+	}
+}
