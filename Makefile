@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke trace telemetry chaos fuzz-short experiments examples clean
+.PHONY: all build test race bench bench-smoke trace dtrace telemetry chaos fuzz-short experiments examples clean
 
-all: build test race telemetry chaos bench-smoke fuzz-short
+all: build test race telemetry chaos dtrace bench-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -25,17 +25,28 @@ bench:
 # zero regressions by construction, so any failure is a pipeline bug.
 # The transport gate then asserts the wire-path overhaul's acceptance
 # target: ≥3x msgs/s from batching on the small-control-frame
-# microbenchmark.
+# microbenchmark, and the tracing gate asserts the distributed-tracing
+# acceptance target: disabled span-propagation hooks cost <2% of a
+# finish message and allocate nothing.
 bench-smoke:
 	$(GO) run ./cmd/apgas-bench -exp uts -scale tiny -bench-json /tmp/apgas-bench-smoke.json -bench-reps 1
 	$(GO) run ./cmd/tracecheck -bench /tmp/apgas-bench-smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/apgas-bench-smoke.json /tmp/apgas-bench-smoke.json
-	$(GO) test -run TestTransportBatchSpeedup -count=1 -v ./internal/harness
+	$(GO) test -run 'TestTransportBatchSpeedup|TestTracingDisabledOverhead' -count=1 -v ./internal/harness
 
 # Record a Chrome trace of a small UTS run and sanity-check the JSON.
 trace:
 	$(GO) run ./cmd/uts -places 4 -depth 8 -trace /tmp/apgas-uts-trace.json
 	$(GO) run ./cmd/tracecheck /tmp/apgas-uts-trace.json
+
+# Distributed tracing end to end: a 4-place FINISH_DENSE run records
+# one trace per place, merges them on the HLC-aligned timeline (every
+# cross-place message becomes a flow arrow), prints the cross-place
+# critical-path attribution, and tracecheck validates the merged file —
+# flow begin/end pairing, no backwards arrows, monotone tracks.
+dtrace:
+	$(GO) run ./cmd/apgas-bench -exp dense -places 4 -trace-dist /tmp/apgas-dtrace
+	$(GO) run ./cmd/tracecheck /tmp/apgas-dtrace-merged.json
 
 # Cross-place telemetry smoke: a 4-place run under the Power 775 latency
 # model whose aggregated message counts must equal the sum of the four
@@ -71,6 +82,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzBatchFrameRoundTrip -fuzztime 30s -fuzzminimizetime=10x ./internal/x10rt
 	$(GO) test -run '^$$' -fuzz FuzzCheckFlightDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 	$(GO) test -run '^$$' -fuzz FuzzCheckBench -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
+	$(GO) test -run '^$$' -fuzz FuzzCheckMergedTrace -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 
 # Regenerate every table and figure at laptop scale.
 experiments:

@@ -51,6 +51,9 @@ func main() {
 	scaleFlag := flag.String("scale", "tiny", "tiny, small, or medium")
 	traceFile := flag.String("trace", "",
 		"write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	traceDist := flag.String("trace-dist", "",
+		"run with distributed (cross-place) tracing and write per-place traces "+
+			"<prefix>-pN.json plus the flow-linked merged trace <prefix>-merged.json")
 	metrics := flag.Bool("metrics", false,
 		"attach metric deltas to experiment tables and print a snapshot to stderr at exit")
 	debugAddr := flag.String("debug-addr", "",
@@ -107,11 +110,13 @@ func main() {
 		switch {
 		case *traceFile != "":
 			reason = "-trace (the artifact collector installs a fresh tracer per repetition)"
+		case *traceDist != "":
+			reason = "-trace-dist (the artifact collector installs a fresh tracer per repetition)"
 		case *useNetsim:
 			reason = "-netsim (artifacts fingerprint the real machine, not a modelled one)"
 		case *metricsAll:
 			reason = "-metrics-all (a telemetry-workload view)"
-		case *exp == "telemetry" || *exp == "chaos" || *exp == "list":
+		case *exp == "telemetry" || *exp == "chaos" || *exp == "dense" || *exp == "list":
 			reason = fmt.Sprintf("-exp %s (not a measured series)", *exp)
 		}
 		if reason != "" {
@@ -137,6 +142,8 @@ func main() {
 	// layer is installed process-wide rather than plumbed through.
 	var o *obs.Obs
 	switch {
+	case *traceDist != "":
+		o = obs.NewTracingDist()
 	case *traceFile != "":
 		o = obs.NewTracing()
 	case *metrics || *debugAddr != "":
@@ -150,12 +157,21 @@ func main() {
 			expvar.Publish("apgas", expvar.Func(func() any { return o.Metrics.Snapshot() }))
 		}
 		http.Handle("/telemetry", telemetry.Handler())
+		http.Handle("/metrics", telemetry.PromHandler())
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "apgas-bench: debug server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, and /telemetry\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /telemetry, and /metrics\n", *debugAddr)
+	}
+
+	if *exp == "dense" {
+		if err := runDense(denseOptions{places: *places, tracePrefix: *traceDist, o: o}); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *exp == "chaos" {
@@ -208,6 +224,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "--- trace summary (full trace: %s) ---\n", *traceFile)
 		o.Trace.WriteSummary(os.Stderr)
 	}
+	if *traceDist != "" {
+		if err := writeDistTraces(o.Trace, *traceDist, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // experiments maps every -exp name that is not a Figure 1 panel to a
@@ -219,6 +241,7 @@ var experiments = map[string]string{
 	"netsim":       "Power 775 interconnect model predictions",
 	"telemetry":    "cross-place telemetry smoke: merged metrics vs per-place transport stats",
 	"chaos":        "fault-injection sweep: finish invariants under seeded delay/reorder/partition chaos",
+	"dense":        "FINISH_DENSE all-to-all + collective + AtDirect workload; with -trace-dist, the merged distributed-trace demo",
 	"finish":       "finish-pattern ablation",
 	"broadcast":    "scalable vs sequential broadcast ablation",
 	"uts-ablation": "UTS load-balancer ablation",

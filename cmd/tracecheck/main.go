@@ -170,15 +170,46 @@ func checkFlightDump(data []byte) (int, error) {
 	return n, nil
 }
 
-// checkChromeTrace validates a Chrome trace_event JSON document and
-// returns the number of events.
+// chromeEvent is the subset of a trace_event record the validator
+// inspects.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Pid  int64   `json:"pid"`
+	Tid  uint64  `json:"tid"`
+	ID   uint64  `json:"id"`
+	BP   string  `json:"bp"`
+}
+
+// flowEnd is one side of a flow pairing check.
+type flowSide struct {
+	index int
+	name  string
+	cat   string
+	ts    float64
+}
+
+// checkChromeTrace validates a Chrome trace_event JSON document —
+// including merged distributed traces — and returns the number of
+// events. Beyond basic shape, it enforces the flow-event contract the
+// trace merger guarantees:
+//
+//   - every flow-begin ('s') has at least one flow-end ('f') with the
+//     same id, name, and cat (Chrome binds arrows by all three), and
+//     every 'f' has exactly one originating 's';
+//   - no flow arrow goes backwards: each 'f' timestamp is at or after
+//     its 's' (duplicate deliveries share the send's flow id, so
+//     multiple 'f' per 's' are legal; multiple 's' per id are not);
+//   - per-track ((pid, tid) lane) timestamps are non-decreasing in
+//     file order, so the merged timeline renders without reshuffling.
+//
+// Metadata events (ph "M") carry no timestamp semantics and are
+// skipped by the ordering checks.
 func checkChromeTrace(data []byte) (int, error) {
 	var doc struct {
-		TraceEvents []struct {
-			Name string  `json:"name"`
-			Ph   string  `json:"ph"`
-			TS   float64 `json:"ts"`
-		} `json:"traceEvents"`
+		TraceEvents []chromeEvent `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return 0, fmt.Errorf("invalid JSON: %v", err)
@@ -186,9 +217,70 @@ func checkChromeTrace(data []byte) (int, error) {
 	if len(doc.TraceEvents) == 0 {
 		return 0, fmt.Errorf("no trace events")
 	}
+	type track struct {
+		pid int64
+		tid uint64
+	}
+	lastTS := make(map[track]float64)
+	sends := make(map[uint64]flowSide)
+	var ends []chromeEvent
+	endIdx := make(map[int]int) // event index for error messages
 	for i, ev := range doc.TraceEvents {
 		if ev.Name == "" || ev.Ph == "" {
 			return 0, fmt.Errorf("event %d lacks name/ph", i)
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.TS < 0 {
+			return 0, fmt.Errorf("event %d (%s): negative timestamp %v", i, ev.Name, ev.TS)
+		}
+		tk := track{ev.Pid, ev.Tid}
+		if prev, ok := lastTS[tk]; ok && ev.TS < prev {
+			return 0, fmt.Errorf("event %d (%s): pid %d tid %d timestamp %v before previous %v (track not monotone)",
+				i, ev.Name, ev.Pid, ev.Tid, ev.TS, prev)
+		}
+		lastTS[tk] = ev.TS
+		switch ev.Ph {
+		case "s":
+			if ev.ID == 0 {
+				return 0, fmt.Errorf("event %d (%s): flow-begin with id 0", i, ev.Name)
+			}
+			if prev, dup := sends[ev.ID]; dup {
+				return 0, fmt.Errorf("event %d (%s): flow id %d already begun at event %d",
+					i, ev.Name, ev.ID, prev.index)
+			}
+			sends[ev.ID] = flowSide{index: i, name: ev.Name, cat: ev.Cat, ts: ev.TS}
+		case "f":
+			if ev.ID == 0 {
+				return 0, fmt.Errorf("event %d (%s): flow-end with id 0", i, ev.Name)
+			}
+			if ev.BP != "e" {
+				return 0, fmt.Errorf("event %d (%s): flow-end lacks bp=\"e\"", i, ev.Name)
+			}
+			endIdx[len(ends)] = i
+			ends = append(ends, ev)
+		}
+	}
+	matched := make(map[uint64]bool)
+	for j, ev := range ends {
+		s, ok := sends[ev.ID]
+		if !ok {
+			return 0, fmt.Errorf("event %d (%s): flow-end id %d has no flow-begin", endIdx[j], ev.Name, ev.ID)
+		}
+		if s.name != ev.Name || s.cat != ev.Cat {
+			return 0, fmt.Errorf("event %d: flow id %d bound as %s/%s at begin but %s/%s at end (Chrome will not draw it)",
+				endIdx[j], ev.ID, s.name, s.cat, ev.Name, ev.Cat)
+		}
+		if ev.TS < s.ts {
+			return 0, fmt.Errorf("event %d (%s): flow id %d ends at %v before its begin at %v (arrow goes backwards)",
+				endIdx[j], ev.Name, ev.ID, ev.TS, s.ts)
+		}
+		matched[ev.ID] = true
+	}
+	for id, s := range sends {
+		if !matched[id] {
+			return 0, fmt.Errorf("event %d (%s): flow-begin id %d has no flow-end", s.index, s.name, id)
 		}
 	}
 	return len(doc.TraceEvents), nil

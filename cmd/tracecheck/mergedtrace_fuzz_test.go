@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"apgas/internal/obs"
+)
+
+// genuineMergedTrace produces a real merged distributed trace: two
+// places exchanging flows through the tracer, split per place, merged,
+// and rendered to Chrome JSON — the exact artifact `make dtrace`
+// checks.
+func genuineMergedTrace(f *testing.F) []byte {
+	tr := obs.NewTracer()
+	tr.EnableDist(7)
+	for i := 0; i < 4; i++ {
+		parent := tr.NextID()
+		t0 := tr.Now()
+		ctx := tr.SendCtx("flow.spawn", "core", 0, parent, obs.Arg{Key: "dst", Val: 1})
+		tid := tr.NextID()
+		tr.RecvCtx(ctx, "flow.spawn", "core", 1, tid, obs.Arg{Key: "src", Val: 0})
+		tr.CompleteEdge("async", "core", 1, tid, t0, parent, obs.EdgeChild)
+		back := tr.SendCtx("flow.ctl", "finish", 1, tid, obs.Arg{Key: "dst", Val: 0})
+		tr.RecvCtx(back, "flow.ctl", "finish", 0, 0, obs.Arg{Key: "src", Val: 1})
+	}
+	merged := obs.MergeTraces([][]obs.Event{tr.PlaceEvents(0), tr.PlaceEvents(1)})
+	var buf bytes.Buffer
+	if err := merged.WriteChrome(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCheckMergedTrace drives the Chrome-trace validator — flow
+// pairing, arrow direction, per-track monotonicity — with arbitrary
+// byte soup. The validator fronts `make dtrace` and chaos sweeps, so
+// it must never panic: it either returns a clean count or an error
+// naming the offending event.
+//
+// Checked properties:
+//   - no panics (the fuzzer's implicit check);
+//   - determinism: the same bytes always produce the same verdict.
+func FuzzCheckMergedTrace(f *testing.F) {
+	f.Add(genuineMergedTrace(f))
+	// A minimal well-formed merged trace: one flow, matched and ordered.
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":0,"args":{"name":"place 0"}},
+		{"name":"flow.spawn","cat":"core","ph":"s","ts":1,"pid":0,"tid":3,"id":9},
+		{"name":"flow.spawn","cat":"core","ph":"f","ts":2,"pid":1,"tid":4,"id":9,"bp":"e"},
+		{"name":"async","cat":"core","ph":"X","ts":2,"dur":5,"pid":1,"tid":4}]}`))
+	// A duplicate delivery: two flow-ends sharing one id (legal).
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"a","ph":"s","ts":1,"pid":0,"tid":1,"id":5},
+		{"name":"a","ph":"f","ts":2,"pid":1,"tid":2,"id":5,"bp":"e"},
+		{"name":"a","ph":"f","ts":3,"pid":2,"tid":3,"id":5,"bp":"e"}]}`))
+	// Violations the validator must reject, not choke on.
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"a","ph":"s","ts":5,"pid":0,"tid":1,"id":5},
+		{"name":"a","ph":"f","ts":2,"pid":1,"tid":2,"id":5,"bp":"e"}]}`)) // arrow backwards
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"a","ph":"s","ts":1,"pid":0,"tid":1,"id":5}]}`)) // unmatched begin
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"a","ph":"f","ts":1,"pid":0,"tid":1,"id":5,"bp":"e"}]}`)) // unmatched end
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"x","ph":"i","ts":9,"pid":0,"tid":1},
+		{"name":"y","ph":"i","ts":3,"pid":0,"tid":1}]}`)) // track not monotone
+	f.Add([]byte(`{"traceEvents":[
+		{"name":"a","ph":"s","ts":1,"pid":0,"tid":1,"id":5},
+		{"name":"b","ph":"s","ts":2,"pid":0,"tid":1,"id":5},
+		{"name":"a","ph":"f","ts":3,"pid":1,"tid":2,"id":5,"bp":"e"}]}`)) // duplicate begin
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n1, err1 := checkChromeTrace(data)
+		n2, err2 := checkChromeTrace(data)
+		if n1 != n2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic verdict: (%d,%v) vs (%d,%v)", n1, err1, n2, err2)
+		}
+		if err1 == nil && n1 == 0 {
+			t.Fatal("accepted a trace with zero events")
+		}
+	})
+}
+
+// TestMergedTraceChecks pins the validator's verdicts on the seed
+// inputs: the genuine and well-formed traces pass, each violation is
+// rejected.
+func TestMergedTraceChecks(t *testing.T) {
+	good := [][]byte{
+		[]byte(`{"traceEvents":[
+			{"name":"flow.spawn","cat":"core","ph":"s","ts":1,"pid":0,"tid":3,"id":9},
+			{"name":"flow.spawn","cat":"core","ph":"f","ts":2,"pid":1,"tid":4,"id":9,"bp":"e"}]}`),
+		[]byte(`{"traceEvents":[
+			{"name":"a","ph":"s","ts":1,"pid":0,"tid":1,"id":5},
+			{"name":"a","ph":"f","ts":2,"pid":1,"tid":2,"id":5,"bp":"e"},
+			{"name":"a","ph":"f","ts":3,"pid":2,"tid":3,"id":5,"bp":"e"}]}`),
+	}
+	for i, data := range good {
+		if _, err := checkChromeTrace(data); err != nil {
+			t.Errorf("good trace %d rejected: %v", i, err)
+		}
+	}
+	bad := map[string][]byte{
+		"backwards arrow": []byte(`{"traceEvents":[
+			{"name":"a","ph":"s","ts":5,"pid":0,"tid":1,"id":5},
+			{"name":"a","ph":"f","ts":2,"pid":1,"tid":2,"id":5,"bp":"e"}]}`),
+		"unmatched begin": []byte(`{"traceEvents":[{"name":"a","ph":"s","ts":1,"id":5}]}`),
+		"unmatched end":   []byte(`{"traceEvents":[{"name":"a","ph":"f","ts":1,"id":5,"bp":"e"}]}`),
+		"name mismatch": []byte(`{"traceEvents":[
+			{"name":"a","ph":"s","ts":1,"pid":0,"tid":1,"id":5},
+			{"name":"b","ph":"f","ts":2,"pid":1,"tid":2,"id":5,"bp":"e"}]}`),
+		"missing bp": []byte(`{"traceEvents":[
+			{"name":"a","ph":"s","ts":1,"pid":0,"tid":1,"id":5},
+			{"name":"a","ph":"f","ts":2,"pid":1,"tid":2,"id":5}]}`),
+		"track backwards": []byte(`{"traceEvents":[
+			{"name":"x","ph":"i","ts":9,"pid":0,"tid":1},
+			{"name":"y","ph":"i","ts":3,"pid":0,"tid":1}]}`),
+	}
+	for name, data := range bad {
+		if _, err := checkChromeTrace(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

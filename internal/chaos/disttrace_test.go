@@ -1,0 +1,210 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apgas/internal/obs"
+	"apgas/internal/x10rt"
+)
+
+// These tests check the distributed-tracing contract under injected
+// faults: span contexts ride inside the payloads the fault machinery
+// delays, reorders, duplicates, and drops, so the merged trace must
+// stay causally consistent no matter what the network did — every flow
+// end pairs with exactly one flow begin of the same name, no arrow
+// points backwards on the merged timeline, and a duplicated delivery
+// shares its original's flow id instead of inventing a second arrow.
+
+// checkCausalMerge merges a run's per-place traces and verifies the
+// causal-consistency contract. It returns the merged trace and the
+// count of flow ends per flow id, so callers can reason about
+// duplicate deliveries.
+func checkCausalMerge(t *testing.T, rep RunReport) (*obs.MergedTrace, map[uint64]int) {
+	t.Helper()
+	if len(rep.PlaceTraces) == 0 {
+		t.Fatal("DistTrace run captured no place traces")
+	}
+	merged := obs.MergeTraces(rep.PlaceTraces)
+	sends := make(map[uint64]obs.Event)
+	for _, e := range merged.Events {
+		if e.Ph == 's' && e.Flow != 0 {
+			if _, dup := sends[e.Flow]; dup {
+				t.Errorf("flow id %d has two flow-begin events", e.Flow)
+			}
+			sends[e.Flow] = e
+		}
+	}
+	recvs := make(map[uint64]int)
+	for _, e := range merged.Events {
+		if e.Ph != 'f' || e.Flow == 0 {
+			continue
+		}
+		recvs[e.Flow]++
+		s, ok := sends[e.Flow]
+		if !ok {
+			t.Errorf("flow end %q id %d at p%d has no flow begin", e.Name, e.Flow, e.Pid)
+			continue
+		}
+		if s.Name != e.Name || s.Cat != e.Cat {
+			t.Errorf("flow id %d: begin %s/%s but end %s/%s", e.Flow, s.Name, s.Cat, e.Name, e.Cat)
+		}
+		if e.TS <= s.TS {
+			t.Errorf("flow id %d (%s): receive at %dns not after send at %dns — backwards arrow",
+				e.Flow, e.Name, e.TS, s.TS)
+		}
+	}
+	return merged, recvs
+}
+
+// TestDistTraceCausalUnderFaults sweeps the standard fault menu with
+// distributed tracing attached: the runs must stay violation-free (the
+// tracer must not perturb the protocols) and the merged traces must
+// stay causally consistent even though delivery was delayed, reordered,
+// slowed, and partitioned.
+func TestDistTraceCausalUnderFaults(t *testing.T) {
+	seeds := []int64{3, 4, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	workloads := []Workload{
+		{Name: "default", Run: runDefaultTree},
+		{Name: "dense", Run: runDenseTree},
+	}
+	o := SweepOptions{DistTrace: true, Timeout: 20 * time.Second}
+	for _, seed := range seeds {
+		for _, w := range workloads {
+			t.Run(fmt.Sprintf("%s/seed%d", w.Name, seed), func(t *testing.T) {
+				rep := RunOne(w, seed, o, FaultsFor(seed, 4))
+				if rep.Failed() {
+					t.Fatalf("run failed:\n%s%s", FormatViolations(rep.Violations), rep.FinishDump)
+				}
+				merged, _ := checkCausalMerge(t, rep)
+				if merged.Flows == 0 {
+					t.Fatal("merged trace linked no cross-place flows")
+				}
+			})
+		}
+	}
+}
+
+// TestDistTraceDuplicatesShareFlowID forces duplicate deliveries and
+// checks the wire contract: a duplicated message re-forwards the same
+// payload — span context included — so both deliveries record flow
+// ends under the *same* flow id: one begin, several ends, never a
+// second arrow from a send that never happened. Duplication violates
+// the runtime's finish contracts (the standard menu excludes dups for
+// exactly that reason), so this test drives traced payloads through
+// the chaos transport directly, which is the layer the duplication
+// actually happens at.
+func TestDistTraceDuplicatesShareFlowID(t *testing.T) {
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := Wrap(inner, Options{Seed: 5, DupProb: 1})
+	tr := obs.NewTracer()
+	tr.EnableDist(7)
+	type payload struct {
+		TC obs.SpanContext
+		N  int
+	}
+	var received atomic.Int64
+	if err := ct.Register(x10rt.UserHandlerBase, func(src, dst int, pl any) {
+		p := pl.(payload)
+		tr.RecvCtx(p.TC, "flow.data", "test", dst, 0, obs.Arg{Key: "src", Val: int64(src)})
+		received.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 16
+	for i := 0; i < msgs; i++ {
+		tc := tr.SendCtx("flow.data", "test", 0, 0, obs.Arg{Key: "dst", Val: 1})
+		if err := ct.Send(0, 1, x10rt.UserHandlerBase, payload{TC: tc, N: i}, 8, x10rt.DataClass); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	ct.Drain()
+	dups := int64(ct.FaultCounts()[FaultDup.String()])
+	if dups == 0 {
+		t.Fatalf("DupProb=1 injected no duplicates: %v", ct.FaultCounts())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() != msgs+dups && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ct.Close()
+	if got := received.Load(); got != msgs+dups {
+		t.Fatalf("delivered %d messages, want %d", got, msgs+dups)
+	}
+
+	rep := RunReport{PlaceTraces: [][]obs.Event{tr.PlaceEvents(0), tr.PlaceEvents(1)}}
+	_, recvs := checkCausalMerge(t, rep)
+	maxEnds := 0
+	for _, n := range recvs {
+		if n > maxEnds {
+			maxEnds = n
+		}
+	}
+	if maxEnds < 2 {
+		t.Fatalf("no flow id carries two flow ends despite duplication (max %d)", maxEnds)
+	}
+}
+
+// TestDistTraceDropHealConsistent drops a bounded number of messages,
+// lets the explorer heal the run (drain + morgue release), and requires
+// the merged trace to remain causally consistent: a dropped-then-
+// released message still pairs its single begin with an end that lands
+// after it on the merged timeline. SPMD is the right workload here —
+// every one of its messages is load-bearing, so a drop can only stall
+// the run until healing, never complete it early with an orphaned
+// activity.
+func TestDistTraceDropHealConsistent(t *testing.T) {
+	fo := Options{
+		Seed:        2,
+		DropProb:    1,
+		MaxDrops:    2,
+		DelayProb:   0.25,
+		ReorderProb: 0.15,
+		DelayWindow: 3,
+	}
+	rep := RunOne(Workload{Name: "spmd", Run: runSPMD}, 2,
+		SweepOptions{DistTrace: true, Timeout: 1500 * time.Millisecond}, fo)
+	if rep.Faults[FaultDrop.String()] == 0 {
+		t.Fatalf("DropProb=1 injected no drops: %v", rep.Faults)
+	}
+	if rep.Hung {
+		t.Fatalf("run stayed hung after healing:\n%s", rep.FinishDump)
+	}
+	if rep.Failed() {
+		t.Fatalf("healed run failed:\n%s%s", FormatViolations(rep.Violations), rep.FinishDump)
+	}
+	checkCausalMerge(t, rep)
+}
+
+// TestDistTraceReplayByteIdentical is the replay guarantee with
+// tracing attached: span propagation must not perturb the fault
+// schedule, so two same-seed runs still produce byte-identical fault
+// dumps — a traced replay reproduces exactly the run it replays.
+func TestDistTraceReplayByteIdentical(t *testing.T) {
+	run := func() RunReport {
+		fo := Options{Seed: 99, DelayProb: 0.5, ReorderProb: 0.3, DelayWindow: 2}
+		rep := RunOne(Workload{Name: "spmd", Run: runSPMD}, 99,
+			SweepOptions{DistTrace: true}, fo)
+		if rep.Failed() {
+			t.Fatalf("seeded traced run failed:\n%s%s", FormatViolations(rep.Violations), rep.FinishDump)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	if len(r1.Faults) == 0 {
+		t.Fatal("seed 99 injected no faults; the replay check is vacuous")
+	}
+	if !bytes.Equal(r1.FaultDump, r2.FaultDump) {
+		t.Fatalf("same-seed traced dumps differ:\n--- run1 ---\n%s--- run2 ---\n%s",
+			r1.FaultDump, r2.FaultDump)
+	}
+}

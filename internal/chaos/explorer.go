@@ -38,6 +38,11 @@ type SweepOptions struct {
 	// to each run, with the chaos virtual clock driving flight
 	// timestamps. Sweeps leave it off; replays turn it on.
 	Obs bool
+	// DistTrace attaches a distributed tracer (implies Obs): every
+	// cross-place message carries a span context through the fault
+	// machinery, and the report captures per-place trace events so
+	// tests can merge them and check causal consistency under faults.
+	DistTrace bool
 	// Batch stacks a BatchingTransport outermost (above the chaos
 	// wrapper), so every injected fault acts on traffic that already
 	// went through coalescing. The batcher's flush predicates read the
@@ -91,6 +96,9 @@ type RunReport struct {
 	// FlightDump is the runtime flight-recorder dump (only when
 	// SweepOptions.Obs was set).
 	FlightDump []byte
+	// PlaceTraces holds each place's trace events (only when
+	// SweepOptions.DistTrace was set), ready for obs.MergeTraces.
+	PlaceTraces [][]obs.Event
 }
 
 // Failed reports whether the run violated anything.
@@ -157,8 +165,12 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 		tr, drain = bt, bt.Quiesce
 	}
 	var ob *obs.Obs
-	if o.Obs {
-		ob = obs.New()
+	if o.Obs || o.DistTrace {
+		if o.DistTrace {
+			ob = obs.NewTracingDist()
+		} else {
+			ob = obs.New()
+		}
 		// Flight timestamps follow the virtual clock: logical event
 		// counts, not wall time, so replays of one seed line up.
 		ob.Flight.SetNow(ct.Clock().Now)
@@ -234,6 +246,11 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 		var fl bytes.Buffer
 		if err := ob.Flight.WriteDump(&fl); err == nil {
 			rep.FlightDump = fl.Bytes()
+		}
+	}
+	if o.DistTrace && ob != nil && ob.Trace != nil {
+		for p := 0; p < o.Places; p++ {
+			rep.PlaceTraces = append(rep.PlaceTraces, ob.Trace.PlaceEvents(p))
 		}
 	}
 	if !hung {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"apgas/internal/core"
+	"apgas/internal/obs"
 	"apgas/internal/x10rt"
 )
 
@@ -84,6 +85,9 @@ type envelope struct {
 	Team    uint64
 	K       key
 	Payload any
+	// TC carries the sender's distributed trace context; zero unless
+	// distributed tracing is enabled (gob omits zero-valued fields).
+	TC obs.SpanContext
 }
 
 // send ships a payload to the teamLocal mailbox at dst under k, directly
@@ -92,8 +96,13 @@ type envelope struct {
 // generated, so team operations are usable inside any finish pattern
 // (including FINISH_SPMD bodies).
 func (t *Team) send(c *core.Ctx, dst core.Place, k key, payload any, bytes int) {
+	env := envelope{Team: t.id, K: k, Payload: payload}
+	if dst != c.Place() {
+		env.TC = t.m.tr.SendCtx("flow.team", "collective", int(c.Place()), c.TraceSpan(),
+			obs.Arg{Key: "dst", Val: int64(dst)})
+	}
 	err := t.rt.Transport().Send(int(c.Place()), int(dst), x10rt.HandlerTeamCtl,
-		envelope{Team: t.id, K: k, Payload: payload}, bytes, x10rt.CollectiveClass)
+		env, bytes, x10rt.CollectiveClass)
 	if err != nil {
 		panic(fmt.Sprintf("collectives: send: %v", err))
 	}

@@ -127,6 +127,10 @@ func (m *manager) dispatch(src, dst int, payload any) {
 	if t == nil {
 		panic(fmt.Sprintf("collectives: message for unknown team %d", env.Team))
 	}
+	if tr := t.m.tr; tr != nil {
+		tr.RecvCtx(env.TC, "flow.team", "collective", dst, 0,
+			obs.Arg{Key: "src", Val: int64(src)})
+	}
 	t.locals[dst].put(env.K, env.Payload)
 }
 

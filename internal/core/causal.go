@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sync"
+)
+
+// This file is the causal span registry behind the watchdog's stall
+// chains: when distributed tracing is on, every live finish scope and
+// activity registers who spawned it, from where, and under which
+// finish, so a stall dump can print the cross-place chain of spans
+// leading to the stuck activity instead of just naming the owing
+// place. The registry exists only when the runtime's tracer has
+// distributed tracing enabled (Tracer.DistEnabled); otherwise every
+// hook is a nil-pointer check.
+
+// CausalSpan is one link in a causal chain: a finish scope or activity
+// span, where it ran, and where the message that started it came from.
+type CausalSpan struct {
+	// Span is the trace lane id (Event.Tid) of the scope.
+	Span uint64
+	// Parent is the Span of the scope that spawned this one (0 = root).
+	Parent uint64
+	// Name is the span name ("async", "finish.default", ...).
+	Name string
+	// Place is where the span ran.
+	Place Place
+	// Src is the place the spawning message came from (== Place for
+	// local spawns).
+	Src Place
+	// Home and Seq identify the governing finish (the span's own id for
+	// finish scopes).
+	Home Place
+	Seq  uint64
+	// Start is the tracer-relative start timestamp in nanoseconds.
+	Start int64
+}
+
+// causalRetired bounds the ring of completed spans kept for chain
+// walks: ancestors of a live span are normally still live themselves
+// (a finish cannot complete while a descendant is stuck), so the ring
+// only backstops completed siblings and short-lived relay spans.
+const causalRetired = 1024
+
+type causalRegistry struct {
+	mu      sync.Mutex
+	live    map[uint64]CausalSpan
+	retired [causalRetired]CausalSpan
+	next    int
+}
+
+func newCausalRegistry() *causalRegistry {
+	return &causalRegistry{live: make(map[uint64]CausalSpan)}
+}
+
+// add registers a live span. Nil-safe: the registry is only allocated
+// when distributed tracing is on.
+func (r *causalRegistry) add(cs CausalSpan) {
+	if r == nil || cs.Span == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.live[cs.Span] = cs
+	r.mu.Unlock()
+}
+
+// retire moves a span from the live set to the bounded retired ring.
+func (r *causalRegistry) retire(span uint64) {
+	if r == nil || span == 0 {
+		return
+	}
+	r.mu.Lock()
+	if cs, ok := r.live[span]; ok {
+		delete(r.live, span)
+		r.retired[r.next%causalRetired] = cs
+		r.next++
+	}
+	r.mu.Unlock()
+}
+
+// lookupLocked finds a span in the live set or the retired ring.
+func (r *causalRegistry) lookupLocked(span uint64) (CausalSpan, bool) {
+	if cs, ok := r.live[span]; ok {
+		return cs, true
+	}
+	n := r.next
+	if n > causalRetired {
+		n = causalRetired
+	}
+	for i := 0; i < n; i++ {
+		if r.retired[i].Span == span {
+			return r.retired[i], true
+		}
+	}
+	return CausalSpan{}, false
+}
+
+// chains walks from every live span governed by finish (home, seq) up
+// through its ancestors, returning at most max chains ordered
+// leaf-first (stuck span, its spawner, and so on).
+func (r *causalRegistry) chains(home Place, seq uint64, max int) [][]CausalSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var leaves []CausalSpan
+	for _, cs := range r.live {
+		if cs.Home == home && cs.Seq == seq {
+			leaves = append(leaves, cs)
+		}
+	}
+	// Deterministic order: oldest spans first (the longest-stuck work).
+	for i := 1; i < len(leaves); i++ {
+		for j := i; j > 0 && (leaves[j].Start < leaves[j-1].Start ||
+			(leaves[j].Start == leaves[j-1].Start && leaves[j].Span < leaves[j-1].Span)); j-- {
+			leaves[j], leaves[j-1] = leaves[j-1], leaves[j]
+		}
+	}
+	if max > 0 && len(leaves) > max {
+		leaves = leaves[:max]
+	}
+	out := make([][]CausalSpan, 0, len(leaves))
+	for _, leaf := range leaves {
+		chain := []CausalSpan{leaf}
+		seen := map[uint64]bool{leaf.Span: true}
+		for cur := leaf; cur.Parent != 0; {
+			next, ok := r.lookupLocked(cur.Parent)
+			if !ok || seen[next.Span] {
+				break
+			}
+			seen[next.Span] = true
+			chain = append(chain, next)
+			cur = next
+		}
+		out = append(out, chain)
+	}
+	return out
+}
+
+// CausalChains returns the causal span chains (leaf-first: the stuck
+// span, who spawned it, and so on up the finish tree) for live work
+// governed by the finish rooted at (home, seq). It returns nil unless
+// the runtime was built with distributed tracing enabled. The
+// telemetry watchdog calls it when it dumps a stalled finish.
+func (rt *Runtime) CausalChains(home Place, seq uint64, max int) [][]CausalSpan {
+	return rt.causal.chains(home, seq, max)
+}

@@ -40,6 +40,16 @@ func (c *Ctx) TraceSpan() uint64 { return c.span }
 // lifeline-wait spans.
 func (c *Ctx) FinishTraceSpan() uint64 { return c.fin.Span }
 
+// WithTraceSpan returns a copy of c whose current trace scope is span.
+// Extension layers (the GLB) use it to nest the finishes and messages
+// of an operation they span themselves — a steal round trip — under
+// that operation's span instead of the worker activity's.
+func (c *Ctx) WithTraceSpan(span uint64) *Ctx {
+	cc := *c
+	cc.span = span
+	return &cc
+}
+
 // Place returns the place this activity is executing at.
 func (c *Ctx) Place() Place { return c.pl.id }
 
@@ -67,6 +77,9 @@ type spawnMsg struct {
 	Fin   finRef
 	Body  func(*Ctx)
 	Bytes int
+	// TC is the distributed trace context of the sending span; the zero
+	// value (distributed tracing off) is ignored by the receive path.
+	TC obs.SpanContext
 	// Direct runs Body inline on the destination dispatcher instead of
 	// scheduling an activity (RDMA emulation; see Ctx.AtDirect).
 	Direct bool
@@ -99,16 +112,47 @@ func (c *Ctx) Async(f func(*Ctx)) {
 // spawnLocal schedules an activity at pl. The governing finish has already
 // counted it.
 func (rt *Runtime) spawnLocal(pl *place, fin finRef, f func(*Ctx)) {
+	if tr := rt.tracer; tr != nil && tr.DistEnabled() {
+		rt.spawnRun(pl, fin, f, nil, obs.SpanContext{}, pl.id)
+		return
+	}
+	pl.sched.Spawn(func() { rt.runActivity(pl, fin, f, nil, nil) })
+}
+
+// actMeta is the distributed-tracing sidecar of one activity run: the
+// inbound trace context, the spawning place, and the scheduler slot
+// wait. It is allocated only when distributed tracing is on (or an
+// inbound message carried a context), so the common path stays
+// allocation-free.
+type actMeta struct {
+	tc       obs.SpanContext
+	src      Place
+	slotWait int64
+}
+
+// spawnRun schedules runActivity. With distributed tracing on it also
+// measures how long the activity waited for an execution slot, so the
+// cross-place critical path can separate scheduler queueing from body
+// execution.
+func (rt *Runtime) spawnRun(pl *place, fin finRef, f func(*Ctx), reply chan<- error,
+	tc obs.SpanContext, src Place) {
+	if tr := rt.tracer; tr != nil && tr.DistEnabled() {
+		pl.sched.SpawnDelayed(func(wait int64) {
+			rt.runActivity(pl, fin, f, reply, &actMeta{tc: tc, src: src, slotWait: wait})
+		})
+		return
+	}
 	pl.sched.Spawn(func() {
-		rt.runActivity(pl, fin, f, nil)
+		rt.runActivity(pl, fin, f, reply, nil)
 	})
 }
 
 // runActivity executes one activity body with panic capture. If reply is
 // non-nil the panic value is forwarded there (for synchronous At) and the
 // finish sees a clean termination; otherwise the recovered error is
-// reported to the governing finish.
-func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error) {
+// reported to the governing finish. meta carries the distributed-tracing
+// sidecar (nil when distributed tracing is off).
+func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error, meta *actMeta) {
 	ctx := &Ctx{rt: rt, pl: pl, fin: fin}
 	// Tracing: each activity body is one span in its own lane (tid), so
 	// concurrent activities of a place render side by side. The span
@@ -122,6 +166,15 @@ func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<-
 		tid = tr.NextID()
 		ctx.span = tid
 	}
+	if meta != nil {
+		// The flow-end lands on the new activity's own lane, at its
+		// start, so the arrow from the sending span points at the work
+		// the message caused.
+		tr.RecvCtx(meta.tc, "flow.spawn", "core", int(pl.id), tid,
+			obs.Arg{Key: "src", Val: int64(meta.src)})
+		rt.causal.add(CausalSpan{Span: tid, Parent: fin.Span, Name: "async",
+			Place: pl.id, Src: meta.src, Home: fin.ID.Home, Seq: fin.ID.Seq, Start: t0})
+	}
 	var err error
 	func() {
 		defer func() {
@@ -132,7 +185,15 @@ func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<-
 		f(ctx)
 	}()
 	if tr != nil {
-		tr.CompleteEdge("async", "activity", int(pl.id), tid, t0, fin.Span, obs.EdgeChild)
+		if meta != nil && meta.slotWait > 0 {
+			tr.CompleteEdge("async", "activity", int(pl.id), tid, t0, fin.Span, obs.EdgeChild,
+				obs.Arg{Key: "slotwait", Val: meta.slotWait})
+		} else {
+			tr.CompleteEdge("async", "activity", int(pl.id), tid, t0, fin.Span, obs.EdgeChild)
+		}
+	}
+	if meta != nil {
+		rt.causal.retire(tid)
 	}
 	if reply != nil {
 		rt.finEvent(fin, pl, evTerminate, pl.id, nil, ctx)
@@ -165,7 +226,15 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 			pm.asyncLocal.Inc()
 		}
 		c.rt.finEvent(c.fin, c.pl, evLocalSpawn, p, nil, c)
-		c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply) })
+		// With distributed tracing off, spawn with the seed's closure
+		// shape (capturing c, not the unpacked fields): the unpacked
+		// closure is a size class larger and costs a measurable slice of
+		// the FINISH_LOCAL fast path.
+		if tr := c.rt.tracer; tr != nil && tr.DistEnabled() {
+			c.rt.spawnRun(c.pl, c.fin, f, reply, obs.SpanContext{}, c.pl.id)
+		} else {
+			c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply, nil) })
+		}
 		return
 	}
 	if m := c.rt.m; m != nil {
@@ -195,7 +264,9 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 		// Mark so the arrival path knows termination is clean even if
 		// the body panics (the panic travels back on the reply channel).
 	}
-	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn, spawnMsg{Fin: fin, Body: body, Bytes: bytes},
+	tc := c.rt.tracer.SendCtx("flow.spawn", "core", int(c.pl.id), c.span,
+		obs.Arg{Key: "dst", Val: int64(p)})
+	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn, spawnMsg{Fin: fin, Body: body, Bytes: bytes, TC: tc},
 		bytes, x10rt.DataClass)
 }
 
@@ -225,6 +296,10 @@ func (rt *Runtime) onSpawn(src, dst int, payload any) {
 			f.kSrc, int64(src), f.kBytes, int64(m.Bytes))
 	}
 	if m.Uncounted {
+		// Uncounted activities have no finish lane; the flow-end lands
+		// on the place's control lane (tid 0).
+		rt.tracer.RecvCtx(m.TC, "flow.spawn", "core", dst, 0,
+			obs.Arg{Key: "src", Val: int64(src)})
 		pl.sched.Spawn(func() { runUncounted(rt, pl, m.Body) })
 		return
 	}
@@ -237,12 +312,14 @@ func (rt *Runtime) onSpawn(src, dst int, payload any) {
 	rt.finEvent(m.Fin, pl, evRemoteBegin, Place(src), nil, nil)
 	if m.Direct {
 		// RDMA path: run inline on the dispatcher, no scheduler slot.
-		rt.runActivity(pl, m.Fin, m.Body, nil)
+		if m.TC.Valid() {
+			rt.runActivity(pl, m.Fin, m.Body, nil, &actMeta{tc: m.TC, src: Place(src)})
+		} else {
+			rt.runActivity(pl, m.Fin, m.Body, nil, nil)
+		}
 		return
 	}
-	pl.sched.Spawn(func() {
-		rt.runActivity(pl, m.Fin, m.Body, nil)
-	})
+	rt.spawnRun(pl, m.Fin, m.Body, nil, m.TC, Place(src))
 }
 
 // At runs f at place p synchronously — X10's `at (p) S` place shift. The
@@ -334,8 +411,10 @@ func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
 		return
 	}
 	c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c)
+	tc := c.rt.tracer.SendCtx("flow.spawn", "core", int(c.pl.id), c.span,
+		obs.Arg{Key: "dst", Val: int64(p)})
 	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
-		spawnMsg{Fin: fin, Body: f, Bytes: bytes, Direct: true}, bytes, x10rt.DataClass)
+		spawnMsg{Fin: fin, Body: f, Bytes: bytes, Direct: true, TC: tc}, bytes, x10rt.DataClass)
 }
 
 // Atomic executes f as an uninterrupted step with respect to all other
@@ -392,8 +471,10 @@ func (c *Ctx) UncountedAsync(p Place, f func(*Ctx)) {
 		c.pl.sched.Spawn(func() { runUncounted(c.rt, c.pl, f) })
 		return
 	}
+	tc := c.rt.tracer.SendCtx("flow.spawn", "core", int(c.pl.id), c.span,
+		obs.Arg{Key: "dst", Val: int64(p)})
 	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
-		spawnMsg{Body: f, Bytes: defaultSpawnBytes, Uncounted: true},
+		spawnMsg{Body: f, Bytes: defaultSpawnBytes, Uncounted: true, TC: tc},
 		defaultSpawnBytes, x10rt.DataClass)
 }
 

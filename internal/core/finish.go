@@ -187,6 +187,16 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 			f.kSeq, int64(id.Seq))
 	}
 
+	// Causal registry (distributed tracing only): the finish scope
+	// itself is a link in stall chains, keyed by its own id so a stalled
+	// root's chain starts at the finish span. The nil guard sits at the
+	// call site so the name concatenation doesn't allocate when the
+	// registry is off.
+	if c.rt.causal != nil {
+		c.rt.causal.add(CausalSpan{Span: ref.Span, Parent: c.span, Name: "finish." + p.metricKey(),
+			Place: pl.id, Src: pl.id, Home: id.Home, Seq: id.Seq, Start: t0})
+	}
+
 	// The body runs in the current activity with the new finish
 	// installed as governing scope for its spawns. The finish span also
 	// becomes the body's tracing scope, so nested finishes and extension
@@ -216,6 +226,7 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 		tr.CompleteEdge("finish."+p.metricKey(), "finish", int(pl.id), ref.Span, t0,
 			c.span, obs.EdgeChild)
 	}
+	c.rt.causal.retire(ref.Span)
 	if m != nil {
 		var us uint64
 		if tr != nil {
@@ -303,6 +314,10 @@ func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
 		}
 		tr.InstantEdge("finish.ctl", "finish", dst, 0, edge,
 			obs.Arg{Key: "src", Val: int64(src)})
+		// Distributed tracing: land the flow-end on the place's control
+		// lane, linking the sender's 's' to this arrival.
+		tr.RecvCtx(ctlTC(payload), "flow.ctl", "finish", dst, 0,
+			obs.Arg{Key: "src", Val: int64(src)})
 	}
 	switch m := payload.(type) {
 	case ctlRouted:
@@ -360,6 +375,11 @@ type ctlSnapshot struct {
 	Sent map[Place]uint64
 	// Errs is the cumulative list of activity errors collected at From.
 	Errs []error
+	// TC is the distributed trace context stamped on the message that
+	// carried this snapshot directly (non-dense routing); snapshots
+	// travelling inside a ctlRouted envelope leave it zero and the
+	// envelope carries the per-hop context instead.
+	TC obs.SpanContext
 }
 
 // ctlRouted wraps snapshots for FINISH_DENSE software routing. Stage 0
@@ -374,6 +394,9 @@ type ctlRouted struct {
 	// Flush marks a master's self-addressed coalescing marker: forward
 	// everything buffered for (ID, Hops[1:]) now.
 	Flush bool
+	// TC is the per-hop distributed trace context: each forward is its
+	// own message and gets a fresh context at the forwarding place.
+	TC obs.SpanContext
 }
 
 // ctlDone reports remote activity completions for the counter-based
@@ -382,11 +405,32 @@ type ctlDone struct {
 	ID  finishID
 	N   int
 	Err error
+	// TC is the distributed trace context of the completing place.
+	TC obs.SpanContext
 }
 
 // ctlCleanup tells a place to drop its proxy state for a finished finish.
 type ctlCleanup struct {
 	ID finishID
+	// TC is the distributed trace context of the cleanup burst.
+	TC obs.SpanContext
+}
+
+// ctlTC extracts the distributed trace context of a control payload
+// (zero when the sender had tracing off).
+func ctlTC(payload any) obs.SpanContext {
+	switch m := payload.(type) {
+	case ctlSnapshot:
+		return m.TC
+	case ctlDone:
+		return m.TC
+	case ctlRouted:
+		return m.TC
+	case ctlCleanup:
+		return m.TC
+	default:
+		return obs.SpanContext{}
+	}
 }
 
 func ctlFinishID(payload any) finishID {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"apgas/internal/obs"
 	"apgas/internal/x10rt"
 )
 
@@ -132,6 +133,15 @@ func (r *counterRoot) wait(pl *place) error {
 	return r.w.block(pl)
 }
 
+// sendDone stamps a distributed trace context and sends one ctlDone
+// credit to the finish home.
+func (rt *Runtime) sendDone(from Place, fin finRef, n int, err error) {
+	tc := rt.tracer.SendCtx("flow.ctl", "finish", int(from), 0,
+		obs.Arg{Key: "dst", Val: int64(fin.ID.Home)})
+	rt.send(from, fin.ID.Home, x10rt.HandlerFinishCtl,
+		ctlDone{ID: fin.ID, N: n, Err: err, TC: tc}, ctlDoneBytes, x10rt.ControlClass)
+}
+
 // counterRemoteEvent handles FINISH_ASYNC and FINISH_SPMD events at
 // non-home places: remote activities simply report their completion.
 func (rt *Runtime) counterRemoteEvent(fin finRef, pl *place, kind finEventKind, other Place, err error) {
@@ -139,8 +149,7 @@ func (rt *Runtime) counterRemoteEvent(fin finRef, pl *place, kind finEventKind, 
 	case evRemoteBegin:
 		// Already counted at home when the spawn left.
 	case evTerminate:
-		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
-			ctlDone{ID: fin.ID, N: 1, Err: err}, ctlDoneBytes, x10rt.ControlClass)
+		rt.sendDone(pl.id, fin, 1, err)
 	case evLocalSpawn, evRemoteSpawn:
 		// Remote activities under these patterns must wrap nested work in
 		// their own finish ("finish S" inside the SPMD body).
@@ -151,8 +160,7 @@ func (rt *Runtime) counterRemoteEvent(fin finRef, pl *place, kind finEventKind, 
 		// Best effort: add a token for the extra activity. Note that
 		// with adversarial control reordering this fallback can misorder
 		// the +1/-1 pair — which is precisely why the contract exists.
-		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
-			ctlDone{ID: fin.ID, N: -1}, ctlDoneBytes, x10rt.ControlClass)
+		rt.sendDone(pl.id, fin, -1, nil)
 	}
 }
 
@@ -174,14 +182,12 @@ func (rt *Runtime) hereRemoteEvent(fin finRef, pl *place, kind finEventKind, oth
 				"spawned toward place %d (home %d, homebound=%v)",
 				pl.id, other, fin.ID.Home, ctx.hereHomebound))
 		}
-		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
-			ctlDone{ID: fin.ID, N: -1}, ctlDoneBytes, x10rt.ControlClass)
+		rt.sendDone(pl.id, fin, -1, nil)
 	case evLocalSpawn:
 		if rt.cfg.CheckPatterns {
 			panic(fmt.Sprintf("core: FINISH_HERE contract violation: local async at place %d", pl.id))
 		}
-		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
-			ctlDone{ID: fin.ID, N: -1}, ctlDoneBytes, x10rt.ControlClass)
+		rt.sendDone(pl.id, fin, -1, nil)
 	case evTerminate:
 		if ctx != nil && ctx.hereHomebound && err == nil {
 			// Token passed home with the response; no control message —
@@ -191,13 +197,11 @@ func (rt *Runtime) hereRemoteEvent(fin finRef, pl *place, kind finEventKind, oth
 		if ctx != nil && ctx.hereHomebound {
 			// Token already traveled, but the error still must reach the
 			// root: report it without releasing a token.
-			rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
-				ctlDone{ID: fin.ID, N: 0, Err: err}, ctlDoneBytes, x10rt.ControlClass)
+			rt.sendDone(pl.id, fin, 0, err)
 			return
 		}
 		// No response was sent (e.g. a one-way request): release the
 		// token explicitly.
-		rt.send(pl.id, fin.ID.Home, x10rt.HandlerFinishCtl,
-			ctlDone{ID: fin.ID, N: 1, Err: err}, ctlDoneBytes, x10rt.ControlClass)
+		rt.sendDone(pl.id, fin, 1, err)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"apgas/internal/obs"
 	"apgas/internal/x10rt"
 )
 
@@ -172,8 +173,10 @@ func (r *defaultRoot) checkLocked() {
 		r.w.errs = append(r.w.errs, s.Errs...)
 	}
 	for q := range r.snaps {
+		tc := r.rt.tracer.SendCtx("flow.ctl", "finish", int(r.ref.ID.Home), 0,
+			obs.Arg{Key: "dst", Val: int64(q)})
 		r.rt.send(r.ref.ID.Home, q, x10rt.HandlerFinishCtl,
-			ctlCleanup{ID: r.ref.ID}, 16, x10rt.ControlClass)
+			ctlCleanup{ID: r.ref.ID, TC: tc}, 16, x10rt.ControlClass)
 	}
 	// The cleanup burst is the tail of the protocol: push it out rather
 	// than let the fan-out sit in per-link batch queues.
@@ -264,6 +267,8 @@ func (px *vectorProxy) snapshot() ctlSnapshot {
 func (rt *Runtime) sendSnapshot(from Place, fin finRef, snap ctlSnapshot) {
 	home := fin.ID.Home
 	if fin.Pattern != PatternDense {
+		snap.TC = rt.tracer.SendCtx("flow.ctl", "finish", int(from), 0,
+			obs.Arg{Key: "dst", Val: int64(home)})
 		rt.send(from, home, x10rt.HandlerFinishCtl, snap, snapshotBytes(snap), x10rt.ControlClass)
 		// A snapshot is sent when a proxy goes quiescent; the root may be
 		// waiting on exactly this message, so it must not idle in a batch.
@@ -271,8 +276,10 @@ func (rt *Runtime) sendSnapshot(from Place, fin finRef, snap ctlSnapshot) {
 		return
 	}
 	hops := rt.denseRoute(from, home)
+	tc := rt.tracer.SendCtx("flow.ctl", "finish", int(from), 0,
+		obs.Arg{Key: "dst", Val: int64(hops[0])})
 	rt.send(from, hops[0], x10rt.HandlerFinishCtl,
-		ctlRouted{ID: fin.ID, Snaps: []ctlSnapshot{snap}, Hops: hops},
+		ctlRouted{ID: fin.ID, Snaps: []ctlSnapshot{snap}, Hops: hops, TC: tc},
 		snapshotBytes(snap)+8, x10rt.ControlClass)
 	rt.flushTransport(from)
 }
@@ -390,8 +397,12 @@ func (rt *Runtime) flushDense(pl *place, id finishID, rest []Place) {
 		for _, s := range chunk {
 			bytes += snapshotBytes(s)
 		}
+		// Each forward hop is its own wire message: stamp a fresh
+		// per-hop trace context so the merged trace shows the route.
+		tc := rt.tracer.SendCtx("flow.ctl", "finish", int(pl.id), 0,
+			obs.Arg{Key: "dst", Val: int64(dst)})
 		rt.send(pl.id, dst, x10rt.HandlerFinishCtl,
-			ctlRouted{ID: id, Snaps: chunk, Hops: rest}, bytes, x10rt.ControlClass)
+			ctlRouted{ID: id, Snaps: chunk, Hops: rest, TC: tc}, bytes, x10rt.ControlClass)
 	}
 	// The forward ends a coalescing round; downstream hops (or the root)
 	// are waiting on it, so it leaves the place now.

@@ -121,6 +121,10 @@ type Runtime struct {
 	m      *runtimeMetrics
 	flight *obs.FlightRecorder
 	fids   *flightIDs
+	// causal is the live span registry behind the watchdog's causal
+	// stall chains; nil unless the tracer has distributed tracing
+	// enabled (see causal.go).
+	causal *causalRegistry
 
 	// acts tracks, per finish pattern, the cumulative number of governed
 	// activities spawned and completed anywhere in the computation. The
@@ -192,6 +196,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			rt.flight = f
 			rt.fids = newFlightIDs(f)
 		}
+		if rt.tracer.DistEnabled() {
+			rt.causal = newCausalRegistry()
+		}
 	}
 	if cfg.Transport != nil {
 		if cfg.Transport.NumPlaces() != cfg.Places {
@@ -209,6 +216,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.ownsTr = true
 	}
 	rt.flusher, _ = rt.tr.(x10rt.Flusher)
+	if ts, ok := rt.tr.(x10rt.TracerSink); ok && rt.tracer != nil {
+		// Serializing transports stamp batch frames with the sender's
+		// HLC once distributed tracing is enabled on this tracer.
+		ts.AttachTracer(rt.tracer)
+	}
 	if rt.obs != nil {
 		if ms, ok := rt.tr.(x10rt.MetricSource); ok {
 			ms.AttachMetrics(rt.obs.Metrics)

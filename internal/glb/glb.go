@@ -341,14 +341,19 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 
 	home := ctx.Place()
 	// The steal round-trip is one span at the thief: FINISH_HERE request
-	// out, response (loot or refusal) back.
+	// out, response (loot or refusal) back. The span id is allocated up
+	// front so the request/response flow events parent under it.
 	var t0 int64
+	var stealTid uint64
+	sctx := ctx
 	if b.tr != nil {
 		t0 = b.tr.Now()
+		stealTid = b.tr.NextID()
+		sctx = ctx.WithTraceSpan(stealTid)
 	}
 	var loot TaskBag
 	vs := b.states[victim]
-	err := ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
+	err := sctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
 		c.AtDirect(victim, 16, func(cv *core.Ctx) {
 			vs.mu.Lock()
 			var l TaskBag
@@ -371,7 +376,7 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 		}
 		// A steal edge under the thief's worker activity: the critical-
 		// path profiler buckets this round trip as steal time.
-		b.tr.CompleteEdge("glb.steal", "glb", int(home), b.tr.NextID(), t0,
+		b.tr.CompleteEdge("glb.steal", "glb", int(home), stealTid, t0,
 			ctx.TraceSpan(), obs.EdgeSteal,
 			obs.Arg{Key: "victim", Val: int64(victim)}, obs.Arg{Key: "ok", Val: ok})
 	}

@@ -1,0 +1,277 @@
+package obs
+
+// This file is the distributed-trace merger: it joins per-place Chrome
+// trace files (written by WriteChromePlaceFile) into one trace whose
+// flow events ('s' at the sender, 'f' at the receiver) connect spans
+// across places. Each place timestamps events against its own tracer
+// clock, so a naive concatenation can show a receive *before* its send
+// — Chrome then draws the arrow backwards. The merger aligns the
+// timelines using the hybrid logical clocks stamped on flow events:
+//
+//  1. Every flow event carries an HLC whose physical component is the
+//     issuing place's clock pushed forward by everything it has
+//     causally observed. The per-place offset is estimated as the
+//     median of (HLC physical − local timestamp) over the place's flow
+//     events, mapping each timeline onto the common causal clock.
+//  2. Flow pairs then impose hard constraints — adjusted receive ≥
+//     adjusted send — relaxed at place granularity for a bounded
+//     number of rounds (real message latencies are positive, so the
+//     constraint graph has no positive cycles unless clocks drifted
+//     mid-run).
+//  3. Any residual violation is repaired per event: the 'f' is nudged
+//     to one nanosecond after its 's'. After a final stable sort by
+//     timestamp, every track is monotone and no arrow points left.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// chromeInEvent is the decode-side shape of one trace_event record.
+// Args stays raw so 'M' metadata records (string args) do not break
+// decoding of ordinary events (int64 args).
+type chromeInEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	TS   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Pid  int             `json:"pid"`
+	Tid  uint64          `json:"tid"`
+	ID   uint64          `json:"id"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeInTrace struct {
+	TraceEvents []chromeInEvent `json:"traceEvents"`
+}
+
+// ParseChromeTrace decodes a Chrome trace written by this package back
+// into events: microsecond floats round-trip to nanoseconds, and the
+// parent/edge/hlc annotations fold back into their Event fields.
+// Metadata records ('M') are skipped.
+func ParseChromeTrace(r io.Reader) ([]Event, error) {
+	var in chromeInTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	events := make([]Event, 0, len(in.TraceEvents))
+	for i, ce := range in.TraceEvents {
+		if ce.Ph == "M" {
+			continue
+		}
+		if len(ce.Ph) != 1 {
+			return nil, fmt.Errorf("obs: event %d: bad phase %q", i, ce.Ph)
+		}
+		e := Event{
+			Name: ce.Name,
+			Cat:  ce.Cat,
+			Ph:   ce.Ph[0],
+			TS:   int64(math.Round(ce.TS * 1e3)),
+			Dur:  int64(math.Round(ce.Dur * 1e3)),
+			Pid:  ce.Pid,
+			Tid:  ce.Tid,
+			Flow: ce.ID,
+		}
+		if len(ce.Args) > 0 {
+			var args map[string]int64
+			if err := json.Unmarshal(ce.Args, &args); err != nil {
+				return nil, fmt.Errorf("obs: event %d (%s): args: %w", i, ce.Name, err)
+			}
+			keys := make([]string, 0, len(args))
+			for k := range args {
+				switch k {
+				case "parent":
+					e.Parent = uint64(args[k])
+				case "edge":
+					e.Edge = EdgeKind(args[k])
+				case "hlc":
+					e.HLC = uint64(args[k])
+				default:
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				e.Args = append(e.Args, Arg{Key: k, Val: args[k]})
+			}
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// ParseChromeTraceFile reads and parses one Chrome trace file.
+func ParseChromeTraceFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := ParseChromeTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// MergedTrace is the result of joining per-place traces onto one
+// timeline.
+type MergedTrace struct {
+	// Events holds every event with place-aligned timestamps, sorted
+	// by timestamp (stable), so per-track order is monotone.
+	Events []Event
+	// Offsets records the nanosecond adjustment applied to each
+	// place's timeline (normalized so the smallest is zero).
+	Offsets map[int]int64
+	// Flows counts the send→receive flow pairs linked in the merge.
+	Flows int
+}
+
+// mergeRelaxRounds bounds the constraint-relaxation loop; residual
+// violations are repaired per event afterwards.
+const mergeRelaxRounds = 8
+
+// MergeTraces joins per-place event slices into one aligned trace.
+// Inputs may be per-place files parsed with ParseChromeTraceFile or
+// in-memory PlaceEvents slices; events are grouped by their own Pid,
+// so slices holding several places' events also merge correctly.
+func MergeTraces(perPlace [][]Event) *MergedTrace {
+	var all []Event
+	for _, evs := range perPlace {
+		all = append(all, evs...)
+	}
+
+	// Per-place offset estimate: median of (HLC physical − local TS)
+	// over flow events maps each place onto the shared causal clock.
+	diffs := make(map[int][]int64)
+	for _, e := range all {
+		if e.HLC != 0 && (e.Ph == 's' || e.Ph == 'f') {
+			diffs[e.Pid] = append(diffs[e.Pid], HLCPhysical(e.HLC)-e.TS)
+		}
+	}
+	offsets := make(map[int]int64)
+	places := make(map[int]bool)
+	for _, e := range all {
+		places[e.Pid] = true
+	}
+	for p := range places {
+		offsets[p] = 0
+		if d := diffs[p]; len(d) > 0 {
+			sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+			offsets[p] = d[len(d)/2]
+		}
+	}
+
+	// Flow constraints: each pair demands adjusted recv ≥ adjusted
+	// send. Relax at place granularity for a bounded number of rounds.
+	type pair struct {
+		sendPid, recvPid int
+		sendTS, recvTS   int64
+	}
+	sends := make(map[uint64]Event)
+	var pairs []pair
+	for _, e := range all {
+		if e.Ph == 's' && e.Flow != 0 {
+			sends[e.Flow] = e
+		}
+	}
+	flowPairs := 0
+	for _, e := range all {
+		if e.Ph == 'f' && e.Flow != 0 {
+			if s, ok := sends[e.Flow]; ok {
+				pairs = append(pairs, pair{s.Pid, e.Pid, s.TS, e.TS})
+				flowPairs++
+			}
+		}
+	}
+	for round := 0; round < mergeRelaxRounds; round++ {
+		changed := false
+		for _, pr := range pairs {
+			if pr.sendPid == pr.recvPid {
+				continue
+			}
+			need := offsets[pr.sendPid] + pr.sendTS - pr.recvTS
+			if offsets[pr.recvPid] < need {
+				offsets[pr.recvPid] = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Normalize so the earliest timeline starts unshifted, apply, and
+	// repair residual per-event violations by nudging the 'f' to just
+	// after its 's'.
+	var minOff int64
+	first := true
+	for _, off := range offsets {
+		if first || off < minOff {
+			minOff, first = off, false
+		}
+	}
+	for p := range offsets {
+		offsets[p] -= minOff
+	}
+	for i := range all {
+		all[i].TS += offsets[all[i].Pid]
+	}
+	adjSend := make(map[uint64]int64, len(sends))
+	for flow, s := range sends {
+		adjSend[flow] = s.TS + offsets[s.Pid]
+	}
+	for i := range all {
+		e := &all[i]
+		if e.Ph == 'f' && e.Flow != 0 {
+			if sts, ok := adjSend[e.Flow]; ok && e.TS <= sts {
+				e.TS = sts + 1
+			}
+		}
+	}
+
+	sort.SliceStable(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+	return &MergedTrace{Events: all, Offsets: offsets, Flows: flowPairs}
+}
+
+// MergeTraceFiles parses each per-place trace file and merges them.
+func MergeTraceFiles(paths ...string) (*MergedTrace, error) {
+	perPlace := make([][]Event, 0, len(paths))
+	for _, path := range paths {
+		events, err := ParseChromeTraceFile(path)
+		if err != nil {
+			return nil, err
+		}
+		perPlace = append(perPlace, events)
+	}
+	return MergeTraces(perPlace), nil
+}
+
+// WriteChrome writes the merged trace as Chrome trace_event JSON with
+// a process_name record per place.
+func (m *MergedTrace) WriteChrome(w io.Writer) error {
+	places := make([]int, 0, len(m.Offsets))
+	for p := range m.Offsets {
+		places = append(places, p)
+	}
+	sort.Ints(places)
+	return writeChromeJSON(w, m.Events, places)
+}
+
+// WriteChromeFile writes the merged trace to path.
+func (m *MergedTrace) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

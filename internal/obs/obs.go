@@ -49,6 +49,16 @@ func NewTracing() *Obs {
 	return o
 }
 
+// NewTracingDist returns a tracing Obs with distributed (cross-place)
+// tracing enabled: every cross-place message carries a SpanContext and
+// records flow events, so per-place traces can be merged into one
+// causal Chrome trace (see MergeTraceFiles).
+func NewTracingDist() *Obs {
+	o := NewTracing()
+	o.Trace.EnableDist(1)
+	return o
+}
+
 // Tracer returns the tracer, nil when o is nil or tracing is disabled.
 func (o *Obs) Tracer() *Tracer {
 	if o == nil {

@@ -1,0 +1,200 @@
+package obs
+
+// This file is the distributed half of the tracer: a compact trace
+// context (SpanContext) that rides inside cross-place x10rt payloads,
+// and the hybrid logical clock (HLC) that lets the merger align traces
+// from places with skewed physical clocks. The design follows the
+// usual dataflow of distributed tracers (Dapper-style): the sender
+// allocates a flow id and records a flow-begin ('s') on its own lane,
+// the context travels with the message, and the receiver records the
+// matching flow-end ('f') on the lane of whatever span the message
+// started. Chrome's trace viewer draws an arrow between the two.
+//
+// Overhead discipline matches the rest of the package: distributed
+// tracing is opt-in per tracer (EnableDist). With it off — or with a
+// nil tracer — SendCtx returns the zero SpanContext after a single
+// atomic load, RecvCtx is a no-op on the zero context, and the zero
+// context gob-encodes to almost nothing inside the payload structs
+// that embed it.
+
+import "sync/atomic"
+
+// hlcLogicalBits is the width of the logical (counter) component of the
+// hybrid logical clock. The physical component is the tracer-relative
+// timestamp in nanoseconds shifted left by this amount, so HLC values
+// compare like timestamps but also respect causality: every receive is
+// strictly after the send that caused it, even across places whose
+// physical clocks disagree.
+const hlcLogicalBits = 16
+
+// HLCPhysical extracts the physical (nanosecond) component of an HLC
+// value, i.e. the tracer-relative time at which it was issued, rounded
+// up by any logical ticks that have overflowed into it.
+func HLCPhysical(hlc uint64) int64 { return int64(hlc >> hlcLogicalBits) }
+
+// SpanContext is the compact trace context carried by every traced
+// cross-place message: which distributed trace it belongs to, which
+// span sent it, the flow id binding the send event to the receive
+// event, and the sender's hybrid logical clock at send time.
+//
+// The zero SpanContext is the "not traced" context: Valid reports
+// false, RecvCtx ignores it, and gob omits all four zero fields, so
+// untraced runs pay no wire bytes for the embedded field.
+type SpanContext struct {
+	// Trace identifies the distributed trace session (EnableDist's id).
+	Trace uint64
+	// Span is the Tid of the sending span (0 when the sender had no
+	// enclosing lane, e.g. finish control fan-in).
+	Span uint64
+	// Flow is the flow-event id binding the 's' record at the sender to
+	// the 'f' record at the receiver. 0 marks an invalid (untraced)
+	// context.
+	Flow uint64
+	// HLC is the sender's hybrid logical clock when the message was
+	// sent. The receiver folds it into its own clock (HLCObserve), and
+	// the trace merger uses it to align skewed per-place timelines.
+	HLC uint64
+}
+
+// Valid reports whether c carries a live trace context.
+func (c SpanContext) Valid() bool { return c.Flow != 0 }
+
+// EnableDist turns on distributed (cross-place) tracing for this
+// tracer under the given trace id (0 selects 1). Safe to call
+// concurrently with tracing.
+func (t *Tracer) EnableDist(traceID uint64) {
+	if t == nil {
+		return
+	}
+	if traceID == 0 {
+		traceID = 1
+	}
+	t.dist.Store(traceID)
+}
+
+// DistEnabled reports whether distributed tracing is on (false on nil).
+func (t *Tracer) DistEnabled() bool { return t != nil && t.dist.Load() != 0 }
+
+// DistTraceID returns the distributed trace id (0 when disabled).
+func (t *Tracer) DistTraceID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dist.Load()
+}
+
+// hlcCell returns the HLC cell for place pid. Cells are sharded the
+// same way as the event shards; places that share a shard share a
+// clock, which is harmless (the HLC only ever moves forward).
+func (t *Tracer) hlcCell(pid int) *atomic.Uint64 {
+	return &t.hlc[uint(pid)%traceShards]
+}
+
+// HLCTick advances place pid's hybrid logical clock for a send event
+// and returns the new value: at least one past the previous value, and
+// at least the current physical time. Exposed (rather than private to
+// SendCtx) so serializing transports can stamp batch frames.
+func (t *Tracer) HLCTick(pid int) uint64 {
+	if t == nil {
+		return 0
+	}
+	now := uint64(t.Now()) << hlcLogicalBits
+	cell := t.hlcCell(pid)
+	for {
+		old := cell.Load()
+		next := old + 1
+		if now > next {
+			next = now
+		}
+		if cell.CompareAndSwap(old, next) {
+			return next
+		}
+	}
+}
+
+// HLCObserve folds a remote HLC value into place pid's clock for a
+// receive event and returns the new value: strictly after both the
+// local clock and the remote value, and at least the current physical
+// time. Transports call it when a stamped frame arrives.
+func (t *Tracer) HLCObserve(pid int, remote uint64) uint64 {
+	if t == nil {
+		return 0
+	}
+	now := uint64(t.Now()) << hlcLogicalBits
+	cell := t.hlcCell(pid)
+	for {
+		old := cell.Load()
+		next := old
+		if remote > next {
+			next = remote
+		}
+		if now > next {
+			next = now
+		}
+		next++
+		if cell.CompareAndSwap(old, next) {
+			return next
+		}
+	}
+}
+
+// nextFlow allocates a process-unique flow id, tagged with the issuing
+// place so ids from different processes cannot collide when traces are
+// merged across hosts.
+func (t *Tracer) nextFlow(pid int) uint64 {
+	return uint64(pid+1)<<48 | t.ids.Add(1)
+}
+
+// SendCtx records a flow-begin ('s') event for a message leaving place
+// pid from the span with lane parent (0 when there is no enclosing
+// lane) and returns the context to embed in the payload. With the
+// tracer nil or distributed tracing off it returns the zero
+// SpanContext without recording anything — the fast path is one atomic
+// load.
+//
+// Chrome binds flow arrows by (name, cat, id): the receive site must
+// record RecvCtx under the same name and cat.
+func (t *Tracer) SendCtx(name, cat string, pid int, parent uint64, args ...Arg) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	trace := t.dist.Load()
+	if trace == 0 {
+		return SpanContext{}
+	}
+	flow := t.nextFlow(pid)
+	hlc := t.HLCTick(pid)
+	t.add(Event{Name: name, Cat: cat, Ph: 's', TS: t.Now(),
+		Pid: pid, Tid: parent, Parent: parent, Flow: flow, HLC: hlc, Args: copyArgs(args)})
+	return SpanContext{Trace: trace, Span: parent, Flow: flow, HLC: hlc}
+}
+
+// RecvCtx records the flow-end ('f') event for a message arriving at
+// place pid, landing on lane tid (the span the message started or was
+// handled under). A zero (untraced) context is ignored, so receive
+// sites need no enablement check of their own. Parent is set to the
+// sending span so the causal chain crosses the place boundary even
+// before traces are merged.
+func (t *Tracer) RecvCtx(ctx SpanContext, name, cat string, pid int, tid uint64, args ...Arg) {
+	if t == nil || !ctx.Valid() {
+		return
+	}
+	hlc := t.HLCObserve(pid, ctx.HLC)
+	t.add(Event{Name: name, Cat: cat, Ph: 'f', TS: t.Now(),
+		Pid: pid, Tid: tid, Parent: ctx.Span, Flow: ctx.Flow, HLC: hlc, Args: copyArgs(args)})
+}
+
+// copyArgs snapshots a variadic arg list before it is retained in an
+// event. Retaining the caller's slice directly would make every
+// variadic call site heap-allocate it — even on the disabled fast
+// paths that never reach this function. Copying here keeps the
+// caller's slice stack-allocated, so call sites pay the allocation
+// only when tracing is actually recording.
+func copyArgs(args []Arg) []Arg {
+	if len(args) == 0 {
+		return nil
+	}
+	cp := make([]Arg, len(args))
+	copy(cp, args)
+	return cp
+}

@@ -35,6 +35,15 @@ type Event struct {
 	// for the GLB and finish-protocol edges the critical-path profiler
 	// buckets separately).
 	Edge EdgeKind
+	// Flow is the flow-event id for cross-place message events: the
+	// 's' (flow begin) at the sender and the 'f' (flow end) at the
+	// receiver share one Flow id, which Chrome renders as an arrow.
+	// 0 on all other events.
+	Flow uint64
+	// HLC is the hybrid logical clock stamped on flow events (see
+	// spanctx.go); the trace merger uses it to align timelines from
+	// places with skewed physical clocks. 0 on non-flow events.
+	HLC  uint64
 	Args []Arg
 }
 
@@ -100,6 +109,12 @@ type Tracer struct {
 	start  time.Time
 	shards [traceShards]traceShard
 	ids    atomic.Uint64
+	// dist holds the distributed-trace id; 0 means cross-place context
+	// propagation is off and SendCtx returns zero contexts (the fast
+	// path). See spanctx.go.
+	dist atomic.Uint64
+	// hlc holds the sharded hybrid-logical-clock cells (spanctx.go).
+	hlc [traceShards]atomic.Uint64
 }
 
 // NewTracer creates a tracer; its clock starts now.
@@ -181,6 +196,26 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// PlaceEvents returns a copy of the recorded events of one place,
+// sorted by timestamp — the per-place slice of a shared in-process
+// tracer, written to per-place trace files for the distributed merger.
+func (t *Tracer) PlaceEvents(pid int) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	s := &t.shards[uint(pid)%traceShards]
+	s.mu.Lock()
+	for _, e := range s.events {
+		if e.Pid == pid {
+			out = append(out, e)
+		}
+	}
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
 // chromeEvent is the Chrome trace_event JSON shape (catapult
 // trace-event format). Timestamps and durations are microseconds.
 type chromeEvent struct {
@@ -191,53 +226,97 @@ type chromeEvent struct {
 	Dur  *float64         `json:"dur,omitempty"`
 	Pid  int              `json:"pid"`
 	Tid  uint64           `json:"tid"`
-	S    string           `json:"s,omitempty"` // instant scope
+	S    string           `json:"s,omitempty"`  // instant scope
+	ID   uint64           `json:"id,omitempty"` // flow id ('s'/'f')
+	BP   string           `json:"bp,omitempty"` // flow binding point
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
+// chromeMeta is a trace_event metadata record ('M'), used to name the
+// per-place processes of a merged trace.
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeTrace holds heterogeneous records: chromeMeta ('M', string
+// args) alongside chromeEvent (int64 args).
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// chromeEventFor converts one Event to its trace_event JSON shape.
+func chromeEventFor(e Event) chromeEvent {
+	ce := chromeEvent{
+		Name: e.Name,
+		Cat:  e.Cat,
+		Ph:   string(e.Ph),
+		TS:   float64(e.TS) / 1e3,
+		Pid:  e.Pid,
+		Tid:  e.Tid,
+	}
+	if e.Ph == 'X' {
+		dur := float64(e.Dur) / 1e3
+		ce.Dur = &dur
+	}
+	if e.Ph == 'i' {
+		ce.S = "p" // process-scoped instant
+	}
+	if e.Ph == 's' || e.Ph == 'f' {
+		ce.ID = e.Flow
+	}
+	if e.Ph == 'f' {
+		// Bind the arrow head to the enclosing slice even when the
+		// receive timestamp falls inside it rather than at its start.
+		ce.BP = "e"
+	}
+	if len(e.Args) > 0 || e.Parent != 0 || e.Edge != EdgeNone || e.HLC != 0 {
+		ce.Args = make(map[string]int64, len(e.Args)+3)
+		for _, a := range e.Args {
+			ce.Args[a.Key] = a.Val
+		}
+		if e.Parent != 0 {
+			ce.Args["parent"] = int64(e.Parent)
+		}
+		if e.Edge != EdgeNone {
+			ce.Args["edge"] = int64(e.Edge)
+		}
+		if e.HLC != 0 {
+			ce.Args["hlc"] = int64(e.HLC)
+		}
+	}
+	return ce
+}
+
+// writeChromeJSON writes events as Chrome trace_event JSON. When
+// places is non-empty, a process_name metadata record is emitted per
+// place so the viewer labels each track "place N".
+func writeChromeJSON(w io.Writer, events []Event, places []int) error {
+	out := chromeTrace{
+		TraceEvents:     make([]any, 0, len(events)+len(places)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, p := range places {
+		out.TraceEvents = append(out.TraceEvents, chromeMeta{
+			Name: "process_name", Ph: "M", Pid: p,
+			Args: map[string]string{"name": fmt.Sprintf("place %d", p)},
+		})
+	}
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEventFor(e))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }
 
 // WriteChrome exports the trace as Chrome trace_event JSON, loadable in
 // chrome://tracing or https://ui.perfetto.dev. Places map to processes
 // (pid), activity lanes to threads (tid).
 func (t *Tracer) WriteChrome(w io.Writer) error {
-	events := t.Events()
-	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
-	for _, e := range events {
-		ce := chromeEvent{
-			Name: e.Name,
-			Cat:  e.Cat,
-			Ph:   string(e.Ph),
-			TS:   float64(e.TS) / 1e3,
-			Pid:  e.Pid,
-			Tid:  e.Tid,
-		}
-		if e.Ph == 'X' {
-			dur := float64(e.Dur) / 1e3
-			ce.Dur = &dur
-		}
-		if e.Ph == 'i' {
-			ce.S = "p" // process-scoped instant
-		}
-		if len(e.Args) > 0 || e.Parent != 0 || e.Edge != EdgeNone {
-			ce.Args = make(map[string]int64, len(e.Args)+2)
-			for _, a := range e.Args {
-				ce.Args[a.Key] = a.Val
-			}
-			if e.Parent != 0 {
-				ce.Args["parent"] = int64(e.Parent)
-			}
-			if e.Edge != EdgeNone {
-				ce.Args["edge"] = int64(e.Edge)
-			}
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return writeChromeJSON(w, t.Events(), nil)
 }
 
 // WriteChromeFile writes the Chrome trace_event JSON to path.
@@ -247,6 +326,20 @@ func (t *Tracer) WriteChromeFile(path string) error {
 		return err
 	}
 	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteChromePlaceFile writes only place pid's events to path — one
+// shard of a distributed trace, consumed by MergeTraceFiles.
+func (t *Tracer) WriteChromePlaceFile(path string, pid int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeChromeJSON(f, t.PlaceEvents(pid), []int{pid}); err != nil {
 		f.Close()
 		return err
 	}

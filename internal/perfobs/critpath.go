@@ -48,6 +48,17 @@ type CritPathReport struct {
 	Coverage float64 `json:"coverage"`
 	// Spans is the number of spans visited on the walk.
 	Spans int `json:"spans"`
+	// PlaceNs maps place id to the nanoseconds of the critical path
+	// charged to spans owned by that place. On a merged distributed
+	// trace this is the cross-place attribution: it answers "which
+	// place's work (or waiting) dominates the wall clock". Transport
+	// gaps are charged to the waiting (home) place, so ctl fan-in
+	// through place 0 shows up as place-0 time.
+	PlaceNs map[int]int64 `json:"place_ns,omitempty"`
+	// FlowRecvs counts flow-end ('f') events in the trace whose receive
+	// landed on a span visited by the walk — how much of the path was
+	// stitched across places by message edges.
+	FlowRecvs int `json:"flow_recvs,omitempty"`
 }
 
 // WriteText renders the report as an aligned percentage table.
@@ -70,6 +81,22 @@ func (r *CritPathReport) WriteText(w io.Writer) {
 			pct = float64(ns) / float64(r.WallNs) * 100
 		}
 		fmt.Fprintf(w, "  %-16s %10.3fms  %5.1f%%\n", name, float64(ns)/1e6, pct)
+	}
+	if len(r.PlaceNs) > 0 {
+		fmt.Fprintf(w, "by place (%d flow receives on path):\n", r.FlowRecvs)
+		places := make([]int, 0, len(r.PlaceNs))
+		for p := range r.PlaceNs {
+			places = append(places, p)
+		}
+		sort.Slice(places, func(i, j int) bool { return r.PlaceNs[places[i]] > r.PlaceNs[places[j]] })
+		for _, p := range places {
+			ns := r.PlaceNs[p]
+			pct := 0.0
+			if r.WallNs > 0 {
+				pct = float64(ns) / float64(r.WallNs) * 100
+			}
+			fmt.Fprintf(w, "  place %-10d %10.3fms  %5.1f%%\n", p, float64(ns)/1e6, pct)
+		}
 	}
 }
 
@@ -147,13 +174,28 @@ func CriticalPath(events []obs.Event) *CritPathReport {
 	if root == nil || root.ev.Dur <= 0 {
 		return nil
 	}
-	w := &walker{buckets: make(map[string]int64), visited: make(map[*span]bool)}
+	w := &walker{buckets: make(map[string]int64), places: make(map[int]int64), visited: make(map[*span]bool)}
 	w.attribute(root, root.start(), root.end())
+	// Count the message edges that landed on the walked spans: flow-end
+	// ('f') events whose lane is a visited span show where the path was
+	// stitched together by cross-place messages.
+	visitedTid := make(map[uint64]bool, len(w.visited))
+	for s := range w.visited {
+		visitedTid[s.ev.Tid] = true
+	}
+	flowRecvs := 0
+	for _, e := range events {
+		if e.Ph == 'f' && visitedTid[e.Tid] {
+			flowRecvs++
+		}
+	}
 	rep := &CritPathReport{
-		Root:    root.ev.Name,
-		WallNs:  root.ev.Dur,
-		Buckets: w.buckets,
-		Spans:   w.spans,
+		Root:      root.ev.Name,
+		WallNs:    root.ev.Dur,
+		Buckets:   w.buckets,
+		Spans:     w.spans,
+		PlaceNs:   w.places,
+		FlowRecvs: flowRecvs,
 	}
 	var sum int64
 	for _, ns := range w.buckets {
@@ -165,6 +207,7 @@ func CriticalPath(events []obs.Event) *CritPathReport {
 
 type walker struct {
 	buckets map[string]int64
+	places  map[int]int64
 	visited map[*span]bool
 	spans   int
 }
@@ -205,11 +248,14 @@ func (w *walker) attribute(n *span, lo, hi int64) {
 				b = BucketTransport
 			}
 			w.buckets[b] += gap
+			// Waiting time belongs to the place doing the waiting.
+			w.places[n.ev.Pid] += gap
 		}
 		w.attribute(k, s, e)
 		cur = s
 	}
 	if cur > lo {
 		w.buckets[own] += cur - lo
+		w.places[n.ev.Pid] += cur - lo
 	}
 }

@@ -16,6 +16,7 @@ package sched
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"apgas/internal/obs"
 )
@@ -78,6 +79,25 @@ func (s *Scheduler) Spawn(f func()) {
 		s.slots <- struct{}{}
 		defer func() { <-s.slots }()
 		f()
+	}()
+}
+
+// SpawnDelayed is Spawn for instrumented activities: f receives the
+// time the goroutine spent waiting for an execution slot, in
+// nanoseconds. The distributed tracer uses it to separate scheduler
+// queueing from activity execution in cross-place critical paths; the
+// uninstrumented Spawn path stays measurement-free.
+func (s *Scheduler) SpawnDelayed(f func(slotWaitNs int64)) {
+	s.spawned.Add(1)
+	s.quiet.Add(1)
+	go func() {
+		defer s.quiet.Done()
+		defer s.completed.Add(1)
+		t0 := time.Now()
+		s.slots <- struct{}{}
+		wait := time.Since(t0)
+		defer func() { <-s.slots }()
+		f(int64(wait))
 	}()
 }
 

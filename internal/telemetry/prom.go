@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"apgas/internal/obs"
+)
+
+// This file is the Prometheus text-format exporter of the telemetry
+// plane: the same per-place snapshots the /telemetry JSON endpoint
+// serves, rendered as the exposition format so a scraper can watch a
+// running experiment. Counters and gauges export one sample per place
+// (place="N" label); histograms export as summaries — _count and _sum
+// per place plus quantile samples read from the power-of-two buckets.
+
+// promName sanitizes a registry metric name ("finish.ctl.msgs") into a
+// Prometheus metric name ("apgas_finish_ctl_msgs").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("apgas_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promQuantiles are the summary quantiles exported for histograms.
+var promQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WriteProm renders per-place snapshots in the Prometheus text
+// exposition format. Output is deterministic: metric names sorted, then
+// places ascending.
+func WriteProm(w io.Writer, snaps map[int]obs.Snapshot) {
+	places := make([]int, 0, len(snaps))
+	for p := range snaps {
+		places = append(places, p)
+	}
+	sort.Ints(places)
+
+	names := make(map[string]obs.Kind)
+	for _, s := range snaps {
+		for name, v := range s {
+			names[name] = v.Kind
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		pn := promName(name)
+		switch names[name] {
+		case obs.KindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+			for _, p := range places {
+				if v, ok := snaps[p][name]; ok {
+					fmt.Fprintf(w, "%s{place=\"%d\"} %d\n", pn, p, v.Gauge)
+				}
+			}
+		case obs.KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+			for _, p := range places {
+				v, ok := snaps[p][name]
+				if !ok {
+					continue
+				}
+				for _, q := range promQuantiles {
+					fmt.Fprintf(w, "%s{place=\"%d\",quantile=\"%g\"} %d\n", pn, p, q, v.Quantile(q))
+				}
+				fmt.Fprintf(w, "%s_sum{place=\"%d\"} %d\n", pn, p, v.Sum)
+				fmt.Fprintf(w, "%s_count{place=\"%d\"} %d\n", pn, p, v.Count)
+			}
+		default:
+			fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+			for _, p := range places {
+				if v, ok := snaps[p][name]; ok {
+					fmt.Fprintf(w, "%s{place=\"%d\"} %d\n", pn, p, v.Count)
+				}
+			}
+		}
+	}
+}
+
+// PromHandler serves the current plane's snapshots in Prometheus text
+// format — mount it at /metrics on the -debug-addr server, beside the
+// /telemetry JSON handler. Like Handler, it answers 503 while no plane
+// is installed and 504 when a collection round times out.
+func PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		p := Current()
+		if p == nil {
+			http.Error(w, "no telemetry plane attached", http.StatusServiceUnavailable)
+			return
+		}
+		snaps, err := p.Collect(5 * time.Second)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, snaps)
+	})
+}

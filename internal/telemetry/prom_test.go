@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"apgas/internal/obs"
+)
+
+func TestWriteProm(t *testing.T) {
+	snaps := map[int]obs.Snapshot{
+		1: {
+			"finish.ctl.msgs": {Kind: obs.KindCounter, Count: 7},
+			"sched.queue":     {Kind: obs.KindGauge, Gauge: -3},
+		},
+		0: {
+			"finish.ctl.msgs": {Kind: obs.KindCounter, Count: 42},
+			"lat.ns": {Kind: obs.KindHistogram, Count: 2, Sum: 6,
+				Buckets: func() []uint64 {
+					b := make([]uint64, obs.HistBuckets)
+					b[2] = 2 // two observations of 2
+					return b
+				}()},
+		},
+	}
+	var b strings.Builder
+	WriteProm(&b, snaps)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE apgas_finish_ctl_msgs counter",
+		`apgas_finish_ctl_msgs{place="0"} 42`,
+		`apgas_finish_ctl_msgs{place="1"} 7`,
+		"# TYPE apgas_sched_queue gauge",
+		`apgas_sched_queue{place="1"} -3`,
+		"# TYPE apgas_lat_ns summary",
+		`apgas_lat_ns{place="0",quantile="0.5"} 2`,
+		`apgas_lat_ns_sum{place="0"} 6`,
+		`apgas_lat_ns_count{place="0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Place 0 precedes place 1 within a metric family.
+	if strings.Index(out, `place="0"} 42`) > strings.Index(out, `place="1"} 7`) {
+		t.Errorf("places not sorted:\n%s", out)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	if got := promName("x10rt.bytes.control-class"); got != "apgas_x10rt_bytes_control_class" {
+		t.Fatalf("promName = %q", got)
+	}
+}

@@ -178,6 +178,26 @@ func (w *Watchdog) dump(s core.FinishState, now time.Time) {
 		fmt.Fprintf(out, "  owes: place p%d pending=%d (sent=%d recv=%d)\n",
 			d.Place, d.Pending(), d.Sent, d.Recv)
 	}
+	// With distributed tracing on, name not just the owing place but the
+	// chain of spans — who spawned what, where — leading to each stuck
+	// activity (oldest leaves first, capped to keep dumps readable).
+	if chains := w.rt.CausalChains(s.Home, s.Seq, 8); len(chains) > 0 {
+		fmt.Fprintf(out, "  causal chains of live spans (stuck leaf first):\n")
+		for _, chain := range chains {
+			fmt.Fprintf(out, "   ")
+			for i, cs := range chain {
+				if i > 0 {
+					fmt.Fprintf(out, " <-")
+				}
+				if cs.Src != cs.Place {
+					fmt.Fprintf(out, " %s#%d@p%d(from p%d)", cs.Name, cs.Span, cs.Place, cs.Src)
+				} else {
+					fmt.Fprintf(out, " %s#%d@p%d", cs.Name, cs.Span, cs.Place)
+				}
+			}
+			fmt.Fprintln(out)
+		}
+	}
 	w.rt.WriteFinishDump(out)
 	if w.opts.FlightTail >= 0 {
 		if f := w.rt.Obs().FlightRecorder(); f != nil {

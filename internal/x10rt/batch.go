@@ -383,6 +383,14 @@ func (t *BatchingTransport) AttachMetrics(r *obs.Registry) {
 	t.bm.attach(r)
 }
 
+// AttachTracer implements TracerSink by delegation: HLC stamping
+// happens in the inner transport, where frames are actually encoded.
+func (t *BatchingTransport) AttachTracer(tr *obs.Tracer) {
+	if ts, ok := t.inner.(TracerSink); ok {
+		ts.AttachTracer(tr)
+	}
+}
+
 // PlaceStats implements PlaceMetricSource by delegation.
 func (t *BatchingTransport) PlaceStats(p int) Stats {
 	if ps, ok := t.inner.(PlaceMetricSource); ok {

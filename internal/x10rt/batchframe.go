@@ -35,6 +35,16 @@ import (
 const (
 	// batchVersion marks a frame whose payload is a message batch.
 	batchVersion = 2
+	// batchVersionTraced marks a batch frame stamped with the sender's
+	// hybrid logical clock for distributed tracing. Its payload is
+	//
+	//	uvarint(hlc) | <version-2 payload>
+	//
+	// i.e. exactly the version-2 layout with an HLC prefix. Emitted only
+	// when the sending transport has a tracer with distributed tracing
+	// enabled; the version-2 path is byte-identical with tracing off, so
+	// old decoders keep working against untraced senders.
+	batchVersionTraced = 3
 	// batchFlagCompressed marks a DEFLATE-compressed batch body.
 	batchFlagCompressed = 0x01
 	// maxBatchCount bounds the declared message count of a batch before
@@ -90,6 +100,16 @@ var flateWriterPool = sync.Pool{New: func() any {
 // compresses). The returned slice aliases dst's array when capacity
 // allows.
 func appendBatchFrame(dst []byte, src int, msgs []BatchMsg, compressMin int) ([]byte, error) {
+	return appendBatchFrameV(dst, batchVersion, src, msgs, compressMin, 0)
+}
+
+// appendTracedBatchFrame is appendBatchFrame for a version-3 frame
+// carrying the sender's hybrid logical clock.
+func appendTracedBatchFrame(dst []byte, src int, msgs []BatchMsg, compressMin int, hlc uint64) ([]byte, error) {
+	return appendBatchFrameV(dst, batchVersionTraced, src, msgs, compressMin, hlc)
+}
+
+func appendBatchFrameV(dst []byte, version byte, src int, msgs []BatchMsg, compressMin int, hlc uint64) ([]byte, error) {
 	body := getBuf()
 	defer putBuf(body)
 
@@ -121,11 +141,18 @@ func appendBatchFrame(dst []byte, src int, msgs []BatchMsg, compressMin int) ([]
 		}
 	}
 
-	if 1+len(payload) > MaxFrameSize {
-		return dst, fmt.Errorf("%w: batch payload %d exceeds max %d", ErrFrameCorrupt, 1+len(payload), MaxFrameSize)
+	var hlcPrefix []byte
+	var hb [binary.MaxVarintLen64]byte
+	if version == batchVersionTraced {
+		hlcPrefix = hb[:binary.PutUvarint(hb[:], hlc)]
 	}
-	dst = append(dst, frameMagic, batchVersion, 0, 0, 0, 0)
-	binary.BigEndian.PutUint32(dst[len(dst)-4:], uint32(1+len(payload)))
+	total := len(hlcPrefix) + 1 + len(payload)
+	if total > MaxFrameSize {
+		return dst, fmt.Errorf("%w: batch payload %d exceeds max %d", ErrFrameCorrupt, total, MaxFrameSize)
+	}
+	dst = append(dst, frameMagic, version, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-4:], uint32(total))
+	dst = append(dst, hlcPrefix...)
 	dst = append(dst, flags)
 	return append(dst, payload...), nil
 }
@@ -184,7 +211,18 @@ func decodeBatchPayload(payload []byte) (msgs []wireMsg, err error) {
 	return msgs, nil
 }
 
-// readVersionedFrame reads one frame of either version from r,
+// decodeTracedBatchPayload decodes the payload of a version-3 frame:
+// the sender's HLC prefix followed by the version-2 layout.
+func decodeTracedBatchPayload(payload []byte) (msgs []wireMsg, hlc uint64, err error) {
+	hlc, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: bad batch HLC prefix", ErrFrameCorrupt)
+	}
+	msgs, err = decodeBatchPayload(payload[n:])
+	return msgs, hlc, err
+}
+
+// readVersionedFrame reads one frame of any supported version from r,
 // returning the version byte alongside the payload. It shares the
 // validation discipline of ReadFrame: the header is checked before any
 // payload allocation.
@@ -196,7 +234,7 @@ func readVersionedFrame(r io.Reader) (version byte, payload []byte, err error) {
 	if hdr[0] != frameMagic {
 		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrFrameCorrupt, hdr[0])
 	}
-	if hdr[1] != frameVersion && hdr[1] != batchVersion {
+	if hdr[1] != frameVersion && hdr[1] != batchVersion && hdr[1] != batchVersionTraced {
 		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrFrameCorrupt, hdr[1])
 	}
 	n := binary.BigEndian.Uint32(hdr[2:6])

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"apgas/internal/obs"
 )
@@ -38,6 +39,12 @@ type TCPTransport struct {
 	mu     sync.Mutex
 	conns  map[int]*tcpConn // outbound, keyed by dst
 	closed bool
+
+	// tr, when attached, stamps outgoing batch frames with this place's
+	// hybrid logical clock (frame version 3) and folds inbound stamps
+	// back in — but only while the tracer has distributed tracing
+	// enabled; otherwise the wire format is byte-identical to version 2.
+	tr atomic.Pointer[obs.Tracer]
 
 	loop     chan wireMsg // self-sends, kept FIFO
 	wg       sync.WaitGroup
@@ -247,7 +254,13 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 	}
 	fp := getFrameBuf()
 	defer putFrameBuf(fp)
-	frame, err := appendBatchFrame((*fp)[:0], src, msgs, compressMin)
+	var frame []byte
+	var err error
+	if tr := t.tr.Load(); tr != nil && tr.DistEnabled() {
+		frame, err = appendTracedBatchFrame((*fp)[:0], src, msgs, compressMin, tr.HLCTick(src))
+	} else {
+		frame, err = appendBatchFrame((*fp)[:0], src, msgs, compressMin)
+	}
 	*fp = frame[:0]
 	if err != nil {
 		return fmt.Errorf("x10rt: batch encode for %d: %w", dst, err)
@@ -318,10 +331,22 @@ func (t *TCPTransport) read(nc net.Conn) {
 		if err != nil {
 			return
 		}
-		if version == batchVersion {
-			msgs, err := decodeBatchPayload(payload)
+		if version == batchVersion || version == batchVersionTraced {
+			var msgs []wireMsg
+			var hlc uint64
+			var err error
+			if version == batchVersionTraced {
+				msgs, hlc, err = decodeTracedBatchPayload(payload)
+			} else {
+				msgs, err = decodeBatchPayload(payload)
+			}
 			if err != nil {
 				return
+			}
+			if hlc != 0 {
+				if tr := t.tr.Load(); tr != nil {
+					tr.HLCObserve(t.opts.Place, hlc)
+				}
 			}
 			for i := range msgs {
 				t.dispatch(&msgs[i])
@@ -364,6 +389,11 @@ func (t *TCPTransport) Stats() Stats { return t.ctrs.snapshot() }
 // AttachMetrics implements MetricSource: the traffic counters become
 // visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>.
 func (t *TCPTransport) AttachMetrics(r *obs.Registry) { t.ctrs.attach(r) }
+
+// AttachTracer wires a tracer into the endpoint so batch frames carry
+// HLC stamps (frame version 3) while distributed tracing is enabled.
+// Safe to call at any time; nil detaches.
+func (t *TCPTransport) AttachTracer(tr *obs.Tracer) { t.tr.Store(tr) }
 
 // PlaceStats implements PlaceMetricSource. A TCP endpoint only carries
 // its own place's egress; any other place reports zero here (its own

@@ -1,0 +1,63 @@
+package x10rt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTracedBatchRoundTrip exercises the version-3 (HLC-stamped) batch
+// frame codec end to end.
+func TestTracedBatchRoundTrip(t *testing.T) {
+	msgs := []BatchMsg{
+		{ID: HandlerFinishCtl, Class: ControlClass, Bytes: 16, Payload: "ctl"},
+		{ID: HandlerSpawn, Class: DataClass, Bytes: 64, Payload: "spawn"},
+	}
+	const hlc = uint64(0xABCDE) << 16
+	frame, err := appendTracedBatchFrame(nil, 2, msgs, 0, hlc)
+	if err != nil {
+		t.Fatalf("appendTracedBatchFrame: %v", err)
+	}
+	version, payload, err := readVersionedFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("readVersionedFrame: %v", err)
+	}
+	if version != batchVersionTraced {
+		t.Fatalf("version = %d, want %d", version, batchVersionTraced)
+	}
+	got, gotHLC, err := decodeTracedBatchPayload(payload)
+	if err != nil {
+		t.Fatalf("decodeTracedBatchPayload: %v", err)
+	}
+	if gotHLC != hlc {
+		t.Fatalf("hlc = %#x, want %#x", gotHLC, hlc)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range got {
+		if got[i].Src != 2 || got[i].ID != msgs[i].ID || got[i].Payload != msgs[i].Payload {
+			t.Fatalf("message %d = %+v", i, got[i])
+		}
+	}
+}
+
+// TestUntracedBatchStaysVersion2 pins the compatibility contract: without
+// an HLC the frame is byte-identical to the version-2 encoding, so peers
+// that predate tracing still decode it.
+func TestUntracedBatchStaysVersion2(t *testing.T) {
+	msgs := []BatchMsg{{ID: HandlerSpawn, Class: DataClass, Bytes: 8, Payload: "x"}}
+	v2, err := appendBatchFrame(nil, 1, msgs, 0)
+	if err != nil {
+		t.Fatalf("appendBatchFrame: %v", err)
+	}
+	if v2[1] != batchVersion {
+		t.Fatalf("version byte = %d, want %d", v2[1], batchVersion)
+	}
+}
+
+func TestTracedBatchCorruptHLCPrefix(t *testing.T) {
+	// A truncated/overlong uvarint prefix must be rejected, not panic.
+	if _, _, err := decodeTracedBatchPayload([]byte{0x80}); err == nil {
+		t.Fatal("decodeTracedBatchPayload accepted a truncated HLC prefix")
+	}
+}

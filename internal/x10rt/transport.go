@@ -192,6 +192,15 @@ type MetricSource interface {
 	AttachMetrics(r *obs.Registry)
 }
 
+// TracerSink is implemented by transports that participate in
+// distributed tracing at the wire level: an attached tracer lets them
+// stamp outgoing batch frames with the sender's hybrid logical clock
+// and fold inbound stamps back in. Decorator transports delegate to
+// the layer that actually encodes frames.
+type TracerSink interface {
+	AttachTracer(tr *obs.Tracer)
+}
+
 // PlaceMetricSource is implemented by transports that additionally
 // attribute traffic to individual places (by source, i.e. egress
 // accounting), so the telemetry plane can aggregate per-place views.
