@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke trace dtrace telemetry chaos fuzz-short experiments examples clean
+.PHONY: all build test race bench bench-smoke profile-smoke trace dtrace telemetry chaos fuzz-short experiments examples clean
 
-all: build test race telemetry chaos dtrace bench-smoke fuzz-short
+all: build test race telemetry chaos dtrace bench-smoke profile-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,18 @@ bench-smoke:
 	$(GO) run ./cmd/apgas-bench -exp uts -scale tiny -bench-json /tmp/apgas-bench-smoke.json -bench-reps 1
 	$(GO) run ./cmd/tracecheck -bench /tmp/apgas-bench-smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/apgas-bench-smoke.json /tmp/apgas-bench-smoke.json
-	$(GO) test -run 'TestTransportBatchSpeedup|TestTracingDisabledOverhead' -count=1 -v ./internal/harness
+	$(GO) test -run 'TestTransportBatchSpeedup|TestTracingDisabledOverhead|TestProfilingDisabledOverhead' -count=1 -v ./internal/harness
+
+# Continuous-profiling smoke: run the dense workload with pprof labels
+# and enough spin per phase to land real CPU samples, capture a profile,
+# and have tracecheck's label-aware summarizer assert that the samples
+# partition by (place, pattern, kind) — at least two distinct finish
+# patterns and two places must appear, i.e. attribution survives every
+# activity boundary, not just the root body.
+profile-smoke:
+	$(GO) run ./cmd/apgas-bench -exp dense -prof -prof-cpu /tmp/apgas-profile-smoke.pb.gz -dense-burn 30000000
+	$(GO) run ./cmd/tracecheck -profile -min-samples 5 -min-labeled 0.8 \
+		-min-distinct pattern=2 -min-distinct place=2 /tmp/apgas-profile-smoke.pb.gz
 
 # Record a Chrome trace of a small UTS run and sanity-check the JSON.
 trace:

@@ -8,6 +8,7 @@ import (
 	"apgas/internal/core"
 	"apgas/internal/obs"
 	"apgas/internal/perfobs"
+	"apgas/internal/telemetry"
 )
 
 // denseOptions configures the FINISH_DENSE workload (-exp dense).
@@ -15,6 +16,19 @@ type denseOptions struct {
 	places      int
 	tracePrefix string   // with -trace-dist: per-place + merged trace files
 	o           *obs.Obs // process observability (nil = plain metrics)
+	burn        int      // spin iterations per phase (0 = off); gives short profiling runs real CPU time
+}
+
+// burnSink defeats dead-code elimination of the spin loops.
+var burnSink int
+
+// spin burns CPU deterministically for roughly n simple iterations.
+func spin(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x*31 + i
+	}
+	burnSink += x
 }
 
 // runDense drives a workload under FINISH_DENSE — the paper's general
@@ -45,8 +59,24 @@ func runDense(opts denseOptions) error {
 	}
 	defer rt.Close()
 
+	// Serve the cluster view while the run lasts: /telemetry (and
+	// apgas-top watching it) needs a collection plane on this runtime.
+	plane, err := telemetry.Attach(rt)
+	if err != nil {
+		return err
+	}
+	telemetry.SetCurrent(plane)
+	defer telemetry.SetCurrent(nil)
+
 	team := collectives.New(rt, core.WorldGroup(rt), collectives.ModeEmulated)
+	o.Profiler().SetApp("dense")
 	err = rt.Run(func(c *core.Ctx) {
+		// CPU-visible work in the root body itself: these samples carry
+		// pattern=default kind=main, one of the distinct label tuples the
+		// profile-smoke gate asserts on.
+		if opts.burn > 0 {
+			spin(opts.burn)
+		}
 		// All-to-all fan-out under one FINISH_DENSE: every place spawns
 		// at every other place, and each remote activity spawns a local
 		// child, so termination credits flow through the dense routing.
@@ -59,6 +89,9 @@ func runDense(opts denseOptions) error {
 							continue
 						}
 						cp.AtAsyncSized(core.Place(q), 64, func(cq *core.Ctx) {
+							if opts.burn > 0 {
+								spin(opts.burn / 4)
+							}
 							cq.Async(func(*core.Ctx) {})
 						})
 					}
@@ -66,6 +99,18 @@ func runDense(opts denseOptions) error {
 			}
 		}); err != nil {
 			panic(err)
+		}
+		// An SPMD burn phase: every place spins under FINISH_SPMD, so a
+		// short profiled run samples a second heavily-exercised finish
+		// pattern besides "dense".
+		if opts.burn > 0 {
+			if err := c.FinishPragma(core.PatternSPMD, func(sc *core.Ctx) {
+				for p := 0; p < places; p++ {
+					sc.AtAsync(core.Place(p), func(*core.Ctx) { spin(opts.burn) })
+				}
+			}); err != nil {
+				panic(err)
+			}
 		}
 		// One emulated collective round: team traffic rides
 		// HandlerTeamCtl and shows up as flow.team arrows.

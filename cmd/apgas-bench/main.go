@@ -29,12 +29,10 @@
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -57,7 +55,15 @@ func main() {
 	metrics := flag.Bool("metrics", false,
 		"attach metric deltas to experiment tables and print a snapshot to stderr at exit")
 	debugAddr := flag.String("debug-addr", "",
-		"serve net/http/pprof, expvar, and /telemetry on this address, e.g. localhost:6060")
+		"serve net/http/pprof, expvar, /telemetry, /metrics, and /debug/profilez on this address, e.g. localhost:6060")
+	prof := flag.Bool("prof", false,
+		"stamp pprof goroutine labels (place, pattern, kind, app) on every activity")
+	profCPU := flag.String("prof-cpu", "",
+		"capture a CPU profile of the run to this file (implies -prof); "+
+			"summarize per label with tracecheck -profile")
+	denseBurn := flag.Int("dense-burn", 0,
+		"dense run: spin this many iterations of CPU work inside each phase, "+
+			"so short profiling runs collect enough samples (0 = off)")
 	places := flag.Int("places", 4, "places for the telemetry and chaos runs (-exp telemetry, -exp chaos)")
 	metricsAll := flag.Bool("metrics-all", false,
 		"run the telemetry workload and print the merged cross-place metrics table "+
@@ -146,28 +152,49 @@ func main() {
 		o = obs.NewTracingDist()
 	case *traceFile != "":
 		o = obs.NewTracing()
-	case *metrics || *debugAddr != "":
+	case *metrics || *debugAddr != "" || *prof || *profCPU != "":
 		o = obs.New()
 	}
 	if o != nil {
+		if *prof || *profCPU != "" {
+			o.EnableProfiling("bench")
+		}
 		obs.SetGlobal(o)
 	}
 	if *debugAddr != "" {
-		if o != nil {
-			expvar.Publish("apgas", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+		// The debug server carries the continuous profiling plane: the
+		// profile ring behind /debug/profilez, plus a health sampler
+		// feeding per-place runtime gauges into /telemetry and /metrics.
+		ds, stopPlane, err := telemetry.StartDebugPlane(*debugAddr, o, *places)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
 		}
-		http.Handle("/telemetry", telemetry.Handler())
-		http.Handle("/metrics", telemetry.PromHandler())
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "apgas-bench: debug server: %v\n", err)
+		defer stopPlane()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, and /metrics\n", ds.Addr)
+	}
+	if *profCPU != "" {
+		f, err := os.Create(*profCPU)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-bench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "apgas-bench: close cpu profile: %v\n", err)
+				return
 			}
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s (summarize: tracecheck -profile %s)\n", *profCPU, *profCPU)
 		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /telemetry, and /metrics\n", *debugAddr)
 	}
 
 	if *exp == "dense" {
-		if err := runDense(denseOptions{places: *places, tracePrefix: *traceDist, o: o}); err != nil {
+		if err := runDense(denseOptions{places: *places, tracePrefix: *traceDist, o: o, burn: *denseBurn}); err != nil {
 			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -235,19 +262,19 @@ func main() {
 // experiments maps every -exp name that is not a Figure 1 panel to a
 // one-line description, for -exp list.
 var experiments = map[string]string{
-	"all":          "every panel, table, and ablation below",
-	"table1":       "Table 1: finish-pattern message counts",
-	"table2":       "Table 2: finish-pattern latencies",
-	"netsim":       "Power 775 interconnect model predictions",
-	"telemetry":    "cross-place telemetry smoke: merged metrics vs per-place transport stats",
-	"chaos":        "fault-injection sweep: finish invariants under seeded delay/reorder/partition chaos",
-	"dense":        "FINISH_DENSE all-to-all + collective + AtDirect workload; with -trace-dist, the merged distributed-trace demo",
-	"finish":       "finish-pattern ablation",
-	"broadcast":    "scalable vs sequential broadcast ablation",
-	"uts-ablation": "UTS load-balancer ablation",
-	"teams":        "native vs emulated collectives",
-	"seqref":       "sequential reference kernels",
-	"spmd-bcast":   "FINISH_SPMD spawning-tree broadcast sweep (pins the finish-control critical-path bucket)",
+	"all":             "every panel, table, and ablation below",
+	"table1":          "Table 1: finish-pattern message counts",
+	"table2":          "Table 2: finish-pattern latencies",
+	"netsim":          "Power 775 interconnect model predictions",
+	"telemetry":       "cross-place telemetry smoke: merged metrics vs per-place transport stats",
+	"chaos":           "fault-injection sweep: finish invariants under seeded delay/reorder/partition chaos",
+	"dense":           "FINISH_DENSE all-to-all + collective + AtDirect workload; with -trace-dist, the merged distributed-trace demo",
+	"finish":          "finish-pattern ablation",
+	"broadcast":       "scalable vs sequential broadcast ablation",
+	"uts-ablation":    "UTS load-balancer ablation",
+	"teams":           "native vs emulated collectives",
+	"seqref":          "sequential reference kernels",
+	"spmd-bcast":      "FINISH_SPMD spawning-tree broadcast sweep (pins the finish-control critical-path bucket)",
 	"transport":       "wire microbenchmark: small control frames over a local TCP mesh, unbatched",
 	"transport-batch": "wire microbenchmark: small control frames through per-link batching (≥3x gate)",
 	"transport-large": "wire microbenchmark: 1 MiB payloads through the batching path",
@@ -276,6 +303,10 @@ var panels = map[string]func(harness.Scale) (harness.Series, error){
 }
 
 func run(exp string, scale harness.Scale) error {
+	// With profiling on, each experiment's samples carry its name as the
+	// "app" pprof label, so one -exp all profile partitions by panel.
+	setApp := func(name string) { obs.Global().Profiler().SetApp(name) }
+	setApp(exp)
 	series := func(fn func(harness.Scale) (harness.Series, error)) error {
 		s, err := fn(scale)
 		if err != nil {
@@ -321,10 +352,12 @@ func run(exp string, scale harness.Scale) error {
 		return nil
 	case "all":
 		for _, name := range panelOrder {
+			setApp(name)
 			if err := series(panels[name]); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
+		setApp(exp)
 		if err := table(harness.Table1(scale)); err != nil {
 			return err
 		}

@@ -1,0 +1,99 @@
+// Command apgas-top is a live cluster view over a running APGAS
+// process's -debug-addr server: it polls /telemetry for the merged
+// cross-place metrics (message and steal rates, GLB progress, runtime
+// health gauges) and /debug/profilez for the latest continuous CPU
+// profile, and renders a refreshing per-place table with the top CPU
+// consumers by (place, pattern, kind) label.
+//
+// Usage:
+//
+//	apgas-bench -exp dense -prof -debug-addr :6060 &
+//	apgas-top -addr localhost:6060
+//	apgas-top -addr localhost:6060 -once       # single snapshot, no clear
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"apgas/internal/obs"
+	"apgas/internal/perfobs"
+)
+
+func fetchReport(client *http.Client, addr string) (*sample, error) {
+	resp, err := client.Get("http://" + addr + "/telemetry")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("/telemetry: %s: %s", resp.Status, body)
+	}
+	var rep report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("/telemetry: %w", err)
+	}
+	return &sample{at: time.Now(), rep: &rep}, nil
+}
+
+// fetchTopCPU pulls the newest CPU snapshot from the continuous profile
+// ring and summarizes it by activity labels. Any failure returns nil:
+// the ring may simply not have completed a capture window yet.
+func fetchTopCPU(client *http.Client, addr string) *perfobs.ProfileSummary {
+	resp, err := client.Get("http://" + addr + "/debug/profilez?kind=cpu")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	p, err := perfobs.ParseProfile(data)
+	if err != nil {
+		return nil
+	}
+	return perfobs.SummarizeProfile(p, []string{obs.LabelPlace, obs.LabelPattern, obs.LabelKind})
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "host:port of the -debug-addr server to watch")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print a single snapshot and exit")
+	top := flag.Int("top", 5, "CPU label rows to show (0 disables the /debug/profilez fetch)")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	var prev *sample
+	for {
+		cur, err := fetchReport(client, *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apgas-top: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderReport(os.Stdout, cur, prev, *addr)
+		if *top > 0 {
+			if sum := fetchTopCPU(client, *addr); sum != nil {
+				fmt.Println()
+				renderTopCPU(os.Stdout, sum, *top)
+			}
+		}
+		if *once {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}

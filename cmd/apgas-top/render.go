@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"apgas/internal/perfobs"
+)
+
+// metricJSON mirrors the /telemetry endpoint's per-metric shape.
+type metricJSON struct {
+	Kind     string           `json:"kind"`
+	Sum      int64            `json:"sum"`
+	Min      int64            `json:"min"`
+	MinPlace int              `json:"minPlace"`
+	Max      int64            `json:"max"`
+	MaxPlace int              `json:"maxPlace"`
+	PerPlace map[string]int64 `json:"perPlace"`
+}
+
+// report mirrors the /telemetry endpoint's top-level shape.
+type report struct {
+	Places  int                   `json:"places"`
+	Metrics map[string]metricJSON `json:"metrics"`
+}
+
+// sample is one polled report with its arrival time; rates come from
+// the delta between two samples.
+type sample struct {
+	at  time.Time
+	rep *report
+}
+
+// perPlace reads one place's value of a metric (0 if absent).
+func (r *report) perPlace(name string, p int) int64 {
+	m, ok := r.Metrics[name]
+	if !ok {
+		return 0
+	}
+	return m.PerPlace[fmt.Sprintf("p%d", p)]
+}
+
+// has reports whether the metric was collected at all.
+func (r *report) has(name string) bool {
+	_, ok := r.Metrics[name]
+	return ok
+}
+
+// sumPrefix sums one place's values over all metrics sharing a name
+// prefix, skipping any names in except (e.g. the wire-byte counter that
+// double-counts batched payloads).
+func (r *report) sumPrefix(prefix string, p int, except ...string) int64 {
+	var sum int64
+	for name := range r.Metrics {
+		if !strings.HasPrefix(name, prefix) || hasString(except, name) {
+			continue
+		}
+		sum += r.perPlace(name, p)
+	}
+	return sum
+}
+
+func hasString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// rate formats a per-second counter delta between two samples; with no
+// previous sample it renders "-" (one poll cannot yield a rate).
+func rate(cur, prev int64, dt time.Duration) string {
+	if dt <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(cur-prev)/dt.Seconds())
+}
+
+// humanBytes renders a byte count with a binary-ish suffix.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// renderReport writes the per-place cluster table. prev may be nil (first
+// poll): counter columns then show "-" instead of rates.
+func renderReport(w io.Writer, cur, prev *sample, addr string) {
+	var dt time.Duration
+	prevRep := &report{}
+	if prev != nil {
+		dt = cur.at.Sub(prev.at)
+		prevRep = prev.rep
+	}
+	fmt.Fprintf(w, "apgas-top  %s  places=%d  %s\n", addr, cur.rep.Places,
+		cur.at.Format("15:04:05"))
+	tw := newTableWriter(w)
+	tw.row("PLACE", "MSGS/S", "BYTES/S", "STEALS/S", "TASKS/S", "GOROUT", "HEAP", "GC-P99us")
+	sumRow := make([]int64, 5)
+	for p := 0; p < cur.rep.Places; p++ {
+		msgs := cur.rep.sumPrefix("x10rt.msgs.", p)
+		bytes := cur.rep.sumPrefix("x10rt.bytes.", p, "x10rt.bytes.wire")
+		steals := cur.rep.perPlace("glb.steal.successes", p)
+		tasks := cur.rep.perPlace("glb.processed", p)
+		sumRow[0] += msgs
+		sumRow[1] += bytes
+		sumRow[2] += steals
+		sumRow[3] += tasks
+		gorout, heap, gcP99 := "-", "-", "-"
+		if cur.rep.has("health.goroutines") {
+			gorout = fmt.Sprintf("%d", cur.rep.perPlace("health.goroutines", p))
+		}
+		if cur.rep.has("health.heap.objects.bytes") {
+			heap = humanBytes(cur.rep.perPlace("health.heap.objects.bytes", p))
+		}
+		if cur.rep.has("health.gc.pause.p99.us") {
+			gcP99 = fmt.Sprintf("%d", cur.rep.perPlace("health.gc.pause.p99.us", p))
+		}
+		tw.row(fmt.Sprintf("%d", p),
+			rate(msgs, prevRep.sumPrefix("x10rt.msgs.", p), dt),
+			rate(bytes, prevRep.sumPrefix("x10rt.bytes.", p, "x10rt.bytes.wire"), dt),
+			rate(steals, prevRep.perPlace("glb.steal.successes", p), dt),
+			rate(tasks, prevRep.perPlace("glb.processed", p), dt),
+			gorout, heap, gcP99)
+	}
+	tw.row("TOTAL",
+		fmt.Sprintf("%d msgs", sumRow[0]),
+		humanBytes(sumRow[1]),
+		fmt.Sprintf("%d steals", sumRow[2]),
+		fmt.Sprintf("%d tasks", sumRow[3]),
+		"", "", "")
+	tw.flush()
+}
+
+// renderTopCPU writes the top-n label tuples of a continuous-ring CPU
+// profile, as fractions of its labeled time.
+func renderTopCPU(w io.Writer, sum *perfobs.ProfileSummary, n int) {
+	if sum == nil || sum.Total == 0 {
+		return
+	}
+	fmt.Fprintf(w, "top CPU by (%s), %.0f%% of samples labeled:\n",
+		strings.Join(sum.Keys, ","), 100*sum.LabeledFraction())
+	rows := append([]perfobs.SummaryRow(nil), sum.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Value > rows[j].Value })
+	shown := 0
+	for _, row := range rows {
+		if row.Key == "(unlabeled)" {
+			continue
+		}
+		fmt.Fprintf(w, "  %5.1f%%  %s\n", 100*float64(row.Value)/float64(sum.Total), row.Key)
+		shown++
+		if shown >= n {
+			break
+		}
+	}
+}
+
+// tableWriter is a minimal column aligner (text/tabwriter would also
+// do, but fixed right-padding reads better for this short table).
+type tableWriter struct {
+	w    io.Writer
+	rows [][]string
+}
+
+func newTableWriter(w io.Writer) *tableWriter { return &tableWriter{w: w} }
+
+func (t *tableWriter) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *tableWriter) flush() {
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				fmt.Fprint(t.w, "  ")
+			}
+			fmt.Fprintf(t.w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(t.w)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"apgas/internal/perfobs"
+)
+
+func testReport(msgsP0, msgsP1 int64) *report {
+	return &report{
+		Places: 2,
+		Metrics: map[string]metricJSON{
+			"x10rt.msgs.data": {
+				Kind: "counter", Sum: msgsP0 + msgsP1,
+				PerPlace: map[string]int64{"p0": msgsP0, "p1": msgsP1},
+			},
+			"x10rt.bytes.data": {
+				Kind: "counter", Sum: 4096,
+				PerPlace: map[string]int64{"p0": 1024, "p1": 3072},
+			},
+			"x10rt.bytes.wire": { // must be excluded from BYTES/S
+				Kind: "counter", Sum: msgsP0 * 1_000_000_000,
+				PerPlace: map[string]int64{"p0": msgsP0 * 1_000_000_000},
+			},
+			"glb.steal.successes": {
+				Kind: "counter", Sum: 7,
+				PerPlace: map[string]int64{"p0": 0, "p1": 7},
+			},
+			"health.goroutines": {
+				Kind: "gauge", Sum: 24,
+				PerPlace: map[string]int64{"p0": 12, "p1": 12},
+			},
+			"health.heap.objects.bytes": {
+				Kind: "gauge", Sum: 4 << 20,
+				PerPlace: map[string]int64{"p0": 2 << 20, "p1": 2 << 20},
+			},
+		},
+	}
+}
+
+func TestRenderReportFirstSample(t *testing.T) {
+	var b strings.Builder
+	cur := &sample{at: time.Unix(100, 0), rep: testReport(10, 20)}
+	renderReport(&b, cur, nil, "localhost:6060")
+	out := b.String()
+	for _, want := range []string{
+		"places=2", "PLACE", "MSGS/S", "GOROUT",
+		"12",      // goroutines gauge
+		"2.0M",    // heap gauge humanized
+		"30 msgs", // total row
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// No previous sample: counter columns render "-", not a rate.
+	if !strings.Contains(out, "-") {
+		t.Errorf("first sample should render '-' rates:\n%s", out)
+	}
+}
+
+func TestRenderReportRates(t *testing.T) {
+	prev := &sample{at: time.Unix(100, 0), rep: testReport(10, 20)}
+	cur := &sample{at: time.Unix(102, 0), rep: testReport(110, 220)}
+	var b strings.Builder
+	renderReport(&b, cur, prev, "x")
+	out := b.String()
+	// Place 0 gained 100 msgs over 2s → 50/s; place 1 200 over 2s → 100/s.
+	if !strings.Contains(out, "50") || !strings.Contains(out, "100") {
+		t.Errorf("expected rates 50 and 100 in output:\n%s", out)
+	}
+	// The wire-byte counter (growing by 100 GB between samples at p0)
+	// must not leak into BYTES/S: the data-byte delta is 0, so place 0's
+	// byte rate stays 0 rather than 50000000000/s.
+	if strings.Contains(out, "50000000000") {
+		t.Errorf("wire bytes leaked into the table:\n%s", out)
+	}
+}
+
+func TestRenderReportMissingHealth(t *testing.T) {
+	rep := testReport(1, 1)
+	delete(rep.Metrics, "health.goroutines")
+	delete(rep.Metrics, "health.heap.objects.bytes")
+	var b strings.Builder
+	renderReport(&b, &sample{at: time.Unix(1, 0), rep: rep}, nil, "x")
+	if !strings.Contains(b.String(), "-") {
+		t.Errorf("missing health gauges should render '-':\n%s", b.String())
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		17:            "17",
+		2048:          "2.0K",
+		3 << 20:       "3.0M",
+		5 << 30:       "5.0G",
+		1<<20 + 1<<19: "1.5M",
+	}
+	for in, want := range cases {
+		if got := humanBytes(in); got != want {
+			t.Errorf("humanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderTopCPU(t *testing.T) {
+	sum := &perfobs.ProfileSummary{
+		Keys:      []string{"place", "kind"},
+		ValueType: "cpu", ValueUnit: "nanoseconds",
+		Total: 100, Labeled: 90, TotalSamples: 10, LabeledSamples: 9,
+		Rows: []perfobs.SummaryRow{
+			{Key: "place=1 kind=glb.worker", Value: 60},
+			{Key: "place=0 kind=main", Value: 30},
+			{Key: "(unlabeled)", Value: 10},
+		},
+	}
+	var b strings.Builder
+	renderTopCPU(&b, sum, 1)
+	out := b.String()
+	if !strings.Contains(out, "place=1 kind=glb.worker") || !strings.Contains(out, "60.0%") {
+		t.Errorf("top row missing:\n%s", out)
+	}
+	if strings.Contains(out, "place=0") || strings.Contains(out, "(unlabeled)") {
+		t.Errorf("rows beyond top-1 (or unlabeled) leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "90% of samples labeled") {
+		t.Errorf("labeled fraction missing:\n%s", out)
+	}
+}

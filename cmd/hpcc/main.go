@@ -41,6 +41,8 @@ func main() {
 	emulated := flag.Bool("emulated", false, "use emulated (point-to-point) collectives")
 	flightDump := flag.String("flight-dump", "",
 		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/pprof, /debug/vars, /debug/profilez, /telemetry, and /metrics on this address while running (e.g. :6060)")
 	batch := flag.Bool("batch", false,
 		"run over the batching wire path: per-link coalescing of small frames")
 	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond,
@@ -87,6 +89,20 @@ func main() {
 	defer rt.Close()
 	stopSig := telemetry.DumpOnSignal(rt, os.Stderr)
 	defer stopSig()
+	if *debugAddr != "" {
+		plane, err := telemetry.Attach(rt)
+		if err != nil {
+			fail(err)
+		}
+		telemetry.SetCurrent(plane)
+		defer telemetry.SetCurrent(nil)
+		ds, stopPlane, err := telemetry.StartDebugPlane(*debugAddr, o, *places)
+		if err != nil {
+			fail(err)
+		}
+		defer stopPlane()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, and /metrics\n", ds.Addr)
+	}
 
 	kernels := []string{*kernel}
 	if *kernel == "all" {

@@ -37,9 +37,20 @@ import (
 func main() {
 	benchMode := flag.Bool("bench", false,
 		"validate an apgas-bench performance artifact (BENCH_*.json) instead of a trace")
+	profileMode := flag.Bool("profile", false,
+		"validate and summarize a pprof profile by its APGAS activity labels")
+	profileKeys := flag.String("profile-keys", "place,pattern,kind",
+		"with -profile: comma-separated label keys to partition by")
+	minSamples := flag.Int64("min-samples", 0,
+		"with -profile: fail unless the profile holds at least this many samples")
+	minLabeled := flag.Float64("min-labeled", 0,
+		"with -profile: fail unless at least this fraction (0..1) of the profile value is labeled")
+	minDistinct := distinctFlag{}
+	flag.Var(minDistinct, "min-distinct",
+		"with -profile: key=N, fail unless label key has at least N distinct values (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-bench] <trace.json | flight.jsonl | BENCH_*.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-bench | -profile] <trace.json | flight.jsonl | BENCH_*.json | profile.pb.gz>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -47,9 +58,12 @@ func main() {
 		summary string
 		err     error
 	)
-	if *benchMode {
+	switch {
+	case *benchMode:
 		summary, err = checkBenchFile(path)
-	} else {
+	case *profileMode:
+		summary, err = checkProfileFile(path, *profileKeys, *minSamples, *minLabeled, minDistinct)
+	default:
 		summary, err = checkFile(path)
 	}
 	if err != nil {

@@ -1,0 +1,91 @@
+package main
+
+// -profile mode: validate and summarize a pprof protobuf profile by the
+// APGAS activity labels (place, pattern, kind, app) the runtime stamps
+// when profiling is enabled. Backs `make profile-smoke`: a labeled
+// dense run must partition its samples across places and finish
+// patterns, or the label propagation has regressed.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"apgas/internal/perfobs"
+)
+
+// distinctFlag accumulates repeated -min-distinct key=N constraints.
+type distinctFlag map[string]int
+
+func (d distinctFlag) String() string {
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, d[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d distinctFlag) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=N, got %q", s)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad count in %q", s)
+	}
+	d[k] = n
+	return nil
+}
+
+// checkProfileFile parses path as a pprof profile, prints the per-label
+// cost table to stderr, enforces the check, and returns a one-line
+// summary.
+func checkProfileFile(path, keysCSV string, minSamples int64, minLabeled float64, minDistinct map[string]int) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	p, err := perfobs.ParseProfile(data)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	var keys []string
+	for _, k := range strings.Split(keysCSV, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	// Any -min-distinct key joins the partition even if not listed.
+	for k := range minDistinct {
+		found := false
+		for _, have := range keys {
+			if have == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			keys = append(keys, k)
+		}
+	}
+	s := perfobs.SummarizeProfile(p, keys)
+	s.WriteTable(os.Stderr)
+	err = perfobs.CheckProfile(p, keys, perfobs.ProfileCheck{
+		MinSamples:         minSamples,
+		MinLabeledFraction: minLabeled,
+		MinDistinct:        minDistinct,
+	})
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return fmt.Sprintf("tracecheck: %s: profile, %d samples, %.1f%% labeled by (%s) OK",
+		path, s.TotalSamples, 100*s.LabeledFraction(), strings.Join(keys, ",")), nil
+}

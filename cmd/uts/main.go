@@ -46,6 +46,8 @@ func main() {
 		"print the merged cross-place metrics table (sum, min@place, max@place, per-place) after the run")
 	watchdog := flag.Duration("watchdog", 0,
 		"enable the finish stall watchdog with this window, e.g. -watchdog 10s (0 = off)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve /debug/pprof, /debug/vars, /debug/profilez, /telemetry, and /metrics on this address while running (e.g. :6060)")
 	flightDump := flag.String("flight-dump", "",
 		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
 	batch := flag.Bool("batch", false,
@@ -71,7 +73,7 @@ func main() {
 	switch {
 	case *traceFile != "":
 		o = obs.NewTracing()
-	case *metrics || *metricsAll || *watchdog > 0 || *flightDump != "":
+	case *metrics || *metricsAll || *watchdog > 0 || *flightDump != "" || *debugAddr != "":
 		o = obs.New()
 	}
 
@@ -117,9 +119,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "uts: %v\n", err)
 			os.Exit(1)
 		}
+		// The /telemetry and /metrics handlers serve whatever plane is
+		// installed as current.
+		telemetry.SetCurrent(plane)
+		defer telemetry.SetCurrent(nil)
 		if *watchdog > 0 {
 			w := telemetry.StartWatchdog(rt, telemetry.WatchdogOptions{Window: *watchdog})
 			defer w.Stop()
+		}
+		if *debugAddr != "" {
+			ds, stopPlane, derr := telemetry.StartDebugPlane(*debugAddr, o, *places)
+			if derr != nil {
+				fmt.Fprintf(os.Stderr, "uts: %v\n", derr)
+				os.Exit(1)
+			}
+			defer stopPlane()
+			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, and /metrics\n", ds.Addr)
 		}
 	}
 

@@ -21,6 +21,7 @@
 package collectives
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -65,17 +66,42 @@ type Team struct {
 // per participating member. All handles are nil-safe no-ops when the
 // runtime has no observability attached.
 type teamMetrics struct {
-	tr  *obs.Tracer
-	ops map[string]*obs.Counter // team.<op> -> per-member call count
+	tr    *obs.Tracer
+	prof  *obs.Profiler
+	ops   map[string]*obs.Counter // team.<op> -> per-member call count
+	kinds map[string]string       // op -> "collective.<op>" pprof kind label
 }
 
 func newTeamMetrics(rt *core.Runtime) teamMetrics {
-	tm := teamMetrics{tr: rt.Tracer(), ops: make(map[string]*obs.Counter)}
+	tm := teamMetrics{
+		tr:    rt.Tracer(),
+		prof:  rt.Profiler(),
+		ops:   make(map[string]*obs.Counter),
+		kinds: make(map[string]string),
+	}
 	reg := rt.Obs().Registry()
 	for _, op := range []string{"barrier", "reduce", "allreduce", "broadcast", "allgather", "alltoall"} {
 		tm.ops[op] = reg.Counter("team." + op)
+		tm.kinds[op] = "collective." + op
 	}
 	return tm
+}
+
+// profOp runs one collective op body with the pprof kind label switched
+// to collective.<op> (place, pattern, and app labels stay inherited
+// from the calling activity), so profile samples of combine functions
+// and rendezvous waits partition by collective operation. A plain call
+// when profiling is off.
+func (t *Team) profOp(c *core.Ctx, op string, fn func()) {
+	if pr := t.m.prof; pr != nil {
+		pr.DoKind(c.ProfileContext(), t.m.kinds[op], func(pc context.Context) {
+			old := c.SwapProfileContext(pc)
+			defer c.SwapProfileContext(old)
+			fn()
+		})
+		return
+	}
+	fn()
 }
 
 // opDone records one collective call by the calling member: bump the
@@ -196,6 +222,12 @@ func (t *Team) Barrier(c *core.Ctx) {
 // receive nil. vals must have equal length at every member.
 func Reduce[T any](t *Team, c *core.Ctx, rootRank int, vals []T, op func(T, T) T) []T {
 	defer t.opDone(c, "reduce", t.m.tr.Now())
+	var out []T
+	t.profOp(c, "reduce", func() { out = reduceImpl(t, c, rootRank, vals, op) })
+	return out
+}
+
+func reduceImpl[T any](t *Team, c *core.Ctx, rootRank int, vals []T, op func(T, T) T) []T {
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {
@@ -226,6 +258,12 @@ func Reduce[T any](t *Team, c *core.Ctx, rootRank int, vals []T, op func(T, T) T
 // receives the combined vector.
 func AllReduce[T any](t *Team, c *core.Ctx, vals []T, op func(T, T) T) []T {
 	defer t.opDone(c, "allreduce", t.m.tr.Now())
+	var out []T
+	t.profOp(c, "allreduce", func() { out = allReduceImpl(t, c, vals, op) })
+	return out
+}
+
+func allReduceImpl[T any](t *Team, c *core.Ctx, vals []T, op func(T, T) T) []T {
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {
@@ -242,6 +280,12 @@ func AllReduce[T any](t *Team, c *core.Ctx, vals []T, op func(T, T) T) []T {
 // argument is ignored at non-root members.
 func Broadcast[T any](t *Team, c *core.Ctx, rootRank int, vals []T) []T {
 	defer t.opDone(c, "broadcast", t.m.tr.Now())
+	var out []T
+	t.profOp(c, "broadcast", func() { out = broadcastImpl(t, c, rootRank, vals) })
+	return out
+}
+
+func broadcastImpl[T any](t *Team, c *core.Ctx, rootRank int, vals []T) []T {
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {
@@ -273,6 +317,12 @@ func Broadcast[T any](t *Team, c *core.Ctx, rootRank int, vals []T) []T {
 // receives the full slice of slices.
 func AllGather[T any](t *Team, c *core.Ctx, vals []T) [][]T {
 	defer t.opDone(c, "allgather", t.m.tr.Now())
+	var out [][]T
+	t.profOp(c, "allgather", func() { out = allGatherImpl(t, c, vals) })
+	return out
+}
+
+func allGatherImpl[T any](t *Team, c *core.Ctx, vals []T) [][]T {
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	n := t.Size()
@@ -318,6 +368,13 @@ func AllToAll[T any](t *Team, c *core.Ctx, send [][]T) [][]T {
 		panic(fmt.Sprintf("collectives: AllToAll needs %d chunks, got %d", n, len(send)))
 	}
 	defer t.opDone(c, "alltoall", t.m.tr.Now())
+	var out [][]T
+	t.profOp(c, "alltoall", func() { out = allToAllImpl(t, c, send) })
+	return out
+}
+
+func allToAllImpl[T any](t *Team, c *core.Ctx, send [][]T) [][]T {
+	n := t.Size()
 	seq := t.nextSeq(c)
 	me := t.rank(c)
 	if t.mode == ModeNative {

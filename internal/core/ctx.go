@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"apgas/internal/obs"
@@ -27,6 +28,29 @@ type Ctx struct {
 	// whether this activity has already passed its termination token
 	// home (see finish_patterns.go).
 	hereHomebound bool
+
+	// profCtx is the pprof-labeled context installed for this activity's
+	// body (nil when profiling is off). Nested label overlays — a
+	// FinishPragma's pattern, a collective op's kind — must build on it:
+	// pprof.Do installs exactly its context's label map, so overlaying on
+	// a fresh context would erase the activity's other labels.
+	profCtx context.Context
+}
+
+// ProfileContext returns this activity's pprof-labeled context, nil
+// when profiling is disabled. Extension layers pass it as the parent of
+// their label overlays (Profiler.DoKind).
+func (c *Ctx) ProfileContext() context.Context { return c.profCtx }
+
+// SwapProfileContext installs pc as this activity's labeled context and
+// returns the previous one. Extension layers that overlay labels around
+// a body running on this activity (collective ops, GLB workers) swap in
+// the overlaid context so that nested finishes inherit the overlay, and
+// swap back when the body returns.
+func (c *Ctx) SwapProfileContext(pc context.Context) context.Context {
+	old := c.profCtx
+	c.profCtx = pc
+	return old
 }
 
 // TraceSpan returns the trace span id of the current scope (0 when
@@ -109,14 +133,24 @@ func (c *Ctx) Async(f func(*Ctx)) {
 	c.rt.spawnLocal(c.pl, fin, f)
 }
 
+// Activity kinds, the pprof "kind" label values of the core runtime's
+// execution paths (see obs.Profiler).
+const (
+	kindAsync     = "async"     // Async / local AtAsync
+	kindAtAsync   = "at.async"  // remote spawn arrival (at (p) async)
+	kindAtDirect  = "at.direct" // RDMA-emulation path, runs on the dispatcher
+	kindUncounted = "uncounted" // UncountedAsync
+	kindMain      = "main"      // the root activity of Runtime.Run
+)
+
 // spawnLocal schedules an activity at pl. The governing finish has already
 // counted it.
 func (rt *Runtime) spawnLocal(pl *place, fin finRef, f func(*Ctx)) {
 	if tr := rt.tracer; tr != nil && tr.DistEnabled() {
-		rt.spawnRun(pl, fin, f, nil, obs.SpanContext{}, pl.id)
+		rt.spawnRun(pl, fin, f, nil, obs.SpanContext{}, pl.id, kindAsync)
 		return
 	}
-	pl.sched.Spawn(func() { rt.runActivity(pl, fin, f, nil, nil) })
+	pl.sched.Spawn(func() { rt.runActivity(pl, fin, f, nil, nil, kindAsync) })
 }
 
 // actMeta is the distributed-tracing sidecar of one activity run: the
@@ -135,16 +169,30 @@ type actMeta struct {
 // cross-place critical path can separate scheduler queueing from body
 // execution.
 func (rt *Runtime) spawnRun(pl *place, fin finRef, f func(*Ctx), reply chan<- error,
-	tc obs.SpanContext, src Place) {
+	tc obs.SpanContext, src Place, kind string) {
 	if tr := rt.tracer; tr != nil && tr.DistEnabled() {
 		pl.sched.SpawnDelayed(func(wait int64) {
-			rt.runActivity(pl, fin, f, reply, &actMeta{tc: tc, src: src, slotWait: wait})
+			rt.runActivity(pl, fin, f, reply, &actMeta{tc: tc, src: src, slotWait: wait}, kind)
 		})
 		return
 	}
 	pl.sched.Spawn(func() {
-		rt.runActivity(pl, fin, f, reply, nil)
+		rt.runActivity(pl, fin, f, reply, nil, kind)
 	})
+}
+
+// runBody executes one activity body with panic capture, normalizing a
+// recovered panic to an error. It is the shared innermost frame of the
+// labeled and unlabeled execution paths, so the profiler wrap changes
+// attribution without changing semantics.
+func runBody(ctx *Ctx, f func(*Ctx)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = toError(r)
+		}
+	}()
+	f(ctx)
+	return nil
 }
 
 // runActivity executes one activity body with panic capture. If reply is
@@ -152,7 +200,7 @@ func (rt *Runtime) spawnRun(pl *place, fin finRef, f func(*Ctx), reply chan<- er
 // finish sees a clean termination; otherwise the recovered error is
 // reported to the governing finish. meta carries the distributed-tracing
 // sidecar (nil when distributed tracing is off).
-func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error, meta *actMeta) {
+func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<- error, meta *actMeta, kind string) {
 	ctx := &Ctx{rt: rt, pl: pl, fin: fin}
 	// Tracing: each activity body is one span in its own lane (tid), so
 	// concurrent activities of a place render side by side. The span
@@ -175,15 +223,19 @@ func (rt *Runtime) runActivity(pl *place, fin finRef, f func(*Ctx), reply chan<-
 		rt.causal.add(CausalSpan{Span: tid, Parent: fin.Span, Name: "async",
 			Place: pl.id, Src: meta.src, Home: fin.ID.Home, Seq: fin.ID.Seq, Start: t0})
 	}
+	// The profiler closure (read-only captures) is built only on the
+	// enabled branch; the disabled path runs the body directly, keeping
+	// it allocation-identical to a runtime without profiling.
 	var err error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				err = toError(r)
-			}
-		}()
-		f(ctx)
-	}()
+	if pr := rt.prof; pr != nil {
+		err = pr.Run(int(pl.id), fin.Pattern.metricKey(), kind,
+			func(pc context.Context) error {
+				ctx.profCtx = pc
+				return runBody(ctx, f)
+			})
+	} else {
+		err = runBody(ctx, f)
+	}
 	if tr != nil {
 		if meta != nil && meta.slotWait > 0 {
 			tr.CompleteEdge("async", "activity", int(pl.id), tid, t0, fin.Span, obs.EdgeChild,
@@ -231,9 +283,9 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 		// closure is a size class larger and costs a measurable slice of
 		// the FINISH_LOCAL fast path.
 		if tr := c.rt.tracer; tr != nil && tr.DistEnabled() {
-			c.rt.spawnRun(c.pl, c.fin, f, reply, obs.SpanContext{}, c.pl.id)
+			c.rt.spawnRun(c.pl, c.fin, f, reply, obs.SpanContext{}, c.pl.id, kindAsync)
 		} else {
-			c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply, nil) })
+			c.pl.sched.Spawn(func() { c.rt.runActivity(c.pl, c.fin, f, reply, nil, kindAsync) })
 		}
 		return
 	}
@@ -313,13 +365,13 @@ func (rt *Runtime) onSpawn(src, dst int, payload any) {
 	if m.Direct {
 		// RDMA path: run inline on the dispatcher, no scheduler slot.
 		if m.TC.Valid() {
-			rt.runActivity(pl, m.Fin, m.Body, nil, &actMeta{tc: m.TC, src: Place(src)})
+			rt.runActivity(pl, m.Fin, m.Body, nil, &actMeta{tc: m.TC, src: Place(src)}, kindAtDirect)
 		} else {
-			rt.runActivity(pl, m.Fin, m.Body, nil, nil)
+			rt.runActivity(pl, m.Fin, m.Body, nil, nil, kindAtDirect)
 		}
 		return
 	}
-	rt.spawnRun(pl, m.Fin, m.Body, nil, m.TC, Place(src))
+	rt.spawnRun(pl, m.Fin, m.Body, nil, m.TC, Place(src), kindAtAsync)
 }
 
 // At runs f at place p synchronously — X10's `at (p) S` place shift. The
@@ -395,14 +447,15 @@ func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
 		c.rt.finEvent(fin, c.pl, evLocalSpawn, p, nil, c)
 		wrapped := func(ctx *Ctx) {
 			var err error
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						err = toError(r)
-					}
-				}()
-				f(ctx)
-			}()
+			if pr := ctx.rt.prof; pr != nil {
+				err = pr.Run(int(p), fin.Pattern.metricKey(), kindAtDirect,
+					func(pc context.Context) error {
+						ctx.profCtx = pc
+						return runBody(ctx, f)
+					})
+			} else {
+				err = runBody(ctx, f)
+			}
 			c.rt.finEvent(fin, c.pl, evTerminate, p, err, ctx)
 		}
 		c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
@@ -482,5 +535,13 @@ func (c *Ctx) UncountedAsync(p Place, f func(*Ctx)) {
 // contained.
 func runUncounted(rt *Runtime, pl *place, f func(*Ctx)) {
 	defer func() { _ = recover() }()
-	f(&Ctx{rt: rt, pl: pl})
+	ctx := &Ctx{rt: rt, pl: pl}
+	if pr := rt.prof; pr != nil {
+		pr.Do(int(pl.id), "none", kindUncounted, func(pc context.Context) {
+			ctx.profCtx = pc
+			f(ctx)
+		})
+		return
+	}
+	f(ctx)
 }

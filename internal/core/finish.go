@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -202,15 +203,19 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 	// becomes the body's tracing scope, so nested finishes and extension
 	// spans (GLB steals) opened by the body attach under it.
 	inner := &Ctx{rt: c.rt, pl: pl, fin: ref, span: ref.Span}
+	// With profiling on, the body runs with the pattern label switched
+	// to the new finish's pattern (place/kind/app stay inherited), so
+	// CPU burned directly in a finish body — not in a spawned activity —
+	// is attributed to the pattern that governs it.
 	var bodyErr error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				bodyErr = toError(r)
-			}
-		}()
-		body(inner)
-	}()
+	if pr := c.rt.prof; pr != nil {
+		bodyErr = pr.RunPattern(c.profCtx, p.metricKey(), func(pc context.Context) error {
+			inner.profCtx = pc
+			return runBody(inner, body)
+		})
+	} else {
+		bodyErr = runBody(inner, body)
+	}
 
 	err := root.wait(pl)
 

@@ -142,3 +142,13 @@ func (rt *Runtime) PlaceRegistry(p Place) *obs.Registry {
 // Extension layers (glb, collectives) use it to record their spans next
 // to the runtime's.
 func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
+
+// Profiler returns the activity profiler, or nil when profiling is
+// disabled. Extension layers (glb, collectives) use it to reattribute
+// the bodies they run inside core activities.
+func (rt *Runtime) Profiler() *obs.Profiler { return rt.prof }
+
+// MetricKey returns the lowercase registry/profile-label segment for a
+// pattern ("spmd" for FINISH_SPMD, and so on) — the value the profiler
+// stamps as the "pattern" pprof label.
+func (p Pattern) MetricKey() string { return p.metricKey() }

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -118,6 +119,7 @@ type Runtime struct {
 	// observability (all nil when disabled; see obs.go)
 	obs    *obs.Obs
 	tracer *obs.Tracer
+	prof   *obs.Profiler
 	m      *runtimeMetrics
 	flight *obs.FlightRecorder
 	fids   *flightIDs
@@ -191,6 +193,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if o != nil {
 		rt.obs = o
 		rt.tracer = o.Trace
+		rt.prof = o.Prof
 		rt.m = newRuntimeMetrics(o.Metrics)
 		if f := o.FlightRecorder(); f != nil {
 			rt.flight = f
@@ -302,7 +305,19 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 	var err error
 	pl.sched.Run(func() {
 		ctx := &Ctx{rt: rt, pl: pl}
-		err = ctx.Finish(main)
+		// The root activity carries the base label set; every goroutine
+		// it spawns inherits the labels until an inner scope overrides
+		// them, so even un-instrumented helper goroutines stay
+		// attributable to place 0's main line.
+		if pr := rt.prof; pr != nil {
+			err = pr.Run(0, PatternDefault.metricKey(), kindMain,
+				func(pc context.Context) error {
+					ctx.profCtx = pc
+					return ctx.Finish(main)
+				})
+		} else {
+			err = ctx.Finish(main)
+		}
 	})
 	if err != nil {
 		if f := rt.fids; f != nil {

@@ -27,6 +27,7 @@
 package glb
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -118,6 +119,14 @@ type Balancer struct {
 	// observability (nil handles when the runtime has no obs layer)
 	tr *obs.Tracer
 	m  balancerMetrics
+	// prof stamps worker bodies with kind=glb.worker pprof labels (nil
+	// when profiling is off); patKey is the root finish's pattern label.
+	// Stolen work executes inside the thief's worker loop, so its
+	// samples carry the thief's place label — cost incurred on the thief
+	// is attributed to the thief, which is exactly the accounting plain
+	// finish-pattern labels cannot provide.
+	prof   *obs.Profiler
+	patKey string
 }
 
 // balancerMetrics mirrors the per-place Stats counters into the metrics
@@ -189,6 +198,7 @@ func New(rt *core.Runtime, cfg Config, makeBag func(core.Place) TaskBag) *Balanc
 	cfg.applyDefaults(n)
 	b := &Balancer{rt: rt, cfg: cfg, states: make([]*placeState, n)}
 	b.tr = rt.Tracer()
+	b.prof = rt.Profiler()
 	// Registry handles are nil-safe no-ops when the runtime carries no
 	// observability layer (obs.Registry's methods accept a nil receiver).
 	reg := rt.Obs().Registry()
@@ -244,6 +254,7 @@ func (b *Balancer) Run(ctx *core.Ctx) error {
 	if b.cfg.DenseFinish {
 		pattern = core.PatternDense
 	}
+	b.patKey = pattern.MetricKey()
 	return ctx.FinishPragma(pattern, func(c *core.Ctx) {
 		for _, p := range c.Places() {
 			p := p
@@ -252,10 +263,26 @@ func (b *Balancer) Run(ctx *core.Ctx) error {
 				st.mu.Lock()
 				st.active = true
 				st.mu.Unlock()
-				b.worker(cc, st)
+				b.runWorker(cc, st, int(p))
 			})
 		}
 	})
+}
+
+// runWorker enters the worker loop at place p, relabeled kind=glb.worker
+// when profiling is on so every quantum of bag processing — including
+// stolen and lifeline-delivered work — is attributed to the place that
+// actually executes it.
+func (b *Balancer) runWorker(ctx *core.Ctx, st *placeState, p int) {
+	if pr := b.prof; pr != nil {
+		pr.Do(p, b.patKey, "glb.worker", func(pc context.Context) {
+			old := ctx.SwapProfileContext(pc)
+			defer ctx.SwapProfileContext(old)
+			b.worker(ctx, st)
+		})
+		return
+	}
+	b.worker(ctx, st)
 }
 
 // worker is the main loop of one place: process, distribute along
@@ -462,7 +489,7 @@ func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
 					b.tr.NextID(), diedAt, ct.FinishTraceSpan(), obs.EdgeLifeline)
 				b.tr.Instant("glb.resuscitate", "glb", int(thief))
 			}
-			ct.Async(func(cw *core.Ctx) { b.worker(cw, ts) })
+			ct.Async(func(cw *core.Ctx) { b.runWorker(cw, ts, int(thief)) })
 		}
 	})
 }

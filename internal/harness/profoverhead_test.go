@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/obs"
+)
+
+// nilProf lives at package scope so the compiler cannot prove it nil
+// and fold the disabled-path branches away.
+var nilProf *obs.Profiler
+
+var profSink bool
+
+// TestProfilingDisabledOverhead is the activity-profiling acceptance
+// gate, asserted by `make bench-smoke`, built like the tracing gate
+// (TestTracingDisabledOverhead): raw before/after wall-clock deltas are
+// too noisy for CI, so the <2% budget is enforced through properties
+// that stay stable on a loaded machine.
+//
+//  1. The disabled hooks allocate nothing. The runtime's call sites
+//     build the pprof label closure only inside the `pr != nil` branch,
+//     so with profiling off an activity costs one pointer load and
+//     branch — no closure, no LabelSet, no context.
+//  2. Allocation parity: a remote finish cycle allocates exactly the
+//     same with a profiling-capable-but-disabled observability layer as
+//     with no observability at all.
+//  3. The per-activity hook cost on the disabled path, measured
+//     directly, must be under 2% of the cheapest message the profiler
+//     wraps (a FINISH_ASYNC remote spawn plus its completion credit).
+func TestProfilingDisabledOverhead(t *testing.T) {
+	// (1) Allocation-free disabled hooks. The fn closures are prebuilt:
+	// at the real call sites they exist only on the enabled branch.
+	errFn := func(context.Context) error { return nil }
+	voidFn := func(context.Context) {}
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"nil Enabled", func() { profSink = nilProf.Enabled() }},
+		{"nil Run", func() { _ = nilProf.Run(0, "default", "async", errFn) }},
+		{"nil Do", func() { nilProf.Do(0, "none", "uncounted", voidFn) }},
+		{"nil RunPattern", func() { _ = nilProf.RunPattern(nil, "dense", errFn) }},
+		{"nil DoKind", func() { nilProf.DoKind(nil, "collective.allreduce", voidFn) }},
+		{"nil SetApp", func() { nilProf.SetApp("x") }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(1000, c.fn); n != 0 {
+			t.Errorf("%s allocates %.1f objects/op on the disabled path, want 0", c.name, n)
+		}
+	}
+
+	// (2) Alloc parity: the same remote finish cycle, with and without a
+	// (profiling-disabled) observability layer attached.
+	cycleAllocs := func(o *obs.Obs) float64 {
+		rt, err := core.NewRuntime(core.Config{Places: 2, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		var res float64
+		err = rt.Run(func(ctx *core.Ctx) {
+			// Warm up lazily-created state before counting.
+			for i := 0; i < 50; i++ {
+				_ = ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+					c.AtAsync(1, func(*core.Ctx) {})
+				})
+			}
+			res = testing.AllocsPerRun(500, func() {
+				_ = ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+					c.AtAsync(1, func(*core.Ctx) {})
+				})
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := cycleAllocs(nil)
+	withObs := cycleAllocs(obs.New()) // Prof stays nil: profiling off
+	t.Logf("allocs per remote finish cycle: no obs %.2f, obs without profiling %.2f", bare, withObs)
+	if diff := withObs - bare; diff > 0.05 || diff < -0.05 {
+		t.Errorf("profiling-disabled runtime allocates %.2f/cycle vs %.2f bare — disabled path not allocation-identical",
+			withObs, bare)
+	}
+
+	// (3) Hook cost vs message cost. An activity pays one profiler
+	// branch at spawn-run and a finish body pays one more; measure the
+	// pair.
+	const hookIters = 1_000_000
+	start := time.Now()
+	for i := 0; i < hookIters; i++ {
+		if pr := nilProf; pr != nil {
+			t.Fatal("unreachable")
+		}
+		profSink = nilProf.Enabled()
+	}
+	hookNs := float64(time.Since(start).Nanoseconds()) / hookIters
+
+	rt, err := core.NewRuntime(core.Config{Places: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	const finishes = 3000 // 2 messages each: spawn + completion credit
+	var msgNs float64
+	err = rt.Run(func(ctx *core.Ctx) {
+		t0 := time.Now()
+		for i := 0; i < finishes; i++ {
+			if ferr := ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+				c.AtAsync(1, func(*core.Ctx) {})
+			}); ferr != nil {
+				t.Error(ferr)
+				return
+			}
+		}
+		msgNs = float64(time.Since(t0).Nanoseconds()) / (2 * finishes)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := hookNs / msgNs
+	t.Logf("disabled profiler hook pair %.2f ns, FINISH_ASYNC message %.0f ns: overhead %.3f%%",
+		hookNs, msgNs, 100*ratio)
+	if ratio >= 0.02 {
+		t.Errorf("disabled-profiling hook overhead %.2f%% of message cost, want < 2%%", 100*ratio)
+	}
+}
+
+// benchFinishCycle times one remote finish cycle (FINISH_ASYNC spawn at
+// place 1 plus its completion credit) on a 2-place runtime built over o.
+func benchFinishCycle(b *testing.B, o *obs.Obs) {
+	rt, err := core.NewRuntime(core.Config{Places: 2, Obs: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	err = rt.Run(func(ctx *core.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+				c.AtAsync(1, func(*core.Ctx) {})
+			})
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFinishAsyncProfilingOff/On measure the label-propagation
+// cost: Off is the zero-cost disabled path, On stamps the full pprof
+// label set (place, pattern, kind, app) on every activity boundary the
+// cycle crosses. The On/Off delta is the number EXPERIMENTS.md reports.
+func BenchmarkFinishAsyncProfilingOff(b *testing.B) {
+	benchFinishCycle(b, obs.New())
+}
+
+func BenchmarkFinishAsyncProfilingOn(b *testing.B) {
+	benchFinishCycle(b, obs.New().EnableProfiling("bench"))
+}

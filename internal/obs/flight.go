@@ -276,8 +276,8 @@ func (f *FlightRecorder) WriteDump(w io.Writer) error {
 	events := f.Events()
 	recorded := f.Recorded()
 	dropped := recorded - uint64(len(events))
-	if _, err := fmt.Fprintf(w, `{"type":%q,"version":1,"events":%d,"recorded":%d,"dropped":%d}`+"\n",
-		FlightDumpMagic, len(events), recorded, dropped); err != nil {
+	if _, err := fmt.Fprintf(w, `{"type":%q,"version":1,"events":%d,"recorded":%d,"dropped":%d,"runtime":%s}`+"\n",
+		FlightDumpMagic, len(events), recorded, dropped, TakeRuntimeSnapshot().JSON()); err != nil {
 		return err
 	}
 	for _, e := range events {

@@ -1,0 +1,258 @@
+// health.go samples the Go runtime's own health signals — GC pause
+// quantiles, scheduler latencies, heap and goroutine levels — into
+// plain gauges so they ride the same telemetry gather tree and
+// Prometheus endpoint as the APGAS runtime's metrics. An unhealthy
+// place (GC thrashing, scheduler backlog) then shows up in the place-0
+// cluster report next to its message and steal rates instead of
+// needing a separate tool.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// healthMetricNames are the runtime/metrics samples the sampler reads.
+// Kept to a small stable set that exists in every supported Go release.
+var healthMetricNames = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/gomaxprocs:threads",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// HealthSampler periodically folds runtime/metrics into gauges. The
+// gauges are registered both in the process registry and, via shared
+// *Gauge objects, in every place registry, so the per-place telemetry
+// gather reports each place's host-process health (places colocated in
+// one process legitimately report the same values).
+type HealthSampler struct {
+	samples []metrics.Sample
+
+	goroutines  *Gauge // health.goroutines
+	gomaxprocs  *Gauge // health.gomaxprocs
+	heapObjects *Gauge // health.heap.objects.bytes
+	memTotal    *Gauge // health.mem.total.bytes
+	gcCycles    *Gauge // health.gc.cycles
+	gcPauseP50  *Gauge // health.gc.pause.p50.us
+	gcPauseP99  *Gauge // health.gc.pause.p99.us
+	schedLatP50 *Gauge // health.sched.latency.p50.us
+	schedLatP99 *Gauge // health.sched.latency.p99.us
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealthSampler builds a sampler whose gauges live in o's process
+// registry and in each of o's place registries. Returns nil when
+// observability is disabled.
+func NewHealthSampler(o *Obs, places int) *HealthSampler {
+	if o == nil {
+		return nil
+	}
+	h := &HealthSampler{samples: make([]metrics.Sample, len(healthMetricNames))}
+	for i, name := range healthMetricNames {
+		h.samples[i].Name = name
+	}
+	proc := o.Registry()
+	h.goroutines = proc.Gauge("health.goroutines")
+	h.gomaxprocs = proc.Gauge("health.gomaxprocs")
+	h.heapObjects = proc.Gauge("health.heap.objects.bytes")
+	h.memTotal = proc.Gauge("health.mem.total.bytes")
+	h.gcCycles = proc.Gauge("health.gc.cycles")
+	h.gcPauseP50 = proc.Gauge("health.gc.pause.p50.us")
+	h.gcPauseP99 = proc.Gauge("health.gc.pause.p99.us")
+	h.schedLatP50 = proc.Gauge("health.sched.latency.p50.us")
+	h.schedLatP99 = proc.Gauge("health.sched.latency.p99.us")
+	for p := 0; p < places; p++ {
+		r := o.Place(p)
+		r.RegisterGauge("health.goroutines", h.goroutines)
+		r.RegisterGauge("health.gomaxprocs", h.gomaxprocs)
+		r.RegisterGauge("health.heap.objects.bytes", h.heapObjects)
+		r.RegisterGauge("health.mem.total.bytes", h.memTotal)
+		r.RegisterGauge("health.gc.cycles", h.gcCycles)
+		r.RegisterGauge("health.gc.pause.p50.us", h.gcPauseP50)
+		r.RegisterGauge("health.gc.pause.p99.us", h.gcPauseP99)
+		r.RegisterGauge("health.sched.latency.p50.us", h.schedLatP50)
+		r.RegisterGauge("health.sched.latency.p99.us", h.schedLatP99)
+	}
+	return h
+}
+
+// SampleNow reads runtime/metrics once and updates the gauges. Safe to
+// call concurrently with a running Start loop and on a nil receiver.
+func (h *HealthSampler) SampleNow() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	metrics.Read(h.samples)
+	for _, s := range h.samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			h.goroutines.Set(uint64Gauge(s.Value))
+		case "/sched/gomaxprocs:threads":
+			h.gomaxprocs.Set(uint64Gauge(s.Value))
+		case "/memory/classes/heap/objects:bytes":
+			h.heapObjects.Set(uint64Gauge(s.Value))
+		case "/memory/classes/total:bytes":
+			h.memTotal.Set(uint64Gauge(s.Value))
+		case "/gc/cycles/total:gc-cycles":
+			h.gcCycles.Set(uint64Gauge(s.Value))
+		case "/gc/pauses:seconds":
+			h.gcPauseP50.Set(histQuantileUs(s.Value, 0.5))
+			h.gcPauseP99.Set(histQuantileUs(s.Value, 0.99))
+		case "/sched/latencies:seconds":
+			h.schedLatP50.Set(histQuantileUs(s.Value, 0.5))
+			h.schedLatP99.Set(histQuantileUs(s.Value, 0.99))
+		}
+	}
+}
+
+// Start launches the periodic sampling loop. A second Start without an
+// intervening Stop is a no-op.
+func (h *HealthSampler) Start(interval time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.stop != nil {
+		h.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	h.stop, h.done = stop, done
+	h.mu.Unlock()
+	h.SampleNow()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				h.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling loop and waits for it to exit.
+func (h *HealthSampler) Stop() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func uint64Gauge(v metrics.Value) int64 {
+	if v.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	u := v.Uint64()
+	if u > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(u)
+}
+
+// histQuantileUs computes a nearest-rank quantile in microseconds from
+// a runtime/metrics float64 histogram (bucket bounds in seconds; first
+// and last bounds may be ±Inf).
+func histQuantileUs(v metrics.Value, q float64) int64 {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := v.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans (Buckets[i], Buckets[i+1]]; report the
+			// upper bound, falling back to the lower when it is +Inf.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, +1) {
+				ub = h.Buckets[i]
+			}
+			if math.IsInf(ub, -1) || ub < 0 {
+				ub = 0
+			}
+			return int64(ub * 1e6)
+		}
+	}
+	return 0
+}
+
+// RuntimeSnapshot is a compact point-in-time picture of the Go runtime,
+// cheap enough to take inside a watchdog stall dump or a flight-record
+// header.
+type RuntimeSnapshot struct {
+	Goroutines    int
+	HeapInuse     uint64 // bytes
+	HeapSys       uint64 // bytes
+	NumGC         uint32
+	LastGCPauseNs uint64
+}
+
+// TakeRuntimeSnapshot reads the snapshot via runtime.ReadMemStats.
+func TakeRuntimeSnapshot() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSnapshot{
+		Goroutines: runtime.NumGoroutine(),
+		HeapInuse:  ms.HeapInuse,
+		HeapSys:    ms.HeapSys,
+		NumGC:      ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		s.LastGCPauseNs = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	return s
+}
+
+// String renders the snapshot as a compact single line for text dumps.
+func (s RuntimeSnapshot) String() string {
+	return fmt.Sprintf("goroutines=%d heap_inuse=%d heap_sys=%d num_gc=%d last_gc_pause_ns=%d",
+		s.Goroutines, s.HeapInuse, s.HeapSys, s.NumGC, s.LastGCPauseNs)
+}
+
+// JSON renders the snapshot as a JSON object fragment for embedding in
+// dump headers.
+func (s RuntimeSnapshot) JSON() string {
+	return fmt.Sprintf(`{"goroutines":%d,"heap_inuse":%d,"heap_sys":%d,"num_gc":%d,"last_gc_pause_ns":%d}`,
+		s.Goroutines, s.HeapInuse, s.HeapSys, s.NumGC, s.LastGCPauseNs)
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthSampler(t *testing.T) {
+	o := New()
+	h := NewHealthSampler(o, 3)
+	if h == nil {
+		t.Fatal("NewHealthSampler returned nil for non-nil Obs")
+	}
+	// Force a GC so pause/cycle metrics are non-trivial.
+	runtime.GC()
+	h.SampleNow()
+
+	proc := o.Registry().Snapshot()
+	if g := proc.Gauge("health.goroutines"); g <= 0 {
+		t.Fatalf("health.goroutines = %d, want > 0", g)
+	}
+	if g := proc.Gauge("health.gomaxprocs"); g <= 0 {
+		t.Fatalf("health.gomaxprocs = %d, want > 0", g)
+	}
+	if g := proc.Gauge("health.heap.objects.bytes"); g <= 0 {
+		t.Fatalf("health.heap.objects.bytes = %d, want > 0", g)
+	}
+	if g := proc.Gauge("health.gc.cycles"); g <= 0 {
+		t.Fatalf("health.gc.cycles = %d, want > 0 after runtime.GC", g)
+	}
+
+	// Shared gauges: every place registry reports the same values.
+	for p := 0; p < 3; p++ {
+		ps := o.Place(p).Snapshot()
+		if got, want := ps.Gauge("health.goroutines"), proc.Gauge("health.goroutines"); got != want {
+			t.Fatalf("place %d health.goroutines = %d, process = %d", p, got, want)
+		}
+	}
+}
+
+func TestHealthSamplerNil(t *testing.T) {
+	var h *HealthSampler
+	h.SampleNow()
+	h.Start(time.Millisecond)
+	h.Stop()
+	if s := NewHealthSampler(nil, 2); s != nil {
+		t.Fatal("NewHealthSampler(nil) should return nil")
+	}
+}
+
+func TestHealthSamplerStartStop(t *testing.T) {
+	o := New()
+	h := NewHealthSampler(o, 1)
+	h.Start(time.Millisecond)
+	h.Start(time.Millisecond) // second Start is a no-op
+	time.Sleep(5 * time.Millisecond)
+	h.Stop()
+	h.Stop() // idempotent
+	if g := o.Registry().Snapshot().Gauge("health.goroutines"); g <= 0 {
+		t.Fatalf("sampling loop never ran: health.goroutines = %d", g)
+	}
+}
+
+func TestRuntimeSnapshot(t *testing.T) {
+	runtime.GC()
+	s := TakeRuntimeSnapshot()
+	if s.Goroutines <= 0 || s.HeapInuse == 0 || s.NumGC == 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	line := s.String()
+	for _, want := range []string{"goroutines=", "heap_inuse=", "num_gc="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("String() = %q missing %q", line, want)
+		}
+	}
+	js := s.JSON()
+	if !strings.HasPrefix(js, `{"goroutines":`) || !strings.HasSuffix(js, "}") {
+		t.Fatalf("JSON() = %q", js)
+	}
+}

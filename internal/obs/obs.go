@@ -32,6 +32,14 @@ type Obs struct {
 	// Flight is the always-on flight recorder; always non-nil in a
 	// constructed Obs (it records regardless of whether Trace is set).
 	Flight *FlightRecorder
+	// Prof is the activity profiler stamping pprof goroutine labels on
+	// activity bodies, nil unless profiling was requested
+	// (EnableProfiling).
+	Prof *Profiler
+	// ProfRing retains recent CPU/heap profile captures for the debug
+	// server and watchdog stall dumps, nil unless enabled
+	// (EnableProfileRing).
+	ProfRing *ProfileRing
 
 	placeMu sync.Mutex
 	places  map[int]*Registry
@@ -57,6 +65,40 @@ func NewTracingDist() *Obs {
 	o := NewTracing()
 	o.Trace.EnableDist(1)
 	return o
+}
+
+// EnableProfiling attaches a Profiler (pprof goroutine labels on every
+// activity) with the given app/experiment name and returns o, for
+// chaining onto a constructor. Runtimes created afterwards stamp
+// (place, pattern, kind, app) labels on every activity body.
+func (o *Obs) EnableProfiling(app string) *Obs {
+	o.Prof = NewProfiler(app)
+	return o
+}
+
+// EnableProfileRing attaches a bounded ring retaining the last max
+// profile captures and returns o, for chaining.
+func (o *Obs) EnableProfileRing(max int) *Obs {
+	o.ProfRing = NewProfileRing(max)
+	return o
+}
+
+// ProfileRing returns the profile capture ring, nil when o is nil or
+// the ring is disabled.
+func (o *Obs) ProfileRing() *ProfileRing {
+	if o == nil {
+		return nil
+	}
+	return o.ProfRing
+}
+
+// Profiler returns the activity profiler, nil when o is nil or
+// profiling is disabled.
+func (o *Obs) Profiler() *Profiler {
+	if o == nil {
+		return nil
+	}
+	return o.Prof
 }
 
 // Tracer returns the tracer, nil when o is nil or tracing is disabled.

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
+
+// Profiler is the activity-attribution side of the observability layer:
+// it stamps pprof goroutine labels — place, finish pattern, activity
+// kind, and app/experiment name — onto every activity body the runtime
+// executes, so CPU and heap profiles partition by runtime subsystem and
+// workload instead of by anonymous closures. Because goroutine labels
+// are inherited by child goroutines and restored on return, a labeled
+// sample always names the innermost activity that burned the CPU: a
+// GLB-stolen task is attributed to the thief's place, not the victim's.
+//
+// Like the Tracer, a Profiler is nil when profiling is disabled, and the
+// runtime's instrumented paths pay exactly one pointer load and branch;
+// the label machinery (LabelSet construction, context plumbing) lives
+// only behind the enabled branch. Label sets are cached per
+// (place, pattern, kind, app) tuple — a small, bounded space — so the
+// enabled path does one read-locked map lookup per activity, with no
+// per-activity allocation after warm-up.
+type Profiler struct {
+	mu       sync.RWMutex
+	app      string
+	full     map[profKey]pprof.LabelSet
+	kinds    map[string]pprof.LabelSet
+	patterns map[string]pprof.LabelSet
+}
+
+// Label keys stamped by the Profiler. Kept short and unprefixed so
+// `go tool pprof -tagfocus` invocations stay readable.
+const (
+	// LabelPlace is the place the activity executed at ("0", "1", ...).
+	LabelPlace = "place"
+	// LabelPattern is the governing finish pattern's metric key
+	// ("default", "spmd", "dense", ...; "none" for uncounted activities).
+	LabelPattern = "pattern"
+	// LabelKind is the activity kind: how the body reached the runtime
+	// ("async", "at.async", "at", "at.direct", "uncounted", "main",
+	// "glb.worker", "collective.<op>", "dispatch").
+	LabelKind = "kind"
+	// LabelApp is the process-wide app/experiment name (SetApp).
+	LabelApp = "app"
+)
+
+type profKey struct {
+	place   int
+	pattern string
+	kind    string
+	app     string
+}
+
+// NewProfiler returns an enabled Profiler whose app label is app (the
+// empty string omits the label until SetApp is called).
+func NewProfiler(app string) *Profiler {
+	return &Profiler{
+		app:      app,
+		full:     make(map[profKey]pprof.LabelSet),
+		kinds:    make(map[string]pprof.LabelSet),
+		patterns: make(map[string]pprof.LabelSet),
+	}
+}
+
+// SetApp installs name as the app/experiment label stamped on
+// subsequently started activities (running activities keep the label
+// they started with). The harness calls it per experiment so one
+// profile spanning several workloads still partitions by app. Nil-safe.
+func (p *Profiler) SetApp(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.app = name
+	p.mu.Unlock()
+}
+
+// App returns the current app label ("" on a nil receiver).
+func (p *Profiler) App() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.app
+}
+
+// Enabled reports whether profiling labels are being applied. It is the
+// disabled-path hook the overhead gate measures: on a nil receiver it
+// must compile to a pointer test.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// labels returns the cached full label set for (place, pattern, kind)
+// under the current app, building it on first use.
+func (p *Profiler) labels(place int, pattern, kind string) pprof.LabelSet {
+	p.mu.RLock()
+	key := profKey{place: place, pattern: pattern, kind: kind, app: p.app}
+	ls, ok := p.full[key]
+	p.mu.RUnlock()
+	if ok {
+		return ls
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key.app = p.app
+	if ls, ok = p.full[key]; ok {
+		return ls
+	}
+	kv := []string{
+		LabelPlace, strconv.Itoa(place),
+		LabelPattern, pattern,
+		LabelKind, kind,
+	}
+	if key.app != "" {
+		kv = append(kv, LabelApp, key.app)
+	}
+	ls = pprof.Labels(kv...)
+	p.full[key] = ls
+	return ls
+}
+
+// overlay returns a cached single-key label set from cache, building it
+// on first use. The caller passes the cache map keyed by value.
+func (p *Profiler) overlay(cache map[string]pprof.LabelSet, labelKey, val string) pprof.LabelSet {
+	p.mu.RLock()
+	ls, ok := cache[val]
+	p.mu.RUnlock()
+	if ok {
+		return ls
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ls, ok = cache[val]; ok {
+		return ls
+	}
+	ls = pprof.Labels(labelKey, val)
+	cache[val] = ls
+	return ls
+}
+
+// Run executes fn on the current goroutine with the full
+// (place, pattern, kind, app) label set installed, restoring the
+// previous labels on return, and returns fn's error. fn receives the
+// labeled context; activity bodies stash it (core.Ctx) so that nested
+// overlays (RunPattern, DoKind) can extend the full set rather than
+// replace it — pprof.Do installs exactly the context's label map, so an
+// overlay built on context.Background would silently erase the other
+// labels. On a nil receiver Run calls fn with a nil context. Runtime
+// call sites branch on the receiver themselves so the disabled path
+// never builds the fn closure.
+func (p *Profiler) Run(place int, pattern, kind string, fn func(context.Context) error) error {
+	if p == nil {
+		return fn(nil)
+	}
+	var err error
+	pprof.Do(context.Background(), p.labels(place, pattern, kind), func(c context.Context) {
+		err = fn(c)
+	})
+	return err
+}
+
+// Do is Run for bodies that do not return an error.
+func (p *Profiler) Do(place int, pattern, kind string, fn func(context.Context)) {
+	if p == nil {
+		fn(nil)
+		return
+	}
+	pprof.Do(context.Background(), p.labels(place, pattern, kind), fn)
+}
+
+// DoKind executes fn with the kind label overridden on top of parent —
+// the enclosing activity's labeled context (nil falls back to
+// Background, losing the other labels). Extension layers running inside
+// an already-labeled activity (collective ops) use it to reattribute
+// just the subsystem.
+func (p *Profiler) DoKind(parent context.Context, kind string, fn func(context.Context)) {
+	if p == nil {
+		fn(nil)
+		return
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	pprof.Do(parent, p.overlay(p.kinds, LabelKind, kind), fn)
+}
+
+// RunPattern executes fn with the pattern label overridden on top of
+// parent — the FinishPragma body path, where the enclosing activity's
+// place, kind, and app remain correct but the governing pattern
+// changes.
+func (p *Profiler) RunPattern(parent context.Context, pattern string, fn func(context.Context) error) error {
+	if p == nil {
+		return fn(nil)
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	var err error
+	pprof.Do(parent, p.overlay(p.patterns, LabelPattern, pattern), func(c context.Context) {
+		err = fn(c)
+	})
+	return err
+}
+
+// LabelGoroutine permanently labels the calling goroutine with
+// (place, kind) — for long-lived runtime service goroutines (transport
+// dispatchers) that are born before any activity runs and never return.
+// Unlike Run/Do there is no restore; do not call it from activity
+// bodies. Nil-safe.
+func (p *Profiler) LabelGoroutine(place int, kind string) {
+	if p == nil {
+		return
+	}
+	ctx := pprof.WithLabels(context.Background(), pprof.Labels(
+		LabelPlace, strconv.Itoa(place), LabelKind, kind))
+	pprof.SetGoroutineLabels(ctx)
+}

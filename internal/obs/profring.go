@@ -1,0 +1,192 @@
+// profring.go keeps a bounded in-memory ring of recent CPU and heap
+// profiles so that a stall or regression can be diagnosed after the
+// fact: the debug server serves the ring over /debug/profilez, and the
+// telemetry watchdog drops a heap snapshot into it when a finish
+// deficit stalls. Retention is by count — old snapshots fall off the
+// back — so memory stays bounded no matter how long the process runs.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// ProfileSnapshot is one captured profile: the raw pprof protobuf bytes
+// plus enough metadata to pick the right one later.
+type ProfileSnapshot struct {
+	Seq  uint64        // monotonically increasing id
+	Kind string        // "cpu" or "heap"
+	At   time.Time     // capture start
+	Dur  time.Duration // capture window (zero for instantaneous heap)
+	Data []byte        // gzipped pprof protobuf
+}
+
+// ProfileRing is a fixed-capacity ring of ProfileSnapshots. All methods
+// are safe for concurrent use and safe on a nil receiver.
+type ProfileRing struct {
+	mu    sync.Mutex
+	max   int
+	seq   uint64
+	snaps []ProfileSnapshot
+}
+
+// NewProfileRing creates a ring retaining at most max snapshots
+// (minimum 1).
+func NewProfileRing(max int) *ProfileRing {
+	if max < 1 {
+		max = 1
+	}
+	return &ProfileRing{max: max}
+}
+
+// Add stores a snapshot, evicting the oldest when full, and returns its
+// sequence number (0 on a nil ring).
+func (r *ProfileRing) Add(kind string, at time.Time, dur time.Duration, data []byte) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.snaps = append(r.snaps, ProfileSnapshot{
+		Seq: r.seq, Kind: kind, At: at, Dur: dur, Data: data,
+	})
+	if len(r.snaps) > r.max {
+		// Drop from the front; copy to release the evicted Data.
+		keep := make([]ProfileSnapshot, r.max)
+		copy(keep, r.snaps[len(r.snaps)-r.max:])
+		r.snaps = keep
+	}
+	return r.seq
+}
+
+// Snapshots returns the retained snapshots oldest-first. The Data
+// slices are shared with the ring and must be treated as read-only.
+func (r *ProfileRing) Snapshots() []ProfileSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ProfileSnapshot, len(r.snaps))
+	copy(out, r.snaps)
+	return out
+}
+
+// Get returns the snapshot with the given sequence number.
+func (r *ProfileRing) Get(seq uint64) (ProfileSnapshot, bool) {
+	if r == nil {
+		return ProfileSnapshot{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.snaps {
+		if s.Seq == seq {
+			return s, true
+		}
+	}
+	return ProfileSnapshot{}, false
+}
+
+// Latest returns the most recent snapshot of the given kind ("" for
+// any kind).
+func (r *ProfileRing) Latest(kind string) (ProfileSnapshot, bool) {
+	if r == nil {
+		return ProfileSnapshot{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.snaps) - 1; i >= 0; i-- {
+		if kind == "" || r.snaps[i].Kind == kind {
+			return r.snaps[i], true
+		}
+	}
+	return ProfileSnapshot{}, false
+}
+
+// CaptureHeap takes a heap profile right now and adds it to the ring.
+// Used by the watchdog to attach memory state to stall dumps.
+func (r *ProfileRing) CaptureHeap() (uint64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	var buf bytes.Buffer
+	p := pprof.Lookup("heap")
+	if p == nil {
+		return 0, fmt.Errorf("profring: no heap profile available")
+	}
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return 0, fmt.Errorf("profring: heap capture: %w", err)
+	}
+	return r.Add("heap", time.Now(), 0, buf.Bytes()), nil
+}
+
+// CaptureOptions configures the periodic capture loop.
+type CaptureOptions struct {
+	// Interval between capture rounds. Default 30s.
+	Interval time.Duration
+	// CPUWindow is how long each round's CPU profile runs. Zero
+	// disables CPU capture (only one CPU profile can be active
+	// process-wide; rounds silently skip when another is running).
+	CPUWindow time.Duration
+	// Heap enables a heap snapshot each round.
+	Heap bool
+}
+
+// StartCapture launches the continuous capture loop and returns a stop
+// function that halts it and waits for it to exit. Returns a no-op stop
+// on a nil ring.
+func (r *ProfileRing) StartCapture(opts CaptureOptions) func() {
+	if r == nil {
+		return func() {}
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 30 * time.Second
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(opts.Interval)
+		defer t.Stop()
+		// First round immediately: short runs should still leave a
+		// snapshot in the ring rather than exit inside the first interval.
+		r.captureRound(opts, stop)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.captureRound(opts, stop)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
+// captureRound performs one round of captures. The CPU window aborts
+// early when stop closes so shutdown never blocks on the window.
+func (r *ProfileRing) captureRound(opts CaptureOptions, stop chan struct{}) {
+	if opts.Heap {
+		_, _ = r.CaptureHeap()
+	}
+	if opts.CPUWindow > 0 {
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			return // another CPU profile is active; try next round
+		}
+		select {
+		case <-stop:
+		case <-time.After(opts.CPUWindow):
+		}
+		pprof.StopCPUProfile()
+		r.Add("cpu", start, time.Since(start), buf.Bytes())
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfileRingRetention(t *testing.T) {
+	r := NewProfileRing(3)
+	for i := 1; i <= 5; i++ {
+		seq := r.Add("cpu", time.Unix(int64(i), 0), time.Second, []byte{byte(i)})
+		if seq != uint64(i) {
+			t.Fatalf("Add %d returned seq %d", i, seq)
+		}
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("retained %d snapshots, want 3", len(snaps))
+	}
+	// Oldest-first, sequences 3..5 survive.
+	for i, s := range snaps {
+		if s.Seq != uint64(i+3) {
+			t.Fatalf("snapshot %d has seq %d, want %d", i, s.Seq, i+3)
+		}
+	}
+	if _, ok := r.Get(1); ok {
+		t.Fatal("evicted snapshot 1 still retrievable")
+	}
+	if s, ok := r.Get(4); !ok || s.Data[0] != 4 {
+		t.Fatalf("Get(4) = %+v, %v", s, ok)
+	}
+}
+
+func TestProfileRingLatest(t *testing.T) {
+	r := NewProfileRing(10)
+	r.Add("heap", time.Unix(1, 0), 0, nil)
+	r.Add("cpu", time.Unix(2, 0), time.Second, nil)
+	r.Add("heap", time.Unix(3, 0), 0, nil)
+	if s, ok := r.Latest("cpu"); !ok || s.Seq != 2 {
+		t.Fatalf("Latest(cpu) = %+v, %v", s, ok)
+	}
+	if s, ok := r.Latest(""); !ok || s.Seq != 3 {
+		t.Fatalf("Latest() = %+v, %v", s, ok)
+	}
+	if _, ok := r.Latest("goroutine"); ok {
+		t.Fatal("Latest(goroutine) should miss")
+	}
+}
+
+func TestProfileRingNil(t *testing.T) {
+	var r *ProfileRing
+	if seq := r.Add("cpu", time.Now(), 0, nil); seq != 0 {
+		t.Fatalf("nil Add = %d", seq)
+	}
+	if r.Snapshots() != nil {
+		t.Fatal("nil Snapshots should be nil")
+	}
+	if _, err := r.CaptureHeap(); err != nil {
+		t.Fatalf("nil CaptureHeap: %v", err)
+	}
+	stop := r.StartCapture(CaptureOptions{})
+	stop()
+}
+
+func TestProfileRingCaptureHeap(t *testing.T) {
+	r := NewProfileRing(2)
+	seq, err := r.CaptureHeap()
+	if err != nil {
+		t.Fatalf("CaptureHeap: %v", err)
+	}
+	s, ok := r.Get(seq)
+	if !ok || s.Kind != "heap" || len(s.Data) == 0 {
+		t.Fatalf("heap snapshot = %+v, %v", s, ok)
+	}
+}
+
+func TestProfileRingStartCapture(t *testing.T) {
+	r := NewProfileRing(4)
+	stop := r.StartCapture(CaptureOptions{
+		Interval:  5 * time.Millisecond,
+		CPUWindow: 5 * time.Millisecond,
+		Heap:      true,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, gotHeap := r.Latest("heap")
+		_, gotCPU := r.Latest("cpu")
+		if gotHeap && gotCPU {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("capture loop produced heap=%v cpu=%v within deadline", gotHeap, gotCPU)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+}

@@ -1,0 +1,302 @@
+package perfobs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// --- minimal protobuf encoder for deterministic parser tests ---
+
+type protoWriter struct{ bytes.Buffer }
+
+func (w *protoWriter) varint(v uint64) {
+	for v >= 0x80 {
+		w.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	w.WriteByte(byte(v))
+}
+
+func (w *protoWriter) tag(field, wire int) { w.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (w *protoWriter) intField(field int, v int64) {
+	w.tag(field, 0)
+	w.varint(uint64(v))
+}
+
+func (w *protoWriter) bytesField(field int, b []byte) {
+	w.tag(field, 2)
+	w.varint(uint64(len(b)))
+	w.Write(b)
+}
+
+func encValueType(typ, unit int64) []byte {
+	var w protoWriter
+	w.intField(1, typ)
+	w.intField(2, unit)
+	return w.Bytes()
+}
+
+func encLabel(key, str, num int64) []byte {
+	var w protoWriter
+	w.intField(1, key)
+	if str != 0 {
+		w.intField(2, str)
+	}
+	if num != 0 {
+		w.intField(3, num)
+	}
+	return w.Bytes()
+}
+
+func encSample(values []int64, labels ...[]byte) []byte {
+	var w protoWriter
+	var packed protoWriter
+	for _, v := range values {
+		packed.varint(uint64(v))
+	}
+	w.bytesField(2, packed.Bytes())
+	// Unknown field the parser must skip structurally (location_id,
+	// field 1, packed).
+	w.bytesField(1, []byte{1, 2})
+	for _, l := range labels {
+		w.bytesField(3, l)
+	}
+	return w.Bytes()
+}
+
+// encProfile builds a two-dimension CPU profile with the string table
+// deliberately written AFTER the samples, exercising deferred index
+// resolution.
+func encProfile(strtab []string, sampleTypes [][]byte, samples [][]byte) []byte {
+	var w protoWriter
+	for _, st := range sampleTypes {
+		w.bytesField(1, st)
+	}
+	for _, s := range samples {
+		w.bytesField(2, s)
+	}
+	for _, s := range strtab {
+		w.bytesField(6, []byte(s))
+	}
+	w.intField(9, 1700000000)  // time_nanos
+	w.intField(10, 2000000000) // duration_nanos
+	w.bytesField(11, encValueType(1, 2))
+	w.intField(12, 10000000) // period
+	return w.Bytes()
+}
+
+// testProfileBytes is a synthetic samples/count + cpu/nanoseconds
+// profile with labeled and unlabeled samples.
+func testProfileBytes(t *testing.T, gzipped bool) []byte {
+	t.Helper()
+	strtab := []string{
+		"",            // 0: protobuf convention, index 0 is empty
+		"cpu",         // 1
+		"nanoseconds", // 2
+		"samples",     // 3
+		"count",       // 4
+		"place",       // 5
+		"0",           // 6
+		"1",           // 7
+		"pattern",     // 8
+		"dense",       // 9
+		"spmd",        // 10
+		"kind",        // 11
+		"async",       // 12
+		"glb.worker",  // 13
+		"weight",      // 14
+	}
+	sampleTypes := [][]byte{
+		encValueType(3, 4), // samples/count
+		encValueType(1, 2), // cpu/nanoseconds
+	}
+	samples := [][]byte{
+		// place=0 pattern=dense kind=async: 3 samples, 30ms
+		encSample([]int64{3, 30000000},
+			encLabel(5, 6, 0), encLabel(8, 9, 0), encLabel(11, 12, 0)),
+		// place=1 pattern=dense kind=async: 2 samples, 20ms
+		encSample([]int64{2, 20000000},
+			encLabel(5, 7, 0), encLabel(8, 9, 0), encLabel(11, 12, 0)),
+		// place=1 pattern=spmd kind=glb.worker, plus a numeric label
+		encSample([]int64{4, 40000000},
+			encLabel(5, 7, 0), encLabel(8, 10, 0), encLabel(11, 13, 0),
+			encLabel(14, 0, 7)),
+		// unlabeled: 1 sample, 10ms
+		encSample([]int64{1, 10000000}),
+	}
+	raw := encProfile(strtab, sampleTypes, samples)
+	if !gzipped {
+		return raw
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatalf("gzip: %v", err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatalf("gzip close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseProfileSynthetic(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		p, err := ParseProfile(testProfileBytes(t, gz))
+		if err != nil {
+			t.Fatalf("gzipped=%v: ParseProfile: %v", gz, err)
+		}
+		if len(p.SampleTypes) != 2 || p.SampleTypes[1].Type != "cpu" || p.SampleTypes[1].Unit != "nanoseconds" {
+			t.Fatalf("sample types = %+v", p.SampleTypes)
+		}
+		if p.PeriodType.Type != "cpu" || p.Period != 10000000 {
+			t.Fatalf("period = %+v / %d", p.PeriodType, p.Period)
+		}
+		if p.DurationNanos != 2000000000 {
+			t.Fatalf("duration = %d", p.DurationNanos)
+		}
+		if len(p.Samples) != 4 {
+			t.Fatalf("got %d samples", len(p.Samples))
+		}
+		s := p.Samples[2]
+		if s.Labels["place"] != "1" || s.Labels["pattern"] != "spmd" || s.Labels["kind"] != "glb.worker" {
+			t.Fatalf("sample 2 labels = %v", s.Labels)
+		}
+		if s.NumLabels["weight"] != 7 {
+			t.Fatalf("sample 2 num labels = %v", s.NumLabels)
+		}
+		if p.Samples[3].Labels != nil {
+			t.Fatalf("sample 3 should be unlabeled, got %v", p.Samples[3].Labels)
+		}
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	if _, err := ParseProfile([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Fatal("truncated gzip should fail")
+	}
+	// Field tag promising more bytes than remain.
+	if _, err := ParseProfile([]byte{0x32, 0x7f, 0x01}); err == nil {
+		t.Fatal("truncated bytes field should fail")
+	}
+	// String index out of range: a sample_type referencing string 9 with
+	// an empty table.
+	var w protoWriter
+	w.bytesField(1, encValueType(9, 9))
+	if _, err := ParseProfile(w.Bytes()); err == nil {
+		t.Fatal("out-of-range string index should fail")
+	}
+}
+
+func TestSummarizeProfile(t *testing.T) {
+	p, err := ParseProfile(testProfileBytes(t, true))
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	s := SummarizeProfile(p, []string{"place", "pattern", "kind"})
+	if s.ValueType != "cpu" || s.ValueUnit != "nanoseconds" {
+		t.Fatalf("value dimension = %s/%s", s.ValueType, s.ValueUnit)
+	}
+	if s.Total != 100000000 || s.Labeled != 90000000 {
+		t.Fatalf("total/labeled = %d/%d", s.Total, s.Labeled)
+	}
+	if got := s.LabeledFraction(); got < 0.89 || got > 0.91 {
+		t.Fatalf("labeled fraction = %v", got)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %+v", s.Rows)
+	}
+	// Sorted by descending value: the spmd/glb.worker row leads.
+	if s.Rows[0].Key != "place=1 pattern=spmd kind=glb.worker" || s.Rows[0].Value != 40000000 {
+		t.Fatalf("top row = %+v", s.Rows[0])
+	}
+	if s.Rows[3].Key != "(unlabeled)" || s.Rows[3].Value != 10000000 {
+		t.Fatalf("last row = %+v", s.Rows[3])
+	}
+	if got := s.Distinct("place"); len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Fatalf("distinct places = %v", got)
+	}
+	if got := s.Distinct("pattern"); len(got) != 2 {
+		t.Fatalf("distinct patterns = %v", got)
+	}
+	var buf bytes.Buffer
+	s.WriteTable(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "90.0% labeled") || !strings.Contains(out, "(unlabeled)") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestCheckProfile(t *testing.T) {
+	p, err := ParseProfile(testProfileBytes(t, false))
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	keys := []string{"place", "pattern", "kind"}
+	ok := ProfileCheck{
+		MinSamples:         4,
+		MinLabeledFraction: 0.9,
+		MinDistinct:        map[string]int{"place": 2, "pattern": 2},
+	}
+	if err := CheckProfile(p, keys, ok); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		c    ProfileCheck
+		want string
+	}{
+		{"samples", ProfileCheck{MinSamples: 100}, "samples"},
+		{"fraction", ProfileCheck{MinLabeledFraction: 0.95}, "labeled"},
+		{"distinct", ProfileCheck{MinDistinct: map[string]int{"pattern": 3}}, "distinct"},
+	}
+	for _, tc := range cases {
+		err := CheckProfile(p, keys, tc.c)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseProfileReal captures an actual labeled CPU profile and runs
+// it through the parser + summarizer, proving the hand-rolled decoder
+// reads what runtime/pprof writes.
+func TestParseProfileReal(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile (already active?): %v", err)
+	}
+	spin := func(n int) int {
+		x := 1
+		for i := 0; i < n; i++ {
+			x = x*31 + i
+		}
+		return x
+	}
+	sink := 0
+	for i := 0; i < 40 && buf.Len() == 0; i++ {
+		pprof.Do(context.Background(),
+			pprof.Labels("place", "0", "pattern", "dense", "kind", "test"),
+			func(context.Context) { sink += spin(3_000_000) })
+		sink += spin(3_000_000)
+	}
+	pprof.StopCPUProfile()
+	_ = sink
+	p, err := ParseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseProfile on real capture: %v", err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Fatal("no sample types in real profile")
+	}
+	s := SummarizeProfile(p, []string{"place", "pattern", "kind"})
+	t.Logf("real profile: %d samples, %.1f%% labeled", s.TotalSamples, 100*s.LabeledFraction())
+	// CPU sampling is statistical: only assert structure, not shares.
+	if s.TotalSamples > 0 && len(s.Rows) == 0 {
+		t.Fatal("samples present but no rows")
+	}
+}

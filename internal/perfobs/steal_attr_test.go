@@ -1,0 +1,136 @@
+package perfobs_test
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"testing"
+
+	"apgas/internal/core"
+	"apgas/internal/glb"
+	"apgas/internal/obs"
+	"apgas/internal/perfobs"
+)
+
+// spinBag is a minimal GLB TaskBag: a pile of identical units that each
+// burn a fixed spin so stolen work costs real CPU time at the thief.
+type spinBag struct {
+	pending int64
+	done    int64
+	work    int
+	sink    uint64
+}
+
+func (b *spinBag) Process(q int) int {
+	n := int64(q)
+	if n > b.pending {
+		n = b.pending
+	}
+	b.pending -= n
+	b.done += n
+	for i := int64(0); i < n*int64(b.work); i++ {
+		b.sink = b.sink*6364136223846793005 + 1442695040888963407
+	}
+	return int(n)
+}
+
+func (b *spinBag) Size() int64 { return b.pending }
+
+func (b *spinBag) Split() glb.TaskBag {
+	if b.pending < 2 {
+		return nil
+	}
+	half := b.pending / 2
+	b.pending -= half
+	return &spinBag{pending: half, work: b.work}
+}
+
+func (b *spinBag) Merge(loot glb.TaskBag) {
+	lb := loot.(*spinBag)
+	b.pending += lb.pending
+	b.done += lb.done
+}
+
+// TestStealAttributionProfile is the cross-place attribution acceptance
+// check: all work starts at place 0, thieves steal it, and the CPU
+// profile must attribute the stolen units to the thief's place label
+// with kind=glb.worker — not back to the victim.
+//
+// CPU profiles sample at ~100Hz, so the workload has to burn real time
+// at the thieves. A few attempts absorb scheduling luck; if the process
+// cannot start a CPU profile at all (another one is active), skip.
+func TestStealAttributionProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU-profile based test skipped in -short mode")
+	}
+	const places = 4
+	const units = 60_000
+	for attempt := 0; attempt < 3; attempt++ {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			t.Skipf("cannot start CPU profile: %v", err)
+		}
+
+		o := obs.New().EnableProfiling("glbsteal")
+		rt, err := core.NewRuntime(core.Config{Places: places, PlacesPerHost: places, Obs: o})
+		if err != nil {
+			pprof.StopCPUProfile()
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		// All units live at place 0; places 1..3 only get work by
+		// stealing. Heavy per-unit spin keeps thieves on-CPU long
+		// enough for the sampler to see them.
+		b := glb.New(rt, glb.Config{Quantum: 64}, func(p core.Place) glb.TaskBag {
+			if p == 0 {
+				return &spinBag{pending: units, work: 4000}
+			}
+			return &spinBag{work: 4000}
+		})
+		err = rt.Run(func(ctx *core.Ctx) {
+			if rerr := b.Run(ctx); rerr != nil {
+				t.Errorf("balancer run: %v", rerr)
+			}
+		})
+		rt.Close()
+		pprof.StopCPUProfile()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var done int64
+		for p := 0; p < places; p++ {
+			done += b.BagAt(core.Place(p)).(*spinBag).done
+		}
+		if done != units {
+			t.Fatalf("done = %d, want %d", done, units)
+		}
+		st := b.Stats()
+		if st.StealSuccesses == 0 && st.LifelineDeliveries == 0 {
+			t.Fatalf("no steals happened; workload cannot exercise attribution")
+		}
+
+		p, perr := perfobs.ParseProfile(buf.Bytes())
+		if perr != nil {
+			t.Fatalf("ParseProfile: %v", perr)
+		}
+		sum := perfobs.SummarizeProfile(p, []string{obs.LabelPlace, obs.LabelKind})
+		thiefValue := int64(0)
+		var thieves []string
+		for _, row := range sum.Rows {
+			if row.Labels[obs.LabelKind] != "glb.worker" {
+				continue
+			}
+			if pl := row.Labels[obs.LabelPlace]; pl != "0" && pl != "-" {
+				thiefValue += row.Value
+				thieves = append(thieves, pl)
+			}
+		}
+		if thiefValue > 0 {
+			t.Logf("stolen-task samples attributed to thief places %v (%d %s across %d rows)",
+				thieves, thiefValue, sum.ValueUnit, len(thieves))
+			return
+		}
+		var table bytes.Buffer
+		sum.WriteTable(&table)
+		t.Logf("attempt %d: no glb.worker samples at thief places yet\n%s", attempt, table.String())
+	}
+	t.Fatalf("no CPU samples attributed to glb.worker at a thief place after 3 attempts")
+}

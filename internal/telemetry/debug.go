@@ -1,0 +1,159 @@
+// debug.go is the one shared debug server every CLI mounts behind its
+// -debug-addr flag: net/http/pprof, expvar, the cluster /telemetry
+// report, the Prometheus /metrics endpoint, and /debug/profilez — the
+// retrieval side of the continuous profile ring. Factoring it here
+// keeps the flag's behavior identical across apgas-bench, uts, and
+// hpcc instead of each main.go growing its own drifting copy.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
+	"time"
+
+	"apgas/internal/obs"
+)
+
+// DebugServer is a running debug HTTP server; Close shuts it down.
+type DebugServer struct {
+	// Addr is the actual listen address (resolves ":0" for tests).
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// publishObsExpvar registers the "apgas" metrics snapshot under expvar,
+// guarding the process-wide name: Publish panics on duplicates, and
+// tests start several servers per process.
+func publishObsExpvar(o *obs.Obs) {
+	if o == nil || expvar.Get("apgas") != nil {
+		return
+	}
+	expvar.Publish("apgas", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+}
+
+// StartDebugServer listens on addr and serves, on its own mux:
+//
+//	/debug/pprof/...   live pprof (CPU, heap, goroutine, trace)
+//	/debug/vars        expvar, including the "apgas" metrics snapshot
+//	/debug/profilez    the continuous profile ring (index + retrieval)
+//	/telemetry         the place-0 cluster telemetry report (JSON)
+//	/metrics           Prometheus text format
+//
+// o supplies the expvar snapshot and the profile ring; nil disables
+// both (the rest still serves). The returned server's Addr holds the
+// resolved address.
+func StartDebugServer(addr string, o *obs.Obs) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/telemetry", Handler())
+	mux.Handle("/metrics", PromHandler())
+	mux.Handle("/debug/profilez", ProfilezHandler(o.ProfileRing()))
+	publishObsExpvar(o)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the server.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// StartDebugPlane is the full -debug-addr behavior shared by the CLIs:
+// it attaches a 16-slot continuous profile ring to o, starts the debug
+// server, begins periodic heap + 2s-window CPU capture into the ring,
+// and starts a runtime-health sampler feeding per-place gauges into the
+// telemetry plane. The returned stop function unwinds all of it.
+func StartDebugPlane(addr string, o *obs.Obs, places int) (*DebugServer, func(), error) {
+	o.EnableProfileRing(16)
+	ds, err := StartDebugServer(addr, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	stopCapture := o.ProfileRing().StartCapture(obs.CaptureOptions{
+		Interval:  30 * time.Second,
+		CPUWindow: 2 * time.Second,
+		Heap:      true,
+	})
+	hs := obs.NewHealthSampler(o, places)
+	hs.Start(5 * time.Second)
+	stop := func() {
+		hs.Stop()
+		stopCapture()
+		_ = ds.Close()
+	}
+	return ds, stop, nil
+}
+
+// ProfilezHandler serves a profile ring:
+//
+//	GET /debug/profilez            JSON index of retained snapshots
+//	GET /debug/profilez?seq=N      raw pprof bytes of snapshot N
+//	GET /debug/profilez?kind=cpu   raw bytes of the latest cpu snapshot
+//
+// A nil ring serves an empty index and 404s retrievals.
+func ProfilezHandler(ring *obs.ProfileRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if s := q.Get("seq"); s != "" {
+			seq, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad seq", http.StatusBadRequest)
+				return
+			}
+			snap, ok := ring.Get(seq)
+			if !ok {
+				http.Error(w, "no such snapshot (evicted?)", http.StatusNotFound)
+				return
+			}
+			serveSnapshot(w, snap)
+			return
+		}
+		if kind := q.Get("kind"); kind != "" {
+			snap, ok := ring.Latest(kind)
+			if !ok {
+				http.Error(w, "no snapshot of kind "+kind, http.StatusNotFound)
+				return
+			}
+			serveSnapshot(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, "[")
+		for i, s := range ring.Snapshots() {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, `{"seq":%d,"kind":%q,"at":%q,"dur_ms":%d,"bytes":%d}`,
+				s.Seq, s.Kind, s.At.Format("2006-01-02T15:04:05.000Z07:00"),
+				s.Dur.Milliseconds(), len(s.Data))
+		}
+		fmt.Fprintln(w, "]")
+	})
+}
+
+func serveSnapshot(w http.ResponseWriter, s obs.ProfileSnapshot) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf(`attachment; filename="apgas-%s-%d.pb.gz"`, s.Kind, s.Seq))
+	_, _ = w.Write(s.Data)
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"apgas/internal/obs"
+)
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDebugServer(t *testing.T) {
+	o := obs.New().EnableProfileRing(4)
+	o.Metrics.Counter("debugtest.hits").Add(7)
+	ring := o.ProfileRing()
+	ring.Add("cpu", time.Unix(100, 0), time.Second, []byte("fake-cpu"))
+	ring.Add("heap", time.Unix(200, 0), 0, []byte("fake-heap"))
+
+	s, err := StartDebugServer("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr
+
+	// expvar includes the apgas snapshot.
+	code, body := httpGet(t, base+"/debug/vars")
+	if code != 200 || !strings.Contains(string(body), "debugtest.hits") {
+		t.Fatalf("/debug/vars: code=%d body lacks metric:\n%.500s", code, body)
+	}
+
+	// pprof index answers.
+	code, _ = httpGet(t, base+"/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+
+	// Prometheus endpoint is mounted; with no telemetry plane attached
+	// in this test it reports 503, not a routing 404.
+	code, body = httpGet(t, base+"/metrics")
+	if code != 200 && code != 503 {
+		t.Fatalf("/metrics: code=%d body=%.200s", code, body)
+	}
+
+	// profilez index lists both snapshots.
+	code, body = httpGet(t, base+"/debug/profilez")
+	if code != 200 {
+		t.Fatalf("/debug/profilez: code=%d", code)
+	}
+	var idx []struct {
+		Seq   uint64 `json:"seq"`
+		Kind  string `json:"kind"`
+		Bytes int    `json:"bytes"`
+	}
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatalf("/debug/profilez: bad JSON %q: %v", body, err)
+	}
+	if len(idx) != 2 || idx[0].Kind != "cpu" || idx[1].Kind != "heap" {
+		t.Fatalf("/debug/profilez index = %+v", idx)
+	}
+
+	// Retrieval by seq and by kind.
+	code, body = httpGet(t, fmt.Sprintf("%s/debug/profilez?seq=%d", base, idx[0].Seq))
+	if code != 200 || string(body) != "fake-cpu" {
+		t.Fatalf("profilez?seq: code=%d body=%q", code, body)
+	}
+	code, body = httpGet(t, base+"/debug/profilez?kind=heap")
+	if code != 200 || string(body) != "fake-heap" {
+		t.Fatalf("profilez?kind: code=%d body=%q", code, body)
+	}
+	code, _ = httpGet(t, base+"/debug/profilez?seq=999")
+	if code != 404 {
+		t.Fatalf("profilez?seq=999: code=%d, want 404", code)
+	}
+	code, _ = httpGet(t, base+"/debug/profilez?seq=notanumber")
+	if code != 400 {
+		t.Fatalf("profilez?seq=notanumber: code=%d, want 400", code)
+	}
+}
+
+func TestDebugServerNilObs(t *testing.T) {
+	s, err := StartDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("StartDebugServer(nil): %v", err)
+	}
+	defer s.Close()
+	code, body := httpGet(t, "http://"+s.Addr+"/debug/profilez")
+	if code != 200 || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("nil-obs profilez index: code=%d body=%q", code, body)
+	}
+	code, _ = httpGet(t, "http://"+s.Addr+"/debug/profilez?kind=cpu")
+	if code != 404 {
+		t.Fatalf("nil-obs profilez?kind: code=%d, want 404", code)
+	}
+}

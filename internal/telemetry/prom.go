@@ -15,8 +15,9 @@ import (
 // plane: the same per-place snapshots the /telemetry JSON endpoint
 // serves, rendered as the exposition format so a scraper can watch a
 // running experiment. Counters and gauges export one sample per place
-// (place="N" label); histograms export as summaries — _count and _sum
-// per place plus quantile samples read from the power-of-two buckets.
+// (place="N" label); histograms export natively as cumulative
+// _bucket{le="..."} series derived from the registry's power-of-two
+// buckets, plus _sum and _count.
 
 // promName sanitizes a registry metric name ("finish.ctl.msgs") into a
 // Prometheus metric name ("apgas_finish_ctl_msgs").
@@ -35,13 +36,95 @@ func promName(name string) string {
 	return b.String()
 }
 
-// promQuantiles are the summary quantiles exported for histograms.
-var promQuantiles = []float64{0.5, 0.9, 0.99}
+// promLabelName sanitizes a label name to [a-zA-Z_][a-zA-Z0-9_]*.
+func promLabelName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote, and newline must be written as \\, \", and \n.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// constLabels renders extra constant labels (sorted, sanitized,
+// escaped) as `,k="v"` fragments appended inside every sample's brace
+// block. Empty map renders "".
+func constLabels(extra map[string]string) string {
+	if len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, `,%s="%s"`, promLabelName(k), promEscape(extra[k]))
+	}
+	return b.String()
+}
+
+// histBucketUpper is the inclusive upper bound of power-of-two bucket i
+// (bucket 0 holds only zero; bucket i holds [2^(i-1), 2^i-1]).
+func histBucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(i)) - 1
+}
 
 // WriteProm renders per-place snapshots in the Prometheus text
 // exposition format. Output is deterministic: metric names sorted, then
 // places ascending.
 func WriteProm(w io.Writer, snaps map[int]obs.Snapshot) {
+	WritePromWith(w, snaps, nil)
+}
+
+// WritePromWith is WriteProm with extra constant labels (such as the
+// app/experiment name) stamped on every sample. Label names are
+// sanitized and values escaped per the exposition format.
+func WritePromWith(w io.Writer, snaps map[int]obs.Snapshot, extra map[string]string) {
+	cl := constLabels(extra)
 	places := make([]int, 0, len(snaps))
 	for p := range snaps {
 		places = append(places, p)
@@ -67,27 +150,39 @@ func WriteProm(w io.Writer, snaps map[int]obs.Snapshot) {
 			fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
 			for _, p := range places {
 				if v, ok := snaps[p][name]; ok {
-					fmt.Fprintf(w, "%s{place=\"%d\"} %d\n", pn, p, v.Gauge)
+					fmt.Fprintf(w, "%s{place=\"%d\"%s} %d\n", pn, p, cl, v.Gauge)
 				}
 			}
 		case obs.KindHistogram:
-			fmt.Fprintf(w, "# TYPE %s summary\n", pn)
+			fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
 			for _, p := range places {
 				v, ok := snaps[p][name]
 				if !ok {
 					continue
 				}
-				for _, q := range promQuantiles {
-					fmt.Fprintf(w, "%s{place=\"%d\",quantile=\"%g\"} %d\n", pn, p, q, v.Quantile(q))
+				// Cumulative buckets up to the highest occupied one;
+				// +Inf always closes the series at the total count.
+				last := -1
+				for i, c := range v.Buckets {
+					if c > 0 {
+						last = i
+					}
 				}
-				fmt.Fprintf(w, "%s_sum{place=\"%d\"} %d\n", pn, p, v.Sum)
-				fmt.Fprintf(w, "%s_count{place=\"%d\"} %d\n", pn, p, v.Count)
+				var cum uint64
+				for i := 0; i <= last; i++ {
+					cum += v.Buckets[i]
+					fmt.Fprintf(w, "%s_bucket{place=\"%d\"%s,le=\"%d\"} %d\n",
+						pn, p, cl, histBucketUpper(i), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket{place=\"%d\"%s,le=\"+Inf\"} %d\n", pn, p, cl, v.Count)
+				fmt.Fprintf(w, "%s_sum{place=\"%d\"%s} %d\n", pn, p, cl, v.Sum)
+				fmt.Fprintf(w, "%s_count{place=\"%d\"%s} %d\n", pn, p, cl, v.Count)
 			}
 		default:
 			fmt.Fprintf(w, "# TYPE %s counter\n", pn)
 			for _, p := range places {
 				if v, ok := snaps[p][name]; ok {
-					fmt.Fprintf(w, "%s{place=\"%d\"} %d\n", pn, p, v.Count)
+					fmt.Fprintf(w, "%s{place=\"%d\"%s} %d\n", pn, p, cl, v.Count)
 				}
 			}
 		}
@@ -111,6 +206,10 @@ func PromHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteProm(w, snaps)
+		var extra map[string]string
+		if app := obs.Global().Profiler().App(); app != "" {
+			extra = map[string]string{"app": app}
+		}
+		WritePromWith(w, snaps, extra)
 	})
 }

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -32,8 +33,9 @@ func TestWriteProm(t *testing.T) {
 		`apgas_finish_ctl_msgs{place="1"} 7`,
 		"# TYPE apgas_sched_queue gauge",
 		`apgas_sched_queue{place="1"} -3`,
-		"# TYPE apgas_lat_ns summary",
-		`apgas_lat_ns{place="0",quantile="0.5"} 2`,
+		"# TYPE apgas_lat_ns histogram",
+		`apgas_lat_ns_bucket{place="0",le="3"} 2`,
+		`apgas_lat_ns_bucket{place="0",le="+Inf"} 2`,
 		`apgas_lat_ns_sum{place="0"} 6`,
 		`apgas_lat_ns_count{place="0"} 2`,
 	} {
@@ -50,5 +52,127 @@ func TestWriteProm(t *testing.T) {
 func TestPromNameSanitizes(t *testing.T) {
 	if got := promName("x10rt.bytes.control-class"); got != "apgas_x10rt_bytes_control_class" {
 		t.Fatalf("promName = %q", got)
+	}
+	// Unicode and punctuation collapse to underscores.
+	if got := promName("läté ns/op"); got != "apgas_l_t__ns_op" {
+		t.Fatalf("promName = %q", got)
+	}
+}
+
+func TestPromLabelNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"app":       "app",
+		"my-label":  "my_label",
+		"0leading":  "_0leading",
+		"":          "_",
+		"ok_9":      "ok_9",
+		"dots.here": "dots_here",
+	}
+	for in, want := range cases {
+		if got := promLabelName(in); got != want {
+			t.Errorf("promLabelName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`say "hi"`:     `say \"hi\"`,
+		"line\nbreak":  `line\nbreak`,
+		"\\\"\n":       `\\\"\n`,
+		"unicode: λ→µ": "unicode: λ→µ",
+	}
+	for in, want := range cases {
+		if got := promEscape(in); got != want {
+			t.Errorf("promEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePromWithConstLabels(t *testing.T) {
+	snaps := map[int]obs.Snapshot{
+		0: {"x": {Kind: obs.KindCounter, Count: 1}},
+	}
+	var b strings.Builder
+	WritePromWith(&b, snaps, map[string]string{
+		"app":      "bench \"dense\"\nv2",
+		"bad-name": `a\b`,
+	})
+	out := b.String()
+	want := `apgas_x{place="0",app="bench \"dense\"\nv2",bad_name="a\\b"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing %q:\n%s", want, out)
+	}
+	// Escaped output must stay a single exposition line.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, " 1") {
+			t.Fatalf("sample line broken by raw newline: %q", line)
+		}
+	}
+}
+
+// TestPromHistogramBucketsMonotone feeds a histogram with observations
+// across many power-of-two buckets and checks the exported cumulative
+// series never decreases and ends exactly at _count.
+func TestPromHistogramBucketsMonotone(t *testing.T) {
+	h := &obs.Histogram{}
+	var n uint64
+	for _, v := range []uint64{0, 1, 2, 3, 5, 8, 100, 1000, 1 << 20, 1 << 33} {
+		h.Observe(v)
+		n++
+	}
+	r := obs.NewRegistry()
+	r.RegisterHistogram("lat.ns", h)
+	snaps := map[int]obs.Snapshot{0: r.Snapshot()}
+	var b strings.Builder
+	WriteProm(&b, snaps)
+	out := b.String()
+
+	var prev uint64
+	var sawInf bool
+	var bucketLines int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "apgas_lat_ns_bucket{") {
+			continue
+		}
+		bucketLines++
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		cum, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket value in %q: %v", line, err)
+		}
+		if cum < prev {
+			t.Fatalf("bucket series decreased (%d -> %d) at %q:\n%s", prev, cum, line, out)
+		}
+		prev = cum
+		if strings.Contains(line, `le="+Inf"`) {
+			sawInf = true
+			if cum != n {
+				t.Fatalf("+Inf bucket = %d, want count %d", cum, n)
+			}
+		}
+	}
+	if bucketLines < 5 || !sawInf {
+		t.Fatalf("bucket export incomplete (%d lines, inf=%v):\n%s", bucketLines, sawInf, out)
+	}
+	if !strings.Contains(out, "apgas_lat_ns_count{place=\"0\"} "+strconv.FormatUint(n, 10)) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+}
+
+func TestHistBucketUpper(t *testing.T) {
+	cases := map[int]uint64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: ^uint64(0), 99: ^uint64(0)}
+	for i, want := range cases {
+		if got := histBucketUpper(i); got != want {
+			t.Errorf("histBucketUpper(%d) = %d, want %d", i, got, want)
+		}
 	}
 }

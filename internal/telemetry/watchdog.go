@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"apgas/internal/core"
+	"apgas/internal/obs"
 )
 
 // WatchdogOptions tunes the finish stall watchdog.
@@ -171,6 +172,7 @@ func (w *Watchdog) dump(s core.FinishState, now time.Time) {
 	fmt.Fprintf(out, "\napgas stall watchdog: %s home=p%d seq=%d made no progress for %v "+
 		"(events=%d live=%d)\n", s.Pattern, s.Home, s.Seq, w.opts.Window.Round(time.Millisecond),
 		s.Events, s.Live)
+	fmt.Fprintf(out, "  runtime: %s\n", obs.TakeRuntimeSnapshot())
 	if len(s.Deficits) == 0 {
 		fmt.Fprintf(out, "  %d governed activities have not terminated at the home place\n", s.Live)
 	}
@@ -203,6 +205,13 @@ func (w *Watchdog) dump(s core.FinishState, now time.Time) {
 		if f := w.rt.Obs().FlightRecorder(); f != nil {
 			fmt.Fprintf(out, "recent flight events (newest last):\n")
 			f.WriteText(out, w.opts.FlightTail)
+		}
+	}
+	// Attach memory state to the stall: a heap profile lands in the ring
+	// so it can be pulled over /debug/profilez after the fact.
+	if r := w.rt.Obs().ProfileRing(); r != nil {
+		if seq, err := r.CaptureHeap(); err == nil {
+			fmt.Fprintf(out, "heap profile captured as ring snapshot #%d (GET /debug/profilez?seq=%d)\n", seq, seq)
 		}
 	}
 }
