@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke profile-smoke trace dtrace telemetry chaos fuzz-short experiments examples clean
+.PHONY: all build test race bench bench-smoke profile-smoke trace dtrace telemetry chaos chaos-kill litmus fuzz-short experiments examples clean
 
-all: build test race telemetry chaos dtrace bench-smoke profile-smoke fuzz-short
+all: build test race telemetry chaos chaos-kill litmus dtrace bench-smoke profile-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,23 @@ chaos:
 	$(GO) test -race -short -run 'TestExplore|TestReplay' ./internal/chaos
 	$(GO) run ./cmd/apgas-bench -exp chaos -chaos-seeds 4
 
+# Resilience acceptance: every chaos workload x 32 seeds with one
+# seed-chosen mid-run place death, plain and batched, plus the
+# byte-identical kill-replay check, then the same sweep from the CLI
+# (which also proves the cmd/chaos -kill path).
+chaos-kill:
+	$(GO) test -race -run 'TestKillSweep|TestKillReplay' ./internal/chaos
+	$(GO) run ./cmd/chaos -kill -seeds 32
+
+# Litmus-style ordering fence: MP/SB/IRIW analogues at the transport
+# layer (chan, TCP, batching wires) and at the runtime layer
+# (at/async/AtDirect/dense ctl), plus the cross-transport death
+# battery. Resilience changes that weaken delivery guarantees fail
+# here first.
+litmus:
+	$(GO) test -race -run 'TestLitmus' ./internal/core
+	$(GO) test -race -run 'TestDeath' ./internal/x10rt/transporttest
+
 # 30 seconds of coverage-guided fuzzing per target: the x10rt TCP frame
 # and batch-frame codecs and the tracecheck flight-dump and
 # bench-artifact validators. -fuzzminimizetime is
@@ -94,6 +111,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzCheckFlightDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 	$(GO) test -run '^$$' -fuzz FuzzCheckBench -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 	$(GO) test -run '^$$' -fuzz FuzzCheckMergedTrace -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
+	$(GO) test -run '^$$' -fuzz FuzzCheckKillDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 
 # Regenerate every table and figure at laptop scale.
 experiments:

@@ -7,8 +7,10 @@
 //
 //	chaos                                  # 64-seed sweep, all workloads
 //	chaos -seeds 256 -places 8             # bigger sweep
+//	chaos -kill                            # sweep with one mid-run place death per seed
 //	chaos -perm                            # exhaustive SPMD credit orderings
 //	chaos -chaos-replay 97 -workload dense # re-run one seed, dumps on
+//	chaos -kill -chaos-replay 97 -workload async # replay a kill-sweep seed
 //
 // A sweep that finds violations prints, per failure, the exact replay
 // command that reproduces it. Replay runs the seed twice with the
@@ -38,6 +40,7 @@ func main() {
 	replay := flag.Int64("chaos-replay", 0, "re-run this single seed with flight recorder and dumps on (0 = off)")
 	workload := flag.String("workload", "all", "workload to run: all, async, here, local, spmd, default, dense, glb")
 	perm := flag.Bool("perm", false, "explore all delivery permutations of the FINISH_SPMD completion credits")
+	kill := flag.Bool("kill", false, "add one seed-chosen mid-run place death per run; invariants restrict to survivors")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-run timeout before a run is declared hung")
 	out := flag.String("out", ".", "directory for replay dump files")
 	flag.Parse()
@@ -53,6 +56,7 @@ func main() {
 		StartSeed: *startSeed,
 		Workloads: wls,
 		Timeout:   *timeout,
+		Kill:      *kill,
 	}
 
 	switch {
@@ -60,6 +64,8 @@ func main() {
 		os.Exit(runReplay(*replay, opts, *out))
 	case *perm:
 		os.Exit(report(chaos.ExplorePermutations(opts), opts, "permutation exploration"))
+	case *kill:
+		os.Exit(report(chaos.Sweep(opts), opts, "kill sweep"))
 	default:
 		os.Exit(report(chaos.Sweep(opts), opts, "sweep"))
 	}
@@ -89,8 +95,12 @@ func report(res chaos.SweepResult, opts chaos.SweepOptions, what string) int {
 		if rep.FinishDump != "" {
 			fmt.Print(rep.FinishDump)
 		}
-		fmt.Printf("replay: chaos -chaos-replay %d -workload %s -places %d\n",
-			rep.Seed, rep.Workload, opts.Places)
+		killFlag := ""
+		if opts.Kill {
+			killFlag = " -kill"
+		}
+		fmt.Printf("replay: chaos%s -chaos-replay %d -workload %s -places %d\n",
+			killFlag, rep.Seed, rep.Workload, opts.Places)
 	}
 	if len(res.Failures) > 0 {
 		return 1
@@ -106,6 +116,9 @@ func runReplay(seed int64, opts chaos.SweepOptions, outDir string) int {
 	status := 0
 	for _, w := range opts.Workloads {
 		fo := chaos.FaultsFor(seed, opts.Places)
+		if opts.Kill {
+			fo = chaos.KillFaultsFor(seed, opts.Places)
+		}
 		r1 := chaos.RunOne(w, seed, opts, fo)
 		r2 := chaos.RunOne(w, seed, opts, fo)
 
@@ -123,6 +136,11 @@ func runReplay(seed int64, opts chaos.SweepOptions, outDir string) int {
 		}
 
 		fmt.Printf("replay workload=%s seed=%d faults=%v\n", w.Name, seed, r1.Faults)
+		if kp := fo.Kill; kp != nil {
+			fmt.Printf("  kill plan: victim=p%d, trigger = eligible send #%d on link p%d->p%d (fired=%v dead=%v err=%v)\n",
+				kp.Victim, kp.Seq, kp.Src, kp.Victim,
+				r1.Faults["chaos.kill"] > 0, r1.Dead, r1.Err)
+		}
 		write("-faults.jsonl", r1.FaultDump)
 		write("-faults-rerun.jsonl", r2.FaultDump)
 		write("-flight.jsonl", r1.FlightDump)

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"apgas/internal/chaos"
+	"apgas/internal/x10rt"
+)
+
+// TestChaosFaultNamesInSync pins the validator's static fault-name set
+// against internal/chaos, so adding a fault kind without teaching the
+// validator (or renaming one) fails here instead of silently rejecting
+// every future dump.
+func TestChaosFaultNamesInSync(t *testing.T) {
+	kinds := []chaos.FaultKind{
+		chaos.FaultDelay, chaos.FaultReorder, chaos.FaultDup, chaos.FaultDrop,
+		chaos.FaultPartition, chaos.FaultSlow, chaos.FaultHold, chaos.FaultKill,
+	}
+	if len(kinds) != len(chaosFaultNames) {
+		t.Errorf("validator knows %d chaos fault names, package has %d kinds",
+			len(chaosFaultNames), len(kinds))
+	}
+	for _, k := range kinds {
+		if !chaosFaultNames[k.String()] {
+			t.Errorf("fault kind %v missing from the validator's name set", k)
+		}
+	}
+}
+
+// genuineKillDump produces a real chaos fault dump containing a
+// chaos.kill record: a seeded chaos transport over chan, some pre-kill
+// traffic for fault-decision records, then the trigger send that fires
+// the KillPlan.
+func genuineKillDump(t testing.TB) []byte {
+	t.Helper()
+	const places = 4
+	inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := chaos.KillFaultsFor(3, places)
+	tr := chaos.Wrap(inner, fo)
+	defer tr.Close()
+	if err := tr.Register(x10rt.UserHandlerBase+100, func(src, dst int, payload any) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-kill traffic on links away from the trigger link accumulates
+	// ordinary fault decisions ahead of the kill record.
+	for i := 0; i < 64; i++ {
+		for dst := 1; dst < places; dst++ {
+			if dst == fo.Kill.Victim {
+				continue
+			}
+			_ = tr.Send(0, dst, x10rt.UserHandlerBase+100, i, 8, x10rt.DataClass)
+		}
+	}
+	// KillFaultsFor arms the kill on the Seq-th eligible send of the
+	// 0 -> victim link; fire it.
+	for s := uint64(0); s <= fo.Kill.Seq; s++ {
+		_ = tr.Send(fo.Kill.Src, fo.Kill.Victim, x10rt.UserHandlerBase+100, int(s), 8, x10rt.DataClass)
+	}
+	if tr.FaultCounts()["chaos.kill"] != 1 {
+		t.Fatalf("kill did not fire: %v", tr.FaultCounts())
+	}
+	var buf bytes.Buffer
+	if err := tr.FaultLog().WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckFlightDumpGenuineKill: the validator accepts what the chaos
+// transport actually writes.
+func TestCheckFlightDumpGenuineKill(t *testing.T) {
+	data := genuineKillDump(t)
+	if !bytes.Contains(data, []byte("chaos.kill")) {
+		t.Fatalf("genuine dump lacks a kill record:\n%s", data)
+	}
+	if _, err := checkFlightDump(data); err != nil {
+		t.Fatalf("genuine kill dump rejected: %v", err)
+	}
+}
+
+// TestCheckFlightDumpKillLaxity pins the chaos tightening: malformed
+// kill records the pre-chaos-aware validator accepted must now fail.
+func TestCheckFlightDumpKillLaxity(t *testing.T) {
+	head1 := `{"type":"apgas-flight","version":1,"events":1,"recorded":1,"dropped":0}`
+	head2 := `{"type":"apgas-flight","version":1,"events":2,"recorded":2,"dropped":0}`
+	cases := map[string]string{
+		"double kill": head2 + "\n" +
+			`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":0,"name":"chaos.kill","cat":"chaos","args":{"dst":2,"id":7,"param":2}}` + "\n" +
+			`{"seq":2,"ts":20,"dur":0,"ph":"i","pid":0,"tid":1,"name":"chaos.kill","cat":"chaos","args":{"dst":3,"id":7,"param":3}}` + "\n",
+		"victim mismatch": head1 + "\n" +
+			`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":0,"name":"chaos.kill","cat":"chaos","args":{"dst":2,"id":7,"param":3}}` + "\n",
+		"unknown fault": head1 + "\n" +
+			`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":0,"name":"chaos.explode","cat":"chaos","args":{"dst":1,"id":7,"param":0}}` + "\n",
+		"missing args": head1 + "\n" +
+			`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":0,"name":"chaos.kill","cat":"chaos"}` + "\n",
+		"non-instant": head1 + "\n" +
+			`{"seq":1,"ts":10,"dur":5,"ph":"X","pid":0,"tid":0,"name":"chaos.kill","cat":"chaos","args":{"dst":1,"id":7,"param":1}}` + "\n",
+		"negative source": head1 + "\n" +
+			`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":-4,"tid":0,"name":"chaos.drop","cat":"chaos","args":{"dst":-1,"id":7,"param":0}}` + "\n",
+	}
+	for name, dump := range cases {
+		if _, err := checkFlightDump([]byte(dump)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, dump)
+		}
+	}
+}
+
+// FuzzCheckKillDump drives the chaos-aware flight-dump validator with
+// kill-record-shaped input. Beyond no-panic and determinism, an
+// accepted dump must satisfy the kill contract under an independent
+// re-parse: at most one chaos.kill record, and its param (the victim)
+// equal to its destination.
+func FuzzCheckKillDump(f *testing.F) {
+	f.Add(genuineKillDump(f))
+	head := `{"type":"apgas-flight","version":1,"events":2,"recorded":2,"dropped":0}`
+	f.Add([]byte(head + "\n" +
+		`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":4,"name":"chaos.delay","cat":"chaos","args":{"dst":1,"id":7,"param":2}}` + "\n" +
+		`{"seq":2,"ts":20,"dur":0,"ph":"i","pid":0,"tid":9,"name":"chaos.kill","cat":"chaos","args":{"dst":2,"id":7,"param":2}}` + "\n"))
+	// The laxity cases: must be rejected, never panicked on.
+	f.Add([]byte(head + "\n" +
+		`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":0,"name":"chaos.kill","cat":"chaos","args":{"dst":1,"id":7,"param":1}}` + "\n" +
+		`{"seq":2,"ts":20,"dur":0,"ph":"i","pid":0,"tid":1,"name":"chaos.kill","cat":"chaos","args":{"dst":2,"id":7,"param":2}}` + "\n"))
+	f.Add([]byte(`{"type":"apgas-flight","version":1,"events":1,"recorded":1,"dropped":0}` + "\n" +
+		`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":0,"tid":0,"name":"chaos.kill","cat":"chaos","args":{"dst":2,"id":7,"param":3}}` + "\n"))
+	f.Add([]byte(`{"type":"apgas-flight","version":1,"events":1,"recorded":1,"dropped":0}` + "\n" +
+		`{"seq":1,"ts":10,"dur":0,"ph":"i","pid":-4,"tid":0,"name":"chaos.drop","cat":"chaos","args":{"dst":-1,"id":7,"param":0}}` + "\n"))
+	f.Add([]byte(`{"type":"apgas-flight","version":1,"events":0,"recorded":0,"dropped":0}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n1, err1 := checkFlightDump(data)
+		n2, err2 := checkFlightDump(data)
+		if n1 != n2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic verdict: (%d,%v) vs (%d,%v)", n1, err1, n2, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		kills := 0
+		for _, line := range bytes.Split(data, []byte("\n"))[1:] {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			var ev struct {
+				Name string           `json:"name"`
+				Cat  string           `json:"cat"`
+				Args map[string]int64 `json:"args"`
+			}
+			if json.Unmarshal(line, &ev) != nil {
+				continue // checkFlightDump accepted, so this line parsed for it
+			}
+			if ev.Cat != "chaos" || ev.Name != "chaos.kill" {
+				continue
+			}
+			kills++
+			if ev.Args["param"] != ev.Args["dst"] {
+				t.Fatalf("accepted kill record with victim %d but destination %d: %s",
+					ev.Args["param"], ev.Args["dst"], line)
+			}
+		}
+		if kills > 1 {
+			t.Fatalf("accepted dump with %d kill records", kills)
+		}
+	})
+}

@@ -138,6 +138,7 @@ func checkFlightDump(data []byte) (int, error) {
 		n      int
 		lastSq uint64
 		lastTS int64
+		kills  int
 	)
 	for line := 2; sc.Scan(); line++ {
 		text := strings.TrimSpace(sc.Text())
@@ -149,7 +150,9 @@ func checkFlightDump(data []byte) (int, error) {
 			TS   int64            `json:"ts"`
 			Dur  int64            `json:"dur"`
 			Ph   string           `json:"ph"`
+			Pid  int64            `json:"pid"`
 			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
 			Args map[string]int64 `json:"args"`
 		}
 		if err := json.Unmarshal([]byte(text), &ev); err != nil {
@@ -172,6 +175,15 @@ func checkFlightDump(data []byte) (int, error) {
 		if ev.Ph == "" || ev.Name == "" {
 			return 0, fmt.Errorf("line %d: event lacks ph/name", line)
 		}
+		// Chaos fault-decision records carry replay-critical structure on
+		// top of the generic flight shape; a dump that misnames a fault or
+		// drops the victim would replay as a different run, so reject it
+		// here rather than at replay time.
+		if ev.Cat == "chaos" {
+			if err := checkChaosEvent(ev.Name, ev.Ph, ev.Dur, ev.Pid, ev.Args, &kills); err != nil {
+				return 0, fmt.Errorf("line %d: %v", line, err)
+			}
+		}
 		lastSq, lastTS = ev.Seq, ev.TS
 		n++
 	}
@@ -182,6 +194,56 @@ func checkFlightDump(data []byte) (int, error) {
 		return 0, fmt.Errorf("header says %d events, body has %d", head.Events, n)
 	}
 	return n, nil
+}
+
+// chaosFaultNames are the fault-decision record names internal/chaos
+// emits (FaultKind.String()); main_test.go pins this list against the
+// package so the two cannot drift.
+var chaosFaultNames = map[string]bool{
+	"chaos.delay":     true,
+	"chaos.reorder":   true,
+	"chaos.dup":       true,
+	"chaos.drop":      true,
+	"chaos.partition": true,
+	"chaos.slow":      true,
+	"chaos.hold":      true,
+	"chaos.kill":      true,
+}
+
+// checkChaosEvent validates one cat="chaos" fault-decision record. The
+// contract comes from chaos.Log.WriteDump: an instant event with zero
+// duration, a known fault name, a source place as pid, and args naming
+// dst/id/param. A kill additionally marks the victim in both dst and
+// param, and a run kills at most once (the chaos transport freezes
+// after its single KillPlan fires).
+func checkChaosEvent(name, ph string, dur, pid int64, args map[string]int64, kills *int) error {
+	if !chaosFaultNames[name] {
+		return fmt.Errorf("unknown chaos fault %q", name)
+	}
+	if ph != "i" || dur != 0 {
+		return fmt.Errorf("chaos record %s must be an instant event (ph=%q dur=%d)", name, ph, dur)
+	}
+	if pid < 0 {
+		return fmt.Errorf("chaos record %s: negative source place %d", name, pid)
+	}
+	for _, key := range []string{"dst", "id", "param"} {
+		if _, ok := args[key]; !ok {
+			return fmt.Errorf("chaos record %s lacks args.%s", name, key)
+		}
+	}
+	if args["dst"] < 0 || args["id"] < 0 {
+		return fmt.Errorf("chaos record %s: negative dst/id (%d/%d)", name, args["dst"], args["id"])
+	}
+	if name == "chaos.kill" {
+		if args["param"] != args["dst"] {
+			return fmt.Errorf("chaos.kill names victim %d in param but destination %d (trigger must die with its destination)",
+				args["param"], args["dst"])
+		}
+		if *kills++; *kills > 1 {
+			return fmt.Errorf("second chaos.kill record (a chaos run freezes after one kill)")
+		}
+	}
+	return nil
 }
 
 // chromeEvent is the subset of a trace_event record the validator

@@ -27,6 +27,8 @@
 package chaos
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,6 +52,22 @@ type HoldPlan struct {
 	// forwarded in position Perm's slot. Missing indices are forwarded
 	// last in capture order.
 	Perm []int
+}
+
+// KillPlan configures the place-death fault: when the Seq-th
+// fault-eligible message on the (Src → Victim) link is sent, the victim
+// place is killed instead of receiving it — the trigger is a pure
+// function of per-link send order, so a replay kills at the same
+// protocol point. After the kill, fault injection freezes entirely (no
+// decisions, no link-sequence consumption): the fault dump is the
+// deterministic pre-kill prefix plus one chaos.kill record, which is
+// what keeps kill runs byte-identically replayable. A workload that
+// never sends an eligible message on the trigger link is simply never
+// killed and must pass its oracle unharmed.
+type KillPlan struct {
+	Victim int
+	Src    int
+	Seq    uint64
 }
 
 // Options configures a chaos Transport. The zero value injects nothing;
@@ -101,6 +119,10 @@ type Options struct {
 	// "slow place" hazard for lifeline GLB).
 	SlowPlace   int
 	SlowLatency time.Duration
+
+	// Kill enables the place-death fault. Requires an inner transport
+	// implementing x10rt.PlaceKiller (the kill is a no-op otherwise).
+	Kill *KillPlan
 
 	// Hold enables schedule-permutation mode.
 	Hold *HoldPlan
@@ -181,6 +203,11 @@ type Transport struct {
 	links []link
 	inCut []bool
 	drops atomic.Int64
+	// frozen is set the moment any place dies (via the Kill plan or an
+	// explicit KillPlace call): from then on Send passes straight
+	// through, injecting nothing and consuming no link sequence numbers,
+	// so the fault log stays the deterministic pre-kill prefix.
+	frozen atomic.Bool
 
 	morgueMu sync.Mutex
 	morgue   []heldMsg
@@ -293,19 +320,38 @@ func (t *Transport) Send(src, dst int, id x10rt.HandlerID, payload any, bytes in
 	if src < 0 || src >= t.n || dst < 0 || dst >= t.n || !t.eligible(src, dst, id, class) {
 		return t.inner.Send(src, dst, id, payload, bytes, class)
 	}
+	if t.frozen.Load() {
+		// Post-kill: injection is frozen (see KillPlan). The inner
+		// transport fails sends to the dead place fast on its own.
+		return t.inner.Send(src, dst, id, payload, bytes, class)
+	}
 	t.clock.Tick()
 	now := time.Now()
 	ls := &t.links[src*t.n+dst]
 	ls.mu.Lock()
-	defer ls.mu.Unlock()
 	k := ls.seq
 	ls.seq++
 	m := heldMsg{src: src, dst: dst, id: id, payload: payload, bytes: bytes, class: class, seq: k}
+
+	if kp := t.opts.Kill; kp != nil && src == kp.Src && dst == kp.Victim && k == kp.Seq {
+		// The trigger message is consumed by the kill: it died on the
+		// wire with its destination. The kill itself runs outside the
+		// link lock — the inner transport's death notification fans out
+		// to handlers that may send.
+		t.log.add(faultRecord{src: src, dst: dst, linkSeq: k, kind: FaultKill, id: int(id), param: int64(kp.Victim)})
+		ls.mu.Unlock()
+		t.frozen.Store(true)
+		if pk, ok := t.inner.(x10rt.PlaceKiller); ok {
+			_ = pk.KillPlace(kp.Victim)
+		}
+		return nil
+	}
 
 	forwardErr := t.decide(ls, m, k, now)
 	// Whatever happened to this message, its sequence number advanced
 	// the link: earlier holdbacks may now be due.
 	relErr := t.releaseDueLocked(ls, now)
+	ls.mu.Unlock()
 	if forwardErr != nil {
 		return forwardErr
 	}
@@ -424,7 +470,12 @@ func (t *Transport) releaseDueLocked(ls *link, now time.Time) error {
 	kept := ls.hold[:0]
 	for _, m := range ls.hold {
 		if m.releasable(ls.seq, now) {
-			if err := t.forward(m); err != nil && firstErr == nil {
+			// A held message bound for a place that died in the meantime
+			// fails with ErrPlaceDead; that verdict belongs to the held
+			// message, not to the unrelated send that triggered the
+			// release, so it must not surface here.
+			if err := t.forward(m); err != nil && firstErr == nil &&
+				!errors.Is(err, x10rt.ErrPlaceDead) {
 				firstErr = err
 			}
 		} else {
@@ -553,6 +604,34 @@ func (t *Transport) Flush(src int) error {
 		return f.Flush(src)
 	}
 	return nil
+}
+
+// KillPlace implements x10rt.PlaceKiller by delegating to the inner
+// transport. Like a plan-triggered kill, an explicit kill freezes fault
+// injection so the fault log stays deterministic.
+func (t *Transport) KillPlace(p int) error {
+	pk, ok := t.inner.(x10rt.PlaceKiller)
+	if !ok {
+		return fmt.Errorf("chaos: inner transport %T does not support KillPlace", t.inner)
+	}
+	t.frozen.Store(true)
+	return pk.KillPlace(p)
+}
+
+// PlaceDead implements x10rt.PlaceKiller passthrough.
+func (t *Transport) PlaceDead(p int) bool {
+	if pk, ok := t.inner.(x10rt.PlaceKiller); ok {
+		return pk.PlaceDead(p)
+	}
+	return false
+}
+
+// NotifyDeath implements x10rt.DeathNotifier passthrough, so a runtime
+// stacked on a chaos wrapper still learns of place deaths.
+func (t *Transport) NotifyDeath(fn func(dead, observer int)) {
+	if dn, ok := t.inner.(x10rt.DeathNotifier); ok {
+		dn.NotifyDeath(fn)
+	}
 }
 
 // Close implements x10rt.Transport: it stops the flusher and closes

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -50,6 +51,11 @@ type SweepOptions struct {
 	// functions of simulated time and per-link send order, never of host
 	// scheduling.
 	Batch bool
+	// Kill adds one seed-chosen mid-run KillPlace to every run
+	// (KillFaultsFor), switching the invariant checker to the
+	// survivor-restricted variant and accepting ErrPlaceDead from the
+	// workload as the demanded outcome rather than a violation.
+	Kill bool
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -99,6 +105,13 @@ type RunReport struct {
 	// PlaceTraces holds each place's trace events (only when
 	// SweepOptions.DistTrace was set), ready for obs.MergeTraces.
 	PlaceTraces [][]obs.Event
+	// Err is the workload's final error. Oracle failures are already
+	// folded into Violations; kill runs additionally expose the raw
+	// error here so tests can assert the demanded ErrPlaceDead verdict.
+	Err error
+	// Dead lists the places the runtime observed dead by the end of the
+	// run (empty outside kill mode).
+	Dead []core.Place
 }
 
 // Failed reports whether the run violated anything.
@@ -133,6 +146,19 @@ func FaultsFor(seed int64, places int) Options {
 		o.PartitionMsgs = 6
 		o.HealAfter = 20 * time.Millisecond
 	}
+	return o
+}
+
+// KillFaultsFor is FaultsFor plus one seed-chosen kill: the victim (never
+// place 0, the driver) dies when the first fault-eligible message from
+// place 0 reaches it. Like every other fault, the plan is a pure function
+// of the seed, so kill runs replay exactly. Workloads that never route a
+// message from place 0 to the victim (e.g. the purely place-local one)
+// simply never trigger the kill and must pass the plain-run oracle.
+func KillFaultsFor(seed int64, places int) Options {
+	o := FaultsFor(seed, places)
+	s := newFaultStream(seed, 7, places, 1)
+	o.Kill = &KillPlan{Victim: 1 + s.intn(places-1), Src: 0, Seq: 0}
 	return o
 }
 
@@ -194,11 +220,32 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 		return rep
 	}
 
+	// In kill mode the runtime hears about the death on a notification
+	// goroutine, which can trail a workload that finished cleanly (e.g.
+	// the trigger consumed a post-run cleanup message). The invariant
+	// check must not race that: subscribe before the run so the check
+	// can wait for adoption — subscribers run after it — to complete.
+	deathProcessed := make(chan struct{}, 1)
+	if fo.Kill != nil {
+		rt.NotifyPlaceDeath(func(core.Place) {
+			select {
+			case deathProcessed <- struct{}{}:
+			default:
+			}
+		})
+	}
+
 	done := make(chan error, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				done <- fmt.Errorf("panic: %v", r)
+				if e, ok := r.(error); ok {
+					// Preserve the chain so errors.Is still sees, e.g.,
+					// ErrPlaceDead inside a panicked wrapper.
+					done <- fmt.Errorf("panic: %w", e)
+				} else {
+					done <- fmt.Errorf("panic: %v", r)
+				}
 			}
 		}()
 		done <- w.Run(rt, seed)
@@ -230,11 +277,26 @@ func RunOne(w Workload, seed int64, o SweepOptions, fo Options) RunReport {
 			Detail: fmt.Sprintf("run exceeded %v after healing; finish dump attached", o.Timeout),
 		})
 	} else {
-		if runErr != nil {
+		rep.Err = runErr
+		if runErr != nil && !(fo.Kill != nil && errors.Is(runErr, core.ErrPlaceDead)) {
 			rep.Violations = append(rep.Violations, Violation{Kind: "oracle", Detail: runErr.Error()})
 		}
 		drain()
-		rep.Violations = append(rep.Violations, CheckAll(rt, tr)...)
+		if kp := fo.Kill; kp != nil && ct.PlaceDead(kp.Victim) {
+			select {
+			case <-deathProcessed:
+			case <-time.After(o.Timeout):
+			}
+		}
+		rep.Dead = rt.DeadPlaces()
+		if len(rep.Dead) > 0 {
+			// Global per-pattern conservation legitimately breaks when a
+			// spawn's destination dies; the survivor-restricted checks are
+			// the contract a kill run must meet.
+			rep.Violations = append(rep.Violations, CheckAllSurvivors(rt, tr)...)
+		} else {
+			rep.Violations = append(rep.Violations, CheckAll(rt, tr)...)
+		}
 	}
 
 	rep.Faults = ct.FaultCounts()
@@ -273,7 +335,11 @@ func Sweep(o SweepOptions) SweepResult {
 	for i := 0; i < o.Seeds; i++ {
 		seed := o.StartSeed + int64(i)
 		for _, w := range o.Workloads {
-			rep := RunOne(w, seed, o, FaultsFor(seed, o.Places))
+			fo := FaultsFor(seed, o.Places)
+			if o.Kill {
+				fo = KillFaultsFor(seed, o.Places)
+			}
+			rep := RunOne(w, seed, o, fo)
 			res.Runs++
 			for k, v := range rep.Faults {
 				res.FaultTotals[k] += v

@@ -117,3 +117,67 @@ func CheckTransport(tr x10rt.Transport) []Violation {
 func CheckAll(rt *core.Runtime, tr x10rt.Transport) []Violation {
 	return append(CheckRuntime(rt), CheckTransport(tr)...)
 }
+
+// CheckRuntimeSurvivors is the kill-run variant of CheckRuntime: the
+// quiescence invariants are restricted to the places that survived, and
+// global per-pattern activity conservation — which a spawn lost to the
+// victim legitimately unbalances — is replaced by the per-place
+// begun==completed oracle, which must stay exact at every live place.
+func CheckRuntimeSurvivors(rt *core.Runtime) []Violation {
+	dead := make(map[core.Place]bool)
+	for _, p := range rt.DeadPlaces() {
+		dead[p] = true
+	}
+	var vs []Violation
+	for _, s := range rt.FinishStates() {
+		if dead[s.Home] {
+			continue
+		}
+		vs = append(vs, Violation{
+			Kind: "finish-leak",
+			Detail: fmt.Sprintf("%s home=p%d seq=%d waiting=%v done=%v live=%d events=%d",
+				s.Pattern, s.Home, s.Seq, s.Waiting, s.Done, s.Live, s.Events),
+		})
+	}
+	for _, p := range rt.ProxyStates() {
+		if dead[p.Place] || dead[p.Home] {
+			continue
+		}
+		vs = append(vs, Violation{
+			Kind: "proxy-leak",
+			Detail: fmt.Sprintf("%s home=p%d seq=%d at=p%d live=%d epoch=%d",
+				p.Pattern, p.Home, p.Seq, p.Place, p.Live, p.Epoch),
+		})
+	}
+	for _, b := range rt.DenseBufferStates() {
+		if dead[b.Place] || dead[b.Home] {
+			continue
+		}
+		vs = append(vs, Violation{
+			Kind: "dense-buffer-leak",
+			Detail: fmt.Sprintf("master=p%d finish home=p%d seq=%d buffered=%d",
+				b.Place, b.Home, b.Seq, b.Buffered),
+		})
+	}
+	for _, pc := range rt.PlaceActivityCounts() {
+		if dead[pc.Place] {
+			continue
+		}
+		if !pc.Balanced() {
+			vs = append(vs, Violation{
+				Kind: "conservation",
+				Detail: fmt.Sprintf("place %d: begun=%d completed=%d",
+					pc.Place, pc.Begun, pc.Completed),
+			})
+		}
+	}
+	return vs
+}
+
+// CheckAllSurvivors combines the survivor-restricted runtime invariants
+// with the transport sum-equality check (total and per-place counters
+// advance together under the same locks, so their equality survives a
+// mid-run kill).
+func CheckAllSurvivors(rt *core.Runtime, tr x10rt.Transport) []Violation {
+	return append(CheckRuntimeSurvivors(rt), CheckTransport(tr)...)
+}

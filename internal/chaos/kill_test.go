@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+)
+
+// The kill sweep is the resilience acceptance gate: every workload, many
+// seeds, one seed-chosen mid-run KillPlace per run. The demanded outcome
+// is quiescence — no hang, no panic, no survivor-invariant violation —
+// with the death surfaced as ErrPlaceDead wherever the workload's
+// structure forced it through the victim.
+
+// killWorkloadsAlwaysThroughVictim names the workloads whose structure
+// routes work through every place, so a fired kill must surface
+// ErrPlaceDead: async/here/spmd finish at or through each place, and the
+// GLB traversal posts a worker on each place.
+var killWorkloadsAlwaysThroughVictim = map[string]bool{
+	"async": true, "here": true, "spmd": true, "glb": true,
+}
+
+func runKillSweep(t *testing.T, batch bool) {
+	o := SweepOptions{Seeds: 32, Kill: true, Batch: batch}
+	if testing.Short() {
+		o.Seeds = 8
+	}
+	o = o.withDefaults()
+	kills := uint64(0)
+	for i := 0; i < o.Seeds; i++ {
+		seed := o.StartSeed + int64(i)
+		for _, w := range o.Workloads {
+			rep := RunOne(w, seed, o, KillFaultsFor(seed, o.Places))
+			if rep.Failed() {
+				t.Errorf("workload %s seed %d:\n%s", w.Name, seed,
+					FormatViolations(rep.Violations))
+				if rep.Hung {
+					t.Logf("finish dump:\n%s", rep.FinishDump)
+				}
+				continue
+			}
+			fired := rep.Faults["chaos.kill"]
+			kills += fired
+			if w.Name == "local" {
+				// The purely place-local workload sends nothing
+				// cross-place: the trigger can never fire.
+				if fired != 0 {
+					t.Errorf("local seed %d: kill fired on a workload with no cross-place traffic", seed)
+				}
+				continue
+			}
+			if fired > 0 && killWorkloadsAlwaysThroughVictim[w.Name] &&
+				!errors.Is(rep.Err, core.ErrPlaceDead) {
+				t.Errorf("workload %s seed %d: kill fired but run error = %v, want ErrPlaceDead",
+					w.Name, seed, rep.Err)
+			}
+			if fired > 0 && len(rep.Dead) == 0 {
+				t.Errorf("workload %s seed %d: kill fired but runtime observed no death",
+					w.Name, seed)
+			}
+		}
+	}
+	if kills == 0 {
+		t.Fatal("no kill ever fired across the sweep")
+	}
+}
+
+// TestKillSweep: the full workload suite under KillFaultsFor across many
+// seeds, directly on the chaos transport.
+func TestKillSweep(t *testing.T) {
+	runKillSweep(t, false)
+}
+
+// TestKillSweepBatched: the same sweep with the batching layer stacked
+// above the chaos wrapper, so the kill lands under coalesced traffic and
+// the batcher's own death handling (purge queued batches, fail-fast
+// sends) is in the loop.
+func TestKillSweepBatched(t *testing.T) {
+	runKillSweep(t, true)
+}
+
+// TestKillReplayByteIdentical: a killed run replays to the byte. Holds
+// for the workloads with no concurrent cross-place traffic at the kill
+// point — async and here are strictly sequential, local trivially so —
+// which is exactly the guarantee KillPlan documents: the dump is the
+// deterministic pre-kill prefix plus one chaos.kill record.
+func TestKillReplayByteIdentical(t *testing.T) {
+	o := SweepOptions{Timeout: 30 * time.Second}.withDefaults()
+	for _, w := range Workloads() {
+		switch w.Name {
+		case "async", "here", "local":
+		default:
+			continue
+		}
+		for _, seed := range []int64{2, 5, 9, 16} {
+			fo := KillFaultsFor(seed, o.Places)
+			a := RunOne(w, seed, o, fo)
+			b := RunOne(w, seed, o, fo)
+			if a.Failed() || b.Failed() {
+				t.Fatalf("workload %s seed %d failed:\n%s%s", w.Name, seed,
+					FormatViolations(a.Violations), FormatViolations(b.Violations))
+			}
+			if !bytes.Equal(a.FaultDump, b.FaultDump) {
+				t.Errorf("workload %s seed %d: fault dumps differ across replays\nrun1:\n%s\nrun2:\n%s",
+					w.Name, seed, a.FaultDump, b.FaultDump)
+			}
+			if a.Faults["chaos.kill"] != b.Faults["chaos.kill"] {
+				t.Errorf("workload %s seed %d: kill fired %d times vs %d on replay",
+					w.Name, seed, a.Faults["chaos.kill"], b.Faults["chaos.kill"])
+			}
+		}
+	}
+}

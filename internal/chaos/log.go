@@ -31,6 +31,7 @@ const (
 	FaultPartition
 	FaultSlow
 	FaultHold
+	FaultKill
 	numFaultKinds
 )
 
@@ -42,6 +43,7 @@ var faultNames = [numFaultKinds]string{
 	FaultPartition: "chaos.partition",
 	FaultSlow:      "chaos.slow",
 	FaultHold:      "chaos.hold",
+	FaultKill:      "chaos.kill",
 }
 
 // String returns the dump name of the fault kind.

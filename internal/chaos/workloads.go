@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"apgas/internal/core"
@@ -61,27 +63,53 @@ func oracle(name string, got *atomic.Int64, want int64, runErr error) error {
 	return nil
 }
 
+// errCollector accumulates finish errors from a workload body. Under the
+// deliverability-preserving fault menu finishes never fail, so collecting
+// (rather than panicking inside an activity, which would crash the whole
+// process) only matters for kill runs, where ErrPlaceDead is the
+// expected, demanded outcome.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errCollector) add(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	e.err = errors.Join(e.err, err)
+	e.mu.Unlock()
+}
+
+// get merges the collected finish errors with the rt.Run error.
+func (e *errCollector) get(runErr error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return errors.Join(runErr, e.err)
+}
+
 // runAsync: one FINISH_ASYNC per destination place, each governing
 // exactly the single remote activity its contract allows.
 func runAsync(rt *core.Runtime, seed int64) error {
 	var n atomic.Int64
+	var errs errCollector
 	err := rt.Run(func(ctx *core.Ctx) {
 		for _, p := range ctx.Places() {
 			p := p
-			if err := ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
+			errs.add(ctx.FinishPragma(core.PatternAsync, func(c *core.Ctx) {
 				c.AtAsync(p, func(*core.Ctx) { n.Add(1) })
-			}); err != nil {
-				panic(err)
-			}
+			}))
 		}
 	})
-	return oracle("async", &n, int64(rt.NumPlaces()), err)
+	return oracle("async", &n, int64(rt.NumPlaces()), errs.get(err))
 }
 
 // runHere: steal-shaped FINISH_HERE round trips — request out to every
 // other place, response straight home, token riding the messages.
 func runHere(rt *core.Runtime, seed int64) error {
 	var n atomic.Int64
+	var errs errCollector
 	err := rt.Run(func(ctx *core.Ctx) {
 		home := ctx.Place()
 		for _, p := range ctx.Places() {
@@ -89,16 +117,14 @@ func runHere(rt *core.Runtime, seed int64) error {
 				continue
 			}
 			p := p
-			if err := ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
+			errs.add(ctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
 				c.AtDirect(p, 16, func(cv *core.Ctx) {
 					cv.AtDirect(home, 16, func(*core.Ctx) { n.Add(1) })
 				})
-			}); err != nil {
-				panic(err)
-			}
+			}))
 		}
 	})
-	return oracle("here", &n, int64(rt.NumPlaces()-1), err)
+	return oracle("here", &n, int64(rt.NumPlaces()-1), errs.get(err))
 }
 
 // runLocal: a FINISH_LOCAL tree of purely place-local asyncs, two
@@ -106,8 +132,9 @@ func runHere(rt *core.Runtime, seed int64) error {
 func runLocal(rt *core.Runtime, seed int64) error {
 	const width, sub = 8, 3
 	var n atomic.Int64
+	var errs errCollector
 	err := rt.Run(func(ctx *core.Ctx) {
-		if err := ctx.FinishPragma(core.PatternLocal, func(c *core.Ctx) {
+		errs.add(ctx.FinishPragma(core.PatternLocal, func(c *core.Ctx) {
 			for i := 0; i < width; i++ {
 				c.Async(func(cc *core.Ctx) {
 					n.Add(1)
@@ -116,11 +143,9 @@ func runLocal(rt *core.Runtime, seed int64) error {
 					}
 				})
 			}
-		}); err != nil {
-			panic(err)
-		}
+		}))
 	})
-	return oracle("local", &n, int64(width*(1+sub)), err)
+	return oracle("local", &n, int64(width*(1+sub)), errs.get(err))
 }
 
 // runSPMD: one FINISH_SPMD spanning every remote place; each remote
@@ -129,30 +154,27 @@ func runLocal(rt *core.Runtime, seed int64) error {
 func runSPMD(rt *core.Runtime, seed int64) error {
 	const inner = 3
 	var n atomic.Int64
+	var errs errCollector
 	err := rt.Run(func(ctx *core.Ctx) {
 		home := ctx.Place()
-		if err := ctx.FinishPragma(core.PatternSPMD, func(c *core.Ctx) {
+		errs.add(ctx.FinishPragma(core.PatternSPMD, func(c *core.Ctx) {
 			for _, p := range c.Places() {
 				if p == home {
 					continue
 				}
 				p := p
 				c.AtAsync(p, func(cc *core.Ctx) {
-					if err := cc.Finish(func(ic *core.Ctx) {
+					errs.add(cc.Finish(func(ic *core.Ctx) {
 						for j := 0; j < inner; j++ {
 							ic.Async(func(*core.Ctx) { n.Add(1) })
 						}
-					}); err != nil {
-						panic(err)
-					}
+					}))
 					n.Add(1)
 				})
 			}
-		}); err != nil {
-			panic(err)
-		}
+		}))
 	})
-	return oracle("spmd", &n, int64((rt.NumPlaces()-1)*(1+inner)), err)
+	return oracle("spmd", &n, int64((rt.NumPlaces()-1)*(1+inner)), errs.get(err))
 }
 
 // treeNode is one activity of a precomputed random async/at tree. The
@@ -207,18 +229,17 @@ func runTree(rt *core.Runtime, seed int64, name string, pattern core.Pattern) er
 	s := newFaultStream(seed, 101, 0, 0) // distinct stream from fault decisions
 	root, want := buildTree(s, 0, rt.NumPlaces(), 4)
 	var n atomic.Int64
+	var errs errCollector
 	err := rt.Run(func(ctx *core.Ctx) {
-		if err := ctx.FinishPragma(pattern, func(c *core.Ctx) {
+		errs.add(ctx.FinishPragma(pattern, func(c *core.Ctx) {
 			// The finish body is the root activity; its node is counted
 			// by execTree directly.
 			execTree(c, root, &n)
-		}); err != nil {
-			panic(err)
-		}
+		}))
 	})
 	// The finish body itself is not a spawned activity, but execTree
 	// counts its node; want already includes it.
-	return oracle(name, &n, want, err)
+	return oracle(name, &n, want, errs.get(err))
 }
 
 func runDefaultTree(rt *core.Runtime, seed int64) error {
@@ -258,9 +279,10 @@ func (b *chaosBag) Split() glb.TaskBag {
 }
 
 func (b *chaosBag) Merge(loot glb.TaskBag) {
-	lb := loot.(*chaosBag)
-	b.pending += lb.pending
-	b.done += lb.done
+	// Only pending work moves: loot from Split never carries done units,
+	// and a dead place's adopted bag must leave its done count behind so
+	// summing done over every bag still counts each processed unit once.
+	b.pending += loot.(*chaosBag).pending
 }
 
 // runGLB: a lifeline-GLB traversal with all work seeded at place 0, so
@@ -280,14 +302,15 @@ func runGLB(rt *core.Runtime, seed int64) error {
 		}
 		return &chaosBag{}
 	})
-	err := rt.Run(func(ctx *core.Ctx) {
-		if e := b.Run(ctx); e != nil {
-			panic(e)
-		}
-	})
-	if err != nil {
+	var berr error
+	err := rt.Run(func(ctx *core.Ctx) { berr = b.Run(ctx) })
+	err = errors.Join(err, berr)
+	if err != nil && !errors.Is(err, core.ErrPlaceDead) {
 		return fmt.Errorf("glb: run: %w", err)
 	}
+	// Work conservation must hold even across a place death: the victim's
+	// unprocessed remainder is re-homed by the balancer's adoption rounds,
+	// so every seeded unit is processed exactly once somewhere.
 	var done int64
 	for p := 0; p < rt.NumPlaces(); p++ {
 		done += b.BagAt(core.Place(p)).(*chaosBag).done
@@ -296,5 +319,6 @@ func runGLB(rt *core.Runtime, seed int64) error {
 		return fmt.Errorf("glb: processed %d (stats %d), oracle expects %d",
 			done, b.Stats().Processed, total)
 	}
-	return nil
+	// Surface the death itself (expected and accepted by kill sweeps).
+	return err
 }

@@ -129,7 +129,9 @@ func (c *Ctx) Async(f func(*Ctx)) {
 	if pm := c.pl.pm; pm != nil {
 		pm.asyncLocal.Inc()
 	}
-	c.rt.finEvent(fin, c.pl, evLocalSpawn, c.pl.id, nil, c)
+	if !c.rt.finEvent(fin, c.pl, evLocalSpawn, c.pl.id, nil, c) {
+		return // governing finish orphaned by a place death
+	}
 	c.rt.spawnLocal(c.pl, fin, f)
 }
 
@@ -277,7 +279,9 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 		if pm := c.pl.pm; pm != nil {
 			pm.asyncLocal.Inc()
 		}
-		c.rt.finEvent(c.fin, c.pl, evLocalSpawn, p, nil, c)
+		if !c.rt.finEvent(c.fin, c.pl, evLocalSpawn, p, nil, c) {
+			return // governing finish orphaned by a place death
+		}
 		// With distributed tracing off, spawn with the seed's closure
 		// shape (capturing c, not the unpacked fields): the unpacked
 		// closure is a size class larger and costs a measurable slice of
@@ -304,10 +308,19 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 			obs.Arg{Key: "dst", Val: int64(p)}, obs.Arg{Key: "bytes", Val: int64(bytes)})
 	}
 	fin := c.fin
+	// Fail fast on a destination already known dead: the spawn is never
+	// counted, and the loss surfaces on the governing finish as an
+	// ErrPlaceDead instead of an activity that silently never runs.
+	if c.rt.anyDeath() && c.rt.PlaceDead(p) {
+		c.rt.spawnFailed(fin, c.pl, p, &x10rt.PlaceDeadError{Place: int(p)}, false)
+		return
+	}
 	// Count the remote spawn before the message leaves: the finish
 	// protocols rely on sends being visible in the sender's state no
 	// later than its next quiescence report.
-	c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c)
+	if !c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c) {
+		return // governing finish orphaned by a place death
+	}
 	body := f
 	if reply != nil {
 		r := reply
@@ -318,8 +331,12 @@ func (c *Ctx) atAsyncSized(p Place, bytes int, f func(*Ctx), reply chan<- error)
 	}
 	tc := c.rt.tracer.SendCtx("flow.spawn", "core", int(c.pl.id), c.span,
 		obs.Arg{Key: "dst", Val: int64(p)})
-	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn, spawnMsg{Fin: fin, Body: body, Bytes: bytes, TC: tc},
-		bytes, x10rt.DataClass)
+	if err := c.rt.trySend(c.pl.id, p, x10rt.HandlerSpawn,
+		spawnMsg{Fin: fin, Body: body, Bytes: bytes, TC: tc}, bytes, x10rt.DataClass); err != nil {
+		// The destination died between the event and the send: undo the
+		// count and surface the loss.
+		c.rt.spawnFailed(fin, c.pl, p, err, true)
+	}
 }
 
 // runReplied runs the body of a synchronous At at the remote place,
@@ -361,7 +378,9 @@ func (rt *Runtime) onSpawn(src, dst int, payload any) {
 		m.Body(&Ctx{rt: rt, pl: pl, fin: m.Fin, span: m.Fin.Span})
 		return
 	}
-	rt.finEvent(m.Fin, pl, evRemoteBegin, Place(src), nil, nil)
+	if !rt.finEvent(m.Fin, pl, evRemoteBegin, Place(src), nil, nil) {
+		return // governing finish orphaned by a place death; body never runs
+	}
 	if m.Direct {
 		// RDMA path: run inline on the dispatcher, no scheduler slot.
 		if m.TC.Valid() {
@@ -444,7 +463,9 @@ func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
 			obs.Arg{Key: "dst", Val: int64(p)}, obs.Arg{Key: "bytes", Val: int64(bytes)})
 	}
 	if p == c.pl.id {
-		c.rt.finEvent(fin, c.pl, evLocalSpawn, p, nil, c)
+		if !c.rt.finEvent(fin, c.pl, evLocalSpawn, p, nil, c) {
+			return // governing finish orphaned by a place death
+		}
 		wrapped := func(ctx *Ctx) {
 			var err error
 			if pr := ctx.rt.prof; pr != nil {
@@ -463,11 +484,19 @@ func (c *Ctx) AtDirect(p Place, bytes int, f func(*Ctx)) {
 			bytes, x10rt.DataClass)
 		return
 	}
-	c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c)
+	if c.rt.anyDeath() && c.rt.PlaceDead(p) {
+		c.rt.spawnFailed(fin, c.pl, p, &x10rt.PlaceDeadError{Place: int(p)}, false)
+		return
+	}
+	if !c.rt.finEvent(fin, c.pl, evRemoteSpawn, p, nil, c) {
+		return // governing finish orphaned by a place death
+	}
 	tc := c.rt.tracer.SendCtx("flow.spawn", "core", int(c.pl.id), c.span,
 		obs.Arg{Key: "dst", Val: int64(p)})
-	c.rt.send(c.pl.id, p, x10rt.HandlerSpawn,
-		spawnMsg{Fin: fin, Body: f, Bytes: bytes, Direct: true, TC: tc}, bytes, x10rt.DataClass)
+	if err := c.rt.trySend(c.pl.id, p, x10rt.HandlerSpawn,
+		spawnMsg{Fin: fin, Body: f, Bytes: bytes, Direct: true, TC: tc}, bytes, x10rt.DataClass); err != nil {
+		c.rt.spawnFailed(fin, c.pl, p, err, true)
+	}
 }
 
 // Atomic executes f as an uninterrupted step with respect to all other

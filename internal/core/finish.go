@@ -125,6 +125,20 @@ type rootFinish interface {
 	wait(pl *place) error
 	// state returns a point-in-time diagnostic view (see debug.go).
 	state() FinishState
+	// placeDeath forgives place p's credit provenance and re-tests
+	// termination; an ErrPlaceDead is recorded if the finish had touched
+	// p (see resilient.go).
+	placeDeath(p Place)
+	// forceFire aborts the finish because its own home place p died: the
+	// waiter fires with ErrPlaceDead so a blocked root activity unwinds.
+	forceFire(p Place)
+	// compensateSpawn undoes one counted remote spawn toward dst that
+	// the transport refused (dst died in the window between the
+	// evRemoteSpawn event and the send), recording err.
+	compensateSpawn(dst Place, err error)
+	// addError records err without touching any counters (a spawn
+	// rejected before it was ever counted).
+	addError(err error)
 }
 
 // Finish runs body in the current activity and then blocks until every
@@ -255,43 +269,60 @@ func (c *Ctx) FinishPragma(p Pattern, body func(*Ctx)) error {
 // to the per-place proxy of the distributed protocol. ctx is the activity
 // raising the event; it is nil for evRemoteBegin (the activity does not
 // exist yet at arrival time).
-func (rt *Runtime) finEvent(fin finRef, pl *place, kind finEventKind, other Place, err error, ctx *Ctx) {
+//
+// It reports whether the event reached live finish machinery; false means
+// the finish was orphaned by a place death (see dispatchFinEvent) and the
+// caller must skip the spawn the event would have authorized. Terminations
+// always return through the accounting below even when orphaned: their
+// begin was counted, so their completion must be too, keeping the
+// survivor-restricted conservation oracle exact.
+func (rt *Runtime) finEvent(fin finRef, pl *place, kind finEventKind, other Place, err error, ctx *Ctx) bool {
 	if !fin.valid() {
 		panic("core: activity has no governing finish")
 	}
+	delivered := rt.dispatchFinEvent(fin, pl, kind, other, err, ctx)
 	// Conservation accounting: every governed activity is counted exactly
 	// once as spawned (at its spawn site) and once as completed (at its
 	// termination site). evRemoteBegin is the same activity as the
-	// matching evRemoteSpawn and is deliberately not counted.
+	// matching evRemoteSpawn and is deliberately not counted globally; it
+	// is what begins the activity at its executing place, so it is what
+	// the per-place begun counter tracks. Spawn-kind events count only
+	// when delivered (an undelivered spawn event means no activity ever
+	// runs); terminations raised at a live place always count.
 	switch kind {
 	case evLocalSpawn, evRemoteSpawn:
-		rt.acts[fin.Pattern].spawned.Add(1)
-	case evTerminate:
-		rt.acts[fin.Pattern].completed.Add(1)
-	}
-	if fin.ID.Home == pl.id {
-		pl.finMu.Lock()
-		root, ok := pl.roots[fin.ID]
-		pl.finMu.Unlock()
-		if !ok {
-			panic(fmt.Sprintf("core: %v event for unknown finish %+v at home", kind, fin))
+		if delivered {
+			rt.acts[fin.Pattern].spawned.Add(1)
 		}
-		root.event(kind, other, err)
-		return
+	case evTerminate:
+		if delivered || !rt.PlaceDead(pl.id) {
+			rt.acts[fin.Pattern].completed.Add(1)
+			rt.placeActs[pl.id].completed.Add(1)
+		}
 	}
-	switch fin.Pattern {
-	case PatternDefault, PatternDense:
-		rt.proxyEvent(fin, pl, kind, other, err)
-	case PatternAsync, PatternSPMD:
-		rt.counterRemoteEvent(fin, pl, kind, other, err)
-	case PatternHere:
-		rt.hereRemoteEvent(fin, pl, kind, other, err, ctx)
-	case PatternLocal:
-		panic(fmt.Sprintf("core: FINISH_LOCAL governed activity reached place %d (home %d)",
-			pl.id, fin.ID.Home))
-	default:
-		panic(fmt.Sprintf("core: bad pattern %v", fin.Pattern))
+	if delivered && (kind == evLocalSpawn || kind == evRemoteBegin) {
+		rt.placeActs[pl.id].begun.Add(1)
 	}
+	return delivered
+}
+
+// panic-message helpers shared by the dispatch paths (finish.go and
+// resilient.go keep identical diagnostics).
+func unknownFinishPanic(kind finEventKind, fin finRef) string {
+	return fmt.Sprintf("core: %v event for unknown finish %+v at home", kind, fin)
+}
+
+func localEscapedPanic(fin finRef, pl *place) string {
+	return fmt.Sprintf("core: FINISH_LOCAL governed activity reached place %d (home %d)",
+		pl.id, fin.ID.Home)
+}
+
+func badPatternPanic(fin finRef) string {
+	return fmt.Sprintf("core: bad pattern %v", fin.Pattern)
+}
+
+func panicSendFailure(src, dst Place, err error) {
+	panic(fmt.Sprintf("core: transport send %d->%d: %v", src, dst, err))
 }
 
 // onFinishCtl is the transport handler for finish-protocol control traffic.
@@ -350,7 +381,22 @@ func (rt *Runtime) onFinishCtl(src, dst int, payload any) {
 			if d, isDone := payload.(ctlDone); isDone && d.N == 0 {
 				return
 			}
-			if _, isSnap := payload.(ctlSnapshot); isSnap {
+			if s, isSnap := payload.(ctlSnapshot); isSnap {
+				// Under a place death, the sender may be a proxy that an
+				// in-flight spawn re-created after the force-terminated
+				// root's cleanup burst; answer with another cleanup so the
+				// straggler state is reaped instead of leaking.
+				if rt.anyDeath() {
+					rt.reapProxy(pl.id, id, s.From)
+				}
+				return
+			}
+			if rt.anyDeath() {
+				// After a place death a root can fire early on forgiven
+				// credit (or force-fire entirely) and deregister while
+				// token-bearing credits are still in flight; the tokens
+				// were already returned by forgiveness, so the straggler
+				// is dropped rather than treated as a protocol bug.
 				return
 			}
 			panic(fmt.Sprintf("core: control message %T for unknown finish %+v at place %d",
@@ -378,6 +424,12 @@ type ctlSnapshot struct {
 	// Sent maps destination place to the cumulative count of remote
 	// spawns From has performed under this finish.
 	Sent map[Place]uint64
+	// RecvFrom maps source place to the cumulative count of remote
+	// activities begun at From per sender — Recv broken out by origin.
+	// The fault-free termination check only needs the aggregate Recv;
+	// the resilient check needs per-source provenance so a dead place's
+	// sends and receives can be excluded exactly (see resilient.go).
+	RecvFrom map[Place]uint64
 	// Errs is the cumulative list of activity errors collected at From.
 	Errs []error
 	// TC is the distributed trace context stamped on the message that
@@ -488,7 +540,7 @@ func (w *waiter) block(pl *place) error {
 
 // estimated wire sizes for control messages (for bandwidth accounting).
 func snapshotBytes(s ctlSnapshot) int {
-	return 32 + 16*len(s.Sent) + 16*len(s.Errs)
+	return 32 + 16*len(s.Sent) + 16*len(s.RecvFrom) + 16*len(s.Errs)
 }
 
 const ctlDoneBytes = 24

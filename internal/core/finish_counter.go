@@ -50,13 +50,41 @@ type counterRoot struct {
 	// Guarded by w.mu.
 	count   int // outstanding termination tokens
 	spawned int // total governed spawns, for contract checks
+	// outstanding is count broken out by the place each token currently
+	// rides at: local spawns and FINISH_HERE responses at home, remote
+	// spawns at their destination, credits subtracted at their source.
+	// It is the provenance that lets a place death forgive exactly the
+	// tokens the dead place held (see resilient.go). nil until the first
+	// token moves — the fault-free fast path allocates lazily.
+	outstanding map[Place]int64
+	// dead marks places whose tokens were forgiven; credits arriving
+	// from them afterwards are duplicates of the forgiveness and are
+	// dropped.
+	dead map[Place]bool
 	// events counts every event and control message processed, a
 	// monotone progress signal for the stall watchdog (see debug.go).
 	events uint64
 }
 
 func newCounterRoot(rt *Runtime, ref finRef, mode counterMode) *counterRoot {
-	return &counterRoot{rt: rt, ref: ref, mode: mode, w: newWaiter()}
+	r := &counterRoot{rt: rt, ref: ref, mode: mode, w: newWaiter()}
+	if rt.anyDeath() {
+		for _, p := range rt.DeadPlaces() {
+			if r.dead == nil {
+				r.dead = make(map[Place]bool)
+			}
+			r.dead[p] = true
+		}
+	}
+	return r
+}
+
+// moveToken shifts n tokens onto place p's ledger; caller holds w.mu.
+func (r *counterRoot) moveToken(p Place, n int64) {
+	if r.outstanding == nil {
+		r.outstanding = make(map[Place]int64)
+	}
+	r.outstanding[p] += n
 }
 
 func (r *counterRoot) violate(format string, args ...any) {
@@ -76,6 +104,7 @@ func (r *counterRoot) event(kind finEventKind, other Place, err error) {
 			r.violate("governs %d activities, at most 1 allowed", r.spawned)
 		}
 		r.count++
+		r.moveToken(r.ref.ID.Home, 1)
 	case evRemoteSpawn:
 		r.spawned++
 		switch r.mode {
@@ -87,19 +116,26 @@ func (r *counterRoot) event(kind finEventKind, other Place, err error) {
 			}
 		}
 		r.count++
+		r.moveToken(other, 1)
 	case evRemoteBegin:
 		// An activity arriving back at home. For FINISH_HERE this is the
-		// response carrying the token (already counted); for the other
-		// patterns it is a contract anomaly that we absorb by counting.
-		if r.mode != counterHere {
+		// response carrying the token (already counted at the remote
+		// place; the token now rides at home); for the other patterns it
+		// is a contract anomaly that we absorb by counting.
+		if r.mode == counterHere {
+			r.moveToken(other, -1)
+			r.moveToken(r.ref.ID.Home, 1)
+		} else {
 			r.violate("remote activity from place %d arrived at home", other)
 			r.count++
+			r.moveToken(r.ref.ID.Home, 1)
 		}
 	case evTerminate:
 		if err != nil {
 			r.w.errs = append(r.w.errs, err)
 		}
 		r.count--
+		r.moveToken(r.ref.ID.Home, -1)
 		r.checkLocked()
 	}
 }
@@ -112,10 +148,17 @@ func (r *counterRoot) ctl(src Place, payload any) {
 	r.w.mu.Lock()
 	defer r.w.mu.Unlock()
 	r.events++
+	if r.dead[src] {
+		// The sender's death already forgave every token it held; a
+		// credit that limped in afterwards (queued before the kill) is a
+		// duplicate of that forgiveness.
+		return
+	}
 	if m.Err != nil {
 		r.w.errs = append(r.w.errs, m.Err)
 	}
 	r.count -= m.N
+	r.moveToken(src, -int64(m.N))
 	r.checkLocked()
 }
 
@@ -123,6 +166,67 @@ func (r *counterRoot) checkLocked() {
 	if r.w.waiting && !r.w.done && r.count == 0 {
 		r.w.fire()
 	}
+}
+
+// placeDeath implements rootFinish: every token riding at the dead place
+// is forgiven — the activities holding them are gone and no credit for
+// them will ever arrive (late ones are deduplicated in ctl).
+func (r *counterRoot) placeDeath(v Place) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	if r.dead[v] {
+		return
+	}
+	if r.dead == nil {
+		r.dead = make(map[Place]bool)
+	}
+	r.dead[v] = true
+	r.events++
+	if n := r.outstanding[v]; n != 0 {
+		r.count -= int(n)
+		r.outstanding[v] = 0
+		if r.count < 0 {
+			r.count = 0
+		}
+		r.w.errs = append(r.w.errs, &x10rt.PlaceDeadError{Place: int(v)})
+	}
+	r.checkLocked()
+}
+
+// forceFire implements rootFinish: the home place itself died.
+func (r *counterRoot) forceFire(v Place) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.w.errs = append(r.w.errs, &x10rt.PlaceDeadError{Place: int(v)})
+	r.w.fire()
+}
+
+// compensateSpawn implements rootFinish (see resilient.go).
+func (r *counterRoot) compensateSpawn(dst Place, err error) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.events++
+	r.w.errs = append(r.w.errs, err)
+	if r.dead[dst] {
+		// placeDeath already forgave every token riding at dst —
+		// including the one this failed spawn placed there; subtracting
+		// again would push the counter negative and wedge the wait.
+		r.checkLocked()
+		return
+	}
+	r.count--
+	r.moveToken(dst, -1)
+	if r.spawned > 0 {
+		r.spawned--
+	}
+	r.checkLocked()
+}
+
+// addError implements rootFinish.
+func (r *counterRoot) addError(err error) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.w.errs = append(r.w.errs, err)
 }
 
 func (r *counterRoot) wait(pl *place) error {

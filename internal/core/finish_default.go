@@ -58,6 +58,16 @@ type defaultRoot struct {
 	localHome uint64
 	sentHome  map[Place]uint64
 	snaps     map[Place]ctlSnapshot
+	// recvHomeFrom is recvHome broken out by sender — the per-source
+	// provenance the resilient termination check needs (see resilient.go).
+	// nil until the first remote begin.
+	recvHomeFrom map[Place]uint64
+	// dead marks places whose death this root has processed; nil while
+	// the run is fault free (the common case — checkLocked's exact path).
+	// deadErr marks dead places for which an ErrPlaceDead was already
+	// surfaced, so late-arriving evidence doesn't duplicate the error.
+	dead    map[Place]bool
+	deadErr map[Place]bool
 	// events counts every event and control message processed, a
 	// monotone progress signal for the stall watchdog (see debug.go).
 	events uint64
@@ -68,7 +78,7 @@ type defaultRoot struct {
 }
 
 func newDefaultRoot(rt *Runtime, ref finRef, dense bool) *defaultRoot {
-	return &defaultRoot{
+	r := &defaultRoot{
 		rt:       rt,
 		ref:      ref,
 		dense:    dense || ref.Pattern == PatternDense,
@@ -76,6 +86,17 @@ func newDefaultRoot(rt *Runtime, ref finRef, dense bool) *defaultRoot {
 		sentHome: make(map[Place]uint64),
 		snaps:    make(map[Place]ctlSnapshot),
 	}
+	// A finish opened after a place death must know about it: PlaceDeath
+	// only walks roots registered at that moment.
+	if rt.anyDeath() {
+		for _, p := range rt.DeadPlaces() {
+			if r.dead == nil {
+				r.dead = make(map[Place]bool)
+			}
+			r.dead[p] = true
+		}
+	}
+	return r
 }
 
 func (r *defaultRoot) event(kind finEventKind, other Place, err error) {
@@ -92,6 +113,10 @@ func (r *defaultRoot) event(kind finEventKind, other Place, err error) {
 	case evRemoteBegin:
 		r.promoted = true
 		r.recvHome++
+		if r.recvHomeFrom == nil {
+			r.recvHomeFrom = make(map[Place]uint64)
+		}
+		r.recvHomeFrom[other]++
 		r.live++
 	case evTerminate:
 		r.live--
@@ -119,6 +144,18 @@ func (r *defaultRoot) applySnapshot(snap ctlSnapshot) {
 		return // stale, reordered control message
 	}
 	r.snaps[snap.From] = snap
+	// Late evidence that the finish had touched a dead place: surface
+	// the loss exactly once per dead place.
+	if len(r.dead) > 0 && !r.dead[snap.From] {
+		for v := range r.dead {
+			if r.deadErr[v] {
+				continue
+			}
+			if snap.Sent[v] > 0 || snap.RecvFrom[v] > 0 {
+				r.recordDeadLocked(v)
+			}
+		}
+	}
 	r.checkLocked()
 }
 
@@ -134,7 +171,54 @@ func (r *defaultRoot) checkLocked() {
 		r.w.fire()
 		return
 	}
-	// totSent[q] must equal recv[q] for every involved place q.
+	if len(r.dead) > 0 {
+		if !r.resilientBalancedLocked() {
+			return
+		}
+	} else if !r.exactBalancedLocked() {
+		return
+	}
+	// Terminated: gather remote errors and release proxies.
+	if r.profile != nil {
+		r.fillProfileLocked()
+	}
+	for _, s := range r.snaps {
+		r.w.errs = append(r.w.errs, s.Errs...)
+	}
+	targets := make([]Place, 0, len(r.snaps))
+	if len(r.dead) == 0 {
+		for q := range r.snaps {
+			targets = append(targets, q)
+		}
+	} else {
+		// Death-forced termination cannot trust r.snaps to name every
+		// proxy: a live place whose activities all came from the victim
+		// is recorded only in the victim's unsent snapshot, and even a
+		// sent snapshot may trail in after the forgiving balance fires.
+		// Broadcast instead — ctlCleanup is an idempotent delete, so
+		// places without a proxy shrug it off.
+		for q := Place(0); int(q) < r.rt.NumPlaces(); q++ {
+			if q != r.ref.ID.Home && !r.dead[q] && !r.rt.PlaceDead(q) {
+				targets = append(targets, q)
+			}
+		}
+	}
+	for _, q := range targets {
+		tc := r.rt.tracer.SendCtx("flow.ctl", "finish", int(r.ref.ID.Home), 0,
+			obs.Arg{Key: "dst", Val: int64(q)})
+		r.rt.send(r.ref.ID.Home, q, x10rt.HandlerFinishCtl,
+			ctlCleanup{ID: r.ref.ID, TC: tc}, 16, x10rt.ControlClass)
+	}
+	// The cleanup burst is the tail of the protocol: push it out rather
+	// than let the fan-out sit in per-link batch queues.
+	r.rt.flushTransport(r.ref.ID.Home)
+	r.w.fire()
+}
+
+// exactBalancedLocked is the fault-free termination condition, byte for
+// byte the protocol of the paper: totSent[q] must equal recv[q] for
+// every involved place q.
+func (r *defaultRoot) exactBalancedLocked() bool {
 	totSent := make(map[Place]uint64, len(r.snaps)+len(r.sentHome))
 	for q, n := range r.sentHome {
 		totSent[q] += n
@@ -152,36 +236,159 @@ func (r *defaultRoot) checkLocked() {
 			recv = r.snaps[q].Recv
 		}
 		if recv != sent {
-			return
+			return false
 		}
 	}
 	// Also: every place that reported receives must be fully accounted
 	// (recv cannot exceed sent, but check symmetry for robustness).
 	for q, s := range r.snaps {
 		if s.Recv != totSent[q] {
-			return
+			return false
 		}
 	}
-	if r.recvHome != totSent[r.ref.ID.Home] {
-		return
+	return r.recvHome == totSent[r.ref.ID.Home]
+}
+
+// resilientBalancedLocked is the termination condition once places have
+// died: for every ordered pair (s, q) of *live* places, the activities s
+// reports sent toward q must equal the activities q reports received
+// from s. Aggregate totals are not enough here — a dead place's sends
+// and receives must be excluded exactly, and only per-source provenance
+// (ctlSnapshot.RecvFrom) can tell a live place's receives from a dead
+// sender apart from those from a live one.
+func (r *defaultRoot) resilientBalancedLocked() bool {
+	home := r.ref.ID.Home
+	// recvOf(q)[s]: what live place q reports received from s; nil when
+	// q has never reported (any live send toward it is then unresolved).
+	recvOf := func(q Place) map[Place]uint64 {
+		if q == home {
+			return r.recvHomeFrom
+		}
+		if snap, ok := r.snaps[q]; ok {
+			return snap.RecvFrom
+		}
+		return nil
 	}
-	// Terminated: gather remote errors and release proxies.
-	if r.profile != nil {
-		r.fillProfileLocked()
+	sentBy := make(map[Place]map[Place]uint64, len(r.snaps)+1)
+	sentBy[home] = r.sentHome
+	for s, snap := range r.snaps {
+		if !r.dead[s] {
+			sentBy[s] = snap.Sent
+		}
+	}
+	for s, sent := range sentBy {
+		for q, n := range sent {
+			if n == 0 || r.dead[q] {
+				continue
+			}
+			// A q that never reported reads as zero receives, which n > 0
+			// cannot match — live sends toward it stay unresolved.
+			if recvOf(q)[s] != n {
+				return false
+			}
+		}
+	}
+	// Symmetry: every receive a live place reports from a live sender
+	// must be matched by that sender's sent count.
+	for q := range r.snaps {
+		if r.dead[q] {
+			continue
+		}
+		for s, n := range r.snaps[q].RecvFrom {
+			if r.dead[s] || n == 0 {
+				continue
+			}
+			if sentBy[s][q] != n {
+				return false
+			}
+		}
+	}
+	for s, n := range r.recvHomeFrom {
+		if r.dead[s] || n == 0 {
+			continue
+		}
+		if sentBy[s][home] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// recordDeadLocked surfaces one ErrPlaceDead for dead place v.
+func (r *defaultRoot) recordDeadLocked(v Place) {
+	if r.deadErr == nil {
+		r.deadErr = make(map[Place]bool)
+	}
+	r.deadErr[v] = true
+	r.w.errs = append(r.w.errs, &x10rt.PlaceDeadError{Place: int(v)})
+}
+
+// touchedLocked reports whether the finish is known to have involved
+// dead place v — the test for whether its death loses anything.
+func (r *defaultRoot) touchedLocked(v Place) bool {
+	if r.sentHome[v] > 0 || r.recvHomeFrom[v] > 0 {
+		return true
+	}
+	if _, ok := r.snaps[v]; ok {
+		return true
 	}
 	for _, s := range r.snaps {
-		r.w.errs = append(r.w.errs, s.Errs...)
+		if s.Sent[v] > 0 || s.RecvFrom[v] > 0 {
+			return true
+		}
 	}
-	for q := range r.snaps {
-		tc := r.rt.tracer.SendCtx("flow.ctl", "finish", int(r.ref.ID.Home), 0,
-			obs.Arg{Key: "dst", Val: int64(q)})
-		r.rt.send(r.ref.ID.Home, q, x10rt.HandlerFinishCtl,
-			ctlCleanup{ID: r.ref.ID, TC: tc}, 16, x10rt.ControlClass)
+	return false
+}
+
+// placeDeath implements rootFinish: forgive v's provenance (by marking
+// it dead, which the resilient balance check excludes), surface the loss
+// if the finish had touched v, and re-test termination.
+func (r *defaultRoot) placeDeath(v Place) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	if r.dead[v] {
+		return
 	}
-	// The cleanup burst is the tail of the protocol: push it out rather
-	// than let the fan-out sit in per-link batch queues.
-	r.rt.flushTransport(r.ref.ID.Home)
+	if r.dead == nil {
+		r.dead = make(map[Place]bool)
+	}
+	r.dead[v] = true
+	r.events++
+	if r.touchedLocked(v) {
+		r.recordDeadLocked(v)
+	}
+	r.checkLocked()
+}
+
+// forceFire implements rootFinish: the home place itself died.
+func (r *defaultRoot) forceFire(v Place) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.w.errs = append(r.w.errs, &x10rt.PlaceDeadError{Place: int(v)})
 	r.w.fire()
+}
+
+// compensateSpawn implements rootFinish (see resilient.go).
+func (r *defaultRoot) compensateSpawn(dst Place, err error) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.events++
+	// The resilient balance check excludes dead destinations, so the
+	// stale sentHome entry cannot wedge termination; decrementing keeps
+	// the diagnostics (deficit view) honest when dst is still marked
+	// live locally.
+	if !r.dead[dst] && r.sentHome[dst] > 0 {
+		r.sentHome[dst]--
+	}
+	r.w.errs = append(r.w.errs, err)
+	r.checkLocked()
+}
+
+// addError implements rootFinish.
+func (r *defaultRoot) addError(err error) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	r.w.errs = append(r.w.errs, err)
 }
 
 func (r *defaultRoot) wait(pl *place) error {
@@ -204,8 +411,12 @@ type vectorProxy struct {
 	recv  uint64
 	local uint64
 	sent  map[Place]uint64
-	epoch uint64
-	errs  []error
+	// recvFrom is recv broken out by sender, shipped home in every
+	// snapshot so the root can reconcile per source pair under place
+	// death (see resilient.go).
+	recvFrom map[Place]uint64
+	epoch    uint64
+	errs     []error
 }
 
 // proxyEvent processes an activity event at a non-home place.
@@ -213,7 +424,19 @@ func (rt *Runtime) proxyEvent(fin finRef, pl *place, kind finEventKind, other Pl
 	pl.finMu.Lock()
 	px, ok := pl.proxies[fin.ID]
 	if !ok {
-		px = &vectorProxy{rt: rt, ref: fin, pl: pl, sent: make(map[Place]uint64)}
+		// Only a remote begin legitimately creates a proxy: any other
+		// event belongs to an activity that already began here, so its
+		// proxy can only be missing because the root force-terminated
+		// under a place death and its cleanup raced the still-running
+		// activity. The credit was already forgiven by adoption;
+		// recording it now would leave a negative proxy on a survivor
+		// forever.
+		if kind != evRemoteBegin && rt.anyDeath() {
+			pl.finMu.Unlock()
+			return
+		}
+		px = &vectorProxy{rt: rt, ref: fin, pl: pl, sent: make(map[Place]uint64),
+			recvFrom: make(map[Place]uint64)}
 		pl.proxies[fin.ID] = px
 	}
 	var snap *ctlSnapshot
@@ -225,6 +448,7 @@ func (rt *Runtime) proxyEvent(fin finRef, pl *place, kind finEventKind, other Pl
 		px.sent[other]++
 	case evRemoteBegin:
 		px.recv++
+		px.recvFrom[other]++
 		px.live++
 	case evTerminate:
 		px.live--
@@ -249,16 +473,21 @@ func (px *vectorProxy) snapshot() ctlSnapshot {
 	for q, n := range px.sent {
 		sent[q] = n
 	}
+	recvFrom := make(map[Place]uint64, len(px.recvFrom))
+	for q, n := range px.recvFrom {
+		recvFrom[q] = n
+	}
 	errs := make([]error, len(px.errs))
 	copy(errs, px.errs)
 	return ctlSnapshot{
-		ID:    px.ref.ID,
-		From:  px.pl.id,
-		Epoch: px.epoch,
-		Recv:  px.recv,
-		Local: px.local,
-		Sent:  sent,
-		Errs:  errs,
+		ID:       px.ref.ID,
+		From:     px.pl.id,
+		Epoch:    px.epoch,
+		Recv:     px.recv,
+		Local:    px.local,
+		Sent:     sent,
+		RecvFrom: recvFrom,
+		Errs:     errs,
 	}
 }
 
@@ -266,6 +495,9 @@ func (px *vectorProxy) snapshot() ctlSnapshot {
 // pattern, via the software route for FINISH_DENSE.
 func (rt *Runtime) sendSnapshot(from Place, fin finRef, snap ctlSnapshot) {
 	home := fin.ID.Home
+	if rt.anyDeath() && rt.PlaceDead(home) {
+		return // the root is gone; its proxies were dropped by PlaceDeath
+	}
 	if fin.Pattern != PatternDense {
 		snap.TC = rt.tracer.SendCtx("flow.ctl", "finish", int(from), 0,
 			obs.Arg{Key: "dst", Val: int64(home)})
@@ -284,6 +516,25 @@ func (rt *Runtime) sendSnapshot(from Place, fin finRef, snap ctlSnapshot) {
 	rt.flushTransport(from)
 }
 
+// reapProxy tells place at to drop its proxy for a root that no longer
+// exists at home. Sent only under place death, where a cleanup burst
+// can race in-flight spawns that re-create proxy state after the root
+// force-terminated; the re-created proxy's quiescence snapshot lands
+// here and is answered with this second, final cleanup.
+func (rt *Runtime) reapProxy(home Place, id finishID, at Place) {
+	if at == home || rt.PlaceDead(at) {
+		return
+	}
+	tc := rt.tracer.SendCtx("flow.ctl", "finish", int(home), 0,
+		obs.Arg{Key: "dst", Val: int64(at)})
+	// Best-effort: the reap races runtime shutdown by construction (it
+	// answers stragglers of an already-terminated root), so a closed
+	// transport is as acceptable an outcome as a dead destination.
+	_ = rt.tr.Send(int(home), int(at), x10rt.HandlerFinishCtl,
+		ctlCleanup{ID: id, TC: tc}, 16, x10rt.ControlClass)
+	rt.flushTransport(home)
+}
+
 // denseRoute computes the software route from place p to the finish home:
 // p -> master(p) -> master(home) -> home, with degenerate hops elided.
 // Masters are the first place of each host (p - p%b, b places per host),
@@ -294,6 +545,12 @@ func (rt *Runtime) denseRoute(p, home Place) []Place {
 	route := make([]Place, 0, 3)
 	for _, hop := range []Place{rt.master(p), rt.master(home), home} {
 		if hop == p {
+			continue
+		}
+		// A dead master is routed around: the snapshot goes direct to the
+		// next live hop (ultimately home, which the caller guarantees is
+		// alive) instead of dying in a severed mailbox.
+		if hop != home && rt.anyDeath() && rt.PlaceDead(hop) {
 			continue
 		}
 		if len(route) > 0 && route[len(route)-1] == hop {
@@ -329,7 +586,14 @@ func (rt *Runtime) routeDense(pl *place, m ctlRouted) {
 			// moment (delayed on a link, or parked in a master's coalescing
 			// buffer behind a late flush marker) is stale by construction
 			// and is dropped, exactly like a ctlDone{N:0} straggler. The
-			// chaos harness's delay faults hit this window reliably.
+			// chaos harness's delay faults hit this window reliably. Under
+			// a place death the sender may instead be a re-created proxy
+			// of a force-terminated root; reap it (see handleFinishCtl).
+			if rt.anyDeath() {
+				for _, s := range m.Snaps {
+					rt.reapProxy(pl.id, m.ID, s.From)
+				}
+			}
 			return
 		}
 		dr, ok := root.(*defaultRoot)
@@ -382,6 +646,16 @@ func (rt *Runtime) flushDense(pl *place, id finishID, rest []Place) {
 	pl.denseMu.Unlock()
 	if len(snaps) == 0 {
 		return
+	}
+	if rt.anyDeath() {
+		// Hops that died after this route was computed are skipped; if
+		// the home itself is gone the snapshots are moot.
+		for len(rest) > 0 && rt.PlaceDead(rest[0]) {
+			rest = rest[1:]
+		}
+		if rt.PlaceDead(id.Home) {
+			return
+		}
 	}
 	dst := id.Home
 	if len(rest) > 0 {

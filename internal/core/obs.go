@@ -77,6 +77,7 @@ type flightIDs struct {
 	atDirect    uint32
 	spawnRecv   uint32
 	runError    uint32
+	placeDeath  uint32
 
 	kSrc   uint32
 	kDst   uint32
@@ -96,6 +97,7 @@ func newFlightIDs(f *obs.FlightRecorder) *flightIDs {
 		atDirect:    f.NameID("at.direct"),
 		spawnRecv:   f.NameID("spawn.recv"),
 		runError:    f.NameID("run.error"),
+		placeDeath:  f.NameID("place.death"),
 		kSrc:        f.NameID("src"),
 		kDst:        f.NameID("dst"),
 		kBytes:      f.NameID("bytes"),

@@ -18,6 +18,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -134,6 +135,15 @@ type Runtime struct {
 	// conservation invariant the chaos harness checks after every run.
 	// Always on: two atomic adds per activity, independent of obs.
 	acts [numPatterns]activityCounter
+
+	// placeActs tracks begun/completed per place; each live place's pair
+	// stays balanced even when a death unbalances the global acts totals
+	// (see resilient.go).
+	placeActs []placeActivityCounter
+
+	// deaths is the resilience bookkeeping: which places died, and who
+	// wants to hear about it (see resilient.go).
+	deaths deathRegistry
 }
 
 // activityCounter is one pattern's spawned/completed pair.
@@ -268,6 +278,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if err := rt.tr.Register(x10rt.HandlerClockCtl, rt.onClockCtl); err != nil {
 		return nil, err
 	}
+	rt.placeActs = make([]placeActivityCounter, cfg.Places)
+	rt.deaths.dead = make([]atomic.Bool, cfg.Places)
+	// Transports that can lose places report here; PlaceDeath is
+	// idempotent, so the in-process notifier's once-per-survivor fan-out
+	// collapses to a single adoption pass.
+	if dn, ok := rt.tr.(x10rt.DeathNotifier); ok {
+		dn.NotifyDeath(func(dead, _ int) { rt.PlaceDeath(Place(dead)) })
+	}
 	return rt, nil
 }
 
@@ -356,10 +374,17 @@ func (rt *Runtime) now() int64 {
 	return time.Now().UnixNano()
 }
 
-// send is the single funnel for runtime messages.
+// send is the single funnel for runtime messages whose loss a place
+// death already accounts for: control credits and snapshots addressed to
+// a dead root are moot (the root force-fired), and everything a dead
+// place would have sent is forgiven by the adoption protocol. Dead-place
+// failures are therefore dropped silently; any other failure is still a
+// transport bug and panics. Spawn paths, whose loss must be compensated,
+// use trySend (resilient.go) instead.
 func (rt *Runtime) send(src, dst Place, id x10rt.HandlerID, payload any, bytes int, class x10rt.Class) {
-	if err := rt.tr.Send(int(src), int(dst), id, payload, bytes, class); err != nil {
-		panic(fmt.Sprintf("core: transport send %d->%d: %v", src, dst, err))
+	if err := rt.tr.Send(int(src), int(dst), id, payload, bytes, class); err != nil &&
+		!errors.Is(err, x10rt.ErrPlaceDead) {
+		panicSendFailure(src, dst, err)
 	}
 }
 

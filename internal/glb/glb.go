@@ -28,6 +28,7 @@ package glb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -116,6 +117,12 @@ type Balancer struct {
 	cfg    Config
 	states []*placeState
 
+	// orphanMu guards orphans: loot parcels reaped from links severed by
+	// a place death, awaiting conservative re-execution (see placeDeath
+	// and the adoption rounds in Run).
+	orphanMu sync.Mutex
+	orphans  []TaskBag
+
 	// observability (nil handles when the runtime has no obs layer)
 	tr *obs.Tracer
 	m  balancerMetrics
@@ -180,6 +187,24 @@ type placeState struct {
 	lifelineReqs map[core.Place]bool // recorded incoming lifeline requests
 	asked        map[core.Place]bool // lifelines this place has asked and not yet been served by
 
+	// dead marks a place reaped by placeDeath: its worker exits at the
+	// next scheduler interaction and no further loot is shipped to or
+	// split from it. bagDrained records that the unprocessed remainder of
+	// a dead place's bag has been handed to an adoption round (exactly
+	// once).
+	dead       bool
+	bagDrained bool
+	// Outbound loot ledger: every parcel shipped to a thief is recorded
+	// under a per-sender monotone sequence number and erased when the
+	// thief acknowledges the merge. lootIn holds the highest sequence
+	// merged from each sender. Per-link FIFO delivery makes the pair a
+	// complete account of which shipments survived a place death: a
+	// parcel in a dead place's ledger with seq > the thief's lootIn entry
+	// was provably never merged and is safe to re-execute.
+	lootSeq uint64
+	lootOut map[core.Place][]lootParcel
+	lootIn  map[core.Place]uint64
+
 	stats Stats
 	pm    placeMetrics
 
@@ -188,6 +213,45 @@ type placeState struct {
 	// a glb.lifeline.wait span from it. Only meaningful while !active
 	// and only when tracing is enabled.
 	diedAt int64
+}
+
+// lootParcel is one outbound loot shipment awaiting acknowledgement.
+type lootParcel struct {
+	seq uint64
+	bag TaskBag
+}
+
+// recordLootLocked logs an outbound parcel before it is shipped; caller
+// holds st.mu.
+func (st *placeState) recordLootLocked(to core.Place, bag TaskBag) uint64 {
+	st.lootSeq++
+	if st.lootOut == nil {
+		st.lootOut = make(map[core.Place][]lootParcel)
+	}
+	st.lootOut[to] = append(st.lootOut[to], lootParcel{seq: st.lootSeq, bag: bag})
+	return st.lootSeq
+}
+
+// ackLocked erases an acknowledged parcel; caller holds st.mu.
+func (st *placeState) ackLocked(to core.Place, seq uint64) {
+	parcels := st.lootOut[to]
+	for i, p := range parcels {
+		if p.seq == seq {
+			st.lootOut[to] = append(parcels[:i], parcels[i+1:]...)
+			return
+		}
+	}
+}
+
+// noteMergedLocked records the highest parcel sequence merged from a
+// sender; caller holds st.mu.
+func (st *placeState) noteMergedLocked(from core.Place, seq uint64) {
+	if st.lootIn == nil {
+		st.lootIn = make(map[core.Place]uint64)
+	}
+	if seq > st.lootIn[from] {
+		st.lootIn[from] = seq
+	}
 }
 
 // New creates a balancer and builds the per-place bags with makeBag (run
@@ -226,6 +290,10 @@ func New(rt *core.Runtime, cfg Config, makeBag func(core.Place) TaskBag) *Balanc
 		st.pm.victims.Add(uint64(len(st.victims)))
 		b.m.victims.Add(uint64(len(st.victims)))
 	}
+	// Victim-death re-homing: when the runtime reports a place dead, reap
+	// it from the balancer graph and queue its orphaned work for the
+	// adoption rounds in Run.
+	rt.NotifyPlaceDeath(b.placeDeath)
 	return b
 }
 
@@ -249,24 +317,197 @@ func (b *Balancer) Stats() Stats {
 // Run executes the computation: workers start at every place under a
 // single root finish, and Run returns when the whole distributed traversal
 // has quiesced. It must be called from within rt.Run.
+//
+// If a place dies mid-run the root finish surfaces core.ErrPlaceDead and
+// quiesces over the survivors; Run then performs adoption rounds — the
+// victim's unprocessed bag remainder plus any loot parcels stranded on
+// severed links are merged into a surviving place and re-executed under a
+// fresh finish. The parcel ledger is the idempotence guard: only work the
+// victim provably never completed is re-run (processed units had left its
+// bag; merged parcels had been acknowledged).
 func (b *Balancer) Run(ctx *core.Ctx) error {
 	pattern := core.PatternDefault
 	if b.cfg.DenseFinish {
 		pattern = core.PatternDense
 	}
 	b.patKey = pattern.MetricKey()
+	var errs []error
+	if err := b.runPhase(ctx, pattern, nil); err != nil {
+		errs = append(errs, err)
+	}
+	for round := 0; round < b.rt.NumPlaces(); round++ {
+		orphans := b.drainOrphans()
+		if len(orphans) == 0 {
+			break
+		}
+		if err := b.runPhase(ctx, pattern, orphans); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// runPhase runs one worker phase over the surviving places. A non-empty
+// adopt slice is first merged into the lowest-numbered survivor's bag;
+// random steals then spread the adopted work as usual.
+func (b *Balancer) runPhase(ctx *core.Ctx, pattern core.Pattern, adopt []TaskBag) error {
 	return ctx.FinishPragma(pattern, func(c *core.Ctx) {
+		if len(adopt) > 0 {
+			adopter := b.firstLive()
+			if adopter < 0 {
+				return // every place is dead; nothing can re-execute
+			}
+			as := b.states[adopter]
+			as.mu.Lock()
+			for _, o := range adopt {
+				as.bag.Merge(o)
+			}
+			as.mu.Unlock()
+		}
 		for _, p := range c.Places() {
 			p := p
+			if b.rt.PlaceDead(p) {
+				continue
+			}
 			c.AtAsync(p, func(cc *core.Ctx) {
 				st := b.states[p]
 				st.mu.Lock()
+				if st.dead {
+					st.mu.Unlock()
+					return
+				}
 				st.active = true
 				st.mu.Unlock()
 				b.runWorker(cc, st, int(p))
 			})
 		}
 	})
+}
+
+// drainOrphans collects all pending orphaned work: parcels reaped by
+// placeDeath plus the unprocessed remainder of each dead place's bag,
+// taken exactly once. The state lock serializes the bag hand-off against
+// a dead worker's final quantum.
+func (b *Balancer) drainOrphans() []TaskBag {
+	b.orphanMu.Lock()
+	orphans := b.orphans
+	b.orphans = nil
+	b.orphanMu.Unlock()
+	for _, st := range b.states {
+		st.mu.Lock()
+		if st.dead && !st.bagDrained {
+			st.bagDrained = true
+			if st.bag.Size() > 0 {
+				orphans = append(orphans, st.bag)
+			}
+		}
+		st.mu.Unlock()
+	}
+	return orphans
+}
+
+// firstLive returns the lowest-numbered surviving place, or -1.
+func (b *Balancer) firstLive() core.Place {
+	for p := range b.states {
+		if !b.rt.PlaceDead(core.Place(p)) {
+			return core.Place(p)
+		}
+	}
+	return -1
+}
+
+// placeDeath reaps a dead place from the balancer graph: its worker is
+// told to exit, survivors' lifeline edges are rewired around it, and loot
+// parcels stranded on severed links — shipped but provably never merged —
+// are queued for conservative re-execution. Registered with the runtime's
+// death notifier in New.
+func (b *Balancer) placeDeath(v core.Place) {
+	if int(v) >= len(b.states) {
+		return
+	}
+	vs := b.states[v]
+	vs.mu.Lock()
+	if vs.dead {
+		vs.mu.Unlock()
+		return
+	}
+	vs.dead = true
+	vs.active = false
+	lootIn := make(map[core.Place]uint64, len(vs.lootIn))
+	for p, s := range vs.lootIn {
+		lootIn[p] = s
+	}
+	lootOut := vs.lootOut
+	vs.lootOut = nil
+	vs.mu.Unlock()
+
+	var orphans []TaskBag
+	// Loot the victim split off and shipped whose merge it never learned
+	// of: if the thief merged it, the bag is accounted for there; the
+	// unacknowledged-but-merged window is resolved by the thief's lootIn
+	// high-water mark.
+	for t, parcels := range lootOut {
+		ts := b.states[t]
+		ts.mu.Lock()
+		merged := ts.lootIn[v]
+		ts.mu.Unlock()
+		for _, p := range parcels {
+			if p.seq > merged {
+				orphans = append(orphans, p.bag)
+			}
+		}
+	}
+	// Loot survivors shipped toward the victim that it never merged, plus
+	// every survivor-side edge pointing at it.
+	for q, s := range b.states {
+		if core.Place(q) == v {
+			continue
+		}
+		s.mu.Lock()
+		if s.dead {
+			s.mu.Unlock()
+			continue
+		}
+		for _, p := range s.lootOut[v] {
+			if p.seq > lootIn[core.Place(q)] {
+				orphans = append(orphans, p.bag)
+			}
+		}
+		delete(s.lootOut, v)
+		delete(s.lifelineReqs, v)
+		delete(s.asked, v)
+		s.lifelines = b.rewireLifelines(core.Place(q), s.lifelines)
+		s.mu.Unlock()
+	}
+	if len(orphans) > 0 {
+		b.orphanMu.Lock()
+		b.orphans = append(b.orphans, orphans...)
+		b.orphanMu.Unlock()
+	}
+}
+
+// rewireLifelines drops dead targets from a place's lifeline set and
+// restores its out-degree with the next live places around the ring,
+// keeping the distribution graph connected over the survivors.
+func (b *Balancer) rewireLifelines(self core.Place, cur []core.Place) []core.Place {
+	n := len(b.states)
+	want := len(cur)
+	seen := map[core.Place]bool{self: true}
+	out := cur[:0]
+	for _, l := range cur {
+		if !b.rt.PlaceDead(l) && !seen[l] {
+			out = append(out, l)
+			seen[l] = true
+		}
+	}
+	for d := 1; d < n && len(out) < want; d++ {
+		c := core.Place((int(self) + d) % n)
+		if !b.rt.PlaceDead(c) && !seen[c] {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	return out
 }
 
 // runWorker enters the worker loop at place p, relabeled kind=glb.worker
@@ -293,6 +534,12 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 		// requests between quanta.
 		for {
 			st.mu.Lock()
+			if st.dead {
+				// Our place died under us; whatever remains in the bag is
+				// adopted by the post-finish rounds in Run.
+				st.mu.Unlock()
+				return
+			}
 			n := st.bag.Process(b.cfg.Quantum)
 			st.stats.Processed += int64(n)
 			st.pm.processed.Add(uint64(n))
@@ -310,7 +557,7 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 		// Random steal attempts against the bounded victim set.
 		stolen := false
 		for i := 0; i < b.cfg.RandomAttempts && !stolen; i++ {
-			victim := st.nextVictim()
+			victim := b.nextVictim(st)
 			if victim < 0 {
 				break
 			}
@@ -323,6 +570,10 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 		// Establish lifelines and die. Loot arriving later resuscitates
 		// the worker with a fresh activity.
 		st.mu.Lock()
+		if st.dead {
+			st.mu.Unlock()
+			return
+		}
 		if st.bag.Size() > 0 {
 			// Loot landed while we were out stealing; keep working so
 			// no merged work is ever abandoned by a dying worker.
@@ -346,6 +597,9 @@ func (b *Balancer) worker(ctx *core.Ctx, st *placeState) {
 		st.mu.Unlock()
 		me := ctx.Place()
 		for _, l := range requests {
+			if b.rt.PlaceDead(l) {
+				continue
+			}
 			if b.tr != nil {
 				b.tr.Instant("glb.lifeline.request", "glb", int(me),
 					obs.Arg{Key: "lifeline", Val: int64(l)})
@@ -379,21 +633,32 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 		sctx = ctx.WithTraceSpan(stealTid)
 	}
 	var loot TaskBag
+	var lootSeq uint64
 	vs := b.states[victim]
 	err := sctx.FinishPragma(core.PatternHere, func(c *core.Ctx) {
 		c.AtDirect(victim, 16, func(cv *core.Ctx) {
 			vs.mu.Lock()
 			var l TaskBag
-			if vs.active {
+			var seq uint64
+			if vs.active && !vs.dead {
 				l = vs.bag.Split()
+				if l != nil {
+					seq = vs.recordLootLocked(home, l)
+				}
 			}
 			vs.mu.Unlock()
 			cv.AtDirect(home, lootBytes(l), func(*core.Ctx) {
-				loot = l
+				loot, lootSeq = l, seq
 			})
 		})
 	})
 	if err != nil {
+		if errors.Is(err, core.ErrPlaceDead) {
+			// The victim (or our own place) died mid-steal: a failed
+			// attempt. Loot split off before the death sits unmerged in
+			// the victim's outbound ledger and is reaped by placeDeath.
+			return false
+		}
 		panic(fmt.Sprintf("glb: steal attempt failed: %v", err))
 	}
 	if b.tr != nil {
@@ -412,11 +677,25 @@ func (b *Balancer) randomSteal(ctx *core.Ctx, st *placeState, victim core.Place)
 	}
 	st.mu.Lock()
 	st.bag.Merge(loot)
+	st.noteMergedLocked(victim, lootSeq)
 	st.stats.StealSuccesses++
 	st.mu.Unlock()
 	st.pm.stealSuccesses.Inc()
 	b.m.stealSuccesses.Inc()
+	b.ackLoot(ctx, home, victim, lootSeq)
 	return true
+}
+
+// ackLoot clears a merged parcel from the sender's outbound ledger so a
+// later death of this place does not re-execute it. Uncounted: the ack is
+// pure bookkeeping and must not hold the root finish open.
+func (b *Balancer) ackLoot(ctx *core.Ctx, me, sender core.Place, seq uint64) {
+	ss := b.states[sender]
+	ctx.UncountedAsync(sender, func(*core.Ctx) {
+		ss.mu.Lock()
+		ss.ackLocked(me, seq)
+		ss.mu.Unlock()
+	})
 }
 
 // sendLifelineRequest records this place at lifeline l; if l currently has
@@ -425,6 +704,10 @@ func (b *Balancer) sendLifelineRequest(ctx *core.Ctx, thief, l core.Place) {
 	ls := b.states[l]
 	ctx.AtDirect(l, 16, func(cl *core.Ctx) {
 		ls.mu.Lock()
+		if ls.dead || b.rt.PlaceDead(thief) {
+			ls.mu.Unlock()
+			return
+		}
 		var loot TaskBag
 		if ls.active {
 			loot = ls.bag.Split()
@@ -435,11 +718,12 @@ func (b *Balancer) sendLifelineRequest(ctx *core.Ctx, thief, l core.Place) {
 			ls.mu.Unlock()
 			return
 		}
+		seq := ls.recordLootLocked(thief, loot)
 		ls.stats.LifelineDeliveries++
 		ls.mu.Unlock()
 		ls.pm.lifelineDeliveries.Inc()
 		b.m.lifelineDeliveries.Inc()
-		b.deliver(cl, thief, loot)
+		b.deliver(cl, cl.Place(), thief, loot, seq)
 	})
 }
 
@@ -447,25 +731,39 @@ func (b *Balancer) sendLifelineRequest(ctx *core.Ctx, thief, l core.Place) {
 // bag has work to spare; the caller holds st.mu.
 func (b *Balancer) serveLifelinesLocked(ctx *core.Ctx, st *placeState) {
 	for thief := range st.lifelineReqs {
+		// The dead-check and ledger record share st.mu with placeDeath's
+		// reap, so a parcel is either provably skipped or provably reaped.
+		if b.rt.PlaceDead(thief) {
+			delete(st.lifelineReqs, thief)
+			continue
+		}
 		loot := st.bag.Split()
 		if loot == nil {
 			return
 		}
 		delete(st.lifelineReqs, thief)
+		seq := st.recordLootLocked(thief, loot)
 		st.stats.LifelineDeliveries++
 		st.pm.lifelineDeliveries.Inc()
 		b.m.lifelineDeliveries.Inc()
-		b.deliver(ctx, thief, loot)
+		b.deliver(ctx, ctx.Place(), thief, loot, seq)
 	}
 }
 
 // deliver ships loot to a thief under the root finish and resuscitates its
 // worker if it has died — "resuscitation is also one async task".
-func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
+func (b *Balancer) deliver(ctx *core.Ctx, from, thief core.Place, loot TaskBag, seq uint64) {
 	ts := b.states[thief]
 	ctx.AtDirect(thief, lootBytes(loot), func(ct *core.Ctx) {
 		ts.mu.Lock()
+		if ts.dead {
+			// Unmerged and unacknowledged: the sender's ledger entry
+			// stands, and placeDeath re-homes the loot.
+			ts.mu.Unlock()
+			return
+		}
 		ts.bag.Merge(loot)
+		ts.noteMergedLocked(from, seq)
 		revive := !ts.active
 		var diedAt int64
 		if revive {
@@ -491,18 +789,21 @@ func (b *Balancer) deliver(ctx *core.Ctx, thief core.Place, loot TaskBag) {
 			}
 			ct.Async(func(cw *core.Ctx) { b.runWorker(cw, ts, int(thief)) })
 		}
+		b.ackLoot(ct, thief, from, seq)
 	})
 }
 
-// nextVictim returns the next victim from the precomputed set, or -1 when
-// the place has no peers.
-func (st *placeState) nextVictim() core.Place {
-	if len(st.victims) == 0 {
-		return -1
+// nextVictim returns the next live victim from the precomputed set, or -1
+// when the place has no surviving peers.
+func (b *Balancer) nextVictim(st *placeState) core.Place {
+	for range st.victims {
+		v := st.victims[st.victimCursor]
+		st.victimCursor = (st.victimCursor + 1) % len(st.victims)
+		if !b.rt.PlaceDead(v) {
+			return v
+		}
 	}
-	v := st.victims[st.victimCursor]
-	st.victimCursor = (st.victimCursor + 1) % len(st.victims)
-	return v
+	return -1
 }
 
 // lootBytes models the wire size of a loot shipment.

@@ -1,0 +1,253 @@
+package glb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/x10rt"
+)
+
+// unitRecorder counts executions of every distinct work unit across all
+// places — the exactly-once oracle for the re-homing protocol: processed
+// units leave their bag and merged loot is acknowledged, so conservative
+// re-execution must never actually run a unit twice.
+type unitRecorder struct {
+	mu   sync.Mutex
+	runs map[int64]int
+}
+
+func (r *unitRecorder) record(id int64) {
+	r.mu.Lock()
+	r.runs[id]++
+	r.mu.Unlock()
+}
+
+func (r *unitRecorder) executed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}
+
+// check asserts every unit in [0, total) ran exactly once.
+func (r *unitRecorder) check(t *testing.T, total int64) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id := int64(0); id < total; id++ {
+		switch n := r.runs[id]; {
+		case n == 0:
+			t.Fatalf("unit %d never executed (work lost)", id)
+		case n > 1:
+			t.Fatalf("unit %d executed %d times (work duplicated)", id, n)
+		}
+	}
+	if len(r.runs) != int(total) {
+		t.Fatalf("%d distinct units executed, want %d", len(r.runs), total)
+	}
+}
+
+// killBag is a TaskBag of distinct unit IDs reporting each execution to a
+// shared recorder; spin makes units cost real time so kills land mid-run.
+type killBag struct {
+	rec   *unitRecorder
+	units []int64
+	spin  int
+	sink  uint64
+}
+
+func (b *killBag) Process(q int) int {
+	n := q
+	if n > len(b.units) {
+		n = len(b.units)
+	}
+	for _, id := range b.units[:n] {
+		b.rec.record(id)
+		for i := 0; i < b.spin; i++ {
+			b.sink = b.sink*6364136223846793005 + 1442695040888963407
+		}
+	}
+	b.units = b.units[n:]
+	return n
+}
+
+func (b *killBag) Size() int64 { return int64(len(b.units)) }
+
+func (b *killBag) Split() TaskBag {
+	if len(b.units) < 2 {
+		return nil
+	}
+	half := len(b.units) / 2
+	loot := &killBag{rec: b.rec, units: append([]int64(nil), b.units[:half]...), spin: b.spin}
+	b.units = b.units[half:]
+	return loot
+}
+
+func (b *killBag) Merge(loot TaskBag) {
+	b.units = append(b.units, loot.(*killBag).units...)
+}
+
+// newKillableGLB builds a runtime over a ChanTransport (the in-process
+// transport with KillPlace) and a balancer whose initial work — total
+// distinct units — sits at place seedAt.
+func newKillableGLB(t *testing.T, places int, total int64, seedAt core.Place, spin int) (*core.Runtime, *x10rt.ChanTransport, *Balancer, *unitRecorder) {
+	t.Helper()
+	tr, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+	if err != nil {
+		t.Fatalf("NewChanTransport: %v", err)
+	}
+	rt, err := core.NewRuntime(core.Config{Places: places, Transport: tr, OwnTransport: true,
+		CheckPatterns: true})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	rec := &unitRecorder{runs: make(map[int64]int)}
+	b := New(rt, Config{Quantum: 16, RandomAttempts: 4}, func(p core.Place) TaskBag {
+		kb := &killBag{rec: rec, spin: spin}
+		if p == seedAt {
+			kb.units = make([]int64, total)
+			for i := range kb.units {
+				kb.units[i] = int64(i)
+			}
+		}
+		return kb
+	})
+	return rt, tr, b, rec
+}
+
+// runGLBWithTimeout guards against the failure mode under test: a
+// balancer run that hangs after a place death.
+func runGLBWithTimeout(t *testing.T, rt *core.Runtime, main func(*core.Ctx)) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(main) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("balancer did not quiesce after place death")
+	}
+}
+
+// TestGLBKillMidRunRehomesWork: a place is killed while the traversal is
+// live; the run quiesces, surfaces ErrPlaceDead, and every unit still
+// executes exactly once — the victim's unprocessed remainder and any
+// stranded loot are adopted by the survivors.
+func TestGLBKillMidRunRehomesWork(t *testing.T) {
+	const places, total = 6, 20_000
+	rt, tr, b, rec := newKillableGLB(t, places, total, 0, 300)
+	victim := core.Place(2)
+	go func() {
+		// Kill once the traversal is demonstrably mid-flight.
+		for rec.executed() < total/20 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		_ = tr.KillPlace(int(victim))
+	}()
+	runGLBWithTimeout(t, rt, func(ctx *core.Ctx) {
+		err := b.Run(ctx)
+		if err != nil && !errors.Is(err, core.ErrPlaceDead) {
+			t.Errorf("balancer error = %v, want nil or ErrPlaceDead", err)
+		}
+	})
+	if !rt.PlaceDead(victim) {
+		t.Fatal("victim was never killed")
+	}
+	rec.check(t, total)
+}
+
+// TestGLBKillVictimHoldingAllWork: the victim owns the entire initial
+// bag; after the kill the adoption rounds must re-home everything it had
+// not yet processed.
+func TestGLBKillVictimHoldingAllWork(t *testing.T) {
+	const places, total = 4, 10_000
+	victim := core.Place(1)
+	rt, tr, b, rec := newKillableGLB(t, places, total, victim, 300)
+	go func() {
+		for rec.executed() < total/20 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		_ = tr.KillPlace(int(victim))
+	}()
+	runGLBWithTimeout(t, rt, func(ctx *core.Ctx) {
+		err := b.Run(ctx)
+		if err != nil && !errors.Is(err, core.ErrPlaceDead) {
+			t.Errorf("balancer error = %v, want nil or ErrPlaceDead", err)
+		}
+	})
+	rec.check(t, total)
+}
+
+// TestGLBKillBeforeRun: a place dead before Run starts is simply excluded
+// — no worker is spawned there, no steal targets it, and the run
+// completes cleanly over the survivors.
+func TestGLBKillBeforeRun(t *testing.T) {
+	const places, total = 4, 5_000
+	rt, tr, b, rec := newKillableGLB(t, places, total, 0, 0)
+	if err := tr.KillPlace(2); err != nil {
+		t.Fatalf("KillPlace: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !rt.PlaceDead(2) {
+		if time.Now().After(deadline) {
+			t.Fatal("runtime never observed the death")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	runGLBWithTimeout(t, rt, func(ctx *core.Ctx) {
+		if err := b.Run(ctx); err != nil {
+			t.Errorf("balancer error = %v, want nil", err)
+		}
+	})
+	rec.check(t, total)
+	if got := b.BagAt(2).(*killBag); len(got.units) != 0 {
+		t.Errorf("dead place retained %d units", len(got.units))
+	}
+}
+
+// TestRewireLifelines: dead targets are dropped and the out-degree is
+// restored with the next live places around the ring.
+func TestRewireLifelines(t *testing.T) {
+	const places = 8
+	rt, tr, b, _ := newKillableGLB(t, places, 0, 0, 0)
+	if err := tr.KillPlace(4); err != nil {
+		t.Fatalf("KillPlace: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !rt.PlaceDead(4) {
+		if time.Now().After(deadline) {
+			t.Fatal("runtime never observed the death")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for p := 0; p < places; p++ {
+		if p == 4 {
+			continue
+		}
+		st := b.states[p]
+		st.mu.Lock()
+		lifelines := append([]core.Place(nil), st.lifelines...)
+		st.mu.Unlock()
+		seen := map[core.Place]bool{}
+		for _, l := range lifelines {
+			if l == 4 {
+				t.Errorf("place %d still has dead lifeline 4", p)
+			}
+			if l == core.Place(p) {
+				t.Errorf("place %d linked to itself", p)
+			}
+			if seen[l] {
+				t.Errorf("place %d has duplicate lifeline %d", p, l)
+			}
+			seen[l] = true
+		}
+		if len(lifelines) == 0 {
+			t.Errorf("place %d lost all lifelines", p)
+		}
+	}
+}

@@ -150,6 +150,10 @@ func (p *Plane) onTelemetry(src, dst int, payload any) {
 		}
 		// Fan [Lo+1, Hi) out into up to arity contiguous chunks — the
 		// same tree shape PlaceGroup.Broadcast uses (broadcastSubtree).
+		// Each chunk is rooted at its first live place (a dead subtree
+		// root would strand the whole chunk); a chunk with no survivors
+		// contributes nothing and is skipped, so a collection round
+		// after a place death completes over exactly the live places.
 		n := m.Hi - m.Lo - 1
 		var children []telemetryReq
 		if n > 0 {
@@ -159,7 +163,17 @@ func (p *Plane) onTelemetry(src, dst int, payload any) {
 				if end > m.Hi {
 					end = m.Hi
 				}
-				children = append(children, telemetryReq{ID: m.ID, Lo: start, Hi: end, Parent: dst})
+				root := -1
+				for q := start; q < end; q++ {
+					if !p.rt.PlaceDead(core.Place(q)) {
+						root = q
+						break
+					}
+				}
+				if root < 0 {
+					continue
+				}
+				children = append(children, telemetryReq{ID: m.ID, Lo: root, Hi: end, Parent: dst})
 			}
 		}
 		if len(children) == 0 {
@@ -172,8 +186,10 @@ func (p *Plane) onTelemetry(src, dst int, payload any) {
 		p.mu.Unlock()
 		for _, c := range children {
 			if err := p.tr.Send(dst, c.Lo, x10rt.HandlerTelemetry, c, 0, x10rt.ControlClass); err != nil {
-				// Transport shut down mid-round; the Collect times out.
-				return
+				// The chunk root died between the liveness check and the
+				// send (or the transport shut down): count the subtree as
+				// absent rather than stranding the round.
+				p.childAbsent(m.ID, dst)
 			}
 		}
 	case telemetryRep:
@@ -196,6 +212,26 @@ func (p *Plane) onTelemetry(src, dst int, payload any) {
 		p.mu.Unlock()
 		p.report(m.ID, dst, node.parent, node.snaps)
 	}
+}
+
+// childAbsent folds a failed child request into the gather node as an
+// empty subtree, reporting upward if it was the last one outstanding.
+func (p *Plane) childAbsent(id uint64, place int) {
+	key := nodeKey{id, place}
+	p.mu.Lock()
+	node, ok := p.nodes[key]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	node.expect--
+	if node.expect > 0 {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.nodes, key)
+	p.mu.Unlock()
+	p.report(id, place, node.parent, node.snaps)
 }
 
 // report sends a completed subtree's snapshots to the parent, or hands

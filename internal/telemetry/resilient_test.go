@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/x10rt"
+)
+
+// killAndObserve kills the places on the runtime's own ChanTransport and
+// waits until the runtime's death registry has caught up.
+func killAndObserve(t *testing.T, rt *core.Runtime, victims ...int) {
+	t.Helper()
+	tr := rt.Transport().(*x10rt.ChanTransport)
+	for _, v := range victims {
+		if err := tr.KillPlace(v); err != nil {
+			t.Fatalf("KillPlace(%d): %v", v, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, v := range victims {
+		for !rt.PlaceDead(core.Place(v)) {
+			if time.Now().After(deadline) {
+				t.Fatalf("runtime never observed death of place %d", v)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestCollectExcludesDeadPlaces: after two places die — including chunk
+// roots of the gather tree — a collection round completes over exactly
+// the survivors instead of stranding on the dead subtree roots.
+func TestCollectExcludesDeadPlaces(t *testing.T) {
+	const places = 8
+	rt, p := newPlane(t, places, nil)
+	if err := rt.Run(func(c *core.Ctx) {
+		for q := 1; q < c.NumPlaces(); q++ {
+			c.AtAsync(core.Place(q), func(*core.Ctx) {})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// With the default arity the tree chunks [1,8) contiguously; place 1
+	// roots the first chunk, so its death forces a re-root mid-chunk.
+	killAndObserve(t, rt, 1, 5)
+
+	snaps, err := p.Collect(collectTimeout)
+	if err != nil {
+		t.Fatalf("collect after deaths: %v", err)
+	}
+	if len(snaps) != places-2 {
+		t.Fatalf("collected %d places, want %d survivors", len(snaps), places-2)
+	}
+	for _, v := range []int{1, 5} {
+		if _, ok := snaps[v]; ok {
+			t.Errorf("dead place %d present in collection", v)
+		}
+	}
+	for q := 0; q < places; q++ {
+		if q == 1 || q == 5 {
+			continue
+		}
+		if _, ok := snaps[q]; !ok {
+			t.Errorf("live place %d missing from collection", q)
+		}
+	}
+
+	// The merged report spans the survivors.
+	rep, err := p.Report(collectTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv, ok := rep.Merged["sched.spawned"]; !ok || len(mv.Places) != places-2 {
+		t.Errorf("sched.spawned merged over %+v, want the %d survivors", mv.Places, places-2)
+	}
+}
+
+// TestWatchdogAnnotatesDeadDebtor: a stall dump whose who-owes-whom
+// deficit names a dead place says so, separating "wedged" from "gone".
+func TestWatchdogAnnotatesDeadDebtor(t *testing.T) {
+	rt, _ := newPlane(t, 3, nil)
+	killAndObserve(t, rt, 2)
+
+	var out bytes.Buffer
+	w := StartWatchdog(rt, WatchdogOptions{Window: time.Hour, Out: &out, FlightTail: -1})
+	defer w.Stop()
+	w.dump(core.FinishState{
+		Home: 0, Seq: 7, Pattern: core.PatternDefault, Waiting: true, Live: 1,
+		Deficits: []core.PlaceDeficit{
+			{Place: 1, Sent: 2, Recv: 1},
+			{Place: 2, Sent: 3, Recv: 0},
+		},
+	}, time.Now())
+
+	text := out.String()
+	lines := strings.Split(text, "\n")
+	var p1, p2 string
+	for _, l := range lines {
+		if strings.Contains(l, "owes: place p1") {
+			p1 = l
+		}
+		if strings.Contains(l, "owes: place p2") {
+			p2 = l
+		}
+	}
+	if p1 == "" || p2 == "" {
+		t.Fatalf("dump missing deficit lines:\n%s", text)
+	}
+	if strings.Contains(p1, "DEAD") {
+		t.Errorf("live debtor annotated dead: %s", p1)
+	}
+	if !strings.Contains(p2, "DEAD") {
+		t.Errorf("dead debtor not annotated: %s", p2)
+	}
+}

@@ -177,8 +177,16 @@ func (w *Watchdog) dump(s core.FinishState, now time.Time) {
 		fmt.Fprintf(out, "  %d governed activities have not terminated at the home place\n", s.Live)
 	}
 	for _, d := range s.Deficits {
-		fmt.Fprintf(out, "  owes: place p%d pending=%d (sent=%d recv=%d)\n",
-			d.Place, d.Pending(), d.Sent, d.Recv)
+		// A dead debtor will never pay: the pending credits are owed to
+		// the resilient-finish adoption sweep, not the network. Naming
+		// that in the dump separates "place is wedged" from "place is
+		// gone and adoption has not caught up yet".
+		note := ""
+		if w.rt.PlaceDead(d.Place) {
+			note = " [place is DEAD; credits forgiven by adoption]"
+		}
+		fmt.Fprintf(out, "  owes: place p%d pending=%d (sent=%d recv=%d)%s\n",
+			d.Place, d.Pending(), d.Sent, d.Recv, note)
 	}
 	// With distributed tracing on, name not just the owing place but the
 	// chain of spans — who spawned what, where — leading to each stuck

@@ -149,6 +149,7 @@ type BatchingTransport struct {
 	mirrorMu sync.RWMutex
 
 	bs BatchSender // inner's batch fast path, nil when unsupported
+	pk PlaceKiller // inner's kill support, nil when unsupported
 	bm batchMetrics
 
 	closed  atomic.Bool
@@ -176,9 +177,37 @@ func NewBatchingTransport(inner Transport, opts BatchOptions) *BatchingTransport
 		t.links[i] = &batchLink{lastNs: math.MinInt64 / 2}
 	}
 	t.bs, _ = inner.(BatchSender)
+	t.pk, _ = inner.(PlaceKiller)
+	if dn, ok := inner.(DeathNotifier); ok {
+		// A death reported from below (e.g. a chaos-injected kill on the
+		// inner transport) must drop the batches queued for the dead
+		// place up here, or a later flush would fail and poison the
+		// whole wrapper. Idempotent, so the once-per-survivor callback
+		// shape is fine.
+		dn.NotifyDeath(func(dead, _ int) { t.purgePlace(dead) })
+	}
 	t.stopped.Add(1)
 	go t.flushLoop()
 	return t
+}
+
+// purgePlace discards every queued message on links to or from p.
+func (t *BatchingTransport) purgePlace(p int) {
+	if p < 0 || p >= t.n {
+		return
+	}
+	for src := 0; src < t.n; src++ {
+		for dst := 0; dst < t.n; dst++ {
+			if src != p && dst != p {
+				continue
+			}
+			l := t.links[src*t.n+dst]
+			l.mu.Lock()
+			l.q = nil
+			l.qBytes = 0
+			l.mu.Unlock()
+		}
+	}
 }
 
 // Inner returns the wrapped transport.
@@ -218,6 +247,14 @@ func (t *BatchingTransport) Send(src, dst int, id HandlerID, payload any, bytes 
 	t.mirrorMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: id=%d", ErrNoHandler, id)
+	}
+	if t.pk != nil {
+		if t.pk.PlaceDead(dst) {
+			return &PlaceDeadError{Place: dst}
+		}
+		if t.pk.PlaceDead(src) {
+			return &PlaceDeadError{Place: src}
+		}
 	}
 	if src == dst || id == HandlerTelemetry {
 		return t.inner.Send(src, dst, id, payload, bytes, class)
@@ -317,7 +354,11 @@ func (t *BatchingTransport) flushLoop() {
 				if !aged {
 					continue
 				}
-				if err := t.flushLink(l, src, dst, flushAged); err != nil && !errors.Is(err, ErrClosed) {
+				if err := t.flushLink(l, src, dst, flushAged); err != nil &&
+					!errors.Is(err, ErrClosed) && !errors.Is(err, ErrPlaceDead) {
+					// A dead-place flush failure loses only that link's
+					// frames (the place is gone); it must not poison the
+					// surviving links' traffic.
 					t.bgErr.CompareAndSwap(nil, err)
 				}
 			}
@@ -367,6 +408,34 @@ func (t *BatchingTransport) Quiesce() {
 		if !queued && t.bm.batches.Value() == before {
 			return
 		}
+	}
+}
+
+// KillPlace implements PlaceKiller when the inner transport does: the
+// wrapper's queues touching p are dropped first so no doomed flush
+// races the kill, then the death propagates down (which fires the
+// inner transport's notifiers, including the purge subscription).
+func (t *BatchingTransport) KillPlace(p int) error {
+	if t.pk == nil {
+		return fmt.Errorf("x10rt: inner transport %T cannot kill places", t.inner)
+	}
+	if p < 0 || p >= t.n {
+		return fmt.Errorf("%w: p=%d n=%d", ErrBadPlace, p, t.n)
+	}
+	t.purgePlace(p)
+	return t.pk.KillPlace(p)
+}
+
+// PlaceDead implements PlaceKiller by delegation.
+func (t *BatchingTransport) PlaceDead(p int) bool {
+	return t.pk != nil && t.pk.PlaceDead(p)
+}
+
+// NotifyDeath implements DeathNotifier by delegation; without inner
+// support it is a no-op (no death can ever be reported).
+func (t *BatchingTransport) NotifyDeath(fn func(dead, observer int)) {
+	if dn, ok := t.inner.(DeathNotifier); ok {
+		dn.NotifyDeath(fn)
 	}
 }
 

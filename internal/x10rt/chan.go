@@ -57,6 +57,7 @@ type ChanTransport struct {
 	places   []*chanEndpoint
 	ctrs     counters
 	perPlace []counters // egress traffic by source place
+	deaths   deathState
 	closed   sync.Once
 	done     chan struct{}
 }
@@ -78,6 +79,7 @@ type chanEndpoint struct {
 	cond    *sync.Cond
 	queue   []chanMsg
 	closed  bool
+	dead    bool   // place killed: queued and future messages are discarded
 	seq     uint64 // next delivery slot
 	reorder *rand.Rand
 	window  int
@@ -134,6 +136,9 @@ func (t *ChanTransport) Register(id HandlerID, h Handler) error {
 func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int, class Class) error {
 	if src < 0 || src >= t.opts.Places || dst < 0 || dst >= t.opts.Places {
 		return fmt.Errorf("%w: src=%d dst=%d n=%d", ErrBadPlace, src, dst, t.opts.Places)
+	}
+	if p := t.deaths.deadEnd(src, dst); p >= 0 {
+		return &PlaceDeadError{Place: p}
 	}
 	if _, ok := t.handlers.lookup(id); !ok {
 		return fmt.Errorf("%w: id=%d", ErrNoHandler, id)
@@ -208,14 +213,15 @@ func (t *ChanTransport) dispatch(place int, ep *chanEndpoint) {
 		}
 		m := ep.queue[0]
 		ep.queue = ep.queue[1:]
+		dead := ep.dead
 		ep.mu.Unlock()
 
-		if !m.due.IsZero() {
+		if !dead && !m.due.IsZero() {
 			if d := time.Until(m.due); d > 0 {
 				time.Sleep(d)
 			}
 		}
-		if h, ok := t.handlers.lookup(m.id); ok {
+		if h, ok := t.handlers.lookup(m.id); ok && !dead {
 			h(m.src, place, m.payload)
 		}
 		ep.idleMu.Lock()
@@ -239,6 +245,44 @@ func (t *ChanTransport) Quiesce() {
 		ep.idleMu.Unlock()
 	}
 }
+
+// KillPlace implements PlaceKiller: place p is severed from the
+// transport. Messages queued for p are discarded, future sends to or
+// from p fail with a *PlaceDeadError, and every NotifyDeath callback
+// fires once per surviving place (on a fresh goroutine — see
+// DeathNotifier). Idempotent.
+func (t *ChanTransport) KillPlace(p int) error {
+	if p < 0 || p >= t.opts.Places {
+		return fmt.Errorf("%w: p=%d n=%d", ErrBadPlace, p, t.opts.Places)
+	}
+	if !t.deaths.kill(p) {
+		return nil // already dead
+	}
+	ep := t.places[p]
+	ep.mu.Lock()
+	ep.dead = true
+	dropped := len(ep.queue)
+	ep.queue = nil
+	ep.mu.Unlock()
+	if dropped > 0 {
+		// The dispatcher would have decremented pending once per handled
+		// message; account for the purged ones here so Quiesce stays exact.
+		ep.idleMu.Lock()
+		ep.pending -= dropped
+		if ep.pending == 0 {
+			ep.idle.Broadcast()
+		}
+		ep.idleMu.Unlock()
+	}
+	t.deaths.notify(p, t.opts.Places)
+	return nil
+}
+
+// PlaceDead implements PlaceKiller.
+func (t *ChanTransport) PlaceDead(p int) bool { return t.deaths.isDead(p) }
+
+// NotifyDeath implements DeathNotifier.
+func (t *ChanTransport) NotifyDeath(fn func(dead, observer int)) { t.deaths.subscribe(fn) }
 
 // Stats implements Transport.
 func (t *ChanTransport) Stats() Stats { return t.ctrs.snapshot() }

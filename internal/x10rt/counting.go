@@ -1,6 +1,7 @@
 package x10rt
 
 import (
+	"fmt"
 	"sync"
 
 	"apgas/internal/obs"
@@ -75,6 +76,33 @@ func (t *CountingTransport) Flush(src int) error {
 		return f.Flush(src)
 	}
 	return nil
+}
+
+// KillPlace forwards to the wrapped transport when it supports place
+// death (error otherwise), so chaos/conformance harnesses can kill
+// through a counting decorator.
+func (t *CountingTransport) KillPlace(p int) error {
+	if pk, ok := t.Transport.(PlaceKiller); ok {
+		return pk.KillPlace(p)
+	}
+	return fmt.Errorf("x10rt: inner transport %T does not support KillPlace", t.Transport)
+}
+
+// PlaceDead forwards to the wrapped transport when it is a PlaceKiller
+// (false otherwise).
+func (t *CountingTransport) PlaceDead(p int) bool {
+	if pk, ok := t.Transport.(PlaceKiller); ok {
+		return pk.PlaceDead(p)
+	}
+	return false
+}
+
+// NotifyDeath forwards to the wrapped transport when it is a
+// DeathNotifier, so death subscriptions pierce the counting decorator.
+func (t *CountingTransport) NotifyDeath(fn func(dead, observer int)) {
+	if dn, ok := t.Transport.(DeathNotifier); ok {
+		dn.NotifyDeath(fn)
+	}
 }
 
 // Reset clears the per-link counters.

@@ -35,6 +35,7 @@ type TCPTransport struct {
 	listener net.Listener
 	ctrs     counters
 	egress   counters // messages sent by this endpoint only
+	deaths   deathState
 
 	mu     sync.Mutex
 	conns  map[int]*tcpConn // outbound, keyed by dst
@@ -181,6 +182,9 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 	if dst < 0 || dst >= len(t.opts.Addrs) {
 		return fmt.Errorf("%w: dst=%d", ErrBadPlace, dst)
 	}
+	if p := t.deaths.deadEnd(src, dst); p >= 0 {
+		return &PlaceDeadError{Place: p}
+	}
 	m := wireMsg{Src: src, ID: id, Class: class, Bytes: bytes, Payload: payload}
 	if dst == t.opts.Place {
 		t.mu.Lock()
@@ -242,6 +246,9 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 	}
 	if dst < 0 || dst >= len(t.opts.Addrs) {
 		return fmt.Errorf("%w: dst=%d", ErrBadPlace, dst)
+	}
+	if p := t.deaths.deadEnd(src, dst); p >= 0 {
+		return &PlaceDeadError{Place: p}
 	}
 	if dst == t.opts.Place {
 		for i := range msgs {
@@ -365,6 +372,9 @@ func (t *TCPTransport) read(nc net.Conn) {
 // (reader) goroutine. Receivers do not touch the wire counter: wire
 // bytes are attributed to the sender, like all egress accounting.
 func (t *TCPTransport) dispatch(m *wireMsg) {
+	if t.deaths.isDead(m.Src) || t.deaths.isDead(t.opts.Place) {
+		return // frames in flight across a killed link are discarded
+	}
 	if countable(m.ID) {
 		t.ctrs.add(m.Class, m.Bytes)
 	}
@@ -376,11 +386,51 @@ func (t *TCPTransport) dispatch(m *wireMsg) {
 func (t *TCPTransport) selfDispatch() {
 	defer t.wg.Done()
 	for m := range t.loop {
+		if t.deaths.isDead(t.opts.Place) {
+			continue
+		}
 		if h, ok := t.handlers.lookup(m.ID); ok {
 			h(m.Src, t.opts.Place, m.Payload)
 		}
 	}
 }
+
+// KillPlace implements PlaceKiller for one endpoint of a mesh: it marks
+// p dead in this endpoint's view. Sends to or from p fail fast with a
+// *PlaceDeadError, inbound frames from p (and all inbound traffic when
+// p is this endpoint itself) are discarded, and — when this endpoint
+// survives — every NotifyDeath callback fires exactly once, with this
+// endpoint's place as the observer. Mesh-wide death is achieved by
+// calling KillPlace(p) on every endpoint, as a failure detector would.
+func (t *TCPTransport) KillPlace(p int) error {
+	if p < 0 || p >= len(t.opts.Addrs) {
+		return fmt.Errorf("%w: p=%d n=%d", ErrBadPlace, p, len(t.opts.Addrs))
+	}
+	if !t.deaths.kill(p) {
+		return nil // already dead
+	}
+	if p != t.opts.Place {
+		// Drop the outbound connection so the peer's reader sees the
+		// link sever too.
+		t.mu.Lock()
+		c := t.conns[p]
+		delete(t.conns, p)
+		t.mu.Unlock()
+		if c != nil {
+			c.c.Close()
+		}
+	}
+	if p != t.opts.Place && !t.deaths.isDead(t.opts.Place) {
+		t.deaths.notifyOne(p, t.opts.Place)
+	}
+	return nil
+}
+
+// PlaceDead implements PlaceKiller.
+func (t *TCPTransport) PlaceDead(p int) bool { return t.deaths.isDead(p) }
+
+// NotifyDeath implements DeathNotifier.
+func (t *TCPTransport) NotifyDeath(fn func(dead, observer int)) { t.deaths.subscribe(fn) }
 
 // Stats implements Transport. Counters cover messages sent from and
 // received at this endpoint (self-sends are counted once).

@@ -137,6 +137,135 @@ var ErrBadPlace = errors.New("x10rt: place out of range")
 // ErrNoHandler is returned when a message names an unregistered handler.
 var ErrNoHandler = errors.New("x10rt: no such handler")
 
+// ErrPlaceDead is the sentinel matched by errors.Is when a Send touches
+// a place that has been killed. Concrete failures are *PlaceDeadError
+// values wrapping it.
+var ErrPlaceDead = errors.New("x10rt: place dead")
+
+// PlaceDeadError is the typed error a transport returns from Send when
+// either endpoint of the link has been killed with KillPlace. It
+// identifies the dead place and unwraps to ErrPlaceDead.
+type PlaceDeadError struct{ Place int }
+
+func (e *PlaceDeadError) Error() string {
+	return fmt.Sprintf("x10rt: place %d dead", e.Place)
+}
+
+// Unwrap makes errors.Is(err, ErrPlaceDead) hold for any PlaceDeadError.
+func (e *PlaceDeadError) Unwrap() error { return ErrPlaceDead }
+
+// DeathNotifier is implemented by transports that can report place
+// death upward. Each registered callback fires exactly once per
+// (dead place, surviving place) pair: an in-process transport serving n
+// places invokes fn once for every surviving observer; a per-place
+// endpoint (TCP) invokes fn once with its own place as the observer.
+// Callbacks run on a fresh goroutine — never on the goroutine that
+// triggered the kill — so they may call back into the transport freely.
+type DeathNotifier interface {
+	NotifyDeath(fn func(dead, observer int))
+}
+
+// PlaceKiller is implemented by transports that support severing a
+// place. After KillPlace(p): sends to or from p fail fast with a
+// *PlaceDeadError, messages queued for delivery at p are discarded, and
+// every DeathNotifier callback fires once per survivor. KillPlace is
+// idempotent; killing an out-of-range place returns ErrBadPlace.
+type PlaceKiller interface {
+	KillPlace(p int) error
+	PlaceDead(p int) bool
+}
+
+// deathState is the shared kill bookkeeping used by the concrete
+// transports: the dead set, the subscribed callbacks, and the
+// fire-exactly-once-per-survivor discipline.
+type deathState struct {
+	mu   sync.Mutex
+	fns  []func(dead, observer int)
+	dead map[int]bool
+}
+
+func (d *deathState) subscribe(fn func(dead, observer int)) {
+	d.mu.Lock()
+	d.fns = append(d.fns, fn)
+	d.mu.Unlock()
+}
+
+func (d *deathState) isDead(p int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[p]
+}
+
+// deadEnd returns the dead endpoint of the (src, dst) link, or -1.
+func (d *deathState) deadEnd(src, dst int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[dst] {
+		return dst
+	}
+	if d.dead[src] {
+		return src
+	}
+	return -1
+}
+
+// kill marks p dead. It reports whether this call was the first (the
+// caller then purges queues and notifies); repeated kills are no-ops.
+func (d *deathState) kill(p int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead == nil {
+		d.dead = make(map[int]bool)
+	}
+	if d.dead[p] {
+		return false
+	}
+	d.dead[p] = true
+	return true
+}
+
+// notify fires every callback once per surviving observer in
+// [0, places), on a fresh goroutine. The snapshot of callbacks and of
+// the dead set is taken under the lock; the calls happen outside it.
+func (d *deathState) notify(dead, places int) {
+	d.mu.Lock()
+	fns := append(d.fns[:0:0], d.fns...)
+	survivors := make([]int, 0, places)
+	for p := 0; p < places; p++ {
+		if p != dead && !d.dead[p] {
+			survivors = append(survivors, p)
+		}
+	}
+	d.mu.Unlock()
+	if len(fns) == 0 {
+		return
+	}
+	go func() {
+		for _, q := range survivors {
+			for _, fn := range fns {
+				fn(dead, q)
+			}
+		}
+	}()
+}
+
+// notifyOne fires every callback once with a single observer — the
+// shape a per-place endpoint (TCP) uses, where each endpoint observes a
+// death exactly once, as itself.
+func (d *deathState) notifyOne(dead, observer int) {
+	d.mu.Lock()
+	fns := append(d.fns[:0:0], d.fns...)
+	d.mu.Unlock()
+	if len(fns) == 0 {
+		return
+	}
+	go func() {
+		for _, fn := range fns {
+			fn(dead, observer)
+		}
+	}()
+}
+
 // Stats is a snapshot of transport traffic counters.
 type Stats struct {
 	// Messages counts delivered messages by class.

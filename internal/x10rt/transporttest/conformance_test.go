@@ -148,3 +148,15 @@ func TestConformanceBatchingTCP(t *testing.T) {
 	transporttest.TestTransport(t, batchingTCPFactory)
 }
 func TestConformanceChaos(t *testing.T) { transporttest.TestTransport(t, chaosFactory) }
+
+// The death battery runs against every transport shape: after KillPlace
+// the sends fail fast and typed, frames are never duplicated, and death
+// notifications fire exactly once per survivor.
+func TestDeathChan(t *testing.T)     { transporttest.TestTransportDeath(t, chanFactory) }
+func TestDeathTCP(t *testing.T)      { transporttest.TestTransportDeath(t, tcpFactory) }
+func TestDeathCounting(t *testing.T) { transporttest.TestTransportDeath(t, countingFactory) }
+func TestDeathBatching(t *testing.T) { transporttest.TestTransportDeath(t, batchingFactory) }
+func TestDeathBatchingTCP(t *testing.T) {
+	transporttest.TestTransportDeath(t, batchingTCPFactory)
+}
+func TestDeathChaos(t *testing.T) { transporttest.TestTransportDeath(t, chaosFactory) }

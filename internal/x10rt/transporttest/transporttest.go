@@ -92,6 +92,223 @@ func TestTransport(t *testing.T, factory Factory) {
 	t.Run("CloseWhileSending", func(t *testing.T) { testCloseWhileSending(t, factory) })
 }
 
+// TestTransportDeath runs the death-semantics battery: after KillPlace,
+// sends touching the dead place fail fast with the typed error, no frame
+// is ever delivered twice (discarding queued frames for the victim is
+// allowed; duplicating anything is not), and every DeathNotifier
+// subscription observes the death exactly once per surviving place.
+// Factories whose transports do not implement PlaceKiller are skipped.
+func TestTransportDeath(t *testing.T, factory Factory) {
+	t.Run("FailFastTypedError", func(t *testing.T) { testDeathFailFast(t, factory) })
+	t.Run("NotifierOncePerSurvivor", func(t *testing.T) { testDeathNotifier(t, factory) })
+	t.Run("NoDoubleDelivery", func(t *testing.T) { testDeathNoDoubleDelivery(t, factory) })
+}
+
+// endpoints returns the distinct transport objects of the mesh.
+func endpoints(m *Mesh) []x10rt.Transport {
+	seen := map[x10rt.Transport]bool{}
+	var eps []x10rt.Transport
+	for p := 0; p < m.Places; p++ {
+		if ep := m.Endpoint(p); !seen[ep] {
+			seen[ep] = true
+			eps = append(eps, ep)
+		}
+	}
+	return eps
+}
+
+// killAll kills place v the way a cluster's failure detector would: on
+// every distinct endpoint. A single-object transport sees one call; a
+// mesh of per-place endpoints sees one per endpoint. Skips the test if
+// the transport has no PlaceKiller.
+func killAll(t *testing.T, m *Mesh, v int) {
+	t.Helper()
+	for _, ep := range endpoints(m) {
+		pk, ok := ep.(x10rt.PlaceKiller)
+		if !ok {
+			t.Skipf("transport %T does not implement PlaceKiller", ep)
+		}
+		if err := pk.KillPlace(v); err != nil {
+			t.Fatalf("KillPlace(%d) on %T: %v", v, ep, err)
+		}
+	}
+}
+
+// testDeathFailFast: sends to or from the victim return *PlaceDeadError
+// naming it (and unwrap to ErrPlaceDead); survivor links keep working.
+func testDeathFailFast(t *testing.T, factory Factory) {
+	const places, victim = 3, 1
+	m := factory(t, places)
+	var got atomic.Int64
+	if err := m.Register(handlerID, func(src, dst int, payload any) { got.Add(1) }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	killAll(t, m, victim)
+
+	for _, link := range [][2]int{{0, victim}, {victim, 0}} {
+		err := m.Endpoint(link[0]).Send(link[0], link[1], handlerID, Payload{}, 8, x10rt.DataClass)
+		if err == nil {
+			t.Fatalf("Send %d->%d after kill succeeded, want fail-fast", link[0], link[1])
+		}
+		if !errors.Is(err, x10rt.ErrPlaceDead) {
+			t.Errorf("Send %d->%d: error %v does not unwrap to ErrPlaceDead", link[0], link[1], err)
+		}
+		var pde *x10rt.PlaceDeadError
+		if !errors.As(err, &pde) {
+			t.Errorf("Send %d->%d: error %T is not *PlaceDeadError", link[0], link[1], err)
+		} else if pde.Place != victim {
+			t.Errorf("Send %d->%d: dead place reported as %d, want %d", link[0], link[1], pde.Place, victim)
+		}
+	}
+
+	// The survivors' link is unaffected.
+	if err := m.Endpoint(0).Send(0, 2, handlerID, Payload{Seq: 1}, 8, x10rt.DataClass); err != nil {
+		t.Fatalf("survivor Send 0->2: %v", err)
+	}
+	flushAll(m)
+	await(t, "survivor delivery", func() bool { return got.Load() == 1 })
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// testDeathNotifier: every subscription hears (victim, survivor) exactly
+// once per surviving place, the victim never observes its own death, and
+// a repeated kill is silent.
+func testDeathNotifier(t *testing.T, factory Factory) {
+	const places, victim = 4, 2
+	m := factory(t, places)
+	if err := m.Register(handlerID, func(src, dst int, payload any) {}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	var mu sync.Mutex
+	fired := map[[2]int]int{}
+	eps := endpoints(m)
+	for _, ep := range eps {
+		dn, ok := ep.(x10rt.DeathNotifier)
+		if !ok {
+			t.Skipf("transport %T does not implement DeathNotifier", ep)
+		}
+		dn.NotifyDeath(func(dead, observer int) {
+			mu.Lock()
+			fired[[2]int{dead, observer}]++
+			mu.Unlock()
+		})
+	}
+	killAll(t, m, victim)
+
+	await(t, "death notifications", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for k, c := range fired {
+			if k[0] == victim && c > 0 {
+				n++
+			}
+		}
+		return n >= places-1
+	})
+	// Grace period: late or duplicate callbacks would arrive now.
+	time.Sleep(20 * time.Millisecond)
+	// A second kill of the same place must not renotify.
+	for _, ep := range eps {
+		_ = ep.(x10rt.PlaceKiller).KillPlace(victim)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 0; p < places; p++ {
+		n := fired[[2]int{victim, p}]
+		switch {
+		case p == victim && n != 0:
+			t.Errorf("victim observed its own death %d times", n)
+		case p != victim && n != 1:
+			t.Errorf("survivor %d observed the death %d times, want exactly once", p, n)
+		}
+	}
+	for k, c := range fired {
+		if k[0] != victim && c != 0 {
+			t.Errorf("spurious notification for non-victim place %d at %d", k[0], k[1])
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// testDeathNoDoubleDelivery streams sequenced messages to a survivor and
+// to the victim while the kill lands mid-stream. Contract: no (dst, seq)
+// is delivered twice; every survivor-bound send that reported success is
+// delivered exactly once; victim-bound frames may be discarded (queued
+// ones must be) but never duplicated.
+func testDeathNoDoubleDelivery(t *testing.T, factory Factory) {
+	const places, victim, stream = 3, 2, 400
+	m := factory(t, places)
+	var mu sync.Mutex
+	delivered := map[[2]int]int{} // (dst, seq) -> count
+	err := m.Register(handlerID, func(src, dst int, payload any) {
+		p := payload.(Payload)
+		mu.Lock()
+		delivered[[2]int{dst, p.Seq}]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, ok := m.Endpoint(0).(x10rt.PlaceKiller); !ok {
+		t.Skipf("transport %T does not implement PlaceKiller", m.Endpoint(0))
+	}
+
+	okToSurvivor := make([]bool, stream)
+	killAt := stream / 3
+	for seq := 0; seq < stream; seq++ {
+		if seq == killAt {
+			killAll(t, m, victim)
+		}
+		if err := m.Endpoint(0).Send(0, 1, handlerID, Payload{Seq: seq}, 8, x10rt.DataClass); err != nil {
+			t.Fatalf("survivor Send seq %d: %v", seq, err)
+		}
+		okToSurvivor[seq] = true
+		// Victim-bound: success before the kill, fail-fast after; either
+		// way never counted on, never duplicated.
+		_ = m.Endpoint(0).Send(0, victim, handlerID, Payload{Seq: seq}, 8, x10rt.DataClass)
+	}
+	flushAll(m)
+	await(t, "survivor stream", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for k, c := range delivered {
+			if k[0] == 1 && c > 0 {
+				n++
+			}
+		}
+		return n == stream
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	for k, c := range delivered {
+		if c > 1 {
+			t.Errorf("message (dst=%d, seq=%d) delivered %d times", k[0], k[1], c)
+		}
+	}
+	for seq, sent := range okToSurvivor {
+		if sent && delivered[[2]int{1, seq}] != 1 {
+			t.Errorf("survivor-bound seq %d accepted but delivered %d times", seq, delivered[[2]int{1, seq}])
+		}
+	}
+	for k := range delivered {
+		if k[0] == victim && k[1] >= killAt {
+			t.Errorf("victim received seq %d sent after the kill", k[1])
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
 // testPerLinkFIFO sends a numbered stream down every (src, dst) link
 // from a single goroutine per source and asserts arrival order per
 // link. Data-class messages are used: transports may only reorder
