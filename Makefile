@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke profile-smoke trace dtrace telemetry chaos chaos-kill litmus fuzz-short experiments examples clean
+.PHONY: all build test race bench bench-smoke profile-smoke trace dtrace telemetry wire chaos chaos-kill litmus fuzz-short experiments examples clean
 
-all: build test race telemetry chaos chaos-kill litmus dtrace bench-smoke profile-smoke fuzz-short
+all: build test race telemetry wire chaos chaos-kill litmus dtrace bench-smoke profile-smoke fuzz-short
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,7 @@ bench-smoke:
 	$(GO) run ./cmd/apgas-bench -exp uts -scale tiny -bench-json /tmp/apgas-bench-smoke.json -bench-reps 1
 	$(GO) run ./cmd/tracecheck -bench /tmp/apgas-bench-smoke.json
 	$(GO) run ./cmd/benchdiff /tmp/apgas-bench-smoke.json /tmp/apgas-bench-smoke.json
-	$(GO) test -run 'TestTransportBatchSpeedup|TestTracingDisabledOverhead|TestProfilingDisabledOverhead' -count=1 -v ./internal/harness
+	$(GO) test -run 'TestTransportBatchSpeedup|TestTracingDisabledOverhead|TestProfilingDisabledOverhead|TestWireLedgerDisabledOverhead' -count=1 -v ./internal/harness
 
 # Continuous-profiling smoke: run the dense workload with pprof labels
 # and enough spin per phase to land real CPU samples, capture a profile,
@@ -70,6 +70,19 @@ telemetry:
 		-flight-dump /tmp/apgas-flight.jsonl
 	$(GO) run ./cmd/tracecheck /tmp/apgas-flight.jsonl
 	$(GO) run ./cmd/apgas-bench -exp telemetry -places 4 -batch -compress-min 128
+
+# Wire observatory end to end: a 4-place batched FINISH_DENSE run with
+# the cost-attribution ledger enabled writes the /wire-format dump and
+# asserts the sum-equality invariant in-process (Σ per-handler payload
+# bytes == transport bytes sent, Σ per-link wire bytes == bytes on the
+# wire — the binary exits nonzero on mismatch); tracecheck then
+# revalidates the serialized dump (row ordering, compression sanity,
+# the same sums). The second run repeats the in-process check on the
+# telemetry workload with compression enabled.
+wire:
+	$(GO) run ./cmd/apgas-bench -exp dense -places 4 -batch -wire-dump /tmp/apgas-wire.json
+	$(GO) run ./cmd/tracecheck -wire /tmp/apgas-wire.json
+	$(GO) run ./cmd/apgas-bench -exp telemetry -places 4 -batch -compress-min 128 -wire
 
 # Deterministic chaos: a short race-enabled seed sweep of every finish
 # pattern (plus lifeline GLB) under fault injection, checking the finish
@@ -112,6 +125,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzCheckBench -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 	$(GO) test -run '^$$' -fuzz FuzzCheckMergedTrace -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 	$(GO) test -run '^$$' -fuzz FuzzCheckKillDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
+	$(GO) test -run '^$$' -fuzz FuzzCheckWireDump -fuzztime 30s -fuzzminimizetime=10x ./cmd/tracecheck
 
 # Regenerate every table and figure at laptop scale.
 experiments:

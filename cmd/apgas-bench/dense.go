@@ -3,20 +3,27 @@ package main
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"apgas/internal/collectives"
 	"apgas/internal/core"
 	"apgas/internal/obs"
 	"apgas/internal/perfobs"
 	"apgas/internal/telemetry"
+	"apgas/internal/x10rt"
 )
 
 // denseOptions configures the FINISH_DENSE workload (-exp dense).
 type denseOptions struct {
 	places      int
-	tracePrefix string   // with -trace-dist: per-place + merged trace files
-	o           *obs.Obs // process observability (nil = plain metrics)
-	burn        int      // spin iterations per phase (0 = off); gives short profiling runs real CPU time
+	tracePrefix string        // with -trace-dist: per-place + merged trace files
+	o           *obs.Obs      // process observability (nil = plain metrics)
+	burn        int           // spin iterations per phase (0 = off); gives short profiling runs real CPU time
+	wire        bool          // attach the wire ledger and assert sum-equality at exit
+	wireDump    string        // write the wire observatory dump here ("" = off)
+	batch       bool          // run over the batching wire path
+	batchDelay  time.Duration // with batch: flush-delay bound
+	compressMin int           // with batch: compression threshold (0 = off)
 }
 
 // burnSink defeats dead-code elimination of the spin loops.
@@ -49,15 +56,32 @@ func runDense(opts denseOptions) error {
 		o = obs.New()
 	}
 	places := opts.places
-	rt, err := core.NewRuntime(core.Config{
+	cfg := core.Config{
 		Places:        places,
 		PlacesPerHost: 2, // two hosts at 4 places, so routing crosses masters
 		Obs:           o,
-	})
+		WireLedger:    opts.wire,
+	}
+	if opts.batch {
+		// `make wire` runs the dense workload over the batching wire
+		// path, so the ledger attributes real batch frames (queue wait,
+		// per-link flush counts) rather than one frame per message.
+		inner, err := x10rt.NewChanTransport(x10rt.ChanOptions{Places: places})
+		if err != nil {
+			return err
+		}
+		cfg.Transport = x10rt.NewBatchingTransport(inner, x10rt.BatchOptions{
+			MaxDelay:    opts.batchDelay,
+			CompressMin: opts.compressMin,
+		})
+		cfg.OwnTransport = true
+	}
+	rt, err := core.NewRuntime(cfg)
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+	start := time.Now()
 
 	// Serve the cluster view while the run lasts: /telemetry (and
 	// apgas-top watching it) needs a collection plane on this runtime.
@@ -135,6 +159,18 @@ func runDense(opts denseOptions) error {
 		return err
 	}
 	fmt.Printf("dense: OK — %d places, FINISH_DENSE all-to-all + collective round + AtDirect round trip\n", places)
+
+	if opts.wire {
+		// Drain queued batches and trailing finish cleanup so the
+		// ledger, the transport counters, and the dump agree on one
+		// quiescent instant.
+		if q, ok := rt.Transport().(interface{ Quiesce() }); ok {
+			q.Quiesce()
+		}
+		if err := writeWireDump(rt, time.Since(start), opts.wireDump); err != nil {
+			return err
+		}
+	}
 
 	if opts.tracePrefix == "" {
 		return nil

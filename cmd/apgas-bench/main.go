@@ -79,6 +79,12 @@ func main() {
 		"write the performance artifact (BENCH JSON) to this file: best-of-reps series, "+
 			"metric deltas, critical-path buckets; validate with tracecheck -bench, gate with benchdiff")
 	benchReps := flag.Int("bench-reps", 3, "repetitions per experiment for -bench-json (best kept)")
+	wireLedger := flag.Bool("wire", false,
+		"telemetry/dense runs: attach the wire ledger (per-handler/per-link message cost attribution) "+
+			"and assert its sum-equality against the transport counters at exit")
+	wireDump := flag.String("wire-dump", "",
+		"telemetry/dense runs: write the wire observatory dump (JSON) to this file at exit; "+
+			"implies -wire, validate with tracecheck -wire")
 	batch := flag.Bool("batch", false,
 		"run the experiment and telemetry runtimes over the batching wire path (per-link frame coalescing)")
 	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond,
@@ -86,6 +92,10 @@ func main() {
 	compressMin := flag.Int("compress-min", 0,
 		"with -batch: compress batch payloads at least this many encoded bytes (0 = off)")
 	flag.Parse()
+
+	if *wireDump != "" {
+		*wireLedger = true
+	}
 
 	if *batch {
 		// Runtime-based experiments get their transport from this hook;
@@ -171,7 +181,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer stopPlane()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, and /metrics\n", ds.Addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, /metrics, and /wire\n", ds.Addr)
 	}
 	if *profCPU != "" {
 		f, err := os.Create(*profCPU)
@@ -194,7 +204,17 @@ func main() {
 	}
 
 	if *exp == "dense" {
-		if err := runDense(denseOptions{places: *places, tracePrefix: *traceDist, o: o, burn: *denseBurn}); err != nil {
+		if err := runDense(denseOptions{
+			places:      *places,
+			tracePrefix: *traceDist,
+			o:           o,
+			burn:        *denseBurn,
+			wire:        *wireLedger,
+			wireDump:    *wireDump,
+			batch:       *batch,
+			batchDelay:  *batchDelay,
+			compressMin: *compressMin,
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -219,6 +239,8 @@ func main() {
 			batch:       *batch,
 			batchDelay:  *batchDelay,
 			compressMin: *compressMin,
+			wire:        *wireLedger,
+			wireDump:    *wireDump,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "apgas-bench: %v\n", err)
 			os.Exit(1)
@@ -278,12 +300,13 @@ var experiments = map[string]string{
 	"transport":       "wire microbenchmark: small control frames over a local TCP mesh, unbatched",
 	"transport-batch": "wire microbenchmark: small control frames through per-link batching (≥3x gate)",
 	"transport-large": "wire microbenchmark: 1 MiB payloads through the batching path",
+	"wire":            "wire observatory microbenchmark: per-message gob encode/decode ns through the ledger (lower is better)",
 }
 
 // panelOrder is the series execution order for -exp all and -bench-json.
 var panelOrder = []string{
 	"hpl", "fft", "ra", "stream", "uts", "kmeans", "sw", "bc", "spmd-bcast",
-	"transport", "transport-batch", "transport-large",
+	"transport", "transport-batch", "transport-large", "wire",
 }
 
 // panels maps -exp names to the harness series they regenerate.
@@ -300,6 +323,7 @@ var panels = map[string]func(harness.Scale) (harness.Series, error){
 	"transport":       harness.TransportSmallSeries,
 	"transport-batch": harness.TransportSmallBatchSeries,
 	"transport-large": harness.TransportLargeBatchSeries,
+	"wire":            harness.WireSeries,
 }
 
 func run(exp string, scale harness.Scale) error {

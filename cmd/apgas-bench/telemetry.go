@@ -23,6 +23,8 @@ type telemetryOptions struct {
 	batch       bool          // stack the batching wire path on the transport
 	batchDelay  time.Duration // with batch: flush-delay bound
 	compressMin int           // with batch: compression threshold (0 = off)
+	wire        bool          // attach the wire ledger and assert sum-equality at exit
+	wireDump    string        // write the wire observatory dump here ("" = off)
 }
 
 // runTelemetry drives a deliberately imbalanced multi-place workload,
@@ -82,11 +84,13 @@ func runTelemetry(opts telemetryOptions) error {
 		OwnTransport:  true,
 		Obs:           o,
 		FlightDump:    flightOut,
+		WireLedger:    opts.wire,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
+	start := time.Now()
 
 	plane, err := telemetry.Attach(rt)
 	if err != nil {
@@ -169,6 +173,14 @@ func runTelemetry(opts telemetryOptions) error {
 	}
 	fmt.Printf("telemetry: OK — %d places, aggregated msgs=%d bytes=%d == sum of per-place transport stats\n",
 		places, total.TotalMessages(), total.TotalBytes())
+
+	if opts.wire {
+		// Third leg of the sum-equality: the wire ledger's attribution
+		// must re-sum to the same transport counters checked above.
+		if err := writeWireDump(rt, time.Since(start), opts.wireDump); err != nil {
+			return err
+		}
+	}
 
 	if flightOut != nil {
 		if err := o.FlightRecorder().WriteDump(flightOut); err != nil {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/telemetry"
+)
+
+// writeWireDump snapshots the runtime's wire ledger, enforces the
+// sum-equality invariant against the transport counters (Σ per-handler
+// payload bytes == bytes sent, Σ per-link wire bytes == bytes on the
+// wire), prints the text table to stderr, and — when path is non-empty
+// — writes the JSON dump for tracecheck -wire.
+func writeWireDump(rt *core.Runtime, elapsed time.Duration, path string) error {
+	lg := rt.WireLedger()
+	if lg == nil {
+		return fmt.Errorf("wire: runtime has no wire ledger (is -wire set and observability on?)")
+	}
+	v := telemetry.WireFromSnapshot(lg.Snapshot(), rt.Transport().Stats(), elapsed)
+	if err := v.SumEqual(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "--- wire observatory ---")
+	v.WriteText(os.Stderr, 8)
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wire dump written to %s (validate: tracecheck -wire %s)\n", path, path)
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 
 	"apgas/internal/obs"
 	"apgas/internal/perfobs"
+	"apgas/internal/telemetry"
 )
 
 func fetchReport(client *http.Client, addr string) (*sample, error) {
@@ -65,15 +66,37 @@ func fetchTopCPU(client *http.Client, addr string) *perfobs.ProfileSummary {
 	return perfobs.SummarizeProfile(p, []string{obs.LabelPlace, obs.LabelPattern, obs.LabelKind})
 }
 
+// fetchWire pulls the wire observatory view. Any failure — including a
+// process that simply has no wire ledger attached — returns nil and the
+// pane is skipped.
+func fetchWire(client *http.Client, addr string) *telemetry.WireView {
+	resp, err := client.Get("http://" + addr + "/wire")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	var v telemetry.WireView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || len(v.Handlers) == 0 {
+		return nil
+	}
+	return &v
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:6060", "host:port of the -debug-addr server to watch")
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	once := flag.Bool("once", false, "print a single snapshot and exit")
 	top := flag.Int("top", 5, "CPU label rows to show (0 disables the /debug/profilez fetch)")
+	wire := flag.Bool("wire", true, "show the wire pane when the process exports a wire ledger")
 	flag.Parse()
 
 	client := &http.Client{Timeout: 15 * time.Second}
 	var prev *sample
+	var prevWire *telemetry.WireView
+	var prevAt time.Time
 	for {
 		cur, err := fetchReport(client, *addr)
 		if err != nil {
@@ -84,6 +107,13 @@ func main() {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 		}
 		renderReport(os.Stdout, cur, prev, *addr)
+		if *wire {
+			if v := fetchWire(client, *addr); v != nil {
+				fmt.Println()
+				renderWire(os.Stdout, v, prevWire, cur.at.Sub(prevAt))
+				prevWire, prevAt = v, cur.at
+			}
+		}
 		if *top > 0 {
 			if sum := fetchTopCPU(client, *addr); sum != nil {
 				fmt.Println()

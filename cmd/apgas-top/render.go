@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"apgas/internal/perfobs"
+	"apgas/internal/telemetry"
 )
 
 // metricJSON mirrors the /telemetry endpoint's per-metric shape.
@@ -141,6 +142,76 @@ func renderReport(w io.Writer, cur, prev *sample, addr string) {
 		fmt.Sprintf("%d steals", sumRow[2]),
 		fmt.Sprintf("%d tasks", sumRow[3]),
 		"", "", "")
+	tw.flush()
+}
+
+// renderWire writes the wire pane: the hottest handlers by
+// serialization cost and the busiest links by wire bytes, with rates
+// derived from the previous poll when available (cumulative totals
+// otherwise). prev may be nil.
+func renderWire(w io.Writer, cur, prev *telemetry.WireView, dt time.Duration) {
+	prevHandlers := map[int]telemetry.WireHandlerRow{}
+	prevLinks := map[[2]int]telemetry.WireLinkRow{}
+	if prev != nil {
+		for _, h := range prev.Handlers {
+			prevHandlers[h.ID] = h
+		}
+		for _, l := range prev.Links {
+			prevLinks[[2]int{l.Src, l.Dst}] = l
+		}
+	}
+	fmt.Fprintf(w, "wire: %s payload, %s wire, %d msgs\n",
+		humanBytes(int64(cur.Totals.PayloadBytes)),
+		humanBytes(int64(cur.Totals.WireBytes)), cur.Totals.Msgs)
+
+	handlers := append([]telemetry.WireHandlerRow(nil), cur.Handlers...)
+	sort.Slice(handlers, func(i, j int) bool {
+		return handlers[i].EncNs+handlers[i].DecNs > handlers[j].EncNs+handlers[j].DecNs
+	})
+	if len(handlers) > 5 {
+		handlers = handlers[:5]
+	}
+	tw := newTableWriter(w)
+	tw.row("HANDLER", "MSGS", "MSGS/S", "BYTES", "ENC-NS/MSG", "DEC-NS/MSG")
+	for _, h := range handlers {
+		encPer, decPer := uint64(0), uint64(0)
+		if h.Msgs > 0 {
+			encPer = h.EncNs / h.Msgs
+		}
+		if h.Recv > 0 {
+			decPer = h.DecNs / h.Recv
+		}
+		tw.row(h.Name,
+			fmt.Sprintf("%d", h.Msgs),
+			rate(int64(h.Msgs), int64(prevHandlers[h.ID].Msgs), dt),
+			humanBytes(int64(h.Bytes)),
+			fmt.Sprintf("%d", encPer),
+			fmt.Sprintf("%d", decPer))
+	}
+	tw.flush()
+
+	links := append([]telemetry.WireLinkRow(nil), cur.Links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].Wire > links[j].Wire })
+	if len(links) > 5 {
+		links = links[:5]
+	}
+	tw = newTableWriter(w)
+	tw.row("LINK", "WIRE", "WIRE-B/S", "RATIO", "QWAIT-US", "BATCHES")
+	for _, l := range links {
+		ratio := "-"
+		if l.Comp > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(l.Raw)/float64(l.Comp))
+		}
+		qwait := "-"
+		if l.Batches > 0 {
+			qwait = fmt.Sprintf("%.1f", float64(l.QwaitNs)/float64(l.Batches)/1e3)
+		}
+		tw.row(fmt.Sprintf("%d->%d", l.Src, l.Dst),
+			humanBytes(int64(l.Wire)),
+			rate(int64(l.Wire), int64(prevLinks[[2]int{l.Src, l.Dst}].Wire), dt),
+			ratio, qwait,
+			fmt.Sprintf("%d", l.Batches))
+	}
 	tw.flush()
 }
 

@@ -42,7 +42,7 @@ func main() {
 	flightDump := flag.String("flight-dump", "",
 		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
 	debugAddr := flag.String("debug-addr", "",
-		"serve /debug/pprof, /debug/vars, /debug/profilez, /telemetry, and /metrics on this address while running (e.g. :6060)")
+		"serve /debug/pprof, /debug/vars, /debug/profilez, /telemetry, /metrics, and /wire on this address while running (e.g. :6060)")
 	batch := flag.Bool("batch", false,
 		"run over the batching wire path: per-link coalescing of small frames")
 	batchDelay := flag.Duration("batch-delay", 200*time.Microsecond,
@@ -101,7 +101,7 @@ func main() {
 			fail(err)
 		}
 		defer stopPlane()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, and /metrics\n", ds.Addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, /metrics, and /wire\n", ds.Addr)
 	}
 
 	kernels := []string{*kernel}

@@ -9,7 +9,11 @@
 //   - with -bench, performance-observatory artifacts (BENCH_*.json)
 //     written by apgas-bench -bench-json, checked against the schema:
 //     version, environment fingerprint, strictly increasing place
-//     counts, non-negative metrics, sane critical-path buckets.
+//     counts, non-negative metrics, sane critical-path buckets;
+//   - with -wire, wire observatory dumps ({"type":"apgas-wire",...})
+//     written by apgas-bench -wire-dump or fetched from the /wire debug
+//     endpoint, checked for row ordering, compression sanity, and the
+//     sum-equality between the ledger and the transport counters.
 //
 // Trace vs flight dump is auto-detected; bench artifacts are selected
 // explicitly with -bench. Errors name the offending location (line for
@@ -22,6 +26,7 @@
 //	tracecheck /tmp/apgas-uts-trace.json
 //	tracecheck /tmp/apgas-flight.jsonl
 //	tracecheck -bench BENCH_tiny.json
+//	tracecheck -wire /tmp/apgas-wire.json
 package main
 
 import (
@@ -37,6 +42,8 @@ import (
 func main() {
 	benchMode := flag.Bool("bench", false,
 		"validate an apgas-bench performance artifact (BENCH_*.json) instead of a trace")
+	wireMode := flag.Bool("wire", false,
+		"validate a wire observatory dump (apgas-bench -wire-dump or the /wire endpoint)")
 	profileMode := flag.Bool("profile", false,
 		"validate and summarize a pprof profile by its APGAS activity labels")
 	profileKeys := flag.String("profile-keys", "place,pattern,kind",
@@ -50,7 +57,7 @@ func main() {
 		"with -profile: key=N, fail unless label key has at least N distinct values (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-bench | -profile] <trace.json | flight.jsonl | BENCH_*.json | profile.pb.gz>")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-bench | -wire | -profile] <trace.json | flight.jsonl | BENCH_*.json | wire.json | profile.pb.gz>")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -61,6 +68,8 @@ func main() {
 	switch {
 	case *benchMode:
 		summary, err = checkBenchFile(path)
+	case *wireMode:
+		summary, err = checkWireFile(path)
 	case *profileMode:
 		summary, err = checkProfileFile(path, *profileKeys, *minSamples, *minLabeled, minDistinct)
 	default:

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file validates wire observatory dumps ({"type":"apgas-wire",
+// "version":1,...}), written by apgas-bench -wire-dump and served by
+// the /wire debug endpoint. The checks mirror the invariants the
+// ledger guarantees by construction, so a dump that fails here was
+// corrupted, truncated, or produced by an attribution bug:
+//
+//   - header type/version, places >= 1, elapsed_sec >= 0;
+//   - handler rows sorted by unique non-negative id, named, with
+//     timing only where there is traffic (enc_ns needs msgs, dec_ns
+//     needs recv);
+//   - link rows sorted by unique (src, dst) within [0, places), with
+//     compressed batch bodies never above raw and queue wait only
+//     where batches flushed;
+//   - sum-equality: totals.msgs, payload bytes, and wire bytes each
+//     equal the corresponding row sums, and the ledger sums equal the
+//     transport counters carried in totals (bytes_sent, bytes_wire).
+
+// wireHandlerRow mirrors one handler row of a wire dump.
+type wireHandlerRow struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
+	EncNs uint64 `json:"enc_ns"`
+	Recv  uint64 `json:"recv"`
+	DecNs uint64 `json:"dec_ns"`
+}
+
+// wireLinkRow mirrors one link row of a wire dump.
+type wireLinkRow struct {
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	Msgs    uint64 `json:"msgs"`
+	Bytes   uint64 `json:"bytes"`
+	Wire    uint64 `json:"wire"`
+	Raw     uint64 `json:"raw"`
+	Comp    uint64 `json:"comp"`
+	QwaitNs uint64 `json:"qwait_ns"`
+	Batches uint64 `json:"batches"`
+}
+
+// wireDump mirrors the full dump shape.
+type wireDump struct {
+	Type       string           `json:"type"`
+	Version    int              `json:"version"`
+	Places     int              `json:"places"`
+	ElapsedSec float64          `json:"elapsed_sec"`
+	Handlers   []wireHandlerRow `json:"handlers"`
+	Links      []wireLinkRow    `json:"links"`
+	Totals     struct {
+		Msgs         uint64 `json:"msgs"`
+		PayloadBytes uint64 `json:"payload_bytes"`
+		WireBytes    uint64 `json:"wire_bytes"`
+		BytesSent    uint64 `json:"bytes_sent"`
+		BytesWire    uint64 `json:"bytes_wire"`
+	} `json:"totals"`
+}
+
+// checkWireFile validates path as a wire observatory dump and returns a
+// one-line summary.
+func checkWireFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	h, l, err := checkWire(data)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return fmt.Sprintf("tracecheck: %s: wire dump, %d handlers, %d links, sums OK", path, h, l), nil
+}
+
+// checkWire validates dump bytes and returns the handler and link row
+// counts. Errors name the offending JSON path and the reason.
+func checkWire(data []byte) (handlers, links int, err error) {
+	var d wireDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return 0, 0, fmt.Errorf("invalid JSON: %v", err)
+	}
+	if d.Type != "apgas-wire" {
+		return 0, 0, fmt.Errorf("type: %q, want \"apgas-wire\"", d.Type)
+	}
+	if d.Version != 1 {
+		return 0, 0, fmt.Errorf("version: unsupported wire dump version %d", d.Version)
+	}
+	if d.Places < 1 {
+		return 0, 0, fmt.Errorf("places: %d, want >= 1", d.Places)
+	}
+	if d.ElapsedSec < 0 {
+		return 0, 0, fmt.Errorf("elapsed_sec: negative (%v)", d.ElapsedSec)
+	}
+
+	var hMsgs, hBytes uint64
+	for i, h := range d.Handlers {
+		p := fmt.Sprintf("handlers[%d]", i)
+		if h.ID < 0 {
+			return 0, 0, fmt.Errorf("%s.id: negative (%d)", p, h.ID)
+		}
+		if i > 0 && h.ID <= d.Handlers[i-1].ID {
+			return 0, 0, fmt.Errorf("%s.id: %d not above previous %d (rows must be sorted, unique)",
+				p, h.ID, d.Handlers[i-1].ID)
+		}
+		if h.Name == "" {
+			return 0, 0, fmt.Errorf("%s.name: empty", p)
+		}
+		if h.Msgs == 0 && h.Recv == 0 {
+			return 0, 0, fmt.Errorf("%s: account with no traffic (msgs=0, recv=0)", p)
+		}
+		if h.EncNs > 0 && h.Msgs == 0 {
+			return 0, 0, fmt.Errorf("%s: enc_ns=%d with msgs=0 (encode time without sends)", p, h.EncNs)
+		}
+		if h.DecNs > 0 && h.Recv == 0 {
+			return 0, 0, fmt.Errorf("%s: dec_ns=%d with recv=0 (decode time without receives)", p, h.DecNs)
+		}
+		hMsgs += h.Msgs
+		hBytes += h.Bytes
+	}
+
+	var lMsgs, lBytes, lWire uint64
+	for i, l := range d.Links {
+		p := fmt.Sprintf("links[%d]", i)
+		if l.Src < 0 || l.Src >= d.Places || l.Dst < 0 || l.Dst >= d.Places {
+			return 0, 0, fmt.Errorf("%s: endpoint %d->%d outside [0,%d)", p, l.Src, l.Dst, d.Places)
+		}
+		if i > 0 {
+			prev := d.Links[i-1]
+			if l.Src < prev.Src || (l.Src == prev.Src && l.Dst <= prev.Dst) {
+				return 0, 0, fmt.Errorf("%s: link %d->%d not above previous %d->%d (rows must be sorted, unique)",
+					p, l.Src, l.Dst, prev.Src, prev.Dst)
+			}
+		}
+		if l.Msgs == 0 && l.Wire == 0 {
+			return 0, 0, fmt.Errorf("%s: account with no traffic (msgs=0, wire=0)", p)
+		}
+		if l.Comp > l.Raw {
+			return 0, 0, fmt.Errorf("%s: compressed batch bytes %d above raw %d", p, l.Comp, l.Raw)
+		}
+		if l.QwaitNs > 0 && l.Batches == 0 {
+			return 0, 0, fmt.Errorf("%s: qwait_ns=%d with batches=0 (queue wait without flushes)", p, l.QwaitNs)
+		}
+		lMsgs += l.Msgs
+		lBytes += l.Bytes
+		lWire += l.Wire
+	}
+
+	// Sum-equality: handler rows, link rows, and totals must all tell
+	// one story; and the ledger must agree with the transport counters.
+	if hMsgs != d.Totals.Msgs {
+		return 0, 0, fmt.Errorf("totals.msgs: %d, but handler rows sum to %d", d.Totals.Msgs, hMsgs)
+	}
+	if lMsgs != d.Totals.Msgs {
+		return 0, 0, fmt.Errorf("totals.msgs: %d, but link rows sum to %d", d.Totals.Msgs, lMsgs)
+	}
+	if hBytes != d.Totals.PayloadBytes {
+		return 0, 0, fmt.Errorf("totals.payload_bytes: %d, but handler rows sum to %d", d.Totals.PayloadBytes, hBytes)
+	}
+	if lBytes != d.Totals.PayloadBytes {
+		return 0, 0, fmt.Errorf("totals.payload_bytes: %d, but link rows sum to %d", d.Totals.PayloadBytes, lBytes)
+	}
+	if lWire != d.Totals.WireBytes {
+		return 0, 0, fmt.Errorf("totals.wire_bytes: %d, but link rows sum to %d", d.Totals.WireBytes, lWire)
+	}
+	if d.Totals.PayloadBytes != d.Totals.BytesSent {
+		return 0, 0, fmt.Errorf("totals: ledger payload bytes %d != transport bytes_sent %d (attribution leak)",
+			d.Totals.PayloadBytes, d.Totals.BytesSent)
+	}
+	if d.Totals.WireBytes != d.Totals.BytesWire {
+		return 0, 0, fmt.Errorf("totals: ledger wire bytes %d != transport bytes_wire %d (attribution leak)",
+			d.Totals.WireBytes, d.Totals.BytesWire)
+	}
+	return len(d.Handlers), len(d.Links), nil
+}

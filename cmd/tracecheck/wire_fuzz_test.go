@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validWireJSON is a well-formed two-place wire dump: two handler
+// accounts, two links (one batched and compressed), totals consistent
+// with the rows and with the transport counters.
+func validWireJSON() []byte {
+	return []byte(`{"type":"apgas-wire","version":1,"places":2,"elapsed_sec":1.5,` +
+		`"handlers":[` +
+		`{"id":1,"name":"finishctl","msgs":10,"bytes":320,"enc_ns":5000,"recv":10,"dec_ns":4000},` +
+		`{"id":64,"name":"u0","msgs":40,"bytes":2560,"enc_ns":20000,"recv":40,"dec_ns":18000}],` +
+		`"links":[` +
+		`{"src":0,"dst":1,"msgs":30,"bytes":1920,"wire":1400,"raw":2000,"comp":1300,"qwait_ns":90000,"batches":3},` +
+		`{"src":1,"dst":0,"msgs":20,"bytes":960,"wire":1100,"raw":1100,"comp":1100,"qwait_ns":30000,"batches":2}],` +
+		`"totals":{"msgs":50,"payload_bytes":2880,"wire_bytes":2500,"bytes_sent":2880,"bytes_wire":2500}}`)
+}
+
+func TestCheckWireValid(t *testing.T) {
+	h, l, err := checkWire(validWireJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 || l != 2 {
+		t.Fatalf("handlers=%d links=%d, want 2/2", h, l)
+	}
+}
+
+// TestCheckWireViolations pins that each invariant is individually
+// enforced with a path+reason error.
+func TestCheckWireViolations(t *testing.T) {
+	cases := []struct {
+		name, old, new, wantErr string
+	}{
+		{"wrong-type", `"apgas-wire"`, `"other"`, "apgas-wire"},
+		{"future-version", `"version":1`, `"version":9`, "version"},
+		{"zero-places", `"places":2`, `"places":0`, "places"},
+		{"unsorted-handlers", `"id":64`, `"id":1`, "sorted"},
+		{"comp-above-raw", `"comp":1300`, `"comp":2300`, "compressed"},
+		{"link-out-of-range", `"src":1,"dst":0`, `"src":2,"dst":0`, "outside"},
+		{"msgs-mismatch", `"totals":{"msgs":50`, `"totals":{"msgs":51`, "handler rows sum"},
+		{"payload-vs-transport", `"bytes_sent":2880`, `"bytes_sent":2881`, "attribution leak"},
+		{"wire-vs-transport", `"bytes_wire":2500`, `"bytes_wire":2400`, "attribution leak"},
+		{"qwait-without-batches", `"qwait_ns":30000,"batches":2`, `"qwait_ns":30000,"batches":0`, "queue wait"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := strings.Replace(string(validWireJSON()), tc.old, tc.new, 1)
+			if data == string(validWireJSON()) {
+				t.Fatalf("replacement %q did not apply", tc.old)
+			}
+			_, _, err := checkWire([]byte(data))
+			if err == nil {
+				t.Fatal("violation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v lacks %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// FuzzCheckWireDump drives the wire dump validator with arbitrary
+// bytes. It gates `make wire`, so it must never panic on hostile or
+// truncated dumps — it either accepts a consistent dump or returns an
+// error naming path and reason.
+//
+// Checked properties:
+//   - no panics (the fuzzer's implicit check);
+//   - determinism: same bytes, same verdict;
+//   - acceptance implies internal sum-equality: re-deriving the row
+//     sums from the accepted bytes matches the totals the dump claims.
+func FuzzCheckWireDump(f *testing.F) {
+	valid := validWireJSON()
+	f.Add(valid)
+	// Violations the validator must reject, not choke on.
+	f.Add([]byte(strings.Replace(string(valid), `"apgas-wire"`, `"other"`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"version":1`, `"version":9`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"bytes_sent":2880`, `"bytes_sent":1`, 1)))
+	f.Add([]byte(strings.Replace(string(valid), `"comp":1300`, `"comp":9999`, 1)))
+	f.Add([]byte(`{"type":"apgas-wire","version":1,"places":1,` +
+		`"handlers":[],"links":[],` +
+		`"totals":{"msgs":0,"payload_bytes":0,"wire_bytes":0,"bytes_sent":0,"bytes_wire":0}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff{not json"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h1, l1, err1 := checkWire(data)
+		h2, l2, err2 := checkWire(data)
+		if h1 != h2 || l1 != l2 || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic verdict: (%d,%d,%v) vs (%d,%d,%v)", h1, l1, err1, h2, l2, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		// Accepted: the parsed rows must re-sum to the claimed totals.
+		var d wireDump
+		if err := json.Unmarshal(data, &d); err != nil {
+			t.Fatalf("accepted bytes that do not re-parse: %v", err)
+		}
+		var msgs, bytes, wire uint64
+		for _, h := range d.Handlers {
+			msgs += h.Msgs
+			bytes += h.Bytes
+		}
+		for _, l := range d.Links {
+			wire += l.Wire
+		}
+		if msgs != d.Totals.Msgs || bytes != d.Totals.PayloadBytes || wire != d.Totals.WireBytes {
+			t.Fatalf("accepted dump re-sums dirty: msgs=%d/%d bytes=%d/%d wire=%d/%d",
+				msgs, d.Totals.Msgs, bytes, d.Totals.PayloadBytes, wire, d.Totals.WireBytes)
+		}
+		if h1 != len(d.Handlers) || l1 != len(d.Links) {
+			t.Fatalf("row counts (%d,%d) disagree with parse (%d,%d)", h1, l1, len(d.Handlers), len(d.Links))
+		}
+	})
+}

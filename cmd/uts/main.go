@@ -47,7 +47,7 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0,
 		"enable the finish stall watchdog with this window, e.g. -watchdog 10s (0 = off)")
 	debugAddr := flag.String("debug-addr", "",
-		"serve /debug/pprof, /debug/vars, /debug/profilez, /telemetry, and /metrics on this address while running (e.g. :6060)")
+		"serve /debug/pprof, /debug/vars, /debug/profilez, /telemetry, /metrics, and /wire on this address while running (e.g. :6060)")
 	flightDump := flag.String("flight-dump", "",
 		"write the flight recorder (JSON Lines, validated by tracecheck) to this file at exit")
 	batch := flag.Bool("batch", false,
@@ -134,7 +134,7 @@ func main() {
 				os.Exit(1)
 			}
 			defer stopPlane()
-			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, and /metrics\n", ds.Addr)
+			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/, /debug/vars, /debug/profilez, /telemetry, /metrics, and /wire\n", ds.Addr)
 		}
 	}
 

@@ -299,6 +299,17 @@ func (t *Transport) AttachPlaceMetrics(p int, r *obs.Registry) {
 	}
 }
 
+// AttachWireLedger implements x10rt.LedgerSink passthrough: the ledger
+// observes what the inner transport actually carries, so dropped or
+// held messages are (correctly) not attributed until forwarded, and
+// attribution never influences a fault decision — replays stay
+// byte-identical with the ledger attached.
+func (t *Transport) AttachWireLedger(lg *x10rt.WireLedger) {
+	if ls, ok := t.inner.(x10rt.LedgerSink); ok {
+		ls.AttachWireLedger(lg)
+	}
+}
+
 // eligible reports whether a message may be faulted at all.
 func (t *Transport) eligible(src, dst int, id x10rt.HandlerID, class x10rt.Class) bool {
 	if id == x10rt.HandlerTelemetry {

@@ -88,6 +88,15 @@ type Config struct {
 	// produce stable timings in traces and dumps; production runtimes
 	// leave it nil and use real time.
 	Now func() int64
+
+	// WireLedger enables message-level cost attribution: a
+	// x10rt.WireLedger is created over the observability layer's
+	// per-place registries and attached to the transport (when it
+	// implements x10rt.LedgerSink), accounting every send/receive by
+	// (handler, src→dst link) with serialization timings. Off by
+	// default: with it off, every transport record site costs one nil
+	// check. Requires an observability layer (Obs or obs.Global()).
+	WireLedger bool
 }
 
 func (c *Config) applyDefaults() error {
@@ -128,6 +137,9 @@ type Runtime struct {
 	// stall chains; nil unless the tracer has distributed tracing
 	// enabled (see causal.go).
 	causal *causalRegistry
+	// ledger is the wire observatory's cost-attribution ledger, nil
+	// unless Config.WireLedger was set (see x10rt.WireLedger).
+	ledger *x10rt.WireLedger
 
 	// acts tracks, per finish pattern, the cumulative number of governed
 	// activities spawned and completed anywhere in the computation. The
@@ -245,6 +257,18 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 				ps.AttachPlaceMetrics(i, rt.obs.Place(i))
 			}
 		}
+		// The wire ledger rides the same per-place registries, so its
+		// x10rt.h<ID>.* / x10rt.link.* accounts flow through the
+		// telemetry gather tree and Prometheus export like any metric.
+		if cfg.WireLedger {
+			if ls, ok := rt.tr.(x10rt.LedgerSink); ok {
+				o := rt.obs
+				rt.ledger = x10rt.NewWireLedger(cfg.Places, func(p int) *obs.Registry {
+					return o.Place(p)
+				})
+				ls.AttachWireLedger(rt.ledger)
+			}
+		}
 	}
 	rt.places = make([]*place, cfg.Places)
 	for i := range rt.places {
@@ -295,6 +319,10 @@ func (rt *Runtime) NumPlaces() int { return rt.cfg.Places }
 // Transport exposes the underlying transport, mainly for reading traffic
 // statistics in experiments.
 func (rt *Runtime) Transport() x10rt.Transport { return rt.tr }
+
+// WireLedger returns the wire observatory's cost-attribution ledger,
+// nil unless Config.WireLedger was set on a transport that supports it.
+func (rt *Runtime) WireLedger() *x10rt.WireLedger { return rt.ledger }
 
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }

@@ -88,7 +88,9 @@ func transportMesh(places int, batch bool, compressMin int) ([]x10rt.Transport, 
 // timed from first send to last delivery. Endpoint 0's metrics attach
 // to the process-global registry so -bench-json artifacts carry the
 // x10rt.batch.* counters and histograms of a representative endpoint.
-func runTransportMesh(places, perPlace int, batch bool, compressMin, msgBytes int, payload func(seq int) any) (transportRun, error) {
+// lg, when non-nil, is attached to every endpoint so the run's traffic
+// is cost-attributed (the wire observatory series).
+func runTransportMesh(places, perPlace int, batch bool, compressMin, msgBytes int, lg *x10rt.WireLedger, payload func(seq int) any) (transportRun, error) {
 	eps, closeAll, err := transportMesh(places, batch, compressMin)
 	if err != nil {
 		return transportRun{}, err
@@ -98,6 +100,11 @@ func runTransportMesh(places, perPlace int, batch bool, compressMin, msgBytes in
 	for _, ep := range eps {
 		if err := ep.Register(transportHandler, func(src, dst int, payload any) { got.Add(1) }); err != nil {
 			return transportRun{}, err
+		}
+		if lg != nil {
+			if ls, ok := ep.(x10rt.LedgerSink); ok {
+				ls.AttachWireLedger(lg)
+			}
 		}
 	}
 	if o := obs.Global(); o != nil {
@@ -159,7 +166,7 @@ func runTransportMesh(places, perPlace int, batch bool, compressMin, msgBytes in
 // runSmallFrames is the small-control-frame microbenchmark: the ≥3x
 // batching target of the wire-path overhaul is measured on this shape.
 func runSmallFrames(places, perPlace int, batch bool, compressMin int) (transportRun, error) {
-	return runTransportMesh(places, perPlace, batch, compressMin, smallFrameBytes,
+	return runTransportMesh(places, perPlace, batch, compressMin, smallFrameBytes, nil,
 		func(seq int) any { return transportPayload{Seq: int32(seq), Arg: int32(seq * 3)} })
 }
 
@@ -170,7 +177,7 @@ func runLargeFrames(places, perPlace int, batch bool, compressMin int) (transpor
 	for i := range buf {
 		buf[i] = byte(i * 31)
 	}
-	return runTransportMesh(places, perPlace, batch, compressMin, largeFrameBytes,
+	return runTransportMesh(places, perPlace, batch, compressMin, largeFrameBytes, nil,
 		func(seq int) any { return buf })
 }
 
@@ -219,6 +226,59 @@ func TransportSmallSeries(s Scale) (Series, error) {
 // bench-smoke`).
 func TransportSmallBatchSeries(s Scale) (Series, error) {
 	return transportSmallSeries("Transport small frames (batched)", true)(s)
+}
+
+// WireSeries is the wire observatory microbenchmark: small control
+// frames through the batched TCP wire with a WireLedger attached, so
+// every message's gob encode/decode cost is attributed. The aggregate
+// is encode ns per message and the per-unit column decode ns per
+// message — serialization cost, so lower is better (TimeBased), and
+// benchdiff flags a codec regression as such. The series also enforces
+// the ledger's sum-equality against the transport counters: a point
+// where the attributed bytes disagree with the wire fails the run.
+func WireSeries(s Scale) (Series, error) {
+	perPlace := map[Scale]int{Tiny: 2000, Small: 4000, Medium: 8000}[s]
+	out := Series{
+		Name:          "Wire ledger serialization cost",
+		AggregateUnit: "enc-ns/msg",
+		PerUnitUnit:   "dec-ns/msg",
+		TimeBased:     true,
+	}
+	for _, places := range s.PlaceSweep() {
+		if places < 2 {
+			continue
+		}
+		lg := x10rt.NewWireLedger(places, nil)
+		run, err := runTransportMesh(places, perPlace, true, 0, smallFrameBytes, lg,
+			func(seq int) any { return transportPayload{Seq: int32(seq), Arg: int32(seq * 3)} })
+		if err != nil {
+			return out, err
+		}
+		snap := lg.Snapshot()
+		if got, want := snap.TotalPayloadBytes(), uint64(run.bytes); got != want {
+			return out, fmt.Errorf("wire places=%d: ledger payload bytes %d != sent bytes %d", places, got, want)
+		}
+		if got, want := snap.TotalWireBytes(), run.wire; got != want {
+			return out, fmt.Errorf("wire places=%d: ledger wire bytes %d != transport wire bytes %d", places, got, want)
+		}
+		var msgs, recv, encNs, decNs uint64
+		for _, h := range snap.Handlers {
+			msgs += h.Msgs
+			recv += h.RecvMsgs
+			encNs += h.EncNs
+			decNs += h.DecNs
+		}
+		if msgs != uint64(run.msgs) || recv != uint64(run.msgs) {
+			return out, fmt.Errorf("wire places=%d: ledger msgs=%d recv=%d, want %d", places, msgs, recv, run.msgs)
+		}
+		out.Points = append(out.Points, Point{
+			Places:    places,
+			Aggregate: float64(encNs) / float64(msgs),
+			PerUnit:   float64(decNs) / float64(recv),
+			Note:      fmt.Sprintf("%d msgs, wire=%dB, %d batches, sums OK", run.msgs, run.wire, run.batches),
+		})
+	}
+	return out, nil
 }
 
 // TransportLargeBatchSeries pushes 1 MiB payloads through the batching

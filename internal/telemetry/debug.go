@@ -44,6 +44,7 @@ func publishObsExpvar(o *obs.Obs) {
 //	/debug/profilez    the continuous profile ring (index + retrieval)
 //	/telemetry         the place-0 cluster telemetry report (JSON)
 //	/metrics           Prometheus text format
+//	/wire              wire observatory view (JSON; ?format=text for a table)
 //
 // o supplies the expvar snapshot and the profile ring; nil disables
 // both (the rest still serves). The returned server's Addr holds the
@@ -58,6 +59,7 @@ func StartDebugServer(addr string, o *obs.Obs) (*DebugServer, error) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/telemetry", Handler())
 	mux.Handle("/metrics", PromHandler())
+	mux.Handle("/wire", WireHandler())
 	mux.Handle("/debug/profilez", ProfilezHandler(o.ProfileRing()))
 	publishObsExpvar(o)
 

@@ -43,6 +43,7 @@ type Plane struct {
 	o      *obs.Obs
 	places int
 	arity  int
+	start  time.Time
 
 	mu      sync.Mutex
 	reqSeq  uint64
@@ -95,6 +96,7 @@ func Attach(rt *core.Runtime) (*Plane, error) {
 		o:       o,
 		places:  rt.NumPlaces(),
 		arity:   rt.Config().BroadcastArity,
+		start:   time.Now(),
 		nodes:   make(map[nodeKey]*gatherNode),
 		pending: make(map[uint64]chan map[int]obs.Snapshot),
 	}
@@ -102,6 +104,13 @@ func Attach(rt *core.Runtime) (*Plane, error) {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
 	return p, nil
+}
+
+// Elapsed returns the time since the plane was attached — the window
+// over which cumulative counters accumulated, used by the wire view to
+// turn per-link byte totals into bandwidth.
+func (p *Plane) Elapsed() time.Duration {
+	return time.Since(p.start)
 }
 
 // Runtime returns the runtime this plane is attached to.

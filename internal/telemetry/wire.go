@@ -1,0 +1,373 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"apgas/internal/x10rt"
+)
+
+// This file is the wire observatory's reporting surface: the /wire
+// endpoint (JSON and text table) over the message-level cost
+// attribution the x10rt.WireLedger records. Two constructors build the
+// same WireView: one from a ledger snapshot (exact, in-process — what
+// apgas-bench dumps to disk), one from a merged telemetry report (the
+// ledger's per-place registry counters travel the gather tree like any
+// metric, so the endpoint works across processes too). tracecheck
+// -wire validates the serialized form, FuzzCheckWireDump fuzzes it.
+
+// WireDumpType is the type tag of a serialized WireView.
+const WireDumpType = "apgas-wire"
+
+// WireDumpVersion is the current dump schema version.
+const WireDumpVersion = 1
+
+// WireHandlerRow is one handler's cost account, summed over places.
+type WireHandlerRow struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	Msgs  uint64 `json:"msgs"`
+	Bytes uint64 `json:"bytes"`
+	EncNs uint64 `json:"enc_ns"`
+	Recv  uint64 `json:"recv"`
+	DecNs uint64 `json:"dec_ns"`
+}
+
+// WireLinkRow is one (src → dst) link's cost account.
+type WireLinkRow struct {
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	Msgs    uint64 `json:"msgs"`
+	Bytes   uint64 `json:"bytes"`
+	Wire    uint64 `json:"wire"`
+	Raw     uint64 `json:"raw"`
+	Comp    uint64 `json:"comp"`
+	QwaitNs uint64 `json:"qwait_ns"`
+	Batches uint64 `json:"batches"`
+}
+
+// WireTotals carries the sum-equality cross-check: the first three are
+// sums over the ledger rows, the last two the transport's own counters.
+// A consistent dump has PayloadBytes == BytesSent and WireBytes ==
+// BytesWire — the ledger refines the traffic counters, it never
+// disagrees with them.
+type WireTotals struct {
+	Msgs         uint64 `json:"msgs"`
+	PayloadBytes uint64 `json:"payload_bytes"`
+	WireBytes    uint64 `json:"wire_bytes"`
+	BytesSent    uint64 `json:"bytes_sent"`
+	BytesWire    uint64 `json:"bytes_wire"`
+}
+
+// WireView is the wire observatory's report (and dump) format.
+type WireView struct {
+	Type       string           `json:"type"`
+	Version    int              `json:"version"`
+	Places     int              `json:"places"`
+	ElapsedSec float64          `json:"elapsed_sec"`
+	Handlers   []WireHandlerRow `json:"handlers"`
+	Links      []WireLinkRow    `json:"links"`
+	Totals     WireTotals       `json:"totals"`
+}
+
+// WireFromSnapshot builds a WireView from a ledger snapshot plus the
+// transport's traffic counters (the sum-equality reference). Handler
+// accounts are aggregated over places.
+func WireFromSnapshot(snap x10rt.WireSnapshot, stats x10rt.Stats, elapsed time.Duration) *WireView {
+	v := &WireView{
+		Type:       WireDumpType,
+		Version:    WireDumpVersion,
+		Places:     snap.Places,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	byID := make(map[int]*WireHandlerRow)
+	for _, h := range snap.Handlers {
+		r := byID[int(h.ID)]
+		if r == nil {
+			r = &WireHandlerRow{ID: int(h.ID), Name: h.Name}
+			byID[int(h.ID)] = r
+		}
+		r.Msgs += h.Msgs
+		r.Bytes += h.Bytes
+		r.EncNs += h.EncNs
+		r.Recv += h.RecvMsgs
+		r.DecNs += h.DecNs
+	}
+	for _, r := range byID {
+		v.Handlers = append(v.Handlers, *r)
+	}
+	sort.Slice(v.Handlers, func(i, j int) bool { return v.Handlers[i].ID < v.Handlers[j].ID })
+	for _, l := range snap.Links {
+		v.Links = append(v.Links, WireLinkRow(l))
+	}
+	for _, h := range v.Handlers {
+		v.Totals.Msgs += h.Msgs
+		v.Totals.PayloadBytes += h.Bytes
+	}
+	for _, l := range v.Links {
+		v.Totals.WireBytes += l.Wire
+	}
+	v.Totals.BytesSent = stats.TotalBytes()
+	v.Totals.BytesWire = stats.WireBytes
+	return v
+}
+
+// parseWireHandlerMetric parses a per-place registry name of the form
+// "x10rt.h<ID>.<field>", returning (id, field, true) on match.
+func parseWireHandlerMetric(name string) (int, string, bool) {
+	rest, ok := strings.CutPrefix(name, "x10rt.h")
+	if !ok {
+		return 0, "", false
+	}
+	num, field, ok := strings.Cut(rest, ".")
+	if !ok || num == "" || field == "" {
+		return 0, "", false
+	}
+	id, err := strconv.Atoi(num)
+	if err != nil || id < 0 {
+		return 0, "", false
+	}
+	return id, field, true
+}
+
+// parseWireLinkMetric parses "x10rt.link.<src>-<dst>.<field>".
+func parseWireLinkMetric(name string) (src, dst int, field string, ok bool) {
+	rest, okp := strings.CutPrefix(name, "x10rt.link.")
+	if !okp {
+		return 0, 0, "", false
+	}
+	pair, field, okp := strings.Cut(rest, ".")
+	if !okp || field == "" {
+		return 0, 0, "", false
+	}
+	s, d, okp := strings.Cut(pair, "-")
+	if !okp {
+		return 0, 0, "", false
+	}
+	var err error
+	if src, err = strconv.Atoi(s); err != nil || src < 0 {
+		return 0, 0, "", false
+	}
+	if dst, err = strconv.Atoi(d); err != nil || dst < 0 {
+		return 0, 0, "", false
+	}
+	return src, dst, field, true
+}
+
+// WireFromReport rebuilds a WireView from a merged telemetry report by
+// parsing the ledger's registry names back into accounts. This is what
+// makes the /wire endpoint work over a multi-process mesh: the ledger
+// counters arrive through the same gather tree as every other metric.
+func WireFromReport(rep *Report, elapsed time.Duration) *WireView {
+	v := &WireView{
+		Type:       WireDumpType,
+		Version:    WireDumpVersion,
+		Places:     rep.Places,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	handlers := make(map[int]*WireHandlerRow)
+	links := make(map[[2]int]*WireLinkRow)
+	for name, m := range rep.Merged {
+		sum := uint64(m.Sum.Count)
+		if id, field, ok := parseWireHandlerMetric(name); ok {
+			r := handlers[id]
+			if r == nil {
+				r = &WireHandlerRow{ID: id, Name: x10rt.HandlerName(x10rt.HandlerID(id))}
+				handlers[id] = r
+			}
+			switch field {
+			case "msgs":
+				r.Msgs = sum
+			case "bytes":
+				r.Bytes = sum
+			case "enc_ns":
+				r.EncNs = sum
+			case "recv":
+				r.Recv = sum
+			case "dec_ns":
+				r.DecNs = sum
+			}
+			continue
+		}
+		if src, dst, field, ok := parseWireLinkMetric(name); ok {
+			k := [2]int{src, dst}
+			r := links[k]
+			if r == nil {
+				r = &WireLinkRow{Src: src, Dst: dst}
+				links[k] = r
+			}
+			switch field {
+			case "msgs":
+				r.Msgs = sum
+			case "bytes":
+				r.Bytes = sum
+			case "wire":
+				r.Wire = sum
+			case "raw":
+				r.Raw = sum
+			case "comp":
+				r.Comp = sum
+			case "qwait_ns":
+				r.QwaitNs = sum
+			case "batches":
+				r.Batches = sum
+			}
+		}
+	}
+	for _, r := range handlers {
+		v.Handlers = append(v.Handlers, *r)
+	}
+	for _, r := range links {
+		v.Links = append(v.Links, *r)
+	}
+	sort.Slice(v.Handlers, func(i, j int) bool { return v.Handlers[i].ID < v.Handlers[j].ID })
+	sort.Slice(v.Links, func(i, j int) bool {
+		if v.Links[i].Src != v.Links[j].Src {
+			return v.Links[i].Src < v.Links[j].Src
+		}
+		return v.Links[i].Dst < v.Links[j].Dst
+	})
+	for _, h := range v.Handlers {
+		v.Totals.Msgs += h.Msgs
+		v.Totals.PayloadBytes += h.Bytes
+	}
+	for _, l := range v.Links {
+		v.Totals.WireBytes += l.Wire
+	}
+	for _, cls := range []string{"data", "control", "collective"} {
+		if m, ok := rep.Merged["x10rt.bytes."+cls]; ok {
+			v.Totals.BytesSent += uint64(m.Sum.Count)
+		}
+	}
+	if m, ok := rep.Merged["x10rt.bytes.wire"]; ok {
+		v.Totals.BytesWire = uint64(m.Sum.Count)
+	}
+	return v
+}
+
+// SumEqual reports whether the ledger's sums agree with the transport
+// counters, with a diagnostic when they do not. A view with no ledger
+// data at all (no handler rows) is not considered equal: it means the
+// ledger was never attached.
+func (v *WireView) SumEqual() error {
+	if len(v.Handlers) == 0 {
+		return fmt.Errorf("wire: no handler accounts (ledger not attached?)")
+	}
+	if v.Totals.PayloadBytes != v.Totals.BytesSent {
+		return fmt.Errorf("wire: Σ per-handler payload bytes %d != x10rt bytes sent %d",
+			v.Totals.PayloadBytes, v.Totals.BytesSent)
+	}
+	if v.Totals.WireBytes != v.Totals.BytesWire {
+		return fmt.Errorf("wire: Σ per-link wire bytes %d != x10rt.bytes.wire %d",
+			v.Totals.WireBytes, v.Totals.BytesWire)
+	}
+	return nil
+}
+
+// topHandlers returns up to k handler rows ordered by the given cost
+// (encode ns first, then wire-relevant bytes, then msgs).
+func (v *WireView) topHandlers(k int) []WireHandlerRow {
+	rows := append([]WireHandlerRow(nil), v.Handlers...)
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		ca, cb := a.EncNs+a.DecNs, b.EncNs+b.DecNs
+		if ca != cb {
+			return ca > cb
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		return a.Msgs > b.Msgs
+	})
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// WriteText renders the view as a text report: top-k hot handlers by
+// serialization cost, then every link with bandwidth, compression
+// ratio, and mean batch queue wait. This is the table that names the
+// codec targets for the wire-path work: the first rows of the handler
+// table are where a faster codec pays.
+func (v *WireView) WriteText(w io.Writer, topK int) {
+	if topK <= 0 {
+		topK = 8
+	}
+	fmt.Fprintf(w, "wire: %d places, %d handlers, %d links, %.1fs\n",
+		v.Places, len(v.Handlers), len(v.Links), v.ElapsedSec)
+	fmt.Fprintf(w, "totals: %d msgs, payload %dB (counters %dB), wire %dB (counters %dB)\n",
+		v.Totals.Msgs, v.Totals.PayloadBytes, v.Totals.BytesSent,
+		v.Totals.WireBytes, v.Totals.BytesWire)
+
+	fmt.Fprintf(w, "\n%-4s %-10s %10s %12s %10s %10s %10s\n",
+		"ID", "HANDLER", "MSGS", "BYTES", "ENC-NS/MSG", "DEC-NS/MSG", "ENC-TOT-MS")
+	for _, h := range v.topHandlers(topK) {
+		encPer, decPer := uint64(0), uint64(0)
+		if h.Msgs > 0 {
+			encPer = h.EncNs / h.Msgs
+		}
+		if h.Recv > 0 {
+			decPer = h.DecNs / h.Recv
+		}
+		fmt.Fprintf(w, "%-4d %-10s %10d %12d %10d %10d %10.2f\n",
+			h.ID, h.Name, h.Msgs, h.Bytes, encPer, decPer, float64(h.EncNs)/1e6)
+	}
+
+	fmt.Fprintf(w, "\n%-7s %10s %12s %12s %8s %10s %10s\n",
+		"LINK", "MSGS", "WIRE-B", "B/S", "RATIO", "QWAIT-US", "BATCHES")
+	for _, l := range v.Links {
+		bps := 0.0
+		if v.ElapsedSec > 0 {
+			bps = float64(l.Wire) / v.ElapsedSec
+		}
+		ratio := 1.0
+		if l.Comp > 0 {
+			ratio = float64(l.Raw) / float64(l.Comp)
+		}
+		qwait := 0.0
+		if l.Batches > 0 {
+			qwait = float64(l.QwaitNs) / float64(l.Batches) / 1e3
+		}
+		fmt.Fprintf(w, "%d->%-4d %10d %12d %12.0f %8.2f %10.1f %10d\n",
+			l.Src, l.Dst, l.Msgs, l.Wire, bps, ratio, qwait, l.Batches)
+	}
+}
+
+// WireHandler serves the current plane's wire view — mount it at /wire
+// on the -debug-addr server. JSON by default; ?format=text renders the
+// text table (?top=K bounds the handler table). Like Handler, it
+// answers 503 while no plane is installed and 504 on collection
+// timeout.
+func WireHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		p := Current()
+		if p == nil {
+			http.Error(w, "no telemetry plane attached", http.StatusServiceUnavailable)
+			return
+		}
+		rep, err := p.Report(5 * time.Second)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+			return
+		}
+		v := WireFromReport(rep, p.Elapsed())
+		if req.URL.Query().Get("format") == "text" {
+			topK := 0
+			if s := req.URL.Query().Get("top"); s != "" {
+				topK, _ = strconv.Atoi(s)
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			v.WriteText(w, topK)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	})
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"apgas/internal/core"
+	"apgas/internal/x10rt"
+)
+
+// wireWorkload runs a small cross-place workload and quiesces, so the
+// ledger, the transport stats, and the telemetry report all describe
+// the same instant.
+func wireWorkload(t *testing.T, rt *core.Runtime) *x10rt.ChanTransport {
+	t.Helper()
+	err := rt.Run(func(c *core.Ctx) {
+		for q := 1; q < c.NumPlaces(); q++ {
+			c.AtAsyncSized(core.Place(q), 64*q, func(cc *core.Ctx) {
+				cc.Async(func(*core.Ctx) {})
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rt.Transport().(*x10rt.ChanTransport)
+	tr.Quiesce()
+	return tr
+}
+
+// TestWireFromReport is the endpoint-side sum-equality check: the wire
+// view rebuilt from a merged telemetry report must agree with the
+// ledger snapshot and with the transport counters.
+func TestWireFromReport(t *testing.T) {
+	const places = 4
+	rt, p := newPlane(t, places, func(cfg *core.Config) { cfg.WireLedger = true })
+	lg := rt.WireLedger()
+	if lg == nil {
+		t.Fatal("Config.WireLedger did not attach a ledger")
+	}
+	tr := wireWorkload(t, rt)
+
+	rep, err := p.Report(collectTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := WireFromReport(rep, time.Second)
+	if v.Type != WireDumpType || v.Version != WireDumpVersion {
+		t.Fatalf("header = %q v%d", v.Type, v.Version)
+	}
+	if err := v.SumEqual(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := lg.Snapshot()
+	if v.Totals.PayloadBytes != snap.TotalPayloadBytes() {
+		t.Errorf("report payload bytes %d != ledger %d", v.Totals.PayloadBytes, snap.TotalPayloadBytes())
+	}
+	if v.Totals.WireBytes != snap.TotalWireBytes() {
+		t.Errorf("report wire bytes %d != ledger %d", v.Totals.WireBytes, snap.TotalWireBytes())
+	}
+	if v.Totals.BytesSent != tr.Stats().TotalBytes() {
+		t.Errorf("report bytes_sent %d != transport %d", v.Totals.BytesSent, tr.Stats().TotalBytes())
+	}
+	// The protocol handlers must come back with their names.
+	names := map[string]bool{}
+	for _, h := range v.Handlers {
+		names[h.Name] = true
+	}
+	if !names["spawn"] || !names["finishctl"] {
+		t.Errorf("handler names missing from %v", names)
+	}
+
+	// The from-snapshot constructor must agree row-for-row on totals.
+	v2 := WireFromSnapshot(snap, tr.Stats(), time.Second)
+	if v2.Totals.PayloadBytes != v.Totals.PayloadBytes || v2.Totals.WireBytes != v.Totals.WireBytes {
+		t.Errorf("snapshot view totals %+v != report view totals %+v", v2.Totals, v.Totals)
+	}
+	if len(v2.Links) != len(v.Links) {
+		t.Errorf("snapshot view has %d links, report view %d", len(v2.Links), len(v.Links))
+	}
+
+	var buf bytes.Buffer
+	v.WriteText(&buf, 4)
+	out := buf.String()
+	for _, want := range []string{"HANDLER", "LINK", "finishctl", "B/S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWireHandlerHTTP exercises the /wire endpoint: JSON by default,
+// text table with ?format=text, 503 with no plane installed.
+func TestWireHandlerHTTP(t *testing.T) {
+	h := WireHandler()
+	SetCurrent(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/wire", nil))
+	if rec.Code != 503 {
+		t.Fatalf("no-plane status = %d, want 503", rec.Code)
+	}
+
+	rt, p := newPlane(t, 2, func(cfg *core.Config) { cfg.WireLedger = true })
+	wireWorkload(t, rt)
+	SetCurrent(p)
+	defer SetCurrent(nil)
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/wire", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var v WireView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SumEqual(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Places != 2 || len(v.Handlers) == 0 || len(v.Links) == 0 {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.ElapsedSec <= 0 {
+		t.Error("elapsed_sec not populated")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/wire?format=text&top=3", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "HANDLER") {
+		t.Fatalf("text format: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestWireViewSumEqualDiagnostics pins the failure modes tracecheck
+// and the bench harness rely on.
+func TestWireViewSumEqualDiagnostics(t *testing.T) {
+	v := &WireView{}
+	if v.SumEqual() == nil {
+		t.Error("empty view must not be sum-equal")
+	}
+	v.Handlers = []WireHandlerRow{{ID: 64, Msgs: 1, Bytes: 10}}
+	v.Totals = WireTotals{Msgs: 1, PayloadBytes: 10, WireBytes: 10, BytesSent: 10, BytesWire: 10}
+	if err := v.SumEqual(); err != nil {
+		t.Errorf("consistent view rejected: %v", err)
+	}
+	v.Totals.BytesSent = 11
+	if v.SumEqual() == nil {
+		t.Error("payload mismatch must be detected")
+	}
+	v.Totals.BytesSent = 10
+	v.Totals.BytesWire = 9
+	if v.SumEqual() == nil {
+		t.Error("wire mismatch must be detected")
+	}
+}

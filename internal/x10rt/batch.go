@@ -88,6 +88,14 @@ type batchMetrics struct {
 	frames  obs.Histogram // messages per batch
 	bytes   obs.Histogram // modeled bytes per batch
 	delay   obs.Histogram // ns from first enqueue to flush
+
+	// qdepth/qbytes gauge the flusher's backpressure: total queued
+	// messages and modeled bytes across every link, sampled by the
+	// background flusher on each tick. A persistently high value names
+	// batching (not the inner wire) as where messages are waiting; the
+	// wire ledger's per-link qwait_ns then says on which link.
+	qdepth obs.Gauge
+	qbytes obs.Gauge
 }
 
 func (m *batchMetrics) attach(r *obs.Registry) {
@@ -100,6 +108,8 @@ func (m *batchMetrics) attach(r *obs.Registry) {
 	r.RegisterHistogram("x10rt.batch.frames", &m.frames)
 	r.RegisterHistogram("x10rt.batch.bytes", &m.bytes)
 	r.RegisterHistogram("x10rt.batch.flush_ns", &m.delay)
+	r.RegisterGauge("x10rt.batch.qdepth", &m.qdepth)
+	r.RegisterGauge("x10rt.batch.qbytes", &m.qbytes)
 }
 
 // batchLink is the send queue of one (src, dst) link. Two locks split
@@ -151,6 +161,7 @@ type BatchingTransport struct {
 	bs BatchSender // inner's batch fast path, nil when unsupported
 	pk PlaceKiller // inner's kill support, nil when unsupported
 	bm batchMetrics
+	lg atomic.Pointer[WireLedger] // queue-wait attribution, nil when detached
 
 	closed  atomic.Bool
 	bgErr   atomic.Value // first background flush error (type error)
@@ -305,10 +316,15 @@ func (t *BatchingTransport) flushLink(l *batchLink, src, dst int, why flushReaso
 	t.bm.reasons[why].Inc()
 	t.bm.frames.Observe(uint64(len(q)))
 	t.bm.bytes.Observe(uint64(qBytes))
-	if d := t.opts.Now() - firstNs; d > 0 {
+	d := t.opts.Now() - firstNs
+	if d > 0 {
 		t.bm.delay.Observe(uint64(d))
 	} else {
+		d = 0
 		t.bm.delay.Observe(0)
+	}
+	if lg := t.lg.Load(); lg != nil {
+		lg.RecordQueueWait(src, dst, d)
 	}
 
 	if t.bs != nil && len(q) > 1 {
@@ -345,10 +361,13 @@ func (t *BatchingTransport) flushLoop() {
 		now := t.opts.Now()
 		stalled := t.opts.FlushOnStall && now == prevNow
 		prevNow = now
+		var qdepth, qbytes int64
 		for src := 0; src < t.n; src++ {
 			for dst := 0; dst < t.n; dst++ {
 				l := t.links[src*t.n+dst]
 				l.mu.Lock()
+				qdepth += int64(len(l.q))
+				qbytes += int64(l.qBytes)
 				aged := len(l.q) > 0 && (stalled || now-l.firstNs >= int64(t.opts.MaxDelay))
 				l.mu.Unlock()
 				if !aged {
@@ -363,6 +382,10 @@ func (t *BatchingTransport) flushLoop() {
 				}
 			}
 		}
+		// The gauges sample the pre-flush queue state of this tick, so a
+		// standing backlog shows up even when every aged link drains.
+		t.bm.qdepth.Set(qdepth)
+		t.bm.qbytes.Set(qbytes)
 	}
 }
 
@@ -457,6 +480,17 @@ func (t *BatchingTransport) AttachMetrics(r *obs.Registry) {
 func (t *BatchingTransport) AttachTracer(tr *obs.Tracer) {
 	if ts, ok := t.inner.(TracerSink); ok {
 		ts.AttachTracer(tr)
+	}
+}
+
+// AttachWireLedger implements LedgerSink: the attachment is forwarded
+// to the inner transport (which records sends, wire bytes, and codec
+// timings), and the wrapper additionally records each link's batch
+// queue wait into the same ledger.
+func (t *BatchingTransport) AttachWireLedger(lg *WireLedger) {
+	t.lg.Store(lg)
+	if ls, ok := t.inner.(LedgerSink); ok {
+		ls.AttachWireLedger(lg)
 	}
 }
 

@@ -100,16 +100,21 @@ var flateWriterPool = sync.Pool{New: func() any {
 // compresses). The returned slice aliases dst's array when capacity
 // allows.
 func appendBatchFrame(dst []byte, src int, msgs []BatchMsg, compressMin int) ([]byte, error) {
-	return appendBatchFrameV(dst, batchVersion, src, msgs, compressMin, 0)
+	return appendBatchFrameV(dst, batchVersion, src, msgs, compressMin, 0, nil, -1)
 }
 
 // appendTracedBatchFrame is appendBatchFrame for a version-3 frame
 // carrying the sender's hybrid logical clock.
 func appendTracedBatchFrame(dst []byte, src int, msgs []BatchMsg, compressMin int, hlc uint64) ([]byte, error) {
-	return appendBatchFrameV(dst, batchVersionTraced, src, msgs, compressMin, hlc)
+	return appendBatchFrameV(dst, batchVersionTraced, src, msgs, compressMin, hlc, nil, -1)
 }
 
-func appendBatchFrameV(dst []byte, version byte, src int, msgs []BatchMsg, compressMin int, hlc uint64) ([]byte, error) {
+// appendBatchFrameV is the full encoder. lg, when non-nil, receives
+// per-message serialization timings (attributed to each message's
+// handler — the messages of a batch are separate enc.Encode calls, so
+// the split is exact) and the body's pre/post-compression sizes on the
+// (src → dstPlace) link.
+func appendBatchFrameV(dst []byte, version byte, src int, msgs []BatchMsg, compressMin int, hlc uint64, lg *WireLedger, dstPlace int) ([]byte, error) {
 	body := getBuf()
 	defer putBuf(body)
 
@@ -118,8 +123,15 @@ func appendBatchFrameV(dst []byte, version byte, src int, msgs []BatchMsg, compr
 	enc := gob.NewEncoder(body)
 	for i := range msgs {
 		m := wireMsg{Src: src, ID: msgs[i].ID, Class: msgs[i].Class, Bytes: msgs[i].Bytes, Payload: msgs[i].Payload}
+		var t0 int64
+		if lg != nil {
+			t0 = wireNow()
+		}
 		if err := enc.Encode(&m); err != nil {
 			return dst, fmt.Errorf("x10rt: batch encode: %w", err)
+		}
+		if lg != nil {
+			lg.RecordEncode(src, msgs[i].ID, wireNow()-t0)
 		}
 	}
 
@@ -139,6 +151,9 @@ func appendBatchFrameV(dst []byte, version byte, src int, msgs []BatchMsg, compr
 			flags |= batchFlagCompressed
 			payload = comp.Bytes()
 		}
+	}
+	if lg != nil {
+		lg.RecordBatchBody(src, dstPlace, body.Len(), len(payload))
 	}
 
 	var hlcPrefix []byte
@@ -161,7 +176,14 @@ func appendBatchFrameV(dst []byte, version byte, src int, msgs []BatchMsg, compr
 // byte included) into its messages. Gob reports some malformed inputs
 // by panicking; the recover converts any such panic into an error so a
 // corrupt peer can only cost its own connection.
-func decodeBatchPayload(payload []byte) (msgs []wireMsg, err error) {
+func decodeBatchPayload(payload []byte) ([]wireMsg, error) {
+	return decodeBatchPayloadLG(payload, nil, 0)
+}
+
+// decodeBatchPayloadLG is decodeBatchPayload with cost attribution:
+// lg, when non-nil, receives each message's deserialization ns and
+// receive count, attributed to its handler at the receiving place.
+func decodeBatchPayloadLG(payload []byte, lg *WireLedger, place int) (msgs []wireMsg, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			msgs, err = nil, fmt.Errorf("x10rt: batch decode panic: %v", r)
@@ -203,8 +225,15 @@ func decodeBatchPayload(payload []byte) (msgs []wireMsg, err error) {
 	msgs = make([]wireMsg, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var m wireMsg
+		var t0 int64
+		if lg != nil {
+			t0 = wireNow()
+		}
 		if err := dec.Decode(&m); err != nil {
 			return nil, fmt.Errorf("x10rt: batch message %d: %w", i, err)
+		}
+		if lg != nil {
+			lg.RecordRecv(place, m.ID, wireNow()-t0)
 		}
 		msgs = append(msgs, m)
 	}
@@ -213,12 +242,18 @@ func decodeBatchPayload(payload []byte) (msgs []wireMsg, err error) {
 
 // decodeTracedBatchPayload decodes the payload of a version-3 frame:
 // the sender's HLC prefix followed by the version-2 layout.
-func decodeTracedBatchPayload(payload []byte) (msgs []wireMsg, hlc uint64, err error) {
+func decodeTracedBatchPayload(payload []byte) ([]wireMsg, uint64, error) {
+	return decodeTracedBatchPayloadLG(payload, nil, 0)
+}
+
+// decodeTracedBatchPayloadLG is decodeTracedBatchPayload with cost
+// attribution (see decodeBatchPayloadLG).
+func decodeTracedBatchPayloadLG(payload []byte, lg *WireLedger, place int) (msgs []wireMsg, hlc uint64, err error) {
 	hlc, n := binary.Uvarint(payload)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("%w: bad batch HLC prefix", ErrFrameCorrupt)
 	}
-	msgs, err = decodeBatchPayload(payload[n:])
+	msgs, err = decodeBatchPayloadLG(payload[n:], lg, place)
 	return msgs, hlc, err
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apgas/internal/obs"
@@ -57,6 +58,7 @@ type ChanTransport struct {
 	places   []*chanEndpoint
 	ctrs     counters
 	perPlace []counters // egress traffic by source place
+	lg       atomic.Pointer[WireLedger]
 	deaths   deathState
 	closed   sync.Once
 	done     chan struct{}
@@ -182,6 +184,10 @@ func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int,
 		// is also the wire size (see Stats.WireBytes).
 		t.ctrs.addWire(bytes)
 		t.perPlace[src].addWire(bytes)
+		if lg := t.lg.Load(); lg != nil {
+			lg.RecordSend(src, dst, id, bytes)
+			lg.RecordWire(src, dst, bytes)
+		}
 	}
 	return nil
 }
@@ -222,6 +228,10 @@ func (t *ChanTransport) dispatch(place int, ep *chanEndpoint) {
 			}
 		}
 		if h, ok := t.handlers.lookup(m.id); ok && !dead {
+			if lg := t.lg.Load(); lg != nil {
+				// In-process delivery has no deserialization cost.
+				lg.RecordRecv(place, m.id, 0)
+			}
 			h(m.src, place, m.payload)
 		}
 		ep.idleMu.Lock()
@@ -305,6 +315,11 @@ func (t *ChanTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
 		t.perPlace[p].attach(r)
 	}
 }
+
+// AttachWireLedger implements LedgerSink: every subsequent send and
+// delivery is attributed by (handler, link). Safe to call at any time;
+// nil detaches.
+func (t *ChanTransport) AttachWireLedger(lg *WireLedger) { t.lg.Store(lg) }
 
 // Close implements Transport.
 func (t *ChanTransport) Close() error {

@@ -68,6 +68,14 @@ func (t *CountingTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
 	}
 }
 
+// AttachWireLedger forwards to the wrapped transport when it is a
+// LedgerSink, so wire cost attribution pierces the counting decorator.
+func (t *CountingTransport) AttachWireLedger(lg *WireLedger) {
+	if ls, ok := t.Transport.(LedgerSink); ok {
+		ls.AttachWireLedger(lg)
+	}
+}
+
 // Flush forwards to the wrapped transport when it buffers sends, so
 // protocol flush points reach a BatchingTransport hiding below a
 // counting decorator.

@@ -67,6 +67,17 @@ func TestPlaceStatsSumToStats(t *testing.T) {
 	if global := tr.Stats(); sum != global {
 		t.Errorf("sum of PlaceStats %+v != Stats %+v", sum, global)
 	}
+	// Wire-byte parity, spelled out on its own: the wire observatory's
+	// per-link attribution is derived from the same per-place egress
+	// accounts, so Σ per-place WireBytes must equal the global wire
+	// counter exactly — and must be nonzero for nonzero traffic.
+	if sum.WireBytes != tr.Stats().WireBytes {
+		t.Errorf("wire-byte parity: Σ per-place WireBytes = %d, Stats().WireBytes = %d",
+			sum.WireBytes, tr.Stats().WireBytes)
+	}
+	if sum.WireBytes == 0 {
+		t.Error("no wire bytes attributed for nonzero traffic")
+	}
 	// p1 sent 2 messages per destination vs p0's 1: imbalance visible.
 	if p0, p1 := tr.PlaceStats(0).TotalMessages(), tr.PlaceStats(1).TotalMessages(); p1 != 2*p0 {
 		t.Errorf("egress imbalance lost: p0=%d p1=%d", p0, p1)

@@ -47,6 +47,17 @@ type TCPTransport struct {
 	// enabled; otherwise the wire format is byte-identical to version 2.
 	tr atomic.Pointer[obs.Tracer]
 
+	// lg, when attached, attributes every message to its handler and
+	// link, with gob encode/decode timings (see WireLedger).
+	lg atomic.Pointer[WireLedger]
+
+	// writeq gauges the endpoint's write backpressure: the number of
+	// goroutines queued on (or holding) an outbound connection's write
+	// lock. A persistently high value means the wire, not the
+	// application, is the bottleneck — the ledger's per-link and
+	// per-handler accounts then name the traffic responsible.
+	writeq obs.Gauge
+
 	loop     chan wireMsg // self-sends, kept FIFO
 	wg       sync.WaitGroup
 	loopOnce sync.Once
@@ -201,12 +212,24 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 			// WireBytes remains a complete egress account.
 			t.ctrs.addWire(bytes)
 			t.egress.addWire(bytes)
+			if lg := t.lg.Load(); lg != nil {
+				lg.RecordSend(src, dst, id, bytes)
+				lg.RecordWire(src, dst, bytes)
+			}
 		}
 		return nil
 	}
+	lg := t.lg.Load()
 	fp := getFrameBuf()
 	defer putFrameBuf(fp)
+	var t0 int64
+	if lg != nil {
+		t0 = wireNow()
+	}
 	frame, err := appendWireMsg((*fp)[:0], &m)
+	if lg != nil {
+		lg.RecordEncode(src, id, wireNow()-t0)
+	}
 	*fp = frame[:0]
 	if err != nil {
 		return fmt.Errorf("x10rt: encode for %d: %w", dst, err)
@@ -215,9 +238,11 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 	if err != nil {
 		return err
 	}
+	t.writeq.Add(1)
 	conn.mu.Lock()
 	_, err = conn.c.Write(frame)
 	conn.mu.Unlock()
+	t.writeq.Add(-1)
 	if err != nil {
 		return fmt.Errorf("x10rt: send to %d: %w", dst, err)
 	}
@@ -226,6 +251,10 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 		t.egress.add(class, bytes)
 		t.ctrs.addWire(len(frame))
 		t.egress.addWire(len(frame))
+		if lg != nil {
+			lg.RecordSend(src, dst, id, bytes)
+			lg.RecordWire(src, dst, len(frame))
+		}
 	}
 	return nil
 }
@@ -259,14 +288,15 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 		}
 		return nil
 	}
+	lg := t.lg.Load()
 	fp := getFrameBuf()
 	defer putFrameBuf(fp)
 	var frame []byte
 	var err error
 	if tr := t.tr.Load(); tr != nil && tr.DistEnabled() {
-		frame, err = appendTracedBatchFrame((*fp)[:0], src, msgs, compressMin, tr.HLCTick(src))
+		frame, err = appendBatchFrameV((*fp)[:0], batchVersionTraced, src, msgs, compressMin, tr.HLCTick(src), lg, dst)
 	} else {
-		frame, err = appendBatchFrame((*fp)[:0], src, msgs, compressMin)
+		frame, err = appendBatchFrameV((*fp)[:0], batchVersion, src, msgs, compressMin, 0, lg, dst)
 	}
 	*fp = frame[:0]
 	if err != nil {
@@ -276,9 +306,11 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 	if err != nil {
 		return err
 	}
+	t.writeq.Add(1)
 	conn.mu.Lock()
 	_, err = conn.c.Write(frame)
 	conn.mu.Unlock()
+	t.writeq.Add(-1)
 	if err != nil {
 		return fmt.Errorf("x10rt: batch send to %d: %w", dst, err)
 	}
@@ -286,10 +318,14 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 		if countable(msgs[i].ID) {
 			t.ctrs.add(msgs[i].Class, msgs[i].Bytes)
 			t.egress.add(msgs[i].Class, msgs[i].Bytes)
+			if lg != nil {
+				lg.RecordSend(src, dst, msgs[i].ID, msgs[i].Bytes)
+			}
 		}
 	}
 	t.ctrs.addWire(len(frame))
 	t.egress.addWire(len(frame))
+	lg.RecordWire(src, dst, len(frame))
 	return nil
 }
 
@@ -338,14 +374,15 @@ func (t *TCPTransport) read(nc net.Conn) {
 		if err != nil {
 			return
 		}
+		lg := t.lg.Load()
 		if version == batchVersion || version == batchVersionTraced {
 			var msgs []wireMsg
 			var hlc uint64
 			var err error
 			if version == batchVersionTraced {
-				msgs, hlc, err = decodeTracedBatchPayload(payload)
+				msgs, hlc, err = decodeTracedBatchPayloadLG(payload, lg, t.opts.Place)
 			} else {
-				msgs, err = decodeBatchPayload(payload)
+				msgs, err = decodeBatchPayloadLG(payload, lg, t.opts.Place)
 			}
 			if err != nil {
 				return
@@ -360,9 +397,16 @@ func (t *TCPTransport) read(nc net.Conn) {
 			}
 			continue
 		}
+		var t0 int64
+		if lg != nil {
+			t0 = wireNow()
+		}
 		m, err := decodeWireMsg(payload)
 		if err != nil {
 			return
+		}
+		if lg != nil {
+			lg.RecordRecv(t.opts.Place, m.ID, wireNow()-t0)
 		}
 		t.dispatch(&m)
 	}
@@ -390,6 +434,10 @@ func (t *TCPTransport) selfDispatch() {
 			continue
 		}
 		if h, ok := t.handlers.lookup(m.ID); ok {
+			if lg := t.lg.Load(); lg != nil {
+				// Loopback delivery has no deserialization cost.
+				lg.RecordRecv(t.opts.Place, m.ID, 0)
+			}
 			h(m.Src, t.opts.Place, m.Payload)
 		}
 	}
@@ -437,8 +485,12 @@ func (t *TCPTransport) NotifyDeath(fn func(dead, observer int)) { t.deaths.subsc
 func (t *TCPTransport) Stats() Stats { return t.ctrs.snapshot() }
 
 // AttachMetrics implements MetricSource: the traffic counters become
-// visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>.
-func (t *TCPTransport) AttachMetrics(r *obs.Registry) { t.ctrs.attach(r) }
+// visible in r under x10rt.msgs.<class> / x10rt.bytes.<class>, plus
+// the endpoint's write-queue backpressure gauge.
+func (t *TCPTransport) AttachMetrics(r *obs.Registry) {
+	t.ctrs.attach(r)
+	r.RegisterGauge("x10rt.tcp.writeq", &t.writeq)
+}
 
 // AttachTracer wires a tracer into the endpoint so batch frames carry
 // HLC stamps (frame version 3) while distributed tracing is enabled.
@@ -459,8 +511,14 @@ func (t *TCPTransport) PlaceStats(p int) Stats {
 func (t *TCPTransport) AttachPlaceMetrics(p int, r *obs.Registry) {
 	if p == t.opts.Place {
 		t.egress.attach(r)
+		r.RegisterGauge("x10rt.tcp.writeq", &t.writeq)
 	}
 }
+
+// AttachWireLedger implements LedgerSink: sends, receives, and
+// serialization timings at this endpoint are attributed by
+// (handler, link). Safe to call at any time; nil detaches.
+func (t *TCPTransport) AttachWireLedger(lg *WireLedger) { t.lg.Store(lg) }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {

@@ -502,6 +502,21 @@ func testByteAccounting(t *testing.T, factory Factory) {
 	if sum.WireBytes == 0 {
 		t.Error("no wire bytes accounted for nonzero traffic")
 	}
+	// Wire-byte parity: the per-place egress attribution must re-sum to
+	// the transport's own global wire counter. Both sides count egress
+	// only (payload counters on serializing transports also cover
+	// ingress, so they are checked per class above, not here), so the
+	// equality holds on single-object transports — where Stats() is the
+	// one global account — and on per-place-endpoint meshes, where the
+	// global account is the sum over distinct endpoints.
+	var globalWire uint64
+	for _, ep := range endpoints(m) {
+		globalWire += ep.Stats().WireBytes
+	}
+	if sum.WireBytes != globalWire {
+		t.Errorf("wire-byte parity: Σ per-place WireBytes = %d, global Stats().WireBytes = %d",
+			sum.WireBytes, globalWire)
+	}
 	if err := m.Close(); err != nil {
 		t.Errorf("Close: %v", err)
 	}
