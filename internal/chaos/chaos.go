@@ -310,6 +310,26 @@ func (t *Transport) AttachWireLedger(lg *x10rt.WireLedger) {
 	}
 }
 
+// SendOneSided implements x10rt.OneSidedSender passthrough. One-sided
+// ops are never faulted and — critically for replay — never consume a
+// link fault-stream sequence number: a run with one-sided traffic added
+// keeps byte-identical fault decisions for its active messages, exactly
+// like attaching a ledger.
+func (t *Transport) SendOneSided(src, dst int, op *x10rt.OneSidedOp) error {
+	os, ok := t.inner.(x10rt.OneSidedSender)
+	if !ok {
+		return fmt.Errorf("chaos: inner transport has no one-sided lane")
+	}
+	return os.SendOneSided(src, dst, op)
+}
+
+// AttachArenas implements x10rt.OneSidedSink passthrough.
+func (t *Transport) AttachArenas(at *x10rt.ArenaTable) {
+	if s, ok := t.inner.(x10rt.OneSidedSink); ok {
+		s.AttachArenas(at)
+	}
+}
+
 // eligible reports whether a message may be faulted at all.
 func (t *Transport) eligible(src, dst int, id x10rt.HandlerID, class x10rt.Class) bool {
 	if id == x10rt.HandlerTelemetry {

@@ -72,6 +72,14 @@ type Array[T any] struct {
 	handle uint64
 	frags  [][]T
 	perLen int
+
+	// arenaID is the symmetric one-sided window id (x10rt.ArenaTable);
+	// 0 when the runtime has no arena registry. localOnly marks element
+	// types without a little-endian wire form: their windows serve
+	// in-process transports only and the RDMA operations use the
+	// active-message path.
+	arenaID   uint64
+	localOnly bool
 }
 
 // NewArray performs one symmetric allocation: a fragment of perPlaceLen
@@ -97,6 +105,7 @@ func NewArray[T any](a *Allocator, perPlaceLen int) (*Array[T], error) {
 	a.registeredBytes.Add(bytes)
 	a.largePages.Add((bytes + PageSize - 1) / PageSize)
 	a.allocations.Add(1)
+	registerArenas(arr)
 	return arr, nil
 }
 

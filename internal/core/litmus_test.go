@@ -103,6 +103,30 @@ func litmusMeshes(t *testing.T, places int) map[string]*litmusMesh {
 	t.Cleanup(func() { bt.Close() })
 	out["batch"] = &litmusMesh{places: places, ep: func(int) x10rt.Transport { return bt }, reg: bt.Register}
 
+	// The codec wire: v4 frames with per-connection type tables. The
+	// ordering model must survive the handshake riding the data stream.
+	ctcp, err := x10rt.NewLocalCodecTCPMesh(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, tr := range ctcp {
+			tr.Close()
+		}
+	})
+	out["tcp-codec"] = &litmusMesh{
+		places: places,
+		ep:     func(p int) x10rt.Transport { return ctcp[p] },
+		reg: func(id x10rt.HandlerID, h x10rt.Handler) error {
+			for _, tr := range ctcp {
+				if err := tr.Register(id, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+
 	return out
 }
 

@@ -41,6 +41,7 @@ type runtimeMetrics struct {
 	asyncLocal  *obs.Counter                // core.async.local
 	asyncRemote *obs.Counter                // core.async.remote
 	atDirect    *obs.Counter                // core.at.direct
+	oneSided    *obs.Counter                // core.onesided
 	uncounted   *obs.Counter                // core.async.uncounted
 	ctlRecv     *obs.Counter                // finish.ctl.recv
 }
@@ -50,6 +51,7 @@ func newRuntimeMetrics(r *obs.Registry) *runtimeMetrics {
 		asyncLocal:  r.Counter("core.async.local"),
 		asyncRemote: r.Counter("core.async.remote"),
 		atDirect:    r.Counter("core.at.direct"),
+		oneSided:    r.Counter("core.onesided"),
 		uncounted:   r.Counter("core.async.uncounted"),
 		ctlRecv:     r.Counter("finish.ctl.recv"),
 	}
@@ -75,6 +77,7 @@ type flightIDs struct {
 	ctlCleanup  uint32
 	atAsync     uint32
 	atDirect    uint32
+	oneSided    uint32
 	spawnRecv   uint32
 	runError    uint32
 	placeDeath  uint32
@@ -95,6 +98,7 @@ func newFlightIDs(f *obs.FlightRecorder) *flightIDs {
 		ctlCleanup:  f.NameID("ctl.cleanup"),
 		atAsync:     f.NameID("at.async"),
 		atDirect:    f.NameID("at.direct"),
+		oneSided:    f.NameID("onesided"),
 		spawnRecv:   f.NameID("spawn.recv"),
 		runError:    f.NameID("run.error"),
 		placeDeath:  f.NameID("place.death"),

@@ -141,6 +141,12 @@ type Runtime struct {
 	// unless Config.WireLedger was set (see x10rt.WireLedger).
 	ledger *x10rt.WireLedger
 
+	// arenas is the process-wide one-sided window registry (congruent
+	// fragments register here). Always created; osSender is non-nil only
+	// when the transport has a one-sided lane (see onesided.go).
+	arenas   *x10rt.ArenaTable
+	osSender x10rt.OneSidedSender
+
 	// acts tracks, per finish pattern, the cumulative number of governed
 	// activities spawned and completed anywhere in the computation. The
 	// two totals must agree whenever no governed activity is live — the
@@ -302,6 +308,18 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if err := rt.tr.Register(x10rt.HandlerClockCtl, rt.onClockCtl); err != nil {
 		return nil, err
 	}
+	// The one-sided lane: the arena table always exists (congruent
+	// registers windows unconditionally), and when the transport can
+	// both send and land one-sided ops, landings run through the
+	// runtime's finish-accounting hook.
+	rt.arenas = x10rt.NewArenaTable()
+	if sink, ok := rt.tr.(x10rt.OneSidedSink); ok {
+		if snd, ok := rt.tr.(x10rt.OneSidedSender); ok {
+			rt.osSender = snd
+			rt.arenas.SetHook(rt.onOneSided)
+			sink.AttachArenas(rt.arenas)
+		}
+	}
 	rt.placeActs = make([]placeActivityCounter, cfg.Places)
 	rt.deaths.dead = make([]atomic.Bool, cfg.Places)
 	// Transports that can lose places report here; PlaceDeath is
@@ -323,6 +341,13 @@ func (rt *Runtime) Transport() x10rt.Transport { return rt.tr }
 // WireLedger returns the wire observatory's cost-attribution ledger,
 // nil unless Config.WireLedger was set on a transport that supports it.
 func (rt *Runtime) WireLedger() *x10rt.WireLedger { return rt.ledger }
+
+// Arenas returns the process-wide one-sided window registry.
+func (rt *Runtime) Arenas() *x10rt.ArenaTable { return rt.arenas }
+
+// OneSidedEnabled reports whether the transport has a one-sided lane
+// (chan and TCP do; callers without one fall back to active messages).
+func (rt *Runtime) OneSidedEnabled() bool { return rt.osSender != nil }
 
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is active; the
+// one-sided bandwidth gate compares the instrumented runtime put path
+// against an uninstrumented-shape memcpy loop, a ratio the detector's
+// per-access overhead skews asymmetrically.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,13 @@ import (
 // the runtime.
 var TransportFactory func(places int) (x10rt.Transport, error)
 
+// CodecWire, when true, switches the transport panels' TCP meshes from
+// gob framing to the binary wire codec (v4 frames with a per-connection
+// type-table handshake). apgas-bench sets it from -codec so the wire
+// panels can be rerun over the codec path; the dedicated codec series
+// (TransportCodecSeries) always uses the codec regardless.
+var CodecWire bool
+
 // transportPayload is the small-control-frame stand-in for the wire
 // microbenchmarks: the size class of a finish credit or a steal
 // request, the traffic §3.3's aggregation discipline exists for.
@@ -31,6 +39,28 @@ type transportPayload struct {
 func init() {
 	x10rt.RegisterWireType(transportPayload{})
 	x10rt.RegisterWireType([]byte(nil))
+	// Hand-written binary codec for the microbenchmark payload: two
+	// little-endian uint32s, no reflection. This is the shape the codec
+	// speedup gate measures, so it takes the fast path a production
+	// control frame would.
+	x10rt.RegisterWireCodec(transportPayload{}, &x10rt.WireCodec{
+		Name: "harness:transportPayload",
+		Encode: func(dst []byte, v any) ([]byte, error) {
+			p := v.(transportPayload)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Seq))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Arg))
+			return dst, nil
+		},
+		Decode: func(data []byte) (any, error) {
+			if len(data) != 8 {
+				return nil, fmt.Errorf("transportPayload: %d bytes, want 8", len(data))
+			}
+			return transportPayload{
+				Seq: int32(binary.LittleEndian.Uint32(data)),
+				Arg: int32(binary.LittleEndian.Uint32(data[4:])),
+			}, nil
+		},
+	})
 }
 
 // transportHandler is where the microbenchmarks register, clear of the
@@ -53,10 +83,16 @@ type transportRun struct {
 }
 
 // transportMesh builds a local TCP mesh — a real serializing wire, not
-// the in-process chan fast path — optionally wrapping every endpoint in
-// a batching layer.
-func transportMesh(places int, batch bool, compressMin int) ([]x10rt.Transport, func(), error) {
-	mesh, err := x10rt.NewLocalTCPMesh(places)
+// the in-process chan fast path — optionally with codec framing (v4
+// frames) and optionally wrapping every endpoint in a batching layer.
+func transportMesh(places int, batch, codec bool, compressMin int) ([]x10rt.Transport, func(), error) {
+	var mesh []*x10rt.TCPTransport
+	var err error
+	if codec {
+		mesh, err = x10rt.NewLocalCodecTCPMesh(places)
+	} else {
+		mesh, err = x10rt.NewLocalTCPMesh(places)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -90,8 +126,8 @@ func transportMesh(places int, batch bool, compressMin int) ([]x10rt.Transport, 
 // x10rt.batch.* counters and histograms of a representative endpoint.
 // lg, when non-nil, is attached to every endpoint so the run's traffic
 // is cost-attributed (the wire observatory series).
-func runTransportMesh(places, perPlace int, batch bool, compressMin, msgBytes int, lg *x10rt.WireLedger, payload func(seq int) any) (transportRun, error) {
-	eps, closeAll, err := transportMesh(places, batch, compressMin)
+func runTransportMesh(places, perPlace int, batch, codec bool, compressMin, msgBytes int, lg *x10rt.WireLedger, payload func(seq int) any) (transportRun, error) {
+	eps, closeAll, err := transportMesh(places, batch, codec, compressMin)
 	if err != nil {
 		return transportRun{}, err
 	}
@@ -164,26 +200,27 @@ func runTransportMesh(places, perPlace int, batch bool, compressMin, msgBytes in
 }
 
 // runSmallFrames is the small-control-frame microbenchmark: the ≥3x
-// batching target of the wire-path overhaul is measured on this shape.
-func runSmallFrames(places, perPlace int, batch bool, compressMin int) (transportRun, error) {
-	return runTransportMesh(places, perPlace, batch, compressMin, smallFrameBytes, nil,
+// batching target of the wire-path overhaul — and, with codec framing,
+// the ≥3x codec-over-gob target — is measured on this shape.
+func runSmallFrames(places, perPlace int, batch, codec bool, compressMin int) (transportRun, error) {
+	return runTransportMesh(places, perPlace, batch, codec, compressMin, smallFrameBytes, nil,
 		func(seq int) any { return transportPayload{Seq: int32(seq), Arg: int32(seq * 3)} })
 }
 
 // runLargeFrames is the bulk-data microbenchmark: 1 MiB payloads, where
 // batching must stay out of the way rather than win.
-func runLargeFrames(places, perPlace int, batch bool, compressMin int) (transportRun, error) {
+func runLargeFrames(places, perPlace int, batch, codec bool, compressMin int) (transportRun, error) {
 	buf := make([]byte, largeFrameBytes)
 	for i := range buf {
 		buf[i] = byte(i * 31)
 	}
-	return runTransportMesh(places, perPlace, batch, compressMin, largeFrameBytes, nil,
+	return runTransportMesh(places, perPlace, batch, codec, compressMin, largeFrameBytes, nil,
 		func(seq int) any { return buf })
 }
 
 // transportSmallSeries sweeps the small-frame microbenchmark over the
 // scale's place counts (from 2: one place has no wire).
-func transportSmallSeries(name string, batch bool) func(Scale) (Series, error) {
+func transportSmallSeries(name string, batch, codec bool) func(Scale) (Series, error) {
 	return func(s Scale) (Series, error) {
 		perPlace := map[Scale]int{Tiny: 3000, Small: 6000, Medium: 10000}[s]
 		out := Series{Name: name, AggregateUnit: "msg/s", PerUnitUnit: "msg/s/place"}
@@ -191,7 +228,7 @@ func transportSmallSeries(name string, batch bool) func(Scale) (Series, error) {
 			if places < 2 {
 				continue
 			}
-			run, err := runSmallFrames(places, perPlace, batch, 0)
+			run, err := runSmallFrames(places, perPlace, batch, codec, 0)
 			if err != nil {
 				return out, err
 			}
@@ -216,7 +253,7 @@ func transportSmallSeries(name string, batch bool) func(Scale) (Series, error) {
 // message, the pre-overhaul baseline the batching series is gated
 // against.
 func TransportSmallSeries(s Scale) (Series, error) {
-	return transportSmallSeries("Transport small frames", false)(s)
+	return transportSmallSeries("Transport small frames", false, CodecWire)(s)
 }
 
 // TransportSmallBatchSeries is the same microbenchmark through the
@@ -225,7 +262,16 @@ func TransportSmallSeries(s Scale) (Series, error) {
 // series (see TestTransportBatchSpeedup, asserted by `make
 // bench-smoke`).
 func TransportSmallBatchSeries(s Scale) (Series, error) {
-	return transportSmallSeries("Transport small frames (batched)", true)(s)
+	return transportSmallSeries("Transport small frames (batched)", true, CodecWire)(s)
+}
+
+// TransportCodecSeries is the batched microbenchmark over codec
+// framing: v4 frames whose payloads travel as raw little-endian bytes
+// after the per-connection type-table handshake, no gob on the hot
+// path. The committed BENCH artifacts must show it ≥3x the gob batched
+// series (see TestCodecSpeedup, asserted by `make bench-smoke`).
+func TransportCodecSeries(s Scale) (Series, error) {
+	return transportSmallSeries("Transport small frames (codec)", true, true)(s)
 }
 
 // WireSeries is the wire observatory microbenchmark: small control
@@ -249,7 +295,7 @@ func WireSeries(s Scale) (Series, error) {
 			continue
 		}
 		lg := x10rt.NewWireLedger(places, nil)
-		run, err := runTransportMesh(places, perPlace, true, 0, smallFrameBytes, lg,
+		run, err := runTransportMesh(places, perPlace, true, false, 0, smallFrameBytes, lg,
 			func(seq int) any { return transportPayload{Seq: int32(seq), Arg: int32(seq * 3)} })
 		if err != nil {
 			return out, err
@@ -291,7 +337,7 @@ func TransportLargeBatchSeries(s Scale) (Series, error) {
 		if places < 2 {
 			continue
 		}
-		run, err := runLargeFrames(places, perPlace, true, 0)
+		run, err := runLargeFrames(places, perPlace, true, CodecWire, 0)
 		if err != nil {
 			return out, err
 		}

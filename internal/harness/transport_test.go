@@ -14,7 +14,7 @@ func TestTransportBatchSpeedup(t *testing.T) {
 	best := func(batch bool) float64 {
 		rate := 0.0
 		for rep := 0; rep < 2; rep++ {
-			run, err := runSmallFrames(places, perPlace, batch, 0)
+			run, err := runSmallFrames(places, perPlace, batch, false, 0)
 			if err != nil {
 				t.Fatalf("batch=%v: %v", batch, err)
 			}
@@ -35,6 +35,71 @@ func TestTransportBatchSpeedup(t *testing.T) {
 	}
 }
 
+// TestCodecSpeedup is the zero-copy wire codec's acceptance gate,
+// asserted by `make bench-smoke`: on the batched small-control-frame
+// microbenchmark over a real local TCP mesh, codec framing (v4, raw
+// little-endian payloads after the type-table handshake) must deliver
+// at least 3x the gob batch frame message rate. The payload has a
+// hand-written codec, so the per-message cost is two fixed-width loads
+// against gob's reflective stream; best-of-2 guards against scheduler
+// noise on a loaded (or 1 vCPU) machine.
+func TestCodecSpeedup(t *testing.T) {
+	const places, perPlace = 2, 4000
+	best := func(codec bool) float64 {
+		rate := 0.0
+		for rep := 0; rep < 2; rep++ {
+			run, err := runSmallFrames(places, perPlace, true, codec, 0)
+			if err != nil {
+				t.Fatalf("codec=%v: %v", codec, err)
+			}
+			if r := float64(run.msgs) / run.seconds; r > rate {
+				rate = r
+			}
+		}
+		return rate
+	}
+	gobRate := best(false)
+	codecRate := best(true)
+	ratio := codecRate / gobRate
+	t.Logf("batched small frames: gob %.0f msg/s, codec %.0f msg/s (%.1fx)",
+		gobRate, codecRate, ratio)
+	if ratio < 3 {
+		t.Errorf("codec speedup %.2fx < 3x (gob %.0f msg/s, codec %.0f msg/s)",
+			ratio, gobRate, codecRate)
+	}
+}
+
+// TestOneSidedBandwidth is the one-sided lane's acceptance gate,
+// asserted by `make bench-smoke`: a 1 MiB AsyncCopyPut on a 2-place
+// chan runtime must move bytes at ≥50% of this machine's memcpy
+// bandwidth. The op's data lands directly in the target fragment's raw
+// window — one copy, like memcpy — so the margin is the whole v5
+// dispatch and finish-credit overhead, amortized over 1 MiB.
+func TestOneSidedBandwidth(t *testing.T) {
+	if raceEnabled {
+		t.Skip("bandwidth-vs-memcpy ratio is skewed by race instrumentation " +
+			"(the runtime path pays per-access checks the memcpy loop mostly doesn't)")
+	}
+	memcpy := memcpyBandwidth(3)
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		rate, err := runOneSidedPut(2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate > best {
+			best = rate
+		}
+	}
+	frac := best / memcpy
+	t.Logf("one-sided 1MiB put: %.0f MB/s, memcpy %.0f MB/s (%.0f%%)",
+		best/(1<<20), memcpy/(1<<20), frac*100)
+	if frac < 0.5 {
+		t.Errorf("one-sided put bandwidth %.0f MB/s is %.0f%% of memcpy (%.0f MB/s), want ≥50%%",
+			best/(1<<20), frac*100, memcpy/(1<<20))
+	}
+}
+
 // TestTransportSeriesShapes smoke-runs each transport series at tiny
 // scale and checks the sweep shape: points from 2 places up, nonzero
 // rates, batches counted only on the batching series.
@@ -47,11 +112,19 @@ func TestTransportSeriesShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	codec, err := TransportCodecSeries(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
 	large, err := TransportLargeBatchSeries(Tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range []Series{small, batched, large} {
+	onesided, err := OneSidedSeries(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Series{small, batched, codec, large, onesided} {
 		if len(s.Points) == 0 {
 			t.Fatalf("%s: no points", s.Name)
 		}

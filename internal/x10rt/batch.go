@@ -293,6 +293,47 @@ func (t *BatchingTransport) Send(src, dst int, id HandlerID, payload any, bytes 
 	return nil
 }
 
+// SendOneSided implements OneSidedSender when the inner transport has a
+// one-sided lane. The link's queued batch is flushed first so the op
+// cannot overtake active messages already accepted on the same link —
+// one-sided ordering is exactly send order, batched or not.
+func (t *BatchingTransport) SendOneSided(src, dst int, op *OneSidedOp) error {
+	os, ok := t.inner.(OneSidedSender)
+	if !ok {
+		return fmt.Errorf("x10rt: inner transport has no one-sided lane")
+	}
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if err, _ := t.bgErr.Load().(error); err != nil {
+		return fmt.Errorf("x10rt: earlier batch flush failed: %w", err)
+	}
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n {
+		return fmt.Errorf("%w: src=%d dst=%d n=%d", ErrBadPlace, src, dst, t.n)
+	}
+	if t.pk != nil {
+		if t.pk.PlaceDead(dst) {
+			return &PlaceDeadError{Place: dst}
+		}
+		if t.pk.PlaceDead(src) {
+			return &PlaceDeadError{Place: src}
+		}
+	}
+	if src != dst {
+		if err := t.flushLink(t.links[src*t.n+dst], src, dst, flushExplicit); err != nil {
+			return err
+		}
+	}
+	return os.SendOneSided(src, dst, op)
+}
+
+// AttachArenas implements OneSidedSink by delegation.
+func (t *BatchingTransport) AttachArenas(at *ArenaTable) {
+	if s, ok := t.inner.(OneSidedSink); ok {
+		s.AttachArenas(at)
+	}
+}
+
 // flushLink forwards everything queued on l to the inner transport.
 // sendMu makes concurrent flushes of the same link mutually exclusive
 // and in-order; the queue swap under mu keeps Send fast.

@@ -269,7 +269,9 @@ func readVersionedFrame(r io.Reader) (version byte, payload []byte, err error) {
 	if hdr[0] != frameMagic {
 		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrFrameCorrupt, hdr[0])
 	}
-	if hdr[1] != frameVersion && hdr[1] != batchVersion && hdr[1] != batchVersionTraced {
+	switch hdr[1] {
+	case frameVersion, batchVersion, batchVersionTraced, batchVersionCodec, frameVersionOneSided:
+	default:
 		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrFrameCorrupt, hdr[1])
 	}
 	n := binary.BigEndian.Uint32(hdr[2:6])

@@ -71,16 +71,21 @@ func FuzzBatchFrameRoundTrip(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if version != frameVersion && version != batchVersion {
-			t.Fatalf("accepted unknown version %d", version)
-		}
 		if len(payload) > MaxFrameSize {
 			t.Fatalf("payload %d exceeds MaxFrameSize", len(payload))
 		}
-		if version == batchVersion {
-			_, _ = decodeBatchPayload(payload)
-		} else {
+		switch version {
+		case frameVersion:
 			_, _ = decodeWireMsg(payload)
+		case batchVersion, batchVersionTraced:
+			_, _ = decodeBatchPayload(payload)
+		case batchVersionCodec:
+			_, _, _ = decodeCodecBatchPayloadLG(payload, &typeTableReceiver{}, nil, 1)
+		case frameVersionOneSided:
+			cr := &countingReader{r: bytes.NewReader(payload)}
+			_, _, _, _ = parseOneSidedHeader(cr, len(payload))
+		default:
+			t.Fatalf("accepted unknown version %d", version)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package x10rt
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -59,6 +60,7 @@ type ChanTransport struct {
 	ctrs     counters
 	perPlace []counters // egress traffic by source place
 	lg       atomic.Pointer[WireLedger]
+	arenas   atomic.Pointer[ArenaTable]
 	deaths   deathState
 	closed   sync.Once
 	done     chan struct{}
@@ -72,6 +74,10 @@ type chanMsg struct {
 	class   Class
 	due     time.Time // zero when no injected latency
 	slot    uint64    // reorder slot; delivery sorted by (slot)
+	// os, when non-nil, marks a one-sided op riding the mailbox: it
+	// lands in an arena instead of dispatching to a handler, but shares
+	// the per-link FIFO with active messages.
+	os *OneSidedOp
 }
 
 // chanEndpoint is one place's receive side: an unbounded FIFO mailbox
@@ -192,6 +198,64 @@ func (t *ChanTransport) Send(src, dst int, id HandlerID, payload any, bytes int,
 	return nil
 }
 
+// SendOneSided implements OneSidedSender: op rides dst's mailbox like a
+// DataClass message (same pending/quiesce discipline, same per-link
+// FIFO, never reordered) but is landed by the arena table on the
+// dispatcher — no handler, no serialization. op.Local is the caller's
+// typed slice, not a copy: like real RDMA, a put's source buffer must
+// stay stable until the enclosing finish completes.
+func (t *ChanTransport) SendOneSided(src, dst int, op *OneSidedOp) error {
+	if src < 0 || src >= t.opts.Places || dst < 0 || dst >= t.opts.Places {
+		return fmt.Errorf("%w: src=%d dst=%d n=%d", ErrBadPlace, src, dst, t.opts.Places)
+	}
+	if p := t.deaths.deadEnd(src, dst); p >= 0 {
+		return &PlaceDeadError{Place: p}
+	}
+	if t.arenas.Load() == nil {
+		return fmt.Errorf("x10rt: one-sided send with no arena table attached")
+	}
+	wire := OneSidedWireBytes(src, op)
+	m := chanMsg{src: src, id: HandlerOneSided, bytes: op.Bytes, class: DataClass, os: op}
+	if t.opts.Latency != nil {
+		if d := t.opts.Latency(src, dst, wire, DataClass); d > 0 {
+			m.due = time.Now().Add(d)
+		}
+	}
+	ep := t.places[dst]
+	ep.idleMu.Lock()
+	ep.pending++
+	ep.idleMu.Unlock()
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		ep.idleMu.Lock()
+		ep.pending--
+		if ep.pending == 0 {
+			ep.idle.Broadcast()
+		}
+		ep.idleMu.Unlock()
+		return ErrClosed
+	}
+	m.slot = ep.seq
+	ep.seq++
+	ep.enqueueLocked(m)
+	ep.mu.Unlock()
+	t.ctrs.add(DataClass, op.Bytes)
+	t.perPlace[src].add(DataClass, op.Bytes)
+	// The modeled wire cost is the exact v5 frame length, so ledger
+	// one-sided rows stay sum-equal with x10rt.bytes.wire.
+	t.ctrs.addWire(wire)
+	t.perPlace[src].addWire(wire)
+	if lg := t.lg.Load(); lg != nil {
+		lg.RecordSend(src, dst, HandlerOneSided, op.Bytes)
+		lg.RecordWire(src, dst, wire)
+	}
+	return nil
+}
+
+// AttachArenas implements OneSidedSink.
+func (t *ChanTransport) AttachArenas(at *ArenaTable) { t.arenas.Store(at) }
+
 // enqueueLocked inserts m keeping the queue sorted by slot (stable FIFO when
 // no reordering is injected, since slots are then strictly increasing).
 func (ep *chanEndpoint) enqueueLocked(m chanMsg) {
@@ -227,7 +291,24 @@ func (t *ChanTransport) dispatch(place int, ep *chanEndpoint) {
 				time.Sleep(d)
 			}
 		}
-		if h, ok := t.handlers.lookup(m.id); ok && !dead {
+		if m.os != nil {
+			if at := t.arenas.Load(); at != nil && !dead {
+				if lg := t.lg.Load(); lg != nil {
+					lg.RecordRecv(place, HandlerOneSided, 0)
+				}
+				err := at.Land(m.src, place, m.os, func(rep *OneSidedOp) error {
+					return t.SendOneSided(place, m.src, rep)
+				})
+				var pde *PlaceDeadError
+				if err != nil && !errors.As(err, &pde) {
+					// In-process one-sided ops come from this process's
+					// own runtime: a bad offset or arena is a caller bug,
+					// not network corruption. A get whose requester died
+					// before the reply, however, is normal attrition.
+					panic(fmt.Sprintf("x10rt: one-sided land at place %d: %v", place, err))
+				}
+			}
+		} else if h, ok := t.handlers.lookup(m.id); ok && !dead {
 			if lg := t.lg.Load(); lg != nil {
 				// In-process delivery has no deserialization cost.
 				lg.RecordRecv(place, m.id, 0)

@@ -1,0 +1,125 @@
+package x10rt
+
+import (
+	"testing"
+)
+
+// Fuzz targets for the v4 codec frame: the payload decoder and the
+// type-table handshake. Both must never panic on arbitrary bytes — a
+// hostile or corrupt peer costs at most its own connection — and the
+// handshake must either advance the receiver's table consistently or
+// kill the connection with an error, never desynchronize it. The
+// committed corpora under testdata/fuzz seed the hostile shapes: torn
+// type tables (dense-id violations), truncated raw frames, unknown and
+// oversized codec names, out-of-range type refs, compressed garbage.
+
+// fuzzCodecSeedFrame renders msgs as one v4 frame through a fresh
+// sender table and returns the payload (flags byte onward), the
+// decoder's input.
+func fuzzCodecSeedFrame(f *testing.F, msgs []BatchMsg, compressMin int, hlc uint64, hlcOn bool) []byte {
+	f.Helper()
+	stage := make([]byte, 0, 1024)
+	segs, _, err := appendCodecBatchFrame(&stage, 0, 1, msgs, compressMin, hlc, hlcOn, &typeTableSender{}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var frame []byte
+	for _, s := range segs {
+		frame = append(frame, s...)
+	}
+	return frame[frameHeaderSize:]
+}
+
+// FuzzCodecDecode throws arbitrary bytes at the v4 payload decoder with
+// a fresh per-run receiver table (each run is a new connection). Every
+// declared length must be validated before allocation and gob panics
+// must be converted to errors.
+func FuzzCodecDecode(f *testing.F) {
+	big := make([]byte, codecZeroCopyMin+512) // spans the zero-copy cut
+	for i := range big {
+		big[i] = byte(i)
+	}
+	mixed := []BatchMsg{
+		{ID: UserHandlerBase, Payload: uint64(42), Bytes: 8, Class: DataClass},
+		{ID: UserHandlerBase + 1, Payload: big, Bytes: len(big), Class: DataClass},
+		{ID: HandlerFinishCtl, Payload: wirePayload{Value: 7, Tag: "t"}, Bytes: 16, Class: ControlClass},
+		{ID: UserHandlerBase + 2, Payload: []float64{1.5, -2.5}, Bytes: 16, Class: DataClass},
+	}
+	f.Add(fuzzCodecSeedFrame(f, mixed, 0, 0, false))
+	f.Add(fuzzCodecSeedFrame(f, mixed, 1, 99, true)) // compressed + HLC prefix
+	valid := fuzzCodecSeedFrame(f, mixed, 0, 0, false)
+	f.Add(valid[:len(valid)-5]) // truncated raw frame
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msgs, _, err := decodeCodecBatchPayloadLG(payload, &typeTableReceiver{}, nil, 1)
+		if err != nil {
+			return
+		}
+		if len(msgs) == 0 {
+			t.Fatal("decode succeeded with zero messages")
+		}
+		if len(msgs) > maxBatchCount {
+			t.Fatalf("decoded %d messages, beyond maxBatchCount", len(msgs))
+		}
+	})
+}
+
+// FuzzTypeTableHandshake fuzzes the handshake riding frame 1 of a
+// connection, then pins the table-consistency invariant: if frame 1
+// decodes, a well-formed follow-up frame from a sender aligned with the
+// surviving table must round-trip; if frame 1 errors, the connection is
+// torn down and no table state leaks. Dense-id violations (torn or
+// replayed announcements), unknown codec names, and oversized tables
+// must all surface as errors.
+func FuzzTypeTableHandshake(f *testing.F) {
+	// A valid handshake: announces uint64 as id 1 and uses it.
+	f.Add(fuzzCodecSeedFrame(f, []BatchMsg{
+		{ID: UserHandlerBase, Payload: uint64(1), Bytes: 8, Class: DataClass},
+	}, 0, 0, false))
+	// flags=0, src=0, then: torn table (first announcement claims id 2).
+	f.Add([]byte{0x00, 0x00, 0x01, 0x02, 0x06, 'u', 'i', 'n', 't', '6', '4', 0x01})
+	// Replayed announcement: id 1 bound twice.
+	f.Add([]byte{0x00, 0x00, 0x02,
+		0x01, 0x06, 'u', 'i', 'n', 't', '6', '4',
+		0x01, 0x06, 'u', 'i', 'n', 't', '6', '4', 0x01})
+	// Unknown codec name.
+	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x03, 'z', 'z', 'z', 0x01})
+	// Oversized name length (513 > maxTypeNameLen).
+	f.Add([]byte{0x00, 0x00, 0x01, 0x01, 0x81, 0x04})
+	// Oversized table (declared 16383 announcements > maxTypeTableEntries).
+	f.Add([]byte{0x00, 0x00, 0xff, 0x7f})
+	// Out-of-range type ref: empty table, record references id 5.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 0x00, 0x00, 0x05, 0x00})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		ttr := &typeTableReceiver{}
+		_, _, err := decodeCodecBatchPayloadLG(payload, ttr, nil, 1)
+		if err != nil {
+			return // connection torn down; no follow-up frames arrive
+		}
+		if len(ttr.codecs)+1 > maxTypeTableEntries {
+			return // table legitimately full; the next announcement must fail
+		}
+		// Frame 2: the sender's next dense id continues from wherever the
+		// fuzzed handshake left the receiver.
+		tts := &typeTableSender{next: uint32(len(ttr.codecs))}
+		msgs := []BatchMsg{{ID: UserHandlerBase, Payload: uint64(0xd00d), Bytes: 8, Class: DataClass}}
+		stage := make([]byte, 0, 256)
+		segs, _, err := appendCodecBatchFrame(&stage, 0, 1, msgs, 0, 0, false, tts, nil)
+		if err != nil {
+			t.Fatalf("post-handshake encode: %v", err)
+		}
+		var frame []byte
+		for _, s := range segs {
+			frame = append(frame, s...)
+		}
+		got, _, err := decodeCodecBatchPayloadLG(frame[frameHeaderSize:], ttr, nil, 1)
+		if err != nil {
+			t.Fatalf("handshake desynchronized the table: %v", err)
+		}
+		if len(got) != 1 || got[0].Payload != uint64(0xd00d) {
+			t.Fatalf("post-handshake frame decoded to %#v", got)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package x10rt
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Differential codec battery: every payload the generator produces must
+// round-trip through the v4 binary codec frame and through the v2 gob
+// frame to the same value — the codec is an encoding change, never a
+// semantic one. A second battery pins mixed-version interop: gob-era
+// frames (v1/v2/v3) decoded by a codec-capable endpoint and v4 frames
+// decoded by a gob-era endpoint, including over a live asymmetric TCP
+// mesh.
+
+// diffGobOnly has no registered codec: it exercises the typeRef-0 gob
+// fallback inside v4 frames.
+type diffGobOnly struct {
+	A string
+	B []int
+	C map[string]int
+}
+
+// diffBin travels via a RegisterBinaryStruct reflection plan.
+type diffBin struct {
+	X    uint64
+	Name string
+	Vals []float64
+	On   bool
+}
+
+func init() {
+	gob.Register(diffGobOnly{})
+	gob.Register(diffBin{})
+	if err := RegisterBinaryStruct(diffBin{}); err != nil {
+		panic(err)
+	}
+}
+
+// genPayload draws one payload from the registered-codec shapes (scalars,
+// []byte across the zero-copy threshold, fixed-width slices, a binary
+// struct) plus the gob-only fallback shape.
+func genPayload(rng *rand.Rand) any {
+	switch rng.Intn(12) {
+	case 0:
+		n := 1 + rng.Intn(2*codecZeroCopyMin) // spans the zero-copy cut threshold
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	case 1:
+		return fmt.Sprintf("s-%x", rng.Uint64())
+	case 2:
+		return rng.Intn(2) == 0
+	case 3:
+		return int(rng.Int63()) - math.MaxInt32
+	case 4:
+		return int32(rng.Uint32())
+	case 5:
+		return int64(rng.Uint64())
+	case 6:
+		return rng.Uint64()
+	case 7:
+		return math.Float64frombits(0x3ff0000000000000 | rng.Uint64()>>12)
+	case 8:
+		s := make([]uint64, 1+rng.Intn(64))
+		for i := range s {
+			s[i] = rng.Uint64()
+		}
+		return s
+	case 9:
+		s := make([]float64, 1+rng.Intn(64))
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	case 10:
+		return diffBin{
+			X:    rng.Uint64(),
+			Name: fmt.Sprintf("bin-%d", rng.Intn(1000)),
+			Vals: []float64{rng.NormFloat64(), rng.NormFloat64()},
+			On:   rng.Intn(2) == 0,
+		}
+	default:
+		return diffGobOnly{
+			A: fmt.Sprintf("gob-%d", rng.Intn(1000)),
+			B: []int{rng.Int(), rng.Int()},
+			C: map[string]int{"k": rng.Intn(100)},
+		}
+	}
+}
+
+// encodeV4 renders msgs as one v4 frame and returns the full frame bytes.
+func encodeV4(t *testing.T, tt *typeTableSender, msgs []BatchMsg, compressMin int, hlc uint64, hlcOn bool) []byte {
+	t.Helper()
+	stage := make([]byte, 0, 1024)
+	segs, wireLen, err := appendCodecBatchFrame(&stage, 0, 1, msgs, compressMin, hlc, hlcOn, tt, nil)
+	if err != nil {
+		t.Fatalf("appendCodecBatchFrame: %v", err)
+	}
+	var frame []byte
+	for _, s := range segs {
+		frame = append(frame, s...)
+	}
+	if len(frame) != wireLen {
+		t.Fatalf("wireLen = %d, frame = %d bytes", wireLen, len(frame))
+	}
+	return frame
+}
+
+// decodeV4 parses a full v4 frame (header included).
+func decodeV4(t *testing.T, ttr *typeTableReceiver, frame []byte) ([]wireMsg, uint64) {
+	t.Helper()
+	if len(frame) < frameHeaderSize || frame[0] != frameMagic || frame[1] != batchVersionCodec {
+		t.Fatalf("bad v4 frame header % x", frame[:frameHeaderSize])
+	}
+	msgs, hlc, err := decodeCodecBatchPayloadLG(frame[frameHeaderSize:], ttr, nil, 1)
+	if err != nil {
+		t.Fatalf("decodeCodecBatchPayloadLG: %v", err)
+	}
+	return msgs, hlc
+}
+
+// encodeV2 renders msgs as one v2 gob batch frame.
+func encodeV2(t *testing.T, msgs []BatchMsg, compressMin int) []byte {
+	t.Helper()
+	frame, err := appendBatchFrameV(nil, batchVersion, 0, msgs, compressMin, 0, nil, 1)
+	if err != nil {
+		t.Fatalf("appendBatchFrameV: %v", err)
+	}
+	return frame
+}
+
+// TestCodecDifferential: randomized batches, encoded through both wire
+// generations, must decode value-for-value identical.
+func TestCodecDifferential(t *testing.T) {
+	const rounds = 200
+	rng := rand.New(rand.NewSource(0x10c0dec))
+	tts := &typeTableSender{}
+	ttr := &typeTableReceiver{}
+	for round := 0; round < rounds; round++ {
+		n := 1 + rng.Intn(8)
+		msgs := make([]BatchMsg, n)
+		for i := range msgs {
+			msgs[i] = BatchMsg{
+				ID:      UserHandlerBase + HandlerID(rng.Intn(16)),
+				Payload: genPayload(rng),
+				Bytes:   rng.Intn(512),
+				Class:   Class(rng.Intn(int(numClasses))),
+			}
+		}
+		compressMin := 0
+		if rng.Intn(4) == 0 {
+			compressMin = 1 // force compression: exercises the contiguous body
+		}
+		hlcOn := rng.Intn(2) == 0
+		hlc := rng.Uint64() >> 1
+
+		// The type table is per-connection state: the same sender/receiver
+		// pair persists across rounds, like frames on one TCP stream.
+		binMsgs, binHLC := decodeV4(t, ttr, encodeV4(t, tts, msgs, compressMin, hlc, hlcOn))
+		gobMsgs, err := decodeBatchPayloadLG(encodeV2(t, msgs, compressMin)[frameHeaderSize:], nil, 1)
+		if err != nil {
+			t.Fatalf("round %d: decode v2: %v", round, err)
+		}
+
+		if hlcOn && binHLC != hlc {
+			t.Fatalf("round %d: hlc = %d, want %d", round, binHLC, hlc)
+		}
+		if !hlcOn && binHLC != 0 {
+			t.Fatalf("round %d: hlc = %d without the flag", round, binHLC)
+		}
+		if len(binMsgs) != n || len(gobMsgs) != n {
+			t.Fatalf("round %d: %d binary / %d gob msgs, want %d", round, len(binMsgs), len(gobMsgs), n)
+		}
+		for i := range msgs {
+			b, g := binMsgs[i], gobMsgs[i]
+			if b.ID != g.ID || b.Class != g.Class || b.Bytes != g.Bytes || b.Src != g.Src {
+				t.Fatalf("round %d msg %d: metadata diverged: binary %+v gob %+v", round, i, b, g)
+			}
+			if !reflect.DeepEqual(b.Payload, g.Payload) {
+				t.Fatalf("round %d msg %d (%T): binary %#v != gob %#v",
+					round, i, msgs[i].Payload, b.Payload, g.Payload)
+			}
+			if !reflect.DeepEqual(b.Payload, msgs[i].Payload) {
+				t.Fatalf("round %d msg %d (%T): decoded %#v != sent %#v",
+					round, i, msgs[i].Payload, b.Payload, msgs[i].Payload)
+			}
+		}
+	}
+}
+
+// TestCodecMixedVersionDecode: one endpoint's decode loop accepts every
+// frame generation on the same stream — v2 and v3 gob batches
+// interleaved with v4 codec batches, in any order, sharing one receiver
+// type table.
+func TestCodecMixedVersionDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tts := &typeTableSender{}
+	ttr := &typeTableReceiver{}
+	for round := 0; round < 60; round++ {
+		msgs := []BatchMsg{{
+			ID:      UserHandlerBase,
+			Payload: genPayload(rng),
+			Bytes:   64,
+			Class:   DataClass,
+		}}
+		var got []wireMsg
+		switch round % 3 {
+		case 0: // v2 gob frame into a codec-capable decode switch
+			frame := encodeV2(t, msgs, 0)
+			var err error
+			got, err = decodeBatchPayloadLG(frame[frameHeaderSize:], nil, 1)
+			if err != nil {
+				t.Fatalf("round %d: v2 decode: %v", round, err)
+			}
+		case 1: // v3 traced gob frame
+			frame, err := appendBatchFrameV(nil, batchVersionTraced, 0, msgs, 0, 7, nil, 1)
+			if err != nil {
+				t.Fatalf("round %d: encode v3: %v", round, err)
+			}
+			body := frame[frameHeaderSize:]
+			hlc, n := binary.Uvarint(body)
+			if n <= 0 || hlc != 7 {
+				t.Fatalf("round %d: v3 hlc = %d (n=%d)", round, hlc, n)
+			}
+			got, err = decodeBatchPayloadLG(body[n:], nil, 1)
+			if err != nil {
+				t.Fatalf("round %d: v3 decode: %v", round, err)
+			}
+		default: // v4 codec frame
+			got, _ = decodeV4(t, ttr, encodeV4(t, tts, msgs, 0, 0, false))
+		}
+		if len(got) != 1 || !reflect.DeepEqual(got[0].Payload, msgs[0].Payload) {
+			t.Fatalf("round %d: decoded %#v, want %#v", round, got, msgs[0].Payload)
+		}
+	}
+}
+
+// TestCodecMixedVersionMesh runs a live asymmetric TCP pair: place 0
+// speaks v4 (codec), place 1 speaks gob. Both directions must deliver —
+// decode is version-driven, not option-driven, so old and new endpoints
+// interoperate during a rolling upgrade.
+func TestCodecMixedVersionMesh(t *testing.T) {
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	mesh := []*TCPTransport{
+		newTCPWithListener(TCPOptions{Place: 0, Addrs: addrs, Codec: true}, listeners[0]),
+		newTCPWithListener(TCPOptions{Place: 1, Addrs: addrs, Codec: false}, listeners[1]),
+	}
+	t.Cleanup(func() {
+		for _, tr := range mesh {
+			tr.Close()
+		}
+	})
+
+	type recv struct {
+		src     int
+		payload any
+	}
+	ch := make(chan recv, 16)
+	for _, tr := range mesh {
+		if err := tr.Register(UserHandlerBase+200, func(src, dst int, payload any) {
+			ch <- recv{src, payload}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want0to1 := []uint64{1, 2, 3}
+	if err := mesh[0].Send(0, 1, UserHandlerBase+200, want0to1, 24, DataClass); err != nil {
+		t.Fatalf("codec->gob send: %v", err)
+	}
+	want1to0 := diffBin{X: 9, Name: "up", Vals: []float64{1.5}, On: true}
+	if err := mesh[1].Send(1, 0, UserHandlerBase+200, want1to0, 24, DataClass); err != nil {
+		t.Fatalf("gob->codec send: %v", err)
+	}
+
+	seen := 0
+	timeout := time.After(10 * time.Second)
+	for seen < 2 {
+		select {
+		case r := <-ch:
+			seen++
+			switch r.src {
+			case 0:
+				if !reflect.DeepEqual(r.payload, want0to1) {
+					t.Errorf("v4 frame at gob endpoint: %#v, want %#v", r.payload, want0to1)
+				}
+			case 1:
+				if !reflect.DeepEqual(r.payload, want1to0) {
+					t.Errorf("gob frame at codec endpoint: %#v, want %#v", r.payload, want1to0)
+				}
+			}
+		case <-timeout:
+			t.Fatalf("mixed mesh delivered %d/2 messages", seen)
+		}
+	}
+}

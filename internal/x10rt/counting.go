@@ -42,6 +42,29 @@ func (t *CountingTransport) Send(src, dst int, id HandlerID, payload any, bytes 
 	return nil
 }
 
+// SendOneSided implements OneSidedSender when the wrapped transport has
+// a one-sided lane; the op counts as one DataClass message on its link.
+func (t *CountingTransport) SendOneSided(src, dst int, op *OneSidedOp) error {
+	os, ok := t.Transport.(OneSidedSender)
+	if !ok {
+		return fmt.Errorf("x10rt: inner transport has no one-sided lane")
+	}
+	if err := os.SendOneSided(src, dst, op); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.links[linkKey{src, dst, DataClass}]++
+	t.mu.Unlock()
+	return nil
+}
+
+// AttachArenas implements OneSidedSink by delegation.
+func (t *CountingTransport) AttachArenas(at *ArenaTable) {
+	if s, ok := t.Transport.(OneSidedSink); ok {
+		s.AttachArenas(at)
+	}
+}
+
 // AttachMetrics forwards to the wrapped transport when it is a
 // MetricSource, so decorating with CountingTransport does not hide the
 // inner transport's registry integration.

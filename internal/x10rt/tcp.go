@@ -3,8 +3,11 @@ package x10rt
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -19,6 +22,14 @@ type TCPOptions struct {
 	// Addrs lists the listen address of every place, indexed by place.
 	// Addrs[Place] is the address this endpoint listens on.
 	Addrs []string
+	// Codec switches outbound frames from gob (v1/v2/v3) to the binary
+	// codec batch format (v4): payload types with a registered WireCodec
+	// (RegisterWireCodec) travel as raw little-endian bytes after a
+	// per-connection type-table handshake; everything else rides the gob
+	// fallback inside the same frame. Every endpoint decodes all
+	// versions regardless, so a codec mesh can be rolled out one
+	// endpoint at a time.
+	Codec bool
 }
 
 // TCPTransport is a socket-based Transport standing in for X10RT's
@@ -58,6 +69,10 @@ type TCPTransport struct {
 	// per-handler accounts then name the traffic responsible.
 	writeq obs.Gauge
 
+	// arenas, when attached, lets the endpoint land one-sided frames
+	// (v5) directly in registered memory windows.
+	arenas atomic.Pointer[ArenaTable]
+
 	loop     chan wireMsg // self-sends, kept FIFO
 	wg       sync.WaitGroup
 	loopOnce sync.Once
@@ -66,6 +81,9 @@ type TCPTransport struct {
 type tcpConn struct {
 	mu sync.Mutex
 	c  net.Conn
+	// tt is the outbound type table (codec mode). Guarded by mu: ids
+	// must be assigned in the exact order frames hit the wire.
+	tt typeTableSender
 }
 
 // wireMsg is the on-the-wire message format. Each message travels as one
@@ -139,6 +157,16 @@ func NewTCPTransport(opts TCPOptions) (*TCPTransport, error) {
 // system-assigned ports. It is intended for tests and single-machine
 // multi-endpoint experiments.
 func NewLocalTCPMesh(n int) ([]*TCPTransport, error) {
+	return newLocalTCPMesh(n, false)
+}
+
+// NewLocalCodecTCPMesh is NewLocalTCPMesh with the binary wire codec
+// enabled on every endpoint (TCPOptions.Codec).
+func NewLocalCodecTCPMesh(n int) ([]*TCPTransport, error) {
+	return newLocalTCPMesh(n, true)
+}
+
+func newLocalTCPMesh(n int, codec bool) ([]*TCPTransport, error) {
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -154,7 +182,7 @@ func NewLocalTCPMesh(n int) ([]*TCPTransport, error) {
 	}
 	mesh := make([]*TCPTransport, n)
 	for i := 0; i < n; i++ {
-		mesh[i] = newTCPWithListener(TCPOptions{Place: i, Addrs: addrs}, listeners[i])
+		mesh[i] = newTCPWithListener(TCPOptions{Place: i, Addrs: addrs, Codec: codec}, listeners[i])
 	}
 	return mesh, nil
 }
@@ -220,6 +248,24 @@ func (t *TCPTransport) Send(src, dst int, id HandlerID, payload any, bytes int, 
 		return nil
 	}
 	lg := t.lg.Load()
+	if t.opts.Codec {
+		one := [1]BatchMsg{{ID: id, Payload: payload, Bytes: bytes, Class: class}}
+		wireLen, err := t.writeCodecBatch(src, dst, one[:], 0)
+		if err != nil {
+			return err
+		}
+		if countable(id) {
+			t.ctrs.add(class, bytes)
+			t.egress.add(class, bytes)
+			t.ctrs.addWire(wireLen)
+			t.egress.addWire(wireLen)
+			if lg != nil {
+				lg.RecordSend(src, dst, id, bytes)
+				lg.RecordWire(src, dst, wireLen)
+			}
+		}
+		return nil
+	}
 	fp := getFrameBuf()
 	defer putFrameBuf(fp)
 	var t0 int64
@@ -289,6 +335,25 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 		return nil
 	}
 	lg := t.lg.Load()
+	if t.opts.Codec {
+		wireLen, err := t.writeCodecBatch(src, dst, msgs, compressMin)
+		if err != nil {
+			return err
+		}
+		for i := range msgs {
+			if countable(msgs[i].ID) {
+				t.ctrs.add(msgs[i].Class, msgs[i].Bytes)
+				t.egress.add(msgs[i].Class, msgs[i].Bytes)
+				if lg != nil {
+					lg.RecordSend(src, dst, msgs[i].ID, msgs[i].Bytes)
+				}
+			}
+		}
+		t.ctrs.addWire(wireLen)
+		t.egress.addWire(wireLen)
+		lg.RecordWire(src, dst, wireLen)
+		return nil
+	}
 	fp := getFrameBuf()
 	defer putFrameBuf(fp)
 	var frame []byte
@@ -327,6 +392,53 @@ func (t *TCPTransport) SendBatch(src, dst int, msgs []BatchMsg, compressMin int)
 	t.egress.addWire(len(frame))
 	lg.RecordWire(src, dst, len(frame))
 	return nil
+}
+
+// writeCodecBatch encodes msgs as one v4 codec frame and writes it with
+// a single scatter-gather syscall. Encoding runs under the connection's
+// write lock: type-table ids must be assigned in the exact order frames
+// hit the wire or the receiver would bind them to the wrong codecs. Any
+// error after encoding drops the connection — its type table may now be
+// ahead of what the peer saw, and a fresh connection restarts the
+// handshake from scratch.
+func (t *TCPTransport) writeCodecBatch(src, dst int, msgs []BatchMsg, compressMin int) (int, error) {
+	conn, err := t.connTo(dst)
+	if err != nil {
+		return 0, err
+	}
+	lg := t.lg.Load()
+	var hlc uint64
+	hlcOn := false
+	if tr := t.tr.Load(); tr != nil && tr.DistEnabled() {
+		hlc, hlcOn = tr.HLCTick(src), true
+	}
+	fp := getFrameBuf()
+	defer putFrameBuf(fp)
+	t.writeq.Add(1)
+	conn.mu.Lock()
+	segs, wireLen, err := appendCodecBatchFrame(fp, src, dst, msgs, compressMin, hlc, hlcOn, &conn.tt, lg)
+	if err == nil {
+		_, err = segs.WriteTo(conn.c)
+	}
+	conn.mu.Unlock()
+	t.writeq.Add(-1)
+	if err != nil {
+		t.dropConn(dst, conn)
+		return 0, fmt.Errorf("x10rt: codec send to %d: %w", dst, err)
+	}
+	return wireLen, nil
+}
+
+// dropConn closes and forgets an outbound connection whose stream state
+// can no longer be trusted (failed write, or a codec frame that died
+// after mutating the type table).
+func (t *TCPTransport) dropConn(dst int, conn *tcpConn) {
+	t.mu.Lock()
+	if t.conns[dst] == conn {
+		delete(t.conns, dst)
+	}
+	t.mu.Unlock()
+	conn.c.Close()
 }
 
 func (t *TCPTransport) connTo(dst int) (*tcpConn, error) {
@@ -369,19 +481,52 @@ func (t *TCPTransport) read(nc net.Conn) {
 	defer t.wg.Done()
 	defer nc.Close()
 	br := bufio.NewReader(nc)
+	// ttr is this connection's receive-side type table, grown by the
+	// new-types sections of inbound v4 frames.
+	ttr := &typeTableReceiver{}
 	for {
-		version, payload, err := readVersionedFrame(br)
-		if err != nil {
+		// The header is read and validated here (not via
+		// readVersionedFrame) because v5 one-sided frames are parsed
+		// streaming: their data section is read directly into the target
+		// arena window, never into an intermediate payload slice.
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		if hdr[0] != frameMagic {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[2:6])
+		if n > MaxFrameSize {
+			return
+		}
+		version := hdr[1]
+		if version == frameVersionOneSided {
+			if err := t.readOneSided(br, int(n)); err != nil {
+				return
+			}
+			continue
+		}
+		switch version {
+		case frameVersion, batchVersion, batchVersionTraced, batchVersionCodec:
+		default:
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
 		lg := t.lg.Load()
-		if version == batchVersion || version == batchVersionTraced {
+		if version != frameVersion {
 			var msgs []wireMsg
 			var hlc uint64
 			var err error
-			if version == batchVersionTraced {
+			switch version {
+			case batchVersionTraced:
 				msgs, hlc, err = decodeTracedBatchPayloadLG(payload, lg, t.opts.Place)
-			} else {
+			case batchVersionCodec:
+				msgs, hlc, err = decodeCodecBatchPayloadLG(payload, ttr, lg, t.opts.Place)
+			default:
 				msgs, err = decodeBatchPayloadLG(payload, lg, t.opts.Place)
 			}
 			if err != nil {
@@ -411,6 +556,162 @@ func (t *TCPTransport) read(nc net.Conn) {
 		t.dispatch(&m)
 	}
 }
+
+// readOneSided streams one v5 frame off the connection: the op header
+// is parsed field by field, then the data section is read exactly once
+// — straight into the target arena's byte window when one is offered
+// (true zero copy: kernel buffer to congruent fragment), a pooled
+// staging buffer otherwise. Landing runs on the reader goroutine, so
+// per-link ordering with active messages is exactly frame order.
+func (t *TCPTransport) readOneSided(br *bufio.Reader, payloadLen int) error {
+	cr := &countingReader{r: br}
+	src, op, dataLen, err := parseOneSidedHeader(cr, payloadLen)
+	if err != nil {
+		return err
+	}
+	at := t.arenas.Load()
+	if at == nil {
+		return fmt.Errorf("x10rt: one-sided frame with no arena table attached")
+	}
+	alive := !t.deaths.isDead(src) && !t.deaths.isDead(t.opts.Place)
+	if dataLen > 0 {
+		var win []byte
+		if alive {
+			if win, err = at.RawWindow(t.opts.Place, op); err != nil {
+				return err
+			}
+		}
+		if len(win) == dataLen && win != nil {
+			if _, err := io.ReadFull(cr, win); err != nil {
+				return err
+			}
+			op.Applied = true
+		} else {
+			fp := getFrameBuf()
+			defer putFrameBuf(fp)
+			buf := *fp
+			if cap(buf) < dataLen {
+				buf = make([]byte, dataLen)
+				*fp = buf[:0]
+			}
+			buf = buf[:dataLen]
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return err
+			}
+			op.Data = buf
+		}
+	}
+	if !alive {
+		return nil // frames in flight across a killed link are discarded
+	}
+	t.ctrs.add(DataClass, op.Bytes)
+	if lg := t.lg.Load(); lg != nil {
+		// The lane has no deserialization: landing is the memcpy itself.
+		lg.RecordRecv(t.opts.Place, HandlerOneSided, 0)
+	}
+	err = at.Land(src, t.opts.Place, op, func(rep *OneSidedOp) error {
+		return t.SendOneSided(t.opts.Place, src, rep)
+	})
+	var pde *PlaceDeadError
+	if errors.As(err, &pde) {
+		// A get whose requester died before the reply is normal
+		// attrition, not stream corruption: keep the connection.
+		return nil
+	}
+	return err
+}
+
+// SendOneSided implements OneSidedSender: op travels as one v5 frame
+// whose data section is scatter-gathered straight from the caller's
+// buffer (writev) — no staging copy, no handler dispatch at the far
+// end. Ordering with Send on the same link is preserved: both serialize
+// through the same connection write lock.
+func (t *TCPTransport) SendOneSided(src, dst int, op *OneSidedOp) error {
+	if src != t.opts.Place {
+		return fmt.Errorf("%w: send from %d on endpoint %d", ErrBadPlace, src, t.opts.Place)
+	}
+	if dst < 0 || dst >= len(t.opts.Addrs) {
+		return fmt.Errorf("%w: dst=%d", ErrBadPlace, dst)
+	}
+	if p := t.deaths.deadEnd(src, dst); p >= 0 {
+		return &PlaceDeadError{Place: p}
+	}
+	lg := t.lg.Load()
+	if dst == t.opts.Place {
+		at := t.arenas.Load()
+		if at == nil {
+			return fmt.Errorf("x10rt: one-sided send with no arena table attached")
+		}
+		wire := OneSidedWireBytes(src, op)
+		t.ctrs.add(DataClass, op.Bytes)
+		t.egress.add(DataClass, op.Bytes)
+		t.ctrs.addWire(wire)
+		t.egress.addWire(wire)
+		if lg != nil {
+			lg.RecordSend(src, dst, HandlerOneSided, op.Bytes)
+			lg.RecordWire(src, dst, wire)
+			lg.RecordRecv(dst, HandlerOneSided, 0)
+		}
+		// Landing synchronously is safe here: one-sided ops never run
+		// user handlers, so Send's reentrancy rule does not apply.
+		return at.Land(src, dst, op, func(rep *OneSidedOp) error {
+			return t.SendOneSided(dst, src, rep)
+		})
+	}
+	var data []byte
+	if op.Data != nil {
+		data = op.Data
+	} else if dl := oneSidedDataLen(op); dl > 0 && op.Raw != nil {
+		dp := getFrameBuf()
+		defer putFrameBuf(dp)
+		data = op.Raw((*dp)[:0])
+		*dp = data[:0]
+	}
+	fp := getFrameBuf()
+	defer putFrameBuf(fp)
+	var t0 int64
+	if lg != nil {
+		t0 = wireNow()
+	}
+	head, err := appendOneSidedHeader((*fp)[:0], src, op, len(data))
+	if err != nil {
+		return err
+	}
+	*fp = head[:0]
+	if lg != nil {
+		lg.RecordEncode(src, HandlerOneSided, wireNow()-t0)
+	}
+	conn, err := t.connTo(dst)
+	if err != nil {
+		return err
+	}
+	frameLen := len(head) + len(data)
+	bufs := net.Buffers{head}
+	if len(data) > 0 {
+		bufs = append(bufs, data)
+	}
+	t.writeq.Add(1)
+	conn.mu.Lock()
+	_, err = bufs.WriteTo(conn.c)
+	conn.mu.Unlock()
+	t.writeq.Add(-1)
+	if err != nil {
+		t.dropConn(dst, conn)
+		return fmt.Errorf("x10rt: one-sided send to %d: %w", dst, err)
+	}
+	t.ctrs.add(DataClass, op.Bytes)
+	t.egress.add(DataClass, op.Bytes)
+	t.ctrs.addWire(frameLen)
+	t.egress.addWire(frameLen)
+	if lg != nil {
+		lg.RecordSend(src, dst, HandlerOneSided, op.Bytes)
+		lg.RecordWire(src, dst, frameLen)
+	}
+	return nil
+}
+
+// AttachArenas implements OneSidedSink.
+func (t *TCPTransport) AttachArenas(at *ArenaTable) { t.arenas.Store(at) }
 
 // dispatch counts and runs one inbound message on the caller's
 // (reader) goroutine. Receivers do not touch the wire counter: wire

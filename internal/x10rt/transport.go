@@ -120,6 +120,11 @@ const (
 	// totals stay exactly equal to the sum of per-place application
 	// traffic.
 	HandlerTelemetry
+	// HandlerOneSided labels the one-sided lane (frame v5) in traffic
+	// accounting and the wire ledger. One-sided ops never dispatch to a
+	// registered handler — they land directly in an arena — so the id
+	// exists purely for attribution.
+	HandlerOneSided
 	// UserHandlerBase is the first identifier available to applications.
 	UserHandlerBase HandlerID = 64
 )

@@ -160,3 +160,148 @@ func TestDeathBatchingTCP(t *testing.T) {
 	transporttest.TestTransportDeath(t, batchingTCPFactory)
 }
 func TestDeathChaos(t *testing.T) { transporttest.TestTransportDeath(t, chaosFactory) }
+
+// codecTCPFactory is the TCP mesh with the v4 binary codec negotiated on
+// every connection: the same conformance battery must hold bit-for-bit
+// when frames carry type-table handshakes and codec payloads.
+func codecTCPFactory(t *testing.T, places int) *transporttest.Mesh {
+	mesh, err := x10rt.NewLocalCodecTCPMesh(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, tr := range mesh {
+			tr.Close()
+		}
+	})
+	return &transporttest.Mesh{
+		Places:   places,
+		Endpoint: func(p int) x10rt.Transport { return mesh[p] },
+		Register: func(id x10rt.HandlerID, h x10rt.Handler) error {
+			for _, tr := range mesh {
+				if err := tr.Register(id, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Close: func() error {
+			var first error
+			for _, tr := range mesh {
+				if err := tr.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+	}
+}
+
+// batchingCodecTCPFactory stacks the batching wrapper over the codec TCP
+// mesh: coalesced v4 frames with per-connection type tables.
+func batchingCodecTCPFactory(t *testing.T, places int) *transporttest.Mesh {
+	mesh, err := x10rt.NewLocalCodecTCPMesh(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := make([]*x10rt.BatchingTransport, places)
+	for p, tr := range mesh {
+		wrapped[p] = x10rt.NewBatchingTransport(tr, x10rt.BatchOptions{
+			MaxDelay:  100 * time.Microsecond,
+			MaxFrames: 16,
+		})
+	}
+	t.Cleanup(func() {
+		for _, tr := range wrapped {
+			tr.Close()
+		}
+	})
+	return &transporttest.Mesh{
+		Places:   places,
+		Endpoint: func(p int) x10rt.Transport { return wrapped[p] },
+		Register: func(id x10rt.HandlerID, h x10rt.Handler) error {
+			for _, tr := range wrapped {
+				if err := tr.Register(id, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Close: func() error {
+			var first error
+			for _, tr := range wrapped {
+				if err := tr.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+	}
+}
+
+// chaosCodecTCPFactory wraps the codec TCP mesh in the chaos decorator
+// (zero fault probabilities): one-sided and codec frames must pass
+// through the fault plumbing untouched and without consuming fault-
+// stream sequence numbers.
+func chaosCodecTCPFactory(t *testing.T, places int) *transporttest.Mesh {
+	mesh, err := x10rt.NewLocalCodecTCPMesh(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := make([]*chaos.Transport, places)
+	for p, tr := range mesh {
+		wrapped[p] = chaos.Wrap(tr, chaos.Options{Seed: 1})
+	}
+	t.Cleanup(func() {
+		for _, tr := range wrapped {
+			tr.Close()
+		}
+	})
+	return &transporttest.Mesh{
+		Places:   places,
+		Endpoint: func(p int) x10rt.Transport { return wrapped[p] },
+		Register: func(id x10rt.HandlerID, h x10rt.Handler) error {
+			for _, tr := range wrapped {
+				if err := tr.Register(id, h); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Close: func() error {
+			var first error
+			for _, tr := range wrapped {
+				if err := tr.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+	}
+}
+
+func TestConformanceCodecTCP(t *testing.T) { transporttest.TestTransport(t, codecTCPFactory) }
+func TestConformanceBatchingCodecTCP(t *testing.T) {
+	transporttest.TestTransport(t, batchingCodecTCPFactory)
+}
+
+func TestDeathCodecTCP(t *testing.T) { transporttest.TestTransportDeath(t, codecTCPFactory) }
+func TestDeathBatchingCodecTCP(t *testing.T) {
+	transporttest.TestTransportDeath(t, batchingCodecTCPFactory)
+}
+
+// The one-sided battery runs against every transport shape with the
+// lane: raw chan, plain and codec TCP, the batching and counting
+// decorators, and chaos over both chan and codec TCP.
+func TestOneSidedChan(t *testing.T)     { transporttest.TestTransportOneSided(t, chanFactory) }
+func TestOneSidedTCP(t *testing.T)      { transporttest.TestTransportOneSided(t, tcpFactory) }
+func TestOneSidedCodecTCP(t *testing.T) { transporttest.TestTransportOneSided(t, codecTCPFactory) }
+func TestOneSidedCounting(t *testing.T) { transporttest.TestTransportOneSided(t, countingFactory) }
+func TestOneSidedBatching(t *testing.T) { transporttest.TestTransportOneSided(t, batchingFactory) }
+func TestOneSidedBatchingCodecTCP(t *testing.T) {
+	transporttest.TestTransportOneSided(t, batchingCodecTCPFactory)
+}
+func TestOneSidedChaos(t *testing.T) { transporttest.TestTransportOneSided(t, chaosFactory) }
+func TestOneSidedChaosCodecTCP(t *testing.T) {
+	transporttest.TestTransportOneSided(t, chaosCodecTCPFactory)
+}

@@ -565,3 +565,299 @@ func testCloseWhileSending(t *testing.T, factory Factory) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// One-sided battery: the frame-v5 lane that lands (arena, offset, raw
+// bytes) without active-message dispatch. Transports without the lane
+// (no OneSidedSender/OneSidedSink) skip.
+
+// oneSidedHandler is the flag channel for the ordering tests.
+const oneSidedHandler = handlerID + 7
+
+// TestTransportOneSided runs the one-sided battery against the factory:
+// puts land and stay ordered against active messages on the same link,
+// gets round-trip through transient reply windows, the remote atomics
+// accumulate exactly, and dead places fail fast with the typed error.
+func TestTransportOneSided(t *testing.T, factory Factory) {
+	t.Run("PutOrderedVsActiveMessages", func(t *testing.T) { testOneSidedPutOrdering(t, factory) })
+	t.Run("GetRoundTrip", func(t *testing.T) { testOneSidedGet(t, factory) })
+	t.Run("RemoteAtomics", func(t *testing.T) { testOneSidedAtomics(t, factory) })
+	t.Run("DeathFailFast", func(t *testing.T) { testOneSidedDeath(t, factory) })
+}
+
+// oneSidedMesh builds the mesh, requires the lane on every endpoint, and
+// attaches one shared ArenaTable (the process-wide registry shape the
+// core runtime uses).
+func oneSidedMesh(t *testing.T, factory Factory, places int) (*Mesh, *x10rt.ArenaTable) {
+	t.Helper()
+	m := factory(t, places)
+	at := x10rt.NewArenaTable()
+	for _, ep := range endpoints(m) {
+		snd, ok := ep.(x10rt.OneSidedSender)
+		sink, ok2 := ep.(x10rt.OneSidedSink)
+		if !ok || !ok2 {
+			t.Skipf("transport %T has no one-sided lane", ep)
+		}
+		_ = snd
+		sink.AttachArenas(at)
+	}
+	return m, at
+}
+
+// byteArena registers a []byte window (the direct-landing shape: wire
+// transports read put payloads straight into it) for place p.
+func byteArena(at *x10rt.ArenaTable, p int, id uint64, win []byte) {
+	at.Register(p, id, &x10rt.Arena{
+		Elems:    len(win),
+		ElemSize: 1,
+		Raw:      win,
+		PutLocal: func(off int, local any) { copy(win[off:], local.([]byte)) },
+		PutLE:    func(off, elems int, data []byte) { copy(win[off:off+elems], data) },
+		ReadOp: func(off, elems int) (any, func([]byte) []byte) {
+			snap := make([]byte, elems)
+			copy(snap, win[off:off+elems])
+			return snap, func(dst []byte) []byte { return append(dst, snap...) }
+		},
+	})
+}
+
+// u64Arena registers a []uint64 window with atomic xor/add for place p.
+func u64Arena(at *x10rt.ArenaTable, p int, id uint64, win []uint64) {
+	at.Register(p, id, &x10rt.Arena{
+		Elems:    len(win),
+		ElemSize: 8,
+		PutLocal: func(off int, local any) { copy(win[off:], local.([]uint64)) },
+		PutLE: func(off, elems int, data []byte) {
+			for i := 0; i < elems; i++ {
+				atomic.StoreUint64(&win[off+i], leU64(data[i*8:]))
+			}
+		},
+		ReadOp: func(off, elems int) (any, func([]byte) []byte) {
+			snap := make([]uint64, elems)
+			for i := range snap {
+				snap[i] = atomic.LoadUint64(&win[off+i])
+			}
+			return snap, func(dst []byte) []byte {
+				for _, v := range snap {
+					dst = appendU64(dst, v)
+				}
+				return dst
+			}
+		},
+		Xor: func(idx int, val uint64) {
+			for {
+				old := atomic.LoadUint64(&win[idx])
+				if atomic.CompareAndSwapUint64(&win[idx], old, old^val) {
+					return
+				}
+			}
+		},
+		Add: func(idx int, val uint64) { atomic.AddUint64(&win[idx], val) },
+	})
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// testOneSidedPutOrdering is the MP litmus shape with a one-sided data
+// leg: put(i) then flag(i) as an active message on the same link. The
+// flag handler (running on the destination's dispatch path, ordered
+// after the landing) must never observe data older than its round.
+func testOneSidedPutOrdering(t *testing.T, factory Factory) {
+	const places, rounds = 2, 200
+	m, at := oneSidedMesh(t, factory, places)
+	win := make([]byte, 8)
+	byteArena(at, 1, 1, win)
+
+	var lastSeen atomic.Int64
+	lastSeen.Store(-1)
+	var stale atomic.Int64
+	var got atomic.Int64
+	if err := m.Register(oneSidedHandler, func(src, dst int, payload any) {
+		round := int64(payload.(Payload).Seq)
+		data := int64(leU64(win)) // same dispatch path as the landing: ordered
+		if data < round {
+			stale.Add(1)
+		}
+		lastSeen.Store(round)
+		got.Add(1)
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	src := m.Endpoint(0)
+	snd := src.(x10rt.OneSidedSender)
+	for i := 0; i < rounds; i++ {
+		data := appendU64(nil, uint64(i))
+		op := &x10rt.OneSidedOp{
+			Kind: x10rt.OneSidedPut, Arena: 1, Off: 0, Elems: 8,
+			Data: data, Local: data, Bytes: 8,
+		}
+		if err := snd.SendOneSided(0, 1, op); err != nil {
+			t.Fatalf("SendOneSided(round %d): %v", i, err)
+		}
+		if err := src.Send(0, 1, oneSidedHandler, Payload{Seq: i}, 8, x10rt.DataClass); err != nil {
+			t.Fatalf("Send(flag %d): %v", i, err)
+		}
+	}
+	flushAll(m)
+	await(t, "all flags", func() bool { flushAll(m); return got.Load() == rounds })
+	if n := stale.Load(); n != 0 {
+		t.Errorf("%d flags observed data older than their round (one-sided put overtaken by AM)", n)
+	}
+}
+
+// testOneSidedGet drives a get through a transient reply window and
+// checks the requested slice arrives value-for-value.
+func testOneSidedGet(t *testing.T, factory Factory) {
+	const places = 2
+	m, at := oneSidedMesh(t, factory, places)
+	src := make([]uint64, 64)
+	for i := range src {
+		src[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	u64Arena(at, 1, 1, src)
+
+	dst := make([]uint64, 16)
+	reply := at.Reserve()
+	// Transient reply window: unregisters once the response put lands.
+	at.Register(0, reply, &x10rt.Arena{
+		Elems: len(dst), ElemSize: 8, Transient: true,
+		PutLocal: func(off int, local any) {
+			for i, v := range local.([]uint64) {
+				atomic.StoreUint64(&dst[off+i], v)
+			}
+		},
+		PutLE: func(off, elems int, data []byte) {
+			for i := 0; i < elems; i++ {
+				atomic.StoreUint64(&dst[off+i], leU64(data[i*8:]))
+			}
+		},
+	})
+
+	snd := m.Endpoint(0).(x10rt.OneSidedSender)
+	if err := snd.SendOneSided(0, 1, &x10rt.OneSidedOp{
+		Kind: x10rt.OneSidedGet, Arena: 1, Off: 8, Elems: 16, ReplyArena: reply,
+	}); err != nil {
+		t.Fatalf("SendOneSided(get): %v", err)
+	}
+	flushAll(m)
+	await(t, "get reply", func() bool {
+		flushAll(m)
+		return atomic.LoadUint64(&dst[15]) == src[8+15]
+	})
+	for i := range dst {
+		if v := atomic.LoadUint64(&dst[i]); v != src[8+i] {
+			t.Errorf("dst[%d] = %#x, want %#x", i, v, src[8+i])
+		}
+	}
+}
+
+// testOneSidedAtomics: adds and paired xors from two concurrent senders
+// must accumulate exactly — the landings are read-modify-write atomic
+// even when transport readers run in parallel.
+func testOneSidedAtomics(t *testing.T, factory Factory) {
+	const places, perSender = 3, 100
+	m, at := oneSidedMesh(t, factory, places)
+	win := make([]uint64, 4)
+	u64Arena(at, 1, 1, win)
+
+	var wg sync.WaitGroup
+	for _, sender := range []int{0, 2} {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			snd := m.Endpoint(s).(x10rt.OneSidedSender)
+			for i := 0; i < perSender; i++ {
+				if err := snd.SendOneSided(s, 1, &x10rt.OneSidedOp{
+					Kind: x10rt.OneSidedAdd, Arena: 1, Off: 0, Val: 1,
+				}); err != nil {
+					t.Errorf("add from %d: %v", s, err)
+					return
+				}
+				// Paired xor of the same value: net zero once even.
+				if err := snd.SendOneSided(s, 1, &x10rt.OneSidedOp{
+					Kind: x10rt.OneSidedXor, Arena: 1, Off: 1, Val: 0xdeadbeef,
+				}); err != nil {
+					t.Errorf("xor from %d: %v", s, err)
+					return
+				}
+			}
+			// One batch: toggle bit i of word 2, each index twice.
+			var recs []byte
+			for i := 0; i < 32; i++ {
+				for k := 0; k < 2; k++ {
+					recs = append(recs, byte(2), 0, 0, 0)
+					recs = appendU64(recs, uint64(1)<<i)
+				}
+			}
+			if err := snd.SendOneSided(s, 1, &x10rt.OneSidedOp{
+				Kind: x10rt.OneSidedXorBatch, Arena: 1, Elems: 64,
+				Data: recs, Bytes: len(recs),
+			}); err != nil {
+				t.Errorf("xorbatch from %d: %v", s, err)
+			}
+		}(sender)
+	}
+	wg.Wait()
+	flushAll(m)
+	await(t, "adds accumulated", func() bool {
+		flushAll(m)
+		return atomic.LoadUint64(&win[0]) == 2*perSender
+	})
+	if v := atomic.LoadUint64(&win[1]); v != 0 {
+		t.Errorf("paired xors left %#x, want 0", v)
+	}
+	if v := atomic.LoadUint64(&win[2]); v != 0 {
+		t.Errorf("xorbatch double-toggle left %#x, want 0", v)
+	}
+}
+
+// testOneSidedDeath: after KillPlace, one-sided ops touching the victim
+// fail fast with the typed error and survivor links keep landing.
+func testOneSidedDeath(t *testing.T, factory Factory) {
+	const places, victim = 3, 1
+	m, at := oneSidedMesh(t, factory, places)
+	for p := 0; p < places; p++ {
+		u64Arena(at, p, 1, make([]uint64, 4))
+	}
+	surWin := make([]uint64, 4)
+	u64Arena(at, 2, 2, surWin)
+
+	killAll(t, m, victim)
+
+	snd0 := m.Endpoint(0).(x10rt.OneSidedSender)
+	err := snd0.SendOneSided(0, victim, &x10rt.OneSidedOp{
+		Kind: x10rt.OneSidedAdd, Arena: 1, Off: 0, Val: 1,
+	})
+	var pde *x10rt.PlaceDeadError
+	if !errors.As(err, &pde) || pde.Place != victim {
+		t.Errorf("op to victim: err = %v, want *PlaceDeadError{%d}", err, victim)
+	}
+	if !errors.Is(err, x10rt.ErrPlaceDead) {
+		t.Errorf("op to victim does not unwrap to ErrPlaceDead: %v", err)
+	}
+	sndV := m.Endpoint(victim).(x10rt.OneSidedSender)
+	if err := sndV.SendOneSided(victim, 2, &x10rt.OneSidedOp{
+		Kind: x10rt.OneSidedAdd, Arena: 2, Off: 0, Val: 1,
+	}); !errors.Is(err, x10rt.ErrPlaceDead) {
+		t.Errorf("op from victim: err = %v, want ErrPlaceDead", err)
+	}
+	if err := snd0.SendOneSided(0, 2, &x10rt.OneSidedOp{
+		Kind: x10rt.OneSidedAdd, Arena: 2, Off: 0, Val: 7,
+	}); err != nil {
+		t.Fatalf("survivor op: %v", err)
+	}
+	flushAll(m)
+	await(t, "survivor landing", func() bool {
+		flushAll(m)
+		return atomic.LoadUint64(&surWin[0]) == 7
+	})
+}

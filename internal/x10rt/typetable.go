@@ -1,0 +1,82 @@
+package x10rt
+
+import "fmt"
+
+// The type table is the codec's per-connection "handshake": instead of
+// a separate negotiation round trip, the first v4 frame that carries a
+// payload type announces (id, codec name) in its new-types section,
+// and every later frame on the same connection refers to the type by
+// its small integer id. Ids are assigned densely starting at 1 in
+// first-use order by the sender and bound in arrival order by the
+// receiver, so the two tables agree as long as frames arrive in order
+// — which TCP guarantees per connection. Id 0 is reserved for the gob
+// fallback and never appears in a table.
+//
+// The receiver enforces dense sequential ids and a hard size bound, so
+// a torn or hostile type table is detected at bind time and costs at
+// most its own connection (FuzzTypeTableHandshake pins this).
+
+// maxTypeTableEntries bounds a connection's type table. Far above any
+// legitimate mesh (a handful of payload types); a larger table is
+// corruption.
+const maxTypeTableEntries = 1 << 12
+
+// maxTypeNameLen bounds one announced codec name.
+const maxTypeNameLen = 256
+
+// typeTableSender is one outbound connection's name → id map. It is
+// guarded by the connection's write lock: ids must be assigned in the
+// same order frames hit the wire, or the receiver would bind them to
+// the wrong codecs.
+type typeTableSender struct {
+	ids  map[string]uint32
+	next uint32
+}
+
+// assign returns the id for a codec name, allocating the next dense id
+// (and reporting isNew) on first use.
+func (tt *typeTableSender) assign(name string) (id uint32, isNew bool) {
+	if tt.ids == nil {
+		tt.ids = make(map[string]uint32, 8)
+	}
+	if id, ok := tt.ids[name]; ok {
+		return id, false
+	}
+	tt.next++
+	tt.ids[name] = tt.next
+	return tt.next, true
+}
+
+// typeTableReceiver is one inbound connection's id → codec table,
+// grown by the new-types sections of arriving frames. Only the
+// connection's reader touches it.
+type typeTableReceiver struct {
+	codecs []*WireCodec // codecs[id-1]
+}
+
+// bind processes one (id, name) announcement. Ids must arrive densely
+// (1, 2, 3, …): anything else means the stream lost a frame or the
+// peer is hostile, and the connection dies rather than desynchronize.
+func (tt *typeTableReceiver) bind(id uint32, name string) error {
+	if id != uint32(len(tt.codecs))+1 {
+		return fmt.Errorf("%w: type table id %d, expected %d (torn table)",
+			ErrFrameCorrupt, id, len(tt.codecs)+1)
+	}
+	if len(tt.codecs) >= maxTypeTableEntries {
+		return fmt.Errorf("%w: type table exceeds %d entries", ErrFrameCorrupt, maxTypeTableEntries)
+	}
+	c := lookupWireCodecByName(name)
+	if c == nil {
+		return fmt.Errorf("x10rt: peer announced unknown codec %q (register identically on every place)", name)
+	}
+	tt.codecs = append(tt.codecs, c)
+	return nil
+}
+
+// codec resolves a message's type reference (id >= 1).
+func (tt *typeTableReceiver) codec(id uint32) (*WireCodec, error) {
+	if id == 0 || id > uint32(len(tt.codecs)) {
+		return nil, fmt.Errorf("%w: type ref %d outside table of %d", ErrFrameCorrupt, id, len(tt.codecs))
+	}
+	return tt.codecs[id-1], nil
+}

@@ -140,6 +140,8 @@ func HandlerName(id HandlerID) string {
 		return "gups"
 	case HandlerTelemetry:
 		return "telemetry"
+	case HandlerOneSided:
+		return "onesided"
 	}
 	if id >= UserHandlerBase {
 		return fmt.Sprintf("u%d", uint32(id-UserHandlerBase))
